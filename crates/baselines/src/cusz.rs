@@ -1,0 +1,188 @@
+//! cuSZ: the prediction + Huffman GPU compressor (§5.1.3, Tian et al.).
+//!
+//! cuSZ uses the same multi-dimensional Lorenzo prediction and quantization
+//! bins as SZ, followed by a parallel Huffman encoder — but none of SZ3's
+//! run coding or predictor auto-tuning. Without run coding the per-value
+//! floor is ≈1 Huffman bit, capping ratios around 32 for `f32` data —
+//! exactly the ≈31.57 ceilings cuSZ shows in Table 5 while SZ reaches
+//! thousands.
+
+use ceresz_core::ErrorBound;
+
+use crate::sz3::predictor::LorenzoPredictor;
+use crate::sz3::quantizer::{Quantizer, RADIUS};
+use crate::traits::{BaselineError, Codec, CompressedBuf};
+
+/// The cuSZ-like codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CuSz;
+
+const MAGIC: [u8; 4] = *b"cuSZ";
+
+impl Codec for CuSz {
+    fn name(&self) -> &'static str {
+        "cuSZ"
+    }
+
+    fn compress(
+        &self,
+        data: &[f32],
+        dims: &[usize],
+        bound: ErrorBound,
+    ) -> Result<CompressedBuf, BaselineError> {
+        let eps = bound.resolve(data);
+        if !(eps.is_finite() && eps > 0.0) {
+            return Err(BaselineError::Core(ceresz_core::CompressError::InvalidBound));
+        }
+        let dims = if dims.is_empty()
+            || dims.len() > 3
+            || dims.iter().product::<usize>() != data.len()
+        {
+            vec![data.len()]
+        } else {
+            dims.to_vec()
+        };
+        let predictor = LorenzoPredictor::new(&dims);
+        let quantizer = Quantizer::new(eps);
+        let mut bins = Vec::with_capacity(data.len());
+        let mut outliers = Vec::new();
+        let mut recon = vec![0f32; data.len()];
+        for i in 0..data.len() {
+            if !data[i].is_finite() {
+                return Err(BaselineError::Core(ceresz_core::CompressError::Quantize(
+                    ceresz_core::quantize::QuantizeError::NonFinite { index: i },
+                )));
+            }
+            let pred = predictor.predict(&recon, i);
+            match quantizer.quantize(f64::from(data[i]) - f64::from(pred)) {
+                Some(q) => {
+                    bins.push((q + RADIUS) as u32);
+                    recon[i] = (f64::from(pred) + quantizer.dequantize(q)) as f32;
+                }
+                None => {
+                    bins.push(0);
+                    outliers.push(data[i]);
+                    recon[i] = data[i];
+                }
+            }
+        }
+        let encoded = huffman::codec::encode(&bins)?;
+        let mut bytes = Vec::with_capacity(encoded.bytes.len() + 64);
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(dims.len() as u8);
+        for &d in &dims {
+            bytes.extend_from_slice(&(d as u64).to_le_bytes());
+        }
+        bytes.extend_from_slice(&eps.to_le_bytes());
+        bytes.extend_from_slice(&(outliers.len() as u64).to_le_bytes());
+        for &o in &outliers {
+            bytes.extend_from_slice(&o.to_le_bytes());
+        }
+        bytes.extend_from_slice(&encoded.bytes);
+        Ok(CompressedBuf {
+            bytes,
+            original_values: data.len(),
+            eps,
+        })
+    }
+
+    fn decompress(&self, compressed: &CompressedBuf) -> Result<Vec<f32>, BaselineError> {
+        let bytes = &compressed.bytes;
+        if bytes.len() < 5 || bytes[0..4] != MAGIC {
+            return Err(BaselineError::Corrupt("bad cuSZ magic"));
+        }
+        let ndims = bytes[4] as usize;
+        let mut pos = 5;
+        if ndims == 0 || ndims > 3 || bytes.len() < pos + ndims * 8 + 16 {
+            return Err(BaselineError::Corrupt("bad cuSZ header"));
+        }
+        let mut dims = Vec::with_capacity(ndims);
+        for _ in 0..ndims {
+            dims.push(u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("sized")) as usize);
+            pos += 8;
+        }
+        let eps = f64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("sized"));
+        pos += 8;
+        let n_outliers =
+            u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("sized")) as usize;
+        pos += 8;
+        if bytes.len() < pos + n_outliers * 4 {
+            return Err(BaselineError::Corrupt("truncated outliers"));
+        }
+        let mut outliers = std::collections::VecDeque::with_capacity(n_outliers);
+        for _ in 0..n_outliers {
+            outliers.push_back(f32::from_le_bytes(
+                bytes[pos..pos + 4].try_into().expect("sized"),
+            ));
+            pos += 4;
+        }
+        let bins = huffman::codec::decode_bytes(&bytes[pos..])?;
+        let count: usize = dims.iter().product();
+        if bins.len() != count {
+            return Err(BaselineError::Corrupt("bin count mismatch"));
+        }
+        let predictor = LorenzoPredictor::new(&dims);
+        let quantizer = Quantizer::new(eps);
+        let mut recon = vec![0f32; count];
+        for (i, &bin) in bins.iter().enumerate() {
+            if bin == 0 {
+                recon[i] = outliers
+                    .pop_front()
+                    .ok_or(BaselineError::Corrupt("missing outlier"))?;
+            } else {
+                let q = i64::from(bin) - RADIUS;
+                let pred = predictor.predict(&recon, i);
+                recon[i] = (f64::from(pred) + quantizer.dequantize(q)) as f32;
+            }
+        }
+        Ok(recon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sz3::Sz3;
+
+    fn smooth_2d(rows: usize, cols: usize) -> Vec<f32> {
+        (0..rows * cols)
+            .map(|i| {
+                let r = (i / cols) as f32;
+                let c = (i % cols) as f32;
+                (r * 0.05).sin() * 20.0 + (c * 0.03).cos() * 10.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_within_bound() {
+        let data = smooth_2d(64, 64);
+        let c = CuSz;
+        let buf = c.compress(&data, &[64, 64], ErrorBound::Rel(1e-3)).unwrap();
+        let r = c.decompress(&buf).unwrap();
+        assert!(ceresz_core::verify_error_bound(&data, &r, buf.eps));
+    }
+
+    #[test]
+    fn ratio_capped_without_run_coding() {
+        // Even perfectly smooth data cannot beat ~32x: 1 bit/Huffman symbol.
+        let data = vec![1.0f32; 200_000];
+        let c = CuSz.compress(&data, &[200_000], ErrorBound::Abs(1e-2)).unwrap();
+        assert!(c.ratio() < 35.0, "ratio = {}", c.ratio());
+        // SZ3's run coding blows past it on the same input.
+        let sz = Sz3.compress(&data, &[200_000], ErrorBound::Abs(1e-2)).unwrap();
+        assert!(sz.ratio() > 10.0 * c.ratio());
+    }
+
+    #[test]
+    fn same_reconstruction_as_sz3() {
+        // Identical predictor and quantizer ⇒ identical reconstruction.
+        let data = smooth_2d(48, 48);
+        let bound = ErrorBound::Rel(1e-4);
+        let a = CuSz;
+        let b = Sz3;
+        let ra = a.decompress(&a.compress(&data, &[48, 48], bound).unwrap()).unwrap();
+        let rb = b.decompress(&b.compress(&data, &[48, 48], bound).unwrap()).unwrap();
+        assert_eq!(ra, rb);
+    }
+}

@@ -1,0 +1,177 @@
+//! cuSZp: the fused-kernel GPU compressor (§5.1.3, Huang et al. SC '23).
+//!
+//! cuSZp fuses quantization, prediction, fixed-length encoding, a device
+//! scan, and block concatenation into one GPU kernel. Algorithmically its
+//! output matches SZp's block format; the GPU version additionally keeps a
+//! **chunk offset directory** so thread blocks can locate their output
+//! segments without a serial scan — that directory is pure overhead in the
+//! stream, which is why cuSZp's ratios sit slightly below SZp's in Table 5.
+//!
+//! We reproduce the format: SZp block payload plus one `u32` offset per
+//! 32-block chunk, and use the directory for chunk-parallel decompression.
+
+use ceresz_core::block::BlockCodec;
+use ceresz_core::stream::{scan_block_offsets, StreamHeader, STREAM_HEADER_BYTES};
+use ceresz_core::{CereszConfig, ErrorBound, HeaderWidth};
+use rayon::prelude::*;
+
+use crate::traits::{BaselineError, Codec, CompressedBuf};
+
+/// Blocks per offset-directory chunk (one GPU thread block's work).
+pub const BLOCKS_PER_CHUNK: usize = 32;
+
+/// The cuSZp codec.
+#[derive(Debug, Clone, Copy)]
+pub struct CuSzp {
+    /// Elements per block (32 in the paper's evaluation).
+    pub block_size: usize,
+}
+
+impl Default for CuSzp {
+    fn default() -> Self {
+        Self { block_size: 32 }
+    }
+}
+
+impl Codec for CuSzp {
+    fn name(&self) -> &'static str {
+        "cuSZp"
+    }
+
+    fn compress(
+        &self,
+        data: &[f32],
+        _dims: &[usize],
+        bound: ErrorBound,
+    ) -> Result<CompressedBuf, BaselineError> {
+        let cfg = CereszConfig::new(bound)
+            .with_block_size(self.block_size)
+            .with_header(HeaderWidth::W1);
+        let inner = ceresz_core::compress_parallel(data, &cfg)?;
+        // Build the chunk offset directory over the block payload.
+        let header = StreamHeader::read(&inner.data)?;
+        let payload = &inner.data[STREAM_HEADER_BYTES..];
+        let offsets = scan_block_offsets(&header, payload)?;
+        let chunk_offsets: Vec<u32> = offsets
+            .iter()
+            .step_by(BLOCKS_PER_CHUNK)
+            .map(|&o| o as u32)
+            .collect();
+        let mut bytes =
+            Vec::with_capacity(inner.data.len() + 4 + chunk_offsets.len() * 4);
+        bytes.extend_from_slice(&(chunk_offsets.len() as u32).to_le_bytes());
+        for off in &chunk_offsets {
+            bytes.extend_from_slice(&off.to_le_bytes());
+        }
+        bytes.extend_from_slice(&inner.data);
+        Ok(CompressedBuf {
+            bytes,
+            original_values: data.len(),
+            eps: inner.stats.eps,
+        })
+    }
+
+    fn decompress(&self, compressed: &CompressedBuf) -> Result<Vec<f32>, BaselineError> {
+        let bytes = &compressed.bytes;
+        if bytes.len() < 4 {
+            return Err(BaselineError::Corrupt("missing directory length"));
+        }
+        let n_chunks = u32::from_le_bytes(bytes[0..4].try_into().expect("sized")) as usize;
+        let dir_end = 4 + n_chunks * 4;
+        if bytes.len() < dir_end {
+            return Err(BaselineError::Corrupt("truncated offset directory"));
+        }
+        let chunk_offsets: Vec<usize> = (0..n_chunks)
+            .map(|i| {
+                u32::from_le_bytes(bytes[4 + i * 4..8 + i * 4].try_into().expect("sized"))
+                    as usize
+            })
+            .collect();
+        let stream = &bytes[dir_end..];
+        let header = StreamHeader::read(stream)?;
+        let payload = &stream[STREAM_HEADER_BYTES..];
+        let codec: BlockCodec = header.codec();
+
+        // Chunk-parallel decode using the directory (the GPU access pattern).
+        let n_blocks = header.n_blocks();
+        let mut out = vec![0f32; header.count];
+        let chunk_elems = BLOCKS_PER_CHUNK * header.block_size;
+        out.par_chunks_mut(chunk_elems)
+            .enumerate()
+            .try_for_each(|(ci, chunk)| -> Result<(), BaselineError> {
+                let mut pos = *chunk_offsets
+                    .get(ci)
+                    .ok_or(BaselineError::Corrupt("missing chunk offset"))?;
+                let first_block = ci * BLOCKS_PER_CHUNK;
+                let blocks_here = BLOCKS_PER_CHUNK.min(n_blocks - first_block);
+                let mut written = 0usize;
+                for b in 0..blocks_here {
+                    let remaining = chunk.len() - written;
+                    let take = header.block_size.min(remaining);
+                    debug_assert!(take > 0, "chunk/block accounting broke at block {b}");
+                    pos += codec.decode_block(
+                        &payload[pos..],
+                        header.eps,
+                        &mut chunk[written..written + take],
+                    )?;
+                    written += take;
+                }
+                Ok(())
+            })?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::szp::Szp;
+
+    fn wavy(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (i as f32 * 0.017).sin() * 4.0 + (i as f32 * 0.003).cos())
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_within_bound() {
+        let data = wavy(32 * 313 + 7);
+        let c = CuSzp::default();
+        let buf = c.compress(&data, &[data.len()], ErrorBound::Rel(1e-3)).unwrap();
+        let r = c.decompress(&buf).unwrap();
+        assert_eq!(r.len(), data.len());
+        assert!(ceresz_core::verify_error_bound(&data, &r, buf.eps));
+    }
+
+    #[test]
+    fn directory_overhead_lowers_ratio_vs_szp() {
+        let data = wavy(32 * 1000);
+        let bound = ErrorBound::Rel(1e-3);
+        let szp = Szp::default().compress(&data, &[data.len()], bound).unwrap();
+        let cuszp = CuSzp::default().compress(&data, &[data.len()], bound).unwrap();
+        assert!(cuszp.ratio() < szp.ratio());
+        // ...but only slightly (one u32 per 32 blocks).
+        assert!(cuszp.ratio() > szp.ratio() * 0.9);
+    }
+
+    #[test]
+    fn matches_szp_reconstruction_exactly() {
+        // Same algorithm ⇒ identical reconstructed values.
+        let data = wavy(32 * 200 + 5);
+        let bound = ErrorBound::Rel(1e-4);
+        let s = Szp::default();
+        let c = CuSzp::default();
+        let rs = s.decompress(&s.compress(&data, &[data.len()], bound).unwrap()).unwrap();
+        let rc = c.decompress(&c.compress(&data, &[data.len()], bound).unwrap()).unwrap();
+        assert_eq!(rs, rc);
+    }
+
+    #[test]
+    fn corrupt_directory_is_detected() {
+        let data = wavy(32 * 8);
+        let c = CuSzp::default();
+        let mut buf = c.compress(&data, &[data.len()], ErrorBound::Rel(1e-3)).unwrap();
+        buf.bytes.truncate(3);
+        assert!(c.decompress(&buf).is_err());
+    }
+}

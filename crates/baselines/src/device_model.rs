@@ -1,0 +1,217 @@
+//! Analytic device-throughput models for the baseline platforms.
+//!
+//! The paper measures SZ/SZp on a 64-core AMD EPYC 7742 and cuSZ/cuSZp on an
+//! NVIDIA A100 — hardware this reproduction does not have. Ratios and
+//! reconstructions come from the real reimplementations; *throughput* for
+//! Figs. 11/12 baseline bars comes from the models here:
+//!
+//! `t_elem = base + per_bit · effective_bits`, `GB/s = 4 / t_elem(ns)`,
+//!
+//! where `effective_bits = (1 − zero_fraction) · mean_fixed_length` is the
+//! same data statistic that drives the real kernels (post-Lorenzo residual
+//! width), so the models inherit the correct dataset- and error-bound-
+//! dependence: tighter bounds ⇒ more effective bits ⇒ lower GB/s, sparse
+//! datasets ⇒ higher GB/s — the trends of Fig. 11.
+//!
+//! Calibration anchors (documented per constructor): the paper's averages —
+//! CereSZ is 4.9×/4.8× faster than cuSZp (457.35 vs ≈93 GB/s compression,
+//! 581.31 vs ≈120 GB/s decompression); SZp runs at CPU-memory-bandwidth
+//! scale (~10 GB/s on 64 cores); cuSZ pays Huffman codebook construction
+//! (~20 GB/s); SZ3 is explicitly "routinely less than 1 GB/s" (§5.3).
+
+use ceresz_core::plan::{sample_profile, StageCostModel};
+
+/// The data statistics the models consume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataProfile {
+    /// Mean per-block fixed length (bits) of non-zero blocks.
+    pub mean_fixed_length: f64,
+    /// Fraction of zero blocks.
+    pub zero_fraction: f64,
+}
+
+impl DataProfile {
+    /// Profile `data` at absolute bound `eps` (5 % block sampling).
+    #[must_use]
+    pub fn from_data(data: &[f32], eps: f64) -> Self {
+        let p = sample_profile(data, eps, 32, 0.05, &StageCostModel::calibrated());
+        Self {
+            mean_fixed_length: p.mean_fixed_length,
+            zero_fraction: p.zero_fraction,
+        }
+    }
+
+    /// Bits the encoder actually has to move per element.
+    #[must_use]
+    pub fn effective_bits(&self) -> f64 {
+        (1.0 - self.zero_fraction) * self.mean_fixed_length
+    }
+}
+
+/// Compression vs decompression direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Compression.
+    Compress,
+    /// Decompression.
+    Decompress,
+}
+
+/// An analytic throughput model of one compressor on one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceModel {
+    /// Display name, e.g. `"cuSZp (A100)"`.
+    pub name: &'static str,
+    /// Fixed per-element cost in nanoseconds (compression).
+    pub base_ns: f64,
+    /// Additional per-effective-bit cost in nanoseconds (compression).
+    pub per_bit_ns: f64,
+    /// Decompression speedup factor over compression.
+    pub decompress_speedup: f64,
+}
+
+impl DeviceModel {
+    /// cuSZp on an A100: fused single kernel, memory-bandwidth bound.
+    /// Anchored to ≈93 GB/s average compression (CereSZ ÷ 4.9, §5.2).
+    #[must_use]
+    pub fn cuszp_a100() -> Self {
+        Self {
+            name: "cuSZp (A100)",
+            base_ns: 0.025,
+            per_bit_ns: 0.004,
+            decompress_speedup: 1.30,
+        }
+    }
+
+    /// SZp on a 64-core EPYC 7742 with OpenMP: CPU memory bandwidth scale.
+    #[must_use]
+    pub fn szp_epyc() -> Self {
+        Self {
+            name: "SZp (EPYC 7742)",
+            base_ns: 0.28,
+            per_bit_ns: 0.035,
+            decompress_speedup: 1.15,
+        }
+    }
+
+    /// cuSZ on an A100: Lorenzo + Huffman with codebook construction and
+    /// multiple kernel launches.
+    #[must_use]
+    pub fn cusz_a100() -> Self {
+        Self {
+            name: "cuSZ (A100)",
+            base_ns: 0.13,
+            per_bit_ns: 0.012,
+            decompress_speedup: 0.85,
+        }
+    }
+
+    /// SZ3 on the EPYC: serial-dominated prediction tuning + Huffman +
+    /// lossless backend; "routinely less than 1 GB/s" (§5.3).
+    #[must_use]
+    pub fn sz3_epyc() -> Self {
+        Self {
+            name: "SZ (EPYC 7742)",
+            base_ns: 4.0,
+            per_bit_ns: 0.45,
+            decompress_speedup: 1.6,
+        }
+    }
+
+    /// Modeled throughput in GB/s for data with the given profile.
+    #[must_use]
+    pub fn throughput_gbps(&self, profile: &DataProfile, dir: Direction) -> f64 {
+        let t_ns = self.base_ns + self.per_bit_ns * profile.effective_bits();
+        let comp = 4.0 / t_ns; // 4 bytes per element, ns → GB/s directly
+        match dir {
+            Direction::Compress => comp,
+            Direction::Decompress => comp * self.decompress_speedup,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mid_profile() -> DataProfile {
+        DataProfile {
+            mean_fixed_length: 8.0,
+            zero_fraction: 0.1,
+        }
+    }
+
+    #[test]
+    fn device_ordering_matches_paper() {
+        // Fig. 11: cuSZp > cuSZ > SZp > SZ at every bound.
+        let p = mid_profile();
+        let cuszp = DeviceModel::cuszp_a100().throughput_gbps(&p, Direction::Compress);
+        let cusz = DeviceModel::cusz_a100().throughput_gbps(&p, Direction::Compress);
+        let szp = DeviceModel::szp_epyc().throughput_gbps(&p, Direction::Compress);
+        let sz = DeviceModel::sz3_epyc().throughput_gbps(&p, Direction::Compress);
+        assert!(cuszp > cusz && cusz > szp && szp > sz, "{cuszp} {cusz} {szp} {sz}");
+    }
+
+    #[test]
+    fn cuszp_lands_near_the_paper_average() {
+        // CereSZ avg 457.35 GB/s is 4.9× cuSZp ⇒ cuSZp ≈ 93 GB/s.
+        let gbps = DeviceModel::cuszp_a100().throughput_gbps(&mid_profile(), Direction::Compress);
+        assert!((60.0..140.0).contains(&gbps), "cuSZp model = {gbps}");
+    }
+
+    #[test]
+    fn sz3_is_below_one_gbps() {
+        let gbps = DeviceModel::sz3_epyc().throughput_gbps(&mid_profile(), Direction::Compress);
+        assert!(gbps < 1.0, "SZ model = {gbps}");
+    }
+
+    #[test]
+    fn tighter_bounds_lower_throughput() {
+        let loose = DataProfile {
+            mean_fixed_length: 4.0,
+            zero_fraction: 0.4,
+        };
+        let tight = DataProfile {
+            mean_fixed_length: 14.0,
+            zero_fraction: 0.0,
+        };
+        for m in [
+            DeviceModel::cuszp_a100(),
+            DeviceModel::szp_epyc(),
+            DeviceModel::cusz_a100(),
+            DeviceModel::sz3_epyc(),
+        ] {
+            assert!(
+                m.throughput_gbps(&loose, Direction::Compress)
+                    > m.throughput_gbps(&tight, Direction::Compress),
+                "{}",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn profile_from_real_data() {
+        let data: Vec<f32> = (0..32_000).map(|i| (i as f32 * 0.01).sin()).collect();
+        let p = DataProfile::from_data(&data, 1e-3);
+        assert!(p.mean_fixed_length > 0.0);
+        assert!((0.0..=1.0).contains(&p.zero_fraction));
+    }
+
+    #[test]
+    fn zero_heavy_profile_boosts_throughput() {
+        let m = DeviceModel::cuszp_a100();
+        let dense = DataProfile {
+            mean_fixed_length: 10.0,
+            zero_fraction: 0.0,
+        };
+        let sparse = DataProfile {
+            mean_fixed_length: 10.0,
+            zero_fraction: 0.8,
+        };
+        assert!(
+            m.throughput_gbps(&sparse, Direction::Compress)
+                > 1.5 * m.throughput_gbps(&dense, Direction::Compress)
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Bin-stream entropy coding: zero-run coding + canonical Huffman.
+//!
+//! On smooth fields the zero bin (`RADIUS`, i.e. "prediction was exact to
+//! within ε") dominates overwhelmingly; run-length coding those stretches
+//! before Huffman is what lets SZ reach ratios in the hundreds-to-thousands
+//! (Table 5). Runs shorter than [`MIN_RUN`] stay as literal symbols; longer
+//! runs become a `RUN` symbol whose length goes to a LEB128 side stream.
+
+use crate::sz3::quantizer::RADIUS;
+use crate::traits::BaselineError;
+
+/// The symbol substituted for a run of zero bins.
+const RUN_SYMBOL: u32 = (2 * RADIUS as u32) + 1;
+/// Minimum zero-run length worth a RUN symbol.
+const MIN_RUN: usize = 4;
+/// The zero (exact-prediction) bin value.
+const ZERO_BIN: u32 = RADIUS as u32;
+
+/// LEB128-encode a u64.
+fn write_varint(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// LEB128-decode a u64, returning (value, bytes consumed).
+fn read_varint(bytes: &[u8]) -> Result<(u64, usize), BaselineError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    for (i, &b) in bytes.iter().enumerate() {
+        if shift >= 64 {
+            return Err(BaselineError::Corrupt("varint overflow"));
+        }
+        v |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return Ok((v, i + 1));
+        }
+        shift += 7;
+    }
+    Err(BaselineError::Corrupt("truncated varint"))
+}
+
+/// Encode the bin stream, appending to `out`:
+/// `[run_stream_len u64][run lengths LEB128…][huffman stream]`.
+pub fn encode_bins(bins: &[u32], out: &mut Vec<u8>) -> Result<(), BaselineError> {
+    let mut symbols = Vec::with_capacity(bins.len());
+    let mut run_lengths = Vec::new();
+    let mut i = 0usize;
+    while i < bins.len() {
+        if bins[i] == ZERO_BIN {
+            let mut j = i;
+            while j < bins.len() && bins[j] == ZERO_BIN {
+                j += 1;
+            }
+            let run = j - i;
+            if run >= MIN_RUN {
+                symbols.push(RUN_SYMBOL);
+                write_varint(run as u64, &mut run_lengths);
+            } else {
+                symbols.extend(std::iter::repeat_n(ZERO_BIN, run));
+            }
+            i = j;
+        } else {
+            symbols.push(bins[i]);
+            i += 1;
+        }
+    }
+    out.extend_from_slice(&(run_lengths.len() as u64).to_le_bytes());
+    out.extend_from_slice(&run_lengths);
+    let encoded = huffman::codec::encode(&symbols).map_err(BaselineError::Huffman)?;
+    out.extend_from_slice(&encoded.bytes);
+    Ok(())
+}
+
+/// Decode `count` bins from a buffer produced by [`encode_bins`].
+pub fn decode_bins(bytes: &[u8], count: usize) -> Result<Vec<u32>, BaselineError> {
+    if count == 0 {
+        return Ok(Vec::new());
+    }
+    if bytes.len() < 8 {
+        return Err(BaselineError::Corrupt("truncated bin header"));
+    }
+    let run_len = u64::from_le_bytes(bytes[0..8].try_into().expect("sized")) as usize;
+    if bytes.len() < 8 + run_len {
+        return Err(BaselineError::Corrupt("truncated run stream"));
+    }
+    let mut run_stream = &bytes[8..8 + run_len];
+    let symbols = huffman::codec::decode_bytes(&bytes[8 + run_len..])
+        .map_err(BaselineError::Huffman)?;
+    let mut bins = Vec::with_capacity(count);
+    for &s in &symbols {
+        if s == RUN_SYMBOL {
+            let (run, used) = read_varint(run_stream)?;
+            run_stream = &run_stream[used..];
+            if run as usize > count - bins.len() {
+                return Err(BaselineError::Corrupt("run overflows element count"));
+            }
+            bins.extend(std::iter::repeat_n(ZERO_BIN, run as usize));
+        } else {
+            bins.push(s);
+        }
+        if bins.len() > count {
+            return Err(BaselineError::Corrupt("too many bins"));
+        }
+    }
+    if bins.len() != count {
+        return Err(BaselineError::Corrupt("bin count mismatch"));
+    }
+    Ok(bins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(v, &mut buf);
+            let (back, used) = read_varint(&buf).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn bins_roundtrip_mixed() {
+        let mut bins = vec![ZERO_BIN; 100];
+        bins.extend([ZERO_BIN + 3, ZERO_BIN - 7, 0 /* outlier escape */]);
+        bins.extend(vec![ZERO_BIN; 2]); // short run stays literal
+        bins.extend([ZERO_BIN + 1]);
+        bins.extend(vec![ZERO_BIN; 1000]);
+        let mut out = Vec::new();
+        encode_bins(&bins, &mut out).unwrap();
+        assert_eq!(decode_bins(&out, bins.len()).unwrap(), bins);
+    }
+
+    #[test]
+    fn long_zero_runs_compress_extremely() {
+        let bins = vec![ZERO_BIN; 1_000_000];
+        let mut out = Vec::new();
+        encode_bins(&bins, &mut out).unwrap();
+        assert!(out.len() < 100, "encoded = {} bytes", out.len());
+        assert_eq!(decode_bins(&out, bins.len()).unwrap(), bins);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let mut out = Vec::new();
+        encode_bins(&[], &mut out).unwrap();
+        assert_eq!(decode_bins(&out, 0).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn overflow_runs_rejected() {
+        let bins = vec![ZERO_BIN; 100];
+        let mut out = Vec::new();
+        encode_bins(&bins, &mut out).unwrap();
+        // Claim fewer elements than the run carries.
+        assert!(decode_bins(&out, 50).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Lorenzo predictors over the reconstruction buffer, for 1/2/3-D grids.
+//!
+//! The prediction at index `i` uses only *already reconstructed* elements
+//! (strictly earlier in raster order), so the decompressor can replay the
+//! identical predictions — the invariant that makes SZ error-bounded.
+
+/// A raster-order Lorenzo predictor for a fixed grid shape.
+#[derive(Debug, Clone)]
+pub struct LorenzoPredictor {
+    dims: Vec<usize>,
+}
+
+impl LorenzoPredictor {
+    /// Predictor for a 1-, 2-, or 3-dimensional grid (slowest dim first).
+    #[must_use]
+    pub fn new(dims: &[usize]) -> Self {
+        assert!((1..=3).contains(&dims.len()), "1–3 dims supported");
+        Self {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// Predict element `i` from the reconstruction buffer.
+    #[must_use]
+    pub fn predict(&self, recon: &[f32], i: usize) -> f32 {
+        match self.dims.len() {
+            1 => {
+                if i == 0 {
+                    0.0
+                } else {
+                    recon[i - 1]
+                }
+            }
+            2 => {
+                let cols = self.dims[1];
+                let r = i / cols;
+                let c = i % cols;
+                let w = if c > 0 { recon[i - 1] } else { 0.0 };
+                let n = if r > 0 { recon[i - cols] } else { 0.0 };
+                let nw = if r > 0 && c > 0 { recon[i - cols - 1] } else { 0.0 };
+                w + n - nw
+            }
+            _ => {
+                let d1 = self.dims[1];
+                let d2 = self.dims[2];
+                let plane = d1 * d2;
+                let a = i / plane;
+                let rem = i % plane;
+                let b = rem / d2;
+                let c = rem % d2;
+                let g = |da: usize, db: usize, dc: usize| -> f32 {
+                    if a < da || b < db || c < dc {
+                        0.0
+                    } else {
+                        recon[(a - da) * plane + (b - db) * d2 + (c - dc)]
+                    }
+                };
+                g(0, 0, 1) + g(0, 1, 0) + g(1, 0, 0) - g(0, 1, 1) - g(1, 0, 1) - g(1, 1, 0)
+                    + g(1, 1, 1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_d_is_previous_value() {
+        let p = LorenzoPredictor::new(&[5]);
+        let recon = [1.0f32, 2.0, 3.0, 0.0, 0.0];
+        assert_eq!(p.predict(&recon, 0), 0.0);
+        assert_eq!(p.predict(&recon, 3), 3.0);
+    }
+
+    #[test]
+    fn two_d_predicts_bilinear_exactly() {
+        // f(r, c) = 3r + 5c is exactly Lorenzo-predictable away from edges.
+        let cols = 6;
+        let recon: Vec<f32> = (0..4 * cols)
+            .map(|i| 3.0 * (i / cols) as f32 + 5.0 * (i % cols) as f32)
+            .collect();
+        let p = LorenzoPredictor::new(&[4, cols]);
+        for i in cols + 1..recon.len() {
+            if i % cols == 0 {
+                continue;
+            }
+            assert_eq!(p.predict(&recon, i), recon[i], "at {i}");
+        }
+    }
+
+    #[test]
+    fn three_d_predicts_trilinear_exactly() {
+        let (d0, d1, d2) = (3usize, 4usize, 5usize);
+        let recon: Vec<f32> = (0..d0 * d1 * d2)
+            .map(|i| {
+                let a = i / (d1 * d2);
+                let b = (i / d2) % d1;
+                let c = i % d2;
+                2.0 * a as f32 + 7.0 * b as f32 + 11.0 * c as f32
+            })
+            .collect();
+        let p = LorenzoPredictor::new(&[d0, d1, d2]);
+        for a in 1..d0 {
+            for b in 1..d1 {
+                for c in 1..d2 {
+                    let i = a * d1 * d2 + b * d2 + c;
+                    assert_eq!(p.predict(&recon, i), recon[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1–3 dims")]
+    fn four_dims_panic() {
+        let _ = LorenzoPredictor::new(&[2, 2, 2, 2]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error-controlled residual quantizer with a bounded bin range.
+
+/// Half the bin range: bins hold `q ∈ [−RADIUS+1, RADIUS−1]`, bin 0 is the
+/// outlier escape. 2¹⁵ matches SZ's default quantization interval count.
+pub const RADIUS: i64 = 1 << 15;
+
+/// Residual quantizer: `q = round(diff / 2ε)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Quantizer {
+    eps: f64,
+}
+
+impl Quantizer {
+    /// Quantizer for absolute bound `eps`.
+    #[must_use]
+    pub fn new(eps: f64) -> Self {
+        assert!(eps.is_finite() && eps > 0.0);
+        Self { eps }
+    }
+
+    /// Quantize a residual; `None` if it falls outside the bin range
+    /// (the caller stores the value as an exact outlier).
+    #[must_use]
+    pub fn quantize(&self, diff: f64) -> Option<i64> {
+        let q = (diff / (2.0 * self.eps) + 0.5).floor();
+        if !q.is_finite() {
+            return None;
+        }
+        let q = q as i64;
+        if q.abs() >= RADIUS {
+            None
+        } else {
+            Some(q)
+        }
+    }
+
+    /// Reconstruction offset for a bin.
+    #[must_use]
+    pub fn dequantize(&self, q: i64) -> f64 {
+        q as f64 * 2.0 * self.eps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_within_eps() {
+        let q = Quantizer::new(1e-3);
+        for diff in [-0.9, -0.0004, 0.0, 0.0011, 0.5, 3.3] {
+            let bin = q.quantize(diff).unwrap();
+            assert!((q.dequantize(bin) - diff).abs() <= 1e-3 + 1e-12, "{diff}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_none() {
+        let q = Quantizer::new(1e-6);
+        assert_eq!(q.quantize(1.0), None); // q would be 5e5 ≥ RADIUS
+        assert!(q.quantize(1e-5).is_some());
+    }
+
+    #[test]
+    fn non_finite_is_none() {
+        let q = Quantizer::new(1e-3);
+        assert_eq!(q.quantize(f64::INFINITY), None);
+        assert_eq!(q.quantize(f64::NAN), None);
+    }
+
+    #[test]
+    fn zero_residual_is_bin_zero() {
+        let q = Quantizer::new(0.5);
+        assert_eq!(q.quantize(0.0), Some(0));
+    }
+}

@@ -1,0 +1,94 @@
+//! The common compressor interface shared by CereSZ and every baseline.
+
+use ceresz_core::ErrorBound;
+
+/// Errors any of the codecs can raise.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// Propagated from the CereSZ-family block pipeline.
+    Core(ceresz_core::CompressError),
+    /// Propagated from the Huffman substrate.
+    Huffman(huffman::HuffmanError),
+    /// A malformed stream for this codec's own format.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::Core(e) => write!(f, "core codec: {e}"),
+            BaselineError::Huffman(e) => write!(f, "huffman: {e}"),
+            BaselineError::Corrupt(what) => write!(f, "corrupt stream: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<ceresz_core::CompressError> for BaselineError {
+    fn from(e: ceresz_core::CompressError) -> Self {
+        BaselineError::Core(e)
+    }
+}
+
+impl From<huffman::HuffmanError> for BaselineError {
+    fn from(e: huffman::HuffmanError) -> Self {
+        BaselineError::Huffman(e)
+    }
+}
+
+/// A compressed buffer with its accounting.
+#[derive(Debug, Clone)]
+pub struct CompressedBuf {
+    /// The stream bytes.
+    pub bytes: Vec<u8>,
+    /// Original element count.
+    pub original_values: usize,
+    /// The resolved absolute error bound used.
+    pub eps: f64,
+}
+
+impl CompressedBuf {
+    /// Compression ratio (original f32 bytes / stream bytes).
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.bytes.is_empty() {
+            0.0
+        } else {
+            (self.original_values * 4) as f64 / self.bytes.len() as f64
+        }
+    }
+}
+
+/// A lossy compressor with dimensional awareness (multi-dimensional
+/// predictors need the grid shape; 1-D codecs ignore it).
+pub trait Codec {
+    /// Short display name, e.g. `"SZp"`.
+    fn name(&self) -> &'static str;
+
+    /// Compress `data` with logical `dims` under `bound`.
+    fn compress(
+        &self,
+        data: &[f32],
+        dims: &[usize],
+        bound: ErrorBound,
+    ) -> Result<CompressedBuf, BaselineError>;
+
+    /// Decompress a stream produced by this codec.
+    fn decompress(&self, compressed: &CompressedBuf) -> Result<Vec<f32>, BaselineError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_math() {
+        let c = CompressedBuf {
+            bytes: vec![0; 100],
+            original_values: 100,
+            eps: 1e-3,
+        };
+        assert!((c.ratio() - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks of the host-side compressor paths: serial vs
+//! rayon compression/decompression throughput on a representative field.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datasets::{generate_field, DatasetId};
+
+use ceresz_core::{
+    compress, compress_parallel, decompress, decompress_parallel, CereszConfig, ErrorBound,
+};
+
+fn bench_compress(c: &mut Criterion) {
+    let field = generate_field(DatasetId::QmcPack, 0, 2024);
+    let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+    let mut group = c.benchmark_group("compress");
+    group.throughput(Throughput::Bytes(field.bytes() as u64));
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("serial", field.len()), |b| {
+        b.iter(|| compress(&field.data, &cfg).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("rayon", field.len()), |b| {
+        b.iter(|| compress_parallel(&field.data, &cfg).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let field = generate_field(DatasetId::QmcPack, 0, 2024);
+    let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+    let compressed = compress(&field.data, &cfg).unwrap();
+    let mut group = c.benchmark_group("decompress");
+    group.throughput(Throughput::Bytes(field.bytes() as u64));
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("serial", field.len()), |b| {
+        b.iter(|| decompress(&compressed).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("rayon", field.len()), |b| {
+        b.iter(|| decompress_parallel(&compressed).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    use baselines::traits::Codec;
+    let field = generate_field(DatasetId::CesmAtm, 0, 2024);
+    let bound = ErrorBound::Rel(1e-3);
+    let mut group = c.benchmark_group("baseline-compress");
+    group.throughput(Throughput::Bytes(field.bytes() as u64));
+    group.sample_size(10);
+    let szp = baselines::szp::Szp::default();
+    group.bench_function("szp", |b| {
+        b.iter(|| szp.compress(&field.data, &field.dims, bound).unwrap())
+    });
+    let sz3 = baselines::sz3::Sz3;
+    group.bench_function("sz3", |b| {
+        b.iter(|| sz3.compress(&field.data, &field.dims, bound).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion micro-benchmarks of the Huffman substrate used by the SZ/cuSZ
+//! baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn skewed_symbols(n: usize) -> Vec<u32> {
+    (0..n)
+        .map(|i| {
+            let r = (i as u64).wrapping_mul(2654435761) % 100;
+            match r {
+                0..=69 => 0,
+                70..=89 => 1 + (r % 5) as u32,
+                _ => 6 + (r % 50) as u32,
+            }
+        })
+        .collect()
+}
+
+fn bench_huffman(c: &mut Criterion) {
+    let symbols = skewed_symbols(1 << 18);
+    let mut group = c.benchmark_group("huffman");
+    group.throughput(Throughput::Elements(symbols.len() as u64));
+    group.sample_size(20);
+    group.bench_function("encode", |b| {
+        b.iter(|| huffman::codec::encode(&symbols).unwrap())
+    });
+    let encoded = huffman::codec::encode(&symbols).unwrap();
+    group.bench_function("decode", |b| {
+        b.iter(|| huffman::codec::decode(&encoded).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_huffman);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks of the per-block kernels — the pieces whose
+//! simulated cycle costs the cost model charges.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use ceresz_core::fixed_length::{
+    bit_shuffle, bit_unshuffle, effective_bits, max_magnitude, signs_and_magnitudes,
+};
+use ceresz_core::lorenzo::{forward_1d, inverse_1d};
+use ceresz_core::quantize::{dequantize, quantize};
+
+const N: usize = 1 << 16;
+
+fn bench_quantize(c: &mut Criterion) {
+    let data: Vec<f32> = (0..N).map(|i| (i as f32 * 0.001).sin() * 100.0).collect();
+    let mut out = vec![0i64; N];
+    let mut group = c.benchmark_group("quantize");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("quantize", |b| {
+        b.iter(|| quantize(&data, 1e-3, &mut out).unwrap())
+    });
+    let mut rec = vec![0f32; N];
+    group.bench_function("dequantize", |b| b.iter(|| dequantize(&out, 1e-3, &mut rec)));
+    group.finish();
+}
+
+fn bench_lorenzo(c: &mut Criterion) {
+    let q: Vec<i64> = (0..N as i64).map(|i| (i * 37) % 1000).collect();
+    let mut d = vec![0i64; N];
+    let mut group = c.benchmark_group("lorenzo");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("forward", |b| b.iter(|| forward_1d(&q, &mut d)));
+    let mut back = vec![0i64; N];
+    group.bench_function("inverse", |b| b.iter(|| inverse_1d(&d, &mut back)));
+    group.finish();
+}
+
+fn bench_bit_shuffle(c: &mut Criterion) {
+    let deltas: Vec<i64> = (0..32).map(|i| (i * 97) % 1024 - 512).collect();
+    let mut signs = vec![0u8; 4];
+    let mut mags = vec![0u32; 32];
+    signs_and_magnitudes(&deltas, &mut signs, &mut mags);
+    let f = effective_bits(max_magnitude(&mags));
+    let mut planes = vec![0u8; f as usize * 4];
+    let mut group = c.benchmark_group("bit-shuffle(32-block)");
+    group.throughput(Throughput::Elements(32));
+    group.bench_function("shuffle", |b| b.iter(|| bit_shuffle(&mags, f, &mut planes)));
+    let mut back = vec![0u32; 32];
+    group.bench_function("unshuffle", |b| {
+        b.iter(|| bit_unshuffle(&planes, f, &mut back))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quantize, bench_lorenzo, bench_bit_shuffle);
+criterion_main!(benches);

@@ -1,0 +1,197 @@
+//! Ablations of CereSZ's design choices — the quantitative version of the
+//! paper's §3 "Rationale in CereSZ Algorithm Designs" and §5.1.1 choices:
+//!
+//! 1. **Predictor**: 1-D Lorenzo (shipped) vs the 2-D tile variant — ratio
+//!    gain vs the SRAM cost of gathering tiles on a PE.
+//! 2. **Header width**: 4-byte (wavelet-aligned, shipped) vs 1-byte — the
+//!    ratio penalty §5.1.1 calls "negligible for most cases".
+//! 3. **Block size**: 16/32/64/128 — §5.1.1 picks 32 as the best ratio.
+//! 4. **Encoding**: fixed-length (shipped) vs Huffman over the same Lorenzo
+//!    residuals — ratio vs the estimated per-block cycle cost.
+//! 5. **Zero-block fast path**: cycles with and without the §5.2 shortcut.
+//!
+//! Run: `cargo run --release -p ceresz-bench --bin ablations`
+
+use ceresz_bench::{fields_of, Table, SEED};
+use ceresz_core::compressor2d::{compress_2d, Ceresz2dConfig};
+use ceresz_core::plan::{
+    block_compress_cycles, state_bytes_after, zero_block_compress_cycles, StageCostModel,
+};
+use ceresz_core::{compress_parallel, CereszConfig, ErrorBound, HeaderWidth};
+use datasets::{generate_field, DatasetId};
+
+fn main() {
+    predictor_ablation();
+    header_width_ablation();
+    block_size_ablation();
+    encoding_ablation();
+    zero_block_ablation();
+}
+
+fn predictor_ablation() {
+    println!("== Ablation 1: 1-D Lorenzo vs 2-D Lorenzo tiles ==");
+    println!("(§3: 2-D raises the ratio but breaks streaming order on the wafer)");
+    let t = Table::new(&[12, 10, 12, 12, 16]);
+    t.sep();
+    t.row(&[
+        "field".into(),
+        "REL".into(),
+        "1-D ratio".into(),
+        "2-D ratio".into(),
+        "2-D row buffer".into(),
+    ]);
+    t.sep();
+    let field = generate_field(DatasetId::CesmAtm, 0, SEED);
+    let (rows, cols) = (field.dims[0], field.dims[1]);
+    for rel in [1e-2, 1e-3, 1e-4] {
+        let bound = ErrorBound::Rel(rel);
+        let one = compress_parallel(&field.data, &CereszConfig::new(bound)).expect("1-D");
+        let two = compress_2d(&field.data, rows, cols, &Ceresz2dConfig::new(bound)).expect("2-D");
+        // Gathering 8x8 tiles from a row-major stream needs 8 field rows
+        // buffered per PE — compare against the 48 KB SRAM.
+        let row_buffer = 8 * cols * 4;
+        t.row(&[
+            field.name.clone(),
+            format!("{rel:.0e}"),
+            format!("{:.2}", one.ratio()),
+            format!("{:.2}", two.ratio()),
+            format!("{} KB (SRAM 48)", row_buffer / 1024),
+        ]);
+    }
+    t.sep();
+    println!();
+}
+
+fn header_width_ablation() {
+    println!("== Ablation 2: 4-byte vs 1-byte block headers (§5.1.1) ==");
+    let t = Table::new(&[12, 8, 12, 12, 10]);
+    t.sep();
+    t.row(&[
+        "dataset".into(),
+        "REL".into(),
+        "W4 ratio".into(),
+        "W1 ratio".into(),
+        "penalty".into(),
+    ]);
+    t.sep();
+    for ds in [DatasetId::Rtm, DatasetId::CesmAtm, DatasetId::Hacc] {
+        for rel in [1e-2, 1e-4] {
+            let bound = ErrorBound::Rel(rel);
+            let fields = fields_of(ds);
+            let (mut w4, mut w1) = (0.0, 0.0);
+            for f in &fields {
+                w4 += compress_parallel(&f.data, &CereszConfig::new(bound))
+                    .expect("W4")
+                    .ratio();
+                w1 += compress_parallel(
+                    &f.data,
+                    &CereszConfig::new(bound).with_header(HeaderWidth::W1),
+                )
+                .expect("W1")
+                .ratio();
+            }
+            w4 /= fields.len() as f64;
+            w1 /= fields.len() as f64;
+            t.row(&[
+                ds.spec().name.into(),
+                format!("{rel:.0e}"),
+                format!("{w4:.2}"),
+                format!("{w1:.2}"),
+                format!("{:.1}%", 100.0 * (1.0 - w4 / w1)),
+            ]);
+        }
+    }
+    t.sep();
+    println!("(The penalty shrinks as the bound tightens — §5.3's observation.)");
+    println!();
+}
+
+fn block_size_ablation() {
+    println!("== Ablation 3: block size (§5.1.1 picks 32) ==");
+    let t = Table::new(&[12, 10, 10, 10, 10]);
+    t.sep();
+    t.row(&[
+        "dataset".into(),
+        "L=16".into(),
+        "L=32".into(),
+        "L=64".into(),
+        "L=128".into(),
+    ]);
+    t.sep();
+    for ds in [DatasetId::CesmAtm, DatasetId::Nyx, DatasetId::Rtm] {
+        let fields = fields_of(ds);
+        let mut cells = vec![ds.spec().name.to_string()];
+        for l in [16usize, 32, 64, 128] {
+            let mut avg = 0.0;
+            for f in &fields {
+                avg += compress_parallel(
+                    &f.data,
+                    &CereszConfig::new(ErrorBound::Rel(1e-3)).with_block_size(l),
+                )
+                .expect("compresses")
+                .ratio();
+            }
+            cells.push(format!("{:.2}", avg / fields.len() as f64));
+        }
+        t.row(&cells);
+    }
+    t.sep();
+    println!();
+}
+
+fn encoding_ablation() {
+    println!("== Ablation 4: fixed-length vs Huffman encoding (§3 Rationale) ==");
+    let field = generate_field(DatasetId::QmcPack, 0, SEED);
+    let bound = ErrorBound::Rel(1e-3);
+    let eps = bound.resolve(&field.data);
+    // Fixed-length (the shipped encoder).
+    let fl = compress_parallel(&field.data, &CereszConfig::new(bound)).expect("compresses");
+    // Huffman over the same quantized Lorenzo residuals (what a cuSZ-style
+    // encoder would emit for the identical prediction pipeline).
+    let mut q = vec![0i64; field.len()];
+    ceresz_core::quantize::quantize(&field.data, eps, &mut q).expect("finite");
+    ceresz_core::lorenzo::forward_1d_in_place(&mut q);
+    let symbols: Vec<u32> = q
+        .iter()
+        .map(|&d| {
+            let z = if d >= 0 { 2 * d } else { -2 * d - 1 }; // zigzag
+            z as u32
+        })
+        .collect();
+    let huff = huffman::codec::encode(&symbols).expect("encodes");
+    let huff_ratio = (field.len() * 4) as f64 / huff.bytes.len() as f64;
+    let model = StageCostModel::calibrated();
+    let fl_cycles = block_compress_cycles(32, 12, &model);
+    println!(
+        "fixed-length: ratio {:.2}, ~{:.0} cycles/block, block-independent (no codebook)",
+        fl.ratio(),
+        fl_cycles
+    );
+    println!(
+        "huffman     : ratio {huff_ratio:.2}, requires a global histogram + codebook pass \
+         (a device-level reduction the dataflow design avoids)"
+    );
+    println!();
+}
+
+fn zero_block_ablation() {
+    println!("== Ablation 5: zero-block fast path (§5.2) ==");
+    let model = StageCostModel::calibrated();
+    let field = generate_field(DatasetId::Rtm, 0, SEED);
+    let bound = ErrorBound::Rel(1e-2);
+    let c = compress_parallel(&field.data, &CereszConfig::new(bound)).expect("compresses");
+    let zf = c.stats.zero_block_fraction();
+    let f_mean = c.stats.mean_fixed_length().round() as u32;
+    let with_path = zf * zero_block_compress_cycles(32, &model)
+        + (1.0 - zf) * block_compress_cycles(32, f_mean.max(1), &model);
+    let without = block_compress_cycles(32, f_mean.max(1), &model);
+    println!(
+        "RTM snapshot: {:.0}% zero blocks; mean cycles/block {:.0} with the fast \
+         path vs {:.0} without ({:.2}x throughput from the shortcut)",
+        zf * 100.0,
+        with_path,
+        without,
+        without / with_path
+    );
+    let _ = state_bytes_after(None, 32, 0); // re-exported sanity: keep linked
+}

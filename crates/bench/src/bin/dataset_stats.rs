@@ -1,0 +1,38 @@
+//! Statistical fingerprints of the synthetic datasets: the properties that
+//! drive compression behaviour (sparsity, roughness, offset ratio) and the
+//! fixed lengths they predict — documentation for how the stand-ins relate
+//! to their SDRBench originals (DESIGN.md §1).
+//!
+//! Run: `cargo run --release -p ceresz-bench --bin dataset_stats`
+
+use ceresz_bench::{fields_of, Table};
+use datasets::{FieldStats, ALL_DATASETS};
+
+fn main() {
+    println!("Synthetic dataset fingerprints (see DESIGN.md for tuning targets)");
+    let t = Table::new(&[10, 18, 10, 10, 12, 12]);
+    t.sep();
+    t.row(&[
+        "dataset".into(),
+        "field".into(),
+        "zeros".into(),
+        "rough".into(),
+        "offset".into(),
+        "f@1e-4".into(),
+    ]);
+    t.sep();
+    for ds in ALL_DATASETS {
+        for field in fields_of(ds) {
+            let s = FieldStats::of(&field);
+            t.row(&[
+                ds.spec().name.into(),
+                field.name.clone(),
+                format!("{:.1}%", 100.0 * s.zero_fraction),
+                format!("{:.4}", s.normalized_roughness),
+                format!("{:.2}", s.offset_ratio),
+                s.predicted_fixed_length(1e-4).to_string(),
+            ]);
+        }
+        t.sep();
+    }
+}

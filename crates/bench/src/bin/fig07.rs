@@ -1,0 +1,46 @@
+//! Fig. 7: compression throughput (MB/s) vs the number of PE rows —
+//! strategy 1, the temperature field of NYX, block size 32, event-stepped
+//! in the wafer simulator (the full compression runs on the first PE of
+//! each row, as in §4.1).
+//!
+//! Run: `cargo run --release -p ceresz-bench --bin fig07`
+
+use ceresz_bench::{Table, SEED};
+use ceresz_core::{CereszConfig, ErrorBound};
+use ceresz_wse::row_parallel::run_row_parallel;
+use datasets::{generate_field, DatasetId};
+
+fn main() {
+    // NYX temperature (field index 2 of the registry).
+    let field = generate_field(DatasetId::Nyx, 2, SEED);
+    let cfg = CereszConfig::new(ErrorBound::Rel(1e-4));
+    println!(
+        "Fig. 7: throughput vs PE rows (NYX {}, {} elements, event simulator)",
+        field.name,
+        field.len()
+    );
+    println!("Paper: linear speedup w.r.t. the number of PE rows");
+    let t = Table::new(&[6, 14, 14, 10]);
+    t.sep();
+    t.row(&[
+        "rows".into(),
+        "cycles".into(),
+        "MB/s".into(),
+        "speedup".into(),
+    ]);
+    t.sep();
+    let mut base_cycles = None;
+    for rows in [1usize, 2, 4, 8, 16, 32] {
+        let run = run_row_parallel(&field.data, &cfg, rows).expect("simulation runs");
+        let seconds = run.stats.finish_cycle / wse_sim::CLOCK_HZ;
+        let mbps = field.bytes() as f64 / seconds / 1e6;
+        let base = *base_cycles.get_or_insert(run.stats.finish_cycle);
+        t.row(&[
+            rows.to_string(),
+            format!("{:.0}", run.stats.finish_cycle),
+            format!("{mbps:.1}"),
+            format!("{:.2}x", base / run.stats.finish_cycle),
+        ]);
+    }
+    t.sep();
+}

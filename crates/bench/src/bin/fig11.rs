@@ -1,0 +1,72 @@
+//! Fig. 11: compression throughput (GB/s) of CereSZ vs the four baselines
+//! across 6 datasets × REL {1e-2, 1e-3, 1e-4}.
+//!
+//! CereSZ runs on the analytic 512×512-PE wafer model (pipeline length 1,
+//! paper configuration) fed by real kernel cycle measurements; baselines use
+//! the calibrated device models (see `baselines::device_model` for the
+//! substitution rationale). Expect the paper's shape: CereSZ 227.93–773.8
+//! GB/s, ≈4.9× cuSZp on average, ordering CereSZ > cuSZp > cuSZ > SZp > SZ,
+//! and throughput dropping as the bound tightens.
+//!
+//! Run: `cargo run --release -p ceresz-bench --bin fig11`
+
+use baselines::device_model::{DeviceModel, Direction};
+use ceresz_bench::{baseline_gbps, ceresz_compression_gbps, Table, REL_BOUNDS};
+use ceresz_wse::throughput::WaferConfig;
+use datasets::ALL_DATASETS;
+
+fn main() {
+    let wafer = WaferConfig::cs2_square(512);
+    let devices = [
+        DeviceModel::cuszp_a100(),
+        DeviceModel::cusz_a100(),
+        DeviceModel::szp_epyc(),
+        DeviceModel::sz3_epyc(),
+    ];
+    println!("Fig. 11: compression throughput in GB/s (512x512 PEs, pipeline length 1)");
+    let t = Table::new(&[10, 6, 10, 10, 10, 10, 10, 10]);
+    t.sep();
+    t.row(&[
+        "Dataset".into(),
+        "REL".into(),
+        "CereSZ".into(),
+        "cuSZp".into(),
+        "cuSZ".into(),
+        "SZp".into(),
+        "SZ".into(),
+        "vs cuSZp".into(),
+    ]);
+    t.sep();
+    let mut ceresz_all = Vec::new();
+    let mut speedups = Vec::new();
+    for ds in ALL_DATASETS {
+        for &rel in &REL_BOUNDS {
+            let ceresz = ceresz_compression_gbps(&wafer, ds, rel, 13);
+            let base: Vec<f64> = devices
+                .iter()
+                .map(|m| baseline_gbps(m, ds, rel, Direction::Compress))
+                .collect();
+            let speedup = ceresz / base[0];
+            ceresz_all.push(ceresz);
+            speedups.push(speedup);
+            t.row(&[
+                ds.spec().name.into(),
+                format!("{rel:.0e}"),
+                format!("{ceresz:.1}"),
+                format!("{:.1}", base[0]),
+                format!("{:.1}", base[1]),
+                format!("{:.1}", base[2]),
+                format!("{:.2}", base[3]),
+                format!("{speedup:.2}x"),
+            ]);
+        }
+    }
+    t.sep();
+    let avg = ceresz_all.iter().sum::<f64>() / ceresz_all.len() as f64;
+    let min = ceresz_all.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = ceresz_all.iter().copied().fold(0.0, f64::max);
+    let avg_speedup = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    println!("CereSZ compression: avg {avg:.2} GB/s, range {min:.2}-{max:.2} GB/s");
+    println!("Paper:              avg 457.35 GB/s, range 227.93-773.8 GB/s");
+    println!("Avg speedup vs cuSZp: {avg_speedup:.2}x  (paper: 4.9x)");
+}

@@ -1,0 +1,68 @@
+//! Fig. 12: decompression throughput (GB/s), the companion of Fig. 11.
+//!
+//! Expect the paper's shape: CereSZ decompression averages 581.31 GB/s
+//! (≈4.8× cuSZp), tops out above 900 GB/s on RTM, and always exceeds the
+//! matching compression throughput (the fixed length is pre-known, so Max
+//! and GetLength are skipped — §3).
+//!
+//! Run: `cargo run --release -p ceresz-bench --bin fig12`
+
+use baselines::device_model::{DeviceModel, Direction};
+use ceresz_bench::{baseline_gbps, ceresz_decompression_gbps, Table, REL_BOUNDS};
+use ceresz_wse::throughput::WaferConfig;
+use datasets::ALL_DATASETS;
+
+fn main() {
+    let wafer = WaferConfig::cs2_square(512);
+    let devices = [
+        DeviceModel::cuszp_a100(),
+        DeviceModel::cusz_a100(),
+        DeviceModel::szp_epyc(),
+        DeviceModel::sz3_epyc(),
+    ];
+    println!("Fig. 12: decompression throughput in GB/s (512x512 PEs, pipeline length 1)");
+    let t = Table::new(&[10, 6, 10, 10, 10, 10, 10, 10]);
+    t.sep();
+    t.row(&[
+        "Dataset".into(),
+        "REL".into(),
+        "CereSZ".into(),
+        "cuSZp".into(),
+        "cuSZ".into(),
+        "SZp".into(),
+        "SZ".into(),
+        "vs cuSZp".into(),
+    ]);
+    t.sep();
+    let mut ceresz_all = Vec::new();
+    let mut speedups = Vec::new();
+    for ds in ALL_DATASETS {
+        for &rel in &REL_BOUNDS {
+            let ceresz = ceresz_decompression_gbps(&wafer, ds, rel, 13);
+            let base: Vec<f64> = devices
+                .iter()
+                .map(|m| baseline_gbps(m, ds, rel, Direction::Decompress))
+                .collect();
+            let speedup = ceresz / base[0];
+            ceresz_all.push(ceresz);
+            speedups.push(speedup);
+            t.row(&[
+                ds.spec().name.into(),
+                format!("{rel:.0e}"),
+                format!("{ceresz:.1}"),
+                format!("{:.1}", base[0]),
+                format!("{:.1}", base[1]),
+                format!("{:.1}", base[2]),
+                format!("{:.2}", base[3]),
+                format!("{speedup:.2}x"),
+            ]);
+        }
+    }
+    t.sep();
+    let avg = ceresz_all.iter().sum::<f64>() / ceresz_all.len() as f64;
+    let max = ceresz_all.iter().copied().fold(0.0, f64::max);
+    let avg_speedup = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    println!("CereSZ decompression: avg {avg:.2} GB/s, max {max:.2} GB/s");
+    println!("Paper:                avg 581.31 GB/s, max 920.67 GB/s (RTM)");
+    println!("Avg speedup vs cuSZp: {avg_speedup:.2}x  (paper: 4.8x)");
+}

@@ -1,0 +1,38 @@
+//! Fig. 13: compression throughput for different pipeline lengths (1/2/4/8
+//! PEs) on QMCPack and Hurricane at REL 1e-4, with the total PE budget held
+//! fixed at 512×512.
+//!
+//! Expect the paper's result: the 1-PE pipeline wins; longer pipelines lose
+//! to transfer overhead (the `len·C2` term of Eq. 3) and imbalance.
+//!
+//! Run: `cargo run --release -p ceresz-bench --bin fig13`
+
+use ceresz_bench::{ceresz_compression_gbps, Table};
+use ceresz_wse::throughput::WaferConfig;
+use datasets::DatasetId;
+
+fn main() {
+    println!("Fig. 13: compression throughput vs pipeline length (512x512 PEs, REL 1e-4)");
+    println!("Paper: the 1-PE pipeline is the most efficient configuration");
+    let t = Table::new(&[12, 8, 12]);
+    for ds in [DatasetId::QmcPack, DatasetId::Hurricane] {
+        println!();
+        println!("({})", ds.spec().name);
+        t.sep();
+        t.row(&["dataset".into(), "n-PE".into(), "GB/s".into()]);
+        t.sep();
+        let mut last = f64::INFINITY;
+        for len in [1usize, 2, 4, 8] {
+            let wafer = WaferConfig::cs2_square(512).with_pipeline_length(len);
+            let gbps = ceresz_compression_gbps(&wafer, ds, 1e-4, 13);
+            let marker = if gbps <= last { "" } else { "  (!)" };
+            t.row(&[
+                ds.spec().name.into(),
+                format!("{len}-PE"),
+                format!("{gbps:.1}{marker}"),
+            ]);
+            last = gbps;
+        }
+        t.sep();
+    }
+}

@@ -1,0 +1,58 @@
+//! Fig. 14: compression throughput vs WSE size (16×16 … 750×994 PEs) on the
+//! whole CESM-ATM and HACC datasets at REL 1e-4.
+//!
+//! Expect the paper's result: linear speedup in the PE count — quadrupling
+//! the mesh area ≈ quadruples GB/s until the relay term starts to bite at
+//! full wafer width.
+//!
+//! Run: `cargo run --release -p ceresz-bench --bin fig14`
+
+use ceresz_bench::{ceresz_compression_gbps_scaled, Table};
+use ceresz_core::plan::MeshShape;
+use ceresz_wse::throughput::WaferConfig;
+use datasets::DatasetId;
+
+fn main() {
+    println!("Fig. 14: compression throughput vs WSE size (REL 1e-4, pipeline length 1)");
+    println!("Paper: linear speedups; 750x994 is the largest usable mesh");
+    let meshes: Vec<(String, MeshShape)> = [16usize, 32, 64, 128, 256, 512]
+        .iter()
+        .map(|&n| (format!("{n}x{n}"), MeshShape::square(n)))
+        .chain(std::iter::once((
+            "750x994".to_string(),
+            MeshShape {
+                rows: wse_sim::CS2_USABLE_ROWS,
+                cols: wse_sim::CS2_USABLE_COLS,
+            },
+        )))
+        .collect();
+    for ds in [DatasetId::CesmAtm, DatasetId::Hacc] {
+        println!();
+        println!("({})", ds.spec().name);
+        let t = Table::new(&[10, 12, 12, 14]);
+        t.sep();
+        t.row(&[
+            "WSE".into(),
+            "PEs".into(),
+            "GB/s".into(),
+            "vs 16x16".into(),
+        ]);
+        t.sep();
+        let mut base = None;
+        // The paper streams the WHOLE dataset (all fields) in this
+        // experiment, so scale replication by the paper field count.
+        let whole_dataset = ds.spec().paper_fields;
+        for (name, mesh) in &meshes {
+            let wafer = WaferConfig::cs2(*mesh);
+            let gbps = ceresz_compression_gbps_scaled(&wafer, ds, 1e-4, 13, whole_dataset);
+            let b = *base.get_or_insert(gbps);
+            t.row(&[
+                name.clone(),
+                mesh.pes().to_string(),
+                format!("{gbps:.2}"),
+                format!("{:.1}x", gbps / b),
+            ]);
+        }
+        t.sep();
+    }
+}

@@ -1,0 +1,43 @@
+//! Table 2: breakdown of Pre-Quantization into its Multiplication and
+//! Addition sub-stages (§4.2).
+//!
+//! Run: `cargo run --release -p ceresz-bench --bin table2`
+
+use ceresz_bench::Table;
+use ceresz_core::plan::StageCostModel;
+use datasets::DatasetId;
+
+fn main() {
+    let model = StageCostModel::calibrated();
+    let l = 32usize;
+    println!("Table 2: Breakdown cycles for Pre-Quantization (block size 32)");
+    println!("Paper:  CESM-ATM 6051/5078/1033  HACC 6101/5081/1038  QMCPack 6111/5063/1049");
+    let t = Table::new(&[10, 12, 16, 10]);
+    t.sep();
+    t.row(&[
+        "Dataset".into(),
+        "Pre-Quant.".into(),
+        "Multiplication".into(),
+        "Addition".into(),
+    ]);
+    t.sep();
+    // The sub-stage costs are input-independent (§4.2: "the execution times
+    // of the two operations are consistent across different datasets"); the
+    // per-dataset rows differ only by measurement noise in the paper.
+    for ds in [DatasetId::CesmAtm, DatasetId::Hacc, DatasetId::QmcPack] {
+        let mul = model.quant_mul(l);
+        let add = model.quant_add(l);
+        let total = mul + add - model.task_overhead; // fused single task
+        t.row(&[
+            ds.spec().name.to_string(),
+            format!("{total:.0}"),
+            format!("{mul:.0}"),
+            format!("{add:.0}"),
+        ]);
+    }
+    t.sep();
+    println!(
+        "Multiplication share: {:.0}% (paper: ~80%)",
+        100.0 * model.quant_mul(l) / (model.quant_mul(l) + model.quant_add(l))
+    );
+}

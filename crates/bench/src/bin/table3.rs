@@ -1,0 +1,62 @@
+//! Table 3: breakdown of Fixed-Length Encoding into Sign, Max, GetLength,
+//! and Bit-shuffle, showing the shuffle cost is proportional to the
+//! per-dataset encoding length (§4.2, Fig. 8).
+//!
+//! Run: `cargo run --release -p ceresz-bench --bin table3`
+
+use ceresz_bench::{fields_of, Table};
+use ceresz_core::plan::{sample_profile, StageCostModel};
+use ceresz_core::ErrorBound;
+use datasets::DatasetId;
+
+/// Same profiling bound as Table 1.
+const PROFILE_REL: f64 = 1e-4;
+
+fn main() {
+    let model = StageCostModel::calibrated();
+    let l = 32usize;
+    println!("Table 3: Breakdown cycles for Fixed-Length Encoding (block size 32, REL {PROFILE_REL:.0e})");
+    println!("Paper:  CESM 37124 = 1044+1037+1386+33609 (f=17)");
+    println!("        HACC 29181 = 1041+1032+1370+25675 (f=13)");
+    println!("        QMC  27188 = 1048+1041+1385+23694 (f=12)");
+    let t = Table::new(&[14, 10, 7, 7, 10, 12]);
+    t.sep();
+    t.row(&[
+        "Dataset".into(),
+        "FL Encd.".into(),
+        "Sign".into(),
+        "Max".into(),
+        "GetLength".into(),
+        "Bit-shuffle".into(),
+    ]);
+    t.sep();
+    let mut per_bit = Vec::new();
+    for ds in [DatasetId::CesmAtm, DatasetId::Hacc, DatasetId::QmcPack] {
+        let mut max_f = 0u32;
+        for field in fields_of(ds) {
+            let eps = ErrorBound::Rel(PROFILE_REL).resolve(&field.data);
+            let p = sample_profile(&field.data, eps, 32, 1.0, &model);
+            max_f = max_f.max(p.est_fixed_length);
+        }
+        let sign = model.sign(l);
+        let maxc = model.max(l);
+        let len = model.get_length();
+        let shuffle = f64::from(max_f) * model.shuffle_plane(l);
+        let total = sign + maxc + len + shuffle;
+        per_bit.push(shuffle / f64::from(max_f.max(1)));
+        t.row(&[
+            format!("{} (f={max_f})", ds.spec().name),
+            format!("{total:.0}"),
+            format!("{sign:.0}"),
+            format!("{maxc:.0}"),
+            format!("{len:.0}"),
+            format!("{shuffle:.0}"),
+        ]);
+    }
+    t.sep();
+    println!(
+        "Uniform per-effective-bit shuffle cost: {:.0} cycles/bit across all \
+         three datasets (paper: 33609/17 ≈ 25675/13 ≈ 23694/12 ≈ 1976)",
+        per_bit.iter().sum::<f64>() / per_bit.len() as f64
+    );
+}

@@ -1,0 +1,34 @@
+//! Table 4: the evaluation datasets, paper-scale vs the synthetic stand-ins
+//! generated in this reproduction.
+//!
+//! Run: `cargo run --release -p ceresz-bench --bin table4`
+
+use ceresz_bench::Table;
+use datasets::ALL_DATASETS;
+
+fn main() {
+    println!("Table 4: Datasets for evaluating CereSZ");
+    let t = Table::new(&[10, 8, 16, 22, 10, 18]);
+    t.sep();
+    t.row(&[
+        "Dataset".into(),
+        "Fields".into(),
+        "Dim. per Field".into(),
+        "Domain".into(),
+        "Synth.F".into(),
+        "Synth. Dims".into(),
+    ]);
+    t.sep();
+    for ds in ALL_DATASETS {
+        let s = ds.spec();
+        t.row(&[
+            s.name.into(),
+            s.paper_fields.to_string(),
+            s.paper_dims.into(),
+            s.domain.into(),
+            s.synthetic_fields.len().to_string(),
+            format!("{:?}", s.synthetic_dims),
+        ]);
+    }
+    t.sep();
+}

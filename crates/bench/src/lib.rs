@@ -1,0 +1,168 @@
+//! Shared harness utilities for the table/figure reproduction binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` §4 for the index); this library holds the pieces they
+//! share: dataset access with fixed seeds, the REL bound sweep, replication
+//! factors to paper scale, and plain-text table formatting.
+
+use baselines::device_model::{DataProfile, DeviceModel, Direction};
+use ceresz_core::{CereszConfig, ErrorBound};
+use ceresz_wse::throughput::WaferConfig;
+use datasets::{generate_field, DatasetId, Field, ALL_DATASETS};
+
+/// The fixed seed all reproduction binaries use.
+pub const SEED: u64 = 2024;
+
+/// The paper's error-bound sweep (§5.1.3).
+pub const REL_BOUNDS: [f64; 3] = [1e-2, 1e-3, 1e-4];
+
+/// All fields of a dataset at the reproduction seed.
+#[must_use]
+pub fn fields_of(ds: DatasetId) -> Vec<Field> {
+    (0..ds.n_fields()).map(|i| generate_field(ds, i, SEED)).collect()
+}
+
+/// Replication factor scaling a synthetic field to the paper's field size
+/// (the analytic wafer model needs paper-scale block counts to saturate
+/// 512×512 PEs; see `WaferConfig::compression_report_replicated`).
+#[must_use]
+pub fn replication_factor(ds: DatasetId) -> usize {
+    let paper_elems: usize = match ds {
+        DatasetId::CesmAtm => 1_800 * 3_600,
+        DatasetId::Hurricane => 500 * 500 * 100,
+        DatasetId::QmcPack => 33_120 * 69 * 69,
+        DatasetId::Nyx => 512 * 512 * 512,
+        DatasetId::Rtm => 449 * 449 * 235,
+        DatasetId::Hacc => 280_953_867,
+    };
+    let synth: usize = generate_field(ds, 0, SEED).len();
+    paper_elems.div_ceil(synth)
+}
+
+/// Mean CereSZ compression throughput (GB/s) over all fields of a dataset on
+/// the given wafer at a REL bound (each field streamed at paper field size,
+/// as in Figs. 11/12).
+pub fn ceresz_compression_gbps(
+    wafer: &WaferConfig,
+    ds: DatasetId,
+    rel: f64,
+    sample_every: usize,
+) -> f64 {
+    ceresz_compression_gbps_scaled(wafer, ds, rel, sample_every, 1)
+}
+
+/// Like [`ceresz_compression_gbps`] but with an extra replication multiplier.
+/// Fig. 14 streams *whole datasets* (all paper fields back to back), which
+/// matters on the biggest meshes where one field is less than a round.
+pub fn ceresz_compression_gbps_scaled(
+    wafer: &WaferConfig,
+    ds: DatasetId,
+    rel: f64,
+    sample_every: usize,
+    extra_scale: usize,
+) -> f64 {
+    let cfg = CereszConfig::new(ErrorBound::Rel(rel));
+    let replicate = replication_factor(ds) * extra_scale.max(1);
+    let fields = fields_of(ds);
+    let mut total = 0.0;
+    for f in &fields {
+        let rep = wafer
+            .compression_report_replicated(&f.data, &cfg, sample_every, replicate)
+            .expect("synthetic data compresses");
+        total += rep.gbps;
+    }
+    total / fields.len() as f64
+}
+
+/// Mean CereSZ decompression throughput (GB/s), analogous.
+pub fn ceresz_decompression_gbps(
+    wafer: &WaferConfig,
+    ds: DatasetId,
+    rel: f64,
+    sample_every: usize,
+) -> f64 {
+    let cfg = CereszConfig::new(ErrorBound::Rel(rel));
+    let replicate = replication_factor(ds);
+    let fields = fields_of(ds);
+    let mut total = 0.0;
+    for f in &fields {
+        let stream = ceresz_core::compress_parallel(&f.data, &cfg).expect("compresses");
+        let rep = wafer
+            .decompression_report_replicated(&stream, sample_every, replicate)
+            .expect("stream decompresses");
+        total += rep.gbps;
+    }
+    total / fields.len() as f64
+}
+
+/// Mean modeled baseline throughput (GB/s) over all fields of a dataset.
+pub fn baseline_gbps(model: &DeviceModel, ds: DatasetId, rel: f64, dir: Direction) -> f64 {
+    let fields = fields_of(ds);
+    let mut total = 0.0;
+    for f in &fields {
+        let eps = ErrorBound::Rel(rel).resolve(&f.data);
+        let profile = DataProfile::from_data(&f.data, eps);
+        total += model.throughput_gbps(&profile, dir);
+    }
+    total / fields.len() as f64
+}
+
+/// Simple fixed-width table printer.
+pub struct Table {
+    widths: Vec<usize>,
+}
+
+impl Table {
+    /// Table with the given column widths.
+    #[must_use]
+    pub fn new(widths: &[usize]) -> Self {
+        Self {
+            widths: widths.to_vec(),
+        }
+    }
+
+    /// Print one row.
+    pub fn row(&self, cells: &[String]) {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let w = self.widths.get(i).copied().unwrap_or(12);
+            line.push_str(&format!("{cell:>w$}  "));
+        }
+        println!("{}", line.trim_end());
+    }
+
+    /// Print a separator sized to the full width.
+    pub fn sep(&self) {
+        let total: usize = self.widths.iter().map(|w| w + 2).sum();
+        println!("{}", "-".repeat(total));
+    }
+}
+
+/// Names of all datasets in table order.
+#[must_use]
+pub fn dataset_names() -> Vec<&'static str> {
+    ALL_DATASETS.iter().map(|d| d.spec().name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replication_reaches_paper_scale() {
+        for ds in ALL_DATASETS {
+            let r = replication_factor(ds);
+            assert!(r >= 1);
+            let synth = generate_field(ds, 0, SEED).len();
+            assert!(r * synth >= 6_000_000, "{ds:?} under paper scale");
+        }
+    }
+
+    #[test]
+    fn fields_are_deterministic() {
+        let a = fields_of(DatasetId::QmcPack);
+        let b = fields_of(DatasetId::QmcPack);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].data[..64], b[0].data[..64]);
+    }
+}

@@ -1,0 +1,214 @@
+//! A multi-field archive container: one file holding many compressed fields
+//! with their names and logical dimensions — the shape of a real SDRBench
+//! dataset (CESM-ATM alone has 79 fields). Each field is an independent
+//! CereSZ stream, so single fields decode without touching the rest.
+//!
+//! ```text
+//! "CSZA" | version u8 | field count u32 |
+//!   per field: name len u16 | name (utf-8) | ndims u8 | dims u64… | stream len u64 |
+//! streams, concatenated in index order
+//! ```
+
+use crate::compressor::{compress_parallel, decompress_bytes_parallel, CereszConfig, CompressError, Compressed};
+
+/// Archive magic bytes.
+pub const ARCHIVE_MAGIC: [u8; 4] = *b"CSZA";
+/// Current archive version.
+pub const ARCHIVE_VERSION: u8 = 1;
+
+/// One field's entry in an archive.
+#[derive(Debug, Clone)]
+pub struct ArchiveField {
+    /// Field name.
+    pub name: String,
+    /// Logical dimensions.
+    pub dims: Vec<usize>,
+    /// The field's compressed stream.
+    pub stream: Vec<u8>,
+}
+
+impl ArchiveField {
+    /// Decompress this field.
+    pub fn decompress(&self) -> Result<Vec<f32>, CompressError> {
+        decompress_bytes_parallel(&self.stream)
+    }
+}
+
+/// An in-memory archive.
+#[derive(Debug, Clone, Default)]
+pub struct Archive {
+    fields: Vec<ArchiveField>,
+}
+
+impl Archive {
+    /// Empty archive.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compress and add a field, returning the compression result (the
+    /// stream is also retained in the archive).
+    pub fn add_field(
+        &mut self,
+        name: &str,
+        dims: &[usize],
+        data: &[f32],
+        cfg: &CereszConfig,
+    ) -> Result<Compressed, CompressError> {
+        assert_eq!(
+            dims.iter().product::<usize>(),
+            data.len(),
+            "dims must match the data length"
+        );
+        let compressed = compress_parallel(data, cfg)?;
+        self.fields.push(ArchiveField {
+            name: name.to_string(),
+            dims: dims.to_vec(),
+            stream: compressed.data.clone(),
+        });
+        Ok(compressed)
+    }
+
+    /// Fields in index order.
+    #[must_use]
+    pub fn fields(&self) -> &[ArchiveField] {
+        &self.fields
+    }
+
+    /// Look up a field by name.
+    #[must_use]
+    pub fn field(&self, name: &str) -> Option<&ArchiveField> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Serialize the archive.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&ARCHIVE_MAGIC);
+        out.push(ARCHIVE_VERSION);
+        out.extend_from_slice(&(self.fields.len() as u32).to_le_bytes());
+        for f in &self.fields {
+            let name = f.name.as_bytes();
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name);
+            out.push(f.dims.len() as u8);
+            for &d in &f.dims {
+                out.extend_from_slice(&(d as u64).to_le_bytes());
+            }
+            out.extend_from_slice(&(f.stream.len() as u64).to_le_bytes());
+        }
+        for f in &self.fields {
+            out.extend_from_slice(&f.stream);
+        }
+        out
+    }
+
+    /// Parse an archive.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CompressError> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], CompressError> {
+            if bytes.len() < *pos + n {
+                return Err(CompressError::Truncated);
+            }
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        if take(&mut pos, 4)? != ARCHIVE_MAGIC {
+            return Err(CompressError::BadMagic);
+        }
+        let version = take(&mut pos, 1)?[0];
+        if version != ARCHIVE_VERSION {
+            return Err(CompressError::UnsupportedVersion(version));
+        }
+        let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("sized")) as usize;
+        let mut metas = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name_len =
+                u16::from_le_bytes(take(&mut pos, 2)?.try_into().expect("sized")) as usize;
+            let name = String::from_utf8(take(&mut pos, name_len)?.to_vec())
+                .map_err(|_| CompressError::BadMagic)?;
+            let ndims = take(&mut pos, 1)?[0] as usize;
+            let mut dims = Vec::with_capacity(ndims);
+            for _ in 0..ndims {
+                dims.push(
+                    u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("sized")) as usize,
+                );
+            }
+            let stream_len =
+                u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("sized")) as usize;
+            metas.push((name, dims, stream_len));
+        }
+        let mut fields = Vec::with_capacity(count);
+        for (name, dims, stream_len) in metas {
+            let stream = take(&mut pos, stream_len)?.to_vec();
+            fields.push(ArchiveField { name, dims, stream });
+        }
+        Ok(Self { fields })
+    }
+
+    /// Total serialized size.
+    #[must_use]
+    pub fn compressed_bytes(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bound::ErrorBound;
+
+    fn field(n: usize, scale: f32) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.01).sin() * scale).collect()
+    }
+
+    #[test]
+    fn archive_roundtrips_multiple_fields() {
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let mut a = Archive::new();
+        let t = field(4096, 10.0);
+        let p = field(2048, 900.0);
+        a.add_field("temperature", &[64, 64], &t, &cfg).unwrap();
+        a.add_field("pressure", &[2048], &p, &cfg).unwrap();
+        let bytes = a.to_bytes();
+        let b = Archive::from_bytes(&bytes).unwrap();
+        assert_eq!(b.fields().len(), 2);
+        let tf = b.field("temperature").unwrap();
+        assert_eq!(tf.dims, vec![64, 64]);
+        let restored = tf.decompress().unwrap();
+        assert_eq!(restored.len(), t.len());
+        let pf = b.field("pressure").unwrap();
+        assert_eq!(pf.decompress().unwrap().len(), p.len());
+        assert!(b.field("missing").is_none());
+    }
+
+    #[test]
+    fn truncated_archive_rejected() {
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-2));
+        let mut a = Archive::new();
+        a.add_field("x", &[256], &field(256, 1.0), &cfg).unwrap();
+        let bytes = a.to_bytes();
+        for cut in [3usize, 8, 20, bytes.len() - 1] {
+            assert!(Archive::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        assert!(matches!(
+            Archive::from_bytes(b"NOPE\x01\x00\x00\x00\x00"),
+            Err(CompressError::BadMagic)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "dims must match")]
+    fn dims_mismatch_panics() {
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-2));
+        let mut a = Archive::new();
+        let _ = a.add_field("x", &[100], &field(256, 1.0), &cfg);
+    }
+}

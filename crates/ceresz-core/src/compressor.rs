@@ -1,0 +1,440 @@
+//! Top-level compression API: configuration, error type, statistics, and the
+//! serial and multithreaded host implementations.
+//!
+//! The serial path is the *reference implementation*: the WSE-mapped
+//! execution in `ceresz-wse` is tested to produce bit-identical streams. The
+//! parallel path partitions the input into block-aligned chunks and encodes
+//! them with rayon, exploiting the same property the paper exploits on the
+//! wafer — block independence.
+
+use rayon::prelude::*;
+
+use crate::block::{BlockCodec, BlockScratch, HeaderWidth};
+use crate::bound::ErrorBound;
+use crate::quantize::QuantizeError;
+use crate::stream::{scan_block_offsets, StreamHeader};
+use crate::DEFAULT_BLOCK_SIZE;
+
+/// Everything that can go wrong while compressing or decompressing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompressError {
+    /// Quantization failed (non-finite input or magnitude overflow).
+    Quantize(QuantizeError),
+    /// A Lorenzo residual exceeded the 31-bit magnitude the format can store.
+    DeltaOverflow {
+        /// Element index within the block.
+        index: usize,
+    },
+    /// The stream ended before a complete block/header could be read.
+    Truncated,
+    /// A block header declared an impossible fixed length.
+    CorruptHeader {
+        /// The declared fixed length.
+        fixed_length: u32,
+    },
+    /// The stream does not start with the CereSZ magic bytes.
+    BadMagic,
+    /// The stream was produced by an unsupported format version.
+    UnsupportedVersion(u8),
+    /// The stream declares an unknown per-block header width.
+    BadHeaderWidth(u8),
+    /// The stream declares an invalid block size.
+    BadBlockSize(usize),
+    /// The error bound is not finite and positive.
+    InvalidBound,
+}
+
+impl std::fmt::Display for CompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            CompressError::Quantize(e) => write!(f, "quantization failed: {e}"),
+            CompressError::DeltaOverflow { index } => {
+                write!(f, "Lorenzo residual at block index {index} exceeds 31 bits")
+            }
+            CompressError::Truncated => write!(f, "compressed stream is truncated"),
+            CompressError::CorruptHeader { fixed_length } => {
+                write!(f, "corrupt block header: fixed length {fixed_length} > 31")
+            }
+            CompressError::BadMagic => write!(f, "not a CereSZ stream (bad magic)"),
+            CompressError::UnsupportedVersion(v) => write!(f, "unsupported stream version {v}"),
+            CompressError::BadHeaderWidth(w) => write!(f, "unknown block header width {w}"),
+            CompressError::BadBlockSize(s) => write!(f, "invalid block size {s}"),
+            CompressError::InvalidBound => write!(f, "error bound must be finite and positive"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+impl From<QuantizeError> for CompressError {
+    fn from(e: QuantizeError) -> Self {
+        CompressError::Quantize(e)
+    }
+}
+
+/// Compressor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CereszConfig {
+    /// The user's error bound.
+    pub bound: ErrorBound,
+    /// Elements per block (default 32, the paper's choice).
+    pub block_size: usize,
+    /// Per-block header width (default 4 bytes — the WSE wavelet width).
+    pub header: HeaderWidth,
+}
+
+impl CereszConfig {
+    /// Configuration with the paper's defaults (block 32, 4-byte headers).
+    #[must_use]
+    pub fn new(bound: ErrorBound) -> Self {
+        Self {
+            bound,
+            block_size: DEFAULT_BLOCK_SIZE,
+            header: HeaderWidth::W4,
+        }
+    }
+
+    /// Override the block size.
+    #[must_use]
+    pub fn with_block_size(mut self, block_size: usize) -> Self {
+        self.block_size = block_size;
+        self
+    }
+
+    /// Override the per-block header width.
+    #[must_use]
+    pub fn with_header(mut self, header: HeaderWidth) -> Self {
+        self.header = header;
+        self
+    }
+}
+
+/// Aggregate statistics of one compression run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CompressionStats {
+    /// Bytes of the original array (`4 × count`).
+    pub original_bytes: usize,
+    /// Bytes of the compressed stream, including the stream header.
+    pub compressed_bytes: usize,
+    /// Number of blocks encoded.
+    pub n_blocks: usize,
+    /// Blocks that took the zero-block fast path.
+    pub zero_blocks: usize,
+    /// Largest per-block fixed length observed.
+    pub max_fixed_length: u32,
+    /// Sum of per-block fixed lengths (for computing the mean).
+    pub total_fixed_length: u64,
+    /// Resolved absolute error bound actually used.
+    pub eps: f64,
+}
+
+impl CompressionStats {
+    /// Compression ratio `original / compressed`.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            0.0
+        } else {
+            self.original_bytes as f64 / self.compressed_bytes as f64
+        }
+    }
+
+    /// Mean fixed length across blocks.
+    #[must_use]
+    pub fn mean_fixed_length(&self) -> f64 {
+        if self.n_blocks == 0 {
+            0.0
+        } else {
+            self.total_fixed_length as f64 / self.n_blocks as f64
+        }
+    }
+
+    /// Fraction of blocks that were zero blocks.
+    #[must_use]
+    pub fn zero_block_fraction(&self) -> f64 {
+        if self.n_blocks == 0 {
+            0.0
+        } else {
+            self.zero_blocks as f64 / self.n_blocks as f64
+        }
+    }
+
+    fn absorb_block(&mut self, info: crate::block::BlockInfo) {
+        self.n_blocks += 1;
+        if info.is_zero {
+            self.zero_blocks += 1;
+        }
+        self.max_fixed_length = self.max_fixed_length.max(info.fixed_length);
+        self.total_fixed_length += u64::from(info.fixed_length);
+    }
+
+    fn merge(&mut self, other: &CompressionStats) {
+        self.n_blocks += other.n_blocks;
+        self.zero_blocks += other.zero_blocks;
+        self.max_fixed_length = self.max_fixed_length.max(other.max_fixed_length);
+        self.total_fixed_length += other.total_fixed_length;
+    }
+}
+
+/// A compressed stream plus the statistics gathered while producing it.
+#[derive(Debug, Clone)]
+pub struct Compressed {
+    /// The self-describing byte stream (see [`crate::stream`]).
+    pub data: Vec<u8>,
+    /// Statistics of the run.
+    pub stats: CompressionStats,
+}
+
+impl Compressed {
+    /// Parse this stream's header.
+    pub fn header(&self) -> Result<StreamHeader, CompressError> {
+        StreamHeader::read(&self.data)
+    }
+
+    /// Compression ratio.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        self.stats.ratio()
+    }
+}
+
+fn validate(data: &[f32], cfg: &CereszConfig) -> Result<f64, CompressError> {
+    if !cfg.bound.is_valid() {
+        return Err(CompressError::InvalidBound);
+    }
+    let eps = cfg.bound.resolve(data);
+    if !(eps.is_finite() && eps > 0.0) {
+        return Err(CompressError::InvalidBound);
+    }
+    Ok(eps)
+}
+
+/// Compress `data` serially (the reference implementation).
+pub fn compress(data: &[f32], cfg: &CereszConfig) -> Result<Compressed, CompressError> {
+    let eps = validate(data, cfg)?;
+    let codec = BlockCodec::new(cfg.block_size, cfg.header);
+    let header = StreamHeader {
+        header_width: cfg.header,
+        block_size: cfg.block_size,
+        count: data.len(),
+        eps,
+    };
+    let mut out = Vec::with_capacity(crate::stream::STREAM_HEADER_BYTES + data.len());
+    header.write(&mut out);
+    let mut stats = CompressionStats {
+        original_bytes: std::mem::size_of_val(data),
+        eps,
+        ..CompressionStats::default()
+    };
+    let mut scratch = BlockScratch::default();
+    for chunk in data.chunks(cfg.block_size) {
+        let info = codec.encode_block_with(chunk, eps, &mut scratch, &mut out)?;
+        stats.absorb_block(info);
+    }
+    stats.compressed_bytes = out.len();
+    Ok(Compressed { data: out, stats })
+}
+
+/// Compress `data` using rayon across block-aligned chunks.
+///
+/// Produces a stream byte-identical to [`compress`].
+pub fn compress_parallel(data: &[f32], cfg: &CereszConfig) -> Result<Compressed, CompressError> {
+    let eps = validate(data, cfg)?;
+    let codec = BlockCodec::new(cfg.block_size, cfg.header);
+    // Chunk so each rayon task encodes a run of whole blocks.
+    let blocks_per_chunk = 256usize;
+    let chunk_elems = blocks_per_chunk * cfg.block_size;
+    let pieces: Vec<(Vec<u8>, CompressionStats)> = data
+        .par_chunks(chunk_elems.max(cfg.block_size))
+        .map(|chunk| {
+            let mut out = Vec::with_capacity(chunk.len() * 4);
+            let mut stats = CompressionStats::default();
+            let mut scratch = BlockScratch::default();
+            for block in chunk.chunks(cfg.block_size) {
+                let info = codec.encode_block_with(block, eps, &mut scratch, &mut out)?;
+                stats.absorb_block(info);
+            }
+            Ok((out, stats))
+        })
+        .collect::<Result<_, CompressError>>()?;
+
+    let header = StreamHeader {
+        header_width: cfg.header,
+        block_size: cfg.block_size,
+        count: data.len(),
+        eps,
+    };
+    let body_len: usize = pieces.iter().map(|(b, _)| b.len()).sum();
+    let mut out = Vec::with_capacity(crate::stream::STREAM_HEADER_BYTES + body_len);
+    header.write(&mut out);
+    let mut stats = CompressionStats {
+        original_bytes: std::mem::size_of_val(data),
+        eps,
+        ..CompressionStats::default()
+    };
+    for (bytes, piece_stats) in &pieces {
+        out.extend_from_slice(bytes);
+        stats.merge(piece_stats);
+    }
+    stats.compressed_bytes = out.len();
+    Ok(Compressed { data: out, stats })
+}
+
+/// Decompress a stream serially.
+pub fn decompress(compressed: &Compressed) -> Result<Vec<f32>, CompressError> {
+    decompress_bytes(&compressed.data)
+}
+
+/// Decompress a raw stream.
+pub fn decompress_bytes(bytes: &[u8]) -> Result<Vec<f32>, CompressError> {
+    let header = StreamHeader::read(bytes)?;
+    let payload = &bytes[crate::stream::STREAM_HEADER_BYTES..];
+    let codec = header.codec();
+    let mut out = vec![0f32; header.count];
+    let mut pos = 0usize;
+    let mut scratch = BlockScratch::default();
+    for (i, chunk) in out.chunks_mut(header.block_size).enumerate() {
+        debug_assert!(i < header.n_blocks());
+        pos += codec.decode_block_with(&payload[pos..], header.eps, &mut scratch, chunk)?;
+    }
+    Ok(out)
+}
+
+/// Decompress a stream with rayon, one task per run of blocks.
+///
+/// Block starts are found with a cheap serial header scan, then blocks are
+/// decoded independently — the paper's "pre-known fixed length" property.
+pub fn decompress_parallel(compressed: &Compressed) -> Result<Vec<f32>, CompressError> {
+    decompress_bytes_parallel(&compressed.data)
+}
+
+/// Parallel decompression from a raw stream.
+pub fn decompress_bytes_parallel(bytes: &[u8]) -> Result<Vec<f32>, CompressError> {
+    let header = StreamHeader::read(bytes)?;
+    let payload = &bytes[crate::stream::STREAM_HEADER_BYTES..];
+    let codec = header.codec();
+    let offsets = scan_block_offsets(&header, payload)?;
+    let mut out = vec![0f32; header.count];
+    // One scratch per rayon task: chunk the block list so buffers amortize.
+    out.par_chunks_mut(header.block_size * 256)
+        .zip(offsets.par_chunks(256))
+        .try_for_each(|(chunk, offs)| {
+            let mut scratch = BlockScratch::default();
+            for (blk, &off) in chunk.chunks_mut(header.block_size).zip(offs) {
+                codec.decode_block_with(&payload[off..], header.eps, &mut scratch, blk)?;
+            }
+            Ok::<(), CompressError>(())
+        })?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wavy(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (i as f32 * 0.013).sin() * 40.0 + (i as f32 * 0.002).cos() * 7.0)
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_serial() {
+        let data = wavy(10_000);
+        let cfg = CereszConfig::new(ErrorBound::Abs(1e-3));
+        let c = compress(&data, &cfg).unwrap();
+        let r = decompress(&c).unwrap();
+        assert_eq!(r.len(), data.len());
+        for (a, b) in data.iter().zip(&r) {
+            assert!((f64::from(*a) - f64::from(*b)).abs() <= 1e-3 + 1e-12);
+        }
+        assert!(c.ratio() > 1.0, "smooth data should compress: {}", c.ratio());
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let data = wavy(100_003); // deliberately not block-aligned
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let serial = compress(&data, &cfg).unwrap();
+        let parallel = compress_parallel(&data, &cfg).unwrap();
+        assert_eq!(serial.data, parallel.data);
+        assert_eq!(serial.stats, parallel.stats);
+    }
+
+    #[test]
+    fn parallel_decompress_matches_serial() {
+        let data = wavy(50_001);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-4));
+        let c = compress(&data, &cfg).unwrap();
+        assert_eq!(decompress(&c).unwrap(), decompress_parallel(&c).unwrap());
+    }
+
+    #[test]
+    fn rel_bound_resolves_against_range() {
+        let data = wavy(4096);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-2));
+        let c = compress(&data, &cfg).unwrap();
+        let (min, max) = crate::bound::value_range(&data);
+        let expected = 1e-2 * (f64::from(max) - f64::from(min));
+        assert!((c.stats.eps - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        let cfg = CereszConfig::new(ErrorBound::Abs(1e-3));
+        let c = compress(&[], &cfg).unwrap();
+        assert_eq!(c.stats.n_blocks, 0);
+        assert_eq!(decompress(&c).unwrap(), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn invalid_bound_rejected() {
+        let cfg = CereszConfig::new(ErrorBound::Abs(0.0));
+        assert!(matches!(
+            compress(&[1.0], &cfg),
+            Err(CompressError::InvalidBound)
+        ));
+    }
+
+    #[test]
+    fn nan_input_rejected() {
+        let cfg = CereszConfig::new(ErrorBound::Abs(1e-3));
+        assert!(matches!(
+            compress(&[1.0, f32::NAN], &cfg),
+            Err(CompressError::Quantize(QuantizeError::NonFinite { index: 1 }))
+        ));
+    }
+
+    #[test]
+    fn zero_blocks_counted() {
+        let mut data = vec![0f32; 320];
+        data.extend(wavy(320));
+        let cfg = CereszConfig::new(ErrorBound::Abs(1e-2));
+        let c = compress(&data, &cfg).unwrap();
+        assert_eq!(c.stats.n_blocks, 20);
+        assert!(c.stats.zero_blocks >= 10);
+    }
+
+    #[test]
+    fn stats_ratio_matches_sizes() {
+        let data = wavy(8192);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let c = compress(&data, &cfg).unwrap();
+        assert_eq!(c.stats.original_bytes, 8192 * 4);
+        assert_eq!(c.stats.compressed_bytes, c.data.len());
+    }
+
+    #[test]
+    fn larger_bound_compresses_better() {
+        let data = wavy(32_768);
+        let loose = compress(&data, &CereszConfig::new(ErrorBound::Rel(1e-2))).unwrap();
+        let tight = compress(&data, &CereszConfig::new(ErrorBound::Rel(1e-4))).unwrap();
+        assert!(loose.ratio() > tight.ratio());
+    }
+
+    #[test]
+    fn decompress_garbage_fails_cleanly() {
+        assert!(decompress_bytes(b"garbage").is_err());
+        assert!(decompress_bytes(&[]).is_err());
+    }
+}

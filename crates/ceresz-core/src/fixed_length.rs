@@ -1,0 +1,206 @@
+//! Fixed-length encoding (stage ③ of the paper, §3 and §4.2).
+//!
+//! The Lorenzo residuals of a block are stored in sign–magnitude form using
+//! exactly as many bit-planes as the widest magnitude in the block requires.
+//! The paper decomposes this step into four sub-stages, mirrored here as
+//! separate functions so the pipeline mapper can place them on different PEs:
+//!
+//! * [`signs_and_magnitudes`] — *Sign*: extract sign bits, take absolute values;
+//! * [`max_magnitude`] — *Max*: per-block maximum of the magnitudes;
+//! * [`effective_bits`] — *GetLength*: number of effective bits of the max;
+//! * [`bit_shuffle`] — *Bit-shuffle*: transpose the k-th bit of every
+//!   magnitude into plane k (Fig. 8).
+//!
+//! Plane layout: plane `k` (LSB first, `k ∈ 0..f`) holds bit `k` of each of
+//! the `L` magnitudes, packed LSB-first within each byte, element `i` at byte
+//! `i / 8`, bit `i % 8`. The sign plane uses the same packing.
+
+/// Sub-stage *Sign*: split residuals into packed sign bits and magnitudes.
+///
+/// `signs` must hold `ceil(len / 8)` bytes and is fully overwritten
+/// (including padding bits, which are cleared). Bit `i % 8` of byte `i / 8`
+/// is 1 when `residuals[i]` is negative.
+pub fn signs_and_magnitudes(residuals: &[i64], signs: &mut [u8], magnitudes: &mut [u32]) {
+    debug_assert_eq!(magnitudes.len(), residuals.len());
+    debug_assert_eq!(signs.len(), residuals.len().div_ceil(8));
+    signs.fill(0);
+    for (i, (&r, m)) in residuals.iter().zip(magnitudes.iter_mut()).enumerate() {
+        if r < 0 {
+            signs[i / 8] |= 1 << (i % 8);
+        }
+        *m = r.unsigned_abs() as u32;
+    }
+}
+
+/// Sub-stage *Max*: maximum magnitude of the block (0 for an empty block).
+#[inline]
+#[must_use]
+pub fn max_magnitude(magnitudes: &[u32]) -> u32 {
+    magnitudes.iter().copied().max().unwrap_or(0)
+}
+
+/// Sub-stage *GetLength*: number of effective bits of `max` (0 for 0).
+///
+/// This is the per-block "fixed length" `f`: every magnitude in the block
+/// fits in `f` bits.
+#[inline]
+#[must_use]
+pub fn effective_bits(max: u32) -> u32 {
+    32 - max.leading_zeros()
+}
+
+/// Sub-stage *Bit-shuffle* (Fig. 8): transpose magnitudes into `f` bit-planes.
+///
+/// `planes` must hold `f * ceil(L / 8)` bytes, where `L = magnitudes.len()`;
+/// plane `k` occupies bytes `k * ceil(L/8) .. (k+1) * ceil(L/8)`. All bytes
+/// are overwritten. Each plane's shuffle is independent of the others, which
+/// is what lets the mapper split this sub-stage per bit (§4.2).
+pub fn bit_shuffle(magnitudes: &[u32], f: u32, planes: &mut [u8]) {
+    let plane_bytes = magnitudes.len().div_ceil(8);
+    debug_assert_eq!(planes.len(), f as usize * plane_bytes);
+    planes.fill(0);
+    for k in 0..f {
+        let plane = &mut planes[k as usize * plane_bytes..(k as usize + 1) * plane_bytes];
+        bit_shuffle_one_plane(magnitudes, k, plane);
+    }
+}
+
+/// Shuffle a single bit-plane `k`. Exposed separately because the WSE mapping
+/// assigns individual planes ("1-bit Shuffle") to PEs.
+pub fn bit_shuffle_one_plane(magnitudes: &[u32], k: u32, plane: &mut [u8]) {
+    debug_assert_eq!(plane.len(), magnitudes.len().div_ceil(8));
+    plane.fill(0);
+    for (i, &m) in magnitudes.iter().enumerate() {
+        plane[i / 8] |= (((m >> k) & 1) as u8) << (i % 8);
+    }
+}
+
+/// Inverse of [`bit_shuffle`]: reassemble magnitudes from `f` bit-planes.
+///
+/// `magnitudes` is fully overwritten.
+pub fn bit_unshuffle(planes: &[u8], f: u32, magnitudes: &mut [u32]) {
+    let plane_bytes = magnitudes.len().div_ceil(8);
+    debug_assert_eq!(planes.len(), f as usize * plane_bytes);
+    magnitudes.fill(0);
+    for k in 0..f {
+        let plane = &planes[k as usize * plane_bytes..(k as usize + 1) * plane_bytes];
+        for (i, m) in magnitudes.iter_mut().enumerate() {
+            let bit = (plane[i / 8] >> (i % 8)) & 1;
+            *m |= u32::from(bit) << k;
+        }
+    }
+}
+
+/// Recombine packed signs and magnitudes into signed residuals
+/// (inverse of [`signs_and_magnitudes`]).
+pub fn apply_signs(signs: &[u8], magnitudes: &[u32], out: &mut [i64]) {
+    debug_assert_eq!(out.len(), magnitudes.len());
+    debug_assert_eq!(signs.len(), magnitudes.len().div_ceil(8));
+    for (i, (o, &m)) in out.iter_mut().zip(magnitudes).enumerate() {
+        let neg = (signs[i / 8] >> (i % 8)) & 1 == 1;
+        let v = i64::from(m);
+        *o = if neg { -v } else { v };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_fixed_length() {
+        // Fig. 5(b): residuals [4, 2, -3, -8, 7, -1, 0, -1]; max |.| = 8 → 4 bits.
+        let residuals = [4i64, 2, -3, -8, 7, -1, 0, -1];
+        let mut signs = [0u8; 1];
+        let mut mags = [0u32; 8];
+        signs_and_magnitudes(&residuals, &mut signs, &mut mags);
+        assert_eq!(mags, [4, 2, 3, 8, 7, 1, 0, 1]);
+        // negatives at indices 2, 3, 5, 7 → bits 2,3,5,7.
+        assert_eq!(signs[0], 0b1010_1100);
+        let max = max_magnitude(&mags);
+        assert_eq!(max, 8);
+        assert_eq!(effective_bits(max), 4);
+    }
+
+    #[test]
+    fn effective_bits_edges() {
+        assert_eq!(effective_bits(0), 0);
+        assert_eq!(effective_bits(1), 1);
+        assert_eq!(effective_bits(2), 2);
+        assert_eq!(effective_bits(255), 8);
+        assert_eq!(effective_bits(256), 9);
+        assert_eq!(effective_bits(u32::MAX), 32);
+    }
+
+    #[test]
+    fn shuffle_unshuffle_roundtrip() {
+        let mags: Vec<u32> = (0..32).map(|i| (i * 2654435761u64 % 1000) as u32).collect();
+        let f = effective_bits(max_magnitude(&mags));
+        let mut planes = vec![0u8; f as usize * 4];
+        bit_shuffle(&mags, f, &mut planes);
+        let mut back = vec![0u32; 32];
+        bit_unshuffle(&planes, f, &mut back);
+        assert_eq!(back, mags);
+    }
+
+    #[test]
+    fn shuffle_plane_contents() {
+        // Magnitudes 0b01, 0b10, 0b11, 0b00: plane 0 = LSBs = 0b0101,
+        // plane 1 = next bits = 0b0110 (element i at bit i, LSB-first).
+        let mags = [1u32, 2, 3, 0, 0, 0, 0, 0];
+        let mut planes = vec![0u8; 2];
+        bit_shuffle(&mags, 2, &mut planes);
+        assert_eq!(planes[0], 0b0000_0101);
+        assert_eq!(planes[1], 0b0000_0110);
+    }
+
+    #[test]
+    fn signs_roundtrip_with_apply() {
+        let residuals: Vec<i64> = (-20..20).map(|i| i * 3).collect();
+        let mut signs = vec![0u8; residuals.len().div_ceil(8)];
+        let mut mags = vec![0u32; residuals.len()];
+        signs_and_magnitudes(&residuals, &mut signs, &mut mags);
+        let mut back = vec![0i64; residuals.len()];
+        apply_signs(&signs, &mags, &mut back);
+        assert_eq!(back, residuals);
+    }
+
+    #[test]
+    fn non_multiple_of_eight_lengths() {
+        let residuals = [5i64, -7, 9, -2, 0];
+        let mut signs = vec![0u8; 1];
+        let mut mags = vec![0u32; 5];
+        signs_and_magnitudes(&residuals, &mut signs, &mut mags);
+        let f = effective_bits(max_magnitude(&mags));
+        let mut planes = vec![0u8; f as usize];
+        bit_shuffle(&mags, f, &mut planes);
+        let mut mback = vec![0u32; 5];
+        bit_unshuffle(&planes, f, &mut mback);
+        let mut back = vec![0i64; 5];
+        apply_signs(&signs, &mback, &mut back);
+        assert_eq!(back, residuals);
+    }
+
+    #[test]
+    fn zero_block_has_zero_length() {
+        let residuals = [0i64; 32];
+        let mut signs = [0u8; 4];
+        let mut mags = [0u32; 32];
+        signs_and_magnitudes(&residuals, &mut signs, &mut mags);
+        assert_eq!(effective_bits(max_magnitude(&mags)), 0);
+        assert_eq!(signs, [0u8; 4]);
+    }
+
+    #[test]
+    fn one_plane_matches_full_shuffle() {
+        let mags: Vec<u32> = (0..32).map(|i| i * 37 % 512).collect();
+        let f = effective_bits(max_magnitude(&mags));
+        let mut full = vec![0u8; f as usize * 4];
+        bit_shuffle(&mags, f, &mut full);
+        for k in 0..f {
+            let mut one = vec![0u8; 4];
+            bit_shuffle_one_plane(&mags, k, &mut one);
+            assert_eq!(one, full[k as usize * 4..(k as usize + 1) * 4]);
+        }
+    }
+}

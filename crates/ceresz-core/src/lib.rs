@@ -1,0 +1,69 @@
+//! # ceresz-core
+//!
+//! Platform-independent implementation of the **CereSZ** error-bounded lossy
+//! compression algorithm (Song et al., HPDC '24, §3), plus the planning
+//! machinery used to map it onto a wafer-scale dataflow mesh (§4.2–§4.4).
+//!
+//! The compression pipeline operates on fixed-size blocks of `f32` values and
+//! has three stages, of which only the first is lossy:
+//!
+//! 1. **Pre-quantization** — `p_i = round(e_i / 2ε)`, guaranteeing
+//!    `|p_i · 2ε − e_i| ≤ ε` for a user-supplied error bound `ε`
+//!    ([`quantize`]).
+//! 2. **1-D Lorenzo prediction** — first-order differencing of the quantized
+//!    integers ([`lorenzo`]).
+//! 3. **Fixed-length encoding** — sign extraction, per-block maximum, effective
+//!    bit count, and bit-shuffle into aligned bit-planes ([`fixed_length`]).
+//!
+//! Decompression runs the stages in reverse; the per-block fixed length is
+//! known from the block header, so the maximum scan is skipped.
+//!
+//! The [`plan`] module implements the paper's sub-stage decomposition, the
+//! greedy balanced distribution of sub-stages across PEs (Algorithm 1), the
+//! analytic pipeline cost model (Eqs. 2–4), and 5 %-sampling fixed-length
+//! estimation. Planning is pure data — cycle costs are supplied by the caller
+//! (in this workspace, by `wse-sim`'s calibrated cost model) or by the
+//! built-in host-side estimator.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ceresz_core::{CereszConfig, ErrorBound, compress, decompress};
+//!
+//! let data: Vec<f32> = (0..1024).map(|i| (i as f32 * 0.01).sin()).collect();
+//! let cfg = CereszConfig::new(ErrorBound::Abs(1e-3));
+//! let compressed = compress(&data, &cfg).unwrap();
+//! let restored = decompress(&compressed).unwrap();
+//! for (a, b) in data.iter().zip(&restored) {
+//!     assert!((a - b).abs() <= 1e-3 + f32::EPSILON);
+//! }
+//! ```
+
+pub mod archive;
+pub mod block;
+pub mod bound;
+pub mod compressor;
+pub mod compressor2d;
+pub mod fixed_length;
+pub mod lorenzo;
+pub mod plan;
+pub mod quantize;
+pub mod stream;
+pub mod verify;
+
+pub use block::{BlockCodec, HeaderWidth};
+pub use bound::ErrorBound;
+pub use compressor::{
+    compress, compress_parallel, decompress, decompress_bytes, decompress_bytes_parallel,
+    decompress_parallel, CereszConfig, CompressError, Compressed, CompressionStats,
+};
+pub use verify::{max_abs_error, verify_error_bound};
+
+/// Default block size used throughout the paper's evaluation (§5.1.1).
+pub const DEFAULT_BLOCK_SIZE: usize = 32;
+
+/// Largest quantized magnitude we accept, chosen so that first-order Lorenzo
+/// deltas (`|p_i| + |p_{i-1}| ≤ 2^31 − 2`) always fit in an `i32` and their
+/// magnitudes in 31 bits. Inputs that quantize beyond this yield
+/// [`CompressError::QuantizationOverflow`] instead of a silently broken bound.
+pub const QUANT_MAX: i64 = (1 << 30) - 1;

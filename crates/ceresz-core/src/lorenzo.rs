@@ -1,0 +1,225 @@
+//! Lorenzo prediction (stage ② of the paper, §3).
+//!
+//! CereSZ uses the 1-D first-order variant: within a block of quantized
+//! integers `(p_1 … p_L)` the output is `(p_1, p_2 − p_1, …, p_L − p_{L−1})`,
+//! i.e. each value is predicted by its left neighbor and only the residual is
+//! kept. Smooth scientific fields make these residuals small, which is what
+//! the fixed-length encoder exploits. The inverse is a sequential prefix sum.
+//!
+//! The 2-D and 3-D variants used by the SZ3/cuSZ baseline compressors
+//! (residual against the higher-dimensional Lorenzo stencil) also live here so
+//! the baselines can share one tested implementation.
+
+/// Forward 1-D Lorenzo: first-order difference within the slice.
+///
+/// The first element is differenced against an implicit 0 so the transform is
+/// self-contained per block (no state leaks across block boundaries, which is
+/// what makes blocks independently decompressible).
+///
+/// Deltas are produced in `i64`; block-level range checks happen at encode
+/// time where a structured error can be reported.
+#[inline]
+pub fn forward_1d(quantized: &[i64], out: &mut [i64]) {
+    debug_assert_eq!(quantized.len(), out.len());
+    let mut prev = 0i64;
+    for (o, &p) in out.iter_mut().zip(quantized) {
+        *o = p - prev;
+        prev = p;
+    }
+}
+
+/// In-place forward 1-D Lorenzo.
+#[inline]
+pub fn forward_1d_in_place(values: &mut [i64]) {
+    let mut prev = 0i64;
+    for v in values.iter_mut() {
+        let cur = *v;
+        *v = cur - prev;
+        prev = cur;
+    }
+}
+
+/// Inverse 1-D Lorenzo: sequential prefix sum (§3, "Decompression Steps").
+#[inline]
+pub fn inverse_1d(deltas: &[i64], out: &mut [i64]) {
+    debug_assert_eq!(deltas.len(), out.len());
+    let mut acc = 0i64;
+    for (o, &d) in out.iter_mut().zip(deltas) {
+        acc += d;
+        *o = acc;
+    }
+}
+
+/// In-place inverse 1-D Lorenzo (prefix sum).
+#[inline]
+pub fn inverse_1d_in_place(values: &mut [i64]) {
+    let mut acc = 0i64;
+    for v in values.iter_mut() {
+        acc += *v;
+        *v = acc;
+    }
+}
+
+/// Forward 2-D Lorenzo over a row-major `rows × cols` grid.
+///
+/// Residual at `(i, j)` is `p[i][j] − p[i][j−1] − p[i−1][j] + p[i−1][j−1]`
+/// with out-of-grid neighbors treated as 0. Used by the cuSZ-like baseline.
+pub fn forward_2d(quantized: &[i64], rows: usize, cols: usize, out: &mut [i64]) {
+    assert_eq!(quantized.len(), rows * cols, "grid shape mismatch");
+    assert_eq!(out.len(), rows * cols, "output shape mismatch");
+    for i in 0..rows {
+        for j in 0..cols {
+            let at = |r: usize, c: usize| quantized[r * cols + c];
+            let west = if j > 0 { at(i, j - 1) } else { 0 };
+            let north = if i > 0 { at(i - 1, j) } else { 0 };
+            let nw = if i > 0 && j > 0 { at(i - 1, j - 1) } else { 0 };
+            out[i * cols + j] = at(i, j) - west - north + nw;
+        }
+    }
+}
+
+/// Inverse 2-D Lorenzo over a row-major `rows × cols` grid.
+pub fn inverse_2d(deltas: &[i64], rows: usize, cols: usize, out: &mut [i64]) {
+    assert_eq!(deltas.len(), rows * cols, "grid shape mismatch");
+    assert_eq!(out.len(), rows * cols, "output shape mismatch");
+    for i in 0..rows {
+        for j in 0..cols {
+            let west = if j > 0 { out[i * cols + j - 1] } else { 0 };
+            let north = if i > 0 { out[(i - 1) * cols + j] } else { 0 };
+            let nw = if i > 0 && j > 0 {
+                out[(i - 1) * cols + j - 1]
+            } else {
+                0
+            };
+            out[i * cols + j] = deltas[i * cols + j] + west + north - nw;
+        }
+    }
+}
+
+/// Forward 3-D Lorenzo over a `d0 × d1 × d2` grid (slowest dim first).
+///
+/// Residual against the 7-neighbor inclusion–exclusion stencil. Used by the
+/// SZ3-like baseline's Lorenzo mode.
+pub fn forward_3d(quantized: &[i64], dims: [usize; 3], out: &mut [i64]) {
+    let [d0, d1, d2] = dims;
+    assert_eq!(quantized.len(), d0 * d1 * d2, "grid shape mismatch");
+    assert_eq!(out.len(), quantized.len(), "output shape mismatch");
+    let idx = |a: usize, b: usize, c: usize| (a * d1 + b) * d2 + c;
+    for a in 0..d0 {
+        for b in 0..d1 {
+            for c in 0..d2 {
+                let g = |da: usize, db: usize, dc: usize| -> i64 {
+                    if a < da || b < db || c < dc {
+                        0
+                    } else {
+                        quantized[idx(a - da, b - db, c - dc)]
+                    }
+                };
+                let pred = g(0, 0, 1) + g(0, 1, 0) + g(1, 0, 0) - g(0, 1, 1) - g(1, 0, 1)
+                    - g(1, 1, 0)
+                    + g(1, 1, 1);
+                out[idx(a, b, c)] = quantized[idx(a, b, c)] - pred;
+            }
+        }
+    }
+}
+
+/// Inverse 3-D Lorenzo over a `d0 × d1 × d2` grid.
+pub fn inverse_3d(deltas: &[i64], dims: [usize; 3], out: &mut [i64]) {
+    let [d0, d1, d2] = dims;
+    assert_eq!(deltas.len(), d0 * d1 * d2, "grid shape mismatch");
+    assert_eq!(out.len(), deltas.len(), "output shape mismatch");
+    let idx = |a: usize, b: usize, c: usize| (a * d1 + b) * d2 + c;
+    for a in 0..d0 {
+        for b in 0..d1 {
+            for c in 0..d2 {
+                let g = |da: usize, db: usize, dc: usize| -> i64 {
+                    if a < da || b < db || c < dc {
+                        0
+                    } else {
+                        out[idx(a - da, b - db, c - dc)]
+                    }
+                };
+                let pred = g(0, 0, 1) + g(0, 1, 0) + g(1, 0, 0) - g(0, 1, 1) - g(1, 0, 1)
+                    - g(1, 1, 0)
+                    + g(1, 1, 1);
+                out[idx(a, b, c)] = deltas[idx(a, b, c)] + pred;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_block() {
+        // Fig. 5(a): quantized block, diffs shrink magnitudes.
+        let q = [4i64, 6, 3, -5, 2, 1, 1, 0];
+        let mut d = [0i64; 8];
+        forward_1d(&q, &mut d);
+        assert_eq!(d, [4, 2, -3, -8, 7, -1, 0, -1]);
+        let mut back = [0i64; 8];
+        inverse_1d(&d, &mut back);
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn roundtrip_1d_in_place() {
+        let orig: Vec<i64> = (0..97).map(|i| (i * i % 31) - 15).collect();
+        let mut v = orig.clone();
+        forward_1d_in_place(&mut v);
+        inverse_1d_in_place(&mut v);
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    fn roundtrip_2d() {
+        let rows = 7;
+        let cols = 11;
+        let orig: Vec<i64> = (0..rows * cols).map(|i| (i as i64 * 13) % 40 - 20).collect();
+        let mut d = vec![0i64; orig.len()];
+        forward_2d(&orig, rows, cols, &mut d);
+        let mut back = vec![0i64; orig.len()];
+        inverse_2d(&d, rows, cols, &mut back);
+        assert_eq!(back, orig);
+    }
+
+    #[test]
+    fn roundtrip_3d() {
+        let dims = [4usize, 5, 6];
+        let n = dims.iter().product();
+        let orig: Vec<i64> = (0..n).map(|i| (i as i64 * 7) % 23 - 11).collect();
+        let mut d = vec![0i64; n];
+        forward_3d(&orig, dims, &mut d);
+        let mut back = vec![0i64; n];
+        inverse_3d(&d, dims, &mut back);
+        assert_eq!(back, orig);
+    }
+
+    #[test]
+    fn smooth_2d_field_residuals_are_tiny() {
+        // A bilinear ramp is predicted exactly by the 2-D Lorenzo stencil
+        // except on the boundary.
+        let rows = 8;
+        let cols = 8;
+        let grid: Vec<i64> = (0..rows)
+            .flat_map(|i| (0..cols).map(move |j| 3 * i as i64 + 5 * j as i64))
+            .collect();
+        let mut d = vec![0i64; grid.len()];
+        forward_2d(&grid, rows, cols, &mut d);
+        for i in 1..rows {
+            for j in 1..cols {
+                assert_eq!(d[i * cols + j], 0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_slices_are_fine() {
+        let mut out: [i64; 0] = [];
+        forward_1d(&[], &mut out);
+        inverse_1d(&[], &mut out);
+    }
+}

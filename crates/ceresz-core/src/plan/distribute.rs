@@ -1,0 +1,199 @@
+//! Algorithm 1: evenly distributing `n` sub-stages across `m` PEs.
+//!
+//! The paper's greedy scheme: with total cycles `C`, fill the first `m−1`
+//! groups with consecutive stages until each reaches `C/m`, and give the
+//! remainder to the last group. Stage order must be preserved because stage
+//! `i+1` consumes stage `i`'s output on the next PE of the pipeline.
+
+/// Assignment of contiguous stage index ranges to pipeline PEs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageGroups {
+    /// `bounds[i]..bounds[i+1]` are the stage indices of group `i`.
+    bounds: Vec<usize>,
+}
+
+impl StageGroups {
+    /// Number of groups (PEs in the pipeline).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// True if there are no groups.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stage index range of group `i`.
+    #[must_use]
+    pub fn group(&self, i: usize) -> std::ops::Range<usize> {
+        self.bounds[i]..self.bounds[i + 1]
+    }
+
+    /// Iterate over the groups as index ranges (materialized as vectors for
+    /// convenience in tests and reports).
+    pub fn iter(&self) -> impl Iterator<Item = Vec<usize>> + '_ {
+        (0..self.len()).map(move |i| self.group(i).collect())
+    }
+
+    /// Sum of stage cycles per group.
+    #[must_use]
+    pub fn group_cycles(&self, cycles: &[f64]) -> Vec<f64> {
+        (0..self.len())
+            .map(|i| self.group(i).map(|s| cycles[s]).sum())
+            .collect()
+    }
+
+    /// Which group a stage index belongs to.
+    #[must_use]
+    pub fn group_of(&self, stage: usize) -> usize {
+        // bounds is sorted; find the last bound ≤ stage.
+        match self.bounds.binary_search(&stage) {
+            Ok(i) => i.min(self.len() - 1),
+            Err(i) => i - 1,
+        }
+    }
+}
+
+/// Algorithm 1 (greedy): distribute `cycles.len()` ordered sub-stages across
+/// `m` groups, filling each of the first `m−1` groups until it reaches the
+/// average `C/m` and assigning the remainder to the last group.
+///
+/// If the stages run out before the groups do, trailing groups are empty —
+/// the caller asked for a pipeline longer than the feasible maximum
+/// (`⌊C/t_max⌋`, see [`max_feasible_pipeline_length`]).
+///
+/// # Panics
+/// If `m == 0`.
+#[must_use]
+pub fn distribute_stages(cycles: &[f64], m: usize) -> StageGroups {
+    assert!(m > 0, "need at least one group");
+    let total: f64 = cycles.iter().sum();
+    let target = total / m as f64;
+    let mut bounds = Vec::with_capacity(m + 1);
+    bounds.push(0usize);
+    let mut next = 0usize;
+    for _ in 0..m - 1 {
+        let mut acc = 0.0;
+        while next < cycles.len() && acc < target {
+            acc += cycles[next];
+            next += 1;
+        }
+        bounds.push(next);
+    }
+    bounds.push(cycles.len());
+    StageGroups { bounds }
+}
+
+/// The maximum pipeline length that can still help: `⌊C / t_max⌋`, where
+/// `t_max` is the longest single sub-stage (the Multiplication in practice —
+/// §4.2 "Distributing Sub-stages to PEs").
+#[must_use]
+pub fn max_feasible_pipeline_length(cycles: &[f64]) -> usize {
+    let total: f64 = cycles.iter().sum();
+    let longest = cycles.iter().copied().fold(0.0, f64::max);
+    if longest <= 0.0 {
+        1
+    } else {
+        ((total / longest).floor() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_group_takes_everything() {
+        let g = distribute_stages(&[3.0, 1.0, 4.0], 1);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.group(0), 0..3);
+    }
+
+    #[test]
+    fn even_stages_split_evenly() {
+        let cycles = vec![1.0; 8];
+        let g = distribute_stages(&cycles, 4);
+        assert_eq!(g.group_cycles(&cycles), vec![2.0; 4]);
+    }
+
+    #[test]
+    fn order_is_preserved_and_contiguous() {
+        let cycles = [5.0, 1.0, 1.0, 1.0, 4.0, 2.0];
+        let g = distribute_stages(&cycles, 3);
+        let mut expected_start = 0;
+        for i in 0..g.len() {
+            let r = g.group(i);
+            assert_eq!(r.start, expected_start);
+            expected_start = r.end;
+        }
+        assert_eq!(expected_start, cycles.len());
+    }
+
+    #[test]
+    fn greedy_fills_to_average() {
+        // C = 12, m = 3, target 4: group 0 takes 5 (first stage ≥ 4),
+        // group 1 takes 1+1+1+4 = 7? No: stops as soon as acc ≥ 4 → 1+1+1+4?
+        // acc after 1,1,1 is 3 < 4 so it takes one more (4) → 7. Last gets 2.
+        let cycles = [5.0, 1.0, 1.0, 1.0, 4.0, 2.0];
+        let g = distribute_stages(&cycles, 3);
+        assert_eq!(g.group_cycles(&cycles), vec![5.0, 7.0, 2.0]);
+    }
+
+    #[test]
+    fn more_groups_than_stages_leaves_empties() {
+        let cycles = [1.0, 1.0];
+        let g = distribute_stages(&cycles, 5);
+        assert_eq!(g.len(), 5);
+        let gc = g.group_cycles(&cycles);
+        assert_eq!(gc.iter().sum::<f64>(), 2.0);
+    }
+
+    #[test]
+    fn group_of_is_consistent() {
+        let cycles = [5.0, 1.0, 1.0, 1.0, 4.0, 2.0];
+        let g = distribute_stages(&cycles, 3);
+        for i in 0..g.len() {
+            for s in g.group(i) {
+                assert_eq!(g.group_of(s), i, "stage {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_feasible_length_is_total_over_longest() {
+        // Mul (5078) dominates a 32-block with f=17: C ≈ 44.1k → ⌊C/5078⌋ = 8.
+        let m = crate::plan::StageCostModel::calibrated();
+        let stages = crate::plan::compression_sub_stages(32, 17, &m);
+        let cycles: Vec<f64> = stages.iter().map(|s| s.cycles).collect();
+        let max_len = max_feasible_pipeline_length(&cycles);
+        assert_eq!(max_len, 8);
+    }
+
+    #[test]
+    fn no_group_exceeds_average_by_more_than_one_stage() {
+        // Invariant of the greedy scheme: each of the first m−1 groups stops
+        // as soon as it reaches C/m, so it can overshoot by at most the last
+        // stage it took.
+        let m = crate::plan::StageCostModel::calibrated();
+        let stages = crate::plan::compression_sub_stages(32, 17, &m);
+        let cycles: Vec<f64> = stages.iter().map(|s| s.cycles).collect();
+        let total: f64 = cycles.iter().sum();
+        for groups in 2..=8usize {
+            let g = distribute_stages(&cycles, groups);
+            let target = total / groups as f64;
+            for (i, gc) in g.group_cycles(&cycles).iter().enumerate().take(groups - 1) {
+                let r = g.group(i);
+                if r.is_empty() {
+                    continue;
+                }
+                let last = cycles[r.end - 1];
+                assert!(
+                    *gc < target + last + 1e-9,
+                    "group {i} = {gc} exceeds target {target} + last {last}"
+                );
+            }
+        }
+    }
+}

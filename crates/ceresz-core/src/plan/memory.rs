@@ -1,0 +1,182 @@
+//! Per-PE memory modeling — §4.4's second assumption made explicit.
+//!
+//! "If either of the assumptions does not hold [data generation rate,
+//! *local memory large enough to hold the intermediate data*], we need to
+//! split the computation and use a longer pipeline." Each CS-2 PE has 48 KB
+//! for *everything*; this module estimates the working set of each pipeline
+//! stage group so the planner can reject configurations that cannot fit and
+//! pick the shortest pipeline that can.
+//!
+//! Sizes use the on-hardware representations (the scaled value between the
+//! Multiplication and Addition sub-stages is an `f32` on the PE; the
+//! simulator's f64 carry is a fidelity artifact documented in
+//! `ceresz-wse::kernels`).
+
+use crate::plan::distribute::StageGroups;
+use crate::plan::stages::SubStageKind;
+
+/// Fixed per-PE allowance for code, stack, DSD state, and the runtime —
+/// everything that is not block data. A conservative slice of the 48 KB.
+pub const PE_FIXED_OVERHEAD_BYTES: usize = 6 * 1024;
+
+/// Bytes of the intermediate block state *after* stage `idx` of the
+/// canonical compression stage list (idx = 0 means after QuantMul, etc.;
+/// `None` means the raw input). `l` = block size, `f` = fixed length.
+#[must_use]
+pub fn state_bytes_after(stage: Option<SubStageKind>, l: usize, f: u32) -> usize {
+    let pb = l.div_ceil(8);
+    match stage {
+        // Raw f32 input.
+        None => 4 * l,
+        // Scaled f32 (on hardware), quantized i32, deltas i32: one word each.
+        Some(SubStageKind::QuantMul | SubStageKind::QuantAdd | SubStageKind::Lorenzo) => 4 * l,
+        // Signs + magnitudes.
+        Some(SubStageKind::Sign) => 4 * l + pb,
+        // + running max.
+        Some(SubStageKind::Max) => 4 * l + pb + 4,
+        // + fixed length, planes not yet built.
+        Some(SubStageKind::GetLength) => 4 * l + pb + 8,
+        // Magnitudes still held + k completed planes.
+        Some(SubStageKind::ShufflePlane(k)) => {
+            let done = (k + 1).min(f);
+            if done >= f {
+                // Complete: magnitudes dropped, encoded payload remains.
+                4 + pb + f as usize * pb
+            } else {
+                4 * l + pb + 8 + done as usize * pb
+            }
+        }
+        // Decompression states.
+        Some(SubStageKind::UnshufflePlane(k)) => {
+            let done = (k + 1).min(f);
+            4 * l + pb + (f - done) as usize * pb
+        }
+        Some(SubStageKind::ApplySign | SubStageKind::PrefixSum) => 4 * l,
+        Some(SubStageKind::DequantMul) => 4 * l,
+    }
+}
+
+/// Working-set bytes of one pipeline stage group: the input state it
+/// receives, the largest intermediate it produces, and double-buffering of
+/// the input so the next block can stream in while this one computes.
+#[must_use]
+pub fn group_memory_bytes(stages: &[SubStageKind], input: Option<SubStageKind>, l: usize, f: u32) -> usize {
+    let input_bytes = state_bytes_after(input, l, f);
+    let mut peak = input_bytes;
+    for &s in stages {
+        peak = peak.max(state_bytes_after(Some(s), l, f));
+    }
+    // in (double-buffered) + peak working state + fixed overhead.
+    2 * input_bytes + peak + PE_FIXED_OVERHEAD_BYTES
+}
+
+/// Per-PE memory requirement of a full compression plan.
+#[must_use]
+pub fn pipeline_memory_bytes(
+    groups: &StageGroups,
+    stages: &[SubStageKind],
+    l: usize,
+    f: u32,
+) -> Vec<usize> {
+    let mut out = Vec::with_capacity(groups.len());
+    let mut input: Option<SubStageKind> = None;
+    for g in 0..groups.len() {
+        let my: Vec<SubStageKind> = groups.group(g).map(|i| stages[i]).collect();
+        out.push(group_memory_bytes(&my, input, l, f));
+        if let Some(&lastone) = my.last() {
+            input = Some(lastone);
+        }
+    }
+    out
+}
+
+/// The shortest pipeline length whose every PE fits in `sram` bytes, if any
+/// (§4.4: lengthen the pipeline until the working set fits).
+#[must_use]
+pub fn min_length_fitting_sram(
+    l: usize,
+    f: u32,
+    sram: usize,
+    model: &crate::plan::StageCostModel,
+) -> Option<usize> {
+    let stages = crate::plan::compression_sub_stages(l, f, model);
+    let kinds: Vec<SubStageKind> = stages.iter().map(|s| s.kind).collect();
+    let max_len = kinds.len();
+    for len in 1..=max_len {
+        let groups = crate::plan::distribute_stages(
+            &stages.iter().map(|s| s.cycles).collect::<Vec<_>>(),
+            len,
+        );
+        let per_pe = pipeline_memory_bytes(&groups, &kinds, l, f);
+        if per_pe.iter().all(|&b| b <= sram) {
+            return Some(len);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{compression_sub_stages, distribute_stages, StageCostModel};
+
+    #[test]
+    fn paper_blocks_fit_one_pe_easily() {
+        // L = 32, f = 17: well under 48 KB even on a single PE.
+        let len = min_length_fitting_sram(32, 17, 48 * 1024, &StageCostModel::calibrated());
+        assert_eq!(len, Some(1));
+    }
+
+    #[test]
+    fn large_blocks_still_fit_one_pe() {
+        // Even 2048-element blocks with all 31 planes stay under 48 KB on a
+        // single PE (raw double-buffer + mags + planes ≈ 38 KB).
+        let fitting = min_length_fitting_sram(2048, 31, 48 * 1024, &StageCostModel::calibrated());
+        assert_eq!(fitting, Some(1));
+    }
+
+    #[test]
+    fn oversized_blocks_fit_nowhere() {
+        // 4096-element blocks: late-pipeline states (magnitudes + most of
+        // 31 planes, double-buffered) exceed 48 KB at every length, and a
+        // single PE cannot hold them either.
+        let fitting =
+            min_length_fitting_sram(4096, 31, 48 * 1024, &StageCostModel::calibrated());
+        assert_eq!(fitting, None);
+        // 16 K elements: the raw input alone is 64 KB > 48 KB SRAM.
+        let fitting =
+            min_length_fitting_sram(16 * 1024, 31, 48 * 1024, &StageCostModel::calibrated());
+        assert_eq!(fitting, None);
+    }
+
+    #[test]
+    fn state_sizes_are_monotone_through_shuffle() {
+        // Completed planes accumulate until the final state drops the mags.
+        let l = 32;
+        let f = 17;
+        let mid = state_bytes_after(Some(SubStageKind::ShufflePlane(5)), l, f);
+        let later = state_bytes_after(Some(SubStageKind::ShufflePlane(10)), l, f);
+        assert!(later > mid);
+        let done = state_bytes_after(Some(SubStageKind::ShufflePlane(f - 1)), l, f);
+        assert!(done < later + 4 * l, "final state drops magnitudes");
+    }
+
+    #[test]
+    fn splitting_does_not_reduce_peak_memory_for_ceresz() {
+        // A finding this model makes explicit: CereSZ's intermediate state
+        // GROWS through the pipeline (magnitudes stay live while planes
+        // accumulate), so a late-pipeline PE's double-buffered input is at
+        // least as large as a single PE's whole working set. Splitting
+        // helps compute balance (§4.2), not memory — which is why the
+        // planner prefers length 1 whenever it fits at all.
+        let model = StageCostModel::calibrated();
+        let stages = compression_sub_stages(1024, 20, &model);
+        let kinds: Vec<_> = stages.iter().map(|s| s.kind).collect();
+        let cycles: Vec<f64> = stages.iter().map(|s| s.cycles).collect();
+        let one = pipeline_memory_bytes(&distribute_stages(&cycles, 1), &kinds, 1024, 20);
+        let four = pipeline_memory_bytes(&distribute_stages(&cycles, 4), &kinds, 1024, 20);
+        let max1 = one.iter().copied().max().unwrap();
+        let max4 = four.iter().copied().max().unwrap();
+        assert!(max4 >= max1, "4-PE max {max4} vs 1-PE max {max1}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Planning: sub-stage decomposition, balanced distribution across PEs
+//! (Algorithm 1), the analytic pipeline cost model (Eqs. 2–4), and
+//! sampling-based fixed-length estimation (§4.2–§4.4 of the paper).
+//!
+//! Everything here is pure data and arithmetic — no simulator required — so
+//! the same plan drives both the cycle-accurate `wse-sim` execution and the
+//! closed-form full-wafer throughput model.
+
+pub mod distribute;
+pub mod memory;
+pub mod pipeline;
+pub mod sampling;
+pub mod stages;
+
+pub use distribute::{distribute_stages, max_feasible_pipeline_length, StageGroups};
+pub use memory::{
+    group_memory_bytes, min_length_fitting_sram, pipeline_memory_bytes, state_bytes_after,
+    PE_FIXED_OVERHEAD_BYTES,
+};
+pub use pipeline::{MeshShape, PipelineModel};
+pub use sampling::{sample_profile, SampledProfile};
+pub use stages::{
+    block_compress_cycles, block_decompress_cycles, compression_sub_stages,
+    decompression_sub_stages, zero_block_compress_cycles, zero_block_decompress_cycles,
+    StageCostModel, SubStage, SubStageKind,
+};
+
+use crate::bound::ErrorBound;
+
+/// A complete mapping plan for one dataset/configuration: which sub-stages
+/// exist, how they are grouped onto the PEs of one pipeline, and the cycle
+/// budget of each group.
+#[derive(Debug, Clone)]
+pub struct CompressionPlan {
+    /// Pipeline length (number of PEs per pipeline).
+    pub pipeline_length: usize,
+    /// The ordered sub-stages for the estimated fixed length.
+    pub stages: Vec<SubStage>,
+    /// Assignment of stage indices to the PEs of one pipeline.
+    pub groups: StageGroups,
+    /// Estimated fixed length the plan was built for.
+    pub fixed_length: u32,
+    /// Total per-block compression cycles `C`.
+    pub total_cycles: f64,
+}
+
+impl CompressionPlan {
+    /// Build a compression plan from sampled data (the paper samples 5 % of
+    /// the points to approximate the fixed length, §4.2).
+    pub fn from_sampled(
+        data: &[f32],
+        bound: ErrorBound,
+        block_size: usize,
+        pipeline_length: usize,
+        model: &StageCostModel,
+    ) -> Self {
+        let eps = bound.resolve(data);
+        let profile = sample_profile(data, eps, block_size, 0.05, model);
+        Self::for_fixed_length(profile.est_fixed_length, block_size, pipeline_length, model)
+    }
+
+    /// Build a plan directly for a known fixed length.
+    pub fn for_fixed_length(
+        fixed_length: u32,
+        block_size: usize,
+        pipeline_length: usize,
+        model: &StageCostModel,
+    ) -> Self {
+        let stages = compression_sub_stages(block_size, fixed_length, model);
+        let cycles: Vec<f64> = stages.iter().map(|s| s.cycles).collect();
+        let groups = distribute_stages(&cycles, pipeline_length);
+        let total_cycles = cycles.iter().sum();
+        Self {
+            pipeline_length,
+            stages,
+            groups,
+            fixed_length,
+            total_cycles,
+        }
+    }
+
+    /// Cycle budget of the slowest PE (the pipeline bottleneck).
+    #[must_use]
+    pub fn bottleneck_cycles(&self) -> f64 {
+        self.groups
+            .group_cycles(&self.stages.iter().map(|s| s.cycles).collect::<Vec<_>>())
+            .into_iter()
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_covers_all_stages_once() {
+        let model = StageCostModel::calibrated();
+        let plan = CompressionPlan::for_fixed_length(17, 32, 4, &model);
+        let mut seen = vec![false; plan.stages.len()];
+        for g in plan.groups.iter() {
+            for idx in g {
+                assert!(!seen[idx], "stage {idx} assigned twice");
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every stage must be assigned");
+    }
+
+    #[test]
+    fn bottleneck_bounded_by_total() {
+        let model = StageCostModel::calibrated();
+        for len in [1usize, 2, 4, 8] {
+            let plan = CompressionPlan::for_fixed_length(13, 32, len, &model);
+            assert!(plan.bottleneck_cycles() <= plan.total_cycles + 1e-9);
+            assert!(plan.bottleneck_cycles() >= plan.total_cycles / len as f64 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampled_plan_runs() {
+        let data: Vec<f32> = (0..10_000).map(|i| (i as f32 * 0.01).sin()).collect();
+        let model = StageCostModel::calibrated();
+        let plan =
+            CompressionPlan::from_sampled(&data, ErrorBound::Rel(1e-3), 32, 2, &model);
+        assert_eq!(plan.pipeline_length, 2);
+        assert!(plan.total_cycles > 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Sampling-based profile estimation (§4.2, last paragraph).
+//!
+//! The paper samples 5 % of the data points to approximate the fixed length
+//! and from it the total execution time `C` that Algorithm 1 and the
+//! pipeline-length selection need. We sample whole blocks on a deterministic
+//! stride so repeated runs of the planner agree.
+
+use crate::fixed_length::{effective_bits, max_magnitude, signs_and_magnitudes};
+use crate::lorenzo::forward_1d_in_place;
+use crate::plan::stages::{
+    block_compress_cycles, block_decompress_cycles, zero_block_compress_cycles,
+    zero_block_decompress_cycles, StageCostModel,
+};
+use crate::quantize::quantize;
+
+/// Profile estimated from a data sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampledProfile {
+    /// Maximum fixed length seen in the sample — the paper plans pipelines
+    /// for the worst block, since all blocks share the stage distribution.
+    pub est_fixed_length: u32,
+    /// Mean fixed length across sampled non-zero blocks.
+    pub mean_fixed_length: f64,
+    /// Fraction of sampled blocks that were zero blocks.
+    pub zero_fraction: f64,
+    /// Mean per-block compression cycles (zero-block fast path included).
+    pub est_compress_cycles: f64,
+    /// Mean per-block decompression cycles.
+    pub est_decompress_cycles: f64,
+    /// Number of blocks sampled.
+    pub sampled_blocks: usize,
+}
+
+/// Estimate the compression profile of `data` by sampling roughly
+/// `fraction` of its blocks (clamped to at least one block).
+///
+/// Blocks whose quantization would overflow are skipped — the real
+/// compression run will surface the error; the planner only needs a typical
+/// profile.
+#[must_use]
+pub fn sample_profile(
+    data: &[f32],
+    eps: f64,
+    block_size: usize,
+    fraction: f64,
+    model: &StageCostModel,
+) -> SampledProfile {
+    let n_blocks = data.len().div_ceil(block_size).max(1);
+    let stride = ((1.0 / fraction.clamp(1e-6, 1.0)).round() as usize).max(1);
+    let mut q = vec![0i64; block_size];
+    let mut signs = vec![0u8; block_size.div_ceil(8)];
+    let mut mags = vec![0u32; block_size];
+
+    let mut max_f = 0u32;
+    let mut sum_f = 0u64;
+    let mut nonzero = 0usize;
+    let mut zero = 0usize;
+    let mut comp_cycles = 0.0f64;
+    let mut decomp_cycles = 0.0f64;
+    let mut sampled = 0usize;
+
+    let mut b = 0usize;
+    while b < n_blocks {
+        let start = b * block_size;
+        if start >= data.len() {
+            break;
+        }
+        let chunk = &data[start..data.len().min(start + block_size)];
+        q.fill(0);
+        if quantize(chunk, eps, &mut q[..chunk.len()]).is_ok() {
+            forward_1d_in_place(&mut q);
+            signs_and_magnitudes(&q, &mut signs, &mut mags);
+            let f = effective_bits(max_magnitude(&mags));
+            sampled += 1;
+            if f == 0 {
+                zero += 1;
+                comp_cycles += zero_block_compress_cycles(block_size, model);
+                decomp_cycles += zero_block_decompress_cycles(block_size, model);
+            } else {
+                nonzero += 1;
+                sum_f += u64::from(f);
+                max_f = max_f.max(f);
+                comp_cycles += block_compress_cycles(block_size, f, model);
+                decomp_cycles += block_decompress_cycles(block_size, f, model);
+            }
+        }
+        b += stride;
+    }
+
+    if sampled == 0 {
+        return SampledProfile {
+            est_fixed_length: 0,
+            mean_fixed_length: 0.0,
+            zero_fraction: 0.0,
+            est_compress_cycles: zero_block_compress_cycles(block_size, model),
+            est_decompress_cycles: zero_block_decompress_cycles(block_size, model),
+            sampled_blocks: 0,
+        };
+    }
+
+    SampledProfile {
+        est_fixed_length: max_f,
+        mean_fixed_length: if nonzero == 0 {
+            0.0
+        } else {
+            sum_f as f64 / nonzero as f64
+        },
+        zero_fraction: zero as f64 / sampled as f64,
+        est_compress_cycles: comp_cycles / sampled as f64,
+        est_decompress_cycles: decomp_cycles / sampled as f64,
+        sampled_blocks: sampled,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smooth_data_has_small_fixed_length() {
+        let data: Vec<f32> = (0..100_000).map(|i| (i as f32 * 0.001).sin()).collect();
+        let m = StageCostModel::calibrated();
+        let p = sample_profile(&data, 1e-4, 32, 0.05, &m);
+        assert!(p.sampled_blocks > 100);
+        // The first residual of each block is the raw quantized value
+        // (|p| up to 1/2eps = 5000 here), so f is ~13 even for smooth data.
+        assert!(p.est_fixed_length <= 14, "f = {}", p.est_fixed_length);
+        assert!(p.est_compress_cycles > 0.0);
+    }
+
+    #[test]
+    fn zero_data_is_all_zero_blocks() {
+        let data = vec![0f32; 3200];
+        let m = StageCostModel::calibrated();
+        let p = sample_profile(&data, 1e-3, 32, 0.05, &m);
+        assert_eq!(p.est_fixed_length, 0);
+        assert!((p.zero_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_fraction_controls_count() {
+        let data = vec![1.0f32; 32 * 1000];
+        let m = StageCostModel::calibrated();
+        let p5 = sample_profile(&data, 1e-3, 32, 0.05, &m);
+        let p50 = sample_profile(&data, 1e-3, 32, 0.5, &m);
+        assert!(p50.sampled_blocks > p5.sampled_blocks * 5);
+    }
+
+    #[test]
+    fn rougher_data_yields_larger_fixed_length() {
+        let smooth: Vec<f32> = (0..32_000).map(|i| (i as f32 * 0.0001).sin()).collect();
+        let rough: Vec<f32> = (0..32_000)
+            .map(|i| ((i as u64 * 2654435761) % 1000) as f32)
+            .collect();
+        let m = StageCostModel::calibrated();
+        let ps = sample_profile(&smooth, 1e-3, 32, 0.1, &m);
+        let pr = sample_profile(&rough, 1e-3, 32, 0.1, &m);
+        assert!(pr.est_fixed_length > ps.est_fixed_length);
+        assert!(pr.est_compress_cycles > ps.est_compress_cycles);
+    }
+
+    #[test]
+    fn tiny_input_is_handled() {
+        let m = StageCostModel::calibrated();
+        let p = sample_profile(&[1.5, 2.5], 1e-2, 32, 0.05, &m);
+        assert_eq!(p.sampled_blocks, 1);
+    }
+
+    #[test]
+    fn empty_input_is_handled() {
+        let m = StageCostModel::calibrated();
+        let p = sample_profile(&[], 1e-2, 32, 0.05, &m);
+        assert_eq!(p.sampled_blocks, 0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Whole-array stream format: a self-describing container of encoded blocks.
+//!
+//! ```text
+//! +-------+---------+--------------+------------+-----------+---------+
+//! | magic | version | header width | block size | elem count| eps f64 |
+//! | 4 B   | 1 B     | 1 B          | u32 LE     | u64 LE    | 8 B LE  |
+//! +-------+---------+--------------+------------+-----------+---------+
+//! | block 0 | block 1 | ...                                           |
+//! +---------------------------------------------------------------+
+//! ```
+//!
+//! Blocks are concatenated with no inter-block framing: each block's length
+//! is derivable from its own header, which is exactly the property the paper
+//! exploits to avoid a device-level scan when concatenating block outputs
+//! (§3, "Rationale"). The absolute `ε` recorded here is the *resolved* bound
+//! (a REL bound is resolved against the data range before compression).
+
+use crate::block::{BlockCodec, HeaderWidth};
+use crate::compressor::CompressError;
+
+/// Magic bytes identifying a CereSZ stream.
+pub const MAGIC: [u8; 4] = *b"CSZ1";
+/// Current stream format version.
+pub const VERSION: u8 = 1;
+/// Size of the fixed stream header in bytes.
+pub const STREAM_HEADER_BYTES: usize = 4 + 1 + 1 + 4 + 8 + 8;
+
+/// Parsed stream header.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamHeader {
+    /// Per-block header width.
+    pub header_width: HeaderWidth,
+    /// Elements per block.
+    pub block_size: usize,
+    /// Total number of elements in the original array.
+    pub count: usize,
+    /// Resolved absolute error bound.
+    pub eps: f64,
+}
+
+impl StreamHeader {
+    /// Number of blocks in the stream (last one possibly partial).
+    #[must_use]
+    pub fn n_blocks(&self) -> usize {
+        self.count.div_ceil(self.block_size)
+    }
+
+    /// The block codec matching this stream.
+    #[must_use]
+    pub fn codec(&self) -> BlockCodec {
+        BlockCodec::new(self.block_size, self.header_width)
+    }
+
+    /// Serialize the header, appending to `out`.
+    pub fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(self.header_width.bytes() as u8);
+        out.extend_from_slice(&(self.block_size as u32).to_le_bytes());
+        out.extend_from_slice(&(self.count as u64).to_le_bytes());
+        out.extend_from_slice(&self.eps.to_le_bytes());
+    }
+
+    /// Parse a header from the front of `bytes`.
+    pub fn read(bytes: &[u8]) -> Result<Self, CompressError> {
+        if bytes.len() < STREAM_HEADER_BYTES {
+            return Err(CompressError::Truncated);
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(CompressError::BadMagic);
+        }
+        if bytes[4] != VERSION {
+            return Err(CompressError::UnsupportedVersion(bytes[4]));
+        }
+        let header_width = match bytes[5] {
+            1 => HeaderWidth::W1,
+            4 => HeaderWidth::W4,
+            w => return Err(CompressError::BadHeaderWidth(w)),
+        };
+        let block_size = u32::from_le_bytes(bytes[6..10].try_into().expect("sized")) as usize;
+        if block_size == 0 || !block_size.is_multiple_of(8) {
+            return Err(CompressError::BadBlockSize(block_size));
+        }
+        let count = u64::from_le_bytes(bytes[10..18].try_into().expect("sized")) as usize;
+        let eps = f64::from_le_bytes(bytes[18..26].try_into().expect("sized"));
+        if !(eps.is_finite() && eps > 0.0) {
+            return Err(CompressError::InvalidBound);
+        }
+        Ok(Self {
+            header_width,
+            block_size,
+            count,
+            eps,
+        })
+    }
+}
+
+/// Scan the block payload and return the byte offset of every block.
+///
+/// `payload` is the stream body after the stream header. Used to parallelize
+/// decompression (block starts must be known before blocks can be decoded
+/// independently) and by the integrity checker.
+pub fn scan_block_offsets(
+    header: &StreamHeader,
+    payload: &[u8],
+) -> Result<Vec<usize>, CompressError> {
+    let codec = header.codec();
+    let hb = header.header_width.bytes();
+    let mut offsets = Vec::with_capacity(header.n_blocks());
+    let mut pos = 0usize;
+    for _ in 0..header.n_blocks() {
+        offsets.push(pos);
+        if payload.len() < pos + hb {
+            return Err(CompressError::Truncated);
+        }
+        let f = match header.header_width {
+            HeaderWidth::W1 => u32::from(payload[pos]),
+            HeaderWidth::W4 => u32::from_le_bytes(
+                payload[pos..pos + 4].try_into().expect("sized"),
+            ),
+        };
+        if f > BlockCodec::MAX_FIXED_LENGTH {
+            return Err(CompressError::CorruptHeader { fixed_length: f });
+        }
+        pos += codec.encoded_size(f);
+    }
+    if pos > payload.len() {
+        return Err(CompressError::Truncated);
+    }
+    Ok(offsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header() -> StreamHeader {
+        StreamHeader {
+            header_width: HeaderWidth::W4,
+            block_size: 32,
+            count: 100,
+            eps: 1e-3,
+        }
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = sample_header();
+        let mut buf = Vec::new();
+        h.write(&mut buf);
+        assert_eq!(buf.len(), STREAM_HEADER_BYTES);
+        assert_eq!(StreamHeader::read(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn n_blocks_rounds_up() {
+        assert_eq!(sample_header().n_blocks(), 4); // 100 elements / 32
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        sample_header().write(&mut buf);
+        buf[0] = b'X';
+        assert!(matches!(
+            StreamHeader::read(&buf),
+            Err(CompressError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        sample_header().write(&mut buf);
+        buf[4] = 9;
+        assert!(matches!(
+            StreamHeader::read(&buf),
+            Err(CompressError::UnsupportedVersion(9))
+        ));
+    }
+
+    #[test]
+    fn bad_block_size_rejected() {
+        let mut buf = Vec::new();
+        sample_header().write(&mut buf);
+        buf[6..10].copy_from_slice(&7u32.to_le_bytes());
+        assert!(matches!(
+            StreamHeader::read(&buf),
+            Err(CompressError::BadBlockSize(7))
+        ));
+    }
+
+    #[test]
+    fn scan_offsets_on_real_stream() {
+        let codec = BlockCodec::new(32, HeaderWidth::W4);
+        let mut payload = Vec::new();
+        let mut expected = Vec::new();
+        for b in 0..4 {
+            expected.push(payload.len());
+            let data: Vec<f32> = (0..32).map(|i| (b * 32 + i) as f32 * 0.01).collect();
+            codec.encode_block(&data, 1e-3, &mut payload).unwrap();
+        }
+        let header = StreamHeader {
+            header_width: HeaderWidth::W4,
+            block_size: 32,
+            count: 128,
+            eps: 1e-3,
+        };
+        assert_eq!(scan_block_offsets(&header, &payload).unwrap(), expected);
+    }
+
+    #[test]
+    fn scan_detects_truncation() {
+        let header = sample_header();
+        // Claims 4 blocks but payload holds only one zero-block header.
+        let payload = 0u32.to_le_bytes().to_vec();
+        assert!(matches!(
+            scan_block_offsets(&header, &payload),
+            Err(CompressError::Truncated)
+        ));
+    }
+}

@@ -1,0 +1,62 @@
+//! Error-bound verification helpers.
+
+/// Maximum absolute pointwise error between `original` and `reconstructed`.
+///
+/// # Panics
+/// If the slices differ in length.
+#[must_use]
+pub fn max_abs_error(original: &[f32], reconstructed: &[f32]) -> f64 {
+    assert_eq!(
+        original.len(),
+        reconstructed.len(),
+        "length mismatch in error check"
+    );
+    original
+        .iter()
+        .zip(reconstructed)
+        .map(|(a, b)| (f64::from(*a) - f64::from(*b)).abs())
+        .fold(0.0, f64::max)
+}
+
+/// True if every reconstructed point is within `eps` of the original.
+///
+/// The quantization guarantee is exact in real arithmetic; reconstructing to
+/// `f32` rounds once more, so a half-ulp of the largest value involved is
+/// allowed on top of `eps` (otherwise boundary cases like `e/2ε = k + 0.5`
+/// would report spurious violations).
+#[must_use]
+pub fn verify_error_bound(original: &[f32], reconstructed: &[f32], eps: f64) -> bool {
+    let max_mag = original
+        .iter()
+        .chain(reconstructed)
+        .map(|v| f64::from(v.abs()))
+        .fold(0.0, f64::max);
+    let slack = eps * 1e-6 + f64::from(f32::EPSILON) * (1.0 + max_mag);
+    max_abs_error(original, reconstructed) <= eps + slack
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_reconstruction_has_zero_error() {
+        let d = [1.0f32, -2.5, 3.75];
+        assert_eq!(max_abs_error(&d, &d), 0.0);
+        assert!(verify_error_bound(&d, &d, 0.0));
+    }
+
+    #[test]
+    fn detects_violations() {
+        let a = [1.0f32, 2.0];
+        let b = [1.0f32, 2.5];
+        assert!((max_abs_error(&a, &b) - 0.5).abs() < 1e-12);
+        assert!(!verify_error_bound(&a, &b, 0.4));
+        assert!(verify_error_bound(&a, &b, 0.5));
+    }
+
+    #[test]
+    fn empty_is_trivially_bounded() {
+        assert!(verify_error_bound(&[], &[], 1e-9));
+    }
+}

@@ -1,0 +1,477 @@
+//! Decompression mapped onto the mesh (§3 "Decompression Steps", §4.2 last
+//! paragraph).
+//!
+//! Row-parallel decompression with the paper's two-phase receive: a PE first
+//! receives the block header (one wavelet under the 4-byte CereSZ headers),
+//! learns the fixed length `f`, then receives exactly the `1 + f` plane
+//! wavelets that follow — no maximum scan, which is why decompression is
+//! faster than compression.
+
+use ceresz_core::block::BlockCodec;
+use ceresz_core::compressor::{Compressed, CompressError};
+use ceresz_core::plan::{decompression_sub_stages, distribute_stages, StageCostModel, SubStageKind};
+use ceresz_core::stream::{scan_block_offsets, StreamHeader};
+use wse_sim::{Color, Direction, MeshConfig, PeId, PeProgram, SimError, SimStats, Simulator, TaskCtx, TaskId};
+
+use crate::harness::{colors, tasks};
+use crate::kernels::DecompressState;
+use crate::error::WseError;
+use crate::row_parallel::kernel_error;
+use crate::wire::{WaveletReader, WaveletWriter};
+
+/// Wavelets in one sign/bit plane for block size `l`.
+fn plane_words(l: usize) -> usize {
+    l.div_ceil(8).div_ceil(4)
+}
+
+/// Padded frame size for inter-PE transfers of decompression state: large
+/// enough for the worst case (all 31 planes still unconsumed + magnitudes).
+fn decomp_frame_words(l: usize) -> usize {
+    3 + plane_words(l) + 31 * plane_words(l) + l + 1
+}
+
+/// Program decompressing whole blocks on one PE with two-phase receives.
+struct RowDecompressor {
+    codec: BlockCodec,
+    eps: f64,
+    blocks_remaining: usize,
+    /// Fixed length parsed from the header awaiting its body.
+    pending_f: Option<u32>,
+}
+
+impl RowDecompressor {
+    fn emit_restored(&mut self, ctx: &mut TaskCtx<'_>, restored: &[f32]) {
+        let mut w = WaveletWriter::new();
+        for &v in restored {
+            w.put_f32(v);
+        }
+        ctx.emit(w.finish());
+        self.blocks_remaining -= 1;
+        if self.blocks_remaining > 0 {
+            ctx.recv_async(colors::DATA, 1, tasks::RECV);
+        }
+    }
+}
+
+impl PeProgram for RowDecompressor {
+    fn on_task(&mut self, ctx: &mut TaskCtx<'_>, task: TaskId) -> Result<(), SimError> {
+        let l = self.codec.block_size();
+        if task == tasks::RECV {
+            // Phase 1: the header wavelet.
+            let words = ctx.take_received(colors::DATA);
+            debug_assert_eq!(words.len(), 1);
+            let f = words[0];
+            if f > BlockCodec::MAX_FIXED_LENGTH {
+                return Err(kernel_error(
+                    ctx.pe(),
+                    CompressError::CorruptHeader { fixed_length: f },
+                ));
+            }
+            if f == 0 {
+                // Zero block: nothing follows; reconstruct immediately.
+                ctx.charge(wse_sim::Op::MemSet, l as u64);
+                let restored = vec![0.0f32; l];
+                self.emit_restored(ctx, &restored);
+            } else {
+                self.pending_f = Some(f);
+                ctx.recv_async(
+                    colors::DATA,
+                    (1 + f as usize) * plane_words(l),
+                    tasks::RECV_BODY,
+                );
+            }
+        } else {
+            // Phase 2: signs + planes.
+            debug_assert_eq!(task, tasks::RECV_BODY);
+            let f = self.pending_f.take().expect("body without header");
+            let words = ctx.take_received(colors::DATA);
+            // Reassemble the block bytes as the codec lays them out.
+            let mut bytes = Vec::with_capacity(self.codec.encoded_size(f));
+            bytes.extend_from_slice(&f.to_le_bytes());
+            let mut r = WaveletReader::new(&words);
+            let body = r
+                .get_bytes((1 + f as usize) * self.codec.plane_bytes())
+                .map_err(|_| kernel_error(ctx.pe(), CompressError::Truncated))?;
+            bytes.extend_from_slice(&body);
+            let (state, _) = DecompressState::from_encoded(&bytes, &self.codec, self.eps, ctx)
+                .map_err(|e| kernel_error(ctx.pe(), e))?;
+            let restored = state
+                .finish(self.eps, ctx)
+                .map_err(|e| kernel_error(ctx.pe(), e))?;
+            self.emit_restored(ctx, &restored);
+        }
+        Ok(())
+    }
+}
+
+/// Result of a simulated row-parallel decompression run.
+#[derive(Debug)]
+pub struct DecompressRun {
+    /// The reconstructed values.
+    pub restored: Vec<f32>,
+    /// Simulator statistics.
+    pub stats: SimStats,
+    /// Rows used.
+    pub rows: usize,
+    /// Bytes of reconstructed output (the throughput denominator, as in the
+    /// paper: decompression throughput is original-size / time).
+    pub original_bytes: usize,
+}
+
+impl DecompressRun {
+    /// Decompression throughput in GB/s at the CS-2 clock.
+    #[must_use]
+    pub fn throughput_gbps(&self) -> f64 {
+        self.stats.throughput_gbps(self.original_bytes, wse_sim::CLOCK_HZ)
+    }
+}
+
+/// Decompress `compressed` on `rows` simulated PE rows (strategy 1).
+pub fn run_row_decompress(
+    compressed: &Compressed,
+    rows: usize,
+) -> Result<DecompressRun, WseError> {
+    assert!(rows > 0, "need at least one row");
+    let header = StreamHeader::read(&compressed.data)?;
+    assert!(
+        matches!(header.header_width, ceresz_core::HeaderWidth::W4),
+        "the WSE mapping requires wavelet-aligned (4-byte) block headers"
+    );
+    let payload = &compressed.data[ceresz_core::stream::STREAM_HEADER_BYTES..];
+    let codec = header.codec();
+    let offsets = scan_block_offsets(&header, payload)?;
+
+    // Pack each encoded block as wavelets: header word, then signs+planes.
+    let mut per_row_blocks: Vec<Vec<Vec<u32>>> = vec![Vec::new(); rows];
+    for (b, &off) in offsets.iter().enumerate() {
+        let f = u32::from_le_bytes(payload[off..off + 4].try_into().expect("sized"));
+        let size = codec.encoded_size(f);
+        let mut w = WaveletWriter::new();
+        w.put_u32(f);
+        w.put_bytes(&payload[off + 4..off + size]);
+        per_row_blocks[b % rows].push(w.finish());
+    }
+
+    let mut sim = Simulator::new(MeshConfig::new(rows, 1));
+    for (r, row_blocks) in per_row_blocks.into_iter().enumerate() {
+        if row_blocks.is_empty() {
+            continue;
+        }
+        let pe = PeId::new(r, 0);
+        sim.set_program(
+            pe,
+            Box::new(RowDecompressor {
+                codec,
+                eps: header.eps,
+                blocks_remaining: row_blocks.len(),
+                pending_f: None,
+            }),
+        );
+        sim.post_recv(pe, colors::DATA, 1, tasks::RECV);
+        sim.inject_blocks(pe, colors::DATA, row_blocks, 0.0);
+    }
+
+    let report = sim.run().map_err(WseError::Sim)?;
+    let mut restored = vec![0f32; header.count];
+    for (b, chunk) in restored.chunks_mut(header.block_size).enumerate() {
+        let outs = report.outputs(PeId::new(b % rows, 0));
+        let words = &outs[b / rows];
+        let mut r = WaveletReader::new(words);
+        for v in chunk.iter_mut() {
+            *v = r.get_f32().map_err(|_| WseError::from(CompressError::Truncated))?;
+        }
+    }
+    Ok(DecompressRun {
+        restored,
+        stats: report.stats().clone(),
+        rows,
+        original_bytes: header.count * 4,
+    })
+}
+
+/// One PE of a decompression pipeline (strategy 2 applied to decompression,
+/// §4.2 last paragraph: the reverse Bit-shuffle splits per byte/plane, the
+/// prefix sum and dequantization multiply are indivisible).
+struct DecompPipePe {
+    stages: Vec<SubStageKind>,
+    in_color: Color,
+    out_color: Option<Color>,
+    /// First PE parses encoded blocks with the two-phase receive.
+    is_first: bool,
+    codec: BlockCodec,
+    eps: f64,
+    blocks_remaining: usize,
+    pending_f: Option<u32>,
+}
+
+impl DecompPipePe {
+    fn next_input(&mut self, ctx: &mut TaskCtx<'_>) {
+        self.blocks_remaining -= 1;
+        if self.blocks_remaining > 0 {
+            if self.is_first {
+                ctx.recv_async(self.in_color, 1, tasks::RECV);
+            } else {
+                ctx.recv_async(
+                    self.in_color,
+                    decomp_frame_words(self.codec.block_size()),
+                    tasks::RECV,
+                );
+            }
+        }
+    }
+
+    fn process(&mut self, ctx: &mut TaskCtx<'_>, mut state: DecompressState) -> Result<(), SimError> {
+        for &stage in &self.stages {
+            if state.can_apply(stage) {
+                state = state
+                    .apply(stage, self.eps, ctx)
+                    .map_err(|e| kernel_error(ctx.pe(), e))?;
+            }
+        }
+        match self.out_color {
+            Some(color) => {
+                let mut frame = state.to_wavelets();
+                frame.resize(decomp_frame_words(self.codec.block_size()), 0);
+                ctx.send_async(color, frame, None);
+            }
+            None => {
+                let restored = state
+                    .finish(self.eps, ctx)
+                    .map_err(|e| kernel_error(ctx.pe(), e))?;
+                let mut w = WaveletWriter::new();
+                for &v in &restored {
+                    w.put_f32(v);
+                }
+                ctx.emit(w.finish());
+            }
+        }
+        self.next_input(ctx);
+        Ok(())
+    }
+}
+
+impl PeProgram for DecompPipePe {
+    fn on_task(&mut self, ctx: &mut TaskCtx<'_>, task: TaskId) -> Result<(), SimError> {
+        let l = self.codec.block_size();
+        if !self.is_first {
+            debug_assert_eq!(task, tasks::RECV);
+            let words = ctx.take_received(self.in_color);
+            let state = DecompressState::from_wavelets(&words, l)
+                .map_err(|_| kernel_error(ctx.pe(), CompressError::Truncated))?;
+            return self.process(ctx, state);
+        }
+        if task == tasks::RECV {
+            let words = ctx.take_received(self.in_color);
+            let f = words[0];
+            if f > BlockCodec::MAX_FIXED_LENGTH {
+                return Err(kernel_error(
+                    ctx.pe(),
+                    CompressError::CorruptHeader { fixed_length: f },
+                ));
+            }
+            if f == 0 {
+                ctx.charge(wse_sim::Op::MemSet, l as u64);
+                return self.process(ctx, DecompressState::Restored(vec![0.0; l]));
+            }
+            self.pending_f = Some(f);
+            ctx.recv_async(self.in_color, (1 + f as usize) * plane_words(l), tasks::RECV_BODY);
+            Ok(())
+        } else {
+            debug_assert_eq!(task, tasks::RECV_BODY);
+            let f = self.pending_f.take().expect("body without header");
+            let words = ctx.take_received(self.in_color);
+            let mut bytes = Vec::with_capacity(self.codec.encoded_size(f));
+            bytes.extend_from_slice(&f.to_le_bytes());
+            let mut r = WaveletReader::new(&words);
+            let body = r
+                .get_bytes((1 + f as usize) * self.codec.plane_bytes())
+                .map_err(|_| kernel_error(ctx.pe(), CompressError::Truncated))?;
+            bytes.extend_from_slice(&body);
+            let (state, _) = DecompressState::from_encoded(&bytes, &self.codec, self.eps, ctx)
+                .map_err(|e| kernel_error(ctx.pe(), e))?;
+            self.process(ctx, state)
+        }
+    }
+}
+
+/// Decompress `compressed` on `rows` pipelines of `pipeline_length` PEs
+/// (one pipeline per row). The stage split uses Algorithm 1 over the
+/// decompression sub-stages at the stream's exact maximum fixed length
+/// (known from the block headers — no sampling needed on this side).
+pub fn run_pipeline_decompress(
+    compressed: &Compressed,
+    rows: usize,
+    pipeline_length: usize,
+) -> Result<DecompressRun, WseError> {
+    assert!(rows > 0 && pipeline_length > 0);
+    let header = StreamHeader::read(&compressed.data)?;
+    assert!(
+        matches!(header.header_width, ceresz_core::HeaderWidth::W4),
+        "the WSE mapping requires wavelet-aligned (4-byte) block headers"
+    );
+    let payload = &compressed.data[ceresz_core::stream::STREAM_HEADER_BYTES..];
+    let codec = header.codec();
+    let offsets = scan_block_offsets(&header, payload)?;
+
+    // Exact max fixed length from the headers.
+    let mut max_f = 0u32;
+    let mut per_row_blocks: Vec<Vec<Vec<u32>>> = vec![Vec::new(); rows];
+    for (b, &off) in offsets.iter().enumerate() {
+        let f = u32::from_le_bytes(payload[off..off + 4].try_into().expect("sized"));
+        max_f = max_f.max(f);
+        let size = codec.encoded_size(f);
+        let mut w = WaveletWriter::new();
+        w.put_u32(f);
+        w.put_bytes(&payload[off + 4..off + size]);
+        per_row_blocks[b % rows].push(w.finish());
+    }
+
+    let model = StageCostModel::calibrated();
+    let stages = decompression_sub_stages(header.block_size, max_f, &model);
+    let kinds: Vec<SubStageKind> = stages.iter().map(|s| s.kind).collect();
+    let cycles: Vec<f64> = stages.iter().map(|s| s.cycles).collect();
+    let groups = distribute_stages(&cycles, pipeline_length);
+
+    let mut sim = Simulator::new(MeshConfig::new(rows, pipeline_length));
+    for (r, row_blocks) in per_row_blocks.into_iter().enumerate() {
+        if row_blocks.is_empty() {
+            continue;
+        }
+        for g in 0..pipeline_length {
+            let pe = PeId::new(r, g);
+            let in_color = if g == 0 {
+                colors::DATA
+            } else {
+                crate::pipeline_map::inter_color(g - 1)
+            };
+            let out_color = (g + 1 < pipeline_length)
+                .then(|| crate::pipeline_map::inter_color(g));
+            if let Some(c) = out_color {
+                sim.route(pe, c, None, &[Direction::East]);
+                sim.route(PeId::new(r, g + 1), c, Some(Direction::West), &[Direction::Ramp]);
+            }
+            let program = DecompPipePe {
+                stages: groups.group(g).map(|i| kinds[i]).collect(),
+                in_color,
+                out_color,
+                is_first: g == 0,
+                codec,
+                eps: header.eps,
+                blocks_remaining: row_blocks.len(),
+                pending_f: None,
+            };
+            sim.set_program(pe, Box::new(program));
+            let extent = if g == 0 {
+                1
+            } else {
+                decomp_frame_words(header.block_size)
+            };
+            sim.post_recv(pe, in_color, extent, tasks::RECV);
+        }
+        sim.inject_blocks(PeId::new(r, 0), colors::DATA, row_blocks, 0.0);
+    }
+
+    let report = sim.run().map_err(WseError::Sim)?;
+    let last_col = pipeline_length - 1;
+    let mut restored = vec![0f32; header.count];
+    for (b, chunk) in restored.chunks_mut(header.block_size).enumerate() {
+        let outs = report.outputs(PeId::new(b % rows, last_col));
+        let words = &outs[b / rows];
+        let mut r = WaveletReader::new(words);
+        for v in chunk.iter_mut() {
+            *v = r.get_f32().map_err(|_| WseError::from(CompressError::Truncated))?;
+        }
+    }
+    Ok(DecompressRun {
+        restored,
+        stats: report.stats().clone(),
+        rows,
+        original_bytes: header.count * 4,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceresz_core::{compress, decompress, CereszConfig, ErrorBound};
+
+    fn wavy(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (i as f32 * 0.019).sin() * 15.0 + (i as f32 * 0.0041).cos())
+            .collect()
+    }
+
+    #[test]
+    fn simulated_decompression_matches_host() {
+        let data = wavy(32 * 33 + 9);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let c = compress(&data, &cfg).unwrap();
+        let host = decompress(&c).unwrap();
+        for rows in [1usize, 3, 8] {
+            let run = run_row_decompress(&c, rows).unwrap();
+            assert_eq!(run.restored, host, "rows = {rows}");
+        }
+    }
+
+    #[test]
+    fn decompression_is_faster_than_compression() {
+        // §3: decompression skips the max scan; §5.2: decomp throughput is
+        // higher than compression throughput.
+        let data = wavy(32 * 128);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let comp = crate::row_parallel::run_row_parallel(&data, &cfg, 4).unwrap();
+        let decomp = run_row_decompress(&comp.compressed, 4).unwrap();
+        assert!(
+            decomp.stats.finish_cycle < comp.stats.finish_cycle,
+            "decomp {} vs comp {}",
+            decomp.stats.finish_cycle,
+            comp.stats.finish_cycle
+        );
+    }
+
+    #[test]
+    fn zero_heavy_stream_decompresses_fast() {
+        let mut data = vec![0f32; 32 * 64];
+        data.extend(wavy(32 * 8));
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-2));
+        let c = compress(&data, &cfg).unwrap();
+        let run = run_row_decompress(&c, 2).unwrap();
+        assert_eq!(run.restored.len(), data.len());
+        let host = decompress(&c).unwrap();
+        assert_eq!(run.restored, host);
+    }
+
+    #[test]
+    fn pipelined_decompression_matches_host() {
+        let data = wavy(32 * 36 + 3);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let c = compress(&data, &cfg).unwrap();
+        let host = decompress(&c).unwrap();
+        for len in [1usize, 2, 3, 4, 6] {
+            let run = run_pipeline_decompress(&c, 2, len).unwrap();
+            assert_eq!(run.restored, host, "length = {len}");
+        }
+    }
+
+    #[test]
+    fn pipelined_decompression_handles_zero_blocks() {
+        let mut data = vec![0f32; 32 * 10];
+        data.extend(wavy(32 * 10));
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-2));
+        let c = compress(&data, &cfg).unwrap();
+        let host = decompress(&c).unwrap();
+        let run = run_pipeline_decompress(&c, 1, 3).unwrap();
+        assert_eq!(run.restored, host);
+    }
+
+    #[test]
+    fn rows_scale_decompression() {
+        let data = wavy(32 * 256);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let c = compress(&data, &cfg).unwrap();
+        let t1 = run_row_decompress(&c, 1).unwrap();
+        let t8 = run_row_decompress(&c, 8).unwrap();
+        let speedup = t1.stats.finish_cycle / t8.stats.finish_cycle;
+        assert!((speedup - 8.0).abs() < 1.0, "speedup = {speedup}");
+    }
+}

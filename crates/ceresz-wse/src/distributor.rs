@@ -1,0 +1,247 @@
+//! Edge distribution: routing input data *onto* the wafer.
+//!
+//! The harness elsewhere injects blocks directly into each row's first PE —
+//! an idealization of the CS-2's I/O fabric. §5.1.1 notes that the
+//! remaining PEs (beyond the usable 750×994) "are used for routing data on
+//! and off the WSE"; this module models that explicitly: all input enters
+//! at the north-west corner, and a **distributor column** of relay PEs
+//! carries blocks southward, peeling one block per row per round — the
+//! vertical analogue of §4.3's head relaying (and the same counting logic,
+//! rotated 90°).
+//!
+//! The distributor occupies column 0; compute rows start at column 1.
+
+use ceresz_core::block::BlockCodec;
+use ceresz_core::compressor::{CereszConfig, Compressed};
+use ceresz_core::stream::StreamHeader;
+use wse_sim::{Color, Direction, MeshConfig, PeId, PeProgram, SimError, SimStats, Simulator, TaskCtx, TaskId};
+
+use crate::error::WseError;
+use crate::harness::{
+    assemble_stream, colors, emit_encoded, parse_emitted, parse_raw_block, raw_block_wavelets,
+    split_blocks, tasks,
+};
+use crate::kernels::compress_block;
+use crate::row_parallel::kernel_error;
+
+/// Southward relay colors (alternating, like the eastward pair).
+const SOUTH_A: Color = Color::new(5);
+const SOUTH_B: Color = Color::new(6);
+
+fn south_color(link: usize) -> Color {
+    if link.is_multiple_of(2) {
+        SOUTH_A
+    } else {
+        SOUTH_B
+    }
+}
+
+/// Distributor PE at `(row, 0)`: relays blocks southward until the rows
+/// below have their round quota, then hands one block east to its own row.
+struct Distributor {
+    row: usize,
+    /// Blocks to pass south before handing one to this row (per round).
+    quota: usize,
+    forwarded: usize,
+    receives_remaining: usize,
+    in_color: Color,
+    /// Raw block extent in wavelets.
+    extent: usize,
+}
+
+impl PeProgram for Distributor {
+    fn on_task(&mut self, ctx: &mut TaskCtx<'_>, task: TaskId) -> Result<(), SimError> {
+        debug_assert_eq!(task, tasks::RECV);
+        let words = ctx.take_received(self.in_color);
+        self.receives_remaining -= 1;
+        if self.forwarded < self.quota {
+            ctx.send_async(south_color(self.row), words, None);
+            self.forwarded += 1;
+        } else {
+            self.forwarded = 0;
+            // Hand the block east to this row's compute PE.
+            ctx.send_async(colors::DATA, words, None);
+        }
+        if self.receives_remaining > 0 {
+            ctx.recv_async(self.in_color, self.extent, tasks::RECV);
+        }
+        Ok(())
+    }
+}
+
+/// Compute PE at `(row, 1)`: full compression per block (strategy 1), fed
+/// by the distributor to its west.
+struct EdgeFedCompressor {
+    codec: BlockCodec,
+    eps: f64,
+    blocks_remaining: usize,
+}
+
+impl PeProgram for EdgeFedCompressor {
+    fn on_task(&mut self, ctx: &mut TaskCtx<'_>, task: TaskId) -> Result<(), SimError> {
+        debug_assert_eq!(task, tasks::RECV);
+        let words = ctx.take_received(colors::DATA);
+        let block = parse_raw_block(&words);
+        let bytes = compress_block(&block, &self.codec, self.eps, ctx)
+            .map_err(|e| kernel_error(ctx.pe(), e))?;
+        ctx.emit(emit_encoded(&bytes));
+        self.blocks_remaining -= 1;
+        if self.blocks_remaining > 0 {
+            ctx.recv_async(colors::DATA, self.codec.block_size(), tasks::RECV);
+        }
+        Ok(())
+    }
+}
+
+/// Result of an edge-fed run.
+#[derive(Debug)]
+pub struct EdgeFedRun {
+    /// The compressed stream (bit-identical to the host reference).
+    pub compressed: Compressed,
+    /// Simulator statistics.
+    pub stats: SimStats,
+}
+
+/// Run strategy-1 compression with explicit edge distribution: all blocks
+/// enter at PE(0,0) and flow south down a distributor column before turning
+/// east into their compute row.
+///
+/// Block ownership mirrors §4.3 rotated: within a round of `rows` injected
+/// blocks, the `j`-th block lands in row `rows−1−j`.
+pub fn run_edge_fed(
+    data: &[f32],
+    cfg: &CereszConfig,
+    rows: usize,
+) -> Result<EdgeFedRun, WseError> {
+    assert!(rows > 0);
+    if !cfg.bound.is_valid() {
+        return Err(ceresz_core::CompressError::InvalidBound.into());
+    }
+    let eps = cfg.bound.resolve(data);
+    let codec = BlockCodec::new(cfg.block_size, cfg.header);
+    let header = StreamHeader {
+        header_width: cfg.header,
+        block_size: cfg.block_size,
+        count: data.len(),
+        eps,
+    };
+    let blocks = split_blocks(data, cfg.block_size);
+    let n_blocks = blocks.len();
+
+    // Pad to whole rounds of `rows` blocks (dropped after reassembly).
+    let mut wavelet_blocks: Vec<Vec<u32>> = blocks.iter().map(|b| raw_block_wavelets(b)).collect();
+    let zero_block = raw_block_wavelets(&vec![0.0f32; cfg.block_size]);
+    while !wavelet_blocks.len().is_multiple_of(rows) {
+        wavelet_blocks.push(zero_block.clone());
+    }
+    let rounds = wavelet_blocks.len() / rows;
+
+    let mut sim = Simulator::new(MeshConfig::new(rows, 2));
+    for r in 0..rows {
+        // Southward link r → r+1 in column 0 (router-level, one hop).
+        if r + 1 < rows {
+            let c = south_color(r);
+            sim.route(PeId::new(r, 0), c, None, &[Direction::South]);
+            sim.route(PeId::new(r + 1, 0), c, Some(Direction::North), &[Direction::Ramp]);
+        }
+        // Eastward handoff into the compute PE.
+        sim.route(PeId::new(r, 0), colors::DATA, None, &[Direction::East]);
+        sim.route(
+            PeId::new(r, 1),
+            colors::DATA,
+            Some(Direction::West),
+            &[Direction::Ramp],
+        );
+        let quota = rows - 1 - r;
+        let in_color = if r == 0 { colors::DATA } else { south_color(r - 1) };
+        // Row 0's distributor receives on DATA from injection, but also
+        // *sends* DATA east — the same color in two roles would collide on
+        // one PE, so row 0 receives on a dedicated injection color.
+        let in_color = if r == 0 { Color::new(7) } else { in_color };
+        let dist = Distributor {
+            row: r,
+            quota,
+            forwarded: 0,
+            receives_remaining: rounds * (quota + 1),
+            in_color,
+            extent: cfg.block_size,
+        };
+        sim.set_program(PeId::new(r, 0), Box::new(dist));
+        sim.post_recv(PeId::new(r, 0), in_color, cfg.block_size, tasks::RECV);
+        sim.set_program(
+            PeId::new(r, 1),
+            Box::new(EdgeFedCompressor {
+                codec,
+                eps,
+                blocks_remaining: rounds,
+            }),
+        );
+        sim.post_recv(PeId::new(r, 1), colors::DATA, cfg.block_size, tasks::RECV);
+    }
+    sim.inject_blocks(PeId::new(0, 0), Color::new(7), wavelet_blocks, 0.0);
+
+    let report = sim.run().map_err(WseError::Sim)?;
+    // Round j-th block lands in row rows−1−j; reassemble accordingly.
+    let mut ordered: Vec<Vec<u8>> = Vec::with_capacity(n_blocks);
+    for s in 0..n_blocks {
+        let round = s / rows;
+        let j = s % rows;
+        let row = rows - 1 - j;
+        let outs = report.outputs(PeId::new(row, 1));
+        ordered.push(parse_emitted(&outs[round])?);
+    }
+    // `assemble_stream` expects round-robin layout; rebuild it.
+    let mut rr: Vec<Vec<Vec<u8>>> = vec![Vec::new(); rows];
+    for (b, bytes) in ordered.into_iter().enumerate() {
+        rr[b % rows].push(bytes);
+    }
+    let compressed = assemble_stream(&header, &rr, n_blocks)?;
+    Ok(EdgeFedRun {
+        compressed,
+        stats: report.stats().clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceresz_core::{compress, ErrorBound};
+
+    fn wavy(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (i as f32 * 0.023).sin() * 6.0 + (i as f32 * 0.005).cos())
+            .collect()
+    }
+
+    #[test]
+    fn edge_fed_matches_reference_bitwise() {
+        let data = wavy(32 * 30);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let reference = compress(&data, &cfg).unwrap();
+        for rows in [1usize, 2, 4, 5] {
+            let run = run_edge_fed(&data, &cfg, rows).unwrap();
+            assert_eq!(run.compressed.data, reference.data, "rows = {rows}");
+        }
+    }
+
+    #[test]
+    fn unaligned_block_counts_pad_cleanly() {
+        let data = wavy(32 * 7 + 13);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-2));
+        let reference = compress(&data, &cfg).unwrap();
+        let run = run_edge_fed(&data, &cfg, 3).unwrap();
+        assert_eq!(run.compressed.data, reference.data);
+    }
+
+    #[test]
+    fn distribution_costs_show_in_cycles() {
+        // Edge feeding serializes all input through one corner: the
+        // distributor column's relay latency makes it slower than the
+        // idealized per-row injection.
+        let data = wavy(32 * 64);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let ideal = crate::row_parallel::run_row_parallel(&data, &cfg, 4).unwrap();
+        let edge = run_edge_fed(&data, &cfg, 4).unwrap();
+        assert!(edge.stats.finish_cycle > ideal.stats.finish_cycle);
+    }
+}

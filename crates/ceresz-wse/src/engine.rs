@@ -1,0 +1,161 @@
+//! Top-level entry point: pick a mapping strategy and simulate it.
+
+use ceresz_core::compressor::{CereszConfig, Compressed};
+
+use crate::error::WseError;
+use wse_sim::SimStats;
+
+use crate::multi_pipeline::run_multi_pipeline;
+use crate::pipeline_map::run_pipeline;
+use crate::row_parallel::run_row_parallel;
+
+/// Which of the paper's three parallelization strategies to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingStrategy {
+    /// §4.1 — whole compression on the first PE of each row.
+    RowParallel {
+        /// PE rows to use.
+        rows: usize,
+    },
+    /// §4.2 — one stage pipeline per row.
+    Pipeline {
+        /// PE rows to use.
+        rows: usize,
+        /// PEs per pipeline.
+        pipeline_length: usize,
+    },
+    /// §4.3 — several pipelines per row with head-relaying.
+    MultiPipeline {
+        /// PE rows to use.
+        rows: usize,
+        /// PEs per pipeline.
+        pipeline_length: usize,
+        /// Pipelines per row (`cols = pipeline_length · pipelines_per_row`).
+        pipelines_per_row: usize,
+    },
+}
+
+impl MappingStrategy {
+    /// Total PEs this strategy occupies.
+    #[must_use]
+    pub fn pes(&self) -> usize {
+        match *self {
+            MappingStrategy::RowParallel { rows } => rows,
+            MappingStrategy::Pipeline {
+                rows,
+                pipeline_length,
+            } => rows * pipeline_length,
+            MappingStrategy::MultiPipeline {
+                rows,
+                pipeline_length,
+                pipelines_per_row,
+            } => rows * pipeline_length * pipelines_per_row,
+        }
+    }
+}
+
+/// Outcome of a simulated compression run.
+#[derive(Debug)]
+pub struct SimulatedRun {
+    /// The compressed stream (bit-identical to the host reference).
+    pub compressed: Compressed,
+    /// Simulator statistics; `finish_cycle` is the runtime measure.
+    pub stats: SimStats,
+    /// The strategy that produced it.
+    pub strategy: MappingStrategy,
+}
+
+impl SimulatedRun {
+    /// Compression throughput in GB/s at the CS-2 clock.
+    #[must_use]
+    pub fn throughput_gbps(&self) -> f64 {
+        self.stats
+            .throughput_gbps(self.compressed.stats.original_bytes, wse_sim::CLOCK_HZ)
+    }
+}
+
+/// Simulate CereSZ compression of `data` with the given strategy.
+pub fn simulate_compression(
+    data: &[f32],
+    cfg: &CereszConfig,
+    strategy: MappingStrategy,
+) -> Result<SimulatedRun, WseError> {
+    match strategy {
+        MappingStrategy::RowParallel { rows } => {
+            let run = run_row_parallel(data, cfg, rows)?;
+            Ok(SimulatedRun {
+                compressed: run.compressed,
+                stats: run.stats,
+                strategy,
+            })
+        }
+        MappingStrategy::Pipeline {
+            rows,
+            pipeline_length,
+        } => {
+            let run = run_pipeline(data, cfg, rows, pipeline_length)?;
+            Ok(SimulatedRun {
+                compressed: run.compressed,
+                stats: run.stats,
+                strategy,
+            })
+        }
+        MappingStrategy::MultiPipeline {
+            rows,
+            pipeline_length,
+            pipelines_per_row,
+        } => {
+            let run = run_multi_pipeline(data, cfg, rows, pipeline_length, pipelines_per_row)?;
+            Ok(SimulatedRun {
+                compressed: run.compressed,
+                stats: run.stats,
+                strategy,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceresz_core::{compress, ErrorBound};
+
+    #[test]
+    fn all_strategies_agree_bitwise() {
+        let data: Vec<f32> = (0..32 * 24)
+            .map(|i| (i as f32 * 0.02).sin() * 8.0)
+            .collect();
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let reference = compress(&data, &cfg).unwrap();
+        for strategy in [
+            MappingStrategy::RowParallel { rows: 3 },
+            MappingStrategy::Pipeline {
+                rows: 2,
+                pipeline_length: 4,
+            },
+            MappingStrategy::MultiPipeline {
+                rows: 2,
+                pipeline_length: 2,
+                pipelines_per_row: 3,
+            },
+        ] {
+            let run = simulate_compression(&data, &cfg, strategy).unwrap();
+            assert_eq!(run.compressed.data, reference.data, "{strategy:?}");
+            assert!(run.stats.finish_cycle > 0.0);
+        }
+    }
+
+    #[test]
+    fn pes_accounting() {
+        assert_eq!(MappingStrategy::RowParallel { rows: 7 }.pes(), 7);
+        assert_eq!(
+            MappingStrategy::MultiPipeline {
+                rows: 2,
+                pipeline_length: 3,
+                pipelines_per_row: 4
+            }
+            .pes(),
+            24
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! # ceresz-wse
+//!
+//! Mapping of the CereSZ compressor onto the (simulated) Cerebras wafer-scale
+//! engine — the paper's §4. Three parallelization strategies are implemented
+//! as real PE programs running on [`wse_sim`]:
+//!
+//! 1. **Row data-parallelism** ([`row_parallel`]): blocks are distributed
+//!    round-robin over PE rows; the first PE of each row runs the entire
+//!    compression. Independent rows give linear speedup (Fig. 7).
+//! 2. **Stage pipelining** ([`pipeline_map`]): the sub-stages (quantization
+//!    split in two, Lorenzo, and the four-way split of fixed-length encoding
+//!    with per-bit shuffles) are distributed over consecutive PEs of a row by
+//!    the greedy Algorithm 1; intermediate block state streams eastward.
+//! 3. **Multi-pipeline data-parallelism** ([`multi_pipeline`]): with many
+//!    more columns than stages, several pipelines run per row; the head PE
+//!    of each pipeline relays raw blocks eastward, counting until its own
+//!    block arrives (Fig. 9).
+//!
+//! Every strategy produces a byte stream **bit-identical** to the serial
+//! reference implementation in `ceresz-core` (asserted by the integration
+//! tests), while the simulator charges calibrated cycle costs so the
+//! measured cycles reproduce the paper's profiling tables and scaling
+//! figures.
+//!
+//! [`throughput`] adds the full-wafer analytic engine: the same per-block
+//! cycle accounting fed through the paper's Eq. (4) closed form, used for
+//! the 512×512 and 750×994 configurations that are too large to event-step.
+
+pub mod decompress_map;
+pub mod distributor;
+pub mod engine;
+pub mod error;
+pub mod harness;
+pub mod kernels;
+pub mod multi_pipeline;
+pub mod pipeline_map;
+pub mod row_parallel;
+pub mod throughput;
+pub mod wire;
+
+pub use engine::{simulate_compression, MappingStrategy, SimulatedRun};
+pub use error::WseError;
+pub use throughput::{ThroughputReport, WaferConfig};

@@ -1,0 +1,340 @@
+//! Strategy 2 — pipeline parallelism across PE columns (§4.2, Fig. 6 middle).
+//!
+//! The compression sub-stages (Multiplication, Addition, Lorenzo, Sign, Max,
+//! GetLength, and one 1-bit Shuffle per plane) are distributed over `len`
+//! consecutive PEs of each row by Algorithm 1. Intermediate block state
+//! streams eastward over alternating colors; the last PE finishes any planes
+//! the sampled plan missed and emits the encoded block.
+
+use ceresz_core::block::BlockCodec;
+use ceresz_core::compressor::{CereszConfig, Compressed, CompressError};
+use ceresz_core::plan::{CompressionPlan, StageCostModel, SubStageKind};
+use ceresz_core::stream::StreamHeader;
+use wse_sim::{Color, Direction, MeshConfig, PeId, PeProgram, SimError, SimStats, Simulator, TaskCtx, TaskId};
+
+use crate::harness::{
+    assemble_stream, colors, emit_encoded, frame_words, pad_frame, parse_emitted,
+    parse_raw_block, raw_block_wavelets, split_blocks, tasks,
+};
+use crate::kernels::CompressState;
+use crate::error::WseError;
+use crate::row_parallel::kernel_error;
+
+/// The color carrying intermediate state over link `i → i+1` of a pipeline.
+#[must_use]
+pub fn inter_color(link: usize) -> Color {
+    if link.is_multiple_of(2) {
+        colors::INTER_A
+    } else {
+        colors::INTER_B
+    }
+}
+
+/// One PE of a compression pipeline.
+struct PipeStagePe {
+    /// Sub-stages this PE executes.
+    stages: Vec<SubStageKind>,
+    /// Color the input arrives on (`DATA` raw blocks for the first PE).
+    in_color: Color,
+    /// Where output goes: next PE's color, or `None` for the last PE.
+    out_color: Option<Color>,
+    /// First PE receives raw blocks, later PEs receive framed state.
+    is_first: bool,
+    codec: BlockCodec,
+    eps: f64,
+    blocks_remaining: usize,
+    /// Working-set bytes to reserve on first activation (§4.4).
+    working_set: usize,
+    reserved: bool,
+}
+
+impl PipeStagePe {
+    fn in_extent(&self) -> usize {
+        if self.is_first {
+            self.codec.block_size()
+        } else {
+            frame_words(self.codec.block_size())
+        }
+    }
+}
+
+impl PeProgram for PipeStagePe {
+    fn on_task(&mut self, ctx: &mut TaskCtx<'_>, task: TaskId) -> Result<(), SimError> {
+        debug_assert_eq!(task, tasks::RECV);
+        if !self.reserved {
+            ctx.mem_alloc(self.working_set)?;
+            self.reserved = true;
+        }
+        let words = ctx.take_received(self.in_color);
+        let mut state = if self.is_first {
+            CompressState::Raw(parse_raw_block(&words))
+        } else {
+            CompressState::from_wavelets(&words, self.codec.block_size())
+                .map_err(|_| kernel_error(ctx.pe(), CompressError::Truncated))?
+        };
+        for &stage in &self.stages {
+            if state.is_complete() {
+                break;
+            }
+            state = state
+                .apply(stage, self.eps, ctx)
+                .map_err(|e| kernel_error(ctx.pe(), e))?;
+        }
+        match self.out_color {
+            Some(color) => {
+                let frame = pad_frame(state.to_wavelets(), self.codec.block_size());
+                ctx.send_async(color, frame, None);
+            }
+            None => {
+                // Last PE: safety-net finish, then emit.
+                let state = state
+                    .finish(self.eps, ctx)
+                    .map_err(|e| kernel_error(ctx.pe(), e))?;
+                ctx.emit(emit_encoded(&state.into_encoded(&self.codec)));
+            }
+        }
+        self.blocks_remaining -= 1;
+        if self.blocks_remaining > 0 {
+            ctx.recv_async(self.in_color, self.in_extent(), tasks::RECV);
+        }
+        Ok(())
+    }
+}
+
+/// Construct a non-head pipeline stage PE program (shared with strategy 3,
+/// whose heads combine relaying with group 0).
+pub(crate) fn tail_stage_pe(
+    stages: Vec<SubStageKind>,
+    in_color: Color,
+    out_color: Option<Color>,
+    codec: BlockCodec,
+    eps: f64,
+    count: usize,
+    working_set: usize,
+) -> Box<dyn PeProgram> {
+    Box::new(PipeStagePe {
+        stages,
+        in_color,
+        out_color,
+        is_first: false,
+        codec,
+        eps,
+        blocks_remaining: count,
+        working_set,
+        reserved: false,
+    })
+}
+
+/// Result of a simulated pipeline run.
+#[derive(Debug)]
+pub struct PipelineRun {
+    /// The compressed stream (bit-identical to the host reference).
+    pub compressed: Compressed,
+    /// Simulator statistics.
+    pub stats: SimStats,
+    /// The plan that was executed.
+    pub plan: CompressionPlan,
+    /// Rows used.
+    pub rows: usize,
+}
+
+impl PipelineRun {
+    /// Compression throughput in GB/s at the CS-2 clock.
+    #[must_use]
+    pub fn throughput_gbps(&self) -> f64 {
+        self.stats
+            .throughput_gbps(self.compressed.stats.original_bytes, wse_sim::CLOCK_HZ)
+    }
+}
+
+/// Configure the PEs and routing of one pipeline in `row`, starting at
+/// column `start_col`, processing `count` blocks. Shared with the
+/// multi-pipeline strategy (which plants several of these per row).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_pipeline(
+    sim: &mut Simulator,
+    row: usize,
+    start_col: usize,
+    plan: &CompressionPlan,
+    codec: BlockCodec,
+    eps: f64,
+    count: usize,
+    first_pe_in_color: Color,
+) {
+    let len = plan.pipeline_length;
+    let stage_kinds: Vec<SubStageKind> = plan.stages.iter().map(|s| s.kind).collect();
+    let per_pe_memory =
+        ceresz_core::plan::pipeline_memory_bytes(&plan.groups, &stage_kinds, codec.block_size(), plan.fixed_length);
+    for (g, &working_set) in per_pe_memory.iter().enumerate().take(len) {
+        let pe = PeId::new(row, start_col + g);
+        let my_stages: Vec<SubStageKind> =
+            plan.groups.group(g).map(|i| stage_kinds[i]).collect();
+        let in_color = if g == 0 {
+            first_pe_in_color
+        } else {
+            inter_color(g - 1)
+        };
+        let out_color = (g + 1 < len).then(|| inter_color(g));
+        if let Some(c) = out_color {
+            // RAMP → East at this PE; West → RAMP at the next.
+            sim.route(pe, c, None, &[Direction::East]);
+            sim.route(
+                PeId::new(row, start_col + g + 1),
+                c,
+                Some(Direction::West),
+                &[Direction::Ramp],
+            );
+        }
+        let program = PipeStagePe {
+            stages: my_stages,
+            in_color,
+            out_color,
+            is_first: g == 0,
+            codec,
+            eps,
+            blocks_remaining: count,
+            working_set,
+            reserved: false,
+        };
+        let extent = program.in_extent();
+        sim.set_program(pe, Box::new(program));
+        sim.post_recv(pe, in_color, extent, tasks::RECV);
+    }
+}
+
+/// Run CereSZ compression with strategy 2: one pipeline of `pipeline_length`
+/// PEs per row, over `rows` rows.
+pub fn run_pipeline(
+    data: &[f32],
+    cfg: &CereszConfig,
+    rows: usize,
+    pipeline_length: usize,
+) -> Result<PipelineRun, WseError> {
+    run_pipeline_with(data, cfg, rows, pipeline_length, false).map(|(run, _)| run)
+}
+
+/// [`run_pipeline`] with optional task-timeline tracing (the per-PE Gantt
+/// view the `trace_pipeline` bench renders).
+pub fn run_pipeline_with(
+    data: &[f32],
+    cfg: &CereszConfig,
+    rows: usize,
+    pipeline_length: usize,
+    trace: bool,
+) -> Result<(PipelineRun, wse_sim::Trace), WseError> {
+    assert!(rows > 0 && pipeline_length > 0);
+    if !cfg.bound.is_valid() {
+        return Err(CompressError::InvalidBound.into());
+    }
+    let eps = cfg.bound.resolve(data);
+    let codec = BlockCodec::new(cfg.block_size, cfg.header);
+    let header = StreamHeader {
+        header_width: cfg.header,
+        block_size: cfg.block_size,
+        count: data.len(),
+        eps,
+    };
+    let model = StageCostModel::calibrated();
+    let plan = CompressionPlan::from_sampled(data, cfg.bound, cfg.block_size, pipeline_length, &model);
+
+    let blocks = split_blocks(data, cfg.block_size);
+    let n_blocks = blocks.len();
+    let mut per_row_blocks: Vec<Vec<Vec<u32>>> = vec![Vec::new(); rows];
+    for (b, block) in blocks.iter().enumerate() {
+        per_row_blocks[b % rows].push(raw_block_wavelets(block));
+    }
+
+    let mut mesh_cfg = MeshConfig::new(rows, pipeline_length);
+    if trace {
+        mesh_cfg = mesh_cfg.with_trace();
+    }
+    let mut sim = Simulator::new(mesh_cfg);
+    for (r, row_blocks) in per_row_blocks.into_iter().enumerate() {
+        let count = row_blocks.len();
+        if count == 0 {
+            continue;
+        }
+        build_pipeline(&mut sim, r, 0, &plan, codec, eps, count, colors::DATA);
+        sim.inject_blocks(PeId::new(r, 0), colors::DATA, row_blocks, 0.0);
+    }
+
+    let report = sim.run().map_err(WseError::Sim)?;
+    let last_col = pipeline_length - 1;
+    let mut per_row: Vec<Vec<Vec<u8>>> = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let outs = report.outputs(PeId::new(r, last_col));
+        let mut row = Vec::with_capacity(outs.len());
+        for o in outs {
+            row.push(parse_emitted(o)?);
+        }
+        per_row.push(row);
+    }
+    let compressed = assemble_stream(&header, &per_row, n_blocks)?;
+    Ok((
+        PipelineRun {
+            compressed,
+            stats: report.stats().clone(),
+            plan,
+            rows,
+        },
+        report.trace().clone(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceresz_core::{compress, ErrorBound};
+
+    fn wavy(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (i as f32 * 0.017).sin() * 9.0 - (i as f32 * 0.004).cos() * 2.0)
+            .collect()
+    }
+
+    #[test]
+    fn pipeline_output_matches_reference_bitwise() {
+        let data = wavy(32 * 40 + 7);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let reference = compress(&data, &cfg).unwrap();
+        for len in [1usize, 2, 3, 4, 8] {
+            let run = run_pipeline(&data, &cfg, 2, len).unwrap();
+            assert_eq!(run.compressed.data, reference.data, "length = {len}");
+        }
+    }
+
+    #[test]
+    fn longer_pipeline_is_slower_at_equal_pe_count() {
+        // Fig. 13 compares pipeline lengths at a FIXED total PE budget:
+        // 8 columns as eight 1-PE pipelines vs two 4-PE pipelines.
+        use crate::multi_pipeline::run_multi_pipeline;
+        let data = wavy(32 * 256);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-4));
+        let t1 = run_multi_pipeline(&data, &cfg, 2, 1, 8).unwrap();
+        let t4 = run_multi_pipeline(&data, &cfg, 2, 4, 2).unwrap();
+        assert!(
+            t1.stats.finish_cycle < t4.stats.finish_cycle,
+            "len-1 {} vs len-4 {}",
+            t1.stats.finish_cycle,
+            t4.stats.finish_cycle
+        );
+    }
+
+    #[test]
+    fn stage_groups_cover_plan() {
+        let data = wavy(32 * 16);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let run = run_pipeline(&data, &cfg, 1, 3).unwrap();
+        assert_eq!(run.plan.groups.len(), 3);
+    }
+
+    #[test]
+    fn pipeline_longer_than_stages_still_works() {
+        // More PEs than sub-stages: trailing groups are empty pass-throughs.
+        let data = wavy(32 * 8);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-2));
+        let reference = compress(&data, &cfg).unwrap();
+        let run = run_pipeline(&data, &cfg, 1, 12).unwrap();
+        assert_eq!(run.compressed.data, reference.data);
+    }
+}

@@ -1,0 +1,238 @@
+//! Strategy 1 — data parallelism across PE rows (§4.1, Fig. 6 left).
+//!
+//! Blocks are dealt round-robin to the PE rows; the first PE of each row
+//! runs the *entire* compression procedure on each of its blocks. Rows never
+//! communicate, so throughput scales linearly with the row count — the
+//! experiment behind Fig. 7.
+
+use ceresz_core::block::BlockCodec;
+use ceresz_core::plan::{self, StageCostModel, SubStageKind};
+use ceresz_core::compressor::{CereszConfig, Compressed, CompressError};
+use ceresz_core::stream::StreamHeader;
+use wse_sim::{MeshConfig, PeId, PeProgram, SimError, SimStats, Simulator, TaskCtx, TaskId};
+
+use crate::harness::{
+    assemble_stream, colors, emit_encoded, parse_emitted, parse_raw_block, raw_block_wavelets,
+    split_blocks, tasks,
+};
+use crate::kernels::compress_block;
+
+/// Program for a row-head PE that compresses whole blocks by itself.
+struct RowCompressor {
+    codec: BlockCodec,
+    eps: f64,
+    blocks_remaining: usize,
+    /// SRAM reserved on first activation (§4.4's memory constraint).
+    reserved: bool,
+}
+
+impl RowCompressor {
+    /// Working-set bytes for full-block compression on one PE, from the
+    /// planner's memory model at the worst-case fixed length.
+    fn working_set(codec: &BlockCodec) -> usize {
+        let model = StageCostModel::calibrated();
+        let stages = plan::compression_sub_stages(codec.block_size(), 31, &model);
+        let kinds: Vec<SubStageKind> = stages.iter().map(|s| s.kind).collect();
+        plan::group_memory_bytes(&kinds, None, codec.block_size(), 31)
+    }
+}
+
+impl PeProgram for RowCompressor {
+    fn on_task(&mut self, ctx: &mut TaskCtx<'_>, task: TaskId) -> Result<(), SimError> {
+        debug_assert_eq!(task, tasks::RECV);
+        if !self.reserved {
+            ctx.mem_alloc(Self::working_set(&self.codec))?;
+            self.reserved = true;
+        }
+        let words = ctx.take_received(colors::DATA);
+        let block = parse_raw_block(&words);
+        let bytes = compress_block(&block, &self.codec, self.eps, ctx)
+            .map_err(|e| kernel_error(ctx.pe(), e))?;
+        ctx.emit(emit_encoded(&bytes));
+        self.blocks_remaining -= 1;
+        if self.blocks_remaining > 0 {
+            ctx.recv_async(colors::DATA, self.codec.block_size(), tasks::RECV);
+        }
+        Ok(())
+    }
+}
+
+/// Surface a kernel-level compression failure. The simulator has no generic
+/// user-error variant by design — a CSL kernel on hardware would trap — so a
+/// kernel error (bad input data reaching a PE) aborts with context.
+pub(crate) fn kernel_error(pe: PeId, e: CompressError) -> SimError {
+    panic!("kernel failure on {pe}: {e}");
+}
+
+use crate::error::WseError;
+
+/// Result of a simulated row-parallel run.
+#[derive(Debug)]
+pub struct RowParallelRun {
+    /// The compressed stream (bit-identical to the host reference).
+    pub compressed: Compressed,
+    /// Simulator statistics; `stats.finish_cycle` is the paper's runtime
+    /// measure (cycles until the last PE finished).
+    pub stats: SimStats,
+    /// Rows used.
+    pub rows: usize,
+}
+
+impl RowParallelRun {
+    /// Compression throughput in GB/s at the CS-2 clock.
+    #[must_use]
+    pub fn throughput_gbps(&self) -> f64 {
+        self.stats
+            .throughput_gbps(self.compressed.stats.original_bytes, wse_sim::CLOCK_HZ)
+    }
+}
+
+/// Run CereSZ compression with strategy 1 on `rows` simulated PE rows.
+///
+/// Input blocks stream into each row's first PE back-to-back (the paper
+/// "keeps flowing data blocks to each row"). Returns the compressed stream
+/// and cycle statistics.
+pub fn run_row_parallel(
+    data: &[f32],
+    cfg: &CereszConfig,
+    rows: usize,
+) -> Result<RowParallelRun, WseError> {
+    assert!(rows > 0, "need at least one row");
+    if !cfg.bound.is_valid() {
+        return Err(CompressError::InvalidBound.into());
+    }
+    let eps = cfg.bound.resolve(data);
+    let codec = BlockCodec::new(cfg.block_size, cfg.header);
+    let header = StreamHeader {
+        header_width: cfg.header,
+        block_size: cfg.block_size,
+        count: data.len(),
+        eps,
+    };
+    let blocks = split_blocks(data, cfg.block_size);
+    let n_blocks = blocks.len();
+
+    let mut sim = Simulator::new(MeshConfig::new(rows, 1));
+    // Deal blocks round-robin; inject each row's queue back-to-back.
+    let mut per_row_blocks: Vec<Vec<Vec<u32>>> = vec![Vec::new(); rows];
+    for (b, block) in blocks.iter().enumerate() {
+        per_row_blocks[b % rows].push(raw_block_wavelets(block));
+    }
+    for (r, row_blocks) in per_row_blocks.into_iter().enumerate() {
+        let pe = PeId::new(r, 0);
+        let count = row_blocks.len();
+        if count == 0 {
+            continue;
+        }
+        sim.set_program(
+            pe,
+            Box::new(RowCompressor {
+                codec,
+                eps,
+                blocks_remaining: count,
+                reserved: false,
+            }),
+        );
+        sim.post_recv(pe, colors::DATA, cfg.block_size, tasks::RECV);
+        sim.inject_blocks(pe, colors::DATA, row_blocks, 0.0);
+    }
+
+    let report = sim.run().map_err(WseError::Sim)?;
+    let mut per_row: Vec<Vec<Vec<u8>>> = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let outs = report.outputs(PeId::new(r, 0));
+        let mut row = Vec::with_capacity(outs.len());
+        for o in outs {
+            row.push(parse_emitted(o)?);
+        }
+        per_row.push(row);
+    }
+    let compressed = assemble_stream(&header, &per_row, n_blocks)?;
+    Ok(RowParallelRun {
+        compressed,
+        stats: report.stats().clone(),
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceresz_core::compressor::decompress_bytes;
+    use ceresz_core::{compress, ErrorBound};
+
+    fn wavy(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (i as f32 * 0.021).sin() * 12.0 + (i as f32 * 0.0031).cos())
+            .collect()
+    }
+
+    #[test]
+    fn single_row_matches_reference() {
+        let data = wavy(32 * 20);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let run = run_row_parallel(&data, &cfg, 1).unwrap();
+        let reference = compress(&data, &cfg).unwrap();
+        assert_eq!(run.compressed.data, reference.data);
+    }
+
+    #[test]
+    fn many_rows_match_reference_bitwise() {
+        let data = wavy(32 * 57 + 11); // partial final block
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        for rows in [2usize, 4, 8] {
+            let run = run_row_parallel(&data, &cfg, rows).unwrap();
+            let reference = compress(&data, &cfg).unwrap();
+            assert_eq!(run.compressed.data, reference.data, "rows = {rows}");
+            let restored = decompress_bytes(&run.compressed.data).unwrap();
+            assert_eq!(restored.len(), data.len());
+        }
+    }
+
+    #[test]
+    fn rows_scale_nearly_linearly() {
+        // Fig. 7: throughput grows linearly with the row count.
+        let data = wavy(32 * 512);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let t1 = run_row_parallel(&data, &cfg, 1).unwrap();
+        let t4 = run_row_parallel(&data, &cfg, 4).unwrap();
+        let t16 = run_row_parallel(&data, &cfg, 16).unwrap();
+        let s4 = t1.stats.finish_cycle / t4.stats.finish_cycle;
+        let s16 = t1.stats.finish_cycle / t16.stats.finish_cycle;
+        assert!((s4 - 4.0).abs() < 0.4, "4-row speedup = {s4}");
+        assert!((s16 - 16.0).abs() < 1.6, "16-row speedup = {s16}");
+    }
+
+    #[test]
+    fn throughput_is_positive_and_finite() {
+        let data = wavy(32 * 64);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-2));
+        let run = run_row_parallel(&data, &cfg, 4).unwrap();
+        let gbps = run.throughput_gbps();
+        assert!(gbps.is_finite() && gbps > 0.0);
+    }
+
+    #[test]
+    fn oversized_blocks_exhaust_pe_sram() {
+        // §4.4's memory constraint enforced: a 4096-element block's working
+        // set (raw double-buffer + magnitudes + up to 31 planes) exceeds the
+        // 48 KB SRAM, and the simulator reports it instead of pretending.
+        let data = wavy(4096 * 4);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3)).with_block_size(4096);
+        match run_row_parallel(&data, &cfg, 2) {
+            Err(crate::error::WseError::Sim(SimError::OutOfMemory { pe, .. })) => {
+                assert_eq!(pe.col, 0);
+            }
+            other => panic!("expected OutOfMemory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn more_rows_than_blocks_is_fine() {
+        let data = wavy(40); // 2 blocks of 32
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let run = run_row_parallel(&data, &cfg, 8).unwrap();
+        let reference = compress(&data, &cfg).unwrap();
+        assert_eq!(run.compressed.data, reference.data);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests of the kernel state machines and their wavelet wire
+//! format: any split of the stage sequence across PEs must reproduce the
+//! reference encoding, through serialization, for arbitrary data.
+
+use ceresz_core::block::BlockCodec;
+use ceresz_core::plan::{compression_sub_stages, StageCostModel};
+use ceresz_core::HeaderWidth;
+use ceresz_wse::kernels::{CompressState, DecompressState, NullCharger};
+use proptest::prelude::*;
+
+fn codec() -> BlockCodec {
+    BlockCodec::new(32, HeaderWidth::W4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Split the stage list at an arbitrary point, serialize the state over
+    /// the "wire", continue on the other side: identical bytes.
+    #[test]
+    fn any_pipeline_split_is_transparent(
+        values in prop::collection::vec(-1e4f32..1e4, 32),
+        cut in 0usize..38,
+        eps_exp in 1..5i32,
+    ) {
+        let eps = 10f64.powi(-eps_exp);
+        let mut reference = Vec::new();
+        codec().encode_block(&values, eps, &mut reference).unwrap();
+
+        let model = StageCostModel::calibrated();
+        let stages = compression_sub_stages(32, 31, &model);
+        let cut = cut.min(stages.len());
+        let mut state = CompressState::Raw(values.clone());
+        for s in &stages[..cut] {
+            if state.is_complete() {
+                break;
+            }
+            state = state.apply(s.kind, eps, &mut NullCharger).unwrap();
+        }
+        // Wire hop.
+        let wire = state.to_wavelets();
+        let state = CompressState::from_wavelets(&wire, 32).unwrap();
+        let done = state.finish(eps, &mut NullCharger).unwrap();
+        prop_assert_eq!(done.into_encoded(&codec()), reference);
+    }
+
+    /// Decompression kernels invert the compression kernels for arbitrary
+    /// data, within the bound.
+    #[test]
+    fn kernel_decompression_is_bounded(
+        values in prop::collection::vec(-1e4f32..1e4, 32),
+        eps_exp in 1..5i32,
+    ) {
+        let eps = 10f64.powi(-eps_exp);
+        let bytes =
+            ceresz_wse::kernels::compress_block(&values, &codec(), eps, &mut NullCharger).unwrap();
+        let (state, consumed) =
+            DecompressState::from_encoded(&bytes, &codec(), eps, &mut NullCharger).unwrap();
+        prop_assert_eq!(consumed, bytes.len());
+        let restored = state.finish(eps, &mut NullCharger).unwrap();
+        prop_assert!(ceresz_core::verify_error_bound(&values, &restored, eps));
+    }
+
+    /// The decompression wire hop is transparent at any stage boundary.
+    #[test]
+    fn decompress_wire_hop_is_transparent(
+        values in prop::collection::vec(-1e3f32..1e3, 32),
+        hops in 1usize..6,
+    ) {
+        let eps = 1e-2;
+        let bytes =
+            ceresz_wse::kernels::compress_block(&values, &codec(), eps, &mut NullCharger).unwrap();
+        let (mut state, _) =
+            DecompressState::from_encoded(&bytes, &codec(), eps, &mut NullCharger).unwrap();
+        // Apply one stage then hop, repeatedly.
+        for _ in 0..hops {
+            state = match state {
+                DecompressState::Unshuffling { f, next_plane, .. } if next_plane < f => state
+                    .apply(
+                        ceresz_core::plan::SubStageKind::UnshufflePlane(next_plane),
+                        eps,
+                        &mut NullCharger,
+                    )
+                    .unwrap(),
+                other => other,
+            };
+            let wire = state.to_wavelets();
+            state = DecompressState::from_wavelets(&wire, 32).unwrap();
+        }
+        let restored = state.finish(eps, &mut NullCharger).unwrap();
+        prop_assert!(ceresz_core::verify_error_bound(&values, &restored, eps));
+    }
+
+    /// `can_apply` is consistent with `apply` never panicking: walking the
+    /// full decompression stage list, applying only when applicable, always
+    /// terminates in a Restored state.
+    #[test]
+    fn can_apply_guards_are_sound(
+        values in prop::collection::vec(-1e3f32..1e3, 32),
+    ) {
+        let eps = 1e-3;
+        let bytes =
+            ceresz_wse::kernels::compress_block(&values, &codec(), eps, &mut NullCharger).unwrap();
+        let (mut state, _) =
+            DecompressState::from_encoded(&bytes, &codec(), eps, &mut NullCharger).unwrap();
+        let model = StageCostModel::calibrated();
+        let stages = ceresz_core::plan::decompression_sub_stages(32, 31, &model);
+        for s in &stages {
+            if state.can_apply(s.kind) {
+                state = state.apply(s.kind, eps, &mut NullCharger).unwrap();
+            }
+        }
+        prop_assert!(matches!(state, DecompressState::Restored(_)));
+    }
+}

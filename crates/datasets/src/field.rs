@@ -1,0 +1,90 @@
+//! A named scientific field: a flat `f32` array with logical dimensions.
+
+/// One field of a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field name, e.g. `"temperature"` or `"velocity_x"`.
+    pub name: String,
+    /// Logical dimensions, slowest-varying first. 1-D data has one entry.
+    pub dims: Vec<usize>,
+    /// Row-major values.
+    pub data: Vec<f32>,
+}
+
+impl Field {
+    /// Construct, checking that dims multiply to the data length.
+    #[must_use]
+    pub fn new(name: impl Into<String>, dims: Vec<usize>, data: Vec<f32>) -> Self {
+        let expected: usize = dims.iter().product();
+        assert_eq!(expected, data.len(), "dims do not match data length");
+        Self {
+            name: name.into(),
+            dims,
+            data,
+        }
+    }
+
+    /// Element count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the field holds no data.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.data.len() * 4
+    }
+
+    /// Minimum and maximum finite values.
+    #[must_use]
+    pub fn value_range(&self) -> (f32, f32) {
+        ceresz_range(&self.data)
+    }
+}
+
+fn ceresz_range(data: &[f32]) -> (f32, f32) {
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    for &v in data {
+        if v.is_finite() {
+            min = min.min(v);
+            max = max.max(v);
+        }
+    }
+    if min > max {
+        (0.0, 0.0)
+    } else {
+        (min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_checks_dims() {
+        let f = Field::new("t", vec![2, 3], vec![0.0; 6]);
+        assert_eq!(f.len(), 6);
+        assert_eq!(f.bytes(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "dims do not match")]
+    fn bad_dims_panic() {
+        let _ = Field::new("t", vec![2, 4], vec![0.0; 6]);
+    }
+
+    #[test]
+    fn range_ignores_non_finite() {
+        let f = Field::new("t", vec![3], vec![1.0, f32::NAN, -2.0]);
+        assert_eq!(f.value_range(), (-2.0, 1.0));
+    }
+}

@@ -1,0 +1,120 @@
+//! CESM-ATM stand-in: 2-D climate/atmosphere fields.
+//!
+//! SDRBench: 79 fields of 1800 × 3600 (Table 4). Synthetic: 450 × 900
+//! (1/4 scale per axis), four representative fields. Climate fields are
+//! dominated by a smooth latitudinal gradient plus weather-scale fractal
+//! structure; cloud fractions add plateau regions (clamped at 0/1) that
+//! compress very well — CESM shows both the widest ratio range and a large
+//! max fixed length in the paper (Tables 3, 5).
+
+use crate::field::Field;
+use crate::gen::noise::{FractalNoise, WhiteNoise};
+
+/// Grid rows (latitude).
+pub const ROWS: usize = 450;
+/// Grid columns (longitude).
+pub const COLS: usize = 900;
+
+/// Representative field names.
+pub const FIELDS: &[&str] = &["TS", "CLDHGH", "PRECT", "FLDSC"];
+
+/// Generate one field by index into [`FIELDS`].
+#[must_use]
+pub fn generate(field_idx: usize, seed: u64) -> Field {
+    let name = FIELDS[field_idx % FIELDS.len()];
+    let seed = seed
+        .wrapping_mul(0x517C_C1B7_2722_0A95)
+        .wrapping_add(field_idx as u64);
+    let weather = FractalNoise::new(seed, 5, 6.0, 0.55);
+    let mut spikes = WhiteNoise::new(seed ^ 0xFACE);
+    let mut data = Vec::with_capacity(ROWS * COLS);
+    for i in 0..ROWS {
+        let lat = i as f32 / ROWS as f32; // 0 = pole, 1 = pole
+        // Zonal mean: warm equator, cold poles. Surface temperature sits
+        // at a large offset (≈290 K) relative to its spatial range (≈25 K),
+        // which is what pushes CESM's worst-block fixed length to 17 bits
+        // at REL 1e-4 (Table 3): the first residual of a block is the raw
+        // quantized value, |p| ≈ |v|max / (2·λ·range).
+        let zonal = 288.0 + 9.0 * (std::f32::consts::PI * lat).sin();
+        for j in 0..COLS {
+            let lon = j as f32 / COLS as f32;
+            let w = weather.sample(lon, lat, 0.0);
+            let v = match field_idx % FIELDS.len() {
+                // Surface temperature in kelvin.
+                0 => zonal + 3.5 * w,
+                // Cloud fraction: noise pushed into [0, 1] with plateaus.
+                1 => (0.5 + 0.9 * w).clamp(0.0, 1.0),
+                // Precipitation: exactly zero outside storm systems — the
+                // sparse field class that drives CESM's high-ratio end of
+                // Table 5.
+                2 => {
+                    if w > 0.35 {
+                        (w - 0.35) * 25.0
+                    } else {
+                        0.0
+                    }
+                }
+                // Downwelling flux: positive, with rare convective spikes
+                // that stretch the value range (drives REL-bound behaviour).
+                _ => {
+                    let base = (140.0 + 90.0 * w).max(0.0);
+                    if spikes.next_unit() < 0.0005 {
+                        base + 900.0
+                    } else {
+                        base
+                    }
+                }
+            };
+            data.push(v);
+        }
+    }
+    Field::new(name, vec![ROWS, COLS], data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(0, 1).data, generate(0, 1).data);
+    }
+
+    #[test]
+    fn fields_differ() {
+        assert_ne!(generate(0, 1).data, generate(1, 1).data);
+        assert_ne!(generate(0, 1).data, generate(0, 2).data);
+    }
+
+    #[test]
+    fn temperature_is_physical() {
+        let f = generate(0, 7);
+        let (min, max) = f.value_range();
+        assert!(min > 150.0 && max < 350.0, "range {min}..{max}");
+    }
+
+    #[test]
+    fn cloud_fraction_is_bounded() {
+        let f = generate(1, 7);
+        let (min, max) = f.value_range();
+        assert!((0.0..=1.0).contains(&min) && (0.0..=1.0).contains(&max));
+    }
+
+    #[test]
+    fn precipitation_is_mostly_zero() {
+        let f = generate(2, 7);
+        let zeros = f.data.iter().filter(|&&v| v == 0.0).count();
+        assert!(
+            zeros as f64 / f.len() as f64 > 0.5,
+            "zero fraction = {}",
+            zeros as f64 / f.len() as f64
+        );
+    }
+
+    #[test]
+    fn flux_has_spikes_widening_the_range() {
+        let f = generate(3, 7);
+        let (_, max) = f.value_range();
+        assert!(max > 500.0, "expected convective spikes, max = {max}");
+    }
+}

@@ -1,0 +1,125 @@
+//! HACC stand-in: cosmological N-body particle data.
+//!
+//! SDRBench: 6 one-dimensional arrays of 280,953,867 particles (Table 4).
+//! Synthetic: 1,048,576 particles, same six components. Particle positions
+//! are clustered (halos) but stored in simulation order, so consecutive
+//! particles are *weakly* correlated — HACC is the hardest dataset for
+//! Lorenzo prediction and shows the narrowest compression-ratio range in
+//! Table 5 (4.66–9.18 at REL 1e-2).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::field::Field;
+
+/// Particle count.
+pub const PARTICLES: usize = 1 << 20;
+
+/// The six HACC components.
+pub const FIELDS: &[&str] = &["xx", "yy", "zz", "vx", "vy", "vz"];
+
+/// Box size in comoving Mpc/h (the real HACC runs use 256²⁵⁶-ish boxes;
+/// the absolute scale only matters for the REL bound resolution).
+pub const BOX_SIZE: f32 = 256.0;
+
+/// Generate one component by index into [`FIELDS`].
+#[must_use]
+pub fn generate(field_idx: usize, seed: u64) -> Field {
+    let idx = field_idx % FIELDS.len();
+    let name = FIELDS[idx];
+    // Positions share a seed so (xx, yy, zz) describe the same particles.
+    let pos_seed = seed.wrapping_mul(0x8CB9_2BA7_2F3D_8DD7);
+    // Positions (idx < 3) share one stream so xx/yy/zz describe the same
+    // halos; each velocity component gets its own stream.
+    let mut rng = SmallRng::seed_from_u64(if idx < 3 {
+        pos_seed
+    } else {
+        pos_seed ^ (0xDEAD_BEEF + idx as u64)
+    });
+    let mut data = Vec::with_capacity(PARTICLES);
+    if idx < 3 {
+        // Halo model: particles arrive in halo-sized bursts. Within a halo,
+        // positions are Gaussian around the center — consecutive particles
+        // share the halo, giving the weak correlation Lorenzo can exploit.
+        let mut remaining_in_halo = 0usize;
+        let mut center = [0f32; 3];
+        let mut halo_radius = 1.0f32;
+        for _ in 0..PARTICLES {
+            if remaining_in_halo == 0 {
+                remaining_in_halo = rng.gen_range(64..4096);
+                center = [
+                    rng.gen_range(0.0..BOX_SIZE),
+                    rng.gen_range(0.0..BOX_SIZE),
+                    rng.gen_range(0.0..BOX_SIZE),
+                ];
+                halo_radius = rng.gen_range(0.2..4.0);
+            }
+            remaining_in_halo -= 1;
+            // Sum of three uniforms ≈ Gaussian; cheap and seed-stable.
+            let g: f32 = (0..3).map(|_| rng.gen_range(-1.0f32..1.0)).sum::<f32>() / 3.0;
+            let v = (center[idx] + halo_radius * g).rem_euclid(BOX_SIZE);
+            data.push(v);
+        }
+    } else {
+        // Velocities: virial motion, km/s scale, uncorrelated sample to
+        // sample but with a halo-scale bulk-flow component.
+        let mut bulk = 0.0f32;
+        let mut remaining = 0usize;
+        for _ in 0..PARTICLES {
+            if remaining == 0 {
+                remaining = rng.gen_range(64..4096);
+                bulk = rng.gen_range(-600.0..600.0);
+            }
+            remaining -= 1;
+            let g: f32 = (0..3).map(|_| rng.gen_range(-1.0f32..1.0)).sum::<f32>();
+            data.push(bulk + 85.0 * g);
+        }
+    }
+    Field::new(name, vec![PARTICLES], data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(0, 5).data[..100], generate(0, 5).data[..100]);
+    }
+
+    #[test]
+    fn positions_stay_in_the_box() {
+        let f = generate(1, 5);
+        let (min, max) = f.value_range();
+        assert!(min >= 0.0 && max < BOX_SIZE);
+    }
+
+    #[test]
+    fn positions_are_locally_correlated() {
+        // Mean |Δ| between consecutive particles is far below the box size
+        // (halo clustering), but not near zero (not smooth data).
+        let f = generate(0, 5);
+        let mean_step: f64 = f
+            .data
+            .windows(2)
+            .take(100_000)
+            .map(|w| f64::from((w[1] - w[0]).abs()))
+            .sum::<f64>()
+            / 100_000.0;
+        assert!(mean_step < 64.0, "mean step {mean_step} — not clustered");
+        assert!(mean_step > 0.05, "mean step {mean_step} — too smooth");
+    }
+
+    #[test]
+    fn velocities_are_roughly_centered() {
+        let f = generate(3, 5);
+        let mean: f64 = f.data.iter().map(|&v| f64::from(v)).sum::<f64>() / f.len() as f64;
+        assert!(mean.abs() < 100.0, "mean velocity = {mean}");
+    }
+
+    #[test]
+    fn components_differ() {
+        assert_ne!(generate(0, 5).data[..64], generate(1, 5).data[..64]);
+        assert_ne!(generate(3, 5).data[..64], generate(4, 5).data[..64]);
+    }
+}

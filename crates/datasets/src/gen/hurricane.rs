@@ -1,0 +1,104 @@
+//! Hurricane ISABEL stand-in: 3-D weather simulation fields.
+//!
+//! SDRBench: 13 fields of 500 × 500 × 100 (Table 4). Synthetic:
+//! 125 × 125 × 25, four representative fields around an idealized vortex.
+//! Hurricane has the *lowest* CereSZ throughput in Fig. 11 — its fields are
+//! rough relative to their value range (little sparsity, strong gradients
+//! near the eyewall), so the generator keeps the dynamic range tight and the
+//! turbulence persistent.
+
+use crate::field::Field;
+use crate::gen::noise::FractalNoise;
+
+/// Grid: z (height) × y × x, slowest first.
+pub const DIMS: [usize; 3] = [25, 125, 125];
+
+/// Representative field names.
+pub const FIELDS: &[&str] = &["Uf", "Vf", "PRECIPf", "Pf"];
+
+/// Generate one field by index into [`FIELDS`].
+#[must_use]
+pub fn generate(field_idx: usize, seed: u64) -> Field {
+    let name = FIELDS[field_idx % FIELDS.len()];
+    let seed = seed
+        .wrapping_mul(0x2545_F491_4F6C_DD1D)
+        .wrapping_add(field_idx as u64);
+    let turb = FractalNoise::new(seed, 6, 8.0, 0.72);
+    let [nz, ny, nx] = DIMS;
+    let mut data = Vec::with_capacity(nz * ny * nx);
+    let (cy, cx) = (0.5f32, 0.5f32);
+    for iz in 0..nz {
+        let z = iz as f32 / nz as f32;
+        for iy in 0..ny {
+            let y = iy as f32 / ny as f32;
+            for ix in 0..nx {
+                let x = ix as f32 / nx as f32;
+                let dx = x - cx;
+                let dy = y - cy;
+                let r = (dx * dx + dy * dy).sqrt().max(1e-3);
+                // Rankine-like vortex tangential speed: peaks at the eyewall.
+                let r_eye = 0.08;
+                let speed = if r < r_eye {
+                    60.0 * r / r_eye
+                } else {
+                    60.0 * r_eye / r
+                };
+                let t = turb.sample(x, y, z);
+                let v = match field_idx % FIELDS.len() {
+                    // Horizontal wind components (tangential) + turbulence.
+                    0 => speed * (-dy / r) + 14.0 * t,
+                    1 => speed * (dx / r) + 14.0 * t,
+                    // Precipitation: zero outside rain bands.
+                    2 => {
+                        let band = t * (1.0 - z) - 0.35;
+                        if band > 0.0 {
+                            band * 40.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    // Pressure: low at the eye, turbulent elsewhere.
+                    _ => 960.0 + 55.0 * (1.0 - (-r * r / 0.02).exp()) + 6.0 * t,
+                };
+                data.push(v);
+            }
+        }
+    }
+    Field::new(name, DIMS.to_vec(), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(2, 5).data, generate(2, 5).data);
+    }
+
+    #[test]
+    fn wind_field_is_vortical() {
+        // Tangential wind flips sign across the eye.
+        let f = generate(0, 3);
+        let [_, ny, nx] = DIMS;
+        let north = f.data[(ny / 4) * nx + nx / 2];
+        let south = f.data[(3 * ny / 4) * nx + nx / 2];
+        assert!(north * south < 0.0, "no vortex: {north} vs {south}");
+    }
+
+    #[test]
+    fn pressure_has_an_eye_minimum() {
+        let f = generate(3, 3);
+        let [_, ny, nx] = DIMS;
+        let center = f.data[(ny / 2) * nx + nx / 2];
+        let edge = f.data[nx / 8];
+        assert!(center < edge, "eye {center} !< edge {edge}");
+    }
+
+    #[test]
+    fn dims_are_consistent() {
+        let f = generate(1, 1);
+        assert_eq!(f.dims, DIMS.to_vec());
+        assert_eq!(f.len(), DIMS.iter().product::<usize>());
+    }
+}

@@ -1,0 +1,9 @@
+//! Synthetic generators for the six SDRBench stand-ins.
+
+pub mod cesm;
+pub mod hacc;
+pub mod hurricane;
+pub mod noise;
+pub mod nyx;
+pub mod qmcpack;
+pub mod rtm;

@@ -1,0 +1,172 @@
+//! Seeded value-noise helpers shared by the dataset generators.
+//!
+//! Value noise (random lattice + multilinear interpolation, summed over
+//! octaves) gives band-limited smooth fields whose roughness is controlled
+//! by the octave count and persistence — exactly the knob we tune so each
+//! synthetic dataset lands in its real counterpart's post-Lorenzo residual
+//! regime.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random lattice for 3-D value noise (use `z = 0` for 2-D).
+pub struct NoiseLattice {
+    values: Vec<f32>,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+}
+
+impl NoiseLattice {
+    /// Build an `nx × ny × nz` lattice of uniform values in [-1, 1].
+    #[must_use]
+    pub fn new(seed: u64, nx: usize, ny: usize, nz: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let values = (0..nx * ny * nz).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        Self { values, nx, ny, nz }
+    }
+
+    fn at(&self, x: usize, y: usize, z: usize) -> f32 {
+        let x = x % self.nx;
+        let y = y % self.ny;
+        let z = z % self.nz;
+        self.values[(z * self.ny + y) * self.nx + x]
+    }
+
+    /// Trilinearly interpolated sample at continuous coordinates.
+    #[must_use]
+    pub fn sample(&self, x: f32, y: f32, z: f32) -> f32 {
+        let (x0, fx) = split(x);
+        let (y0, fy) = split(y);
+        let (z0, fz) = split(z);
+        let mut acc = 0.0;
+        for (dz, wz) in [(0usize, 1.0 - fz), (1, fz)] {
+            for (dy, wy) in [(0usize, 1.0 - fy), (1, fy)] {
+                for (dx, wx) in [(0usize, 1.0 - fx), (1, fx)] {
+                    acc += wx * wy * wz * self.at(x0 + dx, y0 + dy, z0 + dz);
+                }
+            }
+        }
+        acc
+    }
+}
+
+fn split(v: f32) -> (usize, f32) {
+    let f = v.floor();
+    ((f.max(0.0)) as usize, v - f)
+}
+
+/// Fractal (multi-octave) value noise in [-1, 1]-ish range.
+pub struct FractalNoise {
+    octaves: Vec<NoiseLattice>,
+    persistence: f32,
+    base_freq: f32,
+}
+
+impl FractalNoise {
+    /// `octaves` layers starting at `base_freq` lattice cells per unit,
+    /// each octave doubling frequency and scaling amplitude by
+    /// `persistence`. Higher persistence ⇒ rougher field ⇒ larger Lorenzo
+    /// residuals.
+    #[must_use]
+    pub fn new(seed: u64, octaves: usize, base_freq: f32, persistence: f32) -> Self {
+        let lattices = (0..octaves)
+            .map(|o| {
+                let cells = (base_freq * (1 << o) as f32).ceil() as usize + 2;
+                NoiseLattice::new(seed.wrapping_add(o as u64 * 0x9E37_79B9), cells, cells, cells)
+            })
+            .collect();
+        Self {
+            octaves: lattices,
+            persistence,
+            base_freq,
+        }
+    }
+
+    /// Sample at unit-cube coordinates (components in [0, 1]).
+    #[must_use]
+    pub fn sample(&self, x: f32, y: f32, z: f32) -> f32 {
+        let mut amp = 1.0;
+        let mut freq = self.base_freq;
+        let mut acc = 0.0;
+        let mut norm = 0.0;
+        for lattice in &self.octaves {
+            acc += amp * lattice.sample(x * freq, y * freq, z * freq);
+            norm += amp;
+            amp *= self.persistence;
+            freq *= 2.0;
+        }
+        if norm > 0.0 {
+            acc / norm
+        } else {
+            0.0
+        }
+    }
+}
+
+/// White noise stream in [-1, 1].
+pub struct WhiteNoise {
+    rng: SmallRng,
+}
+
+impl WhiteNoise {
+    /// Seeded stream.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next sample in [-1, 1].
+    pub fn sample(&mut self) -> f32 {
+        self.rng.gen_range(-1.0..1.0)
+    }
+
+    /// Next uniform in [0, 1).
+    pub fn next_unit(&mut self) -> f32 {
+        self.rng.gen_range(0.0..1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_is_deterministic() {
+        let a = NoiseLattice::new(7, 8, 8, 8);
+        let b = NoiseLattice::new(7, 8, 8, 8);
+        assert_eq!(a.sample(1.3, 2.7, 0.1), b.sample(1.3, 2.7, 0.1));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = NoiseLattice::new(1, 8, 8, 8);
+        let b = NoiseLattice::new(2, 8, 8, 8);
+        assert_ne!(a.sample(1.5, 1.5, 1.5), b.sample(1.5, 1.5, 1.5));
+    }
+
+    #[test]
+    fn fractal_sample_bounded() {
+        let n = FractalNoise::new(3, 4, 4.0, 0.5);
+        for i in 0..100 {
+            let v = n.sample(i as f32 / 100.0, 0.5, 0.25);
+            assert!(v.abs() <= 1.0 + 1e-6, "sample {v} out of range");
+        }
+    }
+
+    #[test]
+    fn higher_persistence_is_rougher() {
+        // Mean absolute first difference grows with persistence.
+        let rough = FractalNoise::new(5, 5, 4.0, 0.9);
+        let smooth = FractalNoise::new(5, 5, 4.0, 0.2);
+        let diff = |n: &FractalNoise| -> f32 {
+            let vals: Vec<f32> = (0..1000)
+                .map(|i| n.sample(i as f32 / 1000.0, 0.3, 0.6))
+                .collect();
+            vals.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f32>() / 999.0
+        };
+        assert!(diff(&rough) > diff(&smooth));
+    }
+}

@@ -1,0 +1,121 @@
+//! NYX stand-in: cosmological hydrodynamics fields.
+//!
+//! SDRBench: 6 fields of 512³ (Table 4). Synthetic: 96³, the same six
+//! fields. Densities are log-normal (heavy-tailed — the value range is set
+//! by rare halos, so at loose REL bounds most of the volume quantizes to
+//! zero, which is why NYX shows near-ceiling ratios at REL 1e-2 in
+//! Table 5). Velocities are large-scale Gaussian flows.
+
+use crate::field::Field;
+use crate::gen::noise::FractalNoise;
+
+/// Cube side.
+pub const SIDE: usize = 96;
+/// Grid dims.
+pub const DIMS: [usize; 3] = [SIDE, SIDE, SIDE];
+
+/// The six NYX fields.
+pub const FIELDS: &[&str] = &[
+    "baryon_density",
+    "dark_matter_density",
+    "temperature",
+    "velocity_x",
+    "velocity_y",
+    "velocity_z",
+];
+
+/// Generate one field by index into [`FIELDS`].
+#[must_use]
+pub fn generate(field_idx: usize, seed: u64) -> Field {
+    let idx = field_idx % FIELDS.len();
+    let name = FIELDS[idx];
+    // Densities and temperature share the same underlying structure seed so
+    // halos line up across fields, as in a real simulation snapshot.
+    let structure_seed = seed.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    let velocity_seed = structure_seed.wrapping_add(1 + idx as u64);
+    let density = FractalNoise::new(structure_seed, 5, 4.0, 0.6);
+    let flow = FractalNoise::new(velocity_seed, 4, 2.0, 0.45);
+    let mut data = Vec::with_capacity(SIDE * SIDE * SIDE);
+    for iz in 0..SIDE {
+        let z = iz as f32 / SIDE as f32;
+        for iy in 0..SIDE {
+            let y = iy as f32 / SIDE as f32;
+            for ix in 0..SIDE {
+                let x = ix as f32 / SIDE as f32;
+                let d = density.sample(x, y, z);
+                let v = match idx {
+                    // Log-normal density: exp of a Gaussian-ish field. The
+                    // tail (halos) sets the range; the bulk sits near the
+                    // mean — heavy-tailed, as in the real data.
+                    0 => (4.0 * d).exp() * 1.0e10,
+                    1 => (4.5 * d).exp() * 1.0e10,
+                    // Temperature correlates with density (shock heating).
+                    2 => 1.0e4 * (1.0 + (3.0 * d).exp()),
+                    // Bulk velocity: heavy-tailed (f⁴ keeps the sign but
+                    // crushes the bulk toward 0 while rare jets set the
+                    // range) — at REL 1e-2 most of the volume quantizes to
+                    // zero blocks, giving NYX its near-ceiling Table 5
+                    // ratios.
+                    _ => {
+                        let f0 = flow.sample(x, y, z);
+                        1.0e7 * f0.powi(3) * f0.abs()
+                    }
+                };
+                data.push(v);
+            }
+        }
+    }
+    Field::new(name, DIMS.to_vec(), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(3, 2).data, generate(3, 2).data);
+    }
+
+    #[test]
+    fn density_is_heavy_tailed() {
+        let f = generate(0, 9);
+        let (min, max) = f.value_range();
+        assert!(min > 0.0);
+        let mean: f64 = f.data.iter().map(|&v| f64::from(v)).sum::<f64>() / f.len() as f64;
+        // Range dominated by rare halos: max is many times the mean.
+        assert!(f64::from(max) > 5.0 * mean, "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn velocity_is_signed_and_bounded() {
+        let f = generate(3, 9);
+        let (min, max) = f.value_range();
+        assert!(min < 0.0 && max > 0.0);
+        assert!(max.abs() <= 1.0e7 * 1.01);
+    }
+
+    #[test]
+    fn velocity_components_differ() {
+        assert_ne!(generate(3, 9).data, generate(4, 9).data);
+    }
+
+    #[test]
+    fn densities_correlate_across_fields() {
+        // Shared structure seed: baryon and dark matter peaks coincide.
+        let b = generate(0, 9);
+        let d = generate(1, 9);
+        let bi = b
+            .data
+            .iter()
+            .enumerate()
+            .max_by(|a, c| a.1.total_cmp(c.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        // Dark matter at the baryon peak is also in its top decile.
+        let mut sorted: Vec<f32> = d.data.clone();
+        sorted.sort_by(f32::total_cmp);
+        let p90 = sorted[(sorted.len() * 9) / 10];
+        assert!(d.data[bi] >= p90);
+    }
+}

@@ -1,0 +1,85 @@
+//! QMCPack stand-in: quantum Monte Carlo wavefunction slices.
+//!
+//! SDRBench: 2 fields of 33120 × 69 × 69 (Table 4) — stacked orbital slices.
+//! Synthetic: 288 × 69 × 69, two spin channels. Orbitals are oscillatory
+//! (Bloch-like waves under a Gaussian envelope), giving moderate Lorenzo
+//! residuals — QMCPack has the smallest profiled fixed length of the three
+//! datasets in Table 3 (12 vs 13/17).
+
+use crate::field::Field;
+use crate::gen::noise::{FractalNoise, WhiteNoise};
+
+/// Grid: orbital-stack × y × x.
+pub const DIMS: [usize; 3] = [288, 69, 69];
+
+/// Representative field names (the two spin channels).
+pub const FIELDS: &[&str] = &["einspline_spin0", "einspline_spin1"];
+
+/// Generate one field by index into [`FIELDS`].
+#[must_use]
+pub fn generate(field_idx: usize, seed: u64) -> Field {
+    let name = FIELDS[field_idx % FIELDS.len()];
+    let seed = seed
+        .wrapping_mul(0x9E6C_63D0_876A_1B73)
+        .wrapping_add(field_idx as u64);
+    let modulation = FractalNoise::new(seed, 3, 3.0, 0.5);
+    let mut phases = WhiteNoise::new(seed ^ 0xBEEF);
+    let [ns, ny, nx] = DIMS;
+    let mut data = Vec::with_capacity(ns * ny * nx);
+    for s in 0..ns {
+        // Each slice is one orbital with its own wave vector and phase.
+        let kx = 2.0 + 6.0 * phases.next_unit();
+        let ky = 2.0 + 6.0 * phases.next_unit();
+        let phase = phases.sample() * std::f32::consts::PI;
+        let zs = s as f32 / ns as f32;
+        for iy in 0..ny {
+            let y = iy as f32 / ny as f32;
+            for ix in 0..nx {
+                let x = ix as f32 / nx as f32;
+                let wave = (2.0 * std::f32::consts::PI * (kx * x + ky * y) + phase).sin();
+                // Gaussian envelope centered per-orbital + slow modulation.
+                let env = (-((x - 0.5).powi(2) + (y - 0.5).powi(2)) / 0.055).exp();
+                let m = 1.0 + 0.3 * modulation.sample(x, y, zs);
+                data.push(0.05 * wave * env * m);
+            }
+        }
+    }
+    Field::new(name, DIMS.to_vec(), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(0, 11).data, generate(0, 11).data);
+    }
+
+    #[test]
+    fn spin_channels_differ() {
+        assert_ne!(generate(0, 11).data, generate(1, 11).data);
+    }
+
+    #[test]
+    fn wavefunction_oscillates_around_zero() {
+        let f = generate(0, 4);
+        let mean: f64 = f.data.iter().map(|&v| f64::from(v)).sum::<f64>() / f.len() as f64;
+        let (min, max) = f.value_range();
+        assert!(min < 0.0 && max > 0.0);
+        assert!(mean.abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn envelope_suppresses_the_boundary() {
+        let f = generate(0, 4);
+        let [_, ny, nx] = DIMS;
+        // Corners are far from the envelope center: tiny amplitudes.
+        let corner_max = (0..10)
+            .map(|s| f.data[s * ny * nx].abs())
+            .fold(0.0f32, f32::max);
+        let (min, max) = f.value_range();
+        let amp = max.max(-min);
+        assert!(corner_max < amp * 0.3);
+    }
+}

@@ -1,0 +1,91 @@
+//! Raw `f32` file I/O in SDRBench layout (little-endian, no header), so the
+//! benchmarks can run against the real datasets when the files are present.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::field::Field;
+
+/// Read a raw little-endian `f32` file into a [`Field`].
+///
+/// `dims` must multiply to the file's element count.
+pub fn read_f32_file(path: &Path, dims: Vec<usize>) -> std::io::Result<Field> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    if bytes.len() % 4 != 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "file size is not a multiple of 4 bytes",
+        ));
+    }
+    let expected: usize = dims.iter().product();
+    if expected != bytes.len() / 4 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "dims {:?} expect {} elements, file has {}",
+                dims,
+                expected,
+                bytes.len() / 4
+            ),
+        ));
+    }
+    let data = bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "field".to_string());
+    Ok(Field::new(name, dims, data))
+}
+
+/// Write a field as a raw little-endian `f32` file.
+pub fn write_f32_file(field: &Field, path: &Path) -> std::io::Result<()> {
+    let mut writer = BufWriter::new(File::create(path)?);
+    for &v in &field.data {
+        writer.write_all(&v.to_le_bytes())?;
+    }
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_file() {
+        let dir = std::env::temp_dir().join("ceresz-datasets-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.f32");
+        let field = Field::new(
+            "roundtrip",
+            vec![4, 8],
+            (0..32).map(|i| i as f32 * 1.25 - 3.0).collect(),
+        );
+        write_f32_file(&field, &path).unwrap();
+        let back = read_f32_file(&path, vec![4, 8]).unwrap();
+        assert_eq!(back.data, field.data);
+        assert_eq!(back.dims, field.dims);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_dims_rejected() {
+        let dir = std::env::temp_dir().join("ceresz-datasets-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dims.f32");
+        let field = Field::new("dims", vec![8], vec![0.0; 8]);
+        write_f32_file(&field, &path).unwrap();
+        assert!(read_f32_file(&path, vec![9]).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(read_f32_file(Path::new("/nonexistent/foo.f32"), vec![1]).is_err());
+    }
+}

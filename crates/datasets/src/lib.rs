@@ -1,0 +1,35 @@
+//! # datasets
+//!
+//! Deterministic synthetic stand-ins for the six SDRBench datasets the
+//! CereSZ paper evaluates on (Table 4), plus raw `f32` file I/O for running
+//! against the real files when available.
+//!
+//! We cannot redistribute SDRBench, and the full datasets (up to 280 M
+//! elements) exceed laptop scale anyway. Each generator reproduces the two
+//! properties the CereSZ pipeline is actually sensitive to:
+//!
+//! * **smoothness** — the magnitude of first-order (Lorenzo) residuals,
+//!   which sets the per-block fixed length, the bit-shuffle cycle count, and
+//!   therefore throughput and ratio;
+//! * **sparsity** — the fraction of all-zero regions, which drives the
+//!   zero-block fast path (RTM's quiet zones are why it tops Fig. 11).
+//!
+//! Dimensions are scaled down from Table 4 (documented per generator); the
+//! field count is trimmed to a representative handful so a full 6-dataset ×
+//! 3-error-bound sweep runs in seconds.
+//!
+//! ```
+//! use datasets::{DatasetId, generate_field};
+//! let field = generate_field(DatasetId::Nyx, 0, 42);
+//! assert_eq!(field.data.len(), field.dims.iter().product::<usize>());
+//! ```
+
+pub mod field;
+pub mod gen;
+pub mod io;
+pub mod registry;
+pub mod stats;
+
+pub use field::Field;
+pub use registry::{generate_field, DatasetId, DatasetSpec, ALL_DATASETS};
+pub use stats::FieldStats;

@@ -1,0 +1,171 @@
+//! Dataset registry: Table 4 metadata plus uniform access to the generators.
+
+use crate::field::Field;
+use crate::gen;
+
+/// The six evaluation datasets (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// CESM-ATM — climate simulation, 2-D fields.
+    CesmAtm,
+    /// Hurricane ISABEL — weather simulation, 3-D fields.
+    Hurricane,
+    /// QMCPack — quantum Monte Carlo orbitals.
+    QmcPack,
+    /// NYX — cosmological hydrodynamics cubes.
+    Nyx,
+    /// RTM — reverse-time-migration seismic snapshots.
+    Rtm,
+    /// HACC — cosmological N-body particles, 1-D.
+    Hacc,
+}
+
+/// All datasets in the paper's table order.
+pub const ALL_DATASETS: [DatasetId; 6] = [
+    DatasetId::CesmAtm,
+    DatasetId::Hurricane,
+    DatasetId::QmcPack,
+    DatasetId::Nyx,
+    DatasetId::Rtm,
+    DatasetId::Hacc,
+];
+
+/// Table 4 metadata plus the synthetic scale actually generated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetSpec {
+    /// Display name.
+    pub name: &'static str,
+    /// Scientific domain (Table 4 column).
+    pub domain: &'static str,
+    /// Field count in the real SDRBench dataset.
+    pub paper_fields: usize,
+    /// Per-field dimensions in the real dataset.
+    pub paper_dims: &'static str,
+    /// Synthetic field names generated here.
+    pub synthetic_fields: Vec<&'static str>,
+    /// Synthetic per-field dimensions.
+    pub synthetic_dims: Vec<usize>,
+}
+
+impl DatasetId {
+    /// Metadata for this dataset.
+    #[must_use]
+    pub fn spec(&self) -> DatasetSpec {
+        match self {
+            DatasetId::CesmAtm => DatasetSpec {
+                name: "CESM-ATM",
+                domain: "Climate Simulation",
+                paper_fields: 79,
+                paper_dims: "1,800x3,600",
+                synthetic_fields: gen::cesm::FIELDS.to_vec(),
+                synthetic_dims: vec![gen::cesm::ROWS, gen::cesm::COLS],
+            },
+            DatasetId::Hurricane => DatasetSpec {
+                name: "Hurricane",
+                domain: "Weather Simulation",
+                paper_fields: 13,
+                paper_dims: "500x500x100",
+                synthetic_fields: gen::hurricane::FIELDS.to_vec(),
+                synthetic_dims: gen::hurricane::DIMS.to_vec(),
+            },
+            DatasetId::QmcPack => DatasetSpec {
+                name: "QMCPack",
+                domain: "Quantum Monte Carlo",
+                paper_fields: 2,
+                paper_dims: "33120x69x69",
+                synthetic_fields: gen::qmcpack::FIELDS.to_vec(),
+                synthetic_dims: gen::qmcpack::DIMS.to_vec(),
+            },
+            DatasetId::Nyx => DatasetSpec {
+                name: "NYX",
+                domain: "Cosmic Simulation",
+                paper_fields: 6,
+                paper_dims: "512x512x512",
+                synthetic_fields: gen::nyx::FIELDS.to_vec(),
+                synthetic_dims: gen::nyx::DIMS.to_vec(),
+            },
+            DatasetId::Rtm => DatasetSpec {
+                name: "RTM",
+                domain: "Seismic Imaging",
+                paper_fields: 36,
+                paper_dims: "449x449x235",
+                synthetic_fields: gen::rtm::FIELDS.to_vec(),
+                synthetic_dims: gen::rtm::DIMS.to_vec(),
+            },
+            DatasetId::Hacc => DatasetSpec {
+                name: "HACC",
+                domain: "Cosmic Simulation",
+                paper_fields: 6,
+                paper_dims: "280,953,867",
+                synthetic_fields: gen::hacc::FIELDS.to_vec(),
+                synthetic_dims: vec![gen::hacc::PARTICLES],
+            },
+        }
+    }
+
+    /// Number of synthetic fields.
+    #[must_use]
+    pub fn n_fields(&self) -> usize {
+        self.spec().synthetic_fields.len()
+    }
+}
+
+/// Generate field `field_idx` of `dataset` with the given seed.
+#[must_use]
+pub fn generate_field(dataset: DatasetId, field_idx: usize, seed: u64) -> Field {
+    match dataset {
+        DatasetId::CesmAtm => gen::cesm::generate(field_idx, seed),
+        DatasetId::Hurricane => gen::hurricane::generate(field_idx, seed),
+        DatasetId::QmcPack => gen::qmcpack::generate(field_idx, seed),
+        DatasetId::Nyx => gen::nyx::generate(field_idx, seed),
+        DatasetId::Rtm => gen::rtm::generate(field_idx, seed),
+        DatasetId::Hacc => gen::hacc::generate(field_idx, seed),
+    }
+}
+
+/// Generate every field of a dataset.
+#[must_use]
+pub fn generate_all(dataset: DatasetId, seed: u64) -> Vec<Field> {
+    (0..dataset.n_fields())
+        .map(|i| generate_field(dataset, i, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_dataset_generates_every_field() {
+        for ds in ALL_DATASETS {
+            let spec = ds.spec();
+            for i in 0..ds.n_fields() {
+                let f = generate_field(ds, i, 42);
+                assert_eq!(f.dims, spec.synthetic_dims, "{ds:?} field {i}");
+                assert_eq!(f.name, spec.synthetic_fields[i]);
+                assert!(f.data.iter().all(|v| v.is_finite()), "{ds:?} field {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn table4_metadata_matches_paper() {
+        assert_eq!(DatasetId::CesmAtm.spec().paper_fields, 79);
+        assert_eq!(DatasetId::Hurricane.spec().paper_dims, "500x500x100");
+        assert_eq!(DatasetId::Hacc.spec().paper_dims, "280,953,867");
+        assert_eq!(DatasetId::Rtm.spec().domain, "Seismic Imaging");
+    }
+
+    #[test]
+    fn fields_are_reasonably_sized() {
+        for ds in ALL_DATASETS {
+            let f = generate_field(ds, 0, 1);
+            assert!(
+                f.len() >= 100_000,
+                "{ds:?} too small for meaningful benchmarks: {}",
+                f.len()
+            );
+            assert!(f.len() <= 4_000_000, "{ds:?} too large for CI: {}", f.len());
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Field statistics: the data properties that determine compression
+//! behaviour, used to document how the synthetic stand-ins relate to their
+//! SDRBench originals (see the `dataset_stats` bench binary).
+
+use crate::field::Field;
+
+/// Summary statistics of one field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FieldStats {
+    /// Minimum finite value.
+    pub min: f32,
+    /// Maximum finite value.
+    pub max: f32,
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation.
+    pub std: f64,
+    /// Fraction of exact zeros (drives the zero-block fast path).
+    pub zero_fraction: f64,
+    /// Mean |x[i+1] − x[i]| normalized by the value range — the smoothness
+    /// measure that predicts post-Lorenzo residual widths.
+    pub normalized_roughness: f64,
+    /// `|max value| / range` — predicts the first-element quantized
+    /// magnitude under REL bounds (the fixed-length driver).
+    pub offset_ratio: f64,
+}
+
+impl FieldStats {
+    /// Compute statistics of a field.
+    #[must_use]
+    pub fn of(field: &Field) -> Self {
+        Self::of_slice(&field.data)
+    }
+
+    /// Compute statistics of a raw slice.
+    #[must_use]
+    pub fn of_slice(data: &[f32]) -> Self {
+        if data.is_empty() {
+            return Self {
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                std: 0.0,
+                zero_fraction: 0.0,
+                normalized_roughness: 0.0,
+                offset_ratio: 0.0,
+            };
+        }
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        let mut sum = 0.0f64;
+        let mut zeros = 0usize;
+        for &v in data {
+            if v.is_finite() {
+                min = min.min(v);
+                max = max.max(v);
+            }
+            sum += f64::from(v);
+            if v == 0.0 {
+                zeros += 1;
+            }
+        }
+        if min > max {
+            min = 0.0;
+            max = 0.0;
+        }
+        let n = data.len() as f64;
+        let mean = sum / n;
+        let var = data
+            .iter()
+            .map(|&v| {
+                let d = f64::from(v) - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        let range = f64::from(max) - f64::from(min);
+        let rough = if data.len() > 1 && range > 0.0 {
+            data.windows(2)
+                .map(|w| f64::from((w[1] - w[0]).abs()))
+                .sum::<f64>()
+                / (n - 1.0)
+                / range
+        } else {
+            0.0
+        };
+        let offset = if range > 0.0 {
+            f64::from(max.abs().max(min.abs())) / range
+        } else {
+            0.0
+        };
+        Self {
+            min,
+            max,
+            mean,
+            std: var.sqrt(),
+            zero_fraction: zeros as f64 / n,
+            normalized_roughness: rough,
+            offset_ratio: offset,
+        }
+    }
+
+    /// Predicted worst-block fixed length under a REL bound `λ`: bits of
+    /// `offset_ratio / (2λ)` (the first residual of a block is the raw
+    /// quantized value).
+    #[must_use]
+    pub fn predicted_fixed_length(&self, lambda: f64) -> u32 {
+        if lambda <= 0.0 || self.offset_ratio <= 0.0 {
+            return 0;
+        }
+        let p = self.offset_ratio / (2.0 * lambda);
+        (p.max(1.0).log2().ceil() as u32).min(31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{generate_field, DatasetId};
+
+    #[test]
+    fn basics_on_known_data() {
+        let s = FieldStats::of_slice(&[0.0, 0.0, 1.0, 3.0]);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 1.0).abs() < 1e-12);
+        assert!((s.zero_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slice_is_zeroes() {
+        let s = FieldStats::of_slice(&[]);
+        assert_eq!(s.zero_fraction, 0.0);
+        assert_eq!(s.normalized_roughness, 0.0);
+    }
+
+    #[test]
+    fn rtm_is_sparse_and_hacc_is_rough() {
+        let rtm = FieldStats::of(&generate_field(DatasetId::Rtm, 0, 1));
+        assert!(rtm.zero_fraction > 0.5, "RTM zeros {}", rtm.zero_fraction);
+        let hacc = FieldStats::of(&generate_field(DatasetId::Hacc, 0, 1));
+        let cesm = FieldStats::of(&generate_field(DatasetId::CesmAtm, 0, 1));
+        assert!(
+            hacc.normalized_roughness > cesm.normalized_roughness,
+            "HACC {} vs CESM {}",
+            hacc.normalized_roughness,
+            cesm.normalized_roughness
+        );
+    }
+
+    #[test]
+    fn fixed_length_prediction_matches_table3() {
+        // The CESM temperature field was tuned so its offset ratio puts the
+        // worst block at 17 bits under REL 1e-4 (Table 3).
+        let ts = FieldStats::of(&generate_field(DatasetId::CesmAtm, 0, 2024));
+        let f = ts.predicted_fixed_length(1e-4);
+        assert!((16..=18).contains(&f), "predicted f = {f}");
+    }
+
+    #[test]
+    fn prediction_edge_cases() {
+        let s = FieldStats::of_slice(&[5.0; 16]);
+        assert_eq!(s.predicted_fixed_length(-1.0), 0);
+        assert_eq!(FieldStats::of_slice(&[]).predicted_fixed_length(1e-3), 0);
+    }
+}

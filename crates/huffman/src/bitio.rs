@@ -1,0 +1,135 @@
+//! MSB-first bit-level writer and reader over byte buffers.
+
+/// Append-only MSB-first bit writer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits used in the final byte (0 = byte boundary).
+    bit_pos: u8,
+}
+
+impl BitWriter {
+    /// Fresh writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write the low `n` bits of `value`, most significant of those first.
+    pub fn write_bits(&mut self, value: u64, n: u8) {
+        debug_assert!(n <= 64);
+        for i in (0..n).rev() {
+            let bit = ((value >> i) & 1) as u8;
+            if self.bit_pos == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.last_mut().expect("pushed above");
+            *last |= bit << (7 - self.bit_pos);
+            self.bit_pos = (self.bit_pos + 1) % 8;
+        }
+    }
+
+    /// Total bits written.
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        if self.bit_pos == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + usize::from(self.bit_pos)
+        }
+    }
+
+    /// Finish, returning the padded byte buffer.
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// MSB-first bit reader.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize, // bit position
+}
+
+impl<'a> BitReader<'a> {
+    /// Read from `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Read one bit; `None` at end of buffer.
+    pub fn read_bit(&mut self) -> Option<u8> {
+        let byte = self.bytes.get(self.pos / 8)?;
+        let bit = (byte >> (7 - (self.pos % 8))) & 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Read `n` bits MSB-first as an integer; `None` if the buffer ends.
+    pub fn read_bits(&mut self, n: u8) -> Option<u64> {
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | u64::from(self.read_bit()?);
+        }
+        Some(v)
+    }
+
+    /// Current bit offset.
+    #[must_use]
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xFF, 8);
+        w.write_bits(0, 1);
+        w.write_bits(0b110011, 6);
+        let bit_len = w.bit_len();
+        assert_eq!(bit_len, 18);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3), Some(0b101));
+        assert_eq!(r.read_bits(8), Some(0xFF));
+        assert_eq!(r.read_bits(1), Some(0));
+        assert_eq!(r.read_bits(6), Some(0b110011));
+    }
+
+    #[test]
+    fn read_past_end_is_none() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8), Some(0b1000_0000)); // padding zeros
+        assert_eq!(r.read_bit(), None);
+    }
+
+    #[test]
+    fn zero_width_write_is_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(123, 0);
+        assert_eq!(w.bit_len(), 0);
+        assert!(w.finish().is_empty());
+    }
+
+    #[test]
+    fn sixty_four_bit_value() {
+        let v = 0xDEAD_BEEF_CAFE_F00Du64;
+        let mut w = BitWriter::new();
+        w.write_bits(v, 64);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(64), Some(v));
+    }
+}

@@ -1,0 +1,208 @@
+//! Canonical Huffman codes: a deterministic assignment of codewords given
+//! only the per-symbol code lengths, so the table serializes as
+//! `(symbol, length)` pairs.
+
+use std::collections::HashMap;
+
+use crate::HuffmanError;
+
+/// A canonical code: encode map plus the per-length decoding structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalCode {
+    /// Symbol → (codeword, bit length), MSB-first codeword in the low bits.
+    codes: HashMap<u32, (u64, u8)>,
+    /// Longest code length.
+    max_len: u8,
+    /// `first_code[l]`: the canonical value of the first code of length `l`.
+    first_code: Vec<u64>,
+    /// `first_index[l]`: index into `sorted_symbols` of that first code.
+    first_index: Vec<usize>,
+    /// Symbols sorted by (length, symbol) — canonical order.
+    sorted_symbols: Vec<u32>,
+    /// Count of codes per length.
+    count_per_len: Vec<usize>,
+}
+
+impl CanonicalCode {
+    /// Build the canonical code from per-symbol lengths.
+    pub fn from_lengths(lengths: &HashMap<u32, u8>) -> Result<Self, HuffmanError> {
+        if lengths.is_empty() {
+            return Err(HuffmanError::EmptyInput);
+        }
+        let max_len = *lengths.values().max().expect("non-empty");
+        if max_len == 0 || max_len > 64 {
+            return Err(HuffmanError::CorruptTable);
+        }
+        let mut sorted: Vec<(u8, u32)> = lengths.iter().map(|(&s, &l)| (l, s)).collect();
+        sorted.sort_unstable();
+        // Kraft check: Σ 2^(max-len) must not exceed 2^max (prefix-free).
+        let mut kraft: u128 = 0;
+        for &(l, _) in &sorted {
+            if l == 0 {
+                return Err(HuffmanError::CorruptTable);
+            }
+            kraft += 1u128 << (max_len - l);
+        }
+        if kraft > 1u128 << max_len {
+            return Err(HuffmanError::CorruptTable);
+        }
+
+        let ml = usize::from(max_len);
+        let mut count_per_len = vec![0usize; ml + 1];
+        for &(l, _) in &sorted {
+            count_per_len[usize::from(l)] += 1;
+        }
+        let mut first_code = vec![0u64; ml + 2];
+        let mut first_index = vec![0usize; ml + 2];
+        let mut code = 0u64;
+        let mut index = 0usize;
+        for l in 1..=ml {
+            first_code[l] = code;
+            first_index[l] = index;
+            code = (code + count_per_len[l] as u64) << 1;
+            index += count_per_len[l];
+        }
+        let mut codes = HashMap::with_capacity(sorted.len());
+        let mut next = vec![0u64; ml + 1];
+        next[1..=ml].copy_from_slice(&first_code[1..=ml]);
+        let sorted_symbols: Vec<u32> = sorted.iter().map(|&(_, s)| s).collect();
+        for &(l, s) in &sorted {
+            codes.insert(s, (next[usize::from(l)], l));
+            next[usize::from(l)] += 1;
+        }
+        Ok(Self {
+            codes,
+            max_len,
+            first_code,
+            first_index,
+            sorted_symbols,
+            count_per_len,
+        })
+    }
+
+    /// Codeword for a symbol.
+    #[must_use]
+    pub fn code(&self, symbol: u32) -> Option<(u64, u8)> {
+        self.codes.get(&symbol).copied()
+    }
+
+    /// Number of symbols.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True if the code has no symbols (never, post-construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Longest code length.
+    #[must_use]
+    pub fn max_len(&self) -> u8 {
+        self.max_len
+    }
+
+    /// The `(symbol, length)` table in canonical order, for serialization.
+    #[must_use]
+    pub fn table(&self) -> Vec<(u32, u8)> {
+        self.sorted_symbols
+            .iter()
+            .map(|&s| (s, self.codes[&s].1))
+            .collect()
+    }
+
+    /// Decode one symbol from a bit source (a closure yielding bits).
+    ///
+    /// Returns `None` if the source ends or the prefix is not a valid code.
+    pub fn decode_symbol<F: FnMut() -> Option<u8>>(&self, mut next_bit: F) -> Option<u32> {
+        let mut code = 0u64;
+        for l in 1..=usize::from(self.max_len) {
+            code = (code << 1) | u64::from(next_bit()?);
+            let count = self.count_per_len[l];
+            if count > 0 {
+                let first = self.first_code[l];
+                if code < first + count as u64 && code >= first {
+                    let idx = self.first_index[l] + (code - first) as usize;
+                    return Some(self.sorted_symbols[idx]);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram;
+    use crate::tree::build_code_lengths;
+
+    fn code_for(data: &[u32]) -> CanonicalCode {
+        CanonicalCode::from_lengths(&build_code_lengths(&histogram(data)).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn codes_are_prefix_free() {
+        let data: Vec<u32> = (0..500).map(|i| (i * 7) % 23).collect();
+        let code = code_for(&data);
+        let entries: Vec<(u64, u8)> = code
+            .table()
+            .iter()
+            .map(|&(s, _)| code.code(s).unwrap())
+            .collect();
+        for (i, &(ca, la)) in entries.iter().enumerate() {
+            for &(cb, lb) in &entries[i + 1..] {
+                let l = la.min(lb);
+                assert_ne!(ca >> (la - l), cb >> (lb - l), "prefix collision");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_inverts_encode_per_symbol() {
+        let data: Vec<u32> = (0..100).map(|i| i % 11).collect();
+        let code = code_for(&data);
+        for s in 0..11u32 {
+            let (cw, len) = code.code(s).unwrap();
+            let mut bits: Vec<u8> = (0..len).rev().map(|i| ((cw >> i) & 1) as u8).collect();
+            bits.reverse(); // pop from the back
+            let decoded = code.decode_symbol(|| bits.pop());
+            assert_eq!(decoded, Some(s));
+        }
+    }
+
+    #[test]
+    fn table_rebuild_is_identical() {
+        let data: Vec<u32> = (0..1000).map(|i| (i * i) % 97).collect();
+        let code = code_for(&data);
+        let lengths: HashMap<u32, u8> = code.table().into_iter().collect();
+        let rebuilt = CanonicalCode::from_lengths(&lengths).unwrap();
+        assert_eq!(code, rebuilt);
+    }
+
+    #[test]
+    fn over_subscribed_lengths_rejected() {
+        // Three length-1 codes violate Kraft.
+        let lengths = HashMap::from([(1u32, 1u8), (2, 1), (3, 1)]);
+        assert_eq!(
+            CanonicalCode::from_lengths(&lengths),
+            Err(HuffmanError::CorruptTable)
+        );
+    }
+
+    #[test]
+    fn zero_length_rejected() {
+        let lengths = HashMap::from([(1u32, 0u8)]);
+        assert!(CanonicalCode::from_lengths(&lengths).is_err());
+    }
+
+    #[test]
+    fn truncated_bits_decode_to_none() {
+        let data: Vec<u32> = (0..64).collect();
+        let code = code_for(&data);
+        let mut empty = std::iter::empty();
+        assert_eq!(code.decode_symbol(|| empty.next()), None);
+    }
+}

@@ -1,0 +1,173 @@
+//! Self-contained encode/decode of `u32` symbol streams: the canonical code
+//! table travels with the payload.
+//!
+//! Layout:
+//!
+//! ```text
+//! [count u64][table_len u32][(symbol u32, length u8) × table_len][payload]
+//! ```
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::canonical::CanonicalCode;
+use crate::tree::build_code_lengths;
+use crate::{histogram, HuffmanError};
+
+/// An encoded stream plus size accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Encoded {
+    /// The serialized stream (header + table + payload).
+    pub bytes: Vec<u8>,
+    /// Payload bits (for entropy accounting, excludes table).
+    pub payload_bits: usize,
+    /// Symbols encoded.
+    pub count: usize,
+}
+
+/// Huffman-encode a symbol stream. Empty input yields a valid empty stream.
+pub fn encode(symbols: &[u32]) -> Result<Encoded, HuffmanError> {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&(symbols.len() as u64).to_le_bytes());
+    if symbols.is_empty() {
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        return Ok(Encoded {
+            bytes,
+            payload_bits: 0,
+            count: 0,
+        });
+    }
+    let lengths = build_code_lengths(&histogram(symbols))?;
+    let code = CanonicalCode::from_lengths(&lengths)?;
+    let table = code.table();
+    bytes.extend_from_slice(&(table.len() as u32).to_le_bytes());
+    for &(sym, len) in &table {
+        bytes.extend_from_slice(&sym.to_le_bytes());
+        bytes.push(len);
+    }
+    let mut writer = BitWriter::new();
+    for &s in symbols {
+        let (cw, len) = code.code(s).expect("symbol came from the histogram");
+        writer.write_bits(cw, len);
+    }
+    let payload_bits = writer.bit_len();
+    bytes.extend_from_slice(&writer.finish());
+    Ok(Encoded {
+        bytes,
+        payload_bits,
+        count: symbols.len(),
+    })
+}
+
+/// Decode a stream produced by [`encode`].
+pub fn decode(encoded: &Encoded) -> Result<Vec<u32>, HuffmanError> {
+    decode_bytes(&encoded.bytes)
+}
+
+/// Decode from raw bytes.
+pub fn decode_bytes(bytes: &[u8]) -> Result<Vec<u32>, HuffmanError> {
+    if bytes.len() < 12 {
+        return Err(HuffmanError::Truncated);
+    }
+    let count = u64::from_le_bytes(bytes[0..8].try_into().expect("sized")) as usize;
+    let table_len = u32::from_le_bytes(bytes[8..12].try_into().expect("sized")) as usize;
+    if count == 0 {
+        return Ok(Vec::new());
+    }
+    let table_bytes = table_len.checked_mul(5).ok_or(HuffmanError::CorruptTable)?;
+    let payload_off = 12 + table_bytes;
+    if bytes.len() < payload_off {
+        return Err(HuffmanError::Truncated);
+    }
+    let mut lengths = std::collections::HashMap::with_capacity(table_len);
+    for i in 0..table_len {
+        let off = 12 + i * 5;
+        let sym = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("sized"));
+        let len = bytes[off + 4];
+        if lengths.insert(sym, len).is_some() {
+            return Err(HuffmanError::CorruptTable);
+        }
+    }
+    let code = CanonicalCode::from_lengths(&lengths)?;
+    let mut reader = BitReader::new(&bytes[payload_off..]);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let sym = code
+            .decode_symbol(|| reader.read_bit())
+            .ok_or(HuffmanError::Truncated)?;
+        out.push(sym);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_skewed_stream() {
+        let mut data = vec![0u32; 5000];
+        data.extend((0..200).map(|i| i % 31 + 1));
+        let enc = encode(&data).unwrap();
+        assert_eq!(decode(&enc).unwrap(), data);
+        // Heavily skewed: way under 4 bytes/symbol.
+        assert!(enc.bytes.len() < data.len());
+    }
+
+    #[test]
+    fn roundtrip_single_symbol() {
+        let data = vec![42u32; 100];
+        let enc = encode(&data).unwrap();
+        assert_eq!(decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let enc = encode(&[]).unwrap();
+        assert_eq!(decode(&enc).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn roundtrip_all_distinct() {
+        let data: Vec<u32> = (0..1024).collect();
+        let enc = encode(&data).unwrap();
+        assert_eq!(decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_payload_is_error() {
+        let data: Vec<u32> = (0..100).map(|i| i % 7).collect();
+        let enc = encode(&data).unwrap();
+        let cut = &enc.bytes[..enc.bytes.len() - 2];
+        assert_eq!(decode_bytes(cut), Err(HuffmanError::Truncated));
+    }
+
+    #[test]
+    fn truncated_header_is_error() {
+        assert_eq!(decode_bytes(&[1, 2, 3]), Err(HuffmanError::Truncated));
+    }
+
+    #[test]
+    fn duplicate_table_entry_is_error() {
+        let data = vec![1u32, 2, 2];
+        let mut enc = encode(&data).unwrap();
+        // Overwrite the second table symbol with the first (duplicate).
+        let first = enc.bytes[12..16].to_vec();
+        enc.bytes[17..21].copy_from_slice(&first);
+        assert!(matches!(
+            decode(&enc),
+            Err(HuffmanError::CorruptTable) | Err(HuffmanError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn compression_approaches_entropy() {
+        // Geometric-ish distribution: entropy ≈ 2 bits/symbol.
+        let mut data = Vec::new();
+        for (sym, count) in [(0u32, 8000), (1, 4000), (2, 2000), (3, 1000), (4, 1000)] {
+            data.extend(std::iter::repeat_n(sym, count));
+        }
+        let enc = encode(&data).unwrap();
+        let bits_per_symbol = enc.payload_bits as f64 / data.len() as f64;
+        assert!(bits_per_symbol < 2.2, "bits/symbol = {bits_per_symbol}");
+        assert_eq!(decode(&enc).unwrap(), data);
+    }
+}

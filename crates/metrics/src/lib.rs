@@ -1,0 +1,62 @@
+//! # metrics
+//!
+//! Data-quality metrics for lossy compression, as used in §5.4 of the
+//! CereSZ paper: PSNR, SSIM (windowed, over a 2-D slice), error-bound
+//! verification, and rate–distortion points.
+
+pub mod psnr;
+pub mod rate_distortion;
+pub mod ssim;
+
+pub use psnr::{mse, psnr};
+pub use rate_distortion::{bit_rate, RateDistortionPoint};
+pub use ssim::{ssim_2d, SsimConfig};
+
+/// Maximum absolute pointwise error.
+///
+/// # Panics
+/// If the slices differ in length.
+#[must_use]
+pub fn max_error(original: &[f32], reconstructed: &[f32]) -> f64 {
+    assert_eq!(original.len(), reconstructed.len());
+    original
+        .iter()
+        .zip(reconstructed)
+        .map(|(a, b)| (f64::from(*a) - f64::from(*b)).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Value range (max − min) of the finite values, the PSNR normalizer.
+#[must_use]
+pub fn value_range(data: &[f32]) -> f64 {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in data {
+        if v.is_finite() {
+            min = min.min(f64::from(v));
+            max = max.max(f64::from(v));
+        }
+    }
+    if min > max {
+        0.0
+    } else {
+        max - min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_error_basics() {
+        assert_eq!(max_error(&[1.0, 2.0], &[1.0, 2.5]), 0.5);
+        assert_eq!(max_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn value_range_basics() {
+        assert_eq!(value_range(&[-1.0, 3.0, 0.0]), 4.0);
+        assert_eq!(value_range(&[f32::NAN]), 0.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Rate–distortion accounting (§5.4): bit rate (bits per value) against
+//! quality (PSNR/SSIM) across error bounds.
+
+/// Bits per original value for a compressed representation.
+#[must_use]
+pub fn bit_rate(original_values: usize, compressed_bytes: usize) -> f64 {
+    if original_values == 0 {
+        0.0
+    } else {
+        compressed_bytes as f64 * 8.0 / original_values as f64
+    }
+}
+
+/// One point of a rate–distortion curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateDistortionPoint {
+    /// The error bound that produced the point.
+    pub error_bound: f64,
+    /// Bits per value.
+    pub bit_rate: f64,
+    /// PSNR in dB.
+    pub psnr: f64,
+    /// SSIM in [0, 1].
+    pub ssim: f64,
+    /// Compression ratio (32 / bit_rate for f32 data).
+    pub ratio: f64,
+}
+
+impl RateDistortionPoint {
+    /// Construct from raw measurements on `f32` data.
+    #[must_use]
+    pub fn new(
+        error_bound: f64,
+        original_values: usize,
+        compressed_bytes: usize,
+        psnr: f64,
+        ssim: f64,
+    ) -> Self {
+        let br = bit_rate(original_values, compressed_bytes);
+        Self {
+            error_bound,
+            bit_rate: br,
+            psnr,
+            ssim,
+            ratio: if br > 0.0 { 32.0 / br } else { 0.0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_rate_math() {
+        // 1000 f32 values (4000 B) compressed to 500 B → 4 bits/value.
+        assert_eq!(bit_rate(1000, 500), 4.0);
+        assert_eq!(bit_rate(0, 10), 0.0);
+    }
+
+    #[test]
+    fn ratio_is_inverse_of_bit_rate() {
+        let p = RateDistortionPoint::new(1e-3, 1000, 500, 60.0, 0.99);
+        assert!((p.ratio - 8.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,173 @@
+//! Structural Similarity Index (SSIM) over 2-D slices.
+//!
+//! Windowed SSIM following Wang et al. 2004: per-window luminance, contrast,
+//! and structure terms with the standard stabilizers `C1 = (K1·L)²`,
+//! `C2 = (K2·L)²`, averaged over all windows. Scientific data uses the
+//! field's value range as the dynamic range `L`.
+
+use crate::value_range;
+
+/// SSIM parameters (Wang et al. defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SsimConfig {
+    /// Window side length.
+    pub window: usize,
+    /// Window stride (set = window for tiled, 1 for dense).
+    pub stride: usize,
+    /// Stabilizer K1.
+    pub k1: f64,
+    /// Stabilizer K2.
+    pub k2: f64,
+}
+
+impl Default for SsimConfig {
+    fn default() -> Self {
+        Self {
+            window: 8,
+            stride: 8,
+            k1: 0.01,
+            k2: 0.03,
+        }
+    }
+}
+
+/// SSIM between a 2-D original and its reconstruction (row-major
+/// `rows × cols`). Returns 1.0 for identical inputs.
+///
+/// # Panics
+/// If the buffers do not match `rows·cols` or the window exceeds the grid.
+#[must_use]
+pub fn ssim_2d(
+    original: &[f32],
+    reconstructed: &[f32],
+    rows: usize,
+    cols: usize,
+    cfg: &SsimConfig,
+) -> f64 {
+    assert_eq!(original.len(), rows * cols, "original shape mismatch");
+    assert_eq!(reconstructed.len(), rows * cols, "reconstruction mismatch");
+    assert!(cfg.window > 0 && cfg.stride > 0);
+    assert!(
+        cfg.window <= rows && cfg.window <= cols,
+        "window larger than the grid"
+    );
+    // Constant fields have zero range; a tiny floor keeps the
+    // stabilizers representable (denormal C2 would make 0/0 = NaN).
+    let l = value_range(original).max(1e-30);
+    let c1 = (cfg.k1 * l).powi(2);
+    let c2 = (cfg.k2 * l).powi(2);
+
+    let mut total = 0.0;
+    let mut windows = 0usize;
+    let mut i = 0;
+    while i + cfg.window <= rows {
+        let mut j = 0;
+        while j + cfg.window <= cols {
+            total += window_ssim(original, reconstructed, cols, i, j, cfg.window, c1, c2);
+            windows += 1;
+            j += cfg.stride;
+        }
+        i += cfg.stride;
+    }
+    if windows == 0 {
+        1.0
+    } else {
+        total / windows as f64
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn window_ssim(
+    a: &[f32],
+    b: &[f32],
+    cols: usize,
+    row0: usize,
+    col0: usize,
+    w: usize,
+    c1: f64,
+    c2: f64,
+) -> f64 {
+    let n = (w * w) as f64;
+    let mut sum_a = 0.0;
+    let mut sum_b = 0.0;
+    for i in row0..row0 + w {
+        for j in col0..col0 + w {
+            sum_a += f64::from(a[i * cols + j]);
+            sum_b += f64::from(b[i * cols + j]);
+        }
+    }
+    let mu_a = sum_a / n;
+    let mu_b = sum_b / n;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    let mut cov = 0.0;
+    for i in row0..row0 + w {
+        for j in col0..col0 + w {
+            let da = f64::from(a[i * cols + j]) - mu_a;
+            let db = f64::from(b[i * cols + j]) - mu_b;
+            var_a += da * da;
+            var_b += db * db;
+            cov += da * db;
+        }
+    }
+    var_a /= n - 1.0;
+    var_b /= n - 1.0;
+    cov /= n - 1.0;
+    ((2.0 * mu_a * mu_b + c1) * (2.0 * cov + c2))
+        / ((mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(rows: usize, cols: usize) -> Vec<f32> {
+        (0..rows * cols)
+            .map(|i| ((i % cols) as f32 * 0.05).sin() + ((i / cols) as f32 * 0.03).cos())
+            .collect()
+    }
+
+    #[test]
+    fn identical_is_one() {
+        let g = grid(32, 32);
+        let s = ssim_2d(&g, &g, 32, 32, &SsimConfig::default());
+        assert!((s - 1.0).abs() < 1e-12, "ssim = {s}");
+    }
+
+    #[test]
+    fn small_noise_stays_near_one() {
+        let g = grid(64, 64);
+        let noisy: Vec<f32> = g
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + ((i % 7) as f32 - 3.0) * 1e-5)
+            .collect();
+        let s = ssim_2d(&g, &noisy, 64, 64, &SsimConfig::default());
+        assert!(s > 0.999, "ssim = {s}");
+    }
+
+    #[test]
+    fn structure_destruction_tanks_ssim() {
+        let g = grid(64, 64);
+        let mut shuffled = g.clone();
+        shuffled.reverse();
+        let s = ssim_2d(&g, &shuffled, 64, 64, &SsimConfig::default());
+        assert!(s < 0.5, "ssim = {s}");
+    }
+
+    #[test]
+    fn ssim_is_symmetric_in_noise_magnitude_ordering() {
+        let g = grid(64, 64);
+        let mild: Vec<f32> = g.iter().map(|v| v + 0.001).collect();
+        let strong: Vec<f32> = g.iter().map(|v| v * 0.5).collect();
+        let cfg = SsimConfig::default();
+        assert!(ssim_2d(&g, &mild, 64, 64, &cfg) > ssim_2d(&g, &strong, 64, 64, &cfg));
+    }
+
+    #[test]
+    fn constant_fields_are_similar() {
+        let a = vec![3.0f32; 256];
+        let s = ssim_2d(&a, &a, 16, 16, &SsimConfig::default());
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+}

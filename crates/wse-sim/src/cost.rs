@@ -1,0 +1,147 @@
+//! Per-operation cycle cost model of the PE core.
+//!
+//! The constants are calibrated so that the CereSZ kernels reproduce the
+//! per-stage cycle counts the paper profiled on real CS-2 hardware
+//! (Tables 1–3; see `ceresz-core::plan::stages` for the fit). They are *not*
+//! claimed to be the true per-instruction latencies of the Cerebras core —
+//! only the stage-level aggregates are observable from the paper — but all
+//! balancing and pipelining behaviour depends only on those aggregates.
+
+use serde::{Deserialize, Serialize};
+
+/// Operations a kernel can charge cycles for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// 32-bit float multiply (quantization/dequantization reciprocal mul).
+    F32Mul,
+    /// 32-bit float add + floor + convert (the rounding half of quantization).
+    F32AddRound,
+    /// 32-bit integer subtract (Lorenzo prediction).
+    I32Sub,
+    /// 32-bit integer add (inverse-Lorenzo prefix sum).
+    I32Add,
+    /// Extract sign and take absolute value.
+    SignAbs,
+    /// One comparison step of a max reduction.
+    MaxStep,
+    /// Count-leading-zeros of one word (GetLength) — charged per call.
+    Clz,
+    /// Move one element's bit into a shuffle plane.
+    ShuffleBit,
+    /// Extract one element's bit from a shuffle plane.
+    UnshuffleBit,
+    /// Zero-fill one element.
+    MemSet,
+    /// Copy one word within local memory.
+    MemCopy,
+}
+
+/// Cycle costs per operation plus the fixed per-task overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Fixed cycles charged when a task activates (task dispatch + DSD setup).
+    pub task_overhead: f64,
+    f32_mul: f64,
+    f32_add_round: f64,
+    i32_sub: f64,
+    i32_add: f64,
+    sign_abs: f64,
+    max_step: f64,
+    clz: f64,
+    shuffle_bit: f64,
+    unshuffle_bit: f64,
+    mem_set: f64,
+    mem_copy: f64,
+}
+
+impl CostModel {
+    /// Constants matching `ceresz_core::plan::StageCostModel::calibrated()`.
+    #[must_use]
+    pub fn calibrated() -> Self {
+        Self {
+            task_overhead: 80.0,
+            f32_mul: 156.2,
+            f32_add_round: 30.0,
+            i32_sub: 28.0,
+            i32_add: 28.0,
+            sign_abs: 30.1,
+            max_step: 29.9,
+            clz: 1306.0,
+            shuffle_bit: 59.25,
+            unshuffle_bit: 43.0,
+            mem_set: 8.0,
+            mem_copy: 2.0,
+        }
+    }
+
+    /// A uniform unit-cost model, handy for routing/scheduling tests where
+    /// compute time should not dominate.
+    #[must_use]
+    pub fn unit() -> Self {
+        Self {
+            task_overhead: 1.0,
+            f32_mul: 1.0,
+            f32_add_round: 1.0,
+            i32_sub: 1.0,
+            i32_add: 1.0,
+            sign_abs: 1.0,
+            max_step: 1.0,
+            clz: 1.0,
+            shuffle_bit: 1.0,
+            unshuffle_bit: 1.0,
+            mem_set: 1.0,
+            mem_copy: 1.0,
+        }
+    }
+
+    /// Cycles for `count` repetitions of `op`.
+    #[must_use]
+    pub fn cycles(&self, op: Op, count: u64) -> f64 {
+        let per = match op {
+            Op::F32Mul => self.f32_mul,
+            Op::F32AddRound => self.f32_add_round,
+            Op::I32Sub => self.i32_sub,
+            Op::I32Add => self.i32_add,
+            Op::SignAbs => self.sign_abs,
+            Op::MaxStep => self.max_step,
+            Op::Clz => self.clz,
+            Op::ShuffleBit => self.shuffle_bit,
+            Op::UnshuffleBit => self.unshuffle_bit,
+            Op::MemSet => self.mem_set,
+            Op::MemCopy => self.mem_copy,
+        };
+        per * count as f64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_matches_stage_model() {
+        // One task doing 32 F32Mul must cost what Table 2 reports (~5078).
+        let m = CostModel::calibrated();
+        let total = m.task_overhead + m.cycles(Op::F32Mul, 32);
+        assert!((total - 5078.4).abs() < 1.0);
+    }
+
+    #[test]
+    fn unit_model_is_uniform() {
+        let m = CostModel::unit();
+        assert_eq!(m.cycles(Op::F32Mul, 7), 7.0);
+        assert_eq!(m.cycles(Op::Clz, 3), 3.0);
+    }
+
+    #[test]
+    fn zero_count_is_free() {
+        let m = CostModel::calibrated();
+        assert_eq!(m.cycles(Op::ShuffleBit, 0), 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Simulator error types, including deadlock diagnostics.
+
+use crate::fabric::Color;
+use crate::geom::PeId;
+
+/// Why a PE is blocked (deadlock diagnostics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockedPe {
+    /// The blocked PE.
+    pub pe: PeId,
+    /// Colors with outstanding input descriptors and the wavelets still
+    /// missing for each.
+    pub waiting_on: Vec<(Color, usize)>,
+}
+
+/// Errors the simulator can raise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A stream needed a routing rule that was never configured.
+    NoRoute {
+        /// The PE missing a rule.
+        pe: PeId,
+        /// The color involved.
+        color: Color,
+    },
+    /// A stream arrived at a PE from a direction its rule does not accept.
+    RouteMismatch {
+        /// The PE with the conflicting rule.
+        pe: PeId,
+        /// The color involved.
+        color: Color,
+    },
+    /// A route forwards to more than one neighbor; this simulator's streams
+    /// are unicast (the CereSZ mapping relays explicitly instead).
+    MulticastUnsupported {
+        /// The PE with the multicast rule.
+        pe: PeId,
+        /// The color involved.
+        color: Color,
+    },
+    /// A route points off the edge of the mesh.
+    RouteOffMesh {
+        /// The PE at the edge.
+        pe: PeId,
+        /// The color involved.
+        color: Color,
+    },
+    /// A color's route cycles without ever reaching a RAMP.
+    RoutingLoop {
+        /// The PE where resolution started.
+        pe: PeId,
+        /// The color involved.
+        color: Color,
+    },
+    /// The event queue drained while PEs still wait on input.
+    Deadlock {
+        /// Every blocked PE with what it waits for.
+        blocked: Vec<BlockedPe>,
+    },
+    /// A PE exceeded its 48 KB SRAM.
+    OutOfMemory {
+        /// The overflowing PE.
+        pe: PeId,
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes that were still free.
+        available: usize,
+    },
+    /// The simulation exceeded its configured cycle budget (runaway guard).
+    CycleLimitExceeded {
+        /// The configured limit.
+        limit: f64,
+    },
+    /// A program referenced a PE outside the mesh.
+    BadPe {
+        /// The offending id.
+        pe: PeId,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::NoRoute { pe, color } => write!(f, "no route for {color} at {pe}"),
+            SimError::RouteMismatch { pe, color } => {
+                write!(f, "stream on {color} arrived at {pe} from an unconfigured direction")
+            }
+            SimError::MulticastUnsupported { pe, color } => {
+                write!(f, "multicast route for {color} at {pe} is unsupported")
+            }
+            SimError::RouteOffMesh { pe, color } => {
+                write!(f, "route for {color} at {pe} points off the mesh")
+            }
+            SimError::RoutingLoop { pe, color } => {
+                write!(f, "routing loop on {color} starting at {pe}")
+            }
+            SimError::Deadlock { blocked } => {
+                write!(f, "deadlock: {} PE(s) blocked on input", blocked.len())?;
+                for b in blocked.iter().take(4) {
+                    write!(f, "; {} waits on {:?}", b.pe, b.waiting_on)?;
+                }
+                Ok(())
+            }
+            SimError::OutOfMemory {
+                pe,
+                requested,
+                available,
+            } => write!(
+                f,
+                "{pe} out of SRAM: requested {requested} B, {available} B free"
+            ),
+            SimError::CycleLimitExceeded { limit } => {
+                write!(f, "simulation exceeded the cycle limit of {limit}")
+            }
+            SimError::BadPe { pe } => write!(f, "{pe} is outside the mesh"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -1,0 +1,130 @@
+//! Mesh geometry: PE coordinates and the five cardinal dataflow directions.
+
+use serde::{Deserialize, Serialize};
+
+/// The five cardinal dataflow directions of a PE (§2.1 of the paper):
+/// the four neighbor links plus the internal RAMP link to the processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Toward the neighbor with a smaller row index.
+    North,
+    /// Toward the neighbor with a larger row index.
+    South,
+    /// Toward the neighbor with a larger column index.
+    East,
+    /// Toward the neighbor with a smaller column index.
+    West,
+    /// The internal link between router and processor.
+    Ramp,
+}
+
+impl Direction {
+    /// The direction a wavelet *arrives from* at the neighbor this direction
+    /// points to (East ↔ West, North ↔ South). RAMP is its own opposite.
+    #[must_use]
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+            Direction::Ramp => Direction::Ramp,
+        }
+    }
+
+    /// All four neighbor directions (no RAMP).
+    pub const NEIGHBORS: [Direction; 4] = [
+        Direction::North,
+        Direction::South,
+        Direction::East,
+        Direction::West,
+    ];
+}
+
+/// Coordinates of a PE on the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PeId {
+    /// Row index (0-based, north edge first).
+    pub row: usize,
+    /// Column index (0-based, west edge first).
+    pub col: usize,
+}
+
+impl PeId {
+    /// Create a PE id.
+    #[must_use]
+    pub const fn new(row: usize, col: usize) -> Self {
+        Self { row, col }
+    }
+
+    /// The neighbor in `dir`, if it exists on a `rows × cols` mesh.
+    /// `Ramp` has no neighbor.
+    #[must_use]
+    pub fn neighbor(self, dir: Direction, rows: usize, cols: usize) -> Option<PeId> {
+        match dir {
+            Direction::North => (self.row > 0).then(|| PeId::new(self.row - 1, self.col)),
+            Direction::South => {
+                (self.row + 1 < rows).then(|| PeId::new(self.row + 1, self.col))
+            }
+            Direction::East => (self.col + 1 < cols).then(|| PeId::new(self.row, self.col + 1)),
+            Direction::West => (self.col > 0).then(|| PeId::new(self.row, self.col - 1)),
+            Direction::Ramp => None,
+        }
+    }
+
+    /// Flat index on a `cols`-wide mesh (row-major).
+    #[must_use]
+    pub fn index(self, cols: usize) -> usize {
+        self.row * cols + self.col
+    }
+}
+
+impl std::fmt::Display for PeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PE({},{})", self.row, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposites_pair_up() {
+        for d in Direction::NEIGHBORS {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_ne!(d.opposite(), d);
+        }
+        assert_eq!(Direction::Ramp.opposite(), Direction::Ramp);
+    }
+
+    #[test]
+    fn neighbors_respect_mesh_bounds() {
+        let rows = 3;
+        let cols = 4;
+        let corner = PeId::new(0, 0);
+        assert_eq!(corner.neighbor(Direction::North, rows, cols), None);
+        assert_eq!(corner.neighbor(Direction::West, rows, cols), None);
+        assert_eq!(
+            corner.neighbor(Direction::East, rows, cols),
+            Some(PeId::new(0, 1))
+        );
+        assert_eq!(
+            corner.neighbor(Direction::South, rows, cols),
+            Some(PeId::new(1, 0))
+        );
+        let far = PeId::new(2, 3);
+        assert_eq!(far.neighbor(Direction::South, rows, cols), None);
+        assert_eq!(far.neighbor(Direction::East, rows, cols), None);
+    }
+
+    #[test]
+    fn ramp_has_no_neighbor() {
+        assert_eq!(PeId::new(1, 1).neighbor(Direction::Ramp, 3, 3), None);
+    }
+
+    #[test]
+    fn flat_index_is_row_major() {
+        assert_eq!(PeId::new(2, 3).index(10), 23);
+    }
+}

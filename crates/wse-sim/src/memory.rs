@@ -1,0 +1,108 @@
+//! Local SRAM accounting for one PE.
+//!
+//! The CS-2 gives each PE 48 KB holding *all* code and data (§2.1). Kernels
+//! that buffer more than fits — e.g. a pipeline length too short for the
+//! working set, the situation §4.4 warns about — must fail loudly rather
+//! than silently pretend the wafer has DRAM.
+
+/// Tracks allocations against a fixed SRAM budget.
+#[derive(Debug, Clone)]
+pub struct MemoryTracker {
+    capacity: usize,
+    used: usize,
+    peak: usize,
+}
+
+impl MemoryTracker {
+    /// Tracker with the given capacity in bytes.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            used: 0,
+            peak: 0,
+        }
+    }
+
+    /// Reserve `bytes`. Returns the bytes still free on failure.
+    pub fn alloc(&mut self, bytes: usize) -> Result<(), usize> {
+        let available = self.capacity - self.used;
+        if bytes > available {
+            return Err(available);
+        }
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        Ok(())
+    }
+
+    /// Release `bytes` previously reserved.
+    ///
+    /// # Panics
+    /// If more is freed than is in use (an accounting bug in the program).
+    pub fn free(&mut self, bytes: usize) {
+        assert!(
+            bytes <= self.used,
+            "freeing {bytes} B but only {} B in use",
+            self.used
+        );
+        self.used -= bytes;
+    }
+
+    /// Bytes currently in use.
+    #[must_use]
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// High-water mark.
+    #[must_use]
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Total capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_track_usage() {
+        let mut m = MemoryTracker::new(1000);
+        m.alloc(400).unwrap();
+        m.alloc(500).unwrap();
+        assert_eq!(m.used(), 900);
+        m.free(400);
+        assert_eq!(m.used(), 500);
+        assert_eq!(m.peak(), 900);
+    }
+
+    #[test]
+    fn overflow_reports_available() {
+        let mut m = MemoryTracker::new(100);
+        m.alloc(60).unwrap();
+        assert_eq!(m.alloc(50), Err(40));
+        // Failed alloc must not change usage.
+        assert_eq!(m.used(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing")]
+    fn double_free_panics() {
+        let mut m = MemoryTracker::new(100);
+        m.alloc(10).unwrap();
+        m.free(20);
+    }
+
+    #[test]
+    fn exact_fill_is_allowed() {
+        let mut m = MemoryTracker::new(64);
+        m.alloc(64).unwrap();
+        assert_eq!(m.alloc(1), Err(0));
+    }
+}

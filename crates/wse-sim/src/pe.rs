@@ -1,0 +1,68 @@
+//! Per-PE runtime state.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::fabric::Color;
+use crate::memory::MemoryTracker;
+use crate::program::{PeProgram, TaskId};
+use crate::stats::PeStats;
+
+/// An outstanding input DSD: activate `task` once `extent` wavelets arrived.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingRecv {
+    pub extent: usize,
+    pub task: TaskId,
+}
+
+/// Runtime state of one PE.
+pub(crate) struct PeState {
+    /// The program, taken out while its task runs (re-entrancy guard).
+    pub program: Option<Box<dyn PeProgram>>,
+    /// Earliest cycle the processor is free.
+    pub busy_until: f64,
+    /// Wavelets delivered per color, not yet claimed by an input DSD.
+    pub inbox: HashMap<Color, VecDeque<u32>>,
+    /// At most one outstanding input DSD per color.
+    pub pending_recv: HashMap<Color, PendingRecv>,
+    /// Completed receive buffers awaiting `take_received`.
+    pub completed: HashMap<Color, Vec<u32>>,
+    /// Local SRAM accounting.
+    pub memory: MemoryTracker,
+    /// Data emitted off-PE for the host.
+    pub outputs: Vec<Vec<u32>>,
+    /// Cycle counters.
+    pub stats: PeStats,
+}
+
+impl PeState {
+    pub fn new(sram_bytes: usize) -> Self {
+        Self {
+            program: None,
+            busy_until: 0.0,
+            inbox: HashMap::new(),
+            pending_recv: HashMap::new(),
+            completed: HashMap::new(),
+            memory: MemoryTracker::new(sram_bytes),
+            outputs: Vec::new(),
+            stats: PeStats::default(),
+        }
+    }
+
+    /// Try to satisfy the pending receive on `color` from the inbox.
+    /// Returns the task to activate if the DSD completed.
+    pub fn try_complete_recv(&mut self, color: Color) -> Option<TaskId> {
+        let pending = self.pending_recv.get(&color).copied()?;
+        let inbox = self.inbox.entry(color).or_default();
+        if inbox.len() < pending.extent {
+            return None;
+        }
+        let data: Vec<u32> = inbox.drain(..pending.extent).collect();
+        self.pending_recv.remove(&color);
+        let prev = self.completed.insert(color, data);
+        debug_assert!(
+            prev.is_none(),
+            "receive completed on {color} before the previous buffer was taken"
+        );
+        Some(pending.task)
+    }
+}

@@ -1,0 +1,616 @@
+//! The discrete-event simulation engine.
+
+use std::collections::BinaryHeap;
+
+use crate::cost::CostModel;
+use crate::error::{BlockedPe, SimError};
+use crate::fabric::{Color, Fabric, RouteRule};
+use crate::geom::{Direction, PeId};
+use crate::pe::{PeState, PendingRecv};
+use crate::program::{Effect, PeProgram, TaskCtx, TaskId};
+use crate::stats::{PeStats, SimStats};
+use crate::trace::{Trace, TraceEvent};
+use crate::PE_SRAM_BYTES;
+
+/// Mesh and engine configuration.
+#[derive(Debug, Clone)]
+pub struct MeshConfig {
+    /// Number of PE rows.
+    pub rows: usize,
+    /// Number of PE columns.
+    pub cols: usize,
+    /// SRAM per PE in bytes (48 KB on the CS-2).
+    pub sram_bytes: usize,
+    /// Per-operation cycle costs.
+    pub cost: CostModel,
+    /// Runaway guard: abort past this cycle.
+    pub cycle_limit: f64,
+    /// Record a per-PE task timeline (off by default; costs memory).
+    pub trace: bool,
+}
+
+impl MeshConfig {
+    /// Config with CS-2 defaults (48 KB SRAM, calibrated cost model).
+    #[must_use]
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "mesh must be non-empty");
+        Self {
+            rows,
+            cols,
+            sram_bytes: PE_SRAM_BYTES,
+            cost: CostModel::calibrated(),
+            cycle_limit: 1e15,
+            trace: false,
+        }
+    }
+
+    /// Override the cost model.
+    #[must_use]
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Override the cycle limit.
+    #[must_use]
+    pub fn with_cycle_limit(mut self, limit: f64) -> Self {
+        self.cycle_limit = limit;
+        self
+    }
+
+    /// Enable task-timeline tracing.
+    #[must_use]
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Activate { pe: PeId, task: TaskId },
+    Deliver { pe: PeId, color: Color, data: Vec<u32> },
+}
+
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Results of a completed run.
+#[derive(Debug)]
+pub struct RunReport {
+    outputs: Vec<Vec<Vec<u32>>>,
+    pe_stats: Vec<PeStats>,
+    stats: SimStats,
+    cols: usize,
+    trace: Trace,
+}
+
+impl RunReport {
+    /// Data emitted by `pe`, in emission order.
+    #[must_use]
+    pub fn outputs(&self, pe: PeId) -> &[Vec<u32>] {
+        &self.outputs[pe.index(self.cols)]
+    }
+
+    /// All emissions, ordered row-major by PE then emission order.
+    #[must_use]
+    pub fn all_outputs(&self) -> &[Vec<Vec<u32>>] {
+        &self.outputs
+    }
+
+    /// Counters of `pe`.
+    #[must_use]
+    pub fn pe_stats(&self, pe: PeId) -> &PeStats {
+        &self.pe_stats[pe.index(self.cols)]
+    }
+
+    /// Aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The recorded task timeline (empty unless tracing was enabled).
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+/// The simulator: a mesh of PEs, a routing fabric, and an event queue.
+pub struct Simulator {
+    config: MeshConfig,
+    fabric: Fabric,
+    pes: Vec<PeState>,
+    events: BinaryHeap<Event>,
+    seq: u64,
+    trace: Trace,
+}
+
+impl Simulator {
+    /// Create a simulator for the given mesh.
+    #[must_use]
+    pub fn new(config: MeshConfig) -> Self {
+        let n = config.rows * config.cols;
+        let mut pes = Vec::with_capacity(n);
+        for _ in 0..n {
+            pes.push(PeState::new(config.sram_bytes));
+        }
+        Self {
+            fabric: Fabric::new(config.rows, config.cols),
+            pes,
+            events: BinaryHeap::new(),
+            seq: 0,
+            trace: Trace::default(),
+            config,
+        }
+    }
+
+    /// Mesh configuration.
+    #[must_use]
+    pub fn config(&self) -> &MeshConfig {
+        &self.config
+    }
+
+    fn pe_index(&self, pe: PeId) -> Result<usize, SimError> {
+        if pe.row < self.config.rows && pe.col < self.config.cols {
+            Ok(pe.index(self.config.cols))
+        } else {
+            Err(SimError::BadPe { pe })
+        }
+    }
+
+    /// Install a routing rule for `color` at `pe`.
+    pub fn route(&mut self, pe: PeId, color: Color, input: Option<Direction>, outputs: &[Direction]) {
+        self.fabric.set_rule(
+            pe,
+            color,
+            RouteRule {
+                input,
+                outputs: outputs.to_vec(),
+            },
+        );
+    }
+
+    /// Install an eastward chain of `color` along `row` from `start_col` to
+    /// `end_col`, delivering at `end_col`.
+    pub fn route_east_chain(&mut self, row: usize, start_col: usize, end_col: usize, color: Color) {
+        self.fabric.route_east_chain(row, start_col, end_col, color);
+    }
+
+    /// Assign `pe`'s program.
+    pub fn set_program(&mut self, pe: PeId, program: Box<dyn PeProgram>) {
+        let idx = self.pe_index(pe).expect("program PE outside mesh");
+        self.pes[idx].program = Some(program);
+    }
+
+    /// Post an initial input DSD on `pe` before the run starts.
+    pub fn post_recv(&mut self, pe: PeId, color: Color, extent: usize, task: TaskId) {
+        let idx = self.pe_index(pe).expect("recv PE outside mesh");
+        let prev = self.pes[idx]
+            .pending_recv
+            .insert(color, PendingRecv { extent, task });
+        assert!(prev.is_none(), "{pe} already has a pending receive on {color}");
+    }
+
+    /// Schedule an explicit task activation at `time` (the host-side kick
+    /// that starts a program).
+    pub fn activate(&mut self, pe: PeId, task: TaskId, time: f64) {
+        self.push_event(time, EventKind::Activate { pe, task });
+    }
+
+    /// Deliver `data` to `pe`'s RAMP on `color`, as if it streamed in over an
+    /// off-mesh boundary link at one wavelet per cycle starting at `at`.
+    pub fn inject_stream(&mut self, pe: PeId, color: Color, data: Vec<u32>, at: f64) {
+        let arrive = at + data.len() as f64;
+        self.push_event(arrive, EventKind::Deliver { pe, color, data });
+    }
+
+    /// Inject a back-to-back sequence of blocks starting at `start`: block
+    /// `i` finishes arriving at `start + (i+1)·len(block_i)`.
+    pub fn inject_blocks(&mut self, pe: PeId, color: Color, blocks: Vec<Vec<u32>>, start: f64) {
+        let mut t = start;
+        for block in blocks {
+            let n = block.len() as f64;
+            self.push_event(t + n, EventKind::Deliver { pe, color, data: block });
+            t += n;
+        }
+    }
+
+    fn push_event(&mut self, time: f64, kind: EventKind) {
+        self.events.push(Event {
+            time,
+            seq: self.seq,
+            kind,
+        });
+        self.seq += 1;
+    }
+
+    /// Run to completion.
+    pub fn run(mut self) -> Result<RunReport, SimError> {
+        let mut finish = 0.0f64;
+        while let Some(ev) = self.events.pop() {
+            if ev.time > self.config.cycle_limit {
+                return Err(SimError::CycleLimitExceeded {
+                    limit: self.config.cycle_limit,
+                });
+            }
+            finish = finish.max(ev.time);
+            match ev.kind {
+                EventKind::Deliver { pe, color, data } => {
+                    let idx = self.pe_index(pe)?;
+                    let state = &mut self.pes[idx];
+                    state.stats.wavelets_received += data.len() as u64;
+                    state.inbox.entry(color).or_default().extend(data);
+                    if let Some(task) = state.try_complete_recv(color) {
+                        self.push_event(ev.time, EventKind::Activate { pe, task });
+                    }
+                }
+                EventKind::Activate { pe, task } => {
+                    let idx = self.pe_index(pe)?;
+                    let busy_until = self.pes[idx].busy_until;
+                    if busy_until > ev.time {
+                        // Processor occupied: retry when it frees up. Seq
+                        // numbers keep same-time retries in FIFO order.
+                        self.push_event(busy_until, EventKind::Activate { pe, task });
+                    } else {
+                        let end = self.run_task(idx, pe, task, ev.time)?;
+                        finish = finish.max(end);
+                    }
+                }
+            }
+        }
+        // Queue drained: anything still waiting on input is deadlocked.
+        let blocked: Vec<BlockedPe> = self
+            .pes
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.pending_recv.is_empty())
+            .map(|(i, s)| BlockedPe {
+                pe: PeId::new(i / self.config.cols, i % self.config.cols),
+                waiting_on: s
+                    .pending_recv
+                    .iter()
+                    .map(|(c, p)| {
+                        let have = s.inbox.get(c).map_or(0, |q| q.len());
+                        (*c, p.extent.saturating_sub(have))
+                    })
+                    .collect(),
+            })
+            .collect();
+        if !blocked.is_empty() {
+            return Err(SimError::Deadlock { blocked });
+        }
+
+        let mut stats = SimStats {
+            finish_cycle: finish,
+            ..SimStats::default()
+        };
+        let mut outputs = Vec::with_capacity(self.pes.len());
+        let mut pe_stats = Vec::with_capacity(self.pes.len());
+        for s in &mut self.pes {
+            stats.total_busy_cycles += s.stats.busy_cycles;
+            stats.total_tasks += s.stats.tasks_run;
+            stats.total_wavelets += s.stats.wavelets_sent;
+            if s.stats.tasks_run > 0 {
+                stats.active_pes += 1;
+            }
+            outputs.push(std::mem::take(&mut s.outputs));
+            pe_stats.push(s.stats);
+        }
+        Ok(RunReport {
+            outputs,
+            pe_stats,
+            stats,
+            cols: self.config.cols,
+            trace: std::mem::take(&mut self.trace),
+        })
+    }
+
+    /// Execute one task activation; returns the task's end time.
+    fn run_task(&mut self, idx: usize, pe: PeId, task: TaskId, start: f64) -> Result<f64, SimError> {
+        let mut program = self.pes[idx]
+            .program
+            .take()
+            .unwrap_or_else(|| panic!("{pe} activated task {task:?} but has no program"));
+        let state = &mut self.pes[idx];
+        let mut ctx = TaskCtx {
+            pe,
+            now: start,
+            cost: &self.config.cost,
+            memory: &mut state.memory,
+            completed: &mut state.completed,
+            charged: 0.0,
+            effects: Vec::new(),
+        };
+        let result = program.on_task(&mut ctx, task);
+        let charged = ctx.charged;
+        let effects = std::mem::take(&mut ctx.effects);
+        drop(ctx);
+        self.pes[idx].program = Some(program);
+        result?;
+
+        let end = start + self.config.cost.task_overhead + charged;
+        {
+            let s = &mut self.pes[idx].stats;
+            s.busy_cycles += end - start;
+            s.tasks_run += 1;
+            s.last_active = end;
+        }
+        if self.config.trace {
+            self.trace.record(TraceEvent {
+                pe,
+                task,
+                start,
+                end,
+            });
+        }
+        for effect in effects {
+            match effect {
+                Effect::Send {
+                    color,
+                    data,
+                    activate,
+                } => {
+                    let n = data.len();
+                    self.pes[idx].stats.wavelets_sent += n as u64;
+                    let path = self.fabric.resolve_path(pe, color, None)?;
+                    let (src_done, delivered) = self.fabric.schedule_stream(&path, n, end);
+                    let dest = path.dest;
+                    self.push_event(delivered, EventKind::Deliver { pe: dest, color, data });
+                    if let Some(t) = activate {
+                        self.push_event(src_done, EventKind::Activate { pe, task: t });
+                    }
+                }
+                Effect::PostRecv {
+                    color,
+                    extent,
+                    activate,
+                } => {
+                    let state = &mut self.pes[idx];
+                    let prev = state
+                        .pending_recv
+                        .insert(color, PendingRecv { extent, task: activate });
+                    assert!(prev.is_none(), "{pe} double-posted a receive on {color}");
+                    if let Some(t) = state.try_complete_recv(color) {
+                        self.push_event(end, EventKind::Activate { pe, task: t });
+                    }
+                }
+                Effect::Activate { task } => {
+                    self.push_event(end, EventKind::Activate { pe, task });
+                }
+                Effect::Emit { data } => {
+                    self.pes[idx].outputs.push(data);
+                }
+            }
+        }
+        self.pes[idx].busy_until = end;
+        Ok(end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Op;
+
+    const C0: Color = Color::new(0);
+    const T0: TaskId = TaskId(0);
+    const T1: TaskId = TaskId(1);
+
+    /// Program that computes for a fixed op count then emits a marker.
+    struct Burn(u64);
+    impl PeProgram for Burn {
+        fn on_task(&mut self, ctx: &mut TaskCtx<'_>, _t: TaskId) -> Result<(), SimError> {
+            ctx.charge(Op::I32Add, self.0);
+            ctx.emit(vec![42]);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn single_task_timing() {
+        let cfg = MeshConfig::new(1, 1).with_cost(CostModel::unit());
+        let mut sim = Simulator::new(cfg);
+        sim.set_program(PeId::new(0, 0), Box::new(Burn(10)));
+        sim.activate(PeId::new(0, 0), T0, 0.0);
+        let report = sim.run().unwrap();
+        // 1 (overhead) + 10 (ops) = 11 cycles.
+        assert_eq!(report.stats().finish_cycle, 11.0);
+        assert_eq!(report.outputs(PeId::new(0, 0)), &[vec![42]]);
+        assert_eq!(report.pe_stats(PeId::new(0, 0)).tasks_run, 1);
+    }
+
+    #[test]
+    fn busy_pe_queues_activations() {
+        let cfg = MeshConfig::new(1, 1).with_cost(CostModel::unit());
+        let mut sim = Simulator::new(cfg);
+        sim.set_program(PeId::new(0, 0), Box::new(Burn(9)));
+        sim.activate(PeId::new(0, 0), T0, 0.0);
+        sim.activate(PeId::new(0, 0), T0, 1.0); // lands while busy
+        let report = sim.run().unwrap();
+        // Two sequential 10-cycle tasks.
+        assert_eq!(report.stats().finish_cycle, 20.0);
+        assert_eq!(report.pe_stats(PeId::new(0, 0)).tasks_run, 2);
+    }
+
+    /// Ping-pong across one hop: sender streams a block; receiver doubles it
+    /// and emits.
+    struct SendBlock;
+    impl PeProgram for SendBlock {
+        fn on_task(&mut self, ctx: &mut TaskCtx<'_>, _t: TaskId) -> Result<(), SimError> {
+            ctx.send_async(C0, vec![1, 2, 3, 4], None);
+            Ok(())
+        }
+    }
+    struct DoubleAndEmit;
+    impl PeProgram for DoubleAndEmit {
+        fn on_task(&mut self, ctx: &mut TaskCtx<'_>, t: TaskId) -> Result<(), SimError> {
+            assert_eq!(t, T1);
+            let data = ctx.take_received(C0);
+            ctx.charge(Op::I32Add, data.len() as u64);
+            ctx.emit(data.iter().map(|v| v * 2).collect());
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn one_hop_pipeline() {
+        let cfg = MeshConfig::new(1, 2).with_cost(CostModel::unit());
+        let mut sim = Simulator::new(cfg);
+        sim.route_east_chain(0, 0, 1, C0);
+        sim.set_program(PeId::new(0, 0), Box::new(SendBlock));
+        sim.set_program(PeId::new(0, 1), Box::new(DoubleAndEmit));
+        sim.post_recv(PeId::new(0, 1), C0, 4, T1);
+        sim.activate(PeId::new(0, 0), T0, 0.0);
+        let report = sim.run().unwrap();
+        assert_eq!(report.outputs(PeId::new(0, 1)), &[vec![2, 4, 6, 8]]);
+        // Send task: 1 cycle. Stream departs at 1, head at 2, done at 6.
+        // Recv task: starts 6, 1 overhead + 4 ops = ends 11.
+        assert_eq!(report.stats().finish_cycle, 11.0);
+    }
+
+    #[test]
+    fn injection_feeds_a_recv() {
+        let cfg = MeshConfig::new(1, 1).with_cost(CostModel::unit());
+        let mut sim = Simulator::new(cfg);
+        sim.set_program(PeId::new(0, 0), Box::new(DoubleAndEmit));
+        sim.post_recv(PeId::new(0, 0), C0, 4, T1);
+        sim.inject_stream(PeId::new(0, 0), C0, vec![5, 6, 7, 8], 0.0);
+        let report = sim.run().unwrap();
+        assert_eq!(report.outputs(PeId::new(0, 0)), &[vec![10, 12, 14, 16]]);
+    }
+
+    #[test]
+    fn deadlock_is_reported_with_diagnostics() {
+        let cfg = MeshConfig::new(1, 1).with_cost(CostModel::unit());
+        let mut sim = Simulator::new(cfg);
+        sim.set_program(PeId::new(0, 0), Box::new(DoubleAndEmit));
+        sim.post_recv(PeId::new(0, 0), C0, 4, T1);
+        sim.inject_stream(PeId::new(0, 0), C0, vec![5], 0.0); // 3 short
+        match sim.run() {
+            Err(SimError::Deadlock { blocked }) => {
+                assert_eq!(blocked.len(), 1);
+                assert_eq!(blocked[0].pe, PeId::new(0, 0));
+                assert_eq!(blocked[0].waiting_on, vec![(C0, 3)]);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    /// A chained receive loop: receives two blocks one after the other.
+    struct TwoRounds {
+        rounds: u32,
+    }
+    impl PeProgram for TwoRounds {
+        fn on_task(&mut self, ctx: &mut TaskCtx<'_>, t: TaskId) -> Result<(), SimError> {
+            assert_eq!(t, T1);
+            let data = ctx.take_received(C0);
+            ctx.emit(data);
+            self.rounds -= 1;
+            if self.rounds > 0 {
+                ctx.recv_async(C0, 4, T1);
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn chained_receives_process_multiple_blocks() {
+        let cfg = MeshConfig::new(1, 1).with_cost(CostModel::unit());
+        let mut sim = Simulator::new(cfg);
+        sim.set_program(PeId::new(0, 0), Box::new(TwoRounds { rounds: 2 }));
+        sim.post_recv(PeId::new(0, 0), C0, 4, T1);
+        sim.inject_blocks(
+            PeId::new(0, 0),
+            C0,
+            vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8]],
+            0.0,
+        );
+        let report = sim.run().unwrap();
+        assert_eq!(
+            report.outputs(PeId::new(0, 0)),
+            &[vec![1, 2, 3, 4], vec![5, 6, 7, 8]]
+        );
+    }
+
+    #[test]
+    fn cycle_limit_guards_runaway() {
+        struct Forever;
+        impl PeProgram for Forever {
+            fn on_task(&mut self, ctx: &mut TaskCtx<'_>, _t: TaskId) -> Result<(), SimError> {
+                ctx.activate(T0);
+                Ok(())
+            }
+        }
+        let cfg = MeshConfig::new(1, 1)
+            .with_cost(CostModel::unit())
+            .with_cycle_limit(1000.0);
+        let mut sim = Simulator::new(cfg);
+        sim.set_program(PeId::new(0, 0), Box::new(Forever));
+        sim.activate(PeId::new(0, 0), T0, 0.0);
+        assert!(matches!(
+            sim.run(),
+            Err(SimError::CycleLimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        struct Hog;
+        impl PeProgram for Hog {
+            fn on_task(&mut self, ctx: &mut TaskCtx<'_>, _t: TaskId) -> Result<(), SimError> {
+                ctx.mem_alloc(1 << 20)?; // 1 MB into a 48 KB SRAM
+                Ok(())
+            }
+        }
+        let mut sim = Simulator::new(MeshConfig::new(1, 1));
+        sim.set_program(PeId::new(0, 0), Box::new(Hog));
+        sim.activate(PeId::new(0, 0), T0, 0.0);
+        assert!(matches!(sim.run(), Err(SimError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let build = || {
+            let cfg = MeshConfig::new(2, 2).with_cost(CostModel::unit());
+            let mut sim = Simulator::new(cfg);
+            for r in 0..2 {
+                sim.route_east_chain(r, 0, 1, C0);
+                sim.set_program(PeId::new(r, 0), Box::new(SendBlock));
+                sim.set_program(PeId::new(r, 1), Box::new(DoubleAndEmit));
+                sim.post_recv(PeId::new(r, 1), C0, 4, T1);
+                sim.activate(PeId::new(r, 0), T0, 0.0);
+            }
+            sim.run().unwrap()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.stats().finish_cycle, b.stats().finish_cycle);
+        assert_eq!(a.all_outputs(), b.all_outputs());
+    }
+}

@@ -1,0 +1,93 @@
+//! Cycle counters and utilization statistics.
+
+/// Counters of one PE.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PeStats {
+    /// Cycles the processor spent executing tasks (incl. task overhead).
+    pub busy_cycles: f64,
+    /// Number of task activations executed.
+    pub tasks_run: u64,
+    /// Wavelets sent from this PE's RAMP.
+    pub wavelets_sent: u64,
+    /// Wavelets delivered to this PE's RAMP.
+    pub wavelets_received: u64,
+    /// Cycle when this PE last finished a task.
+    pub last_active: f64,
+}
+
+/// Aggregate statistics of a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    /// Cycle of the last event processed — the paper's runtime measure
+    /// ("clock cycles needed for the last PE to finish processing", §4.1).
+    pub finish_cycle: f64,
+    /// Sum of busy cycles over all PEs.
+    pub total_busy_cycles: f64,
+    /// Total tasks executed.
+    pub total_tasks: u64,
+    /// Total wavelets moved over the fabric (RAMP egress count).
+    pub total_wavelets: u64,
+    /// Number of PEs that executed at least one task.
+    pub active_pes: usize,
+}
+
+impl SimStats {
+    /// Mean utilization of the active PEs: busy cycles / (active · finish).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.finish_cycle <= 0.0 || self.active_pes == 0 {
+            0.0
+        } else {
+            self.total_busy_cycles / (self.finish_cycle * self.active_pes as f64)
+        }
+    }
+
+    /// Wall-clock seconds at `clock_hz`.
+    #[must_use]
+    pub fn seconds(&self, clock_hz: f64) -> f64 {
+        self.finish_cycle / clock_hz
+    }
+
+    /// Throughput in GB/s for `bytes` of data processed during the run.
+    #[must_use]
+    pub fn throughput_gbps(&self, bytes: usize, clock_hz: f64) -> f64 {
+        let s = self.seconds(clock_hz);
+        if s <= 0.0 {
+            0.0
+        } else {
+            bytes as f64 / s / 1e9
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_bounds() {
+        let s = SimStats {
+            finish_cycle: 100.0,
+            total_busy_cycles: 150.0,
+            active_pes: 2,
+            ..SimStats::default()
+        };
+        assert!((s.utilization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_zero() {
+        let s = SimStats::default();
+        assert_eq!(s.utilization(), 0.0);
+        assert_eq!(s.throughput_gbps(100, 850e6), 0.0);
+    }
+
+    #[test]
+    fn throughput_math() {
+        let s = SimStats {
+            finish_cycle: 850e6, // one second at CS-2 clock
+            ..SimStats::default()
+        };
+        assert!((s.throughput_gbps(2_000_000_000, 850e6) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,144 @@
+//! Execution tracing: a per-PE task timeline, the simulator's analogue of
+//! the CS-2's hardware cycle counters (§5.1.1 of the CereSZ paper measures
+//! runtime with exactly such counters).
+//!
+//! Tracing is opt-in (`MeshConfig::with_trace`) because recording every task
+//! of a multi-million-block run would dwarf the simulation itself.
+
+use crate::geom::PeId;
+use crate::program::TaskId;
+
+/// One executed task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// The PE that ran it.
+    pub pe: PeId,
+    /// Which task.
+    pub task: TaskId,
+    /// Start cycle.
+    pub start: f64,
+    /// End cycle.
+    pub end: f64,
+}
+
+/// A recorded timeline.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    pub(crate) fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// All events in execution order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events of one PE.
+    #[must_use]
+    pub fn events_of(&self, pe: PeId) -> Vec<TraceEvent> {
+        self.events.iter().copied().filter(|e| e.pe == pe).collect()
+    }
+
+    /// Render an ASCII Gantt chart of the first `window` cycles, one row per
+    /// PE (row-major order), `width` characters wide. `#` marks busy time.
+    #[must_use]
+    pub fn gantt(&self, window: f64, width: usize) -> String {
+        if self.events.is_empty() || window <= 0.0 || width == 0 {
+            return String::new();
+        }
+        let mut pes: Vec<PeId> = self.events.iter().map(|e| e.pe).collect();
+        pes.sort_unstable();
+        pes.dedup();
+        let scale = window / width as f64;
+        let mut out = String::new();
+        for pe in pes {
+            let mut row = vec![b'.'; width];
+            for e in self.events.iter().filter(|e| e.pe == pe) {
+                if e.start >= window {
+                    continue;
+                }
+                let a = (e.start / scale) as usize;
+                let b = ((e.end.min(window) / scale) as usize).min(width.saturating_sub(1));
+                for c in &mut row[a..=b] {
+                    *c = b'#';
+                }
+            }
+            out.push_str(&format!("{pe:>10} |"));
+            out.push_str(std::str::from_utf8(&row).expect("ascii"));
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{:>10} +{}>\n{:>10}  0{:>width$.0}\n",
+            "",
+            "-".repeat(width),
+            "cycles",
+            window,
+            width = width
+        ));
+        out
+    }
+
+    /// Busy fraction of `pe` within `[0, until]`.
+    #[must_use]
+    pub fn utilization_of(&self, pe: PeId, until: f64) -> f64 {
+        if until <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .events
+            .iter()
+            .filter(|e| e.pe == pe && e.start < until)
+            .map(|e| e.end.min(until) - e.start)
+            .sum();
+        busy / until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(row: usize, start: f64, end: f64) -> TraceEvent {
+        TraceEvent {
+            pe: PeId::new(row, 0),
+            task: TaskId(0),
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn utilization_math() {
+        let mut t = Trace::default();
+        t.record(ev(0, 0.0, 25.0));
+        t.record(ev(0, 50.0, 75.0));
+        assert!((t.utilization_of(PeId::new(0, 0), 100.0) - 0.5).abs() < 1e-12);
+        assert_eq!(t.utilization_of(PeId::new(1, 0), 100.0), 0.0);
+    }
+
+    #[test]
+    fn gantt_marks_busy_spans() {
+        let mut t = Trace::default();
+        t.record(ev(0, 0.0, 50.0));
+        t.record(ev(1, 50.0, 100.0));
+        let g = t.gantt(100.0, 20);
+        let lines: Vec<&str> = g.lines().collect();
+        assert!(lines[0].contains("PE(0,0)"));
+        assert!(lines[0].contains("##########"));
+        assert!(lines[1].contains("PE(1,0)"));
+        // Second PE busy in the second half.
+        let bar = lines[1].split('|').nth(1).unwrap();
+        assert!(bar.ends_with('#'));
+        assert!(bar.starts_with('.'));
+    }
+
+    #[test]
+    fn empty_trace_renders_empty() {
+        assert!(Trace::default().gantt(100.0, 10).is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests of the simulator substrate: routing, stream timing, and
+//! engine determinism for arbitrary configurations.
+
+use proptest::prelude::*;
+use wse_sim::{
+    Color, CostModel, MeshConfig, Op, PeId, PeProgram, SimError, Simulator, TaskCtx,
+    TaskId,
+};
+
+const C0: Color = Color::new(0);
+const RECV: TaskId = TaskId(0);
+
+/// Forwarder: receives `extent` wavelets, adds 1 to each, emits.
+struct AddOne {
+    extent: usize,
+    remaining: usize,
+}
+
+impl PeProgram for AddOne {
+    fn on_task(&mut self, ctx: &mut TaskCtx<'_>, _t: TaskId) -> Result<(), SimError> {
+        let data = ctx.take_received(C0);
+        ctx.charge(Op::I32Add, data.len() as u64);
+        ctx.emit(data.iter().map(|v| v.wrapping_add(1)).collect());
+        self.remaining -= 1;
+        if self.remaining > 0 {
+            ctx.recv_async(C0, self.extent, RECV);
+        }
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any chain length, any block count: every block is delivered through
+    /// the full chain exactly once, values intact, in order.
+    #[test]
+    fn chains_deliver_everything_in_order(
+        hops in 1usize..12,
+        blocks in 1usize..20,
+        extent in 1usize..64,
+    ) {
+        let mut sim = Simulator::new(MeshConfig::new(1, hops + 1).with_cost(CostModel::unit()));
+        sim.route_east_chain(0, 0, hops, C0);
+        // Only the last PE consumes; intermediate PEs are pure routers.
+        let dest = PeId::new(0, hops);
+        sim.set_program(dest, Box::new(AddOne { extent, remaining: blocks }));
+        sim.post_recv(dest, C0, extent, RECV);
+        let payload: Vec<Vec<u32>> = (0..blocks)
+            .map(|b| (0..extent as u32).map(|i| b as u32 * 1000 + i).collect())
+            .collect();
+        // Injection must enter the chain at its origin... the origin of the
+        // route is PE(0,0)'s RAMP; injecting at the destination directly
+        // bypasses the fabric, so emulate the origin with a sender program.
+        struct SendAll { blocks: Vec<Vec<u32>> }
+        impl PeProgram for SendAll {
+            fn on_task(&mut self, ctx: &mut TaskCtx<'_>, _t: TaskId) -> Result<(), SimError> {
+                for b in self.blocks.drain(..) {
+                    ctx.send_async(C0, b, None);
+                }
+                Ok(())
+            }
+        }
+        sim.set_program(PeId::new(0, 0), Box::new(SendAll { blocks: payload.clone() }));
+        sim.activate(PeId::new(0, 0), TaskId(9), 0.0);
+        let report = sim.run().unwrap();
+        let outs = report.outputs(dest);
+        prop_assert_eq!(outs.len(), blocks);
+        for (b, out) in outs.iter().enumerate() {
+            let expected: Vec<u32> = payload[b].iter().map(|v| v + 1).collect();
+            prop_assert_eq!(out, &expected);
+        }
+    }
+
+    /// Determinism: identical setups give identical finish cycles and
+    /// outputs, regardless of internal hash-map iteration.
+    #[test]
+    fn engine_is_deterministic(rows in 1usize..6, blocks in 1usize..10) {
+        let build = || {
+            let mut sim = Simulator::new(MeshConfig::new(rows, 1).with_cost(CostModel::unit()));
+            for r in 0..rows {
+                let pe = PeId::new(r, 0);
+                sim.set_program(pe, Box::new(AddOne { extent: 8, remaining: blocks }));
+                sim.post_recv(pe, C0, 8, RECV);
+                let data: Vec<Vec<u32>> = (0..blocks)
+                    .map(|b| (0..8u32).map(|i| (r as u32) << 16 | (b as u32) << 8 | i).collect())
+                    .collect();
+                sim.inject_blocks(pe, C0, data, 0.0);
+            }
+            sim.run().unwrap()
+        };
+        let a = build();
+        let b = build();
+        prop_assert_eq!(a.stats().finish_cycle, b.stats().finish_cycle);
+        prop_assert_eq!(a.all_outputs(), b.all_outputs());
+    }
+
+    /// Short injections always deadlock with precise diagnostics — never
+    /// hang, never succeed spuriously.
+    #[test]
+    fn underfed_receives_always_deadlock(extent in 2usize..50, fed in 0usize..1) {
+        let mut sim = Simulator::new(MeshConfig::new(1, 1).with_cost(CostModel::unit()));
+        let pe = PeId::new(0, 0);
+        sim.set_program(pe, Box::new(AddOne { extent, remaining: 1 }));
+        sim.post_recv(pe, C0, extent, RECV);
+        if fed > 0 {
+            sim.inject_stream(pe, C0, vec![7; extent - 1], 0.0);
+        }
+        match sim.run() {
+            Err(SimError::Deadlock { blocked }) => {
+                prop_assert_eq!(blocked.len(), 1);
+                let missing = blocked[0].waiting_on[0].1;
+                prop_assert_eq!(missing, if fed > 0 { 1 } else { extent });
+            }
+            other => prop_assert!(false, "expected deadlock, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: compress a scientific field with an error bound, decompress,
+//! and verify the guarantee.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use ceresz::core::{
+    compress_parallel, decompress_parallel, verify_error_bound, CereszConfig, ErrorBound,
+};
+use ceresz::data::{generate_field, DatasetId};
+
+fn main() {
+    // A NYX-like cosmology temperature cube (synthetic, deterministic).
+    let field = generate_field(DatasetId::Nyx, 2, 7);
+    println!("field: {} ({} values, {} MB)", field.name, field.len(), field.bytes() / 1_000_000);
+
+    // Value-range-relative bound: every point within 0.1% of the range.
+    let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+    let t0 = std::time::Instant::now();
+    let compressed = compress_parallel(&field.data, &cfg).expect("finite data compresses");
+    let dt = t0.elapsed();
+
+    println!(
+        "compressed: {} -> {} bytes (ratio {:.2}x) in {:.1} ms ({:.2} GB/s host-side)",
+        compressed.stats.original_bytes,
+        compressed.stats.compressed_bytes,
+        compressed.ratio(),
+        dt.as_secs_f64() * 1e3,
+        compressed.stats.original_bytes as f64 / dt.as_secs_f64() / 1e9,
+    );
+    println!(
+        "blocks: {} total, {} zero-block fast path, max fixed length {} bits",
+        compressed.stats.n_blocks, compressed.stats.zero_blocks, compressed.stats.max_fixed_length
+    );
+
+    let restored = decompress_parallel(&compressed).expect("stream decompresses");
+    assert!(verify_error_bound(&field.data, &restored, compressed.stats.eps));
+    println!(
+        "verified: max error {:.3e} <= eps {:.3e}",
+        ceresz::core::max_abs_error(&field.data, &restored),
+        compressed.stats.eps
+    );
+    println!(
+        "quality: PSNR {:.2} dB",
+        ceresz::quality::psnr(&field.data, &restored)
+    );
+}

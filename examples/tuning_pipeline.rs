@@ -1,0 +1,50 @@
+//! Pipeline planning walkthrough: sample the data (§4.2's 5 % sampling),
+//! decompose the compression into sub-stages, balance them across PEs with
+//! Algorithm 1, and pick the pipeline length the analytic model (Eq. 4)
+//! prefers.
+//!
+//! Run: `cargo run --release --example tuning_pipeline`
+
+use ceresz::core::plan::{
+    max_feasible_pipeline_length, CompressionPlan, MeshShape, PipelineModel, StageCostModel,
+};
+use ceresz::core::ErrorBound;
+use ceresz::data::{generate_field, DatasetId};
+
+fn main() {
+    let field = generate_field(DatasetId::CesmAtm, 0, 9);
+    let model = StageCostModel::calibrated();
+    let bound = ErrorBound::Rel(1e-4);
+
+    // Sample-based plan for a 4-PE pipeline.
+    let plan = CompressionPlan::from_sampled(&field.data, bound, 32, 4, &model);
+    println!(
+        "sampled fixed length: {} bits; total C = {:.0} cycles/block",
+        plan.fixed_length, plan.total_cycles
+    );
+    println!("\nAlgorithm 1 distribution over 4 PEs:");
+    for (pe, group) in plan.groups.iter().enumerate() {
+        let names: Vec<String> = group.iter().map(|&i| plan.stages[i].kind.name()).collect();
+        let cycles: f64 = group.iter().map(|&i| plan.stages[i].cycles).sum();
+        println!("  PE {pe}: {:>7.0} cycles  [{}]", cycles, names.join(", "));
+    }
+    println!("bottleneck: {:.0} cycles (ideal C/4 = {:.0})", plan.bottleneck_cycles(), plan.total_cycles / 4.0);
+
+    let cycles: Vec<f64> = plan.stages.iter().map(|s| s.cycles).collect();
+    println!(
+        "\nmax feasible pipeline length = floor(C / t_mul) = {}",
+        max_feasible_pipeline_length(&cycles)
+    );
+
+    // What Eq. 4 says about length selection on a 512x512 wafer.
+    let pipe = PipelineModel::cs2_defaults(32);
+    let mesh = MeshShape::square(512);
+    let n_blocks = 10_000_000usize;
+    println!("\nEq. 4 total cycles on 512x512 PEs ({n_blocks} blocks):");
+    for len in [1usize, 2, 4, 8] {
+        let total = pipe.total_cycles(n_blocks, mesh, len, plan.total_cycles);
+        println!("  length {len}: {total:.3e} cycles");
+    }
+    let best = pipe.optimal_pipeline_length(n_blocks, mesh, plan.total_cycles, 8);
+    println!("optimal length: {best} (the paper's finding: 1)");
+}

@@ -1,0 +1,186 @@
+//! `ceresz` — command-line error-bounded lossy compression of raw `f32`
+//! files (SDRBench layout: little-endian, no header).
+//!
+//! ```text
+//! ceresz compress   <in.f32> <out.csz> [--rel 1e-3 | --abs 0.01] [--block 32]
+//! ceresz decompress <in.csz> <out.f32>
+//! ceresz info       <in.csz>
+//! ceresz verify     <orig.f32> <in.csz>
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use ceresz::core::{
+    compress_parallel, decompress_bytes_parallel, max_abs_error, verify_error_bound,
+    CereszConfig, ErrorBound,
+};
+use ceresz::core::stream::StreamHeader;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("usage:");
+            eprintln!("  ceresz compress   <in.f32> <out.csz> [--rel L | --abs E] [--block N]");
+            eprintln!("  ceresz decompress <in.csz> <out.f32>");
+            eprintln!("  ceresz info       <in.csz>");
+            eprintln!("  ceresz verify     <orig.f32> <in.csz>");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("compress") => cmd_compress(&args[1..]),
+        Some("decompress") => cmd_decompress(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some(other) => Err(format!("unknown command '{other}'")),
+        None => Err("missing command".into()),
+    }
+}
+
+fn read_f32(path: &str) -> Result<Vec<f32>, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if bytes.len() % 4 != 0 {
+        return Err(format!("{path}: size {} is not a multiple of 4", bytes.len()));
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+fn parse_flags(args: &[String]) -> Result<(Vec<&str>, ErrorBound, usize), String> {
+    let mut positional = Vec::new();
+    let mut bound = ErrorBound::Rel(1e-3);
+    let mut block = 32usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rel" | "--abs" => {
+                let v: f64 = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{} needs a value", args[i]))?
+                    .parse()
+                    .map_err(|e| format!("{}: {e}", args[i]))?;
+                bound = if args[i] == "--rel" {
+                    ErrorBound::Rel(v)
+                } else {
+                    ErrorBound::Abs(v)
+                };
+                i += 2;
+            }
+            "--block" => {
+                block = args
+                    .get(i + 1)
+                    .ok_or("--block needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--block: {e}"))?;
+                i += 2;
+            }
+            other => {
+                positional.push(other);
+                i += 1;
+            }
+        }
+    }
+    Ok((positional, bound, block))
+}
+
+fn cmd_compress(args: &[String]) -> Result<(), String> {
+    let (pos, bound, block) = parse_flags(args)?;
+    let [input, output] = pos.as_slice() else {
+        return Err("compress needs <in.f32> <out.csz>".into());
+    };
+    let data = read_f32(input)?;
+    let cfg = CereszConfig::new(bound).with_block_size(block);
+    let t0 = std::time::Instant::now();
+    let c = compress_parallel(&data, &cfg).map_err(|e| e.to_string())?;
+    let dt = t0.elapsed();
+    std::fs::write(output, &c.data).map_err(|e| format!("writing {output}: {e}"))?;
+    println!(
+        "{} -> {}: {} -> {} bytes (ratio {:.2}x) in {:.1} ms",
+        input,
+        output,
+        c.stats.original_bytes,
+        c.stats.compressed_bytes,
+        c.ratio(),
+        dt.as_secs_f64() * 1e3
+    );
+    println!(
+        "eps {:.6e}, {} blocks ({} zero), max fixed length {} bits",
+        c.stats.eps, c.stats.n_blocks, c.stats.zero_blocks, c.stats.max_fixed_length
+    );
+    Ok(())
+}
+
+fn cmd_decompress(args: &[String]) -> Result<(), String> {
+    let [input, output] = args else {
+        return Err("decompress needs <in.csz> <out.f32>".into());
+    };
+    let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let restored = decompress_bytes_parallel(&bytes).map_err(|e| e.to_string())?;
+    let mut out = Vec::with_capacity(restored.len() * 4);
+    for v in &restored {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    std::fs::write(Path::new(output.as_str()), &out)
+        .map_err(|e| format!("writing {output}: {e}"))?;
+    println!("{input} -> {output}: {} values restored", restored.len());
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let [input] = args else {
+        return Err("info needs <in.csz>".into());
+    };
+    let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let header = StreamHeader::read(&bytes).map_err(|e| e.to_string())?;
+    println!("stream:      {input}");
+    println!("elements:    {}", header.count);
+    println!("block size:  {}", header.block_size);
+    println!("header width:{} byte(s)", header.header_width.bytes());
+    println!("eps (abs):   {:.6e}", header.eps);
+    println!("blocks:      {}", header.n_blocks());
+    println!(
+        "ratio:       {:.2}x",
+        header.count as f64 * 4.0 / bytes.len() as f64
+    );
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let [orig_path, csz_path] = args else {
+        return Err("verify needs <orig.f32> <in.csz>".into());
+    };
+    let orig = read_f32(orig_path)?;
+    let bytes = std::fs::read(csz_path).map_err(|e| format!("reading {csz_path}: {e}"))?;
+    let header = StreamHeader::read(&bytes).map_err(|e| e.to_string())?;
+    let restored = decompress_bytes_parallel(&bytes).map_err(|e| e.to_string())?;
+    if restored.len() != orig.len() {
+        return Err(format!(
+            "length mismatch: original {} vs stream {}",
+            orig.len(),
+            restored.len()
+        ));
+    }
+    let ok = verify_error_bound(&orig, &restored, header.eps);
+    println!(
+        "max error {:.6e} vs eps {:.6e} -> {}",
+        max_abs_error(&orig, &restored),
+        header.eps,
+        if ok { "BOUND HELD" } else { "BOUND VIOLATED" }
+    );
+    println!("PSNR {:.2} dB", ceresz::quality::psnr(&orig, &restored));
+    if ok {
+        Ok(())
+    } else {
+        Err("error bound violated".into())
+    }
+}

@@ -1,0 +1,37 @@
+//! # ceresz
+//!
+//! Facade crate of the CereSZ reproduction workspace: re-exports the public
+//! surface of every member crate so examples and downstream users need a
+//! single dependency.
+//!
+//! * [`core`] — the CereSZ compression algorithm and planning (Algorithm 1,
+//!   Eqs. 2–4).
+//! * [`wse`] — the three parallelization strategies running on the simulated
+//!   wafer, plus the full-wafer analytic throughput engine.
+//! * [`sim`] — the Cerebras-style dataflow simulator substrate.
+//! * [`data`] — synthetic SDRBench-like datasets and raw `f32` I/O.
+//! * [`quality`] — PSNR / SSIM / rate–distortion metrics.
+//! * [`baselines`] — SZ3, SZp, cuSZ, cuSZp reimplementations and device
+//!   throughput models.
+//! * [`huffman`] — the canonical Huffman substrate.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ceresz::core::{compress, decompress, CereszConfig, ErrorBound};
+//!
+//! let data: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.01).sin()).collect();
+//! let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+//! let compressed = compress(&data, &cfg).unwrap();
+//! let restored = decompress(&compressed).unwrap();
+//! assert!(ceresz::core::verify_error_bound(&data, &restored, compressed.stats.eps));
+//! println!("ratio = {:.2}", compressed.ratio());
+//! ```
+
+pub use baselines;
+pub use ceresz_core as core;
+pub use ceresz_wse as wse;
+pub use datasets as data;
+pub use huffman;
+pub use metrics as quality;
+pub use wse_sim as sim;

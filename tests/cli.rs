@@ -1,0 +1,130 @@
+//! End-to-end tests of the `ceresz` command-line tool.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_ceresz")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ceresz-cli-{name}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_f32(path: &PathBuf, data: &[f32]) {
+    let mut bytes = Vec::with_capacity(data.len() * 4);
+    for v in data {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    std::fs::write(path, bytes).unwrap();
+}
+
+fn read_f32(path: &PathBuf) -> Vec<f32> {
+    std::fs::read(path)
+        .unwrap()
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+#[test]
+fn compress_decompress_verify_roundtrip() {
+    let dir = tmpdir("roundtrip");
+    let orig_path = dir.join("orig.f32");
+    let csz_path = dir.join("data.csz");
+    let out_path = dir.join("restored.f32");
+    let data: Vec<f32> = (0..10_000).map(|i| (i as f32 * 0.01).sin() * 8.0).collect();
+    write_f32(&orig_path, &data);
+
+    let st = Command::new(bin())
+        .args(["compress", orig_path.to_str().unwrap(), csz_path.to_str().unwrap(), "--rel", "1e-3"])
+        .status()
+        .unwrap();
+    assert!(st.success());
+    assert!(csz_path.metadata().unwrap().len() < orig_path.metadata().unwrap().len());
+
+    let st = Command::new(bin())
+        .args(["decompress", csz_path.to_str().unwrap(), out_path.to_str().unwrap()])
+        .status()
+        .unwrap();
+    assert!(st.success());
+    let restored = read_f32(&out_path);
+    assert_eq!(restored.len(), data.len());
+
+    let out = Command::new(bin())
+        .args(["verify", orig_path.to_str().unwrap(), csz_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("BOUND HELD"));
+}
+
+#[test]
+fn info_reports_stream_metadata() {
+    let dir = tmpdir("info");
+    let orig_path = dir.join("orig.f32");
+    let csz_path = dir.join("data.csz");
+    write_f32(&orig_path, &vec![1.25f32; 4096]);
+    Command::new(bin())
+        .args(["compress", orig_path.to_str().unwrap(), csz_path.to_str().unwrap(), "--abs", "0.01"])
+        .status()
+        .unwrap();
+    let out = Command::new(bin())
+        .args(["info", csz_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("elements:    4096"), "{text}");
+    assert!(text.contains("block size:  32"), "{text}");
+}
+
+#[test]
+fn bad_usage_fails_with_help() {
+    let out = Command::new(bin()).args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn corrupt_stream_fails_cleanly() {
+    let dir = tmpdir("corrupt");
+    let bad = dir.join("bad.csz");
+    // Long enough for the header parse to reach the magic check.
+    std::fs::write(&bad, b"this is definitely not a ceresz stream").unwrap();
+    let out = Command::new(bin())
+        .args(["info", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("magic"));
+}
+
+#[test]
+fn custom_block_size_roundtrips() {
+    let dir = tmpdir("block");
+    let orig_path = dir.join("orig.f32");
+    let csz_path = dir.join("data.csz");
+    let data: Vec<f32> = (0..5_000).map(|i| (i % 100) as f32).collect();
+    write_f32(&orig_path, &data);
+    let st = Command::new(bin())
+        .args([
+            "compress",
+            orig_path.to_str().unwrap(),
+            csz_path.to_str().unwrap(),
+            "--rel",
+            "1e-2",
+            "--block",
+            "64",
+        ])
+        .status()
+        .unwrap();
+    assert!(st.success());
+    let out = Command::new(bin())
+        .args(["info", csz_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(String::from_utf8_lossy(&out.stdout).contains("block size:  64"));
+}

@@ -1,0 +1,83 @@
+//! Validation of the analytic full-wafer model against the event simulator —
+//! the test that licenses extrapolating Figs. 11/12/14 to meshes too large
+//! to event-step (DESIGN.md §5.1).
+
+use ceresz::core::plan::MeshShape;
+use ceresz::core::{CereszConfig, ErrorBound};
+use ceresz::data::{generate_field, DatasetId};
+use ceresz::wse::multi_pipeline::run_multi_pipeline;
+use ceresz::wse::throughput::WaferConfig;
+
+/// The analytic model and the event simulator must agree on total cycles at
+/// small mesh sizes (within a modest tolerance: the simulator resolves
+/// per-block variation and pipeline fill/drain that the closed form
+/// averages away).
+#[test]
+fn analytic_model_tracks_the_simulator() {
+    let field = generate_field(DatasetId::QmcPack, 0, 42);
+    let cfg = CereszConfig::new(ErrorBound::Rel(1e-4));
+    for (rows, pipelines) in [(2usize, 4usize), (4, 8), (2, 16)] {
+        // Whole rounds so both sides see the same utilization.
+        let blocks = rows * pipelines * 24;
+        let data = &field.data[..32 * blocks];
+        let sim = run_multi_pipeline(data, &cfg, rows, 1, pipelines).unwrap();
+        let wafer = WaferConfig::cs2(MeshShape {
+            rows,
+            cols: pipelines,
+        });
+        let analytic = wafer.compression_report(data, &cfg, 1).unwrap();
+        let ratio = sim.stats.finish_cycle / analytic.cycles;
+        assert!(
+            (0.75..1.25).contains(&ratio),
+            "{rows}x{pipelines}: sim {} vs analytic {} (ratio {ratio:.3})",
+            sim.stats.finish_cycle,
+            analytic.cycles
+        );
+    }
+}
+
+/// The simulator's scaling trend matches the model's across mesh widths:
+/// doubling the pipelines (columns) speeds both up by nearly the same factor.
+#[test]
+fn scaling_trends_agree() {
+    let field = generate_field(DatasetId::CesmAtm, 0, 42);
+    let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+    let blocks = 2 * 16 * 12; // whole rounds for both configs
+    let data = &field.data[..32 * blocks];
+
+    let sim_a = run_multi_pipeline(data, &cfg, 2, 1, 8).unwrap();
+    let sim_b = run_multi_pipeline(data, &cfg, 2, 1, 16).unwrap();
+    let sim_speedup = sim_a.stats.finish_cycle / sim_b.stats.finish_cycle;
+
+    let wafer_a = WaferConfig::cs2(MeshShape { rows: 2, cols: 8 });
+    let wafer_b = WaferConfig::cs2(MeshShape { rows: 2, cols: 16 });
+    let ana_a = wafer_a.compression_report(data, &cfg, 1).unwrap();
+    let ana_b = wafer_b.compression_report(data, &cfg, 1).unwrap();
+    let ana_speedup = ana_a.cycles / ana_b.cycles;
+
+    assert!(
+        (sim_speedup - ana_speedup).abs() / ana_speedup < 0.2,
+        "sim speedup {sim_speedup:.3} vs analytic {ana_speedup:.3}"
+    );
+}
+
+/// Fig. 10(b) empirically: simulated per-PE busy time scales ≈ 1/len.
+#[test]
+fn per_pe_busy_time_is_inverse_in_pipeline_length() {
+    use ceresz::wse::pipeline_map::run_pipeline;
+    let field = generate_field(DatasetId::QmcPack, 0, 42);
+    let cfg = CereszConfig::new(ErrorBound::Rel(1e-4));
+    let data = &field.data[..32 * 256];
+    let n_blocks = 256.0;
+    let busy_per_block = |len: usize| {
+        let run = run_pipeline(data, &cfg, 1, len).unwrap();
+        run.stats.total_busy_cycles / (n_blocks * len as f64)
+    };
+    let b1 = busy_per_block(1);
+    let b4 = busy_per_block(4);
+    let ratio = b1 / b4;
+    assert!(
+        (3.0..5.5).contains(&ratio),
+        "expected ≈4x reduction, got {ratio:.2} ({b1:.0} vs {b4:.0})"
+    );
+}
