@@ -32,16 +32,16 @@ impl Codec for CuSz {
     ) -> Result<CompressedBuf, BaselineError> {
         let eps = bound.resolve(data);
         if !(eps.is_finite() && eps > 0.0) {
-            return Err(BaselineError::Core(ceresz_core::CompressError::InvalidBound));
+            return Err(BaselineError::Core(
+                ceresz_core::CompressError::InvalidBound,
+            ));
         }
-        let dims = if dims.is_empty()
-            || dims.len() > 3
-            || dims.iter().product::<usize>() != data.len()
-        {
-            vec![data.len()]
-        } else {
-            dims.to_vec()
-        };
+        let dims =
+            if dims.is_empty() || dims.len() > 3 || dims.iter().product::<usize>() != data.len() {
+                vec![data.len()]
+            } else {
+                dims.to_vec()
+            };
         let predictor = LorenzoPredictor::new(&dims);
         let quantizer = Quantizer::new(eps);
         let mut bins = Vec::with_capacity(data.len());
@@ -167,10 +167,14 @@ mod tests {
     fn ratio_capped_without_run_coding() {
         // Even perfectly smooth data cannot beat ~32x: 1 bit/Huffman symbol.
         let data = vec![1.0f32; 200_000];
-        let c = CuSz.compress(&data, &[200_000], ErrorBound::Abs(1e-2)).unwrap();
+        let c = CuSz
+            .compress(&data, &[200_000], ErrorBound::Abs(1e-2))
+            .unwrap();
         assert!(c.ratio() < 35.0, "ratio = {}", c.ratio());
         // SZ3's run coding blows past it on the same input.
-        let sz = Sz3.compress(&data, &[200_000], ErrorBound::Abs(1e-2)).unwrap();
+        let sz = Sz3
+            .compress(&data, &[200_000], ErrorBound::Abs(1e-2))
+            .unwrap();
         assert!(sz.ratio() > 10.0 * c.ratio());
     }
 
@@ -181,8 +185,12 @@ mod tests {
         let bound = ErrorBound::Rel(1e-4);
         let a = CuSz;
         let b = Sz3;
-        let ra = a.decompress(&a.compress(&data, &[48, 48], bound).unwrap()).unwrap();
-        let rb = b.decompress(&b.compress(&data, &[48, 48], bound).unwrap()).unwrap();
+        let ra = a
+            .decompress(&a.compress(&data, &[48, 48], bound).unwrap())
+            .unwrap();
+        let rb = b
+            .decompress(&b.compress(&data, &[48, 48], bound).unwrap())
+            .unwrap();
         assert_eq!(ra, rb);
     }
 }

@@ -57,8 +57,7 @@ impl Codec for CuSzp {
             .step_by(BLOCKS_PER_CHUNK)
             .map(|&o| o as u32)
             .collect();
-        let mut bytes =
-            Vec::with_capacity(inner.data.len() + 4 + chunk_offsets.len() * 4);
+        let mut bytes = Vec::with_capacity(inner.data.len() + 4 + chunk_offsets.len() * 4);
         bytes.extend_from_slice(&(chunk_offsets.len() as u32).to_le_bytes());
         for off in &chunk_offsets {
             bytes.extend_from_slice(&off.to_le_bytes());
@@ -83,8 +82,7 @@ impl Codec for CuSzp {
         }
         let chunk_offsets: Vec<usize> = (0..n_chunks)
             .map(|i| {
-                u32::from_le_bytes(bytes[4 + i * 4..8 + i * 4].try_into().expect("sized"))
-                    as usize
+                u32::from_le_bytes(bytes[4 + i * 4..8 + i * 4].try_into().expect("sized")) as usize
             })
             .collect();
         let stream = &bytes[dir_end..];
@@ -96,9 +94,8 @@ impl Codec for CuSzp {
         let n_blocks = header.n_blocks();
         let mut out = vec![0f32; header.count];
         let chunk_elems = BLOCKS_PER_CHUNK * header.block_size;
-        out.par_chunks_mut(chunk_elems)
-            .enumerate()
-            .try_for_each(|(ci, chunk)| -> Result<(), BaselineError> {
+        out.par_chunks_mut(chunk_elems).enumerate().try_for_each(
+            |(ci, chunk)| -> Result<(), BaselineError> {
                 let mut pos = *chunk_offsets
                     .get(ci)
                     .ok_or(BaselineError::Corrupt("missing chunk offset"))?;
@@ -117,7 +114,8 @@ impl Codec for CuSzp {
                     written += take;
                 }
                 Ok(())
-            })?;
+            },
+        )?;
         Ok(out)
     }
 }
@@ -137,7 +135,9 @@ mod tests {
     fn roundtrip_within_bound() {
         let data = wavy(32 * 313 + 7);
         let c = CuSzp::default();
-        let buf = c.compress(&data, &[data.len()], ErrorBound::Rel(1e-3)).unwrap();
+        let buf = c
+            .compress(&data, &[data.len()], ErrorBound::Rel(1e-3))
+            .unwrap();
         let r = c.decompress(&buf).unwrap();
         assert_eq!(r.len(), data.len());
         assert!(ceresz_core::verify_error_bound(&data, &r, buf.eps));
@@ -147,8 +147,12 @@ mod tests {
     fn directory_overhead_lowers_ratio_vs_szp() {
         let data = wavy(32 * 1000);
         let bound = ErrorBound::Rel(1e-3);
-        let szp = Szp::default().compress(&data, &[data.len()], bound).unwrap();
-        let cuszp = CuSzp::default().compress(&data, &[data.len()], bound).unwrap();
+        let szp = Szp::default()
+            .compress(&data, &[data.len()], bound)
+            .unwrap();
+        let cuszp = CuSzp::default()
+            .compress(&data, &[data.len()], bound)
+            .unwrap();
         assert!(cuszp.ratio() < szp.ratio());
         // ...but only slightly (one u32 per 32 blocks).
         assert!(cuszp.ratio() > szp.ratio() * 0.9);
@@ -161,8 +165,12 @@ mod tests {
         let bound = ErrorBound::Rel(1e-4);
         let s = Szp::default();
         let c = CuSzp::default();
-        let rs = s.decompress(&s.compress(&data, &[data.len()], bound).unwrap()).unwrap();
-        let rc = c.decompress(&c.compress(&data, &[data.len()], bound).unwrap()).unwrap();
+        let rs = s
+            .decompress(&s.compress(&data, &[data.len()], bound).unwrap())
+            .unwrap();
+        let rc = c
+            .decompress(&c.compress(&data, &[data.len()], bound).unwrap())
+            .unwrap();
         assert_eq!(rs, rc);
     }
 
@@ -170,7 +178,9 @@ mod tests {
     fn corrupt_directory_is_detected() {
         let data = wavy(32 * 8);
         let c = CuSzp::default();
-        let mut buf = c.compress(&data, &[data.len()], ErrorBound::Rel(1e-3)).unwrap();
+        let mut buf = c
+            .compress(&data, &[data.len()], ErrorBound::Rel(1e-3))
+            .unwrap();
         buf.bytes.truncate(3);
         assert!(c.decompress(&buf).is_err());
     }

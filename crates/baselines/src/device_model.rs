@@ -149,7 +149,10 @@ mod tests {
         let cusz = DeviceModel::cusz_a100().throughput_gbps(&p, Direction::Compress);
         let szp = DeviceModel::szp_epyc().throughput_gbps(&p, Direction::Compress);
         let sz = DeviceModel::sz3_epyc().throughput_gbps(&p, Direction::Compress);
-        assert!(cuszp > cusz && cusz > szp && szp > sz, "{cuszp} {cusz} {szp} {sz}");
+        assert!(
+            cuszp > cusz && cusz > szp && szp > sz,
+            "{cuszp} {cusz} {szp} {sz}"
+        );
     }
 
     #[test]

@@ -91,8 +91,8 @@ pub fn decode_bins(bytes: &[u8], count: usize) -> Result<Vec<u32>, BaselineError
         return Err(BaselineError::Corrupt("truncated run stream"));
     }
     let mut run_stream = &bytes[8..8 + run_len];
-    let symbols = huffman::codec::decode_bytes(&bytes[8 + run_len..])
-        .map_err(BaselineError::Huffman)?;
+    let symbols =
+        huffman::codec::decode_bytes(&bytes[8 + run_len..]).map_err(BaselineError::Huffman)?;
     let mut bins = Vec::with_capacity(count);
     for &s in &symbols {
         if s == RUN_SYMBOL {

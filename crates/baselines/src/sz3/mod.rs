@@ -45,7 +45,9 @@ impl Codec for Sz3 {
     ) -> Result<CompressedBuf, BaselineError> {
         let eps = bound.resolve(data);
         if !(eps.is_finite() && eps > 0.0) {
-            return Err(BaselineError::Core(ceresz_core::CompressError::InvalidBound));
+            return Err(BaselineError::Core(
+                ceresz_core::CompressError::InvalidBound,
+            ));
         }
         let dims = normalize_dims(dims, data.len());
         let predictor = LorenzoPredictor::new(&dims);
@@ -171,7 +173,9 @@ mod tests {
     fn roundtrip_2d_within_bound() {
         let data = smooth_2d(64, 100);
         let sz = Sz3;
-        let c = sz.compress(&data, &[64, 100], ErrorBound::Rel(1e-3)).unwrap();
+        let c = sz
+            .compress(&data, &[64, 100], ErrorBound::Rel(1e-3))
+            .unwrap();
         let r = sz.decompress(&c).unwrap();
         assert_eq!(r.len(), data.len());
         assert!(ceresz_core::verify_error_bound(&data, &r, c.eps));
@@ -183,7 +187,9 @@ mod tests {
             .map(|i| ((i % 400) as f32 * 0.01).sin() * 5.0)
             .collect();
         let sz = Sz3;
-        let c = sz.compress(&data, &[20, 20, 20], ErrorBound::Rel(1e-4)).unwrap();
+        let c = sz
+            .compress(&data, &[20, 20, 20], ErrorBound::Rel(1e-4))
+            .unwrap();
         let r = sz.decompress(&c).unwrap();
         assert!(ceresz_core::verify_error_bound(&data, &r, c.eps));
     }
@@ -194,7 +200,9 @@ mod tests {
         // drift corrections — far beyond the 32× fixed-length ceiling.
         let data = smooth_2d(200, 200);
         let sz = Sz3;
-        let c = sz.compress(&data, &[200, 200], ErrorBound::Rel(1e-2)).unwrap();
+        let c = sz
+            .compress(&data, &[200, 200], ErrorBound::Rel(1e-2))
+            .unwrap();
         assert!(c.ratio() > 15.0, "ratio = {}", c.ratio());
     }
 
@@ -208,7 +216,9 @@ mod tests {
             *v = ((i % 200) as f32 * 0.01).sin();
         }
         let sz = Sz3;
-        let c = sz.compress(&data, &[200, 200], ErrorBound::Rel(1e-2)).unwrap();
+        let c = sz
+            .compress(&data, &[200, 200], ErrorBound::Rel(1e-2))
+            .unwrap();
         assert!(c.ratio() > 100.0, "ratio = {}", c.ratio());
     }
 
@@ -220,7 +230,12 @@ mod tests {
         let szp = crate::szp::Szp::default()
             .compress(&data, &[128, 128], bound)
             .unwrap();
-        assert!(sz.ratio() > szp.ratio(), "{} vs {}", sz.ratio(), szp.ratio());
+        assert!(
+            sz.ratio() > szp.ratio(),
+            "{} vs {}",
+            sz.ratio(),
+            szp.ratio()
+        );
     }
 
     #[test]
@@ -230,7 +245,9 @@ mod tests {
         data[100] = 1.0e9;
         data[500] = -7.7e8;
         let sz = Sz3;
-        let c = sz.compress(&data, &[32, 32], ErrorBound::Abs(1e-3)).unwrap();
+        let c = sz
+            .compress(&data, &[32, 32], ErrorBound::Abs(1e-3))
+            .unwrap();
         let r = sz.decompress(&c).unwrap();
         assert!(ceresz_core::verify_error_bound(&data, &r, c.eps));
         assert_eq!(r[100], 1.0e9);

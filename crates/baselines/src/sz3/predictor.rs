@@ -37,7 +37,11 @@ impl LorenzoPredictor {
                 let c = i % cols;
                 let w = if c > 0 { recon[i - 1] } else { 0.0 };
                 let n = if r > 0 { recon[i - cols] } else { 0.0 };
-                let nw = if r > 0 && c > 0 { recon[i - cols - 1] } else { 0.0 };
+                let nw = if r > 0 && c > 0 {
+                    recon[i - cols - 1]
+                } else {
+                    0.0
+                };
                 w + n - nw
             }
             _ => {

@@ -69,7 +69,9 @@ mod tests {
     fn roundtrip_within_bound() {
         let data = wavy(10_000);
         let szp = Szp::default();
-        let c = szp.compress(&data, &[10_000], ErrorBound::Rel(1e-3)).unwrap();
+        let c = szp
+            .compress(&data, &[10_000], ErrorBound::Rel(1e-3))
+            .unwrap();
         let r = szp.decompress(&c).unwrap();
         assert!(ceresz_core::verify_error_bound(&data, &r, c.eps));
     }
@@ -79,9 +81,11 @@ mod tests {
         // All-zero data: SZp spends 1 byte/block, CereSZ 4.
         let data = vec![0f32; 32 * 100];
         let szp = Szp::default();
-        let c = szp.compress(&data, &[data.len()], ErrorBound::Abs(1e-3)).unwrap();
-        let ceresz = ceresz_core::compress(&data, &CereszConfig::new(ErrorBound::Abs(1e-3)))
+        let c = szp
+            .compress(&data, &[data.len()], ErrorBound::Abs(1e-3))
             .unwrap();
+        let ceresz =
+            ceresz_core::compress(&data, &CereszConfig::new(ErrorBound::Abs(1e-3))).unwrap();
         assert!(c.ratio() > ceresz.ratio() * 2.0);
         // Ceiling: ~128x for zero blocks (modulo the stream header).
         assert!(c.ratio() > 100.0, "ratio = {}", c.ratio());

@@ -20,7 +20,9 @@ fn bench_quantize(c: &mut Criterion) {
         b.iter(|| quantize(&data, 1e-3, &mut out).unwrap())
     });
     let mut rec = vec![0f32; N];
-    group.bench_function("dequantize", |b| b.iter(|| dequantize(&out, 1e-3, &mut rec)));
+    group.bench_function("dequantize", |b| {
+        b.iter(|| dequantize(&out, 1e-3, &mut rec))
+    });
     group.finish();
 }
 

@@ -7,8 +7,9 @@
 use ceresz_bench::{Table, SEED};
 use ceresz_core::plan::PipelineModel;
 use ceresz_core::{CereszConfig, ErrorBound};
-use ceresz_wse::multi_pipeline::run_multi_pipeline;
+use ceresz_wse::multi_pipeline::{run_multi_pipeline, run_multi_pipeline_with};
 use ceresz_wse::pipeline_map::run_pipeline;
+use ceresz_wse::{build_report, MappingStrategy, SimOptions};
 use datasets::{generate_field, DatasetId};
 
 fn main() {
@@ -81,4 +82,21 @@ fn main() {
         ]);
     }
     t.sep();
+
+    // Per-stage cycle attribution of the Fig. 10 configuration, written as
+    // profile.json for post-processing (relay overhead shows up under
+    // "dispatch"/"unattributed" on the head PEs).
+    let p = 8usize;
+    let round: Vec<f32> = data[..32 * p].to_vec();
+    let strategy = MappingStrategy::MultiPipeline {
+        rows: 1,
+        pipeline_length: 1,
+        pipelines_per_row: p,
+    };
+    let (run, report) = run_multi_pipeline_with(&round, &cfg, 1, 1, p, &SimOptions::profiled())
+        .expect("simulation runs");
+    let profile = build_report(strategy, cfg.block_size, &report, Some(&run.plan));
+    std::fs::write("fig10.profile.json", profile.to_json().to_pretty())
+        .expect("write fig10.profile.json");
+    println!("\nper-stage attribution of the {p}-pipeline run written to fig10.profile.json");
 }

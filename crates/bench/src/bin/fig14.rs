@@ -31,12 +31,7 @@ fn main() {
         println!("({})", ds.spec().name);
         let t = Table::new(&[10, 12, 12, 14]);
         t.sep();
-        t.row(&[
-            "WSE".into(),
-            "PEs".into(),
-            "GB/s".into(),
-            "vs 16x16".into(),
-        ]);
+        t.row(&["WSE".into(), "PEs".into(), "GB/s".into(), "vs 16x16".into()]);
         t.sep();
         let mut base = None;
         // The paper streams the WHOLE dataset (all fields) in this

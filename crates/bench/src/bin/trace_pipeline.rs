@@ -1,19 +1,24 @@
 //! Visualize pipeline parallelism: a per-PE task-timeline Gantt chart of a
 //! 4-stage compression pipeline processing its first blocks — the steady
 //! state the paper's Fig. 2 sketches, rendered from the event simulator.
+//! Alongside the chart, the run's per-stage cycle attribution is written to
+//! `trace_pipeline.profile.json` and the timeline to
+//! `trace_pipeline.trace.json` (loadable in Perfetto / `chrome://tracing`).
 //!
 //! Run: `cargo run --release -p ceresz-bench --bin trace_pipeline`
 
 use ceresz_bench::SEED;
 use ceresz_core::{CereszConfig, ErrorBound};
 use ceresz_wse::pipeline_map::run_pipeline_with;
+use ceresz_wse::{build_report, MappingStrategy, SimOptions};
 use datasets::{generate_field, DatasetId};
 
 fn main() {
     let field = generate_field(DatasetId::CesmAtm, 0, SEED);
     let data = &field.data[..32 * 16];
     let cfg = CereszConfig::new(ErrorBound::Rel(1e-4));
-    let (run, trace) = run_pipeline_with(data, &cfg, 1, 4, true).expect("simulation runs");
+    let options = SimOptions::profiled();
+    let (run, report) = run_pipeline_with(data, &cfg, 1, 4, &options).expect("simulation runs");
     println!(
         "4-PE pipeline, 16 blocks of CESM-ATM, plan f = {}, bottleneck {:.0} cycles",
         run.plan.fixed_length,
@@ -21,14 +26,32 @@ fn main() {
     );
     println!("Stage groups:");
     for (pe, group) in run.plan.groups.iter().enumerate() {
-        let names: Vec<String> = group.iter().map(|&i| run.plan.stages[i].kind.name()).collect();
+        let names: Vec<String> = group
+            .iter()
+            .map(|&i| run.plan.stages[i].kind.name())
+            .collect();
         println!("  PE {pe}: [{}]", names.join(", "));
     }
     println!();
     let window = run.stats.finish_cycle.min(200_000.0);
-    print!("{}", trace.gantt(window, 100));
+    print!("{}", report.trace().gantt(window, 100));
     println!(
         "\nOnce the pipeline fills, all 4 PEs overlap on different blocks — \
          the data-triggered execution of §2.1."
     );
+
+    let strategy = MappingStrategy::Pipeline {
+        rows: 1,
+        pipeline_length: 4,
+    };
+    let profile = build_report(strategy, cfg.block_size, &report, Some(&run.plan));
+    println!("\n{}", profile.render_table());
+    std::fs::write("trace_pipeline.profile.json", profile.to_json().to_pretty())
+        .expect("write profile.json");
+    std::fs::write(
+        "trace_pipeline.trace.json",
+        report.chrome_trace("ceresz pipeline").to_json().to_pretty(),
+    )
+    .expect("write trace.json");
+    println!("wrote trace_pipeline.profile.json and trace_pipeline.trace.json");
 }

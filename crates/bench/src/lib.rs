@@ -19,7 +19,9 @@ pub const REL_BOUNDS: [f64; 3] = [1e-2, 1e-3, 1e-4];
 /// All fields of a dataset at the reproduction seed.
 #[must_use]
 pub fn fields_of(ds: DatasetId) -> Vec<Field> {
-    (0..ds.n_fields()).map(|i| generate_field(ds, i, SEED)).collect()
+    (0..ds.n_fields())
+        .map(|i| generate_field(ds, i, SEED))
+        .collect()
 }
 
 /// Replication factor scaling a synthetic field to the paper's field size

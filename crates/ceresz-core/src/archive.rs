@@ -9,7 +9,9 @@
 //! streams, concatenated in index order
 //! ```
 
-use crate::compressor::{compress_parallel, decompress_bytes_parallel, CereszConfig, CompressError, Compressed};
+use crate::compressor::{
+    compress_parallel, decompress_bytes_parallel, CereszConfig, CompressError, Compressed,
+};
 
 /// Archive magic bytes.
 pub const ARCHIVE_MAGIC: [u8; 4] = *b"CSZA";

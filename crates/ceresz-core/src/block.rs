@@ -415,7 +415,9 @@ mod tests {
         // Alternating huge quantized values produce deltas near ±2^31.
         let eps = 0.5; // 2ε = 1 → p = round(e)
         let big = (1u32 << 29) as f32; // exactly representable, well under QUANT_MAX
-        let data: Vec<f32> = (0..32).map(|i| if i % 2 == 0 { big } else { -big }).collect();
+        let data: Vec<f32> = (0..32)
+            .map(|i| if i % 2 == 0 { big } else { -big })
+            .collect();
         let codec = BlockCodec::new(32, HeaderWidth::W4);
         let mut out = Vec::new();
         let info = codec.encode_block(&data, eps, &mut out).unwrap();

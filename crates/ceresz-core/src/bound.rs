@@ -6,10 +6,8 @@
 //! Internally the pipeline always works with an absolute `ε`, so a REL bound
 //! is resolved against the data before compression.
 
-use serde::{Deserialize, Serialize};
-
 /// A user-facing error-bound specification.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ErrorBound {
     /// Absolute bound: `|e_i − e'_i| ≤ ε` for every element.
     Abs(f64),

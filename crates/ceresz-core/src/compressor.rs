@@ -348,7 +348,11 @@ mod tests {
         for (a, b) in data.iter().zip(&r) {
             assert!((f64::from(*a) - f64::from(*b)).abs() <= 1e-3 + 1e-12);
         }
-        assert!(c.ratio() > 1.0, "smooth data should compress: {}", c.ratio());
+        assert!(
+            c.ratio() > 1.0,
+            "smooth data should compress: {}",
+            c.ratio()
+        );
     }
 
     #[test]
@@ -401,7 +405,9 @@ mod tests {
         let cfg = CereszConfig::new(ErrorBound::Abs(1e-3));
         assert!(matches!(
             compress(&[1.0, f32::NAN], &cfg),
-            Err(CompressError::Quantize(QuantizeError::NonFinite { index: 1 }))
+            Err(CompressError::Quantize(QuantizeError::NonFinite {
+                index: 1
+            }))
         ));
     }
 

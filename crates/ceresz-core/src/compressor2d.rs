@@ -259,8 +259,7 @@ mod tests {
         let data = smooth(rows, cols);
         let bound = ErrorBound::Rel(1e-3);
         let two_d = compress_2d(&data, rows, cols, &Ceresz2dConfig::new(bound)).unwrap();
-        let one_d =
-            crate::compressor::compress(&data, &crate::CereszConfig::new(bound)).unwrap();
+        let one_d = crate::compressor::compress(&data, &crate::CereszConfig::new(bound)).unwrap();
         assert!(
             two_d.ratio() > one_d.ratio(),
             "2-D {} !> 1-D {}",
@@ -299,8 +298,8 @@ mod tests {
         let data = smooth(rows, cols);
         let bound = ErrorBound::Rel(1e-3);
         let t8 = compress_2d(&data, rows, cols, &Ceresz2dConfig::new(bound)).unwrap();
-        let t16 = compress_2d(&data, rows, cols, &Ceresz2dConfig::new(bound).with_tile(16))
-            .unwrap();
+        let t16 =
+            compress_2d(&data, rows, cols, &Ceresz2dConfig::new(bound).with_tile(16)).unwrap();
         // Both roundtrip; ratio relationship is data-dependent, just sanity.
         assert!(t8.ratio() > 1.0 && t16.ratio() > 1.0);
     }

@@ -115,9 +115,9 @@ pub fn forward_3d(quantized: &[i64], dims: [usize; 3], out: &mut [i64]) {
                         quantized[idx(a - da, b - db, c - dc)]
                     }
                 };
-                let pred = g(0, 0, 1) + g(0, 1, 0) + g(1, 0, 0) - g(0, 1, 1) - g(1, 0, 1)
-                    - g(1, 1, 0)
-                    + g(1, 1, 1);
+                let pred =
+                    g(0, 0, 1) + g(0, 1, 0) + g(1, 0, 0) - g(0, 1, 1) - g(1, 0, 1) - g(1, 1, 0)
+                        + g(1, 1, 1);
                 out[idx(a, b, c)] = quantized[idx(a, b, c)] - pred;
             }
         }
@@ -140,9 +140,9 @@ pub fn inverse_3d(deltas: &[i64], dims: [usize; 3], out: &mut [i64]) {
                         out[idx(a - da, b - db, c - dc)]
                     }
                 };
-                let pred = g(0, 0, 1) + g(0, 1, 0) + g(1, 0, 0) - g(0, 1, 1) - g(1, 0, 1)
-                    - g(1, 1, 0)
-                    + g(1, 1, 1);
+                let pred =
+                    g(0, 0, 1) + g(0, 1, 0) + g(1, 0, 0) - g(0, 1, 1) - g(1, 0, 1) - g(1, 1, 0)
+                        + g(1, 1, 1);
                 out[idx(a, b, c)] = deltas[idx(a, b, c)] + pred;
             }
         }
@@ -178,7 +178,9 @@ mod tests {
     fn roundtrip_2d() {
         let rows = 7;
         let cols = 11;
-        let orig: Vec<i64> = (0..rows * cols).map(|i| (i as i64 * 13) % 40 - 20).collect();
+        let orig: Vec<i64> = (0..rows * cols)
+            .map(|i| (i as i64 * 13) % 40 - 20)
+            .collect();
         let mut d = vec![0i64; orig.len()];
         forward_2d(&orig, rows, cols, &mut d);
         let mut back = vec![0i64; orig.len()];

@@ -60,7 +60,12 @@ pub fn state_bytes_after(stage: Option<SubStageKind>, l: usize, f: u32) -> usize
 /// receives, the largest intermediate it produces, and double-buffering of
 /// the input so the next block can stream in while this one computes.
 #[must_use]
-pub fn group_memory_bytes(stages: &[SubStageKind], input: Option<SubStageKind>, l: usize, f: u32) -> usize {
+pub fn group_memory_bytes(
+    stages: &[SubStageKind],
+    input: Option<SubStageKind>,
+    l: usize,
+    f: u32,
+) -> usize {
     let input_bytes = state_bytes_after(input, l, f);
     let mut peak = input_bytes;
     for &s in stages {
@@ -140,8 +145,7 @@ mod tests {
         // 4096-element blocks: late-pipeline states (magnitudes + most of
         // 31 planes, double-buffered) exceed 48 KB at every length, and a
         // single PE cannot hold them either.
-        let fitting =
-            min_length_fitting_sram(4096, 31, 48 * 1024, &StageCostModel::calibrated());
+        let fitting = min_length_fitting_sram(4096, 31, 48 * 1024, &StageCostModel::calibrated());
         assert_eq!(fitting, None);
         // 16 K elements: the raw input alone is 64 KB > 48 KB SRAM.
         let fitting =

@@ -121,8 +121,7 @@ mod tests {
     fn sampled_plan_runs() {
         let data: Vec<f32> = (0..10_000).map(|i| (i as f32 * 0.01).sin()).collect();
         let model = StageCostModel::calibrated();
-        let plan =
-            CompressionPlan::from_sampled(&data, ErrorBound::Rel(1e-3), 32, 2, &model);
+        let plan = CompressionPlan::from_sampled(&data, ErrorBound::Rel(1e-3), 32, 2, &model);
         assert_eq!(plan.pipeline_length, 2);
         assert!(plan.total_cycles > 0.0);
     }

@@ -87,7 +87,8 @@ impl PipelineModel {
     /// One full round: Eq. (2) + Eq. (3).
     #[must_use]
     pub fn round_cycles(&self, total_cols: usize, c_total: f64, pipeline_length: usize) -> f64 {
-        self.relay_cycles_per_round(total_cols) + self.compute_cycles_per_round(c_total, pipeline_length)
+        self.relay_cycles_per_round(total_cols)
+            + self.compute_cycles_per_round(c_total, pipeline_length)
     }
 
     /// Eq. (4) evaluated exactly: total cycles to process `n_blocks` blocks
@@ -185,7 +186,15 @@ mod tests {
         // Block count divisible by both mesh sizes so rounds divide exactly.
         let n = 1_048_576;
         let t1 = m.total_cycles(n, MeshShape { rows: 64, cols: 64 }, 1, c);
-        let t2 = m.total_cycles(n, MeshShape { rows: 128, cols: 64 }, 1, c);
+        let t2 = m.total_cycles(
+            n,
+            MeshShape {
+                rows: 128,
+                cols: 64,
+            },
+            1,
+            c,
+        );
         assert!((t1 / t2 - 2.0).abs() < 0.01, "t1/t2 = {}", t1 / t2);
     }
 
@@ -196,7 +205,15 @@ mod tests {
         let m = model();
         let c = 44_000.0;
         let t1 = m.total_cycles(1_000_000, MeshShape { rows: 64, cols: 64 }, 1, c);
-        let t2 = m.total_cycles(1_000_000, MeshShape { rows: 64, cols: 128 }, 1, c);
+        let t2 = m.total_cycles(
+            1_000_000,
+            MeshShape {
+                rows: 64,
+                cols: 128,
+            },
+            1,
+            c,
+        );
         let speedup = t1 / t2;
         assert!(speedup > 1.7 && speedup < 2.0, "speedup = {speedup}");
     }

@@ -23,10 +23,8 @@
 //! compression throughput ratio lands at the paper's ≈1.27× (581.31 vs
 //! 457.35 GB/s average).
 
-use serde::{Deserialize, Serialize};
-
 /// Identity of one sub-stage of the (de)compression procedure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SubStageKind {
     /// Pre-quantization multiply by `1/2ε` (Table 2, "Multiplication").
     QuantMul,
@@ -86,7 +84,7 @@ pub struct SubStage {
 /// All `*_per_elem` constants are cycles per block element; `task_overhead`
 /// is the fixed cost of activating a task and setting up its DSDs, charged
 /// once per sub-stage invocation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StageCostModel {
     /// Fixed per-task activation + DSD setup cost.
     pub task_overhead: f64,
@@ -118,13 +116,13 @@ impl StageCostModel {
     pub fn calibrated() -> Self {
         Self {
             task_overhead: 80.0,
-            quant_mul_per_elem: 156.2,  // 80 + 32·156.2 ≈ 5078  (Table 2)
-            quant_add_per_elem: 30.0,   // 80 + 32·30   = 1040  (Table 2)
-            lorenzo_per_elem: 28.0,     // 80 + 32·28   =  976  (Table 1)
-            sign_per_elem: 30.1,        // ≈ 1043               (Table 3)
-            max_per_elem: 29.9,         // ≈ 1037               (Table 3)
-            get_length_fixed: 1306.0,   // 80 + 1306    = 1386  (Table 3)
-            shuffle_per_elem_bit: 59.25, // plane = 80 + 32·59.25 = 1976 (Table 3)
+            quant_mul_per_elem: 156.2,    // 80 + 32·156.2 ≈ 5078  (Table 2)
+            quant_add_per_elem: 30.0,     // 80 + 32·30   = 1040  (Table 2)
+            lorenzo_per_elem: 28.0,       // 80 + 32·28   =  976  (Table 1)
+            sign_per_elem: 30.1,          // ≈ 1043               (Table 3)
+            max_per_elem: 29.9,           // ≈ 1037               (Table 3)
+            get_length_fixed: 1306.0,     // 80 + 1306    = 1386  (Table 3)
+            shuffle_per_elem_bit: 59.25,  // plane = 80 + 32·59.25 = 1976 (Table 3)
             unshuffle_per_elem_bit: 43.0, // calibrated to decomp/comp ≈ 1.27×
             prefix_per_elem: 28.0,
             memset_per_elem: 8.0,
@@ -270,13 +268,19 @@ pub fn decompression_sub_stages(l: usize, f: u32, model: &StageCostModel) -> Vec
 /// Total compression cycles `C` for a non-zero block.
 #[must_use]
 pub fn block_compress_cycles(l: usize, f: u32, model: &StageCostModel) -> f64 {
-    compression_sub_stages(l, f, model).iter().map(|s| s.cycles).sum()
+    compression_sub_stages(l, f, model)
+        .iter()
+        .map(|s| s.cycles)
+        .sum()
 }
 
 /// Total decompression cycles for a non-zero block.
 #[must_use]
 pub fn block_decompress_cycles(l: usize, f: u32, model: &StageCostModel) -> f64 {
-    decompression_sub_stages(l, f, model).iter().map(|s| s.cycles).sum()
+    decompression_sub_stages(l, f, model)
+        .iter()
+        .map(|s| s.cycles)
+        .sum()
 }
 
 /// Compression cycles for a zero block: the pipeline still quantizes,

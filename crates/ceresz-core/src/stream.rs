@@ -115,9 +115,7 @@ pub fn scan_block_offsets(
         }
         let f = match header.header_width {
             HeaderWidth::W1 => u32::from(payload[pos]),
-            HeaderWidth::W4 => u32::from_le_bytes(
-                payload[pos..pos + 4].try_into().expect("sized"),
-            ),
+            HeaderWidth::W4 => u32::from_le_bytes(payload[pos..pos + 4].try_into().expect("sized")),
         };
         if f > BlockCodec::MAX_FIXED_LENGTH {
             return Err(CompressError::CorruptHeader { fixed_length: f });

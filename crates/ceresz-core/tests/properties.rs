@@ -1,8 +1,8 @@
 //! Property-based tests of the core compression invariants.
 
 use ceresz_core::{
-    compress, compress_parallel, decompress, decompress_parallel, verify_error_bound,
-    CereszConfig, ErrorBound, HeaderWidth,
+    compress, compress_parallel, decompress, decompress_parallel, verify_error_bound, CereszConfig,
+    ErrorBound, HeaderWidth,
 };
 use proptest::prelude::*;
 

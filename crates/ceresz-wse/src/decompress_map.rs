@@ -8,14 +8,18 @@
 //! faster than compression.
 
 use ceresz_core::block::BlockCodec;
-use ceresz_core::compressor::{Compressed, CompressError};
-use ceresz_core::plan::{decompression_sub_stages, distribute_stages, StageCostModel, SubStageKind};
+use ceresz_core::compressor::{CompressError, Compressed};
+use ceresz_core::plan::{
+    decompression_sub_stages, distribute_stages, StageCostModel, SubStageKind,
+};
 use ceresz_core::stream::{scan_block_offsets, StreamHeader};
-use wse_sim::{Color, Direction, MeshConfig, PeId, PeProgram, SimError, SimStats, Simulator, TaskCtx, TaskId};
+use wse_sim::{
+    Color, Direction, MeshConfig, PeId, PeProgram, SimError, SimStats, Simulator, TaskCtx, TaskId,
+};
 
+use crate::error::WseError;
 use crate::harness::{colors, tasks};
 use crate::kernels::DecompressState;
-use crate::error::WseError;
 use crate::row_parallel::kernel_error;
 use crate::wire::{WaveletReader, WaveletWriter};
 
@@ -69,6 +73,7 @@ impl PeProgram for RowDecompressor {
             }
             if f == 0 {
                 // Zero block: nothing follows; reconstruct immediately.
+                ctx.begin_stage("zero-fill");
                 ctx.charge(wse_sim::Op::MemSet, l as u64);
                 let restored = vec![0.0f32; l];
                 self.emit_restored(ctx, &restored);
@@ -122,15 +127,13 @@ impl DecompressRun {
     /// Decompression throughput in GB/s at the CS-2 clock.
     #[must_use]
     pub fn throughput_gbps(&self) -> f64 {
-        self.stats.throughput_gbps(self.original_bytes, wse_sim::CLOCK_HZ)
+        self.stats
+            .throughput_gbps(self.original_bytes, wse_sim::CLOCK_HZ)
     }
 }
 
 /// Decompress `compressed` on `rows` simulated PE rows (strategy 1).
-pub fn run_row_decompress(
-    compressed: &Compressed,
-    rows: usize,
-) -> Result<DecompressRun, WseError> {
+pub fn run_row_decompress(compressed: &Compressed, rows: usize) -> Result<DecompressRun, WseError> {
     assert!(rows > 0, "need at least one row");
     let header = StreamHeader::read(&compressed.data)?;
     assert!(
@@ -178,7 +181,9 @@ pub fn run_row_decompress(
         let words = &outs[b / rows];
         let mut r = WaveletReader::new(words);
         for v in chunk.iter_mut() {
-            *v = r.get_f32().map_err(|_| WseError::from(CompressError::Truncated))?;
+            *v = r
+                .get_f32()
+                .map_err(|_| WseError::from(CompressError::Truncated))?;
         }
     }
     Ok(DecompressRun {
@@ -220,7 +225,11 @@ impl DecompPipePe {
         }
     }
 
-    fn process(&mut self, ctx: &mut TaskCtx<'_>, mut state: DecompressState) -> Result<(), SimError> {
+    fn process(
+        &mut self,
+        ctx: &mut TaskCtx<'_>,
+        mut state: DecompressState,
+    ) -> Result<(), SimError> {
         for &stage in &self.stages {
             if state.can_apply(stage) {
                 state = state
@@ -270,11 +279,16 @@ impl PeProgram for DecompPipePe {
                 ));
             }
             if f == 0 {
+                ctx.begin_stage("zero-fill");
                 ctx.charge(wse_sim::Op::MemSet, l as u64);
                 return self.process(ctx, DecompressState::Restored(vec![0.0; l]));
             }
             self.pending_f = Some(f);
-            ctx.recv_async(self.in_color, (1 + f as usize) * plane_words(l), tasks::RECV_BODY);
+            ctx.recv_async(
+                self.in_color,
+                (1 + f as usize) * plane_words(l),
+                tasks::RECV_BODY,
+            );
             Ok(())
         } else {
             debug_assert_eq!(task, tasks::RECV_BODY);
@@ -344,11 +358,15 @@ pub fn run_pipeline_decompress(
             } else {
                 crate::pipeline_map::inter_color(g - 1)
             };
-            let out_color = (g + 1 < pipeline_length)
-                .then(|| crate::pipeline_map::inter_color(g));
+            let out_color = (g + 1 < pipeline_length).then(|| crate::pipeline_map::inter_color(g));
             if let Some(c) = out_color {
                 sim.route(pe, c, None, &[Direction::East]);
-                sim.route(PeId::new(r, g + 1), c, Some(Direction::West), &[Direction::Ramp]);
+                sim.route(
+                    PeId::new(r, g + 1),
+                    c,
+                    Some(Direction::West),
+                    &[Direction::Ramp],
+                );
             }
             let program = DecompPipePe {
                 stages: groups.group(g).map(|i| kinds[i]).collect(),
@@ -379,7 +397,9 @@ pub fn run_pipeline_decompress(
         let words = &outs[b / rows];
         let mut r = WaveletReader::new(words);
         for v in chunk.iter_mut() {
-            *v = r.get_f32().map_err(|_| WseError::from(CompressError::Truncated))?;
+            *v = r
+                .get_f32()
+                .map_err(|_| WseError::from(CompressError::Truncated))?;
         }
     }
     Ok(DecompressRun {

@@ -14,7 +14,9 @@
 use ceresz_core::block::BlockCodec;
 use ceresz_core::compressor::{CereszConfig, Compressed};
 use ceresz_core::stream::StreamHeader;
-use wse_sim::{Color, Direction, MeshConfig, PeId, PeProgram, SimError, SimStats, Simulator, TaskCtx, TaskId};
+use wse_sim::{
+    Color, Direction, MeshConfig, PeId, PeProgram, SimError, SimStats, Simulator, TaskCtx, TaskId,
+};
 
 use crate::error::WseError;
 use crate::harness::{
@@ -108,11 +110,7 @@ pub struct EdgeFedRun {
 ///
 /// Block ownership mirrors §4.3 rotated: within a round of `rows` injected
 /// blocks, the `j`-th block lands in row `rows−1−j`.
-pub fn run_edge_fed(
-    data: &[f32],
-    cfg: &CereszConfig,
-    rows: usize,
-) -> Result<EdgeFedRun, WseError> {
+pub fn run_edge_fed(data: &[f32], cfg: &CereszConfig, rows: usize) -> Result<EdgeFedRun, WseError> {
     assert!(rows > 0);
     if !cfg.bound.is_valid() {
         return Err(ceresz_core::CompressError::InvalidBound.into());
@@ -142,7 +140,12 @@ pub fn run_edge_fed(
         if r + 1 < rows {
             let c = south_color(r);
             sim.route(PeId::new(r, 0), c, None, &[Direction::South]);
-            sim.route(PeId::new(r + 1, 0), c, Some(Direction::North), &[Direction::Ramp]);
+            sim.route(
+                PeId::new(r + 1, 0),
+                c,
+                Some(Direction::North),
+                &[Direction::Ramp],
+            );
         }
         // Eastward handoff into the compute PE.
         sim.route(PeId::new(r, 0), colors::DATA, None, &[Direction::East]);
@@ -153,7 +156,11 @@ pub fn run_edge_fed(
             &[Direction::Ramp],
         );
         let quota = rows - 1 - r;
-        let in_color = if r == 0 { colors::DATA } else { south_color(r - 1) };
+        let in_color = if r == 0 {
+            colors::DATA
+        } else {
+            south_color(r - 1)
+        };
         // Row 0's distributor receives on DATA from injection, but also
         // *sends* DATA east — the same color in two roles would collide on
         // one PE, so row 0 receives on a dedicated injection color.

@@ -1,13 +1,15 @@
 //! Top-level entry point: pick a mapping strategy and simulate it.
 
 use ceresz_core::compressor::{CereszConfig, Compressed};
+use ceresz_core::plan::CompressionPlan;
 
 use crate::error::WseError;
-use wse_sim::SimStats;
+use telemetry::Recorder;
+use wse_sim::{MeshConfig, RunReport, SimStats};
 
-use crate::multi_pipeline::run_multi_pipeline;
-use crate::pipeline_map::run_pipeline;
-use crate::row_parallel::run_row_parallel;
+use crate::multi_pipeline::run_multi_pipeline_with;
+use crate::pipeline_map::run_pipeline_with;
+use crate::row_parallel::run_row_parallel_with;
 
 /// Which of the paper's three parallelization strategies to execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +38,33 @@ pub enum MappingStrategy {
 }
 
 impl MappingStrategy {
+    /// Short strategy name, used in profiles and trace process names.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            MappingStrategy::RowParallel { .. } => "row-parallel",
+            MappingStrategy::Pipeline { .. } => "pipeline",
+            MappingStrategy::MultiPipeline { .. } => "multi-pipeline",
+        }
+    }
+
+    /// Mesh dimensions `(rows, cols)` this strategy occupies.
+    #[must_use]
+    pub fn mesh_shape(&self) -> (usize, usize) {
+        match *self {
+            MappingStrategy::RowParallel { rows } => (rows, 1),
+            MappingStrategy::Pipeline {
+                rows,
+                pipeline_length,
+            } => (rows, pipeline_length),
+            MappingStrategy::MultiPipeline {
+                rows,
+                pipeline_length,
+                pipelines_per_row,
+            } => (rows, pipeline_length * pipelines_per_row),
+        }
+    }
+
     /// Total PEs this strategy occupies.
     #[must_use]
     pub fn pes(&self) -> usize {
@@ -51,6 +80,40 @@ impl MappingStrategy {
                 pipelines_per_row,
             } => rows * pipeline_length * pipelines_per_row,
         }
+    }
+}
+
+/// Observability options for a simulated run, shared by all three mapping
+/// strategies. The default (`trace` off, disabled [`Recorder`]) costs
+/// nothing: the simulator skips timeline recording and the kernels skip
+/// per-stage attribution entirely.
+#[derive(Debug, Clone, Default)]
+pub struct SimOptions {
+    /// Record the per-PE task timeline ([`MeshConfig::with_trace`]).
+    pub trace: bool,
+    /// Telemetry sink; per-stage cycle attribution is collected iff the
+    /// recorder is enabled ([`MeshConfig::with_recorder`]).
+    pub recorder: Recorder,
+}
+
+impl SimOptions {
+    /// Options for a full profiling run: timeline tracing plus an enabled
+    /// recorder (per-stage attribution, counters, histograms).
+    #[must_use]
+    pub fn profiled() -> Self {
+        Self {
+            trace: true,
+            recorder: Recorder::enabled(),
+        }
+    }
+
+    /// Build a mesh configuration carrying these options.
+    pub(crate) fn mesh_config(&self, rows: usize, cols: usize) -> MeshConfig {
+        let mut cfg = MeshConfig::new(rows, cols);
+        if self.trace {
+            cfg = cfg.with_trace();
+        }
+        cfg.with_recorder(self.recorder.clone())
     }
 }
 
@@ -74,30 +137,62 @@ impl SimulatedRun {
     }
 }
 
+/// A [`SimulatedRun`] plus the full simulator report (timeline, per-stage
+/// cycle attribution, per-PE counters) and the compression plan the run
+/// executed, when the strategy builds one.
+pub struct ProfiledRun {
+    /// The compressed output and headline statistics.
+    pub run: SimulatedRun,
+    /// The complete simulator report for the run.
+    pub report: RunReport,
+    /// The stage plan (pipeline strategies only).
+    pub plan: Option<CompressionPlan>,
+}
+
 /// Simulate CereSZ compression of `data` with the given strategy.
 pub fn simulate_compression(
     data: &[f32],
     cfg: &CereszConfig,
     strategy: MappingStrategy,
 ) -> Result<SimulatedRun, WseError> {
+    simulate_compression_with(data, cfg, strategy, &SimOptions::default()).map(|p| p.run)
+}
+
+/// [`simulate_compression`] with observability options; returns the full
+/// simulator report (and plan) alongside the run so callers can build
+/// profiles and traces.
+pub fn simulate_compression_with(
+    data: &[f32],
+    cfg: &CereszConfig,
+    strategy: MappingStrategy,
+    options: &SimOptions,
+) -> Result<ProfiledRun, WseError> {
     match strategy {
         MappingStrategy::RowParallel { rows } => {
-            let run = run_row_parallel(data, cfg, rows)?;
-            Ok(SimulatedRun {
-                compressed: run.compressed,
-                stats: run.stats,
-                strategy,
+            let (run, report) = run_row_parallel_with(data, cfg, rows, options)?;
+            Ok(ProfiledRun {
+                run: SimulatedRun {
+                    compressed: run.compressed,
+                    stats: run.stats,
+                    strategy,
+                },
+                report,
+                plan: None,
             })
         }
         MappingStrategy::Pipeline {
             rows,
             pipeline_length,
         } => {
-            let run = run_pipeline(data, cfg, rows, pipeline_length)?;
-            Ok(SimulatedRun {
-                compressed: run.compressed,
-                stats: run.stats,
-                strategy,
+            let (run, report) = run_pipeline_with(data, cfg, rows, pipeline_length, options)?;
+            Ok(ProfiledRun {
+                run: SimulatedRun {
+                    compressed: run.compressed,
+                    stats: run.stats,
+                    strategy,
+                },
+                report,
+                plan: Some(run.plan),
             })
         }
         MappingStrategy::MultiPipeline {
@@ -105,11 +200,22 @@ pub fn simulate_compression(
             pipeline_length,
             pipelines_per_row,
         } => {
-            let run = run_multi_pipeline(data, cfg, rows, pipeline_length, pipelines_per_row)?;
-            Ok(SimulatedRun {
-                compressed: run.compressed,
-                stats: run.stats,
-                strategy,
+            let (run, report) = run_multi_pipeline_with(
+                data,
+                cfg,
+                rows,
+                pipeline_length,
+                pipelines_per_row,
+                options,
+            )?;
+            Ok(ProfiledRun {
+                run: SimulatedRun {
+                    compressed: run.compressed,
+                    stats: run.stats,
+                    strategy,
+                },
+                report,
+                plan: Some(run.plan),
             })
         }
     }

@@ -29,11 +29,29 @@ use crate::wire::{WaveletReader, WaveletWriter, WireTruncated};
 pub trait Charger {
     /// Charge `n` repetitions of `op`.
     fn charge_op(&mut self, op: Op, n: u64);
+
+    /// Mark that subsequent charges belong to kernel sub-stage `stage`.
+    ///
+    /// The kernels call this at the top of every stage application, which is
+    /// how simulated runs get per-stage cycle attribution (the shape of the
+    /// paper's Tables 1–3) without the mapping strategies doing anything.
+    /// The default is a no-op, so host-side chargers are unaffected.
+    fn begin_stage(&mut self, stage: SubStageKind) {
+        let _ = stage;
+    }
 }
 
 impl Charger for TaskCtx<'_> {
     fn charge_op(&mut self, op: Op, n: u64) {
         self.charge(op, n);
+    }
+
+    fn begin_stage(&mut self, stage: SubStageKind) {
+        // Guard before building the name: `SubStageKind::name` allocates,
+        // and runs without telemetry must stay on the zero-overhead path.
+        if self.attribution_enabled() {
+            TaskCtx::begin_stage(self, &stage.name());
+        }
     }
 }
 
@@ -141,6 +159,7 @@ impl CompressState {
         eps: f64,
         charger: &mut C,
     ) -> Result<CompressState, CompressError> {
+        charger.begin_stage(stage);
         let l = self.block_size() as u64;
         match (stage, self) {
             (SubStageKind::QuantMul, CompressState::Raw(vals)) => {
@@ -513,14 +532,18 @@ impl DecompressState {
         eps: f64,
         charger: &mut C,
     ) -> Result<DecompressState, CompressError> {
+        charger.begin_stage(stage);
         match (stage, self) {
-            (SubStageKind::UnshufflePlane(k), DecompressState::Unshuffling {
-                f,
-                signs,
-                planes,
-                mut mags,
-                next_plane,
-            }) => {
+            (
+                SubStageKind::UnshufflePlane(k),
+                DecompressState::Unshuffling {
+                    f,
+                    signs,
+                    planes,
+                    mut mags,
+                    next_plane,
+                },
+            ) => {
                 if k >= f {
                     return Ok(DecompressState::Unshuffling {
                         f,
@@ -546,13 +569,16 @@ impl DecompressState {
                     next_plane: next_plane + 1,
                 })
             }
-            (SubStageKind::ApplySign, DecompressState::Unshuffling {
-                f,
-                signs,
-                mags,
-                next_plane,
-                ..
-            }) => {
+            (
+                SubStageKind::ApplySign,
+                DecompressState::Unshuffling {
+                    f,
+                    signs,
+                    mags,
+                    next_plane,
+                    ..
+                },
+            ) => {
                 assert_eq!(next_plane, f, "apply-sign before all planes unshuffled");
                 charger.charge_op(Op::SignAbs, mags.len() as u64);
                 let mut out = vec![0i64; mags.len()];
@@ -696,9 +722,7 @@ impl DecompressState {
                     .map(|_| r.get_i32().map(i64::from))
                     .collect::<Result<_, _>>()?,
             ),
-            3 => DecompressState::Restored(
-                (0..l).map(|_| r.get_f32()).collect::<Result<_, _>>()?,
-            ),
+            3 => DecompressState::Restored((0..l).map(|_| r.get_f32()).collect::<Result<_, _>>()?),
             _ => return Err(WireTruncated),
         })
     }
@@ -819,7 +843,13 @@ mod tests {
             let w = state.to_wavelets();
             let back = DecompressState::from_wavelets(&w, 32).unwrap();
             let mut expected = state.clone();
-            if let DecompressState::Unshuffling { planes, next_plane, mags, .. } = &mut expected {
+            if let DecompressState::Unshuffling {
+                planes,
+                next_plane,
+                mags,
+                ..
+            } = &mut expected
+            {
                 let pb = mags.len().div_ceil(8);
                 for b in &mut planes[..*next_plane as usize * pb] {
                     *b = 0;
@@ -827,9 +857,13 @@ mod tests {
             }
             assert_eq!(back, expected);
             state = match state {
-                DecompressState::Unshuffling { f, next_plane, .. } if next_plane < f => {
-                    state.apply(SubStageKind::UnshufflePlane(next_plane), eps, &mut NullCharger).unwrap()
-                }
+                DecompressState::Unshuffling { f, next_plane, .. } if next_plane < f => state
+                    .apply(
+                        SubStageKind::UnshufflePlane(next_plane),
+                        eps,
+                        &mut NullCharger,
+                    )
+                    .unwrap(),
                 other => other,
             };
         }

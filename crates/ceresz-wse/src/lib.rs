@@ -34,10 +34,15 @@ pub mod harness;
 pub mod kernels;
 pub mod multi_pipeline;
 pub mod pipeline_map;
+pub mod profile;
 pub mod row_parallel;
 pub mod throughput;
 pub mod wire;
 
-pub use engine::{simulate_compression, MappingStrategy, SimulatedRun};
+pub use engine::{
+    simulate_compression, simulate_compression_with, MappingStrategy, ProfiledRun, SimOptions,
+    SimulatedRun,
+};
 pub use error::WseError;
+pub use profile::{build_report, profile_compression, CompressionProfile};
 pub use throughput::{ThroughputReport, WaferConfig};

@@ -12,20 +12,20 @@
 //! ends at head `P−1−j` (the first-injected block travels furthest).
 
 use ceresz_core::block::BlockCodec;
-use ceresz_core::compressor::{CereszConfig, Compressed, CompressError};
+use ceresz_core::compressor::{CereszConfig, CompressError, Compressed};
 use ceresz_core::plan::{CompressionPlan, StageCostModel, SubStageKind};
 use ceresz_core::stream::StreamHeader;
-use wse_sim::{
-    Color, Direction, MeshConfig, PeId, PeProgram, SimError, SimStats, Simulator, TaskCtx, TaskId,
-};
+use wse_sim::{Color, Direction, PeId, PeProgram, SimError, SimStats, Simulator, TaskCtx, TaskId};
 
+use crate::engine::SimOptions;
+
+use crate::error::WseError;
 use crate::harness::{
     assemble_stream, colors, emit_encoded, pad_frame, parse_emitted, parse_raw_block,
     raw_block_wavelets, split_blocks, tasks,
 };
 use crate::kernels::CompressState;
 use crate::pipeline_map::inter_color;
-use crate::error::WseError;
 use crate::row_parallel::kernel_error;
 
 /// The relay color carrying raw blocks over head link `k → k+1`.
@@ -135,6 +135,27 @@ pub fn run_multi_pipeline(
     pipeline_length: usize,
     pipelines_per_row: usize,
 ) -> Result<MultiPipelineRun, WseError> {
+    run_multi_pipeline_with(
+        data,
+        cfg,
+        rows,
+        pipeline_length,
+        pipelines_per_row,
+        &SimOptions::default(),
+    )
+    .map(|(run, _)| run)
+}
+
+/// [`run_multi_pipeline`] with observability options; also returns the full
+/// simulator report (timeline, per-stage cycle attribution).
+pub fn run_multi_pipeline_with(
+    data: &[f32],
+    cfg: &CereszConfig,
+    rows: usize,
+    pipeline_length: usize,
+    pipelines_per_row: usize,
+    options: &SimOptions,
+) -> Result<(MultiPipelineRun, wse_sim::RunReport), WseError> {
     assert!(rows > 0 && pipeline_length > 0 && pipelines_per_row > 0);
     if !cfg.bound.is_valid() {
         return Err(CompressError::InvalidBound.into());
@@ -170,7 +191,7 @@ pub fn run_multi_pipeline(
         }
     }
 
-    let mut sim = Simulator::new(MeshConfig::new(rows, cols));
+    let mut sim = Simulator::new(options.mesh_config(rows, cols));
     let stage_kinds: Vec<SubStageKind> = plan.stages.iter().map(|s| s.kind).collect();
     for (r, row_blocks) in per_row_blocks.iter().enumerate() {
         let rounds = row_blocks.len() / p;
@@ -179,14 +200,23 @@ pub fn run_multi_pipeline(
         }
         for k in 0..p {
             let head_col = k * len;
-            let relay_in = if k == 0 { colors::DATA } else { relay_color(k - 1) };
+            let relay_in = if k == 0 {
+                colors::DATA
+            } else {
+                relay_color(k - 1)
+            };
             let relay_out = (k + 1 < p).then(|| relay_color(k));
             // Route the relay color from this head to the next head's RAMP,
             // passing through this pipeline's stage PEs at the router level.
             if let Some(rc) = relay_out {
                 sim.route(PeId::new(r, head_col), rc, None, &[Direction::East]);
                 for c in head_col + 1..head_col + len {
-                    sim.route(PeId::new(r, c), rc, Some(Direction::West), &[Direction::East]);
+                    sim.route(
+                        PeId::new(r, c),
+                        rc,
+                        Some(Direction::West),
+                        &[Direction::East],
+                    );
                 }
                 sim.route(
                     PeId::new(r, (k + 1) * len),
@@ -208,11 +238,25 @@ pub fn run_multi_pipeline(
                 eps,
             };
             sim.set_program(PeId::new(r, head_col), Box::new(head));
-            sim.post_recv(PeId::new(r, head_col), relay_in, cfg.block_size, tasks::RECV);
+            sim.post_recv(
+                PeId::new(r, head_col),
+                relay_in,
+                cfg.block_size,
+                tasks::RECV,
+            );
             // Remaining PEs of this pipeline reuse the strategy-2 builder's
             // shape: install stage PEs 1..len with their groups and routes.
             if len > 1 {
-                install_tail_stages(&mut sim, r, head_col, &plan, &stage_kinds, codec, eps, rounds);
+                install_tail_stages(
+                    &mut sim,
+                    r,
+                    head_col,
+                    &plan,
+                    &stage_kinds,
+                    codec,
+                    eps,
+                    rounds,
+                );
             }
         }
         sim.inject_blocks(PeId::new(r, 0), colors::DATA, row_blocks.clone(), 0.0);
@@ -238,12 +282,15 @@ pub fn run_multi_pipeline(
         per_row.push(row_out);
     }
     let compressed = assemble_stream(&header, &per_row, n_blocks)?;
-    Ok(MultiPipelineRun {
-        compressed,
-        stats: report.stats().clone(),
-        pipelines_per_row: p,
-        plan,
-    })
+    Ok((
+        MultiPipelineRun {
+            compressed,
+            stats: report.stats().clone(),
+            pipelines_per_row: p,
+            plan,
+        },
+        report,
+    ))
 }
 
 /// Install PEs 1..len of a pipeline (the non-head stages).
@@ -282,7 +329,13 @@ fn install_tail_stages(
             plan.fixed_length,
         )[g];
         let program = crate::pipeline_map::tail_stage_pe(
-            my_stages, in_color, out_color, codec, eps, count, working_set,
+            my_stages,
+            in_color,
+            out_color,
+            codec,
+            eps,
+            count,
+            working_set,
         );
         let extent = crate::harness::frame_words(codec.block_size());
         sim.set_program(pe, program);

@@ -7,17 +7,19 @@
 //! the sampled plan missed and emits the encoded block.
 
 use ceresz_core::block::BlockCodec;
-use ceresz_core::compressor::{CereszConfig, Compressed, CompressError};
+use ceresz_core::compressor::{CereszConfig, CompressError, Compressed};
 use ceresz_core::plan::{CompressionPlan, StageCostModel, SubStageKind};
 use ceresz_core::stream::StreamHeader;
-use wse_sim::{Color, Direction, MeshConfig, PeId, PeProgram, SimError, SimStats, Simulator, TaskCtx, TaskId};
+use wse_sim::{Color, Direction, PeId, PeProgram, SimError, SimStats, Simulator, TaskCtx, TaskId};
 
+use crate::engine::SimOptions;
+
+use crate::error::WseError;
 use crate::harness::{
-    assemble_stream, colors, emit_encoded, frame_words, pad_frame, parse_emitted,
-    parse_raw_block, raw_block_wavelets, split_blocks, tasks,
+    assemble_stream, colors, emit_encoded, frame_words, pad_frame, parse_emitted, parse_raw_block,
+    raw_block_wavelets, split_blocks, tasks,
 };
 use crate::kernels::CompressState;
-use crate::error::WseError;
 use crate::row_parallel::kernel_error;
 
 /// The color carrying intermediate state over link `i → i+1` of a pipeline.
@@ -163,12 +165,15 @@ pub(crate) fn build_pipeline(
 ) {
     let len = plan.pipeline_length;
     let stage_kinds: Vec<SubStageKind> = plan.stages.iter().map(|s| s.kind).collect();
-    let per_pe_memory =
-        ceresz_core::plan::pipeline_memory_bytes(&plan.groups, &stage_kinds, codec.block_size(), plan.fixed_length);
+    let per_pe_memory = ceresz_core::plan::pipeline_memory_bytes(
+        &plan.groups,
+        &stage_kinds,
+        codec.block_size(),
+        plan.fixed_length,
+    );
     for (g, &working_set) in per_pe_memory.iter().enumerate().take(len) {
         let pe = PeId::new(row, start_col + g);
-        let my_stages: Vec<SubStageKind> =
-            plan.groups.group(g).map(|i| stage_kinds[i]).collect();
+        let my_stages: Vec<SubStageKind> = plan.groups.group(g).map(|i| stage_kinds[i]).collect();
         let in_color = if g == 0 {
             first_pe_in_color
         } else {
@@ -210,18 +215,20 @@ pub fn run_pipeline(
     rows: usize,
     pipeline_length: usize,
 ) -> Result<PipelineRun, WseError> {
-    run_pipeline_with(data, cfg, rows, pipeline_length, false).map(|(run, _)| run)
+    run_pipeline_with(data, cfg, rows, pipeline_length, &SimOptions::default()).map(|(run, _)| run)
 }
 
-/// [`run_pipeline`] with optional task-timeline tracing (the per-PE Gantt
-/// view the `trace_pipeline` bench renders).
+/// [`run_pipeline`] with observability options; also returns the full
+/// simulator report (task timeline when `options.trace` is set, per-stage
+/// cycle attribution when `options.recorder` is enabled — the per-PE Gantt
+/// view the `trace_pipeline` bench renders comes from the report's trace).
 pub fn run_pipeline_with(
     data: &[f32],
     cfg: &CereszConfig,
     rows: usize,
     pipeline_length: usize,
-    trace: bool,
-) -> Result<(PipelineRun, wse_sim::Trace), WseError> {
+    options: &SimOptions,
+) -> Result<(PipelineRun, wse_sim::RunReport), WseError> {
     assert!(rows > 0 && pipeline_length > 0);
     if !cfg.bound.is_valid() {
         return Err(CompressError::InvalidBound.into());
@@ -235,7 +242,8 @@ pub fn run_pipeline_with(
         eps,
     };
     let model = StageCostModel::calibrated();
-    let plan = CompressionPlan::from_sampled(data, cfg.bound, cfg.block_size, pipeline_length, &model);
+    let plan =
+        CompressionPlan::from_sampled(data, cfg.bound, cfg.block_size, pipeline_length, &model);
 
     let blocks = split_blocks(data, cfg.block_size);
     let n_blocks = blocks.len();
@@ -244,11 +252,7 @@ pub fn run_pipeline_with(
         per_row_blocks[b % rows].push(raw_block_wavelets(block));
     }
 
-    let mut mesh_cfg = MeshConfig::new(rows, pipeline_length);
-    if trace {
-        mesh_cfg = mesh_cfg.with_trace();
-    }
-    let mut sim = Simulator::new(mesh_cfg);
+    let mut sim = Simulator::new(options.mesh_config(rows, pipeline_length));
     for (r, row_blocks) in per_row_blocks.into_iter().enumerate() {
         let count = row_blocks.len();
         if count == 0 {
@@ -277,7 +281,7 @@ pub fn run_pipeline_with(
             plan,
             rows,
         },
-        report.trace().clone(),
+        report,
     ))
 }
 

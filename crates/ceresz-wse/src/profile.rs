@@ -1,0 +1,255 @@
+//! Run-level profiling: execute a strategy with full observability and
+//! shape the result into the paper's reporting artifacts.
+//!
+//! [`profile_compression`] runs [`simulate_compression_with`] under an
+//! enabled [`telemetry::Recorder`] plus timeline tracing, then assembles:
+//!
+//! * a [`telemetry::profile::ProfileReport`] — per-stage busy cycles
+//!   (summing exactly to `total_busy_cycles`), the Tables 1–3 stage groups,
+//!   and the analytic Eq. 2/Eq. 3 cost terms when the strategy has a
+//!   pipeline plan;
+//! * a Chrome/Perfetto trace document (one track per PE, one slice per
+//!   task, named by the task's dominant kernel stage);
+//! * the raw [`telemetry::TelemetrySnapshot`] of counters and histograms.
+
+use ceresz_core::compressor::CereszConfig;
+use ceresz_core::plan::{CompressionPlan, PipelineModel};
+use telemetry::profile::{ProfileReport, StageCycles};
+use telemetry::{Recorder, TelemetrySnapshot};
+
+use crate::engine::{simulate_compression_with, MappingStrategy, SimOptions, SimulatedRun};
+use crate::error::WseError;
+
+/// Everything a profiled run produces.
+pub struct CompressionProfile {
+    /// The compressed output and headline statistics.
+    pub run: SimulatedRun,
+    /// Per-stage cycle attribution and model terms (`profile.json`).
+    pub report: ProfileReport,
+    /// Chrome-trace document of the task timeline (Perfetto-loadable).
+    pub trace: telemetry::chrome::ChromeTrace,
+    /// Raw recorder contents (counters, histograms, spans).
+    pub snapshot: TelemetrySnapshot,
+}
+
+/// Run CereSZ compression with the given strategy under full profiling and
+/// return the attribution report, Perfetto trace, and telemetry snapshot.
+pub fn profile_compression(
+    data: &[f32],
+    cfg: &CereszConfig,
+    strategy: MappingStrategy,
+) -> Result<CompressionProfile, WseError> {
+    let recorder = Recorder::enabled();
+    let options = SimOptions {
+        trace: true,
+        recorder: recorder.clone(),
+    };
+    let profiled = {
+        let _span = recorder.wall_span("simulate_compression");
+        simulate_compression_with(data, cfg, strategy, &options)?
+    };
+
+    let report = build_report(
+        strategy,
+        cfg.block_size,
+        &profiled.report,
+        profiled.plan.as_ref(),
+    );
+    let trace = profiled
+        .report
+        .chrome_trace(&format!("ceresz {}", strategy.name()));
+
+    Ok(CompressionProfile {
+        run: profiled.run,
+        report,
+        trace,
+        snapshot: recorder.snapshot(),
+    })
+}
+
+/// Shape a simulator [`wse_sim::RunReport`] into a [`ProfileReport`]:
+/// stage rows sorted largest-first (so the table reads like the paper's
+/// tables), plus the analytic Eq. 2/Eq. 3 cost terms when a pipeline plan
+/// is available. Also used by the bench binaries to emit `profile.json`.
+#[must_use]
+pub fn build_report(
+    strategy: MappingStrategy,
+    block_size: usize,
+    sim_report: &wse_sim::RunReport,
+    plan: Option<&CompressionPlan>,
+) -> ProfileReport {
+    let stats = sim_report.stats();
+    let (mesh_rows, mesh_cols) = strategy.mesh_shape();
+
+    let mut stages: Vec<StageCycles> = sim_report
+        .stage_totals()
+        .into_iter()
+        .map(|(name, cycles)| StageCycles { name, cycles })
+        .collect();
+    stages.sort_by(|a, b| b.cycles.total_cmp(&a.cycles));
+
+    // Analytic cost terms for pipeline strategies: the plan's per-block
+    // compute cost `C` feeds the paper's Eq. 2 (relay overhead per round)
+    // and Eq. 3 (per-PE compute per round).
+    let mut model_terms = Vec::new();
+    if let Some(plan) = plan {
+        let model = PipelineModel::cs2_defaults(block_size);
+        let len = plan.pipeline_length;
+        model_terms.push(("plan_block_cycles_C".to_owned(), plan.total_cycles));
+        model_terms.push(("plan_fixed_length".to_owned(), f64::from(plan.fixed_length)));
+        model_terms.push((
+            "relay_cycles_per_round_eq2".to_owned(),
+            model.relay_cycles_per_round(mesh_cols),
+        ));
+        model_terms.push((
+            "compute_cycles_per_round_eq3".to_owned(),
+            model.compute_cycles_per_round(plan.total_cycles, len),
+        ));
+        model_terms.push((
+            "round_cycles".to_owned(),
+            model.round_cycles(mesh_cols, plan.total_cycles, len),
+        ));
+    }
+
+    ProfileReport {
+        strategy: strategy.name().to_owned(),
+        mesh_rows,
+        mesh_cols,
+        finish_cycle: stats.finish_cycle,
+        total_busy_cycles: stats.total_busy_cycles,
+        total_tasks: stats.total_tasks,
+        total_wavelets: stats.total_wavelets,
+        active_pes: stats.active_pes,
+        utilization: stats.utilization(),
+        stages,
+        model_terms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceresz_core::{compress, CereszConfig, ErrorBound};
+
+    fn wavy(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (i as f32 * 0.013).sin() * 7.0 + (i as f32 * 0.005).cos() * 2.0)
+            .collect()
+    }
+
+    #[test]
+    fn profile_preserves_bitwise_output() {
+        let data = wavy(32 * 24);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let reference = compress(&data, &cfg).unwrap();
+        let profile = profile_compression(
+            &data,
+            &cfg,
+            MappingStrategy::Pipeline {
+                rows: 2,
+                pipeline_length: 4,
+            },
+        )
+        .unwrap();
+        assert_eq!(profile.run.compressed.data, reference.data);
+    }
+
+    #[test]
+    fn stage_shares_sum_to_total_busy_cycles() {
+        let data = wavy(32 * 24);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        for strategy in [
+            MappingStrategy::RowParallel { rows: 2 },
+            MappingStrategy::Pipeline {
+                rows: 1,
+                pipeline_length: 3,
+            },
+            MappingStrategy::MultiPipeline {
+                rows: 1,
+                pipeline_length: 2,
+                pipelines_per_row: 2,
+            },
+        ] {
+            let profile = profile_compression(&data, &cfg, strategy).unwrap();
+            let attributed = profile.report.attributed_cycles();
+            let total = profile.report.total_busy_cycles;
+            assert!(
+                (attributed - total).abs() <= total * 1e-3,
+                "{strategy:?}: attributed {attributed} vs busy {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn stage_ordering_matches_paper_tables() {
+        // Tables 1–3: fixed-length encoding (the per-bit shuffles) dominates
+        // pre-quantization, which in turn exceeds the one-pass Lorenzo.
+        let data = wavy(32 * 64);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let profile =
+            profile_compression(&data, &cfg, MappingStrategy::RowParallel { rows: 2 }).unwrap();
+        let groups: std::collections::BTreeMap<_, _> =
+            profile.report.grouped().into_iter().collect();
+        let encode = groups["encode"];
+        let pre_quant = groups["pre-quant"];
+        let lorenzo = groups["lorenzo"];
+        assert!(
+            encode > pre_quant && pre_quant > lorenzo,
+            "encode {encode} / pre-quant {pre_quant} / lorenzo {lorenzo}"
+        );
+    }
+
+    #[test]
+    fn pipeline_profile_carries_model_terms() {
+        let data = wavy(32 * 16);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let profile = profile_compression(
+            &data,
+            &cfg,
+            MappingStrategy::MultiPipeline {
+                rows: 1,
+                pipeline_length: 1,
+                pipelines_per_row: 4,
+            },
+        )
+        .unwrap();
+        let terms: std::collections::BTreeMap<_, _> =
+            profile.report.model_terms.iter().cloned().collect();
+        assert!(terms.contains_key("relay_cycles_per_round_eq2"));
+        assert!(terms.contains_key("compute_cycles_per_round_eq3"));
+        assert!(terms["plan_block_cycles_C"] > 0.0);
+    }
+
+    #[test]
+    fn trace_document_is_valid_json_with_slices() {
+        let data = wavy(32 * 8);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-2));
+        let profile = profile_compression(
+            &data,
+            &cfg,
+            MappingStrategy::Pipeline {
+                rows: 1,
+                pipeline_length: 2,
+            },
+        )
+        .unwrap();
+        assert!(profile.trace.slice_count() > 0);
+        let text = profile.trace.to_json().to_pretty();
+        let parsed = telemetry::json::parse(&text).unwrap();
+        assert!(parsed.get("traceEvents").unwrap().as_arr().unwrap().len() > 2);
+    }
+
+    #[test]
+    fn snapshot_records_run_counters_and_wall_span() {
+        let data = wavy(32 * 8);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-2));
+        let profile =
+            profile_compression(&data, &cfg, MappingStrategy::RowParallel { rows: 1 }).unwrap();
+        assert!(profile.snapshot.counters["sim.tasks"] > 0);
+        assert!(profile
+            .snapshot
+            .spans
+            .iter()
+            .any(|s| s.name == "simulate_compression"));
+    }
+}

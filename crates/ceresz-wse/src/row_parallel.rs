@@ -6,10 +6,12 @@
 //! experiment behind Fig. 7.
 
 use ceresz_core::block::BlockCodec;
+use ceresz_core::compressor::{CereszConfig, CompressError, Compressed};
 use ceresz_core::plan::{self, StageCostModel, SubStageKind};
-use ceresz_core::compressor::{CereszConfig, Compressed, CompressError};
 use ceresz_core::stream::StreamHeader;
-use wse_sim::{MeshConfig, PeId, PeProgram, SimError, SimStats, Simulator, TaskCtx, TaskId};
+use wse_sim::{PeId, PeProgram, SimError, SimStats, Simulator, TaskCtx, TaskId};
+
+use crate::engine::SimOptions;
 
 use crate::harness::{
     assemble_stream, colors, emit_encoded, parse_emitted, parse_raw_block, raw_block_wavelets,
@@ -97,6 +99,17 @@ pub fn run_row_parallel(
     cfg: &CereszConfig,
     rows: usize,
 ) -> Result<RowParallelRun, WseError> {
+    run_row_parallel_with(data, cfg, rows, &SimOptions::default()).map(|(run, _)| run)
+}
+
+/// [`run_row_parallel`] with observability options; also returns the full
+/// simulator report (timeline, per-stage cycle attribution).
+pub fn run_row_parallel_with(
+    data: &[f32],
+    cfg: &CereszConfig,
+    rows: usize,
+    options: &SimOptions,
+) -> Result<(RowParallelRun, wse_sim::RunReport), WseError> {
     assert!(rows > 0, "need at least one row");
     if !cfg.bound.is_valid() {
         return Err(CompressError::InvalidBound.into());
@@ -112,7 +125,7 @@ pub fn run_row_parallel(
     let blocks = split_blocks(data, cfg.block_size);
     let n_blocks = blocks.len();
 
-    let mut sim = Simulator::new(MeshConfig::new(rows, 1));
+    let mut sim = Simulator::new(options.mesh_config(rows, 1));
     // Deal blocks round-robin; inject each row's queue back-to-back.
     let mut per_row_blocks: Vec<Vec<Vec<u32>>> = vec![Vec::new(); rows];
     for (b, block) in blocks.iter().enumerate() {
@@ -148,11 +161,14 @@ pub fn run_row_parallel(
         per_row.push(row);
     }
     let compressed = assemble_stream(&header, &per_row, n_blocks)?;
-    Ok(RowParallelRun {
-        compressed,
-        stats: report.stats().clone(),
-        rows,
-    })
+    Ok((
+        RowParallelRun {
+            compressed,
+            stats: report.stats().clone(),
+            rows,
+        },
+        report,
+    ))
 }
 
 #[cfg(test)]

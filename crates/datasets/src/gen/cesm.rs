@@ -30,11 +30,11 @@ pub fn generate(field_idx: usize, seed: u64) -> Field {
     let mut data = Vec::with_capacity(ROWS * COLS);
     for i in 0..ROWS {
         let lat = i as f32 / ROWS as f32; // 0 = pole, 1 = pole
-        // Zonal mean: warm equator, cold poles. Surface temperature sits
-        // at a large offset (≈290 K) relative to its spatial range (≈25 K),
-        // which is what pushes CESM's worst-block fixed length to 17 bits
-        // at REL 1e-4 (Table 3): the first residual of a block is the raw
-        // quantized value, |p| ≈ |v|max / (2·λ·range).
+                                          // Zonal mean: warm equator, cold poles. Surface temperature sits
+                                          // at a large offset (≈290 K) relative to its spatial range (≈25 K),
+                                          // which is what pushes CESM's worst-block fixed length to 17 bits
+                                          // at REL 1e-4 (Table 3): the first residual of a block is the raw
+                                          // quantized value, |p| ≈ |v|max / (2·λ·range).
         let zonal = 288.0 + 9.0 * (std::f32::consts::PI * lat).sin();
         for j in 0..COLS {
             let lon = j as f32 / COLS as f32;

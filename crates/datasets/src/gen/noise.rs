@@ -22,7 +22,9 @@ impl NoiseLattice {
     #[must_use]
     pub fn new(seed: u64, nx: usize, ny: usize, nz: usize) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let values = (0..nx * ny * nz).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let values = (0..nx * ny * nz)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
         Self { values, nx, ny, nz }
     }
 
@@ -73,7 +75,12 @@ impl FractalNoise {
         let lattices = (0..octaves)
             .map(|o| {
                 let cells = (base_freq * (1 << o) as f32).ceil() as usize + 2;
-                NoiseLattice::new(seed.wrapping_add(o as u64 * 0x9E37_79B9), cells, cells, cells)
+                NoiseLattice::new(
+                    seed.wrapping_add(o as u64 * 0x9E37_79B9),
+                    cells,
+                    cells,
+                    cells,
+                )
             })
             .collect();
         Self {

@@ -38,11 +38,10 @@ pub fn generate(field_idx: usize, seed: u64) -> Field {
             for ix in 0..nx {
                 let x = ix as f32 / nx as f32;
                 let h = 1.0 + 0.15 * heterogeneity.sample(x, y, z);
-                let r = (((z - source.0).powi(2)
-                    + (y - source.1).powi(2)
-                    + (x - source.2).powi(2))
-                .sqrt())
-                    * h;
+                let r =
+                    (((z - source.0).powi(2) + (y - source.1).powi(2) + (x - source.2).powi(2))
+                        .sqrt())
+                        * h;
                 let d = (r - radius) / thickness;
                 // Ricker wavelet profile across the front; hard zero beyond
                 // two pulse widths — the unreached quiet zone.

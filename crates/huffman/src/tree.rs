@@ -139,10 +139,7 @@ mod tests {
         data.extend(0..16u32);
         let h = histogram(&data);
         let lengths = build_code_lengths(&h).unwrap();
-        let total_bits: u64 = h
-            .iter()
-            .map(|(s, f)| f * u64::from(lengths[s]))
-            .sum();
+        let total_bits: u64 = h.iter().map(|(s, f)| f * u64::from(lengths[s])).sum();
         // 17 symbols need 5 fixed bits; the skew should get well under 2/sym.
         assert!(total_bits < 2 * data.len() as u64);
     }

@@ -1,0 +1,156 @@
+//! Chrome-trace (`traceEvents`) document builder.
+//!
+//! The JSON emitted here loads in both `chrome://tracing` and Perfetto
+//! (ui.perfetto.dev), which accept the legacy Chrome trace format. The
+//! mapping used by the workspace exporters is: one *process* per mesh (or
+//! per run), one *thread* per PE (so each PE gets its own track), and one
+//! complete (`"ph": "X"`) slice per simulated task.
+//!
+//! Timestamps are microseconds in the trace format; the simulator exporters
+//! write cycles as microseconds 1:1, which keeps slice arithmetic exact and
+//! merely relabels the axis (1 "µs" on screen = 1 cycle).
+
+use crate::json::JsonValue;
+
+/// One complete slice on a track.
+#[derive(Debug, Clone)]
+struct Slice {
+    pid: u64,
+    tid: u64,
+    name: String,
+    cat: String,
+    ts: f64,
+    dur: f64,
+}
+
+/// Builder for a Chrome-trace JSON document.
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    process_names: Vec<(u64, String)>,
+    thread_names: Vec<(u64, u64, String)>,
+    slices: Vec<Slice>,
+}
+
+impl ChromeTrace {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Label a process track group (shown as the section header in the UI).
+    pub fn set_process_name(&mut self, pid: u64, name: impl Into<String>) {
+        self.process_names.push((pid, name.into()));
+    }
+
+    /// Label one thread track within a process.
+    pub fn set_thread_name(&mut self, pid: u64, tid: u64, name: impl Into<String>) {
+        self.thread_names.push((pid, tid, name.into()));
+    }
+
+    /// Add a complete (`ph: "X"`) slice. `ts` and `dur` are in trace
+    /// microseconds.
+    pub fn complete_slice(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        name: impl Into<String>,
+        cat: impl Into<String>,
+        ts: f64,
+        dur: f64,
+    ) {
+        self.slices.push(Slice {
+            pid,
+            tid,
+            name: name.into(),
+            cat: cat.into(),
+            ts,
+            dur,
+        });
+    }
+
+    /// Number of slices added so far.
+    #[must_use]
+    pub fn slice_count(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Build the `{"traceEvents": [...]}` document.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        use JsonValue as J;
+        let mut events = Vec::new();
+        for (pid, name) in &self.process_names {
+            events.push(J::obj(vec![
+                ("name", J::Str("process_name".into())),
+                ("ph", J::Str("M".into())),
+                ("pid", J::Num(*pid as f64)),
+                ("tid", J::Num(0.0)),
+                ("args", J::obj(vec![("name", J::Str(name.clone()))])),
+            ]));
+        }
+        for (pid, tid, name) in &self.thread_names {
+            events.push(J::obj(vec![
+                ("name", J::Str("thread_name".into())),
+                ("ph", J::Str("M".into())),
+                ("pid", J::Num(*pid as f64)),
+                ("tid", J::Num(*tid as f64)),
+                ("args", J::obj(vec![("name", J::Str(name.clone()))])),
+            ]));
+        }
+        for s in &self.slices {
+            events.push(J::obj(vec![
+                ("name", J::Str(s.name.clone())),
+                ("cat", J::Str(s.cat.clone())),
+                ("ph", J::Str("X".into())),
+                ("pid", J::Num(s.pid as f64)),
+                ("tid", J::Num(s.tid as f64)),
+                ("ts", J::Num(s.ts)),
+                ("dur", J::Num(s.dur)),
+            ]));
+        }
+        J::obj(vec![
+            ("traceEvents", J::Arr(events)),
+            ("displayTimeUnit", J::Str("ns".into())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn document_shape_matches_chrome_trace_format() {
+        let mut t = ChromeTrace::new();
+        t.set_process_name(1, "mesh 2x4");
+        t.set_thread_name(1, 3, "pe (0,3)");
+        t.complete_slice(1, 3, "recv", "task", 80.0, 156.2);
+        t.complete_slice(1, 3, "recv", "task", 300.0, 40.0);
+        assert_eq!(t.slice_count(), 2);
+
+        let doc = json::parse(&t.to_json().to_pretty()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 4); // 2 metadata + 2 slices
+
+        let meta: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .collect();
+        assert_eq!(meta.len(), 2);
+        assert_eq!(
+            meta[1].get("args").unwrap().get("name").unwrap().as_str(),
+            Some("pe (0,3)")
+        );
+
+        let slices: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+        assert_eq!(slices.len(), 2);
+        assert_eq!(slices[0].get("ts").unwrap().as_f64(), Some(80.0));
+        assert_eq!(slices[0].get("dur").unwrap().as_f64(), Some(156.2));
+        assert_eq!(slices[0].get("pid").unwrap().as_f64(), Some(1.0));
+        assert_eq!(slices[0].get("tid").unwrap().as_f64(), Some(3.0));
+    }
+}

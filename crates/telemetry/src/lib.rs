@@ -1,0 +1,390 @@
+//! Workspace-wide profiling primitives for the CereSZ reproduction.
+//!
+//! The crate is deliberately dependency-free and cheap when unused: the
+//! central [`Recorder`] is a cloneable handle that is a no-op unless
+//! explicitly enabled, so library code can be instrumented unconditionally
+//! and callers opt in per run. Three kinds of measurement are supported:
+//!
+//! * **counters** — monotonically accumulated `u64` totals (wavelets sent,
+//!   bytes emitted, …);
+//! * **histograms** — summaries (count/sum/min/max plus log2 buckets) of a
+//!   stream of samples (block lengths, per-task cycles, …);
+//! * **spans** — named intervals, either wall-clock ([`Recorder::wall_span`],
+//!   backed by [`std::time::Instant`]) or in simulator cycles
+//!   ([`Recorder::record_cycle_span`], where the caller supplies the clock).
+//!
+//! [`json`] holds the minimal JSON reader/writer the exporters are built on,
+//! [`chrome`] emits Chrome/Perfetto `traceEvents` documents, and [`profile`]
+//! models the per-stage cycle-attribution report (`profile.json` and the
+//! human-readable `--profile` table).
+
+pub mod chrome;
+pub mod json;
+pub mod profile;
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Summary of a sample stream. Buckets are log2: bucket `i` counts samples
+/// in `[2^(i-1), 2^i)` (bucket 0 counts samples `< 1`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    pub log2_buckets: Vec<u64>,
+}
+
+impl HistogramSummary {
+    fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            log2_buckets: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        let bucket = if v < 1.0 {
+            0
+        } else {
+            1 + v.log2().floor() as usize
+        };
+        if self.log2_buckets.len() <= bucket {
+            self.log2_buckets.resize(bucket + 1, 0);
+        }
+        self.log2_buckets[bucket] += 1;
+    }
+
+    /// Arithmetic mean; 0 for an empty histogram.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One recorded interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    pub name: String,
+    /// Span start, in the span's own clock (µs for wall spans, cycles for
+    /// cycle spans).
+    pub start: f64,
+    /// Span length in the same unit as `start`.
+    pub duration: f64,
+    pub clock: SpanClock,
+}
+
+/// Which clock a [`SpanRecord`] was measured against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanClock {
+    /// Host wall time, microseconds since the recorder was created.
+    WallMicros,
+    /// Simulator cycles, as supplied by the caller.
+    Cycles,
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, HistogramSummary>,
+    spans: Vec<SpanRecord>,
+}
+
+/// Point-in-time copy of everything a [`Recorder`] has accumulated.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    pub spans: Vec<SpanRecord>,
+}
+
+impl TelemetrySnapshot {
+    /// Render the snapshot as a JSON object (counters, histogram summaries,
+    /// and spans), suitable for embedding in `profile.json`.
+    #[must_use]
+    pub fn to_json(&self) -> json::JsonValue {
+        use json::JsonValue as J;
+        let counters = J::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), J::Num(*v as f64)))
+                .collect(),
+        );
+        let histograms = J::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        J::obj(vec![
+                            ("count", J::Num(h.count as f64)),
+                            ("sum", J::Num(h.sum)),
+                            ("min", J::Num(if h.count == 0 { 0.0 } else { h.min })),
+                            ("max", J::Num(if h.count == 0 { 0.0 } else { h.max })),
+                            ("mean", J::Num(h.mean())),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let spans = J::Arr(
+            self.spans
+                .iter()
+                .map(|s| {
+                    J::obj(vec![
+                        ("name", J::Str(s.name.clone())),
+                        ("start", J::Num(s.start)),
+                        ("duration", J::Num(s.duration)),
+                        (
+                            "clock",
+                            J::Str(
+                                match s.clock {
+                                    SpanClock::WallMicros => "wall_us",
+                                    SpanClock::Cycles => "cycles",
+                                }
+                                .into(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        J::obj(vec![
+            ("counters", counters),
+            ("histograms", histograms),
+            ("spans", spans),
+        ])
+    }
+}
+
+/// Cloneable profiling handle. A disabled recorder (the default) never
+/// allocates and every recording call is a cheap branch on `None`, so
+/// instrumented hot paths cost nothing in ordinary runs.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Mutex<Inner>>>,
+}
+
+impl Recorder {
+    /// An enabled recorder.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self {
+            inner: Some(Arc::new(Mutex::new(Inner {
+                epoch: Instant::now(),
+                counters: BTreeMap::new(),
+                histograms: BTreeMap::new(),
+                spans: Vec::new(),
+            }))),
+        }
+    }
+
+    /// A recorder that drops everything (same as `Recorder::default()`).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Add `n` to the named counter.
+    pub fn count(&self, name: &str, n: u64) {
+        if let Some(inner) = &self.inner {
+            let mut g = inner.lock().unwrap();
+            *g.counters.entry(name.to_owned()).or_insert(0) += n;
+        }
+    }
+
+    /// Record one sample into the named histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            let mut g = inner.lock().unwrap();
+            g.histograms
+                .entry(name.to_owned())
+                .or_insert_with(HistogramSummary::new)
+                .record(value);
+        }
+    }
+
+    /// Open a wall-clock span; the interval is recorded when the returned
+    /// guard drops. For a disabled recorder the guard is inert.
+    #[must_use]
+    pub fn wall_span(&self, name: &str) -> WallSpan {
+        WallSpan {
+            recorder: self.clone(),
+            name: name.to_owned(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Record a span measured in simulator cycles (caller supplies both
+    /// endpoints; `end < start` is clamped to an empty span).
+    pub fn record_cycle_span(&self, name: &str, start: f64, end: f64) {
+        if let Some(inner) = &self.inner {
+            let mut g = inner.lock().unwrap();
+            g.spans.push(SpanRecord {
+                name: name.to_owned(),
+                start,
+                duration: (end - start).max(0.0),
+                clock: SpanClock::Cycles,
+            });
+        }
+    }
+
+    /// Copy out everything recorded so far.
+    #[must_use]
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        match &self.inner {
+            None => TelemetrySnapshot::default(),
+            Some(inner) => {
+                let g = inner.lock().unwrap();
+                TelemetrySnapshot {
+                    counters: g.counters.clone(),
+                    histograms: g.histograms.clone(),
+                    spans: g.spans.clone(),
+                }
+            }
+        }
+    }
+}
+
+/// Guard returned by [`Recorder::wall_span`]; records the elapsed interval
+/// on drop.
+pub struct WallSpan {
+    recorder: Recorder,
+    name: String,
+    started: Instant,
+}
+
+impl Drop for WallSpan {
+    fn drop(&mut self) {
+        if let Some(inner) = &self.recorder.inner {
+            let mut g = inner.lock().unwrap();
+            let start = self.started.duration_since(g.epoch).as_secs_f64() * 1e6;
+            let duration = self.started.elapsed().as_secs_f64() * 1e6;
+            g.spans.push(SpanRecord {
+                name: std::mem::take(&mut self.name),
+                start,
+                duration,
+                clock: SpanClock::WallMicros,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        r.count("wavelets", 10);
+        r.observe("block_len", 32.0);
+        r.record_cycle_span("stage", 0.0, 100.0);
+        drop(r.wall_span("host"));
+        let snap = r.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_across_clones() {
+        let r = Recorder::enabled();
+        let r2 = r.clone();
+        r.count("sends", 3);
+        r2.count("sends", 4);
+        assert_eq!(r.snapshot().counters["sends"], 7);
+    }
+
+    #[test]
+    fn histogram_summary_tracks_bounds_and_mean() {
+        let r = Recorder::enabled();
+        for v in [1.0, 2.0, 3.0, 10.0] {
+            r.observe("cycles", v);
+        }
+        let snap = r.snapshot();
+        let h = &snap.histograms["cycles"];
+        assert_eq!(h.count, 4);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 10.0);
+        assert!((h.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log2_buckets_partition_samples() {
+        let mut h = HistogramSummary::new();
+        for v in [0.5, 1.0, 1.9, 2.0, 3.9, 4.0] {
+            h.record(v);
+        }
+        // [<1]=1, [1,2)=2, [2,4)=2, [4,8)=1
+        assert_eq!(h.log2_buckets, vec![1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn cycle_spans_clamp_negative_durations() {
+        let r = Recorder::enabled();
+        r.record_cycle_span("bad", 100.0, 50.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.spans[0].duration, 0.0);
+        assert_eq!(snap.spans[0].clock, SpanClock::Cycles);
+    }
+
+    #[test]
+    fn wall_span_records_on_drop() {
+        let r = Recorder::enabled();
+        {
+            let _span = r.wall_span("compress");
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].name, "compress");
+        assert_eq!(snap.spans[0].clock, SpanClock::WallMicros);
+        assert!(snap.spans[0].duration >= 0.0);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let r = Recorder::enabled();
+        r.count("wavelets", 5);
+        r.observe("len", 8.0);
+        r.record_cycle_span("quant", 10.0, 20.0);
+        let doc = r.snapshot().to_json();
+        let text = doc.to_pretty();
+        let back = json::parse(&text).unwrap();
+        assert_eq!(
+            back.get("counters")
+                .unwrap()
+                .get("wavelets")
+                .unwrap()
+                .as_f64(),
+            Some(5.0)
+        );
+        assert_eq!(
+            back.get("spans").unwrap().as_arr().unwrap()[0]
+                .get("duration")
+                .unwrap()
+                .as_f64(),
+            Some(10.0)
+        );
+    }
+}

@@ -1,0 +1,388 @@
+//! Per-stage cycle-attribution reports.
+//!
+//! A [`ProfileReport`] is the machine- and human-readable summary of one
+//! simulated run: the headline simulator statistics, per-kernel-stage busy
+//! cycles (every busy cycle is attributed to exactly one stage, so the
+//! stage column sums to `total_busy_cycles`), and optional analytic cost
+//! terms (the paper's Eq. 2 relay overhead and Eq. 3 pipeline cost model).
+//!
+//! Stage names follow `SubStageKind::name()` in `ceresz-core`
+//! (`"quant-mul"`, `"lorenzo"`, `"shuffle-bit-3"`, …) plus the simulator's
+//! pseudo-stages (`"dispatch"` for task overhead, `"unattributed"` for
+//! cycles charged outside any labelled stage). [`stage_group`] folds these
+//! into the paper's reporting granularity (Tables 1–3): *pre-quant*,
+//! *lorenzo*, *encode*, *decode*.
+
+use crate::json::JsonValue;
+
+/// Busy cycles attributed to one kernel stage, summed over all PEs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageCycles {
+    /// Stage name (`SubStageKind::name()` or a simulator pseudo-stage).
+    pub name: String,
+    /// Total busy cycles charged while this stage was active.
+    pub cycles: f64,
+}
+
+/// Map a stage name onto the paper's Tables 1–3 reporting groups.
+#[must_use]
+pub fn stage_group(stage: &str) -> &'static str {
+    match stage {
+        "quant-mul" | "quant-add" => "pre-quant",
+        "lorenzo" => "lorenzo",
+        "sign" | "max" | "get-length" => "encode",
+        s if s.starts_with("shuffle-bit") => "encode",
+        s if s.starts_with("unshuffle-bit") => "decode",
+        "apply-sign" | "prefix-sum" | "dequant-mul" => "decode",
+        _ => "other",
+    }
+}
+
+/// Canonical group order for tables and JSON.
+pub const GROUP_ORDER: [&str; 5] = ["pre-quant", "lorenzo", "encode", "decode", "other"];
+
+/// Machine-readable profile of one simulated run.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileReport {
+    /// Which mapping produced the run (`"row-parallel"`, `"pipeline"`, …).
+    pub strategy: String,
+    pub mesh_rows: usize,
+    pub mesh_cols: usize,
+    /// Cycle at which the last task finished.
+    pub finish_cycle: f64,
+    /// Sum of busy cycles over all PEs.
+    pub total_busy_cycles: f64,
+    pub total_tasks: u64,
+    pub total_wavelets: u64,
+    /// PEs that ran at least one task.
+    pub active_pes: usize,
+    /// Mean busy fraction of active PEs over the run.
+    pub utilization: f64,
+    /// Per-stage busy cycles; sums to `total_busy_cycles`.
+    pub stages: Vec<StageCycles>,
+    /// Analytic cost terms (Eq. 2 relay overhead, Eq. 3 pipeline terms, …)
+    /// keyed by name.
+    pub model_terms: Vec<(String, f64)>,
+}
+
+impl ProfileReport {
+    /// Sum of all attributed stage cycles.
+    #[must_use]
+    pub fn attributed_cycles(&self) -> f64 {
+        self.stages.iter().map(|s| s.cycles).sum()
+    }
+
+    /// Aggregate per-stage cycles into the paper's groups, in
+    /// [`GROUP_ORDER`]; groups with zero cycles are omitted.
+    #[must_use]
+    pub fn grouped(&self) -> Vec<(&'static str, f64)> {
+        GROUP_ORDER
+            .iter()
+            .filter_map(|group| {
+                let cycles: f64 = self
+                    .stages
+                    .iter()
+                    .filter(|s| stage_group(&s.name) == *group)
+                    .map(|s| s.cycles)
+                    .sum();
+                (cycles > 0.0).then_some((*group, cycles))
+            })
+            .collect()
+    }
+
+    /// Serialize to the `profile.json` document shape.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        use JsonValue as J;
+        let stages = J::Arr(
+            self.stages
+                .iter()
+                .map(|s| {
+                    J::obj(vec![
+                        ("name", J::Str(s.name.clone())),
+                        ("group", J::Str(stage_group(&s.name).into())),
+                        ("cycles", J::Num(s.cycles)),
+                        (
+                            "share",
+                            J::Num(if self.total_busy_cycles > 0.0 {
+                                s.cycles / self.total_busy_cycles
+                            } else {
+                                0.0
+                            }),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let groups = J::Obj(
+            self.grouped()
+                .into_iter()
+                .map(|(g, c)| (g.to_owned(), J::Num(c)))
+                .collect(),
+        );
+        let model = J::Obj(
+            self.model_terms
+                .iter()
+                .map(|(k, v)| (k.clone(), J::Num(*v)))
+                .collect(),
+        );
+        J::obj(vec![
+            ("strategy", J::Str(self.strategy.clone())),
+            (
+                "mesh",
+                J::obj(vec![
+                    ("rows", J::Num(self.mesh_rows as f64)),
+                    ("cols", J::Num(self.mesh_cols as f64)),
+                ]),
+            ),
+            ("finish_cycle", J::Num(self.finish_cycle)),
+            ("total_busy_cycles", J::Num(self.total_busy_cycles)),
+            ("total_tasks", J::Num(self.total_tasks as f64)),
+            ("total_wavelets", J::Num(self.total_wavelets as f64)),
+            ("active_pes", J::Num(self.active_pes as f64)),
+            ("utilization", J::Num(self.utilization)),
+            ("stages", stages),
+            ("groups", groups),
+            ("model_terms", model),
+        ])
+    }
+
+    /// Parse a document produced by [`to_json`]. Used by the golden tests
+    /// and by tooling that post-processes `profile.json`.
+    pub fn from_json(doc: &JsonValue) -> Result<Self, String> {
+        let num = |key: &str| -> Result<f64, String> {
+            doc.get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("missing numeric field '{key}'"))
+        };
+        let mesh = doc.get("mesh").ok_or("missing 'mesh'")?;
+        let stages = doc
+            .get("stages")
+            .and_then(JsonValue::as_arr)
+            .ok_or("missing 'stages' array")?
+            .iter()
+            .map(|s| {
+                Ok(StageCycles {
+                    name: s
+                        .get("name")
+                        .and_then(JsonValue::as_str)
+                        .ok_or("stage missing 'name'")?
+                        .to_owned(),
+                    cycles: s
+                        .get("cycles")
+                        .and_then(JsonValue::as_f64)
+                        .ok_or("stage missing 'cycles'")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let model_terms = doc
+            .get("model_terms")
+            .and_then(JsonValue::as_obj)
+            .map(|pairs| {
+                pairs
+                    .iter()
+                    .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(Self {
+            strategy: doc
+                .get("strategy")
+                .and_then(JsonValue::as_str)
+                .unwrap_or_default()
+                .to_owned(),
+            mesh_rows: mesh.get("rows").and_then(JsonValue::as_f64).unwrap_or(0.0) as usize,
+            mesh_cols: mesh.get("cols").and_then(JsonValue::as_f64).unwrap_or(0.0) as usize,
+            finish_cycle: num("finish_cycle")?,
+            total_busy_cycles: num("total_busy_cycles")?,
+            total_tasks: num("total_tasks")? as u64,
+            total_wavelets: num("total_wavelets")? as u64,
+            active_pes: num("active_pes")? as usize,
+            utilization: num("utilization")?,
+            stages,
+            model_terms,
+        })
+    }
+
+    /// Render the human-readable `--profile` table.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "profile: {} on {}x{} mesh\n",
+            self.strategy, self.mesh_rows, self.mesh_cols
+        ));
+        out.push_str(&format!(
+            "  finish cycle {:>14.0}   busy cycles {:>14.0}\n",
+            self.finish_cycle, self.total_busy_cycles
+        ));
+        out.push_str(&format!(
+            "  tasks {:>10}   wavelets {:>10}   active PEs {:>6}   utilization {:>6.1}%\n",
+            self.total_tasks,
+            self.total_wavelets,
+            self.active_pes,
+            self.utilization * 100.0
+        ));
+        out.push_str("\n  stage               group        cycles        share\n");
+        out.push_str("  ------------------  ---------  ------------  -------\n");
+        for s in &self.stages {
+            let share = if self.total_busy_cycles > 0.0 {
+                s.cycles / self.total_busy_cycles * 100.0
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "  {:<18}  {:<9}  {:>12.0}  {:>6.2}%\n",
+                s.name,
+                stage_group(&s.name),
+                s.cycles,
+                share
+            ));
+        }
+        let grouped = self.grouped();
+        if !grouped.is_empty() {
+            out.push_str("\n  group summary (paper Tables 1-3 granularity):\n");
+            for (g, c) in grouped {
+                let share = if self.total_busy_cycles > 0.0 {
+                    c / self.total_busy_cycles * 100.0
+                } else {
+                    0.0
+                };
+                out.push_str(&format!("  {:<18}  {:>12.0}  {:>6.2}%\n", g, c, share));
+            }
+        }
+        if !self.model_terms.is_empty() {
+            out.push_str("\n  analytic model terms:\n");
+            for (k, v) in &self.model_terms {
+                out.push_str(&format!("  {:<28}  {:>14.1}\n", k, v));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample() -> ProfileReport {
+        ProfileReport {
+            strategy: "pipeline".into(),
+            mesh_rows: 2,
+            mesh_cols: 8,
+            finish_cycle: 10_000.0,
+            total_busy_cycles: 1000.0,
+            total_tasks: 12,
+            total_wavelets: 40,
+            active_pes: 16,
+            utilization: 0.0625,
+            stages: vec![
+                StageCycles {
+                    name: "quant-mul".into(),
+                    cycles: 300.0,
+                },
+                StageCycles {
+                    name: "quant-add".into(),
+                    cycles: 100.0,
+                },
+                StageCycles {
+                    name: "lorenzo".into(),
+                    cycles: 150.0,
+                },
+                StageCycles {
+                    name: "sign".into(),
+                    cycles: 50.0,
+                },
+                StageCycles {
+                    name: "shuffle-bit-2".into(),
+                    cycles: 200.0,
+                },
+                StageCycles {
+                    name: "dispatch".into(),
+                    cycles: 200.0,
+                },
+            ],
+            model_terms: vec![("relay_cycles_per_round".into(), 42.5)],
+        }
+    }
+
+    #[test]
+    fn grouping_matches_paper_tables() {
+        assert_eq!(stage_group("quant-mul"), "pre-quant");
+        assert_eq!(stage_group("quant-add"), "pre-quant");
+        assert_eq!(stage_group("lorenzo"), "lorenzo");
+        assert_eq!(stage_group("sign"), "encode");
+        assert_eq!(stage_group("max"), "encode");
+        assert_eq!(stage_group("get-length"), "encode");
+        assert_eq!(stage_group("shuffle-bit-7"), "encode");
+        assert_eq!(stage_group("unshuffle-bit-0"), "decode");
+        assert_eq!(stage_group("apply-sign"), "decode");
+        assert_eq!(stage_group("prefix-sum"), "decode");
+        assert_eq!(stage_group("dequant-mul"), "decode");
+        assert_eq!(stage_group("dispatch"), "other");
+        assert_eq!(stage_group("unattributed"), "other");
+    }
+
+    #[test]
+    fn grouped_aggregates_in_order() {
+        let groups = sample().grouped();
+        assert_eq!(
+            groups,
+            vec![
+                ("pre-quant", 400.0),
+                ("lorenzo", 150.0),
+                ("encode", 250.0),
+                ("other", 200.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_report() {
+        let report = sample();
+        let doc = json::parse(&report.to_json().to_pretty()).unwrap();
+        let back = ProfileReport::from_json(&doc).unwrap();
+        assert_eq!(back.strategy, "pipeline");
+        assert_eq!(back.mesh_rows, 2);
+        assert_eq!(back.mesh_cols, 8);
+        assert_eq!(back.finish_cycle, 10_000.0);
+        assert_eq!(back.total_busy_cycles, 1000.0);
+        assert_eq!(back.stages, report.stages);
+        assert_eq!(back.model_terms, report.model_terms);
+        assert!((back.attributed_cycles() - back.total_busy_cycles).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shares_in_json_sum_to_one() {
+        let doc = sample().to_json();
+        let total: f64 = doc
+            .get("stages")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|s| s.get("share").unwrap().as_f64().unwrap())
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_renders_all_sections() {
+        let text = sample().render_table();
+        assert!(text.contains("pipeline on 2x8 mesh"));
+        assert!(text.contains("quant-mul"));
+        assert!(text.contains("pre-quant"));
+        assert!(text.contains("relay_cycles_per_round"));
+    }
+
+    #[test]
+    fn empty_report_renders_without_division_by_zero() {
+        let report = ProfileReport::default();
+        let text = report.render_table();
+        assert!(text.contains("utilization"));
+        assert_eq!(report.grouped(), vec![]);
+        let doc = report.to_json();
+        assert_eq!(doc.get("total_busy_cycles").unwrap().as_f64(), Some(0.0));
+    }
+}

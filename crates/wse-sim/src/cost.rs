@@ -7,10 +7,8 @@
 //! only the stage-level aggregates are observable from the paper — but all
 //! balancing and pipelining behaviour depends only on those aggregates.
 
-use serde::{Deserialize, Serialize};
-
 /// Operations a kernel can charge cycles for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Op {
     /// 32-bit float multiply (quantization/dequantization reciprocal mul).
     F32Mul,
@@ -37,7 +35,7 @@ pub enum Op {
 }
 
 /// Cycle costs per operation plus the fixed per-task overhead.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Fixed cycles charged when a task activates (task dispatch + DSD setup).
     pub task_overhead: f64,

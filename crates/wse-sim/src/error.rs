@@ -83,7 +83,10 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::NoRoute { pe, color } => write!(f, "no route for {color} at {pe}"),
             SimError::RouteMismatch { pe, color } => {
-                write!(f, "stream on {color} arrived at {pe} from an unconfigured direction")
+                write!(
+                    f,
+                    "stream on {color} arrived at {pe} from an unconfigured direction"
+                )
             }
             SimError::MulticastUnsupported { pe, color } => {
                 write!(f, "multicast route for {color} at {pe} is unsupported")

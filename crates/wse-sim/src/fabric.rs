@@ -135,14 +135,19 @@ impl Fabric {
                 return Ok(ResolvedPath { hops, dest: cur });
             }
             let mut out_dirs = rule.outputs.iter().filter(|&&d| d != Direction::Ramp);
-            let dir = *out_dirs.next().ok_or(SimError::NoRoute { pe: cur, color })?;
+            let dir = *out_dirs
+                .next()
+                .ok_or(SimError::NoRoute { pe: cur, color })?;
             if out_dirs.next().is_some() {
                 return Err(SimError::MulticastUnsupported { pe: cur, color });
             }
             let next = cur
                 .neighbor(dir, self.rows, self.cols)
                 .ok_or(SimError::RouteOffMesh { pe: cur, color })?;
-            hops.push(Hop { from: cur, to: next });
+            hops.push(Hop {
+                from: cur,
+                to: next,
+            });
             arrived_from = Some(dir.opposite());
             cur = next;
         }

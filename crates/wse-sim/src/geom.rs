@@ -1,10 +1,8 @@
 //! Mesh geometry: PE coordinates and the five cardinal dataflow directions.
 
-use serde::{Deserialize, Serialize};
-
 /// The five cardinal dataflow directions of a PE (§2.1 of the paper):
 /// the four neighbor links plus the internal RAMP link to the processor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Toward the neighbor with a smaller row index.
     North,
@@ -42,7 +40,7 @@ impl Direction {
 }
 
 /// Coordinates of a PE on the mesh.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PeId {
     /// Row index (0-based, north edge first).
     pub row: usize,
@@ -63,9 +61,7 @@ impl PeId {
     pub fn neighbor(self, dir: Direction, rows: usize, cols: usize) -> Option<PeId> {
         match dir {
             Direction::North => (self.row > 0).then(|| PeId::new(self.row - 1, self.col)),
-            Direction::South => {
-                (self.row + 1 < rows).then(|| PeId::new(self.row + 1, self.col))
-            }
+            Direction::South => (self.row + 1 < rows).then(|| PeId::new(self.row + 1, self.col)),
             Direction::East => (self.col + 1 < cols).then(|| PeId::new(self.row, self.col + 1)),
             Direction::West => (self.col > 0).then(|| PeId::new(self.row, self.col - 1)),
             Direction::Ramp => None,

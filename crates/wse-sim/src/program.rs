@@ -75,6 +75,14 @@ pub struct TaskCtx<'a> {
     pub(crate) completed: &'a mut std::collections::HashMap<Color, Vec<u32>>,
     pub(crate) charged: f64,
     pub(crate) effects: Vec<Effect>,
+    /// Whether per-stage cycle attribution is being collected this run.
+    pub(crate) attribution: bool,
+    /// Currently open stage label, if any.
+    pub(crate) stage: Option<String>,
+    /// `charged` at the time the current stage segment opened.
+    pub(crate) stage_base: f64,
+    /// Closed `(stage, cycles)` segments of this task.
+    pub(crate) stage_charges: Vec<(String, f64)>,
 }
 
 impl<'a> TaskCtx<'a> {
@@ -104,6 +112,38 @@ impl<'a> TaskCtx<'a> {
     #[must_use]
     pub fn charged(&self) -> f64 {
         self.charged
+    }
+
+    /// Whether this run collects per-stage cycle attribution. Callers that
+    /// must build a stage name (allocate) can check this first.
+    #[must_use]
+    pub fn attribution_enabled(&self) -> bool {
+        self.attribution
+    }
+
+    /// Label all subsequent charges of this task with the kernel stage
+    /// `name` (e.g. a `SubStageKind` name), for per-stage cycle attribution.
+    ///
+    /// A no-op unless the run collects attribution
+    /// ([`crate::MeshConfig::with_recorder`]), so kernels can call it
+    /// unconditionally without paying for a `String` per stage.
+    pub fn begin_stage(&mut self, name: &str) {
+        if !self.attribution {
+            return;
+        }
+        self.close_stage_segment();
+        self.stage = Some(name.to_owned());
+    }
+
+    /// Close the open stage segment, attributing its charged cycles.
+    pub(crate) fn close_stage_segment(&mut self) {
+        let delta = self.charged - self.stage_base;
+        self.stage_base = self.charged;
+        let stage = self.stage.take();
+        if delta > 0.0 {
+            let label = stage.unwrap_or_else(|| "unattributed".to_owned());
+            self.stage_charges.push((label, delta));
+        }
     }
 
     /// Asynchronously send `data` on `color` (output DSD move). The stream
@@ -159,11 +199,13 @@ impl<'a> TaskCtx<'a> {
 
     /// Reserve `bytes` of this PE's SRAM.
     pub fn mem_alloc(&mut self, bytes: usize) -> Result<(), SimError> {
-        self.memory.alloc(bytes).map_err(|available| SimError::OutOfMemory {
-            pe: self.pe,
-            requested: bytes,
-            available,
-        })
+        self.memory
+            .alloc(bytes)
+            .map_err(|available| SimError::OutOfMemory {
+                pe: self.pe,
+                requested: bytes,
+                available,
+            })
     }
 
     /// Release `bytes` of this PE's SRAM.

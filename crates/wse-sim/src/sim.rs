@@ -1,6 +1,8 @@
 //! The discrete-event simulation engine.
 
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use telemetry::Recorder;
 
 use crate::cost::CostModel;
 use crate::error::{BlockedPe, SimError};
@@ -27,6 +29,10 @@ pub struct MeshConfig {
     pub cycle_limit: f64,
     /// Record a per-PE task timeline (off by default; costs memory).
     pub trace: bool,
+    /// Telemetry sink. Disabled by default; when enabled, the run collects
+    /// per-stage cycle attribution (see [`TaskCtx::begin_stage`]) and feeds
+    /// run counters/histograms into the recorder.
+    pub recorder: Recorder,
 }
 
 impl MeshConfig {
@@ -41,6 +47,7 @@ impl MeshConfig {
             cost: CostModel::calibrated(),
             cycle_limit: 1e15,
             trace: false,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -64,12 +71,28 @@ impl MeshConfig {
         self.trace = true;
         self
     }
+
+    /// Attach a telemetry recorder. An enabled recorder turns on per-stage
+    /// cycle attribution for the run; a disabled one leaves the simulator on
+    /// its zero-overhead path.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
 }
 
 #[derive(Debug)]
 enum EventKind {
-    Activate { pe: PeId, task: TaskId },
-    Deliver { pe: PeId, color: Color, data: Vec<u32> },
+    Activate {
+        pe: PeId,
+        task: TaskId,
+    },
+    Deliver {
+        pe: PeId,
+        color: Color,
+        data: Vec<u32>,
+    },
 }
 
 struct Event {
@@ -107,6 +130,9 @@ pub struct RunReport {
     stats: SimStats,
     cols: usize,
     trace: Trace,
+    /// Per-PE busy cycles by kernel stage; empty maps unless the run had an
+    /// enabled recorder.
+    stage_cycles: Vec<BTreeMap<String, f64>>,
 }
 
 impl RunReport {
@@ -139,6 +165,41 @@ impl RunReport {
     pub fn trace(&self) -> &Trace {
         &self.trace
     }
+
+    /// Busy cycles of `pe` by kernel stage (empty unless the run had an
+    /// enabled recorder). Stage names follow `TaskCtx::begin_stage`, plus
+    /// the pseudo-stages `"dispatch"` (task overhead) and `"unattributed"`
+    /// (cycles charged outside any labelled stage).
+    #[must_use]
+    pub fn stage_cycles_of(&self, pe: PeId) -> &BTreeMap<String, f64> {
+        &self.stage_cycles[pe.index(self.cols)]
+    }
+
+    /// Busy cycles by kernel stage summed over all PEs. When attribution was
+    /// collected, the values sum to `stats().total_busy_cycles` exactly.
+    #[must_use]
+    pub fn stage_totals(&self) -> BTreeMap<String, f64> {
+        let mut totals = BTreeMap::new();
+        for per_pe in &self.stage_cycles {
+            for (stage, cycles) in per_pe {
+                *totals.entry(stage.clone()).or_insert(0.0) += cycles;
+            }
+        }
+        totals
+    }
+
+    /// Whether per-stage attribution was collected for this run.
+    #[must_use]
+    pub fn has_stage_attribution(&self) -> bool {
+        self.stage_cycles.iter().any(|m| !m.is_empty())
+    }
+
+    /// Export the run's timeline as a Chrome-trace document (see
+    /// [`Trace::chrome_trace`]). Empty unless tracing was enabled.
+    #[must_use]
+    pub fn chrome_trace(&self, process_name: &str) -> telemetry::chrome::ChromeTrace {
+        self.trace.chrome_trace(process_name, self.cols)
+    }
 }
 
 /// The simulator: a mesh of PEs, a routing fabric, and an event queue.
@@ -149,6 +210,8 @@ pub struct Simulator {
     events: BinaryHeap<Event>,
     seq: u64,
     trace: Trace,
+    /// Per-PE stage attribution, populated only with an enabled recorder.
+    stage_cycles: Vec<BTreeMap<String, f64>>,
 }
 
 impl Simulator {
@@ -166,6 +229,7 @@ impl Simulator {
             events: BinaryHeap::new(),
             seq: 0,
             trace: Trace::default(),
+            stage_cycles: vec![BTreeMap::new(); n],
             config,
         }
     }
@@ -185,7 +249,13 @@ impl Simulator {
     }
 
     /// Install a routing rule for `color` at `pe`.
-    pub fn route(&mut self, pe: PeId, color: Color, input: Option<Direction>, outputs: &[Direction]) {
+    pub fn route(
+        &mut self,
+        pe: PeId,
+        color: Color,
+        input: Option<Direction>,
+        outputs: &[Direction],
+    ) {
         self.fabric.set_rule(
             pe,
             color,
@@ -214,7 +284,10 @@ impl Simulator {
         let prev = self.pes[idx]
             .pending_recv
             .insert(color, PendingRecv { extent, task });
-        assert!(prev.is_none(), "{pe} already has a pending receive on {color}");
+        assert!(
+            prev.is_none(),
+            "{pe} already has a pending receive on {color}"
+        );
     }
 
     /// Schedule an explicit task activation at `time` (the host-side kick
@@ -236,7 +309,14 @@ impl Simulator {
         let mut t = start;
         for block in blocks {
             let n = block.len() as f64;
-            self.push_event(t + n, EventKind::Deliver { pe, color, data: block });
+            self.push_event(
+                t + n,
+                EventKind::Deliver {
+                    pe,
+                    color,
+                    data: block,
+                },
+            );
             t += n;
         }
     }
@@ -322,22 +402,43 @@ impl Simulator {
             outputs.push(std::mem::take(&mut s.outputs));
             pe_stats.push(s.stats);
         }
+        if self.config.recorder.is_enabled() {
+            let r = &self.config.recorder;
+            r.count("sim.tasks", stats.total_tasks);
+            r.count("sim.wavelets_sent", stats.total_wavelets);
+            r.count("sim.active_pes", stats.active_pes as u64);
+            r.observe("sim.finish_cycle", stats.finish_cycle);
+            for (s, per_pe) in pe_stats.iter().zip(&self.pes) {
+                if s.tasks_run > 0 {
+                    r.observe("sim.pe_busy_cycles", s.busy_cycles);
+                    r.observe("sim.pe_mem_peak_bytes", per_pe.memory.peak() as f64);
+                }
+            }
+        }
         Ok(RunReport {
             outputs,
             pe_stats,
             stats,
             cols: self.config.cols,
             trace: std::mem::take(&mut self.trace),
+            stage_cycles: std::mem::take(&mut self.stage_cycles),
         })
     }
 
     /// Execute one task activation; returns the task's end time.
-    fn run_task(&mut self, idx: usize, pe: PeId, task: TaskId, start: f64) -> Result<f64, SimError> {
+    fn run_task(
+        &mut self,
+        idx: usize,
+        pe: PeId,
+        task: TaskId,
+        start: f64,
+    ) -> Result<f64, SimError> {
         let mut program = self.pes[idx]
             .program
             .take()
             .unwrap_or_else(|| panic!("{pe} activated task {task:?} but has no program"));
         let state = &mut self.pes[idx];
+        let attribution = self.config.recorder.is_enabled();
         let mut ctx = TaskCtx {
             pe,
             now: start,
@@ -346,10 +447,16 @@ impl Simulator {
             completed: &mut state.completed,
             charged: 0.0,
             effects: Vec::new(),
+            attribution,
+            stage: None,
+            stage_base: 0.0,
+            stage_charges: Vec::new(),
         };
         let result = program.on_task(&mut ctx, task);
+        ctx.close_stage_segment();
         let charged = ctx.charged;
         let effects = std::mem::take(&mut ctx.effects);
+        let stage_charges = std::mem::take(&mut ctx.stage_charges);
         drop(ctx);
         self.pes[idx].program = Some(program);
         result?;
@@ -361,12 +468,28 @@ impl Simulator {
             s.tasks_run += 1;
             s.last_active = end;
         }
+        if attribution {
+            // Every busy cycle lands in exactly one stage: the labelled
+            // segments, plus the fixed activation cost under "dispatch", so
+            // stage totals sum to busy cycles.
+            let per_pe = &mut self.stage_cycles[idx];
+            *per_pe.entry("dispatch".to_owned()).or_insert(0.0) += self.config.cost.task_overhead;
+            for (stage, cycles) in &stage_charges {
+                *per_pe.entry(stage.clone()).or_insert(0.0) += cycles;
+            }
+        }
         if self.config.trace {
+            // Label the slice with the task's dominant stage, when known.
+            let label = stage_charges
+                .iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(stage, _)| stage.clone());
             self.trace.record(TraceEvent {
                 pe,
                 task,
                 start,
                 end,
+                label,
             });
         }
         for effect in effects {
@@ -381,7 +504,14 @@ impl Simulator {
                     let path = self.fabric.resolve_path(pe, color, None)?;
                     let (src_done, delivered) = self.fabric.schedule_stream(&path, n, end);
                     let dest = path.dest;
-                    self.push_event(delivered, EventKind::Deliver { pe: dest, color, data });
+                    self.push_event(
+                        delivered,
+                        EventKind::Deliver {
+                            pe: dest,
+                            color,
+                            data,
+                        },
+                    );
                     if let Some(t) = activate {
                         self.push_event(src_done, EventKind::Activate { pe, task: t });
                     }
@@ -392,9 +522,13 @@ impl Simulator {
                     activate,
                 } => {
                     let state = &mut self.pes[idx];
-                    let prev = state
-                        .pending_recv
-                        .insert(color, PendingRecv { extent, task: activate });
+                    let prev = state.pending_recv.insert(
+                        color,
+                        PendingRecv {
+                            extent,
+                            task: activate,
+                        },
+                    );
                     assert!(prev.is_none(), "{pe} double-posted a receive on {color}");
                     if let Some(t) = state.try_complete_recv(color) {
                         self.push_event(end, EventKind::Activate { pe, task: t });
@@ -592,6 +726,86 @@ mod tests {
         sim.set_program(PeId::new(0, 0), Box::new(Hog));
         sim.activate(PeId::new(0, 0), T0, 0.0);
         assert!(matches!(sim.run(), Err(SimError::OutOfMemory { .. })));
+    }
+
+    /// Program charging under two labelled stages plus an unlabelled tail.
+    struct Staged;
+    impl PeProgram for Staged {
+        fn on_task(&mut self, ctx: &mut TaskCtx<'_>, _t: TaskId) -> Result<(), SimError> {
+            ctx.begin_stage("quant-mul");
+            ctx.charge(Op::I32Add, 10);
+            ctx.begin_stage("lorenzo");
+            ctx.charge(Op::I32Add, 5);
+            ctx.begin_stage("");
+            ctx.charge(Op::I32Add, 3);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn stage_attribution_sums_to_busy_cycles() {
+        let recorder = telemetry::Recorder::enabled();
+        let cfg = MeshConfig::new(1, 1)
+            .with_cost(CostModel::unit())
+            .with_recorder(recorder.clone());
+        let mut sim = Simulator::new(cfg);
+        sim.set_program(PeId::new(0, 0), Box::new(Staged));
+        sim.activate(PeId::new(0, 0), T0, 0.0);
+        let report = sim.run().unwrap();
+
+        assert!(report.has_stage_attribution());
+        let totals = report.stage_totals();
+        assert_eq!(totals["quant-mul"], 10.0);
+        assert_eq!(totals["lorenzo"], 5.0);
+        assert_eq!(totals[""], 3.0); // empty label is still a label
+        assert_eq!(totals["dispatch"], 1.0); // unit task overhead
+        let attributed: f64 = totals.values().sum();
+        assert_eq!(attributed, report.stats().total_busy_cycles);
+        // The recorder saw the run counters.
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counters["sim.tasks"], 1);
+        assert_eq!(snap.histograms["sim.pe_busy_cycles"].count, 1);
+    }
+
+    #[test]
+    fn unlabelled_charges_fall_into_unattributed() {
+        let cfg = MeshConfig::new(1, 1)
+            .with_cost(CostModel::unit())
+            .with_recorder(telemetry::Recorder::enabled());
+        let mut sim = Simulator::new(cfg);
+        sim.set_program(PeId::new(0, 0), Box::new(Burn(7)));
+        sim.activate(PeId::new(0, 0), T0, 0.0);
+        let report = sim.run().unwrap();
+        let totals = report.stage_totals();
+        assert_eq!(totals["unattributed"], 7.0);
+        assert_eq!(totals["dispatch"], 1.0);
+    }
+
+    #[test]
+    fn disabled_recorder_collects_no_attribution() {
+        let cfg = MeshConfig::new(1, 1).with_cost(CostModel::unit());
+        let mut sim = Simulator::new(cfg);
+        sim.set_program(PeId::new(0, 0), Box::new(Staged));
+        sim.activate(PeId::new(0, 0), T0, 0.0);
+        let report = sim.run().unwrap();
+        assert!(!report.has_stage_attribution());
+        assert!(report.stage_totals().is_empty());
+        assert_eq!(report.stats().finish_cycle, 19.0); // timing unchanged
+    }
+
+    #[test]
+    fn trace_slices_carry_dominant_stage_label() {
+        let cfg = MeshConfig::new(1, 1)
+            .with_cost(CostModel::unit())
+            .with_recorder(telemetry::Recorder::enabled())
+            .with_trace();
+        let mut sim = Simulator::new(cfg);
+        sim.set_program(PeId::new(0, 0), Box::new(Staged));
+        sim.activate(PeId::new(0, 0), T0, 0.0);
+        let report = sim.run().unwrap();
+        let events = report.trace().events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].label.as_deref(), Some("quant-mul"));
     }
 
     #[test]

@@ -83,6 +83,43 @@ mod tests {
     }
 
     #[test]
+    fn zero_active_pes_yields_zero_utilization() {
+        let s = SimStats {
+            finish_cycle: 100.0,
+            total_busy_cycles: 0.0,
+            active_pes: 0,
+            ..SimStats::default()
+        };
+        assert_eq!(s.utilization(), 0.0);
+    }
+
+    #[test]
+    fn zero_finish_cycle_yields_zero_utilization() {
+        let s = SimStats {
+            finish_cycle: 0.0,
+            total_busy_cycles: 50.0,
+            active_pes: 4,
+            ..SimStats::default()
+        };
+        assert_eq!(s.utilization(), 0.0);
+        assert_eq!(s.throughput_gbps(1000, 850e6), 0.0);
+    }
+
+    #[test]
+    fn fully_busy_pes_cap_at_one() {
+        // Non-preemptive PEs can't be busy for more than the whole run, so a
+        // consistent report never exceeds utilization 1.0.
+        let s = SimStats {
+            finish_cycle: 200.0,
+            total_busy_cycles: 200.0 * 8.0,
+            active_pes: 8,
+            ..SimStats::default()
+        };
+        assert!((s.utilization() - 1.0).abs() < 1e-12);
+        assert!(s.utilization() <= 1.0);
+    }
+
+    #[test]
     fn throughput_math() {
         let s = SimStats {
             finish_cycle: 850e6, // one second at CS-2 clock

@@ -9,7 +9,7 @@ use crate::geom::PeId;
 use crate::program::TaskId;
 
 /// One executed task.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     /// The PE that ran it.
     pub pe: PeId,
@@ -19,6 +19,10 @@ pub struct TraceEvent {
     pub start: f64,
     /// End cycle.
     pub end: f64,
+    /// Dominant kernel stage of the task (most charged cycles), when stage
+    /// attribution was active during the run. Used as the slice name by the
+    /// Perfetto exporter.
+    pub label: Option<String>,
 }
 
 /// A recorded timeline.
@@ -41,7 +45,7 @@ impl Trace {
     /// Events of one PE.
     #[must_use]
     pub fn events_of(&self, pe: PeId) -> Vec<TraceEvent> {
-        self.events.iter().copied().filter(|e| e.pe == pe).collect()
+        self.events.iter().filter(|e| e.pe == pe).cloned().collect()
     }
 
     /// Render an ASCII Gantt chart of the first `window` cycles, one row per
@@ -62,8 +66,12 @@ impl Trace {
                 if e.start >= window {
                     continue;
                 }
-                let a = (e.start / scale) as usize;
-                let b = ((e.end.min(window) / scale) as usize).min(width.saturating_sub(1));
+                // Clamp both indices into the row: a start that rounds onto
+                // the right edge (e.start / scale == width) must not index
+                // past the buffer, and after clamping the end must not fall
+                // before the start (zero-length events at the edge).
+                let a = ((e.start / scale) as usize).min(width - 1);
+                let b = ((e.end.min(window) / scale) as usize).clamp(a, width - 1);
                 for c in &mut row[a..=b] {
                     *c = b'#';
                 }
@@ -80,6 +88,39 @@ impl Trace {
             window,
             width = width
         ));
+        out
+    }
+
+    /// Export the timeline as a Chrome-trace document (loadable in
+    /// Perfetto / `chrome://tracing`): one process named `process_name`, one
+    /// thread track per PE, one complete slice per task. Slice names use the
+    /// event's stage label when present, else the task id. Cycles map to
+    /// trace microseconds 1:1, so 1 "µs" on screen is 1 simulated cycle.
+    #[must_use]
+    pub fn chrome_trace(&self, process_name: &str, cols: usize) -> telemetry::chrome::ChromeTrace {
+        const PID: u64 = 1;
+        let mut out = telemetry::chrome::ChromeTrace::new();
+        out.set_process_name(PID, process_name);
+        let mut pes: Vec<PeId> = self.events.iter().map(|e| e.pe).collect();
+        pes.sort_unstable();
+        pes.dedup();
+        for pe in &pes {
+            out.set_thread_name(PID, pe.index(cols) as u64, format!("{pe}"));
+        }
+        for e in &self.events {
+            let name = match &e.label {
+                Some(label) => label.clone(),
+                None => format!("task-{}", e.task.0),
+            };
+            out.complete_slice(
+                PID,
+                e.pe.index(cols) as u64,
+                name,
+                "task",
+                e.start,
+                e.end - e.start,
+            );
+        }
         out
     }
 
@@ -109,6 +150,7 @@ mod tests {
             task: TaskId(0),
             start,
             end,
+            label: None,
         }
     }
 
@@ -140,5 +182,65 @@ mod tests {
     #[test]
     fn empty_trace_renders_empty() {
         assert!(Trace::default().gantt(100.0, 10).is_empty());
+    }
+
+    #[test]
+    fn chrome_trace_has_one_track_per_pe_and_one_slice_per_task() {
+        let mut t = Trace::default();
+        t.record(ev(0, 0.0, 10.0));
+        t.record(ev(1, 5.0, 20.0));
+        t.record(TraceEvent {
+            pe: PeId::new(0, 0),
+            task: TaskId(3),
+            start: 12.0,
+            end: 14.0,
+            label: Some("lorenzo".into()),
+        });
+        let doc = t.chrome_trace("test mesh", 4).to_json();
+        let text = doc.to_pretty();
+        let parsed = telemetry::json::parse(&text).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        let metas: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .collect();
+        let slices: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+        // 1 process_name + 2 thread_name entries, one slice per task.
+        assert_eq!(metas.len(), 3);
+        assert_eq!(slices.len(), 3);
+        let names: Vec<_> = slices
+            .iter()
+            .map(|s| s.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert!(names.contains(&"task-0"));
+        assert!(names.contains(&"lorenzo"));
+    }
+
+    #[test]
+    fn gantt_start_on_right_edge_does_not_panic() {
+        // With window 1.0 and width 3 the scale is 1/3, and a start one ulp
+        // below the window divides to exactly 3.0 — the unclamped start
+        // index used to slice `row[3..=2]` and panic.
+        let start = f64::from_bits(1.0f64.to_bits() - 1);
+        let mut t = Trace::default();
+        t.record(ev(0, start, 1.5));
+        let g = t.gantt(1.0, 3);
+        let bar = g.lines().next().unwrap().split('|').nth(1).unwrap();
+        assert_eq!(bar, "..#");
+    }
+
+    #[test]
+    fn gantt_clamps_start_after_end_to_one_cell() {
+        // Same right-edge rounding with the event end clamped to the window:
+        // after clamping, start > end must still mark exactly one cell.
+        let start = f64::from_bits(1.0f64.to_bits() - 1);
+        let mut t = Trace::default();
+        t.record(ev(0, start, start));
+        let g = t.gantt(1.0, 3);
+        let bar = g.lines().next().unwrap().split('|').nth(1).unwrap();
+        assert_eq!(bar, "..#");
     }
 }

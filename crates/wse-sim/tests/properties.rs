@@ -3,8 +3,7 @@
 
 use proptest::prelude::*;
 use wse_sim::{
-    Color, CostModel, MeshConfig, Op, PeId, PeProgram, SimError, Simulator, TaskCtx,
-    TaskId,
+    Color, CostModel, MeshConfig, Op, PeId, PeProgram, SimError, Simulator, TaskCtx, TaskId,
 };
 
 const C0: Color = Color::new(0);

@@ -11,7 +11,10 @@ use ceresz::quality::{psnr, ssim_2d, RateDistortionPoint, SsimConfig};
 fn main() {
     let ds = DatasetId::CesmAtm;
     let spec = ds.spec();
-    println!("CESM-ATM archive sweep ({} synthetic fields)", spec.synthetic_fields.len());
+    println!(
+        "CESM-ATM archive sweep ({} synthetic fields)",
+        spec.synthetic_fields.len()
+    );
     println!(
         "{:<10} {:>8} {:>10} {:>10} {:>10} {:>8}",
         "field", "REL", "bits/val", "ratio", "PSNR dB", "SSIM"

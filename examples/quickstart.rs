@@ -11,7 +11,12 @@ use ceresz::data::{generate_field, DatasetId};
 fn main() {
     // A NYX-like cosmology temperature cube (synthetic, deterministic).
     let field = generate_field(DatasetId::Nyx, 2, 7);
-    println!("field: {} ({} values, {} MB)", field.name, field.len(), field.bytes() / 1_000_000);
+    println!(
+        "field: {} ({} values, {} MB)",
+        field.name,
+        field.len(),
+        field.bytes() / 1_000_000
+    );
 
     // Value-range-relative bound: every point within 0.1% of the range.
     let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
@@ -33,7 +38,11 @@ fn main() {
     );
 
     let restored = decompress_parallel(&compressed).expect("stream decompresses");
-    assert!(verify_error_bound(&field.data, &restored, compressed.stats.eps));
+    assert!(verify_error_bound(
+        &field.data,
+        &restored,
+        compressed.stats.eps
+    ));
     println!(
         "verified: max error {:.3e} <= eps {:.3e}",
         ceresz::core::max_abs_error(&field.data, &restored),

@@ -15,7 +15,10 @@ fn main() {
     let mut raw_total = 0usize;
     let mut compressed_total = 0usize;
     println!("inline RTM snapshot compression (REL 1e-3):");
-    println!("{:<16} {:>9} {:>12} {:>8} {:>14}", "snapshot", "zeros", "bytes", "ratio", "wafer GB/s");
+    println!(
+        "{:<16} {:>9} {:>12} {:>8} {:>14}",
+        "snapshot", "zeros", "bytes", "ratio", "wafer GB/s"
+    );
     for i in 0..3 {
         let snap = generate_field(DatasetId::Rtm, i, 11);
         let c = compress_parallel(&snap.data, &cfg).expect("snapshot compresses");

@@ -28,7 +28,11 @@ fn main() {
         let cycles: f64 = group.iter().map(|&i| plan.stages[i].cycles).sum();
         println!("  PE {pe}: {:>7.0} cycles  [{}]", cycles, names.join(", "));
     }
-    println!("bottleneck: {:.0} cycles (ideal C/4 = {:.0})", plan.bottleneck_cycles(), plan.total_cycles / 4.0);
+    println!(
+        "bottleneck: {:.0} cycles (ideal C/4 = {:.0})",
+        plan.bottleneck_cycles(),
+        plan.total_cycles / 4.0
+    );
 
     let cycles: Vec<f64> = plan.stages.iter().map(|s| s.cycles).collect();
     println!(

@@ -3,19 +3,31 @@
 //!
 //! ```text
 //! ceresz compress   <in.f32> <out.csz> [--rel 1e-3 | --abs 0.01] [--block 32]
-//! ceresz decompress <in.csz> <out.f32>
+//!                   [--profile-out p.json]
+//! ceresz decompress <in.csz> <out.f32> [--profile-out p.json]
 //! ceresz info       <in.csz>
 //! ceresz verify     <orig.f32> <in.csz>
+//! ceresz profile    <in.f32> [--rel L | --abs E] [--block N]
+//!                   [--strategy row-parallel|pipeline|multi-pipeline]
+//!                   [--rows R] [--len L] [--pipelines P] [--limit N]
+//!                   [--out profile.json] [--trace-out trace.json]
 //! ```
+//!
+//! `profile` runs the chosen mapping strategy on the event simulator with
+//! per-stage cycle attribution and timeline tracing enabled, prints the
+//! stage table (the shape of the paper's Tables 1–3), and writes the
+//! machine-readable `profile.json` plus a Perfetto-loadable Chrome trace.
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use ceresz::core::{
-    compress_parallel, decompress_bytes_parallel, max_abs_error, verify_error_bound,
-    CereszConfig, ErrorBound,
-};
 use ceresz::core::stream::StreamHeader;
+use ceresz::core::{
+    compress_parallel, decompress_bytes_parallel, max_abs_error, verify_error_bound, CereszConfig,
+    ErrorBound,
+};
+use ceresz::telemetry::Recorder;
+use ceresz::wse::{profile_compression, MappingStrategy};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,10 +37,18 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("usage:");
-            eprintln!("  ceresz compress   <in.f32> <out.csz> [--rel L | --abs E] [--block N]");
-            eprintln!("  ceresz decompress <in.csz> <out.f32>");
+            eprintln!(
+                "  ceresz compress   <in.f32> <out.csz> [--rel L | --abs E] [--block N] \
+                 [--profile-out p.json]"
+            );
+            eprintln!("  ceresz decompress <in.csz> <out.f32> [--profile-out p.json]");
             eprintln!("  ceresz info       <in.csz>");
             eprintln!("  ceresz verify     <orig.f32> <in.csz>");
+            eprintln!(
+                "  ceresz profile    <in.f32> [--rel L | --abs E] [--block N] \
+                 [--strategy S] [--rows R] [--len L] [--pipelines P] [--limit N] \
+                 [--out profile.json] [--trace-out trace.json]"
+            );
             ExitCode::FAILURE
         }
     }
@@ -40,6 +60,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("decompress") => cmd_decompress(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("missing command".into()),
     }
@@ -48,7 +69,10 @@ fn run(args: &[String]) -> Result<(), String> {
 fn read_f32(path: &str) -> Result<Vec<f32>, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
     if bytes.len() % 4 != 0 {
-        return Err(format!("{path}: size {} is not a multiple of 4", bytes.len()));
+        return Err(format!(
+            "{path}: size {} is not a multiple of 4",
+            bytes.len()
+        ));
     }
     Ok(bytes
         .chunks_exact(4)
@@ -56,54 +80,115 @@ fn read_f32(path: &str) -> Result<Vec<f32>, String> {
         .collect())
 }
 
-fn parse_flags(args: &[String]) -> Result<(Vec<&str>, ErrorBound, usize), String> {
-    let mut positional = Vec::new();
-    let mut bound = ErrorBound::Rel(1e-3);
-    let mut block = 32usize;
+/// All flags any subcommand accepts; each command reads the subset it needs.
+struct Flags {
+    positional: Vec<String>,
+    bound: ErrorBound,
+    block: usize,
+    /// `--profile-out`: write a wall-clock telemetry snapshot here.
+    profile_out: Option<String>,
+    /// `profile` options.
+    strategy: String,
+    rows: usize,
+    len: usize,
+    pipelines: usize,
+    /// Max values fed to the event simulator (0 = no limit).
+    limit: usize,
+    out: Option<String>,
+    trace_out: Option<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut f = Flags {
+        positional: Vec::new(),
+        bound: ErrorBound::Rel(1e-3),
+        block: 32,
+        profile_out: None,
+        strategy: "pipeline".to_owned(),
+        rows: 2,
+        len: 4,
+        pipelines: 2,
+        limit: 32 * 512,
+        out: None,
+        trace_out: None,
+    };
     let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        let flag = &args[*i];
+        let v = args
+            .get(*i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .clone();
+        *i += 2;
+        Ok(v)
+    };
     while i < args.len() {
         match args[i].as_str() {
-            "--rel" | "--abs" => {
-                let v: f64 = args
-                    .get(i + 1)
-                    .ok_or_else(|| format!("{} needs a value", args[i]))?
-                    .parse()
-                    .map_err(|e| format!("{}: {e}", args[i]))?;
-                bound = if args[i] == "--rel" {
-                    ErrorBound::Rel(v)
-                } else {
-                    ErrorBound::Abs(v)
-                };
-                i += 2;
-            }
-            "--block" => {
-                block = args
-                    .get(i + 1)
-                    .ok_or("--block needs a value")?
-                    .parse()
-                    .map_err(|e| format!("--block: {e}"))?;
-                i += 2;
-            }
+            "--rel" => f.bound = ErrorBound::Rel(parse_num(&value(&mut i)?, "--rel")?),
+            "--abs" => f.bound = ErrorBound::Abs(parse_num(&value(&mut i)?, "--abs")?),
+            "--block" => f.block = parse_usize(&value(&mut i)?, "--block")?,
+            "--profile-out" => f.profile_out = Some(value(&mut i)?),
+            "--strategy" => f.strategy = value(&mut i)?,
+            "--rows" => f.rows = parse_usize(&value(&mut i)?, "--rows")?,
+            "--len" => f.len = parse_usize(&value(&mut i)?, "--len")?,
+            "--pipelines" => f.pipelines = parse_usize(&value(&mut i)?, "--pipelines")?,
+            "--limit" => f.limit = parse_usize(&value(&mut i)?, "--limit")?,
+            "--out" => f.out = Some(value(&mut i)?),
+            "--trace-out" => f.trace_out = Some(value(&mut i)?),
             other => {
-                positional.push(other);
+                f.positional.push(other.to_owned());
                 i += 1;
             }
         }
     }
-    Ok((positional, bound, block))
+    Ok(f)
+}
+
+fn parse_num(s: &str, flag: &str) -> Result<f64, String> {
+    s.parse().map_err(|e| format!("{flag}: {e}"))
+}
+
+fn parse_usize(s: &str, flag: &str) -> Result<usize, String> {
+    s.parse().map_err(|e| format!("{flag}: {e}"))
+}
+
+/// Write `doc` as pretty JSON to `path`.
+fn write_json(path: &str, doc: &ceresz::telemetry::json::JsonValue) -> Result<(), String> {
+    std::fs::write(path, doc.to_pretty()).map_err(|e| format!("writing {path}: {e}"))
 }
 
 fn cmd_compress(args: &[String]) -> Result<(), String> {
-    let (pos, bound, block) = parse_flags(args)?;
-    let [input, output] = pos.as_slice() else {
+    let f = parse_flags(args)?;
+    let [input, output] = f.positional.as_slice() else {
         return Err("compress needs <in.f32> <out.csz>".into());
     };
-    let data = read_f32(input)?;
-    let cfg = CereszConfig::new(bound).with_block_size(block);
+    let recorder = if f.profile_out.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    let data = {
+        let _span = recorder.wall_span("read-input");
+        read_f32(input)?
+    };
+    let cfg = CereszConfig::new(f.bound).with_block_size(f.block);
     let t0 = std::time::Instant::now();
-    let c = compress_parallel(&data, &cfg).map_err(|e| e.to_string())?;
+    let c = {
+        let _span = recorder.wall_span("compress");
+        compress_parallel(&data, &cfg).map_err(|e| e.to_string())?
+    };
     let dt = t0.elapsed();
-    std::fs::write(output, &c.data).map_err(|e| format!("writing {output}: {e}"))?;
+    {
+        let _span = recorder.wall_span("write-output");
+        std::fs::write(output, &c.data).map_err(|e| format!("writing {output}: {e}"))?;
+    }
+    if let Some(path) = &f.profile_out {
+        recorder.count("original_bytes", c.stats.original_bytes as u64);
+        recorder.count("compressed_bytes", c.stats.compressed_bytes as u64);
+        recorder.count("blocks", c.stats.n_blocks as u64);
+        write_json(path, &recorder.snapshot().to_json())?;
+        println!("wall-clock profile written to {path}");
+    }
     println!(
         "{} -> {}: {} -> {} bytes (ratio {:.2}x) in {:.1} ms",
         input,
@@ -121,19 +206,101 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_decompress(args: &[String]) -> Result<(), String> {
-    let [input, output] = args else {
+    let f = parse_flags(args)?;
+    let [input, output] = f.positional.as_slice() else {
         return Err("decompress needs <in.csz> <out.f32>".into());
     };
-    let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
-    let restored = decompress_bytes_parallel(&bytes).map_err(|e| e.to_string())?;
-    let mut out = Vec::with_capacity(restored.len() * 4);
-    for v in &restored {
-        out.extend_from_slice(&v.to_le_bytes());
+    let recorder = if f.profile_out.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    let bytes = {
+        let _span = recorder.wall_span("read-input");
+        std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?
+    };
+    let restored = {
+        let _span = recorder.wall_span("decompress");
+        decompress_bytes_parallel(&bytes).map_err(|e| e.to_string())?
+    };
+    {
+        let _span = recorder.wall_span("write-output");
+        let mut out = Vec::with_capacity(restored.len() * 4);
+        for v in &restored {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        std::fs::write(Path::new(output.as_str()), &out)
+            .map_err(|e| format!("writing {output}: {e}"))?;
     }
-    std::fs::write(Path::new(output.as_str()), &out)
-        .map_err(|e| format!("writing {output}: {e}"))?;
+    if let Some(path) = &f.profile_out {
+        recorder.count("compressed_bytes", bytes.len() as u64);
+        recorder.count("restored_values", restored.len() as u64);
+        write_json(path, &recorder.snapshot().to_json())?;
+        println!("wall-clock profile written to {path}");
+    }
     println!("{input} -> {output}: {} values restored", restored.len());
     Ok(())
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let f = parse_flags(args)?;
+    let [input] = f.positional.as_slice() else {
+        return Err("profile needs <in.f32>".into());
+    };
+    let mut data = read_f32(input)?;
+    let total = data.len();
+    if f.limit > 0 && data.len() > f.limit {
+        data.truncate(f.limit);
+        println!(
+            "profiling the first {} of {total} values (raise with --limit N, 0 = all)",
+            data.len()
+        );
+    }
+    let strategy = match f.strategy.as_str() {
+        "row-parallel" => MappingStrategy::RowParallel { rows: f.rows },
+        "pipeline" => MappingStrategy::Pipeline {
+            rows: f.rows,
+            pipeline_length: f.len,
+        },
+        "multi-pipeline" => MappingStrategy::MultiPipeline {
+            rows: f.rows,
+            pipeline_length: f.len,
+            pipelines_per_row: f.pipelines,
+        },
+        other => {
+            return Err(format!(
+                "unknown strategy '{other}' (row-parallel | pipeline | multi-pipeline)"
+            ))
+        }
+    };
+    let cfg = CereszConfig::new(f.bound).with_block_size(f.block);
+    let profile = ceresz_profile(&data, &cfg, strategy)?;
+    print!("{}", profile.report.render_table());
+    println!(
+        "\n  ratio {:.2}x   simulated throughput {:.2} GB/s",
+        profile.run.compressed.ratio(),
+        profile.run.throughput_gbps()
+    );
+
+    let out = f.out.as_deref().unwrap_or("profile.json");
+    let mut doc = profile.report.to_json();
+    if let ceresz::telemetry::json::JsonValue::Obj(fields) = &mut doc {
+        fields.push(("telemetry".to_owned(), profile.snapshot.to_json()));
+    }
+    write_json(out, &doc)?;
+    let trace_out = f.trace_out.as_deref().unwrap_or("trace.json");
+    write_json(trace_out, &profile.trace.to_json())?;
+    println!("profile written to {out}, Perfetto trace to {trace_out}");
+    Ok(())
+}
+
+/// Run [`profile_compression`] with CLI-friendly error mapping.
+fn ceresz_profile(
+    data: &[f32],
+    cfg: &CereszConfig,
+    strategy: MappingStrategy,
+) -> Result<ceresz::wse::CompressionProfile, String> {
+    profile_compression(data, cfg, strategy).map_err(|e| e.to_string())
 }
 
 fn cmd_info(args: &[String]) -> Result<(), String> {

@@ -14,6 +14,8 @@
 //! * [`baselines`] — SZ3, SZp, cuSZ, cuSZp reimplementations and device
 //!   throughput models.
 //! * [`huffman`] — the canonical Huffman substrate.
+//! * [`telemetry`] — profiling primitives (counters, histograms, spans) and
+//!   the Perfetto / `profile.json` exporters behind `ceresz profile`.
 //!
 //! ## Quickstart
 //!
@@ -34,4 +36,5 @@ pub use ceresz_wse as wse;
 pub use datasets as data;
 pub use huffman;
 pub use metrics as quality;
+pub use telemetry;
 pub use wse_sim as sim;

@@ -46,7 +46,10 @@ fn ratio_ordering_matches_the_paper() {
     // (4-byte headers); cuSZ competitive with CereSZ.
     let field = generate_field(DatasetId::CesmAtm, 0, 42);
     let bound = ErrorBound::Rel(1e-2);
-    let sz = Sz3.compress(&field.data, &field.dims, bound).unwrap().ratio();
+    let sz = Sz3
+        .compress(&field.data, &field.dims, bound)
+        .unwrap()
+        .ratio();
     let szp = Szp::default()
         .compress(&field.data, &field.dims, bound)
         .unwrap()
@@ -92,8 +95,14 @@ fn zero_block_ceilings_match_header_widths() {
     let data = vec![0f32; 32 * 4096];
     let bound = ErrorBound::Abs(1e-3);
     let ceresz = ceresz::core::compress(&data, &CereszConfig::new(bound)).unwrap();
-    assert!((ceresz.ratio() - 32.0).abs() < 1.0, "CereSZ {}", ceresz.ratio());
-    let szp = Szp::default().compress(&data, &[data.len()], bound).unwrap();
+    assert!(
+        (ceresz.ratio() - 32.0).abs() < 1.0,
+        "CereSZ {}",
+        ceresz.ratio()
+    );
+    let szp = Szp::default()
+        .compress(&data, &[data.len()], bound)
+        .unwrap();
     assert!((szp.ratio() - 128.0).abs() < 4.0, "SZp {}", szp.ratio());
 }
 

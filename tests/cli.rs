@@ -39,14 +39,24 @@ fn compress_decompress_verify_roundtrip() {
     write_f32(&orig_path, &data);
 
     let st = Command::new(bin())
-        .args(["compress", orig_path.to_str().unwrap(), csz_path.to_str().unwrap(), "--rel", "1e-3"])
+        .args([
+            "compress",
+            orig_path.to_str().unwrap(),
+            csz_path.to_str().unwrap(),
+            "--rel",
+            "1e-3",
+        ])
         .status()
         .unwrap();
     assert!(st.success());
     assert!(csz_path.metadata().unwrap().len() < orig_path.metadata().unwrap().len());
 
     let st = Command::new(bin())
-        .args(["decompress", csz_path.to_str().unwrap(), out_path.to_str().unwrap()])
+        .args([
+            "decompress",
+            csz_path.to_str().unwrap(),
+            out_path.to_str().unwrap(),
+        ])
         .status()
         .unwrap();
     assert!(st.success());
@@ -54,7 +64,11 @@ fn compress_decompress_verify_roundtrip() {
     assert_eq!(restored.len(), data.len());
 
     let out = Command::new(bin())
-        .args(["verify", orig_path.to_str().unwrap(), csz_path.to_str().unwrap()])
+        .args([
+            "verify",
+            orig_path.to_str().unwrap(),
+            csz_path.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -68,7 +82,13 @@ fn info_reports_stream_metadata() {
     let csz_path = dir.join("data.csz");
     write_f32(&orig_path, &vec![1.25f32; 4096]);
     Command::new(bin())
-        .args(["compress", orig_path.to_str().unwrap(), csz_path.to_str().unwrap(), "--abs", "0.01"])
+        .args([
+            "compress",
+            orig_path.to_str().unwrap(),
+            csz_path.to_str().unwrap(),
+            "--abs",
+            "0.01",
+        ])
         .status()
         .unwrap();
     let out = Command::new(bin())

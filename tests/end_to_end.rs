@@ -94,7 +94,10 @@ fn quality_metrics_improve_with_tighter_bounds() {
         let c = compress(&field.data, &CereszConfig::new(ErrorBound::Rel(rel))).unwrap();
         let r = decompress(&c).unwrap();
         let p = ceresz::quality::psnr(&field.data, &r);
-        assert!(p > last_psnr, "PSNR not improving at REL {rel}: {p} vs {last_psnr}");
+        assert!(
+            p > last_psnr,
+            "PSNR not improving at REL {rel}: {p} vs {last_psnr}"
+        );
         last_psnr = p;
     }
     // Uniform quantization at ε = 1e-4·range floors PSNR at

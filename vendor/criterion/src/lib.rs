@@ -1,0 +1,219 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no network access, so this vendored crate
+//! implements the `criterion_group!` / `criterion_main!` surface the
+//! workspace benches use, backed by a plain wall-clock runner: each
+//! `bench_function` is warmed up, then timed adaptively until ~100 ms of
+//! samples accumulate, and the mean ns/iter (plus throughput, when set) is
+//! printed. No statistics, plotting, or baseline storage.
+//!
+//! When the binary is invoked by `cargo test` (any `--test`-style flag in
+//! argv), every benchmark body runs exactly once as a smoke test so test
+//! runs stay fast.
+
+use std::time::{Duration, Instant};
+
+/// Opaque hint preventing the optimizer from deleting a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A `group.bench_function` identifier: a name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("variant", param)`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// Passed to each benchmark closure; its [`iter`](Bencher::iter) runs and
+/// times the hot loop.
+pub struct Bencher<'a> {
+    smoke: bool,
+    result_ns: &'a mut f64,
+}
+
+impl Bencher<'_> {
+    /// Run `routine` repeatedly and record the mean time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            black_box(routine());
+            *self.result_ns = 0.0;
+            return;
+        }
+        // Warm-up: one call, then scale the batch to the ~100 ms budget.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let budget = Duration::from_millis(100);
+        let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        *self.result_ns = t1.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// A named set of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration workload for derived throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Accepted for API compatibility; the stand-in's single timed pass has
+    /// no sampling to configure.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut ns = f64::NAN;
+        let mut b = Bencher {
+            smoke: self.criterion.smoke,
+            result_ns: &mut ns,
+        };
+        f(&mut b);
+        if self.criterion.smoke {
+            println!("{}/{}: ok (smoke)", self.name, id);
+            return self;
+        }
+        let mut line = format!("{}/{}: {:.1} ns/iter", self.name, id, ns);
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                line.push_str(&format!(" ({:.1} Melem/s)", n as f64 / ns * 1e3));
+            }
+            Some(Throughput::Bytes(n)) => {
+                line.push_str(&format!(" ({:.2} GB/s)", n as f64 / ns));
+            }
+            None => {}
+        }
+        println!("{line}");
+        self
+    }
+
+    /// End the group (printing is incremental; nothing left to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness=false bench binaries with libtest-style
+        // flags; treat any of them as "run once and exit quickly".
+        let smoke = std::env::args().any(|a| {
+            a == "--test" || a == "--list" || a.starts_with("--format") || a == "--nocapture"
+        });
+        Self { smoke }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.benchmark_group(name.to_owned())
+            .bench_function("run", f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("sum");
+        g.throughput(Throughput::Elements(1000));
+        g.bench_function(BenchmarkId::new("seq", 1000), |b| {
+            b.iter(|| (0..1000u64).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn group_api_runs() {
+        let mut c = Criterion { smoke: true };
+        sample_bench(&mut c);
+    }
+}

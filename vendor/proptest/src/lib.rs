@@ -1,0 +1,315 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no network access, so this vendored crate
+//! implements the subset of proptest's API the workspace tests use:
+//!
+//! * the [`proptest!`] macro over `fn name(pat in strategy, …) { body }`
+//!   items with optional `#![proptest_config(…)]`;
+//! * numeric range strategies (`a..b`, `a..=b`), [`any`], and
+//!   [`prop::collection::vec`];
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Differences from upstream: case generation is seeded deterministically
+//! from the test name (no `PROPTEST_` env handling), and failing cases are
+//! **not shrunk** — the panic message carries the case index so a failure is
+//! still reproducible by rerunning the test.
+
+use rand::rngs::SmallRng;
+
+#[doc(hidden)]
+pub use rand;
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Mirrors `proptest::test_runner`.
+pub mod test_runner {
+    /// Number of generated cases per property.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// How many cases to generate.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+/// Mirrors `proptest::strategy`.
+pub mod strategy {
+    use super::SmallRng;
+    use rand::{Rng, SampleUniform};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Generate one value.
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+    }
+
+    impl<T: SampleUniform> Strategy for std::ops::Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            rng.gen_range(*self.start()..=*self.end())
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut SmallRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut SmallRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy of [`crate::any`]: the full domain of `T`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    impl<T: SampleUniform> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            rng.gen()
+        }
+    }
+
+    /// Strategy returning a fixed value (`proptest::strategy::Just`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Uniform over the whole domain of `T` (ints) or `[0, 1)` (floats).
+#[must_use]
+pub fn any<T: rand::SampleUniform>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// Mirrors the `proptest::prelude::prop` module path.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use rand::rngs::SmallRng;
+        use rand::Rng;
+
+        /// Length specification for [`vec`]: an exact length or a range.
+        #[derive(Debug, Clone)]
+        pub enum SizeRange {
+            /// Exactly this many elements.
+            Exact(usize),
+            /// Uniform within `[lo, hi)`.
+            Range(usize, usize),
+            /// Uniform within `[lo, hi]`.
+            Inclusive(usize, usize),
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange::Exact(n)
+            }
+        }
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> Self {
+                SizeRange::Range(r.start, r.end)
+            }
+        }
+        impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+                let (lo, hi) = r.into_inner();
+                SizeRange::Inclusive(lo, hi)
+            }
+        }
+
+        /// Strategy generating a `Vec` of `element` values.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                let n = match self.size {
+                    SizeRange::Exact(n) => n,
+                    SizeRange::Range(lo, hi) => rng.gen_range(lo..hi),
+                    SizeRange::Inclusive(lo, hi) => rng.gen_range(lo..=hi),
+                };
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// `prop::collection::vec(element, size)`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+}
+
+/// Deterministic per-test seed: FNV-1a of the test's name.
+#[must_use]
+pub fn seed_of(test_name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of one `fn` item per step. Each generated test runs
+/// `config.cases` deterministic cases; a failure panics with the case index.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __rng = <$crate::rand::rngs::SmallRng as $crate::rand::SeedableRng>::seed_from_u64(
+                $crate::seed_of(stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                let __run = || {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                };
+                if let Err(e) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run)) {
+                    eprintln!(
+                        "proptest stub: {} failed at case {}/{} (deterministic seed)",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases
+                    );
+                    ::std::panic::resume_unwind(e);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_vecs(
+            xs in prop::collection::vec(-10i64..10, 1..=20),
+            n in 1usize..5,
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() <= 20);
+            prop_assert!(xs.iter().all(|x| (-10..10).contains(x)));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn any_is_full_domain(mags in prop::collection::vec(any::<u32>(), 8..64)) {
+            prop_assert!(mags.len() >= 8 && mags.len() < 64);
+        }
+
+        #[test]
+        fn exact_size_vec(v in prop::collection::vec(-1e4f32..1e4, 32)) {
+            prop_assert_eq!(v.len(), 32);
+        }
+    }
+
+    #[test]
+    fn impl_strategy_in_return_position() {
+        fn values(n: usize) -> impl Strategy<Value = Vec<f32>> {
+            prop::collection::vec(-1e6f32..1e6f32, 1..=n)
+        }
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(1);
+        let v = values(8).generate(&mut rng);
+        assert!(!v.is_empty() && v.len() <= 8);
+    }
+}

@@ -1,0 +1,220 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! provides the subset of `rand`'s API the workspace actually uses —
+//! `SmallRng`, `StdRng`, `SeedableRng::seed_from_u64`, and
+//! `Rng::gen_range` / `Rng::gen` over primitive types — backed by
+//! xoshiro256++ (Blackman & Vigna). Streams are deterministic for a given
+//! seed but are **not** the same streams upstream `rand` produces; all
+//! in-repo consumers only require determinism, not specific values.
+
+pub mod rngs {
+    pub use crate::small::SmallRng;
+    /// `StdRng` is an alias of [`SmallRng`] here; the distinction only
+    /// matters for cryptographic quality, which nothing in-repo needs.
+    pub type StdRng = SmallRng;
+}
+
+mod small {
+    /// xoshiro256++ generator.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        pub(crate) fn from_u64_seed(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical xoshiro seeding routine.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            Self { s }
+        }
+
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+/// Construction from seeds, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::SmallRng::from_u64_seed(seed)
+    }
+}
+
+/// Types that can be drawn uniformly from a range (the slice of
+/// `rand::distributions::uniform::SampleUniform` the workspace needs).
+pub trait SampleUniform: PartialOrd + Copy {
+    fn sample_range(rng: &mut rngs::SmallRng, low: Self, high: Self, inclusive: bool) -> Self;
+    fn sample_any(rng: &mut rngs::SmallRng) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(
+                rng: &mut rngs::SmallRng,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                assert!(
+                    if inclusive { low <= high } else { low < high },
+                    "gen_range: empty range"
+                );
+                let span = if inclusive {
+                    (high as $wide).wrapping_sub(low as $wide).wrapping_add(1)
+                } else {
+                    (high as $wide).wrapping_sub(low as $wide)
+                };
+                if span == 0 {
+                    // Inclusive range covering the whole domain.
+                    return Self::sample_any(rng);
+                }
+                // Modulo is biased for spans near 2^64; nothing in-repo
+                // draws from spans anywhere close, so keep it simple.
+                let r = rng.next_u64() as $wide % span;
+                ((low as $wide).wrapping_add(r)) as $t
+            }
+            fn sample_any(rng: &mut rngs::SmallRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64,
+);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty, $bits:expr, $mant:expr);* $(;)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(
+                rng: &mut rngs::SmallRng,
+                low: Self,
+                high: Self,
+                _inclusive: bool,
+            ) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let unit = Self::sample_any(rng);
+                low + (high - low) * unit
+            }
+            fn sample_any(rng: &mut rngs::SmallRng) -> Self {
+                // Uniform in [0, 1): top mantissa-width bits of a u64.
+                let x = rng.next_u64() >> (64 - $mant);
+                x as $t / (1u64 << $mant) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, 32, 24; f64, 64, 53);
+
+/// A half-open or inclusive range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut rngs::SmallRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample(self, rng: &mut rngs::SmallRng) -> T {
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample(self, rng: &mut rngs::SmallRng) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_range(rng, lo, hi, true)
+    }
+}
+
+/// The generator trait, mirroring the parts of `rand::Rng` in use.
+pub trait Rng {
+    /// Draw uniformly from `range`.
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T;
+    /// Draw a uniform value of `T` (full domain for ints, [0,1) for floats).
+    fn gen<T: SampleUniform>(&mut self) -> T;
+    /// Draw a bool that is `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for rngs::SmallRng {
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+    fn gen<T: SampleUniform>(&mut self) -> T {
+        T::sample_any(self)
+    }
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&x));
+            let y: f32 = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&y));
+            let z: usize = rng.gen_range(64..4096);
+            assert!((64..4096).contains(&z));
+            let w: u32 = rng.gen_range(0..=3);
+            assert!(w <= 3);
+        }
+    }
+
+    #[test]
+    fn floats_cover_the_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (mut lo, mut hi) = (1.0f64, 0.0f64);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo < 0.01 && hi > 0.99);
+    }
+}

@@ -1,0 +1,112 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no network access, so this vendored crate
+//! provides the `par_*` entry points the workspace uses and executes them
+//! **sequentially**: each `par_` method returns the corresponding standard
+//! iterator, and every adapter the callers chain on (`map`, `zip`,
+//! `enumerate`, `try_for_each`, `collect`, …) is the `std::iter::Iterator`
+//! method of the same name and semantics. Results are identical to rayon's
+//! (the workspace only uses order-preserving adapters); only the wall-clock
+//! parallelism is lost, which no test asserts on.
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+/// `slice.par_chunks(n)` — sequential [`std::slice::Chunks`].
+pub trait ParallelSlice<T> {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+}
+
+/// `slice.par_chunks_mut(n)` — sequential [`std::slice::ChunksMut`].
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+}
+
+/// `collection.into_par_iter()` — the sequential `IntoIterator`.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    fn into_par_iter(self) -> Self::IntoIter {
+        self.into_iter()
+    }
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {}
+
+/// `(&collection).par_iter()` for non-slice collections.
+pub trait IntoParallelRefIterator<'a> {
+    type Iter;
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+/// Sequential `rayon::join`: runs `a` then `b`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Always 1: this shim never spawns threads.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_matches_chunks() {
+        let v: Vec<u32> = (0..10).collect();
+        let a: Vec<Vec<u32>> = v.par_chunks(3).map(<[u32]>::to_vec).collect();
+        let b: Vec<Vec<u32>> = v.chunks(3).map(<[u32]>::to_vec).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn par_chunks_mut_zip_try_for_each() {
+        let mut out = vec![0u32; 6];
+        let offs: Vec<u32> = (0..3).collect();
+        out.par_chunks_mut(2)
+            .zip(offs.par_chunks(1))
+            .try_for_each(|(chunk, o)| {
+                for c in chunk {
+                    *c = o[0] * 10;
+                }
+                Ok::<(), ()>(())
+            })
+            .unwrap();
+        assert_eq!(out, vec![0, 0, 10, 10, 20, 20]);
+    }
+}
