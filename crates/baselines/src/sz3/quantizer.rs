@@ -26,8 +26,10 @@ impl Quantizer {
         if !q.is_finite() {
             return None;
         }
+        // The cast saturates for |q| beyond the i64 range, so the range
+        // check must not use `abs()`, which panics on i64::MIN.
         let q = q as i64;
-        if q.abs() >= RADIUS {
+        if q.unsigned_abs() >= RADIUS as u64 {
             None
         } else {
             Some(q)
@@ -59,6 +61,15 @@ mod tests {
         let q = Quantizer::new(1e-6);
         assert_eq!(q.quantize(1.0), None); // q would be 5e5 ≥ RADIUS
         assert!(q.quantize(1e-5).is_some());
+    }
+
+    #[test]
+    fn i64_saturating_residual_is_none() {
+        // f32::MAX-scale residuals at a tiny ε saturate the i64 cast to
+        // i64::MIN; the range check must survive (found by the fuzzer).
+        let q = Quantizer::new(1e-6);
+        assert_eq!(q.quantize(f64::from(-f32::MAX)), None);
+        assert_eq!(q.quantize(f64::from(f32::MAX)), None);
     }
 
     #[test]

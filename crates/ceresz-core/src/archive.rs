@@ -13,6 +13,13 @@ use crate::compressor::{
     compress_parallel, decompress_bytes_parallel, CereszConfig, CompressError, Compressed,
 };
 
+/// Multiply a dimension list with overflow detection.
+fn checked_dims_product(dims: &[usize]) -> Result<usize, CompressError> {
+    dims.iter().try_fold(1usize, |acc, &d| {
+        acc.checked_mul(d).ok_or(CompressError::DimsOverflow)
+    })
+}
+
 /// Archive magic bytes.
 pub const ARCHIVE_MAGIC: [u8; 4] = *b"CSZA";
 /// Current archive version.
@@ -58,11 +65,13 @@ impl Archive {
         data: &[f32],
         cfg: &CereszConfig,
     ) -> Result<Compressed, CompressError> {
-        assert_eq!(
-            dims.iter().product::<usize>(),
-            data.len(),
-            "dims must match the data length"
-        );
+        let product = checked_dims_product(dims)?;
+        if product != data.len() {
+            return Err(CompressError::DimsMismatch {
+                dims_product: product,
+                len: data.len(),
+            });
+        }
         let compressed = compress_parallel(data, cfg)?;
         self.fields.push(ArchiveField {
             name: name.to_string(),
@@ -108,14 +117,21 @@ impl Archive {
     }
 
     /// Parse an archive.
+    ///
+    /// Every length field an attacker controls (field count, name length,
+    /// dimension count, stream length) is capped against the bytes actually
+    /// remaining in the buffer *before* any allocation sized by it, so a
+    /// corrupted archive produces a typed error rather than an OOM-sized
+    /// allocation or a panic.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CompressError> {
         let mut pos = 0usize;
         let take = |pos: &mut usize, n: usize| -> Result<&[u8], CompressError> {
-            if bytes.len() < *pos + n {
+            let end = pos.checked_add(n).ok_or(CompressError::Truncated)?;
+            if bytes.len() < end {
                 return Err(CompressError::Truncated);
             }
-            let s = &bytes[*pos..*pos + n];
-            *pos += n;
+            let s = &bytes[*pos..end];
+            *pos = end;
             Ok(s)
         };
         if take(&mut pos, 4)? != ARCHIVE_MAGIC {
@@ -126,12 +142,21 @@ impl Archive {
             return Err(CompressError::UnsupportedVersion(version));
         }
         let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("sized")) as usize;
+        // Each field entry occupies at least name-len (2) + ndims (1) +
+        // stream-len (8) bytes of metadata; a count claiming more entries
+        // than the rest of the buffer could hold is corrupt.
+        const MIN_FIELD_META: usize = 2 + 1 + 8;
+        if count > bytes.len().saturating_sub(pos) / MIN_FIELD_META {
+            return Err(CompressError::CorruptArchive(
+                "field count exceeds the buffer",
+            ));
+        }
         let mut metas = Vec::with_capacity(count);
         for _ in 0..count {
             let name_len =
                 u16::from_le_bytes(take(&mut pos, 2)?.try_into().expect("sized")) as usize;
             let name = String::from_utf8(take(&mut pos, name_len)?.to_vec())
-                .map_err(|_| CompressError::BadMagic)?;
+                .map_err(|_| CompressError::CorruptArchive("field name is not UTF-8"))?;
             let ndims = take(&mut pos, 1)?[0] as usize;
             let mut dims = Vec::with_capacity(ndims);
             for _ in 0..ndims {
@@ -139,8 +164,12 @@ impl Archive {
                     u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("sized")) as usize,
                 );
             }
+            checked_dims_product(&dims)?;
             let stream_len =
                 u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("sized")) as usize;
+            if stream_len > bytes.len().saturating_sub(pos) {
+                return Err(CompressError::Truncated);
+            }
             metas.push((name, dims, stream_len));
         }
         let mut fields = Vec::with_capacity(count);
@@ -207,10 +236,65 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "dims must match")]
-    fn dims_mismatch_panics() {
+    fn dims_mismatch_is_typed_error() {
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-2));
         let mut a = Archive::new();
-        let _ = a.add_field("x", &[100], &field(256, 1.0), &cfg);
+        assert!(matches!(
+            a.add_field("x", &[100], &field(256, 1.0), &cfg),
+            Err(CompressError::DimsMismatch {
+                dims_product: 100,
+                len: 256
+            })
+        ));
+    }
+
+    #[test]
+    fn dims_overflow_is_typed_error() {
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-2));
+        let mut a = Archive::new();
+        assert!(matches!(
+            a.add_field("x", &[usize::MAX, 2], &field(8, 1.0), &cfg),
+            Err(CompressError::DimsOverflow)
+        ));
+    }
+
+    #[test]
+    fn adversarial_field_count_rejected_without_allocation() {
+        // Header claims u32::MAX fields in a 9-byte buffer: must reject
+        // before reserving a u32::MAX-entry metadata vector.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&ARCHIVE_MAGIC);
+        bytes.push(ARCHIVE_VERSION);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Archive::from_bytes(&bytes),
+            Err(CompressError::CorruptArchive(_))
+        ));
+    }
+
+    #[test]
+    fn adversarial_stream_len_rejected() {
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-2));
+        let mut a = Archive::new();
+        a.add_field("x", &[256], &field(256, 1.0), &cfg).unwrap();
+        let mut bytes = a.to_bytes();
+        // The stream-len field sits 8 bytes before the stream body; claim
+        // u64::MAX bytes.
+        let stream_len = bytes.len() - a.fields()[0].stream.len() - 8;
+        bytes[stream_len..stream_len + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Archive::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn non_utf8_name_rejected() {
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-2));
+        let mut a = Archive::new();
+        a.add_field("ab", &[256], &field(256, 1.0), &cfg).unwrap();
+        let mut bytes = a.to_bytes();
+        bytes[11] = 0xFF; // first byte of the 2-byte name
+        assert!(matches!(
+            Archive::from_bytes(&bytes),
+            Err(CompressError::CorruptArchive(_))
+        ));
     }
 }

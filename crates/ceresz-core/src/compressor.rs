@@ -42,6 +42,17 @@ pub enum CompressError {
     BadBlockSize(usize),
     /// The error bound is not finite and positive.
     InvalidBound,
+    /// A field's logical dimension product overflows `usize`.
+    DimsOverflow,
+    /// A field's logical dimensions do not multiply to the element count.
+    DimsMismatch {
+        /// Product of the declared dimensions.
+        dims_product: usize,
+        /// Actual number of elements.
+        len: usize,
+    },
+    /// An archive container violated its own format invariants.
+    CorruptArchive(&'static str),
 }
 
 impl std::fmt::Display for CompressError {
@@ -60,6 +71,14 @@ impl std::fmt::Display for CompressError {
             CompressError::BadHeaderWidth(w) => write!(f, "unknown block header width {w}"),
             CompressError::BadBlockSize(s) => write!(f, "invalid block size {s}"),
             CompressError::InvalidBound => write!(f, "error bound must be finite and positive"),
+            CompressError::DimsOverflow => write!(f, "dimension product overflows usize"),
+            CompressError::DimsMismatch { dims_product, len } => {
+                write!(
+                    f,
+                    "dims multiply to {dims_product} but data has {len} elements"
+                )
+            }
+            CompressError::CorruptArchive(what) => write!(f, "corrupt archive: {what}"),
         }
     }
 }
@@ -106,6 +125,37 @@ impl CereszConfig {
     pub fn with_header(mut self, header: HeaderWidth) -> Self {
         self.header = header;
         self
+    }
+
+    /// Check the data-independent invariants: the bound must be finite and
+    /// positive, the block size nonzero, a multiple of 8 (byte-packed sign
+    /// and bit planes), and at most [`crate::MAX_BLOCK_SIZE`].
+    ///
+    /// Every compression entry point (host and WSE) calls this before
+    /// touching the data, so an `Abs(0.0)`, negative, or NaN bound — or a
+    /// block size the codec would reject — surfaces as a typed error instead
+    /// of a panic or a non-finite `1/2ε` reaching quantization.
+    pub fn validate(&self) -> Result<(), CompressError> {
+        if !self.bound.is_valid() {
+            return Err(CompressError::InvalidBound);
+        }
+        if self.block_size == 0
+            || !self.block_size.is_multiple_of(8)
+            || self.block_size > crate::MAX_BLOCK_SIZE
+        {
+            return Err(CompressError::BadBlockSize(self.block_size));
+        }
+        Ok(())
+    }
+
+    /// Validate this configuration and resolve the absolute `ε` for `data`.
+    pub fn resolve_eps(&self, data: &[f32]) -> Result<f64, CompressError> {
+        self.validate()?;
+        let eps = self.bound.resolve(data);
+        if !(eps.is_finite() && eps > 0.0) {
+            return Err(CompressError::InvalidBound);
+        }
+        Ok(eps)
     }
 }
 
@@ -199,14 +249,30 @@ impl Compressed {
 }
 
 fn validate(data: &[f32], cfg: &CereszConfig) -> Result<f64, CompressError> {
-    if !cfg.bound.is_valid() {
-        return Err(CompressError::InvalidBound);
+    cfg.resolve_eps(data)
+}
+
+/// Check that `data` would compress cleanly at `eps` without encoding it:
+/// quantize each block, form the Lorenzo residuals, and verify no residual
+/// exceeds the 31-bit wire format. Reproduces exactly the errors (and error
+/// indices) the serial [`compress`] would raise, in the same order.
+///
+/// The WSE mapping layer runs this before injecting blocks into the fabric,
+/// so bad input data surfaces as the same typed [`CompressError`] the host
+/// reference returns instead of trapping inside a simulated kernel.
+pub fn precheck_input(data: &[f32], eps: f64, block_size: usize) -> Result<(), CompressError> {
+    let mut q = vec![0i64; block_size];
+    for chunk in data.chunks(block_size) {
+        q.fill(0);
+        crate::quantize::quantize(chunk, eps, &mut q[..chunk.len()])?;
+        crate::lorenzo::forward_1d_in_place(&mut q);
+        for (i, &d) in q.iter().enumerate() {
+            if d.unsigned_abs() > i64::from(i32::MAX).unsigned_abs() {
+                return Err(CompressError::DeltaOverflow { index: i });
+            }
+        }
     }
-    let eps = cfg.bound.resolve(data);
-    if !(eps.is_finite() && eps > 0.0) {
-        return Err(CompressError::InvalidBound);
-    }
-    Ok(eps)
+    Ok(())
 }
 
 /// Compress `data` serially (the reference implementation).
@@ -289,6 +355,7 @@ pub fn decompress(compressed: &Compressed) -> Result<Vec<f32>, CompressError> {
 pub fn decompress_bytes(bytes: &[u8]) -> Result<Vec<f32>, CompressError> {
     let header = StreamHeader::read(bytes)?;
     let payload = &bytes[crate::stream::STREAM_HEADER_BYTES..];
+    header.check_payload(payload.len())?;
     let codec = header.codec();
     let mut out = vec![0f32; header.count];
     let mut pos = 0usize;
@@ -312,6 +379,7 @@ pub fn decompress_parallel(compressed: &Compressed) -> Result<Vec<f32>, Compress
 pub fn decompress_bytes_parallel(bytes: &[u8]) -> Result<Vec<f32>, CompressError> {
     let header = StreamHeader::read(bytes)?;
     let payload = &bytes[crate::stream::STREAM_HEADER_BYTES..];
+    header.check_payload(payload.len())?;
     let codec = header.codec();
     let offsets = scan_block_offsets(&header, payload)?;
     let mut out = vec![0f32; header.count];
@@ -389,6 +457,34 @@ mod tests {
         let c = compress(&[], &cfg).unwrap();
         assert_eq!(c.stats.n_blocks, 0);
         assert_eq!(decompress(&c).unwrap(), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn single_element_roundtrips_on_every_path() {
+        let cfg = CereszConfig::new(ErrorBound::Abs(1e-4));
+        let data = [std::f32::consts::PI];
+        let c = compress(&data, &cfg).unwrap();
+        let p = compress_parallel(&data, &cfg).unwrap();
+        assert_eq!(c.data, p.data);
+        assert_eq!(c.stats.n_blocks, 1);
+        for restored in [
+            decompress(&c).unwrap(),
+            decompress_parallel(&c).unwrap(),
+            decompress_bytes(&c.data).unwrap(),
+            decompress_bytes_parallel(&c.data).unwrap(),
+        ] {
+            assert_eq!(restored.len(), 1);
+            assert!((f64::from(restored[0]) - f64::from(data[0])).abs() <= 1e-4 + 1e-10);
+        }
+    }
+
+    #[test]
+    fn empty_input_parallel_paths_agree() {
+        let cfg = CereszConfig::new(ErrorBound::Abs(1e-3));
+        let c = compress(&[], &cfg).unwrap();
+        assert_eq!(compress_parallel(&[], &cfg).unwrap().data, c.data);
+        assert_eq!(decompress_parallel(&c).unwrap(), Vec::<f32>::new());
+        assert_eq!(decompress_bytes(&c.data).unwrap(), Vec::<f32>::new());
     }
 
     #[test]

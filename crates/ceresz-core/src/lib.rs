@@ -55,7 +55,7 @@ pub use block::{BlockCodec, HeaderWidth};
 pub use bound::ErrorBound;
 pub use compressor::{
     compress, compress_parallel, decompress, decompress_bytes, decompress_bytes_parallel,
-    decompress_parallel, CereszConfig, CompressError, Compressed, CompressionStats,
+    decompress_parallel, precheck_input, CereszConfig, CompressError, Compressed, CompressionStats,
 };
 pub use verify::{max_abs_error, verify_error_bound};
 
@@ -67,3 +67,12 @@ pub const DEFAULT_BLOCK_SIZE: usize = 32;
 /// magnitudes in 31 bits. Inputs that quantize beyond this yield
 /// [`CompressError::QuantizationOverflow`] instead of a silently broken bound.
 pub const QUANT_MAX: i64 = (1 << 30) - 1;
+
+/// Largest block size the stream format accepts (2^20 elements).
+///
+/// The paper uses 32; anything that could plausibly run on a PE fits in
+/// 48 KB of SRAM. The cap exists so a corrupted stream header cannot make a
+/// decoder allocate an unbounded per-block scratch buffer: with the cap, a
+/// decode allocates at most a few MB of working state no matter what the
+/// length fields claim.
+pub const MAX_BLOCK_SIZE: usize = 1 << 20;

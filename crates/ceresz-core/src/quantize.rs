@@ -71,8 +71,11 @@ pub fn quantize(input: &[f32], eps: f64, out: &mut [i64]) -> Result<(), Quantize
         if !v.is_finite() {
             return Err(QuantizeError::NonFinite { index: i });
         }
+        // The cast saturates for |scaled| beyond the i64 range (e.g. f32::MAX
+        // at a tiny ε lands on i64::MIN), so the magnitude check must not use
+        // `abs()`, which panics on i64::MIN.
         let p = (f64::from(v) * recip + 0.5).floor() as i64;
-        if p.abs() > QUANT_MAX {
+        if p.unsigned_abs() > QUANT_MAX as u64 {
             return Err(QuantizeError::Overflow { index: i });
         }
         *o = p;
@@ -151,6 +154,107 @@ mod tests {
         let mut out = [0i64];
         let err = quantize(&[1.0e30], 1e-6, &mut out).unwrap_err();
         assert_eq!(err, QuantizeError::Overflow { index: 0 });
+    }
+
+    /// Deterministic xorshift64* for the bound-holds sweeps below (the
+    /// vendored proptest has no float strategies; a seeded sweep is
+    /// reproducible by construction).
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    #[test]
+    fn bound_holds_for_denormals() {
+        // Denormal inputs (down to f32::MIN_POSITIVE * 2^-23) must quantize
+        // without losing the error-bound guarantee, at bounds both far above
+        // and comparable to the denormal magnitude.
+        let mut s = 0x9E37_79B9_7F4A_7C15u64;
+        for eps in [1e-3f64, 1e-20, 1e-38, 1e-42] {
+            let data: Vec<f32> = (0..512)
+                .map(|i| {
+                    let bits = (xorshift(&mut s) as u32) & 0x007F_FFFF; // denormal: zero exponent
+                    let v = f32::from_bits(bits);
+                    if i % 2 == 0 {
+                        v
+                    } else {
+                        -v
+                    }
+                })
+                .collect();
+            let mut q = vec![0i64; data.len()];
+            quantize(&data, eps, &mut q).unwrap();
+            let mut rec = vec![0f32; data.len()];
+            dequantize(&q, eps, &mut rec);
+            for (a, b) in data.iter().zip(&rec) {
+                let slack = f64::from(f32::EPSILON) * (1.0 + f64::from(a.abs()));
+                assert!(
+                    (f64::from(*a) - f64::from(*b)).abs() <= eps + slack,
+                    "{a:e} vs {b:e} at eps {eps:e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bound_holds_near_quant_max() {
+        // Values that quantize just below QUANT_MAX must roundtrip within ε;
+        // one step beyond must be a typed overflow, never wraparound.
+        let eps = 0.5; // 2ε = 1, so p == round(e)
+        let mut s = 0xDEAD_BEEF_CAFE_F00Du64;
+        for _ in 0..2048 {
+            let p = (QUANT_MAX as u64 - (xorshift(&mut s) % 4096)) as i64;
+            let v = (p as f64) as f32; // representable f32 near p
+            let mut q = [0i64];
+            match quantize(&[v], eps, &mut q) {
+                Ok(()) => {
+                    assert!(q[0].abs() <= QUANT_MAX);
+                    let mut rec = [0f32];
+                    dequantize(&q, eps, &mut rec);
+                    let slack = f64::from(f32::EPSILON) * (1.0 + f64::from(v.abs()));
+                    assert!((f64::from(v) - f64::from(rec[0])).abs() <= eps + slack);
+                }
+                // f32 rounding of p may land past QUANT_MAX: typed, not UB.
+                Err(e) => assert_eq!(e, QuantizeError::Overflow { index: 0 }),
+            }
+        }
+        // Exactly one past the cap in exact arithmetic.
+        let mut q = [0i64];
+        let over = (QUANT_MAX + 1) as f64;
+        assert_eq!(
+            quantize(&[over as f32], eps, &mut q),
+            Err(QuantizeError::Overflow { index: 0 })
+        );
+    }
+
+    #[test]
+    fn i64_saturating_magnitudes_are_typed_overflow() {
+        // f32::MAX at a tiny ε scales past the i64 range; the cast saturates
+        // to i64::MIN / i64::MAX, which the overflow check must survive
+        // (i64::MIN.abs() panics — found by the conformance fuzzer).
+        let mut out = [0i64];
+        for v in [f32::MAX, -f32::MAX, 3.3e38, -2.78e38, 1e30, -1e30] {
+            assert_eq!(
+                quantize(&[v], 1e-6, &mut out),
+                Err(QuantizeError::Overflow { index: 0 }),
+                "{v:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn infinities_are_rejected() {
+        let mut out = [0i64; 2];
+        assert_eq!(
+            quantize(&[f32::INFINITY, 0.0], 1e-3, &mut out),
+            Err(QuantizeError::NonFinite { index: 0 })
+        );
+        assert_eq!(
+            quantize(&[0.0, f32::NEG_INFINITY], 1e-3, &mut out),
+            Err(QuantizeError::NonFinite { index: 1 })
+        );
     }
 
     #[test]

@@ -51,6 +51,22 @@ impl StreamHeader {
         BlockCodec::new(self.block_size, self.header_width)
     }
 
+    /// Cheap plausibility check of the declared element count against the
+    /// payload actually present: every block occupies at least its header
+    /// bytes, so a corrupted `count` field that would make a decoder allocate
+    /// far more output than the stream could possibly describe is rejected
+    /// *before* the `count`-sized output buffer is allocated.
+    pub fn check_payload(&self, payload_len: usize) -> Result<(), CompressError> {
+        let min_bytes = self
+            .n_blocks()
+            .checked_mul(self.header_width.bytes())
+            .ok_or(CompressError::Truncated)?;
+        if payload_len < min_bytes {
+            return Err(CompressError::Truncated);
+        }
+        Ok(())
+    }
+
     /// Serialize the header, appending to `out`.
     pub fn write(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&MAGIC);
@@ -78,7 +94,7 @@ impl StreamHeader {
             w => return Err(CompressError::BadHeaderWidth(w)),
         };
         let block_size = u32::from_le_bytes(bytes[6..10].try_into().expect("sized")) as usize;
-        if block_size == 0 || !block_size.is_multiple_of(8) {
+        if block_size == 0 || !block_size.is_multiple_of(8) || block_size > crate::MAX_BLOCK_SIZE {
             return Err(CompressError::BadBlockSize(block_size));
         }
         let count = u64::from_le_bytes(bytes[10..18].try_into().expect("sized")) as usize;
@@ -110,7 +126,7 @@ pub fn scan_block_offsets(
     let mut pos = 0usize;
     for _ in 0..header.n_blocks() {
         offsets.push(pos);
-        if payload.len() < pos + hb {
+        if pos.checked_add(hb).is_none_or(|end| payload.len() < end) {
             return Err(CompressError::Truncated);
         }
         let f = match header.header_width {
@@ -120,7 +136,9 @@ pub fn scan_block_offsets(
         if f > BlockCodec::MAX_FIXED_LENGTH {
             return Err(CompressError::CorruptHeader { fixed_length: f });
         }
-        pos += codec.encoded_size(f);
+        pos = pos
+            .checked_add(codec.encoded_size(f))
+            .ok_or(CompressError::Truncated)?;
     }
     if pos > payload.len() {
         return Err(CompressError::Truncated);

@@ -48,6 +48,45 @@ impl MappingStrategy {
         }
     }
 
+    /// Validate the strategy parameters before any mesh is built: every
+    /// dimension must be nonzero and the implied mesh shape must not
+    /// overflow. Returns [`WseError::InvalidStrategy`] so a caller passing
+    /// parameters from the wire can recover instead of aborting on an
+    /// `assert!` or a capacity overflow inside the simulator.
+    pub fn validate(&self) -> Result<(), WseError> {
+        let invalid = |reason: String| Err(WseError::InvalidStrategy { reason });
+        let (rows, len, pipes) = match *self {
+            MappingStrategy::RowParallel { rows } => (rows, 1, 1),
+            MappingStrategy::Pipeline {
+                rows,
+                pipeline_length,
+            } => (rows, pipeline_length, 1),
+            MappingStrategy::MultiPipeline {
+                rows,
+                pipeline_length,
+                pipelines_per_row,
+            } => (rows, pipeline_length, pipelines_per_row),
+        };
+        if rows == 0 {
+            return invalid("rows must be positive".into());
+        }
+        if len == 0 {
+            return invalid("pipeline length must be positive".into());
+        }
+        if pipes == 0 {
+            return invalid("pipelines per row must be positive".into());
+        }
+        let Some(cols) = len.checked_mul(pipes) else {
+            return invalid(format!(
+                "mesh columns overflow: pipeline_length {len} × pipelines_per_row {pipes}"
+            ));
+        };
+        if rows.checked_mul(cols).is_none() {
+            return invalid(format!("PE count overflows: {rows} rows × {cols} cols"));
+        }
+        Ok(())
+    }
+
     /// Mesh dimensions `(rows, cols)` this strategy occupies.
     #[must_use]
     pub fn mesh_shape(&self) -> (usize, usize) {
@@ -167,6 +206,7 @@ pub fn simulate_compression_with(
     strategy: MappingStrategy,
     options: &SimOptions,
 ) -> Result<ProfiledRun, WseError> {
+    strategy.validate()?;
     match strategy {
         MappingStrategy::RowParallel { rows } => {
             let (run, report) = run_row_parallel_with(data, cfg, rows, options)?;
@@ -248,6 +288,113 @@ mod tests {
             let run = simulate_compression(&data, &cfg, strategy).unwrap();
             assert_eq!(run.compressed.data, reference.data, "{strategy:?}");
             assert!(run.stats.finish_cycle > 0.0);
+        }
+    }
+
+    fn all_strategies() -> [MappingStrategy; 3] {
+        [
+            MappingStrategy::RowParallel { rows: 2 },
+            MappingStrategy::Pipeline {
+                rows: 2,
+                pipeline_length: 3,
+            },
+            MappingStrategy::MultiPipeline {
+                rows: 2,
+                pipeline_length: 2,
+                pipelines_per_row: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn empty_input_through_every_strategy() {
+        let cfg = CereszConfig::new(ErrorBound::Abs(1e-3));
+        let reference = compress(&[], &cfg).unwrap();
+        for strategy in all_strategies() {
+            let run = simulate_compression(&[], &cfg, strategy).unwrap();
+            assert_eq!(run.compressed.data, reference.data, "{strategy:?}");
+            assert_eq!(
+                ceresz_core::decompress_bytes(&run.compressed.data).unwrap(),
+                Vec::<f32>::new()
+            );
+        }
+    }
+
+    #[test]
+    fn single_element_through_every_strategy() {
+        let cfg = CereszConfig::new(ErrorBound::Abs(1e-3));
+        let data = [42.17f32];
+        let reference = compress(&data, &cfg).unwrap();
+        for strategy in all_strategies() {
+            let run = simulate_compression(&data, &cfg, strategy).unwrap();
+            assert_eq!(run.compressed.data, reference.data, "{strategy:?}");
+            let restored = ceresz_core::decompress_bytes(&run.compressed.data).unwrap();
+            assert_eq!(restored.len(), 1);
+            assert!((f64::from(restored[0]) - 42.17).abs() <= 1e-3 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn invalid_strategies_are_typed_errors() {
+        let data = [1.0f32; 64];
+        let cfg = CereszConfig::new(ErrorBound::Abs(1e-3));
+        for strategy in [
+            MappingStrategy::RowParallel { rows: 0 },
+            MappingStrategy::Pipeline {
+                rows: 1,
+                pipeline_length: 0,
+            },
+            MappingStrategy::MultiPipeline {
+                rows: 1,
+                pipeline_length: 2,
+                pipelines_per_row: 0,
+            },
+            MappingStrategy::MultiPipeline {
+                rows: 2,
+                pipeline_length: usize::MAX,
+                pipelines_per_row: 2,
+            },
+        ] {
+            assert!(
+                matches!(
+                    simulate_compression(&data, &cfg, strategy),
+                    Err(crate::error::WseError::InvalidStrategy { .. })
+                ),
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_input_matches_host_error() {
+        // Differential error equivalence: the WSE path returns the same
+        // typed CompressError the host reference does, instead of trapping
+        // in a simulated kernel.
+        let data = [1.0f32, f32::NAN, 3.0];
+        let cfg = CereszConfig::new(ErrorBound::Abs(1e-3));
+        let host = compress(&data, &cfg).unwrap_err();
+        for strategy in all_strategies() {
+            match simulate_compression(&data, &cfg, strategy) {
+                Err(crate::error::WseError::Compress(e)) => assert_eq!(e, host, "{strategy:?}"),
+                other => panic!("expected Compress({host:?}), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_block_size_is_typed_error() {
+        let data = [1.0f32; 16];
+        let cfg = CereszConfig::new(ErrorBound::Abs(1e-3)).with_block_size(7);
+        for strategy in all_strategies() {
+            assert!(
+                matches!(
+                    simulate_compression(&data, &cfg, strategy),
+                    Err(crate::error::WseError::Compress(
+                        ceresz_core::CompressError::BadBlockSize(7)
+                    ))
+                ),
+                "{strategy:?}"
+            );
         }
     }
 

@@ -18,6 +18,13 @@ pub enum WseError {
         /// Human-readable explanation with the numbers.
         reason: String,
     },
+    /// The mapping strategy parameters are invalid (zero rows or pipeline
+    /// length, or a mesh shape whose PE count overflows) — recoverable by
+    /// the caller instead of an `assert!` abort.
+    InvalidStrategy {
+        /// Human-readable explanation with the numbers.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for WseError {
@@ -26,6 +33,9 @@ impl std::fmt::Display for WseError {
             WseError::Compress(e) => write!(f, "compression failed: {e}"),
             WseError::Sim(e) => write!(f, "wafer simulation failed: {e}"),
             WseError::DoesNotFit { reason } => write!(f, "configuration does not fit: {reason}"),
+            WseError::InvalidStrategy { reason } => {
+                write!(f, "invalid mapping strategy: {reason}")
+            }
         }
     }
 }
@@ -35,7 +45,7 @@ impl std::error::Error for WseError {
         match self {
             WseError::Compress(e) => Some(e),
             WseError::Sim(e) => Some(e),
-            WseError::DoesNotFit { .. } => None,
+            WseError::DoesNotFit { .. } | WseError::InvalidStrategy { .. } => None,
         }
     }
 }

@@ -156,11 +156,14 @@ pub fn run_multi_pipeline_with(
     pipelines_per_row: usize,
     options: &SimOptions,
 ) -> Result<(MultiPipelineRun, wse_sim::RunReport), WseError> {
-    assert!(rows > 0 && pipeline_length > 0 && pipelines_per_row > 0);
-    if !cfg.bound.is_valid() {
-        return Err(CompressError::InvalidBound.into());
+    crate::engine::MappingStrategy::MultiPipeline {
+        rows,
+        pipeline_length,
+        pipelines_per_row,
     }
-    let eps = cfg.bound.resolve(data);
+    .validate()?;
+    let eps = cfg.resolve_eps(data)?;
+    ceresz_core::precheck_input(data, eps, cfg.block_size)?;
     let codec = BlockCodec::new(cfg.block_size, cfg.header);
     let header = StreamHeader {
         header_width: cfg.header,

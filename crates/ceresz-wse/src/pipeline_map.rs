@@ -229,11 +229,13 @@ pub fn run_pipeline_with(
     pipeline_length: usize,
     options: &SimOptions,
 ) -> Result<(PipelineRun, wse_sim::RunReport), WseError> {
-    assert!(rows > 0 && pipeline_length > 0);
-    if !cfg.bound.is_valid() {
-        return Err(CompressError::InvalidBound.into());
+    crate::engine::MappingStrategy::Pipeline {
+        rows,
+        pipeline_length,
     }
-    let eps = cfg.bound.resolve(data);
+    .validate()?;
+    let eps = cfg.resolve_eps(data)?;
+    ceresz_core::precheck_input(data, eps, cfg.block_size)?;
     let codec = BlockCodec::new(cfg.block_size, cfg.header);
     let header = StreamHeader {
         header_width: cfg.header,

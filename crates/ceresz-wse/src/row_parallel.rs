@@ -59,11 +59,17 @@ impl PeProgram for RowCompressor {
     }
 }
 
-/// Surface a kernel-level compression failure. The simulator has no generic
-/// user-error variant by design — a CSL kernel on hardware would trap — so a
-/// kernel error (bad input data reaching a PE) aborts with context.
+/// Surface a kernel-level compression failure as a typed simulator error.
+///
+/// Entry points precheck the input (`ceresz_core::precheck_input`), so bad
+/// data normally never reaches a PE; if it does anyway — a harness bug, not
+/// a user error — the run aborts with a typed [`SimError::Kernel`] carrying
+/// the PE and cause instead of panicking the host process.
 pub(crate) fn kernel_error(pe: PeId, e: CompressError) -> SimError {
-    panic!("kernel failure on {pe}: {e}");
+    SimError::Kernel {
+        pe,
+        message: e.to_string(),
+    }
 }
 
 use crate::error::WseError;
@@ -110,11 +116,9 @@ pub fn run_row_parallel_with(
     rows: usize,
     options: &SimOptions,
 ) -> Result<(RowParallelRun, wse_sim::RunReport), WseError> {
-    assert!(rows > 0, "need at least one row");
-    if !cfg.bound.is_valid() {
-        return Err(CompressError::InvalidBound.into());
-    }
-    let eps = cfg.bound.resolve(data);
+    crate::engine::MappingStrategy::RowParallel { rows }.validate()?;
+    let eps = cfg.resolve_eps(data)?;
+    ceresz_core::precheck_input(data, eps, cfg.block_size)?;
     let codec = BlockCodec::new(cfg.block_size, cfg.header);
     let header = StreamHeader {
         header_width: cfg.header,

@@ -1,0 +1,254 @@
+//! The four conformance oracles.
+//!
+//! Each oracle takes a generated [`Case`] and returns `Err(description)` on
+//! a conformance violation. Panics are *not* caught here — the runner wraps
+//! every oracle in `catch_unwind` so a panic anywhere in the stack is itself
+//! reported as a violation (the whole point of the hardening sweep is that
+//! adversarial input produces typed errors, never aborts).
+
+use baselines::{Codec, CompressedBuf};
+use ceresz_core::archive::Archive;
+use ceresz_core::{
+    compress, compress_parallel, decompress_bytes, decompress_bytes_parallel, verify_error_bound,
+    Compressed,
+};
+use ceresz_wse::{simulate_compression, WseError};
+
+use crate::generate::Case;
+use crate::mutate::{self, Mutation};
+use crate::rng::Rng;
+
+/// Oracle 1 — differential: the host reference `compress`, its parallel
+/// variant, and all three simulated mapping strategies must agree exactly:
+/// bit-identical streams on success, the *same* typed [`CompressError`] on
+/// failure. Returns the host stream (None when the case errored everywhere
+/// in agreement) for the downstream oracles to reuse.
+pub fn oracle_differential(case: &Case) -> Result<Option<Compressed>, String> {
+    let cfg = case.config();
+    let host = compress(&case.data, &cfg);
+    match compress_parallel(&case.data, &cfg) {
+        Ok(par) => match &host {
+            Ok(h) if par.data == h.data => {}
+            Ok(_) => return Err("compress_parallel stream differs from serial compress".into()),
+            Err(e) => return Err(format!("compress_parallel Ok but serial compress Err({e})")),
+        },
+        Err(pe) => match &host {
+            Err(e) if *e == pe => {}
+            Err(e) => {
+                return Err(format!(
+                    "error mismatch: serial compress Err({e}) vs compress_parallel Err({pe})"
+                ))
+            }
+            Ok(_) => {
+                return Err(format!(
+                    "serial compress Ok but compress_parallel Err({pe})"
+                ))
+            }
+        },
+    }
+    for strategy in case.strategies {
+        match (simulate_compression(&case.data, &cfg, strategy), &host) {
+            (Ok(run), Ok(h)) => {
+                if run.compressed.data != h.data {
+                    return Err(format!("{strategy:?}: simulated stream differs from host"));
+                }
+            }
+            (Err(WseError::Compress(se)), Err(he)) => {
+                if se != *he {
+                    return Err(format!(
+                        "{strategy:?}: error mismatch: host Err({he}) vs sim Err({se})"
+                    ));
+                }
+            }
+            (Err(we), Err(he)) => {
+                return Err(format!(
+                    "{strategy:?}: host Err({he}) but sim failed with a non-compress error: {we}"
+                ))
+            }
+            (Ok(_), Err(he)) => {
+                return Err(format!("{strategy:?}: sim Ok but host Err({he})"));
+            }
+            (Err(we), Ok(_)) => {
+                return Err(format!("{strategy:?}: host Ok but sim Err({we})"));
+            }
+        }
+    }
+    Ok(host.ok())
+}
+
+/// Oracle 2 — roundtrip: decoding the host stream (serially and in parallel)
+/// restores the original length and honors the resolved ε pointwise.
+pub fn oracle_roundtrip(case: &Case, host: &Compressed) -> Result<(), String> {
+    let serial =
+        decompress_bytes(&host.data).map_err(|e| format!("serial decompress failed: {e}"))?;
+    let parallel = decompress_bytes_parallel(&host.data)
+        .map_err(|e| format!("parallel decompress failed: {e}"))?;
+    if serial
+        .iter()
+        .map(|v| v.to_bits())
+        .ne(parallel.iter().map(|v| v.to_bits()))
+    {
+        return Err("serial and parallel decompression disagree".into());
+    }
+    if serial.len() != case.data.len() {
+        return Err(format!(
+            "length mismatch: {} in, {} out",
+            case.data.len(),
+            serial.len()
+        ));
+    }
+    if !verify_error_bound(&case.data, &serial, host.stats.eps) {
+        let worst = ceresz_core::max_abs_error(&case.data, &serial);
+        return Err(format!(
+            "error bound violated: max |err| {worst:.6e} vs eps {:.6e}",
+            host.stats.eps
+        ));
+    }
+    Ok(())
+}
+
+/// Apply both decoders to a mutated stream and check the mutation contract.
+fn check_stream_mutation(m: &Mutation) -> Result<(), String> {
+    let serial = decompress_bytes(&m.bytes);
+    let parallel = decompress_bytes_parallel(&m.bytes);
+    if m.must_fail && serial.is_ok() {
+        return Err(format!(
+            "{}: serial decoder accepted a forged stream",
+            m.what
+        ));
+    }
+    if m.must_fail && parallel.is_ok() {
+        return Err(format!(
+            "{}: parallel decoder accepted a forged stream",
+            m.what
+        ));
+    }
+    match (serial, parallel) {
+        (Ok(a), Ok(b)) => {
+            if a.iter()
+                .map(|v| v.to_bits())
+                .ne(b.iter().map(|v| v.to_bits()))
+            {
+                return Err(format!(
+                    "{}: serial and parallel decoders decoded different values",
+                    m.what
+                ));
+            }
+        }
+        (Err(_), Err(_)) => {}
+        (Ok(_), Err(e)) => {
+            return Err(format!(
+                "{}: serial decoder accepted what parallel rejected ({e})",
+                m.what
+            ))
+        }
+        (Err(e), Ok(_)) => {
+            return Err(format!(
+                "{}: parallel decoder accepted what serial rejected ({e})",
+                m.what
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// Apply `Archive::from_bytes` to a mutated archive buffer. The parse may
+/// accept payload bit flips (it does not decode field streams), but length
+/// forgeries and truncations must be rejected, and nothing may panic.
+fn check_archive_mutation(m: &Mutation) -> Result<(), String> {
+    match Archive::from_bytes(&m.bytes) {
+        Ok(a) => {
+            if m.must_fail {
+                return Err(format!(
+                    "{}: archive parser accepted a forged buffer",
+                    m.what
+                ));
+            }
+            // Decoding a corrupted field stream may fail — it must do so
+            // with a typed error (a panic would propagate to the runner).
+            for f in a.fields() {
+                let _ = f.decompress();
+            }
+            Ok(())
+        }
+        Err(_) => Ok(()),
+    }
+}
+
+/// Oracle 3 — mutation: every corruption of a valid stream or archive
+/// (random bit flips, all-strict-prefix truncations, targeted length-field
+/// forgeries) decodes to a typed error or, where the format genuinely cannot
+/// detect the flip, to a value both decoders agree on. Never a panic, and
+/// never an allocation sized by a forged length field.
+pub fn oracle_mutation(case: &Case, host: &Compressed) -> Result<(), String> {
+    let mut r = Rng::new(case.seed).derive(0xC0FFEE);
+
+    for _ in 0..24 {
+        if let Some(m) = mutate::flip_random_bit(&mut r, &host.data) {
+            check_stream_mutation(&m)?;
+        }
+    }
+    for m in mutate::truncations(&mut r, &host.data, 8) {
+        check_stream_mutation(&m)?;
+    }
+    for m in mutate::stream_header_forgeries(&host.data, case.block_size) {
+        check_stream_mutation(&m)?;
+    }
+
+    // The same treatment for the archive container wrapping this stream.
+    let mut archive = Archive::new();
+    archive
+        .add_field("field", &[case.data.len()], &case.data, &case.config())
+        .map_err(|e| format!("archive add_field failed on compressible data: {e}"))?;
+    let bytes = archive.to_bytes();
+    for _ in 0..16 {
+        if let Some(m) = mutate::flip_random_bit(&mut r, &bytes) {
+            check_archive_mutation(&m)?;
+        }
+    }
+    for m in mutate::truncations(&mut r, &bytes, 8) {
+        check_archive_mutation(&m)?;
+    }
+    for m in mutate::archive_forgeries(&bytes) {
+        check_archive_mutation(&m)?;
+    }
+    Ok(())
+}
+
+/// Oracle 4 — baselines: every baseline codec either rejects the input with
+/// a typed error or honors its own recorded error bound on the roundtrip.
+pub fn oracle_baselines(case: &Case) -> Result<(), String> {
+    let codecs: [&dyn Codec; 4] = [
+        &baselines::szp::Szp::default(),
+        &baselines::cuszp::CuSzp::default(),
+        &baselines::sz3::Sz3,
+        &baselines::cusz::CuSz,
+    ];
+    let dims = [case.data.len()];
+    for codec in codecs {
+        let buf: CompressedBuf = match codec.compress(&case.data, &dims, case.bound) {
+            Ok(buf) => buf,
+            Err(_) => continue, // A typed rejection satisfies the contract.
+        };
+        let restored = codec
+            .decompress(&buf)
+            .map_err(|e| format!("{}: compressed Ok but decompress Err({e})", codec.name()))?;
+        if restored.len() != case.data.len() {
+            return Err(format!(
+                "{}: length mismatch: {} in, {} out",
+                codec.name(),
+                case.data.len(),
+                restored.len()
+            ));
+        }
+        if !verify_error_bound(&case.data, &restored, buf.eps) {
+            let worst = ceresz_core::max_abs_error(&case.data, &restored);
+            return Err(format!(
+                "{}: own error bound violated: max |err| {worst:.6e} vs eps {:.6e}",
+                codec.name(),
+                buf.eps
+            ));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,112 @@
+//! Greedy input shrinking.
+//!
+//! Given a failing input and a predicate that re-runs the failing oracle,
+//! find a (locally) minimal input that still fails. The strategy is the
+//! classic delta-debugging ladder: drop large chunks first, then smaller
+//! ones, then simplify surviving values toward zero. Every candidate is a
+//! subsequence or simplification of the original, so block-boundary bugs
+//! stay reachable.
+
+/// Shrink `data` while `still_fails` keeps returning `true`, spending at
+/// most `budget` predicate calls. Returns the smallest failing input found.
+pub fn shrink_data(
+    data: &[f32],
+    mut still_fails: impl FnMut(&[f32]) -> bool,
+    budget: usize,
+) -> Vec<f32> {
+    let mut best = data.to_vec();
+    let mut calls = 0usize;
+    let mut try_candidate = |cand: &[f32], best: &mut Vec<f32>, calls: &mut usize| -> bool {
+        if *calls >= budget {
+            return false;
+        }
+        *calls += 1;
+        if still_fails(cand) {
+            *best = cand.to_vec();
+            true
+        } else {
+            false
+        }
+    };
+
+    // Phase 1: remove chunks, halving the chunk size each round.
+    let mut chunk = best.len().div_ceil(2).max(1);
+    while chunk >= 1 && calls < budget {
+        let mut start = 0;
+        while start < best.len() && calls < budget {
+            let end = (start + chunk).min(best.len());
+            let mut cand = Vec::with_capacity(best.len() - (end - start));
+            cand.extend_from_slice(&best[..start]);
+            cand.extend_from_slice(&best[end..]);
+            if !try_candidate(&cand, &mut best, &mut calls) {
+                start += chunk;
+            }
+            // On success `best` shrank in place; retry the same offset.
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+
+    // Phase 2: simplify surviving values toward zero (a field of mostly
+    // zeros with one interesting value reads far better in a bug report).
+    let mut i = 0;
+    while i < best.len() && calls < budget {
+        if best[i].to_bits() != 0.0f32.to_bits() {
+            let mut cand = best.clone();
+            cand[i] = 0.0;
+            try_candidate(&cand, &mut best, &mut calls);
+        }
+        i += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_single_trigger() {
+        // Failure iff the input contains a NaN.
+        let mut data = vec![1.0f32; 200];
+        data[137] = f32::NAN;
+        let shrunk = shrink_data(&data, |d| d.iter().any(|v| v.is_nan()), 10_000);
+        assert_eq!(shrunk.len(), 1);
+        assert!(shrunk[0].is_nan());
+    }
+
+    #[test]
+    fn respects_budget() {
+        let data = vec![1.0f32; 1000];
+        let mut calls = 0;
+        let shrunk = shrink_data(
+            &data,
+            |_| {
+                calls += 1;
+                true
+            },
+            10,
+        );
+        assert!(calls <= 10);
+        assert!(shrunk.len() < data.len());
+    }
+
+    #[test]
+    fn returns_original_when_nothing_smaller_fails() {
+        let data = vec![1.0f32; 8];
+        // Fails only at the exact original length.
+        let shrunk = shrink_data(&data, |d| d.len() == 8, 1000);
+        assert_eq!(shrunk.len(), 8);
+    }
+
+    #[test]
+    fn zeroes_uninteresting_values() {
+        let mut data = vec![3.5f32; 50];
+        data[7] = f32::INFINITY;
+        let shrunk = shrink_data(&data, |d| d.iter().any(|v| v.is_infinite()), 10_000);
+        assert_eq!(shrunk.len(), 1);
+        assert!(shrunk[0].is_infinite());
+    }
+}

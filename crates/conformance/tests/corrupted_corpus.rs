@@ -1,0 +1,127 @@
+//! Exhaustive corruption corpus over one representative stream and archive:
+//! every single-bit flip and every strict-prefix truncation must decode to a
+//! typed error or an agreed-upon value — never a panic. (The fuzz harness
+//! samples these spaces; this test sweeps them completely.)
+
+use ceresz_core::archive::Archive;
+use ceresz_core::{
+    compress, decompress_bytes, decompress_bytes_parallel, CereszConfig, ErrorBound,
+};
+
+fn sample_stream() -> Vec<u8> {
+    let data: Vec<f32> = (0..32 * 5 + 9)
+        .map(|i| (i as f32 * 0.03).sin() * 4.0)
+        .collect();
+    let cfg = CereszConfig::new(ErrorBound::Abs(1e-3));
+    compress(&data, &cfg).unwrap().data
+}
+
+fn sample_archive() -> Vec<u8> {
+    let cfg = CereszConfig::new(ErrorBound::Abs(1e-3));
+    let mut a = Archive::new();
+    let field1: Vec<f32> = (0..96).map(|i| (i as f32 * 0.1).cos()).collect();
+    let field2: Vec<f32> = (0..40).map(|i| i as f32 * 0.5).collect();
+    a.add_field("temperature", &[8, 12], &field1, &cfg).unwrap();
+    a.add_field("pressure", &[40], &field2, &cfg).unwrap();
+    a.to_bytes()
+}
+
+#[test]
+fn every_stream_bit_flip_is_safe() {
+    let valid = sample_stream();
+    for byte in 0..valid.len() {
+        for bit in 0..8 {
+            let mut m = valid.clone();
+            m[byte] ^= 1 << bit;
+            // Must not panic; when both decoders accept, they must agree.
+            let serial = decompress_bytes(&m);
+            let parallel = decompress_bytes_parallel(&m);
+            match (serial, parallel) {
+                (Ok(a), Ok(b)) => assert!(
+                    a.iter()
+                        .map(|v| v.to_bits())
+                        .eq(b.iter().map(|v| v.to_bits())),
+                    "byte {byte} bit {bit}: decoders disagree"
+                ),
+                (Err(_), Err(_)) => {}
+                (s, p) => panic!(
+                    "byte {byte} bit {bit}: serial {:?} vs parallel {:?}",
+                    s.is_ok(),
+                    p.is_ok()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_stream_truncation_is_rejected() {
+    let valid = sample_stream();
+    for cut in 0..valid.len() {
+        assert!(
+            decompress_bytes(&valid[..cut]).is_err(),
+            "serial decoder accepted a {cut}-byte prefix of a {}-byte stream",
+            valid.len()
+        );
+        assert!(
+            decompress_bytes_parallel(&valid[..cut]).is_err(),
+            "parallel decoder accepted a {cut}-byte prefix of a {}-byte stream",
+            valid.len()
+        );
+    }
+}
+
+#[test]
+fn every_archive_bit_flip_is_safe() {
+    let valid = sample_archive();
+    for byte in 0..valid.len() {
+        for bit in 0..8 {
+            let mut m = valid.clone();
+            m[byte] ^= 1 << bit;
+            // The parse may accept payload flips; decoding each field must
+            // then itself return a typed error or data — never panic.
+            if let Ok(archive) = Archive::from_bytes(&m) {
+                for f in archive.fields() {
+                    let _ = f.decompress();
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_archive_truncation_is_rejected() {
+    let valid = sample_archive();
+    for cut in 0..valid.len() {
+        assert!(
+            Archive::from_bytes(&valid[..cut]).is_err(),
+            "archive parser accepted a {cut}-byte prefix of a {}-byte archive",
+            valid.len()
+        );
+    }
+}
+
+#[test]
+fn forged_length_fields_are_rejected() {
+    let stream = sample_stream();
+    for m in conformance::mutate::stream_header_forgeries(&stream, 32) {
+        assert!(
+            decompress_bytes(&m.bytes).is_err(),
+            "serial decoder accepted: {}",
+            m.what
+        );
+        assert!(
+            decompress_bytes_parallel(&m.bytes).is_err(),
+            "parallel decoder accepted: {}",
+            m.what
+        );
+    }
+    let archive = sample_archive();
+    for m in conformance::mutate::archive_forgeries(&archive) {
+        assert!(
+            Archive::from_bytes(&m.bytes).is_err(),
+            "archive parser accepted: {}",
+            m.what
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Fixed-seed fuzz runs — the deterministic `#[test]` face of the harness.
+//!
+//! These use small case counts so the suite stays fast in debug builds; the
+//! CI fuzz-smoke job and `ceresz fuzz --seed 42 --cases 5000` run the same
+//! harness at scale in release.
+
+use conformance::{run_fuzz, FuzzConfig};
+
+#[test]
+fn fuzz_seed_42() {
+    let report = run_fuzz(&FuzzConfig {
+        seed: 42,
+        cases: 150,
+        shrink: true,
+    });
+    assert!(report.all_passed(), "{report}");
+}
+
+#[test]
+fn fuzz_seed_7() {
+    let report = run_fuzz(&FuzzConfig {
+        seed: 7,
+        cases: 100,
+        shrink: true,
+    });
+    assert!(report.all_passed(), "{report}");
+}
+
+#[test]
+fn report_counts_cases() {
+    let report = run_fuzz(&FuzzConfig {
+        seed: 1,
+        cases: 25,
+        shrink: false,
+    });
+    assert_eq!(report.cases_run, 25);
+    // The generator mixes valid and invalid configurations; a healthy run
+    // exercises both the success and the typed-error paths.
+    assert!(report.compressible_cases > 0);
+    assert!(report.compressible_cases < 25);
+}
+
+#[test]
+fn runs_are_reproducible() {
+    let cfg = FuzzConfig {
+        seed: 99,
+        cases: 20,
+        shrink: false,
+    };
+    let a = run_fuzz(&cfg);
+    let b = run_fuzz(&cfg);
+    assert_eq!(a.cases_run, b.cases_run);
+    assert_eq!(a.compressible_cases, b.compressible_cases);
+    assert_eq!(a.failures.len(), b.failures.len());
+}

@@ -76,6 +76,15 @@ pub enum SimError {
         /// The offending id.
         pe: PeId,
     },
+    /// A PE program failed on the data it was handed (on real hardware the
+    /// CSL kernel would trap; the simulator surfaces it as a typed error so
+    /// the host can recover instead of aborting the process).
+    Kernel {
+        /// The PE whose program failed.
+        pe: PeId,
+        /// The kernel's own description of the failure.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -116,6 +125,7 @@ impl std::fmt::Display for SimError {
                 write!(f, "simulation exceeded the cycle limit of {limit}")
             }
             SimError::BadPe { pe } => write!(f, "{pe} is outside the mesh"),
+            SimError::Kernel { pe, message } => write!(f, "kernel failure on {pe}: {message}"),
         }
     }
 }

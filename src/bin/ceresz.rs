@@ -11,12 +11,19 @@
 //!                   [--strategy row-parallel|pipeline|multi-pipeline]
 //!                   [--rows R] [--len L] [--pipelines P] [--limit N]
 //!                   [--out profile.json] [--trace-out trace.json]
+//! ceresz fuzz       [--seed N] [--cases M] [--no-shrink]
 //! ```
 //!
 //! `profile` runs the chosen mapping strategy on the event simulator with
 //! per-stage cycle attribution and timeline tracing enabled, prints the
 //! stage table (the shape of the paper's Tables 1–3), and writes the
 //! machine-readable `profile.json` plus a Perfetto-loadable Chrome trace.
+//!
+//! `fuzz` runs the deterministic differential conformance harness (see the
+//! `conformance` crate): seeded adversarial inputs through the host
+//! compressor, all three simulated mapping strategies, the decoders under
+//! byte-level corruption, and the baseline codecs. Any failure prints the
+//! case seed so `ceresz fuzz --case-seed <that seed>` replays it alone.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -49,6 +56,7 @@ fn main() -> ExitCode {
                  [--strategy S] [--rows R] [--len L] [--pipelines P] [--limit N] \
                  [--out profile.json] [--trace-out trace.json]"
             );
+            eprintln!("  ceresz fuzz       [--seed N] [--cases M] [--no-shrink] [--case-seed S]");
             ExitCode::FAILURE
         }
     }
@@ -61,6 +69,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("info") => cmd_info(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("missing command".into()),
     }
@@ -96,6 +105,11 @@ struct Flags {
     limit: usize,
     out: Option<String>,
     trace_out: Option<String>,
+    /// `fuzz` options.
+    seed: u64,
+    cases: u64,
+    no_shrink: bool,
+    case_seed: Option<u64>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -111,6 +125,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         limit: 32 * 512,
         out: None,
         trace_out: None,
+        seed: 42,
+        cases: 1000,
+        no_shrink: false,
+        case_seed: None,
     };
     let mut i = 0;
     let value = |i: &mut usize| -> Result<String, String> {
@@ -135,6 +153,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--limit" => f.limit = parse_usize(&value(&mut i)?, "--limit")?,
             "--out" => f.out = Some(value(&mut i)?),
             "--trace-out" => f.trace_out = Some(value(&mut i)?),
+            "--seed" => f.seed = parse_u64(&value(&mut i)?, "--seed")?,
+            "--cases" => f.cases = parse_u64(&value(&mut i)?, "--cases")?,
+            "--no-shrink" => {
+                f.no_shrink = true;
+                i += 1;
+            }
+            "--case-seed" => f.case_seed = Some(parse_u64(&value(&mut i)?, "--case-seed")?),
             other => {
                 f.positional.push(other.to_owned());
                 i += 1;
@@ -150,6 +175,16 @@ fn parse_num(s: &str, flag: &str) -> Result<f64, String> {
 
 fn parse_usize(s: &str, flag: &str) -> Result<usize, String> {
     s.parse().map_err(|e| format!("{flag}: {e}"))
+}
+
+/// Parse a u64 in decimal or, with an `0x` prefix, hex (the form the fuzz
+/// report prints case seeds in).
+fn parse_u64(s: &str, flag: &str) -> Result<u64, String> {
+    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.map_err(|e| format!("{flag}: {e}"))
 }
 
 /// Write `doc` as pretty JSON to `path`.
@@ -301,6 +336,61 @@ fn ceresz_profile(
     strategy: MappingStrategy,
 ) -> Result<ceresz::wse::CompressionProfile, String> {
     profile_compression(data, cfg, strategy).map_err(|e| e.to_string())
+}
+
+fn cmd_fuzz(args: &[String]) -> Result<(), String> {
+    let f = parse_flags(args)?;
+    if !f.positional.is_empty() {
+        return Err(format!(
+            "fuzz takes no positional arguments: {:?}",
+            f.positional
+        ));
+    }
+
+    // Replay mode: one case rebuilt from its reported seed.
+    if let Some(seed) = f.case_seed {
+        let case = ceresz::conformance::Case::from_seed(seed, 0);
+        println!(
+            "replaying case seed {seed:#018x}: {} values ({:?}), bound {:?}, block {}",
+            case.data.len(),
+            case.class,
+            case.bound,
+            case.block_size
+        );
+        let outcome = ceresz::conformance::run_case(&case);
+        for (oracle, message) in &outcome.violations {
+            println!("  FAIL [{oracle}]: {message}");
+        }
+        return if outcome.violations.is_empty() {
+            println!("  all oracles passed");
+            Ok(())
+        } else {
+            Err(format!("{} oracle violation(s)", outcome.violations.len()))
+        };
+    }
+
+    println!(
+        "fuzzing {} cases from seed {} (shrink {})",
+        f.cases,
+        f.seed,
+        if f.no_shrink { "off" } else { "on" }
+    );
+    let t0 = std::time::Instant::now();
+    let report = ceresz::conformance::run_fuzz(&ceresz::conformance::FuzzConfig {
+        seed: f.seed,
+        cases: f.cases,
+        shrink: !f.no_shrink,
+    });
+    print!("{report}");
+    println!("done in {:.1} s", t0.elapsed().as_secs_f64());
+    if report.all_passed() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} conformance violation(s); replay one with --case-seed <seed>",
+            report.failures.len()
+        ))
+    }
 }
 
 fn cmd_info(args: &[String]) -> Result<(), String> {

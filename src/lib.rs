@@ -16,6 +16,9 @@
 //! * [`huffman`] — the canonical Huffman substrate.
 //! * [`telemetry`] — profiling primitives (counters, histograms, spans) and
 //!   the Perfetto / `profile.json` exporters behind `ceresz profile`.
+//! * [`conformance`] — the seed-driven differential fuzzing harness behind
+//!   `ceresz fuzz` (four oracles: differential, roundtrip, mutation,
+//!   baselines).
 //!
 //! ## Quickstart
 //!
@@ -33,6 +36,7 @@
 pub use baselines;
 pub use ceresz_core as core;
 pub use ceresz_wse as wse;
+pub use conformance;
 pub use datasets as data;
 pub use huffman;
 pub use metrics as quality;
