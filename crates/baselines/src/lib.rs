@@ -18,6 +18,7 @@
 //! papers report, parameterized by the same data statistics (mean fixed
 //! length, zero-block fraction) that drive the real kernels.
 
+#![forbid(unsafe_code)]
 pub mod cusz;
 pub mod cuszp;
 pub mod device_model;

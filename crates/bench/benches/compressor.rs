@@ -15,10 +15,10 @@ fn bench_compress(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(field.bytes() as u64));
     group.sample_size(10);
     group.bench_function(BenchmarkId::new("serial", field.len()), |b| {
-        b.iter(|| compress(&field.data, &cfg).unwrap())
+        b.iter(|| compress(&field.data, &cfg).unwrap());
     });
     group.bench_function(BenchmarkId::new("rayon", field.len()), |b| {
-        b.iter(|| compress_parallel(&field.data, &cfg).unwrap())
+        b.iter(|| compress_parallel(&field.data, &cfg).unwrap());
     });
     group.finish();
 }
@@ -31,10 +31,10 @@ fn bench_decompress(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(field.bytes() as u64));
     group.sample_size(10);
     group.bench_function(BenchmarkId::new("serial", field.len()), |b| {
-        b.iter(|| decompress(&compressed).unwrap())
+        b.iter(|| decompress(&compressed).unwrap());
     });
     group.bench_function(BenchmarkId::new("rayon", field.len()), |b| {
-        b.iter(|| decompress_parallel(&compressed).unwrap())
+        b.iter(|| decompress_parallel(&compressed).unwrap());
     });
     group.finish();
 }
@@ -48,11 +48,11 @@ fn bench_baselines(c: &mut Criterion) {
     group.sample_size(10);
     let szp = baselines::szp::Szp::default();
     group.bench_function("szp", |b| {
-        b.iter(|| szp.compress(&field.data, &field.dims, bound).unwrap())
+        b.iter(|| szp.compress(&field.data, &field.dims, bound).unwrap());
     });
     let sz3 = baselines::sz3::Sz3;
     group.bench_function("sz3", |b| {
-        b.iter(|| sz3.compress(&field.data, &field.dims, bound).unwrap())
+        b.iter(|| sz3.compress(&field.data, &field.dims, bound).unwrap());
     });
     group.finish();
 }

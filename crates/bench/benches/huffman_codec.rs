@@ -22,11 +22,11 @@ fn bench_huffman(c: &mut Criterion) {
     group.throughput(Throughput::Elements(symbols.len() as u64));
     group.sample_size(20);
     group.bench_function("encode", |b| {
-        b.iter(|| huffman::codec::encode(&symbols).unwrap())
+        b.iter(|| huffman::codec::encode(&symbols).unwrap());
     });
     let encoded = huffman::codec::encode(&symbols).unwrap();
     group.bench_function("decode", |b| {
-        b.iter(|| huffman::codec::decode(&encoded).unwrap())
+        b.iter(|| huffman::codec::decode(&encoded).unwrap());
     });
     group.finish();
 }

@@ -17,11 +17,11 @@ fn bench_quantize(c: &mut Criterion) {
     let mut group = c.benchmark_group("quantize");
     group.throughput(Throughput::Elements(N as u64));
     group.bench_function("quantize", |b| {
-        b.iter(|| quantize(&data, 1e-3, &mut out).unwrap())
+        b.iter(|| quantize(&data, 1e-3, &mut out).unwrap());
     });
     let mut rec = vec![0f32; N];
     group.bench_function("dequantize", |b| {
-        b.iter(|| dequantize(&out, 1e-3, &mut rec))
+        b.iter(|| dequantize(&out, 1e-3, &mut rec));
     });
     group.finish();
 }
@@ -49,7 +49,7 @@ fn bench_bit_shuffle(c: &mut Criterion) {
     group.bench_function("shuffle", |b| b.iter(|| bit_shuffle(&mags, f, &mut planes)));
     let mut back = vec![0u32; 32];
     group.bench_function("unshuffle", |b| {
-        b.iter(|| bit_unshuffle(&planes, f, &mut back))
+        b.iter(|| bit_unshuffle(&planes, f, &mut back));
     });
     group.finish();
 }

@@ -39,9 +39,10 @@ fn main() {
         let round: Vec<f32> = block.iter().copied().cycle().take(32 * p).collect();
         let run = run_multi_pipeline(&round, &cfg, 1, 1, p).expect("simulation runs");
         let finish = run.stats.finish_cycle;
-        let delta = prev
-            .map(|(pp, pf)| format!("{:.0}/col", (finish - pf) / (p - pp) as f64))
-            .unwrap_or_else(|| "-".into());
+        let delta = prev.map_or_else(
+            || "-".into(),
+            |(pp, pf)| format!("{:.0}/col", (finish - pf) / (p - pp) as f64),
+        );
         prev = Some((p, finish));
         let eq2 = model.relay_cycles_per_round(p);
         t.row(&[

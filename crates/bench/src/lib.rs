@@ -5,6 +5,7 @@
 //! share: dataset access with fixed seeds, the REL bound sweep, replication
 //! factors to paper scale, and plain-text table formatting.
 
+#![forbid(unsafe_code)]
 use baselines::device_model::{DataProfile, DeviceModel, Direction};
 use ceresz_core::{CereszConfig, ErrorBound};
 use ceresz_wse::throughput::WaferConfig;

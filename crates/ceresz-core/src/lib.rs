@@ -39,6 +39,7 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod archive;
 pub mod block;
 pub mod bound;

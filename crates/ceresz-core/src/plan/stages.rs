@@ -328,7 +328,7 @@ mod tests {
         // Bit-shuffle scales with the fixed length: 17 → ≈33609, 13 → ≈25675,
         // 12 → ≈23694.
         for (f, expect) in [(17u32, 33609.0), (13, 25675.0), (12, 23694.0)] {
-            let total = f as f64 * m.shuffle_plane(L);
+            let total = f64::from(f) * m.shuffle_plane(L);
             assert!(
                 (total - expect).abs() / expect < 0.01,
                 "f={f}: {total} vs {expect}"

@@ -13,10 +13,16 @@ use crate::QUANT_MAX;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QuantizeError {
     /// The input contained a NaN or infinity, which cannot be bounded.
-    NonFinite { index: usize },
+    NonFinite {
+        /// Index of the offending value.
+        index: usize,
+    },
     /// `|round(e / 2ε)|` exceeded [`QUANT_MAX`]; the error bound is too small
     /// relative to the data magnitude for the 32-bit integer pipeline.
-    Overflow { index: usize },
+    Overflow {
+        /// Index of the offending value.
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for QuantizeError {

@@ -122,17 +122,33 @@ impl MappingStrategy {
     }
 }
 
-/// Observability options for a simulated run, shared by all three mapping
-/// strategies. The default (`trace` off, disabled [`Recorder`]) costs
-/// nothing: the simulator skips timeline recording and the kernels skip
-/// per-stage attribution entirely.
-#[derive(Debug, Clone, Default)]
+/// Observability and verification options for a simulated run, shared by
+/// all three mapping strategies. The default (`trace` off, disabled
+/// [`Recorder`], static verification **on**) costs nothing at runtime: the
+/// simulator skips timeline recording and the kernels skip per-stage
+/// attribution entirely, while the verifier runs once over the static
+/// manifest before the first cycle.
+#[derive(Debug, Clone)]
 pub struct SimOptions {
     /// Record the per-PE task timeline ([`MeshConfig::with_trace`]).
     pub trace: bool,
     /// Telemetry sink; per-stage cycle attribution is collected iff the
     /// recorder is enabled ([`MeshConfig::with_recorder`]).
     pub recorder: Recorder,
+    /// Run the static mapping verifier over the constructed mapping before
+    /// simulating (on by default); a rejected mapping returns
+    /// [`WseError::MappingRejected`] instead of failing mid-run.
+    pub verify: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            trace: false,
+            recorder: Recorder::default(),
+            verify: true,
+        }
+    }
 }
 
 impl SimOptions {
@@ -143,7 +159,16 @@ impl SimOptions {
         Self {
             trace: true,
             recorder: Recorder::enabled(),
+            ..Self::default()
         }
+    }
+
+    /// Opt out of static verification (e.g. to reproduce a dynamic failure
+    /// the verifier would catch, or in the fuzzer's soundness oracle).
+    #[must_use]
+    pub fn without_verify(mut self) -> Self {
+        self.verify = false;
+        self
     }
 
     /// Build a mesh configuration carrying these options.
@@ -186,6 +211,53 @@ pub struct ProfiledRun {
     pub report: RunReport,
     /// The stage plan (pipeline strategies only).
     pub plan: Option<CompressionPlan>,
+}
+
+/// Build the static [`wse_verify::MappingManifest`] the given strategy
+/// would execute on `data`, without running the simulator. This is what
+/// `ceresz lint` and the conformance fuzzer's soundness oracle call: the
+/// manifest can be fed to [`wse_verify::verify`] directly, or inspected.
+pub fn mapping_manifest(
+    data: &[f32],
+    cfg: &CereszConfig,
+    strategy: MappingStrategy,
+) -> Result<wse_verify::MappingManifest, WseError> {
+    strategy.validate()?;
+    let options = SimOptions::default();
+    let mesh = match strategy {
+        MappingStrategy::RowParallel { rows } => {
+            crate::row_parallel::build_row_parallel(data, cfg, rows, &options)?.mesh
+        }
+        MappingStrategy::Pipeline {
+            rows,
+            pipeline_length,
+        } => {
+            crate::pipeline_map::build_pipeline_strategy(
+                data,
+                cfg,
+                rows,
+                pipeline_length,
+                &options,
+            )?
+            .mesh
+        }
+        MappingStrategy::MultiPipeline {
+            rows,
+            pipeline_length,
+            pipelines_per_row,
+        } => {
+            crate::multi_pipeline::build_multi_pipeline(
+                data,
+                cfg,
+                rows,
+                pipeline_length,
+                pipelines_per_row,
+                &options,
+            )?
+            .mesh
+        }
+    };
+    Ok(mesh.into_parts().1)
 }
 
 /// Simulate CereSZ compression of `data` with the given strategy.
@@ -394,6 +466,43 @@ mod tests {
                     ))
                 ),
                 "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_strategy_verifies_clean_across_shapes() {
+        // The EXPERIMENTS.md shape sweep in miniature: every shipped mapping
+        // must pass its own static verifier with zero diagnostics of error
+        // severity (warnings allowed — e.g. over-supplied padded channels).
+        let data: Vec<f32> = (0..32 * 24)
+            .map(|i| (i as f32 * 0.02).sin() * 8.0)
+            .collect();
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let mut strategies = vec![
+            MappingStrategy::RowParallel { rows: 1 },
+            MappingStrategy::RowParallel { rows: 8 },
+            MappingStrategy::RowParallel { rows: 32 },
+        ];
+        for len in [1usize, 2, 4, 8] {
+            strategies.push(MappingStrategy::Pipeline {
+                rows: 2,
+                pipeline_length: len,
+            });
+        }
+        for (len, p) in [(1usize, 1usize), (1, 8), (2, 3), (4, 2)] {
+            strategies.push(MappingStrategy::MultiPipeline {
+                rows: 2,
+                pipeline_length: len,
+                pipelines_per_row: p,
+            });
+        }
+        for strategy in strategies {
+            let manifest = mapping_manifest(&data, &cfg, strategy).unwrap();
+            let report = wse_verify::verify(&manifest);
+            assert!(
+                report.is_clean(),
+                "{strategy:?} rejected by its own verifier:\n{report}"
             );
         }
     }

@@ -25,6 +25,16 @@ pub enum WseError {
         /// Human-readable explanation with the numbers.
         reason: String,
     },
+    /// The static mapping verifier rejected the constructed mapping before
+    /// simulation (unroutable color, unbalanced channel, SRAM overflow,
+    /// dead task). Carries every error-severity diagnostic, each located at
+    /// a PE/color with a fix hint.
+    MappingRejected {
+        /// The mapping (strategy + shape) that failed verification.
+        mapping: String,
+        /// The error-severity findings.
+        diagnostics: Vec<wse_verify::Diagnostic>,
+    },
 }
 
 impl std::fmt::Display for WseError {
@@ -36,6 +46,20 @@ impl std::fmt::Display for WseError {
             WseError::InvalidStrategy { reason } => {
                 write!(f, "invalid mapping strategy: {reason}")
             }
+            WseError::MappingRejected {
+                mapping,
+                diagnostics,
+            } => {
+                write!(
+                    f,
+                    "static verification rejected mapping `{mapping}` with {} error(s)",
+                    diagnostics.len()
+                )?;
+                for d in diagnostics.iter().take(4) {
+                    write!(f, "; {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -45,7 +69,9 @@ impl std::error::Error for WseError {
         match self {
             WseError::Compress(e) => Some(e),
             WseError::Sim(e) => Some(e),
-            WseError::DoesNotFit { .. } | WseError::InvalidStrategy { .. } => None,
+            WseError::DoesNotFit { .. }
+            | WseError::InvalidStrategy { .. }
+            | WseError::MappingRejected { .. } => None,
         }
     }
 }

@@ -26,12 +26,14 @@
 //! cycle accounting fed through the paper's Eq. (4) closed form, used for
 //! the 512×512 and 750×994 configurations that are too large to event-step.
 
+#![forbid(unsafe_code)]
 pub mod decompress_map;
 pub mod distributor;
 pub mod engine;
 pub mod error;
 pub mod harness;
 pub mod kernels;
+pub mod mapping;
 pub mod multi_pipeline;
 pub mod pipeline_map;
 pub mod profile;
@@ -40,9 +42,11 @@ pub mod throughput;
 pub mod wire;
 
 pub use engine::{
-    simulate_compression, simulate_compression_with, MappingStrategy, ProfiledRun, SimOptions,
-    SimulatedRun,
+    mapping_manifest, simulate_compression, simulate_compression_with, MappingStrategy,
+    ProfiledRun, SimOptions, SimulatedRun,
 };
 pub use error::WseError;
+pub use mapping::MappedMesh;
 pub use profile::{build_report, profile_compression, CompressionProfile};
 pub use throughput::{ThroughputReport, WaferConfig};
+pub use wse_verify as verify;

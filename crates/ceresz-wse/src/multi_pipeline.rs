@@ -15,9 +15,10 @@ use ceresz_core::block::BlockCodec;
 use ceresz_core::compressor::{CereszConfig, CompressError, Compressed};
 use ceresz_core::plan::{CompressionPlan, StageCostModel, SubStageKind};
 use ceresz_core::stream::StreamHeader;
-use wse_sim::{Color, Direction, PeId, PeProgram, SimError, SimStats, Simulator, TaskCtx, TaskId};
+use wse_sim::{Color, Direction, PeId, PeProgram, SimError, SimStats, TaskCtx, TaskId};
 
 use crate::engine::SimOptions;
+use crate::mapping::MappedMesh;
 
 use crate::error::WseError;
 use crate::harness::{
@@ -146,16 +147,31 @@ pub fn run_multi_pipeline(
     .map(|(run, _)| run)
 }
 
-/// [`run_multi_pipeline`] with observability options; also returns the full
-/// simulator report (timeline, per-stage cycle attribution).
-pub fn run_multi_pipeline_with(
+/// A constructed (but not yet run) multi-pipeline mapping: the mesh with
+/// its static manifest plus everything needed to assemble the output stream.
+pub(crate) struct MultiPipelineBuild {
+    /// The mesh and its recorded manifest.
+    pub mesh: MappedMesh,
+    /// Stream header of the eventual output.
+    pub header: StreamHeader,
+    /// The executed plan.
+    pub plan: CompressionPlan,
+    /// Total (unpadded) block count.
+    pub n_blocks: usize,
+    /// Real (unpadded) blocks per row, for reassembly.
+    pub real_count: Vec<usize>,
+}
+
+/// Construct the multi-pipeline mapping without running it: install relay
+/// routes, head/stage programs, and receives while recording the manifest.
+pub(crate) fn build_multi_pipeline(
     data: &[f32],
     cfg: &CereszConfig,
     rows: usize,
     pipeline_length: usize,
     pipelines_per_row: usize,
     options: &SimOptions,
-) -> Result<(MultiPipelineRun, wse_sim::RunReport), WseError> {
+) -> Result<MultiPipelineBuild, WseError> {
     crate::engine::MappingStrategy::MultiPipeline {
         rows,
         pipeline_length,
@@ -194,7 +210,12 @@ pub fn run_multi_pipeline_with(
         }
     }
 
-    let mut sim = Simulator::new(options.mesh_config(rows, cols));
+    let mut mesh = MappedMesh::new(
+        format!("multi-pipeline rows={rows} len={len} p={p}"),
+        options.mesh_config(rows, cols),
+        rows,
+        cols,
+    );
     let stage_kinds: Vec<SubStageKind> = plan.stages.iter().map(|s| s.kind).collect();
     for (r, row_blocks) in per_row_blocks.iter().enumerate() {
         let rounds = row_blocks.len() / p;
@@ -203,32 +224,36 @@ pub fn run_multi_pipeline_with(
         }
         for k in 0..p {
             let head_col = k * len;
+            let head_pe = PeId::new(r, head_col);
             let relay_in = if k == 0 {
                 colors::DATA
             } else {
                 relay_color(k - 1)
             };
             let relay_out = (k + 1 < p).then(|| relay_color(k));
+            let quota = p - 1 - k;
             // Route the relay color from this head to the next head's RAMP,
             // passing through this pipeline's stage PEs at the router level.
             if let Some(rc) = relay_out {
-                sim.route(PeId::new(r, head_col), rc, None, &[Direction::East]);
+                mesh.route(head_pe, rc, None, &[Direction::East]);
                 for c in head_col + 1..head_col + len {
-                    sim.route(
+                    mesh.route(
                         PeId::new(r, c),
                         rc,
                         Some(Direction::West),
                         &[Direction::East],
                     );
                 }
-                sim.route(
+                mesh.route(
                     PeId::new(r, (k + 1) * len),
                     rc,
                     Some(Direction::West),
                     &[Direction::Ramp],
                 );
+                // Relay branch: one raw block forwarded per downstream
+                // pipeline per round.
+                mesh.declare_send(head_pe, rc, cfg.block_size, rounds * quota, None);
             }
-            let quota = p - 1 - k;
             let head = HeadPe {
                 relay_in,
                 relay_out,
@@ -240,18 +265,19 @@ pub fn run_multi_pipeline_with(
                 codec,
                 eps,
             };
-            sim.set_program(PeId::new(r, head_col), Box::new(head));
-            sim.post_recv(
-                PeId::new(r, head_col),
+            mesh.set_program(head_pe, Box::new(head), &[tasks::RECV]);
+            mesh.post_recv(
+                head_pe,
                 relay_in,
                 cfg.block_size,
                 tasks::RECV,
+                rounds * (quota + 1),
             );
             // Remaining PEs of this pipeline reuse the strategy-2 builder's
             // shape: install stage PEs 1..len with their groups and routes.
             if len > 1 {
                 install_tail_stages(
-                    &mut sim,
+                    &mut mesh,
                     r,
                     head_col,
                     &plan,
@@ -262,10 +288,35 @@ pub fn run_multi_pipeline_with(
                 );
             }
         }
-        sim.inject_blocks(PeId::new(r, 0), colors::DATA, row_blocks.clone(), 0.0);
+        mesh.inject_blocks(PeId::new(r, 0), colors::DATA, row_blocks.clone(), 0.0);
     }
+    Ok(MultiPipelineBuild {
+        mesh,
+        header,
+        plan,
+        n_blocks,
+        real_count,
+    })
+}
 
-    let report = sim.run().map_err(WseError::Sim)?;
+/// [`run_multi_pipeline`] with observability options; also returns the full
+/// simulator report (timeline, per-stage cycle attribution).
+pub fn run_multi_pipeline_with(
+    data: &[f32],
+    cfg: &CereszConfig,
+    rows: usize,
+    pipeline_length: usize,
+    pipelines_per_row: usize,
+    options: &SimOptions,
+) -> Result<(MultiPipelineRun, wse_sim::RunReport), WseError> {
+    let build = build_multi_pipeline(data, cfg, rows, pipeline_length, pipelines_per_row, options)?;
+    if options.verify {
+        crate::mapping::ensure_verified(&build.mesh)?;
+    }
+    let (header, plan, n_blocks, real_count) =
+        (build.header, build.plan, build.n_blocks, build.real_count);
+    let (p, len) = (pipelines_per_row, pipeline_length);
+    let report = build.mesh.into_sim().run().map_err(WseError::Sim)?;
 
     // Reassemble: row r's s-th block lives at pipeline P−1−(s mod P),
     // round s / P.
@@ -299,7 +350,7 @@ pub fn run_multi_pipeline_with(
 /// Install PEs 1..len of a pipeline (the non-head stages).
 #[allow(clippy::too_many_arguments)]
 fn install_tail_stages(
-    sim: &mut Simulator,
+    mesh: &mut MappedMesh,
     row: usize,
     head_col: usize,
     plan: &CompressionPlan,
@@ -311,19 +362,21 @@ fn install_tail_stages(
     // Delegate to the strategy-2 builder for shape consistency, but PE 0 is
     // the head (already installed), so install only groups 1..len here.
     let len = plan.pipeline_length;
+    let extent = crate::harness::frame_words(codec.block_size());
     for g in 1..len {
         let pe = PeId::new(row, head_col + g);
         let my_stages: Vec<SubStageKind> = plan.groups.group(g).map(|i| stage_kinds[i]).collect();
         let in_color = inter_color(g - 1);
         let out_color = (g + 1 < len).then(|| inter_color(g));
         if let Some(c) = out_color {
-            sim.route(pe, c, None, &[Direction::East]);
-            sim.route(
+            mesh.route(pe, c, None, &[Direction::East]);
+            mesh.route(
                 PeId::new(row, head_col + g + 1),
                 c,
                 Some(Direction::West),
                 &[Direction::Ramp],
             );
+            mesh.declare_send(pe, c, extent, count, None);
         }
         let working_set = ceresz_core::plan::pipeline_memory_bytes(
             &plan.groups,
@@ -340,19 +393,21 @@ fn install_tail_stages(
             count,
             working_set,
         );
-        let extent = crate::harness::frame_words(codec.block_size());
-        sim.set_program(pe, program);
-        sim.post_recv(pe, in_color, extent, tasks::RECV);
+        mesh.declare_buffer(pe, working_set, format!("stage group {g} working set"));
+        mesh.set_program(pe, program, &[tasks::RECV]);
+        mesh.post_recv(pe, in_color, extent, tasks::RECV, count);
     }
-    // Route the intra-pipeline color from the head to PE 1.
+    // Route the intra-pipeline color from the head to PE 1, and declare the
+    // head's per-round frame send on it.
     let c0 = inter_color(0);
-    sim.route(PeId::new(row, head_col), c0, None, &[Direction::East]);
-    sim.route(
+    mesh.route(PeId::new(row, head_col), c0, None, &[Direction::East]);
+    mesh.route(
         PeId::new(row, head_col + 1),
         c0,
         Some(Direction::West),
         &[Direction::Ramp],
     );
+    mesh.declare_send(PeId::new(row, head_col), c0, extent, count, None);
 }
 
 #[cfg(test)]

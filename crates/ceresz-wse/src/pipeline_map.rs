@@ -10,9 +10,10 @@ use ceresz_core::block::BlockCodec;
 use ceresz_core::compressor::{CereszConfig, CompressError, Compressed};
 use ceresz_core::plan::{CompressionPlan, StageCostModel, SubStageKind};
 use ceresz_core::stream::StreamHeader;
-use wse_sim::{Color, Direction, PeId, PeProgram, SimError, SimStats, Simulator, TaskCtx, TaskId};
+use wse_sim::{Color, Direction, PeId, PeProgram, SimError, SimStats, TaskCtx, TaskId};
 
 use crate::engine::SimOptions;
+use crate::mapping::MappedMesh;
 
 use crate::error::WseError;
 use crate::harness::{
@@ -150,11 +151,12 @@ impl PipelineRun {
 }
 
 /// Configure the PEs and routing of one pipeline in `row`, starting at
-/// column `start_col`, processing `count` blocks. Shared with the
-/// multi-pipeline strategy (which plants several of these per row).
+/// column `start_col`, processing `count` blocks, declaring every channel
+/// and working set in the mesh's manifest. Shared with the multi-pipeline
+/// strategy (which plants several of these per row).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn build_pipeline(
-    sim: &mut Simulator,
+    mesh: &mut MappedMesh,
     row: usize,
     start_col: usize,
     plan: &CompressionPlan,
@@ -182,13 +184,15 @@ pub(crate) fn build_pipeline(
         let out_color = (g + 1 < len).then(|| inter_color(g));
         if let Some(c) = out_color {
             // RAMP → East at this PE; West → RAMP at the next.
-            sim.route(pe, c, None, &[Direction::East]);
-            sim.route(
+            mesh.route(pe, c, None, &[Direction::East]);
+            mesh.route(
                 PeId::new(row, start_col + g + 1),
                 c,
                 Some(Direction::West),
                 &[Direction::Ramp],
             );
+            // The program sends one padded frame per block.
+            mesh.declare_send(pe, c, frame_words(codec.block_size()), count, None);
         }
         let program = PipeStagePe {
             stages: my_stages,
@@ -202,8 +206,9 @@ pub(crate) fn build_pipeline(
             reserved: false,
         };
         let extent = program.in_extent();
-        sim.set_program(pe, Box::new(program));
-        sim.post_recv(pe, in_color, extent, tasks::RECV);
+        mesh.declare_buffer(pe, working_set, format!("stage group {g} working set"));
+        mesh.set_program(pe, Box::new(program), &[tasks::RECV]);
+        mesh.post_recv(pe, in_color, extent, tasks::RECV, count);
     }
 }
 
@@ -218,17 +223,28 @@ pub fn run_pipeline(
     run_pipeline_with(data, cfg, rows, pipeline_length, &SimOptions::default()).map(|(run, _)| run)
 }
 
-/// [`run_pipeline`] with observability options; also returns the full
-/// simulator report (task timeline when `options.trace` is set, per-stage
-/// cycle attribution when `options.recorder` is enabled — the per-PE Gantt
-/// view the `trace_pipeline` bench renders comes from the report's trace).
-pub fn run_pipeline_with(
+/// A constructed (but not yet run) pipeline mapping: the mesh with its
+/// static manifest plus everything needed to assemble the output stream.
+pub(crate) struct PipelineBuild {
+    /// The mesh and its recorded manifest.
+    pub mesh: MappedMesh,
+    /// Stream header of the eventual output.
+    pub header: StreamHeader,
+    /// The executed plan.
+    pub plan: CompressionPlan,
+    /// Total block count (for reassembly).
+    pub n_blocks: usize,
+}
+
+/// Construct the pipeline mapping without running it: install routes,
+/// programs, and receives on the mesh while recording the static manifest.
+pub(crate) fn build_pipeline_strategy(
     data: &[f32],
     cfg: &CereszConfig,
     rows: usize,
     pipeline_length: usize,
     options: &SimOptions,
-) -> Result<(PipelineRun, wse_sim::RunReport), WseError> {
+) -> Result<PipelineBuild, WseError> {
     crate::engine::MappingStrategy::Pipeline {
         rows,
         pipeline_length,
@@ -254,17 +270,45 @@ pub fn run_pipeline_with(
         per_row_blocks[b % rows].push(raw_block_wavelets(block));
     }
 
-    let mut sim = Simulator::new(options.mesh_config(rows, pipeline_length));
+    let mut mesh = MappedMesh::new(
+        format!("pipeline rows={rows} len={pipeline_length}"),
+        options.mesh_config(rows, pipeline_length),
+        rows,
+        pipeline_length,
+    );
     for (r, row_blocks) in per_row_blocks.into_iter().enumerate() {
         let count = row_blocks.len();
         if count == 0 {
             continue;
         }
-        build_pipeline(&mut sim, r, 0, &plan, codec, eps, count, colors::DATA);
-        sim.inject_blocks(PeId::new(r, 0), colors::DATA, row_blocks, 0.0);
+        build_pipeline(&mut mesh, r, 0, &plan, codec, eps, count, colors::DATA);
+        mesh.inject_blocks(PeId::new(r, 0), colors::DATA, row_blocks, 0.0);
     }
+    Ok(PipelineBuild {
+        mesh,
+        header,
+        plan,
+        n_blocks,
+    })
+}
 
-    let report = sim.run().map_err(WseError::Sim)?;
+/// [`run_pipeline`] with observability options; also returns the full
+/// simulator report (task timeline when `options.trace` is set, per-stage
+/// cycle attribution when `options.recorder` is enabled — the per-PE Gantt
+/// view the `trace_pipeline` bench renders comes from the report's trace).
+pub fn run_pipeline_with(
+    data: &[f32],
+    cfg: &CereszConfig,
+    rows: usize,
+    pipeline_length: usize,
+    options: &SimOptions,
+) -> Result<(PipelineRun, wse_sim::RunReport), WseError> {
+    let build = build_pipeline_strategy(data, cfg, rows, pipeline_length, options)?;
+    if options.verify {
+        crate::mapping::ensure_verified(&build.mesh)?;
+    }
+    let (header, plan, n_blocks) = (build.header, build.plan, build.n_blocks);
+    let report = build.mesh.into_sim().run().map_err(WseError::Sim)?;
     let last_col = pipeline_length - 1;
     let mut per_row: Vec<Vec<Vec<u8>>> = Vec::with_capacity(rows);
     for r in 0..rows {

@@ -43,6 +43,7 @@ pub fn profile_compression(
     let options = SimOptions {
         trace: true,
         recorder: recorder.clone(),
+        ..SimOptions::default()
     };
     let profiled = {
         let _span = recorder.wall_span("simulate_compression");

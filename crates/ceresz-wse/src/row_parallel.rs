@@ -9,9 +9,10 @@ use ceresz_core::block::BlockCodec;
 use ceresz_core::compressor::{CereszConfig, CompressError, Compressed};
 use ceresz_core::plan::{self, StageCostModel, SubStageKind};
 use ceresz_core::stream::StreamHeader;
-use wse_sim::{PeId, PeProgram, SimError, SimStats, Simulator, TaskCtx, TaskId};
+use wse_sim::{PeId, PeProgram, SimError, SimStats, TaskCtx, TaskId};
 
 use crate::engine::SimOptions;
+use crate::mapping::MappedMesh;
 
 use crate::harness::{
     assemble_stream, colors, emit_encoded, parse_emitted, parse_raw_block, raw_block_wavelets,
@@ -108,14 +109,25 @@ pub fn run_row_parallel(
     run_row_parallel_with(data, cfg, rows, &SimOptions::default()).map(|(run, _)| run)
 }
 
-/// [`run_row_parallel`] with observability options; also returns the full
-/// simulator report (timeline, per-stage cycle attribution).
-pub fn run_row_parallel_with(
+/// A constructed (but not yet run) row-parallel mapping: the mesh with its
+/// static manifest plus everything needed to assemble the output stream.
+pub(crate) struct RowParallelBuild {
+    /// The mesh and its recorded manifest.
+    pub mesh: MappedMesh,
+    /// Stream header of the eventual output.
+    pub header: StreamHeader,
+    /// Total block count (for reassembly).
+    pub n_blocks: usize,
+}
+
+/// Construct the row-parallel mapping without running it: install programs
+/// and receives on the mesh while recording the static manifest.
+pub(crate) fn build_row_parallel(
     data: &[f32],
     cfg: &CereszConfig,
     rows: usize,
     options: &SimOptions,
-) -> Result<(RowParallelRun, wse_sim::RunReport), WseError> {
+) -> Result<RowParallelBuild, WseError> {
     crate::engine::MappingStrategy::RowParallel { rows }.validate()?;
     let eps = cfg.resolve_eps(data)?;
     ceresz_core::precheck_input(data, eps, cfg.block_size)?;
@@ -129,7 +141,12 @@ pub fn run_row_parallel_with(
     let blocks = split_blocks(data, cfg.block_size);
     let n_blocks = blocks.len();
 
-    let mut sim = Simulator::new(options.mesh_config(rows, 1));
+    let mut mesh = MappedMesh::new(
+        format!("row-parallel rows={rows}"),
+        options.mesh_config(rows, 1),
+        rows,
+        1,
+    );
     // Deal blocks round-robin; inject each row's queue back-to-back.
     let mut per_row_blocks: Vec<Vec<Vec<u32>>> = vec![Vec::new(); rows];
     for (b, block) in blocks.iter().enumerate() {
@@ -141,7 +158,7 @@ pub fn run_row_parallel_with(
         if count == 0 {
             continue;
         }
-        sim.set_program(
+        mesh.set_program(
             pe,
             Box::new(RowCompressor {
                 codec,
@@ -149,12 +166,33 @@ pub fn run_row_parallel_with(
                 blocks_remaining: count,
                 reserved: false,
             }),
+            &[tasks::RECV],
         );
-        sim.post_recv(pe, colors::DATA, cfg.block_size, tasks::RECV);
-        sim.inject_blocks(pe, colors::DATA, row_blocks, 0.0);
+        mesh.declare_buffer(pe, RowCompressor::working_set(&codec), "row working set");
+        mesh.post_recv(pe, colors::DATA, cfg.block_size, tasks::RECV, count);
+        mesh.inject_blocks(pe, colors::DATA, row_blocks, 0.0);
     }
+    Ok(RowParallelBuild {
+        mesh,
+        header,
+        n_blocks,
+    })
+}
 
-    let report = sim.run().map_err(WseError::Sim)?;
+/// [`run_row_parallel`] with observability options; also returns the full
+/// simulator report (timeline, per-stage cycle attribution).
+pub fn run_row_parallel_with(
+    data: &[f32],
+    cfg: &CereszConfig,
+    rows: usize,
+    options: &SimOptions,
+) -> Result<(RowParallelRun, wse_sim::RunReport), WseError> {
+    let build = build_row_parallel(data, cfg, rows, options)?;
+    if options.verify {
+        crate::mapping::ensure_verified(&build.mesh)?;
+    }
+    let (header, n_blocks) = (build.header, build.n_blocks);
+    let report = build.mesh.into_sim().run().map_err(WseError::Sim)?;
     let mut per_row: Vec<Vec<Vec<u8>>> = Vec::with_capacity(rows);
     for r in 0..rows {
         let outs = report.outputs(PeId::new(r, 0));
@@ -234,16 +272,31 @@ mod tests {
 
     #[test]
     fn oversized_blocks_exhaust_pe_sram() {
-        // §4.4's memory constraint enforced: a 4096-element block's working
-        // set (raw double-buffer + magnitudes + up to 31 planes) exceeds the
-        // 48 KB SRAM, and the simulator reports it instead of pretending.
+        // §4.4's memory constraint enforced twice over: the static verifier
+        // rejects a 4096-element block's working set (raw double-buffer +
+        // magnitudes + up to 31 planes) before simulation, and with
+        // verification opted out the simulator's MemoryTracker still
+        // reports the dynamic OutOfMemory.
         let data = wavy(4096 * 4);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3)).with_block_size(4096);
         match run_row_parallel(&data, &cfg, 2) {
+            Err(crate::error::WseError::MappingRejected { diagnostics, .. }) => {
+                assert!(
+                    diagnostics
+                        .iter()
+                        .any(|d| d.check == wse_verify::CheckKind::SramBudget),
+                    "{diagnostics:?}"
+                );
+            }
+            other => panic!("expected MappingRejected, got {other:?}"),
+        }
+        let opts = SimOptions::default().without_verify();
+        match run_row_parallel_with(&data, &cfg, 2, &opts) {
             Err(crate::error::WseError::Sim(SimError::OutOfMemory { pe, .. })) => {
                 assert_eq!(pe.col, 0);
             }
-            other => panic!("expected OutOfMemory, got {other:?}"),
+            Err(other) => panic!("expected OutOfMemory, got {other:?}"),
+            Ok(_) => panic!("expected OutOfMemory, got Ok"),
         }
     }
 

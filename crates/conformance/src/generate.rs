@@ -196,7 +196,7 @@ fn gen_data(r: &mut Rng, class: DataClass, len: usize) -> Vec<f32> {
             .collect(),
         DataClass::NanInf => {
             let mut v: Vec<f32> = (0..len).map(|i| (i as f32 * 0.05).sin() * 10.0).collect();
-            for x in v.iter_mut() {
+            for x in &mut v {
                 if r.chance(0.02) {
                     *x = *r.pick(&[f32::NAN, f32::INFINITY, f32::NEG_INFINITY]);
                 }

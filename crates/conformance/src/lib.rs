@@ -4,7 +4,7 @@
 //!
 //! One fuzz *case* is a structured adversarial input (see
 //! [`generate::DataClass`]) plus a compression configuration and three WSE
-//! mapping shapes. Four oracles judge it:
+//! mapping shapes. Five oracles judge it:
 //!
 //! 1. **Differential** — host `compress`, `compress_parallel`, and all three
 //!    simulated mapping strategies agree exactly: bit-identical streams on
@@ -17,6 +17,10 @@
 //!    on, or an allocation sized by a forged length field.
 //! 4. **Baselines** — every baseline codec rejects bad input with a typed
 //!    error or honors its own recorded error bound.
+//! 5. **Verifier** — the static mapping verifier is sound: every mapping it
+//!    certifies clean runs to completion (with verification opted out) and
+//!    never dies with a deadlock, routing, or memory error — the failure
+//!    classes the verifier claims to rule out before simulation.
 //!
 //! Everything derives from `(seed, case index)` via a built-in xorshift64*
 //! generator — no external crates — so a whole run reproduces with
@@ -24,6 +28,7 @@
 //! `ceresz fuzz --case-seed <its reported seed>`. On failure a greedy
 //! shrinker ([`shrink::shrink_data`]) reduces the input before reporting.
 
+#![forbid(unsafe_code)]
 pub mod generate;
 pub mod mutate;
 pub mod oracles;
@@ -64,7 +69,7 @@ pub struct FuzzFailure {
     /// `ceresz fuzz --case-seed`) replays this case in isolation.
     pub case_seed: u64,
     /// Which oracle failed: `differential`, `roundtrip`, `mutation`,
-    /// or `baselines`.
+    /// `baselines`, or `verifier`.
     pub oracle: &'static str,
     /// What went wrong.
     pub message: String,
@@ -212,6 +217,9 @@ pub fn run_case(case: &Case) -> CaseOutcome {
     }
     if let Err(msg) = probe(|| oracles::oracle_baselines(case)) {
         out.violations.push(("baselines", msg));
+    }
+    if let Err(msg) = probe(|| oracles::oracle_verifier(case)) {
+        out.violations.push(("verifier", msg));
     }
     out
 }

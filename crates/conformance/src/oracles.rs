@@ -1,4 +1,4 @@
-//! The four conformance oracles.
+//! The five conformance oracles.
 //!
 //! Each oracle takes a generated [`Case`] and returns `Err(description)` on
 //! a conformance violation. Panics are *not* caught here — the runner wraps
@@ -12,7 +12,10 @@ use ceresz_core::{
     compress, compress_parallel, decompress_bytes, decompress_bytes_parallel, verify_error_bound,
     Compressed,
 };
-use ceresz_wse::{simulate_compression, WseError};
+use ceresz_wse::{
+    mapping_manifest, simulate_compression, simulate_compression_with, SimOptions, WseError,
+};
+use wse_sim::SimError;
 
 use crate::generate::Case;
 use crate::mutate::{self, Mutation};
@@ -211,6 +214,56 @@ pub fn oracle_mutation(case: &Case, host: &Compressed) -> Result<(), String> {
     }
     for m in mutate::archive_forgeries(&bytes) {
         check_archive_mutation(&m)?;
+    }
+    Ok(())
+}
+
+/// Oracle 5 — verifier soundness: the static mapping verifier's clean bill
+/// of health must be *sound*. For every strategy shape in the case, build
+/// the mapping's static manifest; the verifier must accept it (the
+/// strategies ship only mappings they believe in), and a verifier-accepted
+/// mapping simulated with verification opted out must never fail with a
+/// machine-level routing, deadlock, or memory error — those are exactly the
+/// failures the verifier claims to rule out. Algorithm-level `Compress`
+/// errors are fine (they are data properties, not mapping properties).
+pub fn oracle_verifier(case: &Case) -> Result<(), String> {
+    let cfg = case.config();
+    for strategy in case.strategies {
+        // Construction can reject the case (bad data, invalid shape) before
+        // a manifest exists; error agreement is the differential oracle's
+        // job, not this one's.
+        let Ok(manifest) = mapping_manifest(&case.data, &cfg, strategy) else {
+            continue;
+        };
+        let report = ceresz_wse::verify::verify(&manifest);
+        if !report.is_clean() {
+            let first = report.errors().next().expect("unclean report has errors");
+            return Err(format!(
+                "{strategy:?}: verifier rejects the shipped mapping: {first}"
+            ));
+        }
+        let options = SimOptions::default().without_verify();
+        if let Err(WseError::Sim(e)) =
+            simulate_compression_with(&case.data, &cfg, strategy, &options)
+        {
+            match e {
+                SimError::Deadlock { .. }
+                | SimError::NoRoute { .. }
+                | SimError::RouteMismatch { .. }
+                | SimError::MulticastUnsupported { .. }
+                | SimError::RouteOffMesh { .. }
+                | SimError::RoutingLoop { .. }
+                | SimError::OutOfMemory { .. } => {
+                    return Err(format!(
+                        "{strategy:?}: verifier passed the mapping but simulation failed \
+                         with a machine error it should have ruled out: {e}"
+                    ));
+                }
+                // Kernel failures and runaway guards are outside the static
+                // contract.
+                _ => {}
+            }
+        }
     }
     Ok(())
 }

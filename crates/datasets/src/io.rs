@@ -38,8 +38,7 @@ pub fn read_f32_file(path: &Path, dims: Vec<usize>) -> std::io::Result<Field> {
         .collect();
     let name = path
         .file_stem()
-        .map(|s| s.to_string_lossy().into_owned())
-        .unwrap_or_else(|| "field".to_string());
+        .map_or_else(|| "field".to_string(), |s| s.to_string_lossy().into_owned());
     Ok(Field::new(name, dims, data))
 }
 

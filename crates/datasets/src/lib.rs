@@ -24,6 +24,7 @@
 //! assert_eq!(field.data.len(), field.dims.iter().product::<usize>());
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod field;
 pub mod gen;
 pub mod io;

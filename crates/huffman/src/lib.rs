@@ -17,6 +17,7 @@
 //! assert!(encoded.bytes.len() < symbols.len() * 4 / 2);
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod bitio;
 pub mod canonical;
 pub mod codec;

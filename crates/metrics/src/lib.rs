@@ -4,6 +4,7 @@
 //! CereSZ paper: PSNR, SSIM (windowed, over a 2-D slice), error-bound
 //! verification, and rate–distortion points.
 
+#![forbid(unsafe_code)]
 pub mod psnr;
 pub mod rate_distortion;
 pub mod ssim;

@@ -32,6 +32,7 @@ pub struct ChromeTrace {
 }
 
 impl ChromeTrace {
+    /// An empty trace document.
     #[must_use]
     pub fn new() -> Self {
         Self::default()

@@ -14,11 +14,17 @@ use std::fmt::Write as _;
 /// deterministic and diffs stay readable.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {
+    /// JSON `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// Any number (always emitted shortest-round-trip).
     Num(f64),
+    /// A string.
     Str(String),
+    /// An array.
     Arr(Vec<JsonValue>),
+    /// An object, in insertion order.
     Obj(Vec<(String, JsonValue)>),
 }
 
@@ -38,6 +44,7 @@ impl JsonValue {
         }
     }
 
+    /// The number inside a `Num`; `None` otherwise.
     #[must_use]
     pub fn as_f64(&self) -> Option<f64> {
         match self {
@@ -46,6 +53,7 @@ impl JsonValue {
         }
     }
 
+    /// The string inside a `Str`; `None` otherwise.
     #[must_use]
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -54,6 +62,7 @@ impl JsonValue {
         }
     }
 
+    /// The items of an `Arr`; `None` otherwise.
     #[must_use]
     pub fn as_arr(&self) -> Option<&[JsonValue]> {
         match self {
@@ -62,6 +71,7 @@ impl JsonValue {
         }
     }
 
+    /// The key/value pairs of an `Obj`; `None` otherwise.
     #[must_use]
     pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
         match self {
@@ -173,7 +183,9 @@ fn write_string(out: &mut String, s: &str) {
 /// A parse failure, with the byte offset where it was detected.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
+    /// Byte offset into the input where parsing failed.
     pub offset: usize,
+    /// What went wrong.
     pub message: String,
 }
 

@@ -18,6 +18,7 @@
 //! models the per-stage cycle-attribution report (`profile.json` and the
 //! human-readable `--profile` table).
 
+#![forbid(unsafe_code)]
 pub mod chrome;
 pub mod json;
 pub mod profile;
@@ -30,10 +31,15 @@ use std::time::Instant;
 /// in `[2^(i-1), 2^i)` (bucket 0 counts samples `< 1`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSummary {
+    /// Number of samples recorded.
     pub count: u64,
+    /// Sum of all samples.
     pub sum: f64,
+    /// Smallest sample (`+inf` when empty).
     pub min: f64,
+    /// Largest sample (`-inf` when empty).
     pub max: f64,
+    /// Log2 bucket counts; bucket `i` covers `[2^(i-1), 2^i)`.
     pub log2_buckets: Vec<u64>,
 }
 
@@ -78,12 +84,14 @@ impl HistogramSummary {
 /// One recorded interval.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanRecord {
+    /// Span label, as passed to `wall_span`/`cycle_span`.
     pub name: String,
     /// Span start, in the span's own clock (µs for wall spans, cycles for
     /// cycle spans).
     pub start: f64,
     /// Span length in the same unit as `start`.
     pub duration: f64,
+    /// Which clock `start`/`duration` are measured against.
     pub clock: SpanClock,
 }
 
@@ -107,8 +115,11 @@ struct Inner {
 /// Point-in-time copy of everything a [`Recorder`] has accumulated.
 #[derive(Debug, Clone, Default)]
 pub struct TelemetrySnapshot {
+    /// Monotonic counters by name.
     pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries by name.
     pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Every recorded span, in completion order.
     pub spans: Vec<SpanRecord>,
 }
 
@@ -199,6 +210,8 @@ impl Recorder {
         Self { inner: None }
     }
 
+    /// Whether this recorder actually collects (disabled recorders are
+    /// free no-ops).
     #[must_use]
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()

@@ -46,13 +46,17 @@ pub const GROUP_ORDER: [&str; 5] = ["pre-quant", "lorenzo", "encode", "decode", 
 pub struct ProfileReport {
     /// Which mapping produced the run (`"row-parallel"`, `"pipeline"`, …).
     pub strategy: String,
+    /// Mesh rows the strategy occupied.
     pub mesh_rows: usize,
+    /// Mesh columns the strategy occupied.
     pub mesh_cols: usize,
     /// Cycle at which the last task finished.
     pub finish_cycle: f64,
     /// Sum of busy cycles over all PEs.
     pub total_busy_cycles: f64,
+    /// Tasks executed across all PEs.
     pub total_tasks: u64,
+    /// Wavelets moved across the fabric.
     pub total_wavelets: u64,
     /// PEs that ran at least one task.
     pub active_pes: usize,
@@ -248,13 +252,13 @@ impl ProfileReport {
                 } else {
                     0.0
                 };
-                out.push_str(&format!("  {:<18}  {:>12.0}  {:>6.2}%\n", g, c, share));
+                out.push_str(&format!("  {g:<18}  {c:>12.0}  {share:>6.2}%\n"));
             }
         }
         if !self.model_terms.is_empty() {
             out.push_str("\n  analytic model terms:\n");
             for (k, v) in &self.model_terms {
-                out.push_str(&format!("  {:<28}  {:>14.1}\n", k, v));
+                out.push_str(&format!("  {k:<28}  {v:>14.1}\n"));
             }
         }
         out

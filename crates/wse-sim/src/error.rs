@@ -3,14 +3,49 @@
 use crate::fabric::Color;
 use crate::geom::PeId;
 
+/// One outstanding receive of a deadlocked PE, annotated with the static
+/// routing context of the starved color so the error explains *why* nothing
+/// arrived, not just that it didn't.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockedRecv {
+    /// The starved color.
+    pub color: Color,
+    /// Wavelets still missing to complete the receive.
+    pub missing: usize,
+    /// Send-origin PEs whose static route on this color delivers to the
+    /// blocked PE's RAMP — the candidates that failed to send enough.
+    /// Empty means no configured sender can ever reach this receive.
+    pub feeders: Vec<PeId>,
+    /// Whether the blocked PE has any routing rule installed for the color
+    /// (`false` means the receive could only be satisfied by host injection).
+    pub has_rule: bool,
+}
+
+impl std::fmt::Display for BlockedRecv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({} wavelets missing", self.color, self.missing)?;
+        if !self.feeders.is_empty() {
+            write!(f, "; fed by")?;
+            for pe in &self.feeders {
+                write!(f, " {pe}")?;
+            }
+        } else if self.has_rule {
+            write!(f, "; no send origin routes here")?;
+        } else {
+            write!(f, "; no routing rule installed")?;
+        }
+        write!(f, ")")
+    }
+}
+
 /// Why a PE is blocked (deadlock diagnostics).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockedPe {
     /// The blocked PE.
     pub pe: PeId,
-    /// Colors with outstanding input descriptors and the wavelets still
-    /// missing for each.
-    pub waiting_on: Vec<(Color, usize)>,
+    /// Colors with outstanding input descriptors, each with the wavelets
+    /// still missing and the static route context of the starved color.
+    pub waiting_on: Vec<BlockedRecv>,
 }
 
 /// Errors the simulator can raise.
@@ -109,7 +144,10 @@ impl std::fmt::Display for SimError {
             SimError::Deadlock { blocked } => {
                 write!(f, "deadlock: {} PE(s) blocked on input", blocked.len())?;
                 for b in blocked.iter().take(4) {
-                    write!(f, "; {} waits on {:?}", b.pe, b.waiting_on)?;
+                    write!(f, "; {} waits on", b.pe)?;
+                    for w in &b.waiting_on {
+                        write!(f, " {w}")?;
+                    }
                 }
                 Ok(())
             }

@@ -175,6 +175,25 @@ impl Fabric {
         (src_done, delivered.max(src_done))
     }
 
+    /// Send-origin PEs (rules with `input: None`) whose resolved route on
+    /// `color` delivers to `dest`'s RAMP, in row-major order. Used to attach
+    /// static routing context to deadlock diagnostics: these are the only
+    /// fabric senders that could ever satisfy a receive at `dest`.
+    #[must_use]
+    pub fn origins_reaching(&self, dest: PeId, color: Color) -> Vec<PeId> {
+        let mut origins: Vec<PeId> = self
+            .rules
+            .iter()
+            .filter(|(&(_, c), rule)| c == color && rule.input.is_none())
+            .filter_map(|(&(pe, _), _)| {
+                let path = self.resolve_path(pe, color, None).ok()?;
+                (path.dest == dest).then_some(pe)
+            })
+            .collect();
+        origins.sort_by_key(|pe| (pe.row, pe.col));
+        origins
+    }
+
     /// Convenience: install an eastward chain of a color from `start_col` to
     /// `end_col` (inclusive) in `row`, delivering at `end_col`'s RAMP.
     ///
@@ -324,6 +343,107 @@ mod tests {
         assert_eq!(d1, 11.0);
         // Second stream waits for the link: starts at 10, head at 11, done 21.
         assert_eq!(d2, 21.0);
+    }
+
+    #[test]
+    fn single_pe_mesh_resolves_to_itself() {
+        // The degenerate 1×1 mesh: the only legal route is RAMP→RAMP.
+        let mut f = Fabric::new(1, 1);
+        let c = Color::new(0);
+        f.set_rule(PeId::new(0, 0), c, ramp_rule(None));
+        let p = f.resolve_path(PeId::new(0, 0), c, None).unwrap();
+        assert_eq!(p.dest, PeId::new(0, 0));
+        assert!(p.hops.is_empty());
+    }
+
+    #[test]
+    fn self_loop_rule_is_typed_error_not_hang() {
+        // (0,1) bounces the stream straight back West; (0,0)'s rule expects
+        // origin input (None), so the returning stream is a RouteMismatch.
+        // The resolver must surface a typed error, never spin.
+        let mut f = Fabric::new(1, 2);
+        let c = Color::new(4);
+        f.set_rule(PeId::new(0, 0), c, east_rule(None));
+        f.set_rule(
+            PeId::new(0, 1),
+            c,
+            RouteRule {
+                input: Some(Direction::West),
+                outputs: vec![Direction::West],
+            },
+        );
+        assert!(matches!(
+            f.resolve_path(PeId::new(0, 0), c, None),
+            Err(SimError::RouteMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rampless_ring_is_typed_error_not_hang() {
+        // A consistent 2×2 ring with no RAMP anywhere: every hop's input
+        // matches, so the walk only terminates via the hop bound, which must
+        // surface as RoutingLoop rather than iterating forever.
+        let mut f = Fabric::new(2, 2);
+        let c = Color::new(5);
+        let rule = |input: Direction, out: Direction| RouteRule {
+            input: Some(input),
+            outputs: vec![out],
+        };
+        f.set_rule(PeId::new(0, 0), c, rule(Direction::South, Direction::East));
+        f.set_rule(PeId::new(0, 1), c, rule(Direction::West, Direction::South));
+        f.set_rule(PeId::new(1, 1), c, rule(Direction::North, Direction::West));
+        f.set_rule(PeId::new(1, 0), c, rule(Direction::East, Direction::North));
+        // Enter the ring as if arriving at (0,0) from the south.
+        assert!(matches!(
+            f.resolve_path(PeId::new(0, 0), c, Some(Direction::South)),
+            Err(SimError::RoutingLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn rule_with_no_outputs_is_typed_error() {
+        let mut f = Fabric::new(1, 1);
+        let c = Color::new(6);
+        f.set_rule(
+            PeId::new(0, 0),
+            c,
+            RouteRule {
+                input: None,
+                outputs: vec![],
+            },
+        );
+        assert!(matches!(
+            f.resolve_path(PeId::new(0, 0), c, None),
+            Err(SimError::NoRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn origins_reaching_names_exactly_the_feeding_senders() {
+        // Two origins on the same color: one chain delivers at (0,2), the
+        // other at (1,0) locally. Each destination sees only its own feeder.
+        let mut f = Fabric::new(2, 3);
+        let c = Color::new(7);
+        f.route_east_chain(0, 0, 2, c);
+        f.set_rule(PeId::new(1, 0), c, ramp_rule(None));
+        assert_eq!(
+            f.origins_reaching(PeId::new(0, 2), c),
+            vec![PeId::new(0, 0)]
+        );
+        assert_eq!(
+            f.origins_reaching(PeId::new(1, 0), c),
+            vec![PeId::new(1, 0)]
+        );
+        assert!(f.origins_reaching(PeId::new(0, 1), c).is_empty());
+    }
+
+    #[test]
+    fn origins_reaching_skips_unresolvable_origins() {
+        // An origin whose chain runs off the mesh contributes no feeder.
+        let mut f = Fabric::new(1, 2);
+        let c = Color::new(8);
+        f.set_rule(PeId::new(0, 1), c, east_rule(None)); // east of col 1 = off-mesh
+        assert!(f.origins_reaching(PeId::new(0, 0), c).is_empty());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 /// The five cardinal dataflow directions of a PE (§2.1 of the paper):
 /// the four neighbor links plus the internal RAMP link to the processor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Direction {
     /// Toward the neighbor with a smaller row index.
     North,

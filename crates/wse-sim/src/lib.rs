@@ -74,6 +74,7 @@
 //! assert_eq!(report.outputs(PeId::new(0, 1)), &[vec![1, 2, 3, 4]]);
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod cost;
 pub mod error;
 pub mod fabric;
@@ -86,7 +87,7 @@ pub mod stats;
 pub mod trace;
 
 pub use cost::{CostModel, Op};
-pub use error::SimError;
+pub use error::{BlockedPe, BlockedRecv, SimError};
 pub use fabric::{Color, RouteRule, MAX_COLORS};
 pub use geom::{Direction, PeId};
 pub use memory::MemoryTracker;

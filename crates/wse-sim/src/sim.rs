@@ -365,21 +365,32 @@ impl Simulator {
             }
         }
         // Queue drained: anything still waiting on input is deadlocked.
+        // Each starved receive is annotated with its static route context
+        // (which send origins could have reached it, if any) so the error
+        // names the culprit instead of just the victim.
         let blocked: Vec<BlockedPe> = self
             .pes
             .iter()
             .enumerate()
             .filter(|(_, s)| !s.pending_recv.is_empty())
-            .map(|(i, s)| BlockedPe {
-                pe: PeId::new(i / self.config.cols, i % self.config.cols),
-                waiting_on: s
-                    .pending_recv
-                    .iter()
-                    .map(|(c, p)| {
-                        let have = s.inbox.get(c).map_or(0, |q| q.len());
-                        (*c, p.extent.saturating_sub(have))
-                    })
-                    .collect(),
+            .map(|(i, s)| {
+                let pe = PeId::new(i / self.config.cols, i % self.config.cols);
+                BlockedPe {
+                    pe,
+                    waiting_on: s
+                        .pending_recv
+                        .iter()
+                        .map(|(c, p)| {
+                            let have = s.inbox.get(c).map_or(0, std::collections::VecDeque::len);
+                            crate::error::BlockedRecv {
+                                color: *c,
+                                missing: p.extent.saturating_sub(have),
+                                feeders: self.fabric.origins_reaching(pe, *c),
+                                has_rule: self.fabric.rule(pe, *c).is_some(),
+                            }
+                        })
+                        .collect(),
+                }
             })
             .collect();
         if !blocked.is_empty() {
@@ -650,7 +661,41 @@ mod tests {
             Err(SimError::Deadlock { blocked }) => {
                 assert_eq!(blocked.len(), 1);
                 assert_eq!(blocked[0].pe, PeId::new(0, 0));
-                assert_eq!(blocked[0].waiting_on, vec![(C0, 3)]);
+                // One starved receive on C0, 3 wavelets short. The PE has no
+                // routing rule for C0 (it was host-fed), and accordingly no
+                // fabric sender could ever top it up.
+                assert_eq!(blocked[0].waiting_on.len(), 1);
+                let w = &blocked[0].waiting_on[0];
+                assert_eq!((w.color, w.missing), (C0, 3));
+                assert!(w.feeders.is_empty());
+                assert!(!w.has_rule);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadlock_names_the_static_feeder() {
+        // The sender streams 4 wavelets but the receiver expects 6: the
+        // deadlock diagnostic must point back along the static route and
+        // name the send origin that under-delivered.
+        let cfg = MeshConfig::new(1, 2).with_cost(CostModel::unit());
+        let mut sim = Simulator::new(cfg);
+        sim.route_east_chain(0, 0, 1, C0);
+        sim.set_program(PeId::new(0, 0), Box::new(SendBlock));
+        sim.set_program(PeId::new(0, 1), Box::new(DoubleAndEmit));
+        sim.post_recv(PeId::new(0, 1), C0, 6, T1);
+        sim.activate(PeId::new(0, 0), T0, 0.0);
+        match sim.run() {
+            Err(SimError::Deadlock { blocked }) => {
+                assert_eq!(blocked.len(), 1);
+                assert_eq!(blocked[0].pe, PeId::new(0, 1));
+                let w = &blocked[0].waiting_on[0];
+                assert_eq!((w.color, w.missing), (C0, 2));
+                assert_eq!(w.feeders, vec![PeId::new(0, 0)]);
+                assert!(w.has_rule);
+                let msg = SimError::Deadlock { blocked }.to_string();
+                assert!(msg.contains("fed by PE(0,0)"), "{msg}");
             }
             other => panic!("expected deadlock, got {other:?}"),
         }

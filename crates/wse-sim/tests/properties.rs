@@ -108,7 +108,7 @@ proptest! {
         match sim.run() {
             Err(SimError::Deadlock { blocked }) => {
                 prop_assert_eq!(blocked.len(), 1);
-                let missing = blocked[0].waiting_on[0].1;
+                let missing = blocked[0].waiting_on[0].missing;
                 prop_assert_eq!(missing, if fed > 0 { 1 } else { extent });
             }
             other => prop_assert!(false, "expected deadlock, got {other:?}"),

@@ -1,0 +1,567 @@
+//! The five static checks and the verification report.
+//!
+//! All checks are pure functions of the [`MappingManifest`]; iteration
+//! orders are deterministic (declaration order, or sorted by `(PE, color)`)
+//! so repeated verification of the same mapping yields byte-identical
+//! reports.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use wse_sim::{Color, Direction, PeId, RouteRule, TaskId, MAX_COLORS};
+
+use crate::diagnostic::{CheckKind, Diagnostic, Severity};
+use crate::manifest::MappingManifest;
+
+/// Everything the verifier found for one manifest.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// All findings, in check order (route soundness, color discipline,
+    /// channel completeness, SRAM budget, task liveness).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl VerifyReport {
+    /// Findings with [`Severity::Error`].
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Findings with [`Severity::Warning`].
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// True when no *error* was found (warnings do not fail a mapping).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.errors().next().is_none()
+    }
+
+    /// Number of error findings.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.errors().count()
+    }
+}
+
+impl std::fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} error(s), {} warning(s)",
+            self.error_count(),
+            self.warnings().count()
+        )?;
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Sort key for deterministic per-PE/color maps.
+type Loc = ((usize, usize), u8);
+
+fn loc(pe: PeId, color: Color) -> Loc {
+    ((pe.row, pe.col), color.id())
+}
+
+/// Run all five checks over `manifest`.
+#[must_use]
+pub fn verify(manifest: &MappingManifest) -> VerifyReport {
+    let mut diags = Vec::new();
+    // The effective routing table: first claim wins, matching the dynamic
+    // fabric where `ceresz-wse` never intentionally re-claims a pair.
+    let table = effective_routes(manifest);
+    check_route_soundness(manifest, &table, &mut diags);
+    check_color_discipline(manifest, &mut diags);
+    check_channel_completeness(manifest, &table, &mut diags);
+    check_sram_budget(manifest, &mut diags);
+    check_task_liveness(manifest, &mut diags);
+    VerifyReport { diagnostics: diags }
+}
+
+/// Collapse route declarations to one rule per `(PE, color)` (first claim
+/// wins). Conflicting duplicates are reported by the color-discipline check.
+fn effective_routes(manifest: &MappingManifest) -> BTreeMap<Loc, &RouteRule> {
+    let mut table = BTreeMap::new();
+    for r in &manifest.routes {
+        table.entry(loc(r.pe, r.color)).or_insert(&r.rule);
+    }
+    table
+}
+
+/// Where a statically-resolved stream ends up.
+fn resolve_static(
+    manifest: &MappingManifest,
+    table: &BTreeMap<Loc, &RouteRule>,
+    src: PeId,
+    color: Color,
+    diags: &mut Vec<Diagnostic>,
+) -> Option<PeId> {
+    let mut cur = src;
+    let mut arrived_from: Option<Direction> = None;
+    let mut visited: BTreeSet<((usize, usize), Option<Direction>)> = BTreeSet::new();
+    loop {
+        if !visited.insert(((cur.row, cur.col), arrived_from)) {
+            diags.push(
+                Diagnostic::error(
+                    CheckKind::RouteSoundness,
+                    format!(
+                        "route cycles without reaching a RAMP (cycle through {})",
+                        join_pes(visited.iter().map(|&((r, c), _)| PeId::new(r, c))),
+                    ),
+                )
+                .at_pe(src)
+                .on_color(color)
+                .with_hint("one PE on the cycle must output to Ramp to deliver the stream"),
+            );
+            return None;
+        }
+        let Some(rule) = table.get(&loc(cur, color)) else {
+            diags.push(
+                Diagnostic::error(
+                    CheckKind::RouteSoundness,
+                    format!("stream from {src} needs a routing rule here, but none is installed"),
+                )
+                .at_pe(cur)
+                .on_color(color)
+                .with_hint("install a rule with Simulator::route before injecting on this color"),
+            );
+            return None;
+        };
+        if rule.input != arrived_from {
+            diags.push(
+                Diagnostic::error(
+                    CheckKind::RouteSoundness,
+                    format!(
+                        "stream from {src} arrives from {:?} but the rule accepts {:?}",
+                        arrived_from, rule.input
+                    ),
+                )
+                .at_pe(cur)
+                .on_color(color)
+                .with_hint("the rule's input direction must match the upstream hop"),
+            );
+            return None;
+        }
+        if rule.outputs.contains(&Direction::Ramp) {
+            return Some(cur);
+        }
+        let mut out_dirs = rule.outputs.iter().filter(|&&d| d != Direction::Ramp);
+        let Some(&dir) = out_dirs.next() else {
+            diags.push(
+                Diagnostic::error(
+                    CheckKind::RouteSoundness,
+                    format!("rule on the path from {src} has no output direction"),
+                )
+                .at_pe(cur)
+                .on_color(color)
+                .with_hint("add an output direction or Ramp to the rule"),
+            );
+            return None;
+        };
+        if out_dirs.next().is_some() {
+            diags.push(
+                Diagnostic::error(
+                    CheckKind::RouteSoundness,
+                    format!("rule on the path from {src} is multicast (several non-RAMP outputs)"),
+                )
+                .at_pe(cur)
+                .on_color(color)
+                .with_hint("the simulator streams are unicast; relay explicitly instead"),
+            );
+            return None;
+        }
+        let Some(next) = cur.neighbor(dir, manifest.rows, manifest.cols) else {
+            diags.push(
+                Diagnostic::error(
+                    CheckKind::RouteSoundness,
+                    format!(
+                        "rule outputs {dir:?} off the {}x{} mesh",
+                        manifest.rows, manifest.cols
+                    ),
+                )
+                .at_pe(cur)
+                .on_color(color)
+                .with_hint("shrink the route or grow the mesh shape"),
+            );
+            return None;
+        };
+        arrived_from = Some(dir.opposite());
+        cur = next;
+    }
+}
+
+fn join_pes(pes: impl Iterator<Item = PeId>) -> String {
+    let mut s = String::new();
+    for (i, pe) in pes.enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&pe.to_string());
+    }
+    s
+}
+
+/// Check 1 — route soundness: every declared sender's stream resolves
+/// on-mesh to a RAMP with no ramp-less cycle, and every rule references
+/// on-mesh PEs.
+fn check_route_soundness(
+    manifest: &MappingManifest,
+    table: &BTreeMap<Loc, &RouteRule>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for r in &manifest.routes {
+        if r.pe.row >= manifest.rows || r.pe.col >= manifest.cols {
+            diags.push(
+                Diagnostic::error(
+                    CheckKind::RouteSoundness,
+                    format!(
+                        "rule installed outside the {}x{} mesh",
+                        manifest.rows, manifest.cols
+                    ),
+                )
+                .at_pe(r.pe)
+                .on_color(r.color),
+            );
+        }
+    }
+    let mut seen_origins: BTreeSet<Loc> = BTreeSet::new();
+    for s in &manifest.sends {
+        if s.sends == 0 || !seen_origins.insert(loc(s.pe, s.color)) {
+            continue; // nothing flows, or this origin already resolved
+        }
+        let _ = resolve_static(manifest, table, s.pe, s.color, diags);
+    }
+    check_rampless_cycles(manifest, table, diags);
+    // Origin rules (input = None, not a local loopback) that no declared
+    // sender uses: suspicious — likely a missing declaration.
+    for (&((row, col), c), rule) in table {
+        let pe = PeId::new(row, col);
+        let color = Color::new(c);
+        if rule.input.is_none()
+            && !rule.outputs.contains(&Direction::Ramp)
+            && !seen_origins.contains(&loc(pe, color))
+        {
+            diags.push(
+                Diagnostic::warning(
+                    CheckKind::RouteSoundness,
+                    "route origin installed but no sender is declared for it".to_string(),
+                )
+                .at_pe(pe)
+                .on_color(color)
+                .with_hint("declare the send in the manifest or remove the dead route"),
+            );
+        }
+    }
+}
+
+/// Detect ramp-less cycles in the per-color successor graph of the routing
+/// tables themselves, independent of any declared sender.
+///
+/// A rule's successor is the neighbor its single non-RAMP output points at,
+/// provided that neighbor's rule accepts the stream (input = opposite
+/// direction). Rules that output to RAMP deliver and have no successor. A
+/// cycle in this graph is a set of rules that forward to each other forever
+/// without delivering — data entering it is lost and its sender's
+/// downstream receives deadlock, so it is an error even when no declared
+/// sender currently feeds it.
+fn check_rampless_cycles(
+    manifest: &MappingManifest,
+    table: &BTreeMap<Loc, &RouteRule>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let successor = |pe: PeId, color: Color| -> Option<PeId> {
+        let rule = table.get(&loc(pe, color))?;
+        if rule.outputs.contains(&Direction::Ramp) {
+            return None;
+        }
+        let mut dirs = rule.outputs.iter().filter(|&&d| d != Direction::Ramp);
+        let dir = *dirs.next()?;
+        if dirs.next().is_some() {
+            return None; // multicast is reported by the path walk
+        }
+        let next = pe.neighbor(dir, manifest.rows, manifest.cols)?;
+        let next_rule = table.get(&loc(next, color))?;
+        (next_rule.input == Some(dir.opposite())).then_some(next)
+    };
+    let mut colors: Vec<u8> = table.keys().map(|&(_, c)| c).collect();
+    colors.sort_unstable();
+    colors.dedup();
+    for c in colors {
+        let color = Color::new(c);
+        let mut done: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let nodes: Vec<PeId> = table
+            .keys()
+            .filter(|&&(_, kc)| kc == c)
+            .map(|&((r, col), _)| PeId::new(r, col))
+            .collect();
+        for &start in &nodes {
+            if done.contains(&(start.row, start.col)) {
+                continue;
+            }
+            let mut path: Vec<PeId> = Vec::new();
+            let mut on_path: BTreeSet<(usize, usize)> = BTreeSet::new();
+            let mut cur = start;
+            loop {
+                if done.contains(&(cur.row, cur.col)) {
+                    break;
+                }
+                if !on_path.insert((cur.row, cur.col)) {
+                    let pos = path.iter().position(|&p| p == cur).unwrap_or(0);
+                    let cycle = &path[pos..];
+                    diags.push(
+                        Diagnostic::error(
+                            CheckKind::RouteSoundness,
+                            format!(
+                                "ramp-less cycle: {} forward to each other forever without delivering",
+                                join_pes(cycle.iter().copied()),
+                            ),
+                        )
+                        .at_pe(cycle[0])
+                        .on_color(color)
+                        .with_hint("one PE on the cycle must output to Ramp"),
+                    );
+                    break;
+                }
+                path.push(cur);
+                match successor(cur, color) {
+                    Some(next) => cur = next,
+                    None => break,
+                }
+            }
+            for p in path {
+                done.insert((p.row, p.col));
+            }
+        }
+    }
+}
+
+/// Check 2 — color discipline: ≤ 24 colors live per PE, and no two rules on
+/// one PE claim the same color with different directions.
+fn check_color_discipline(manifest: &MappingManifest, diags: &mut Vec<Diagnostic>) {
+    let mut claims: BTreeMap<Loc, Vec<&RouteRule>> = BTreeMap::new();
+    for r in &manifest.routes {
+        claims.entry(loc(r.pe, r.color)).or_default().push(&r.rule);
+    }
+    for (&((row, col), c), rules) in &claims {
+        let pe = PeId::new(row, col);
+        let color = Color::new(c);
+        if rules.len() > 1 {
+            if rules.iter().any(|r| **r != *rules[0]) {
+                diags.push(
+                    Diagnostic::error(
+                        CheckKind::ColorDiscipline,
+                        format!(
+                            "{} rules claim this color/direction pair with conflicting \
+                             directions; the fabric keeps only the last installed",
+                            rules.len()
+                        ),
+                    )
+                    .at_pe(pe)
+                    .on_color(color)
+                    .with_hint("give each logical channel through this PE its own color"),
+                );
+            } else {
+                diags.push(
+                    Diagnostic::warning(
+                        CheckKind::ColorDiscipline,
+                        format!("identical rule installed {} times", rules.len()),
+                    )
+                    .at_pe(pe)
+                    .on_color(color),
+                );
+            }
+        }
+    }
+    let mut per_pe: BTreeMap<(usize, usize), BTreeSet<u8>> = BTreeMap::new();
+    for &(pe, c) in claims.keys() {
+        per_pe.entry(pe).or_default().insert(c);
+    }
+    for ((row, col), colors) in per_pe {
+        if colors.len() > MAX_COLORS as usize {
+            diags.push(
+                Diagnostic::error(
+                    CheckKind::ColorDiscipline,
+                    format!(
+                        "{} colors live on one PE; the CS-2 fabric has {MAX_COLORS}",
+                        colors.len()
+                    ),
+                )
+                .at_pe(PeId::new(row, col)),
+            );
+        }
+    }
+}
+
+/// Check 3 — channel completeness: every declared receive has a producer
+/// whose wavelets actually reach it, and every producer has a consumer;
+/// totals must balance (a shortfall is a static deadlock).
+fn check_channel_completeness(
+    manifest: &MappingManifest,
+    table: &BTreeMap<Loc, &RouteRule>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    // Total wavelets delivered at each (PE, color).
+    let mut delivered: BTreeMap<Loc, usize> = BTreeMap::new();
+    for inj in &manifest.injections {
+        *delivered.entry(loc(inj.pe, inj.color)).or_default() += inj.words;
+    }
+    let mut scratch = Vec::new(); // route errors are already reported by check 1
+    for s in &manifest.sends {
+        if s.sends == 0 {
+            continue;
+        }
+        if let Some(dest) = resolve_static(manifest, table, s.pe, s.color, &mut scratch) {
+            *delivered.entry(loc(dest, s.color)).or_default() += s.words_per_send * s.sends;
+        }
+    }
+    // Total wavelets each (PE, color) expects to consume.
+    let mut expected: BTreeMap<Loc, usize> = BTreeMap::new();
+    for r in &manifest.recvs {
+        *expected.entry(loc(r.pe, r.color)).or_default() += r.extent * r.recvs;
+    }
+    for (&((row, col), c), &want) in &expected {
+        let pe = PeId::new(row, col);
+        let color = Color::new(c);
+        let got = delivered.get(&((row, col), c)).copied().unwrap_or(0);
+        if got == 0 && want > 0 {
+            diags.push(
+                Diagnostic::error(
+                    CheckKind::ChannelCompleteness,
+                    format!("orphan receiver: expects {want} wavelet(s) but no upstream sender or injection delivers here"),
+                )
+                .at_pe(pe)
+                .on_color(color)
+                .with_hint("declare the matching sender, or drop the receive"),
+            );
+        } else if got < want {
+            diags.push(
+                Diagnostic::error(
+                    CheckKind::ChannelCompleteness,
+                    format!(
+                        "channel under-supplied: {got} wavelet(s) delivered but {want} expected — the final receive can never complete (deadlock)"
+                    ),
+                )
+                .at_pe(pe)
+                .on_color(color)
+                .with_hint("balance the sender's send count/extent with the receiver's"),
+            );
+        } else if got > want {
+            diags.push(
+                Diagnostic::warning(
+                    CheckKind::ChannelCompleteness,
+                    format!(
+                        "channel over-supplied: {got} wavelet(s) delivered but only {want} consumed; the rest sit in the inbox"
+                    ),
+                )
+                .at_pe(pe)
+                .on_color(color),
+            );
+        }
+    }
+    for (&((row, col), c), &got) in &delivered {
+        if got > 0 && !expected.contains_key(&((row, col), c)) {
+            diags.push(
+                Diagnostic::error(
+                    CheckKind::ChannelCompleteness,
+                    format!(
+                        "orphan producer: {got} wavelet(s) delivered here but no receive is ever posted"
+                    ),
+                )
+                .at_pe(PeId::new(row, col))
+                .on_color(Color::new(c))
+                .with_hint("post a receive on this color, or remove the sender"),
+            );
+        }
+    }
+}
+
+/// Check 4 — SRAM budget: the summed declared reservations of each PE must
+/// fit the per-PE capacity.
+fn check_sram_budget(manifest: &MappingManifest, diags: &mut Vec<Diagnostic>) {
+    let mut per_pe: BTreeMap<(usize, usize), (usize, Vec<&str>)> = BTreeMap::new();
+    for b in &manifest.buffers {
+        let e = per_pe.entry((b.pe.row, b.pe.col)).or_default();
+        e.0 += b.bytes;
+        e.1.push(&b.label);
+    }
+    for ((row, col), (bytes, labels)) in per_pe {
+        if bytes > manifest.sram_bytes {
+            diags.push(
+                Diagnostic::error(
+                    CheckKind::SramBudget,
+                    format!(
+                        "peak footprint {bytes} B exceeds the {} B SRAM ({})",
+                        manifest.sram_bytes,
+                        labels.join(" + "),
+                    ),
+                )
+                .at_pe(PeId::new(row, col))
+                .with_hint("shrink the block size or spread the stages over a longer pipeline"),
+            );
+        }
+    }
+}
+
+/// Check 5 — task liveness: every declared task must be activatable from an
+/// entry point (a host activation, a receive completion on a supplied
+/// channel, or a send completion).
+fn check_task_liveness(manifest: &MappingManifest, diags: &mut Vec<Diagnostic>) {
+    let key = |pe: PeId, t: TaskId| ((pe.row, pe.col), t.0);
+    let mut activatable: BTreeSet<((usize, usize), u16)> = BTreeSet::new();
+    for e in &manifest.entries {
+        activatable.insert(key(e.pe, e.task));
+    }
+    for r in &manifest.recvs {
+        if r.recvs > 0 {
+            activatable.insert(key(r.pe, r.activates));
+        }
+    }
+    for s in &manifest.sends {
+        if let Some(t) = s.activates {
+            if s.sends > 0 {
+                activatable.insert(key(s.pe, t));
+            }
+        }
+    }
+    let mut declared: BTreeSet<((usize, usize), u16)> = BTreeSet::new();
+    for t in &manifest.tasks {
+        declared.insert(key(t.pe, t.task));
+    }
+    for &((row, col), t) in &declared {
+        if !activatable.contains(&((row, col), t)) {
+            diags.push(
+                Diagnostic::error(
+                    CheckKind::TaskLiveness,
+                    format!("task {t} is declared but nothing ever activates it"),
+                )
+                .at_pe(PeId::new(row, col))
+                .with_hint("bind it to a receive/send completion or activate it from the host"),
+            );
+        }
+    }
+    // The converse: an activation targeting a task the PE never declared
+    // would be dropped on the floor at runtime.
+    for r in &manifest.recvs {
+        if r.recvs > 0 && !declared.contains(&key(r.pe, r.activates)) {
+            diags.push(
+                Diagnostic::error(
+                    CheckKind::TaskLiveness,
+                    format!(
+                        "receive completion activates task {} which this PE's program does not declare",
+                        r.activates.0
+                    ),
+                )
+                .at_pe(r.pe)
+                .on_color(r.color)
+                .with_hint("declare the task on the PE or fix the activation target"),
+            );
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Typed, located diagnostics emitted by the static mapping verifier.
+//!
+//! Each [`Diagnostic`] names the check that fired, how severe the finding is,
+//! the PE and color it is anchored to (when the defect has a location), and a
+//! fix hint — the same shape a CSL compile-time route error takes on the real
+//! CS-2 toolchain, where unroutable colors are rejected before the wafer is
+//! ever programmed.
+
+use wse_sim::{Color, PeId};
+
+/// How severe a verifier finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not fatal: the mapping can still run.
+    Warning,
+    /// The mapping is defective: simulating it would fail (deadlock, routing
+    /// error, SRAM overflow) or silently drop data.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Which static check produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckKind {
+    /// Every declared stream resolves on-mesh to a RAMP with no ramp-less
+    /// cycle (static `NoRoute` / `RouteOffMesh` / `RouteMismatch` /
+    /// `RoutingLoop`).
+    RouteSoundness,
+    /// ≤ 24 colors live per PE and no two rules on one PE claim the same
+    /// color.
+    ColorDiscipline,
+    /// Every statically-declared receive has a matching upstream producer
+    /// and vice versa, with wavelet totals that balance.
+    ChannelCompleteness,
+    /// Conservative per-PE peak footprint fits the 48 KB SRAM.
+    SramBudget,
+    /// Every declared task is activatable from an entry point.
+    TaskLiveness,
+}
+
+impl CheckKind {
+    /// Stable kebab-case name used in diagnostic rendering and lint output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckKind::RouteSoundness => "route-soundness",
+            CheckKind::ColorDiscipline => "color-discipline",
+            CheckKind::ChannelCompleteness => "channel-completeness",
+            CheckKind::SramBudget => "sram-budget",
+            CheckKind::TaskLiveness => "task-liveness",
+        }
+    }
+}
+
+impl std::fmt::Display for CheckKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// One finding of the static verifier, located at a PE/color when the defect
+/// has a physical anchor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// The check that fired.
+    pub check: CheckKind,
+    /// The PE the finding is anchored to, when it has one.
+    pub pe: Option<PeId>,
+    /// The color involved, when there is one.
+    pub color: Option<Color>,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub hint: Option<String>,
+}
+
+impl Diagnostic {
+    /// Construct an error diagnostic.
+    #[must_use]
+    pub fn error(check: CheckKind, message: impl Into<String>) -> Self {
+        Self {
+            severity: Severity::Error,
+            check,
+            pe: None,
+            color: None,
+            message: message.into(),
+            hint: None,
+        }
+    }
+
+    /// Construct a warning diagnostic.
+    #[must_use]
+    pub fn warning(check: CheckKind, message: impl Into<String>) -> Self {
+        Self {
+            severity: Severity::Warning,
+            check,
+            pe: None,
+            color: None,
+            message: message.into(),
+            hint: None,
+        }
+    }
+
+    /// Anchor the diagnostic at a PE.
+    #[must_use]
+    pub fn at_pe(mut self, pe: PeId) -> Self {
+        self.pe = Some(pe);
+        self
+    }
+
+    /// Attach the color involved.
+    #[must_use]
+    pub fn on_color(mut self, color: Color) -> Self {
+        self.color = Some(color);
+        self
+    }
+
+    /// Attach a fix hint.
+    #[must_use]
+    pub fn with_hint(mut self, hint: impl Into<String>) -> Self {
+        self.hint = Some(hint.into());
+        self
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.check)?;
+        if let Some(pe) = self.pe {
+            write!(f, " {pe}")?;
+        }
+        if let Some(color) = self.color {
+            write!(f, " {color}")?;
+        }
+        write!(f, ": {}", self.message)?;
+        if let Some(hint) = &self.hint {
+            write!(f, " (help: {hint})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_includes_location_and_hint() {
+        let d = Diagnostic::error(CheckKind::RouteSoundness, "no route")
+            .at_pe(PeId::new(2, 3))
+            .on_color(Color::new(5))
+            .with_hint("install a rule");
+        let s = d.to_string();
+        assert!(s.contains("error[route-soundness]"), "{s}");
+        assert!(s.contains("PE(2,3)"), "{s}");
+        assert!(s.contains("color5"), "{s}");
+        assert!(s.contains("help: install a rule"), "{s}");
+    }
+
+    #[test]
+    fn severity_orders_warning_below_error() {
+        assert!(Severity::Warning < Severity::Error);
+    }
+}

@@ -12,12 +12,20 @@
 //!                   [--rows R] [--len L] [--pipelines P] [--limit N]
 //!                   [--out profile.json] [--trace-out trace.json]
 //! ceresz fuzz       [--seed N] [--cases M] [--no-shrink]
+//! ceresz lint       [--all-strategies | --strategy S --rows R --len L
+//!                    --pipelines P] [--rel L | --abs E] [--block N]
 //! ```
 //!
 //! `profile` runs the chosen mapping strategy on the event simulator with
 //! per-stage cycle attribution and timeline tracing enabled, prints the
 //! stage table (the shape of the paper's Tables 1–3), and writes the
 //! machine-readable `profile.json` plus a Perfetto-loadable Chrome trace.
+//!
+//! `lint` statically verifies the constructed mappings — routing soundness,
+//! color discipline, channel balance, SRAM budgets, task liveness — across
+//! the EXPERIMENTS.md strategy × mesh-shape sweep (or one explicit shape),
+//! without simulating a single cycle; it exits nonzero on any error-severity
+//! diagnostic, which is what CI's `lint-mappings` job gates on.
 //!
 //! `fuzz` runs the deterministic differential conformance harness (see the
 //! `conformance` crate): seeded adversarial inputs through the host
@@ -57,6 +65,10 @@ fn main() -> ExitCode {
                  [--out profile.json] [--trace-out trace.json]"
             );
             eprintln!("  ceresz fuzz       [--seed N] [--cases M] [--no-shrink] [--case-seed S]");
+            eprintln!(
+                "  ceresz lint       [--all-strategies | --strategy S --rows R --len L \
+                 --pipelines P] [--rel L | --abs E] [--block N]"
+            );
             ExitCode::FAILURE
         }
     }
@@ -70,6 +82,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("verify") => cmd_verify(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("missing command".into()),
     }
@@ -110,6 +123,10 @@ struct Flags {
     cases: u64,
     no_shrink: bool,
     case_seed: Option<u64>,
+    /// `lint` options.
+    all_strategies: bool,
+    /// Whether `--strategy` was passed explicitly (lint sweeps otherwise).
+    strategy_explicit: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -129,6 +146,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         cases: 1000,
         no_shrink: false,
         case_seed: None,
+        all_strategies: false,
+        strategy_explicit: false,
     };
     let mut i = 0;
     let value = |i: &mut usize| -> Result<String, String> {
@@ -146,7 +165,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--abs" => f.bound = ErrorBound::Abs(parse_num(&value(&mut i)?, "--abs")?),
             "--block" => f.block = parse_usize(&value(&mut i)?, "--block")?,
             "--profile-out" => f.profile_out = Some(value(&mut i)?),
-            "--strategy" => f.strategy = value(&mut i)?,
+            "--strategy" => {
+                f.strategy = value(&mut i)?;
+                f.strategy_explicit = true;
+            }
             "--rows" => f.rows = parse_usize(&value(&mut i)?, "--rows")?,
             "--len" => f.len = parse_usize(&value(&mut i)?, "--len")?,
             "--pipelines" => f.pipelines = parse_usize(&value(&mut i)?, "--pipelines")?,
@@ -160,6 +182,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 i += 1;
             }
             "--case-seed" => f.case_seed = Some(parse_u64(&value(&mut i)?, "--case-seed")?),
+            "--all-strategies" => {
+                f.all_strategies = true;
+                i += 1;
+            }
             other => {
                 f.positional.push(other.to_owned());
                 i += 1;
@@ -291,23 +317,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
             data.len()
         );
     }
-    let strategy = match f.strategy.as_str() {
-        "row-parallel" => MappingStrategy::RowParallel { rows: f.rows },
-        "pipeline" => MappingStrategy::Pipeline {
-            rows: f.rows,
-            pipeline_length: f.len,
-        },
-        "multi-pipeline" => MappingStrategy::MultiPipeline {
-            rows: f.rows,
-            pipeline_length: f.len,
-            pipelines_per_row: f.pipelines,
-        },
-        other => {
-            return Err(format!(
-                "unknown strategy '{other}' (row-parallel | pipeline | multi-pipeline)"
-            ))
-        }
-    };
+    let strategy = flag_strategy(&f)?;
     let cfg = CereszConfig::new(f.bound).with_block_size(f.block);
     let profile = ceresz_profile(&data, &cfg, strategy)?;
     print!("{}", profile.report.render_table());
@@ -390,6 +400,123 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
             "{} conformance violation(s); replay one with --case-seed <seed>",
             report.failures.len()
         ))
+    }
+}
+
+/// Mapping strategy parsed from `--strategy`/`--rows`/`--len`/`--pipelines`.
+fn flag_strategy(f: &Flags) -> Result<MappingStrategy, String> {
+    match f.strategy.as_str() {
+        "row-parallel" => Ok(MappingStrategy::RowParallel { rows: f.rows }),
+        "pipeline" => Ok(MappingStrategy::Pipeline {
+            rows: f.rows,
+            pipeline_length: f.len,
+        }),
+        "multi-pipeline" => Ok(MappingStrategy::MultiPipeline {
+            rows: f.rows,
+            pipeline_length: f.len,
+            pipelines_per_row: f.pipelines,
+        }),
+        other => Err(format!(
+            "unknown strategy '{other}' (row-parallel | pipeline | multi-pipeline)"
+        )),
+    }
+}
+
+/// The EXPERIMENTS.md shape sweep: every strategy × mesh shape the
+/// reproduction exercises (row counts from Fig. 7, pipeline lengths from
+/// Fig. 13, multi-pipeline combinations from Figs. 10–13).
+fn lint_sweep() -> Vec<MappingStrategy> {
+    let mut s = Vec::new();
+    for rows in [1usize, 2, 4, 8, 16, 32] {
+        s.push(MappingStrategy::RowParallel { rows });
+    }
+    for rows in [1usize, 2] {
+        for len in [1usize, 2, 3, 4, 8] {
+            s.push(MappingStrategy::Pipeline {
+                rows,
+                pipeline_length: len,
+            });
+        }
+    }
+    for (len, p) in [
+        (1usize, 1usize),
+        (1, 2),
+        (1, 4),
+        (1, 8),
+        (2, 2),
+        (2, 3),
+        (3, 2),
+        (4, 2),
+    ] {
+        for rows in [1usize, 2] {
+            s.push(MappingStrategy::MultiPipeline {
+                rows,
+                pipeline_length: len,
+                pipelines_per_row: p,
+            });
+        }
+    }
+    s
+}
+
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let f = parse_flags(args)?;
+    if !f.positional.is_empty() {
+        return Err(format!(
+            "lint takes no positional arguments: {:?}",
+            f.positional
+        ));
+    }
+    let strategies = if f.strategy_explicit && !f.all_strategies {
+        vec![flag_strategy(&f)?]
+    } else {
+        lint_sweep()
+    };
+    // Synthetic smooth signal: enough blocks that every row of the widest
+    // shape owns several, exercising relay chains and padding.
+    let data: Vec<f32> = (0..f.block * 128)
+        .map(|i| (i as f32 * 0.013).sin() * 10.0 + (i as f32 * 0.0041).cos() * 3.0)
+        .collect();
+    let cfg = CereszConfig::new(f.bound).with_block_size(f.block);
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for strategy in &strategies {
+        let manifest = ceresz::wse::mapping_manifest(&data, &cfg, *strategy)
+            .map_err(|e| format!("building {strategy:?}: {e}"))?;
+        let report = ceresz::wse::verify::verify(&manifest);
+        let (ne, nw) = (report.error_count(), report.warnings().count());
+        errors += ne;
+        warnings += nw;
+        if ne == 0 {
+            println!(
+                "ok   {} ({} PEs{})",
+                manifest.name,
+                strategy.pes(),
+                if nw > 0 {
+                    format!(", {nw} warning(s)")
+                } else {
+                    String::new()
+                }
+            );
+            for d in report.warnings() {
+                println!("     {d}");
+            }
+        } else {
+            println!("FAIL {} ({ne} error(s))", manifest.name);
+            for d in &report.diagnostics {
+                println!("     {d}");
+            }
+        }
+    }
+    println!(
+        "linted {} mapping(s): {errors} error(s), {warnings} warning(s)",
+        strategies.len()
+    );
+    if errors == 0 {
+        Ok(())
+    } else {
+        Err(format!("{errors} mapping verification error(s)"))
     }
 }
 

@@ -33,6 +33,7 @@
 //! println!("ratio = {:.2}", compressed.ratio());
 //! ```
 
+#![forbid(unsafe_code)]
 pub use baselines;
 pub use ceresz_core as core;
 pub use ceresz_wse as wse;
