@@ -1,0 +1,79 @@
+//! Wall-clock scaling of the sharded simulator core: the same 128×128
+//! multi-pipeline compression run event-stepped serially and with 2, 4, and
+//! 8 worker threads. Every run's `RunReport` is asserted bit-identical to
+//! the serial one — the speedup table is only meaningful because the
+//! parallelism is unobservable.
+//!
+//! Results (measured wall seconds, speedups, and the host's available
+//! parallelism, which bounds what any thread count can deliver) are written
+//! to `BENCH_sim.json` at the workspace root.
+//!
+//! Run: `cargo bench -p ceresz-bench --bench sim_threads`
+
+use std::time::Instant;
+
+use ceresz_core::{CereszConfig, ErrorBound};
+use ceresz_wse::{execute, SimOptions, StrategyKind};
+use datasets::{generate_field, DatasetId};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    // `cargo bench` passes harness flags (e.g. --bench) we don't use.
+    let kind = StrategyKind::MultiPipeline {
+        rows: 128,
+        pipeline_length: 8,
+        pipelines_per_row: 16,
+    };
+    assert_eq!(kind.mesh_shape(), (128, 128));
+    let field = generate_field(DatasetId::QmcPack, 0, 2024);
+    // Two whole rounds per pipeline: 128 rows × 16 pipelines × 2.
+    let n_blocks = 128 * 16 * 2;
+    let data: Vec<f32> = field
+        .data
+        .iter()
+        .copied()
+        .cycle()
+        .take(32 * n_blocks)
+        .collect();
+    let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+    let host_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
+
+    println!("sim_threads: {kind:?}, {n_blocks} blocks, host parallelism {host_parallelism}");
+
+    let mut rows = Vec::new();
+    let mut serial: Option<(f64, ceresz_wse::StrategyRun)> = None;
+    for threads in THREAD_COUNTS {
+        let options = SimOptions::default().with_threads(threads);
+        let t0 = Instant::now();
+        let run = execute(kind, &data, &cfg, &options).expect("simulation runs");
+        let seconds = t0.elapsed().as_secs_f64();
+        let (base_seconds, identical) = match &serial {
+            None => (seconds, true),
+            Some((base, base_run)) => (*base, run.report == base_run.report),
+        };
+        assert!(identical, "{threads}-thread report diverged from serial");
+        let speedup = base_seconds / seconds;
+        println!("  threads {threads:>2}: {seconds:>7.3} s  speedup {speedup:.2}x  bit-identical");
+        rows.push(format!(
+            "    {{ \"threads\": {threads}, \"wall_seconds\": {seconds:.4}, \
+             \"speedup_vs_serial\": {speedup:.3}, \"report_identical\": true }}"
+        ));
+        if serial.is_none() {
+            serial = Some((seconds, run));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"sim_threads\",\n  \"strategy\": \"{kind}\",\n  \
+         \"mesh\": [128, 128],\n  \"blocks\": {n_blocks},\n  \
+         \"host_parallelism\": {host_parallelism},\n  \
+         \"note\": \"speedup is bounded by host_parallelism; the determinism \
+         assertion (bit-identical RunReport at every thread count) holds \
+         regardless\",\n  \"runs\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    std::fs::write(out, &json).expect("write BENCH_sim.json");
+    println!("wrote {out}");
+}

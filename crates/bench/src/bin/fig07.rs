@@ -7,7 +7,7 @@
 
 use ceresz_bench::{Table, SEED};
 use ceresz_core::{CereszConfig, ErrorBound};
-use ceresz_wse::row_parallel::run_row_parallel;
+use ceresz_wse::{execute, SimOptions, StrategyKind};
 use datasets::{generate_field, DatasetId};
 
 fn main() {
@@ -31,7 +31,13 @@ fn main() {
     t.sep();
     let mut base_cycles = None;
     for rows in [1usize, 2, 4, 8, 16, 32] {
-        let run = run_row_parallel(&field.data, &cfg, rows).expect("simulation runs");
+        let run = execute(
+            StrategyKind::RowParallel { rows },
+            &field.data,
+            &cfg,
+            &SimOptions::default(),
+        )
+        .expect("simulation runs");
         let seconds = run.stats.finish_cycle / wse_sim::CLOCK_HZ;
         let mbps = field.bytes() as f64 / seconds / 1e6;
         let base = *base_cycles.get_or_insert(run.stats.finish_cycle);

@@ -7,9 +7,7 @@
 use ceresz_bench::{Table, SEED};
 use ceresz_core::plan::PipelineModel;
 use ceresz_core::{CereszConfig, ErrorBound};
-use ceresz_wse::multi_pipeline::{run_multi_pipeline, run_multi_pipeline_with};
-use ceresz_wse::pipeline_map::run_pipeline;
-use ceresz_wse::{build_report, MappingStrategy, SimOptions};
+use ceresz_wse::{build_report, execute, SimOptions, StrategyKind};
 use datasets::{generate_field, DatasetId};
 
 fn main() {
@@ -37,7 +35,17 @@ fn main() {
     let mut prev: Option<(usize, f64)> = None;
     for p in [2usize, 4, 8, 16, 32] {
         let round: Vec<f32> = block.iter().copied().cycle().take(32 * p).collect();
-        let run = run_multi_pipeline(&round, &cfg, 1, 1, p).expect("simulation runs");
+        let run = execute(
+            StrategyKind::MultiPipeline {
+                rows: 1,
+                pipeline_length: 1,
+                pipelines_per_row: p,
+            },
+            &round,
+            &cfg,
+            &SimOptions::default(),
+        )
+        .expect("simulation runs");
         let finish = run.stats.finish_cycle;
         let delta = prev.map_or_else(
             || "-".into(),
@@ -72,9 +80,19 @@ fn main() {
     let n_blocks = data.len().div_ceil(32) as f64;
     let mut c_total = None;
     for len in [1usize, 2, 4, 8] {
-        let run = run_pipeline(data, &cfg, 1, len).expect("simulation runs");
+        let run = execute(
+            StrategyKind::Pipeline {
+                rows: 1,
+                pipeline_length: len,
+            },
+            data,
+            &cfg,
+            &SimOptions::default(),
+        )
+        .expect("simulation runs");
         let per_pe_per_block = run.stats.total_busy_cycles / (n_blocks * len as f64);
-        let c = *c_total.get_or_insert(run.plan.total_cycles);
+        let plan = run.plan.as_ref().expect("pipeline strategy builds a plan");
+        let c = *c_total.get_or_insert(plan.total_cycles);
         let eq3 = model.compute_cycles_per_round(c, len);
         t.row(&[
             len.to_string(),
@@ -89,14 +107,13 @@ fn main() {
     // "dispatch"/"unattributed" on the head PEs).
     let p = 8usize;
     let round: Vec<f32> = data[..32 * p].to_vec();
-    let strategy = MappingStrategy::MultiPipeline {
+    let strategy = StrategyKind::MultiPipeline {
         rows: 1,
         pipeline_length: 1,
         pipelines_per_row: p,
     };
-    let (run, report) = run_multi_pipeline_with(&round, &cfg, 1, 1, p, &SimOptions::profiled())
-        .expect("simulation runs");
-    let profile = build_report(strategy, cfg.block_size, &report, Some(&run.plan));
+    let run = execute(strategy, &round, &cfg, &SimOptions::profiled()).expect("simulation runs");
+    let profile = build_report(strategy, cfg.block_size, &run.report, run.plan.as_ref());
     std::fs::write("fig10.profile.json", profile.to_json().to_pretty())
         .expect("write fig10.profile.json");
     println!("\nper-stage attribution of the {p}-pipeline run written to fig10.profile.json");

@@ -9,48 +9,47 @@
 
 use ceresz_bench::SEED;
 use ceresz_core::{CereszConfig, ErrorBound};
-use ceresz_wse::pipeline_map::run_pipeline_with;
-use ceresz_wse::{build_report, MappingStrategy, SimOptions};
+use ceresz_wse::{build_report, execute, SimOptions, StrategyKind};
 use datasets::{generate_field, DatasetId};
 
 fn main() {
     let field = generate_field(DatasetId::CesmAtm, 0, SEED);
     let data = &field.data[..32 * 16];
     let cfg = CereszConfig::new(ErrorBound::Rel(1e-4));
-    let options = SimOptions::profiled();
-    let (run, report) = run_pipeline_with(data, &cfg, 1, 4, &options).expect("simulation runs");
+    let strategy = StrategyKind::Pipeline {
+        rows: 1,
+        pipeline_length: 4,
+    };
+    let run = execute(strategy, data, &cfg, &SimOptions::profiled()).expect("simulation runs");
+    let plan = run.plan.as_ref().expect("pipeline strategy builds a plan");
     println!(
         "4-PE pipeline, 16 blocks of CESM-ATM, plan f = {}, bottleneck {:.0} cycles",
-        run.plan.fixed_length,
-        run.plan.bottleneck_cycles()
+        plan.fixed_length,
+        plan.bottleneck_cycles()
     );
     println!("Stage groups:");
-    for (pe, group) in run.plan.groups.iter().enumerate() {
-        let names: Vec<String> = group
-            .iter()
-            .map(|&i| run.plan.stages[i].kind.name())
-            .collect();
+    for (pe, group) in plan.groups.iter().enumerate() {
+        let names: Vec<String> = group.iter().map(|&i| plan.stages[i].kind.name()).collect();
         println!("  PE {pe}: [{}]", names.join(", "));
     }
     println!();
     let window = run.stats.finish_cycle.min(200_000.0);
-    print!("{}", report.trace().gantt(window, 100));
+    print!("{}", run.report.trace().gantt(window, 100));
     println!(
         "\nOnce the pipeline fills, all 4 PEs overlap on different blocks — \
          the data-triggered execution of §2.1."
     );
 
-    let strategy = MappingStrategy::Pipeline {
-        rows: 1,
-        pipeline_length: 4,
-    };
-    let profile = build_report(strategy, cfg.block_size, &report, Some(&run.plan));
+    let profile = build_report(strategy, cfg.block_size, &run.report, Some(plan));
     println!("\n{}", profile.render_table());
     std::fs::write("trace_pipeline.profile.json", profile.to_json().to_pretty())
         .expect("write profile.json");
     std::fs::write(
         "trace_pipeline.trace.json",
-        report.chrome_trace("ceresz pipeline").to_json().to_pretty(),
+        run.report
+            .chrome_trace("ceresz pipeline")
+            .to_json()
+            .to_pretty(),
     )
     .expect("write trace.json");
     println!("wrote trace_pipeline.profile.json and trace_pipeline.trace.json");

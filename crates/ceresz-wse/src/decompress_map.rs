@@ -439,7 +439,13 @@ mod tests {
         // higher than compression throughput.
         let data = wavy(32 * 128);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let comp = crate::row_parallel::run_row_parallel(&data, &cfg, 4).unwrap();
+        let comp = crate::execute(
+            crate::StrategyKind::RowParallel { rows: 4 },
+            &data,
+            &cfg,
+            &crate::SimOptions::default(),
+        )
+        .unwrap();
         let decomp = run_row_decompress(&comp.compressed, 4).unwrap();
         assert!(
             decomp.stats.finish_cycle < comp.stats.finish_cycle,

@@ -247,7 +247,13 @@ mod tests {
         // idealized per-row injection.
         let data = wavy(32 * 64);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let ideal = crate::row_parallel::run_row_parallel(&data, &cfg, 4).unwrap();
+        let ideal = crate::execute(
+            crate::StrategyKind::RowParallel { rows: 4 },
+            &data,
+            &cfg,
+            &crate::SimOptions::default(),
+        )
+        .unwrap();
         let edge = run_edge_fed(&data, &cfg, 4).unwrap();
         assert!(edge.stats.finish_cycle > ideal.stats.finish_cycle);
     }

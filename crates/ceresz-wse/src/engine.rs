@@ -1,4 +1,11 @@
-//! Top-level entry point: pick a mapping strategy and simulate it.
+//! Simulation options and the legacy entry points, kept as thin shims over
+//! the unified [`crate::execute`] API.
+//!
+//! [`MappingStrategy`] is the historical name of [`StrategyKind`] and stays
+//! available as a plain re-export (not deprecated — it is the same type).
+//! The per-strategy `simulate_compression*` functions and their result
+//! structs are deprecated; new code calls [`crate::execute`] and reads the
+//! [`crate::StrategyRun`] it returns.
 
 use ceresz_core::compressor::{CereszConfig, Compressed};
 use ceresz_core::plan::CompressionPlan;
@@ -7,127 +14,22 @@ use crate::error::WseError;
 use telemetry::Recorder;
 use wse_sim::{MeshConfig, RunReport, SimStats};
 
-use crate::multi_pipeline::run_multi_pipeline_with;
-use crate::pipeline_map::run_pipeline_with;
-use crate::row_parallel::run_row_parallel_with;
+use crate::strategy::{execute, Strategy};
 
-/// Which of the paper's three parallelization strategies to execute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum MappingStrategy {
-    /// §4.1 — whole compression on the first PE of each row.
-    RowParallel {
-        /// PE rows to use.
-        rows: usize,
-    },
-    /// §4.2 — one stage pipeline per row.
-    Pipeline {
-        /// PE rows to use.
-        rows: usize,
-        /// PEs per pipeline.
-        pipeline_length: usize,
-    },
-    /// §4.3 — several pipelines per row with head-relaying.
-    MultiPipeline {
-        /// PE rows to use.
-        rows: usize,
-        /// PEs per pipeline.
-        pipeline_length: usize,
-        /// Pipelines per row (`cols = pipeline_length · pipelines_per_row`).
-        pipelines_per_row: usize,
-    },
-}
+pub use crate::strategy::StrategyKind;
 
-impl MappingStrategy {
-    /// Short strategy name, used in profiles and trace process names.
-    #[must_use]
-    pub fn name(&self) -> &'static str {
-        match self {
-            MappingStrategy::RowParallel { .. } => "row-parallel",
-            MappingStrategy::Pipeline { .. } => "pipeline",
-            MappingStrategy::MultiPipeline { .. } => "multi-pipeline",
-        }
-    }
+/// Historical name of [`StrategyKind`], kept for existing callers.
+pub use crate::strategy::StrategyKind as MappingStrategy;
 
-    /// Validate the strategy parameters before any mesh is built: every
-    /// dimension must be nonzero and the implied mesh shape must not
-    /// overflow. Returns [`WseError::InvalidStrategy`] so a caller passing
-    /// parameters from the wire can recover instead of aborting on an
-    /// `assert!` or a capacity overflow inside the simulator.
-    pub fn validate(&self) -> Result<(), WseError> {
-        let invalid = |reason: String| Err(WseError::InvalidStrategy { reason });
-        let (rows, len, pipes) = match *self {
-            MappingStrategy::RowParallel { rows } => (rows, 1, 1),
-            MappingStrategy::Pipeline {
-                rows,
-                pipeline_length,
-            } => (rows, pipeline_length, 1),
-            MappingStrategy::MultiPipeline {
-                rows,
-                pipeline_length,
-                pipelines_per_row,
-            } => (rows, pipeline_length, pipelines_per_row),
-        };
-        if rows == 0 {
-            return invalid("rows must be positive".into());
-        }
-        if len == 0 {
-            return invalid("pipeline length must be positive".into());
-        }
-        if pipes == 0 {
-            return invalid("pipelines per row must be positive".into());
-        }
-        let Some(cols) = len.checked_mul(pipes) else {
-            return invalid(format!(
-                "mesh columns overflow: pipeline_length {len} × pipelines_per_row {pipes}"
-            ));
-        };
-        if rows.checked_mul(cols).is_none() {
-            return invalid(format!("PE count overflows: {rows} rows × {cols} cols"));
-        }
-        Ok(())
-    }
-
-    /// Mesh dimensions `(rows, cols)` this strategy occupies.
-    #[must_use]
-    pub fn mesh_shape(&self) -> (usize, usize) {
-        match *self {
-            MappingStrategy::RowParallel { rows } => (rows, 1),
-            MappingStrategy::Pipeline {
-                rows,
-                pipeline_length,
-            } => (rows, pipeline_length),
-            MappingStrategy::MultiPipeline {
-                rows,
-                pipeline_length,
-                pipelines_per_row,
-            } => (rows, pipeline_length * pipelines_per_row),
-        }
-    }
-
-    /// Total PEs this strategy occupies.
-    #[must_use]
-    pub fn pes(&self) -> usize {
-        match *self {
-            MappingStrategy::RowParallel { rows } => rows,
-            MappingStrategy::Pipeline {
-                rows,
-                pipeline_length,
-            } => rows * pipeline_length,
-            MappingStrategy::MultiPipeline {
-                rows,
-                pipeline_length,
-                pipelines_per_row,
-            } => rows * pipeline_length * pipelines_per_row,
-        }
-    }
-}
-
-/// Observability and verification options for a simulated run, shared by
-/// all three mapping strategies. The default (`trace` off, disabled
-/// [`Recorder`], static verification **on**) costs nothing at runtime: the
-/// simulator skips timeline recording and the kernels skip per-stage
-/// attribution entirely, while the verifier runs once over the static
-/// manifest before the first cycle.
+/// Observability, verification, and execution options for a simulated run,
+/// shared by all mapping strategies. The default (`trace` off, disabled
+/// [`Recorder`], static verification **on**, one thread) costs nothing at
+/// runtime: the simulator skips timeline recording and the kernels skip
+/// per-stage attribution entirely, while the verifier runs once over the
+/// static manifest before the first cycle.
+///
+/// All `with_*` builder methods are commutative — each sets exactly one
+/// field, so any application order produces the same options.
 #[derive(Debug, Clone)]
 pub struct SimOptions {
     /// Record the per-PE task timeline ([`MeshConfig::with_trace`]).
@@ -139,6 +41,10 @@ pub struct SimOptions {
     /// simulating (on by default); a rejected mapping returns
     /// [`WseError::MappingRejected`] instead of failing mid-run.
     pub verify: bool,
+    /// Worker threads for the sharded simulator core (default 1 = serial;
+    /// 0 = one per available core). Any value produces a bit-identical
+    /// [`RunReport`] ([`MeshConfig::with_threads`]).
+    pub threads: usize,
 }
 
 impl Default for SimOptions {
@@ -147,41 +53,81 @@ impl Default for SimOptions {
             trace: false,
             recorder: Recorder::default(),
             verify: true,
+            threads: 1,
         }
     }
 }
 
 impl SimOptions {
     /// Options for a full profiling run: timeline tracing plus an enabled
-    /// recorder (per-stage attribution, counters, histograms).
+    /// recorder (per-stage attribution, counters, histograms). Equivalent
+    /// to `SimOptions::default().with_profiling(true)`.
     #[must_use]
     pub fn profiled() -> Self {
-        Self {
-            trace: true,
-            recorder: Recorder::enabled(),
-            ..Self::default()
-        }
+        Self::default().with_profiling(true)
+    }
+
+    /// Set timeline tracing.
+    #[must_use]
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Set static mapping verification (on by default).
+    #[must_use]
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    /// Set the simulator's worker-thread count (0 = one per core).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the telemetry sink.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Switch full profiling (timeline tracing + an enabled recorder) on or
+    /// off. Unlike the other setters this touches both `trace` and
+    /// `recorder`; it still commutes with `with_verify` / `with_threads`.
+    #[must_use]
+    pub fn with_profiling(mut self, profiling: bool) -> Self {
+        self.trace = profiling;
+        self.recorder = if profiling {
+            Recorder::enabled()
+        } else {
+            Recorder::default()
+        };
+        self
     }
 
     /// Opt out of static verification (e.g. to reproduce a dynamic failure
     /// the verifier would catch, or in the fuzzer's soundness oracle).
+    /// Equivalent to `with_verify(false)`.
     #[must_use]
-    pub fn without_verify(mut self) -> Self {
-        self.verify = false;
-        self
+    pub fn without_verify(self) -> Self {
+        self.with_verify(false)
     }
 
     /// Build a mesh configuration carrying these options.
     pub(crate) fn mesh_config(&self, rows: usize, cols: usize) -> MeshConfig {
-        let mut cfg = MeshConfig::new(rows, cols);
-        if self.trace {
-            cfg = cfg.with_trace();
-        }
-        cfg.with_recorder(self.recorder.clone())
+        MeshConfig::new(rows, cols)
+            .with_trace(self.trace)
+            .with_threads(self.threads)
+            .with_recorder(self.recorder.clone())
     }
 }
 
 /// Outcome of a simulated compression run.
+#[deprecated(note = "use `ceresz_wse::execute`, which returns a `StrategyRun`")]
 #[derive(Debug)]
 pub struct SimulatedRun {
     /// The compressed stream (bit-identical to the host reference).
@@ -192,6 +138,7 @@ pub struct SimulatedRun {
     pub strategy: MappingStrategy,
 }
 
+#[allow(deprecated)]
 impl SimulatedRun {
     /// Compression throughput in GB/s at the CS-2 clock.
     #[must_use]
@@ -204,6 +151,8 @@ impl SimulatedRun {
 /// A [`SimulatedRun`] plus the full simulator report (timeline, per-stage
 /// cycle attribution, per-PE counters) and the compression plan the run
 /// executed, when the strategy builds one.
+#[deprecated(note = "use `ceresz_wse::execute`, which returns a `StrategyRun`")]
+#[allow(deprecated)]
 pub struct ProfiledRun {
     /// The compressed output and headline statistics.
     pub run: SimulatedRun,
@@ -224,43 +173,20 @@ pub fn mapping_manifest(
 ) -> Result<wse_verify::MappingManifest, WseError> {
     strategy.validate()?;
     let options = SimOptions::default();
-    let mesh = match strategy {
-        MappingStrategy::RowParallel { rows } => {
-            crate::row_parallel::build_row_parallel(data, cfg, rows, &options)?.mesh
-        }
-        MappingStrategy::Pipeline {
-            rows,
-            pipeline_length,
-        } => {
-            crate::pipeline_map::build_pipeline_strategy(
-                data,
-                cfg,
-                rows,
-                pipeline_length,
-                &options,
-            )?
-            .mesh
-        }
-        MappingStrategy::MultiPipeline {
-            rows,
-            pipeline_length,
-            pipelines_per_row,
-        } => {
-            crate::multi_pipeline::build_multi_pipeline(
-                data,
-                cfg,
-                rows,
-                pipeline_length,
-                pipelines_per_row,
-                &options,
-            )?
-            .mesh
-        }
-    };
+    let (rows, cols) = Strategy::mesh_shape(&strategy);
+    let mut mesh = crate::mapping::MappedMesh::new(
+        strategy.mesh_name(),
+        options.mesh_config(rows, cols),
+        rows,
+        cols,
+    );
+    strategy.map(&mut mesh, data, cfg)?;
     Ok(mesh.into_parts().1)
 }
 
 /// Simulate CereSZ compression of `data` with the given strategy.
+#[deprecated(note = "use `ceresz_wse::execute`")]
+#[allow(deprecated)]
 pub fn simulate_compression(
     data: &[f32],
     cfg: &CereszConfig,
@@ -272,70 +198,30 @@ pub fn simulate_compression(
 /// [`simulate_compression`] with observability options; returns the full
 /// simulator report (and plan) alongside the run so callers can build
 /// profiles and traces.
+#[deprecated(note = "use `ceresz_wse::execute`")]
+#[allow(deprecated)]
 pub fn simulate_compression_with(
     data: &[f32],
     cfg: &CereszConfig,
     strategy: MappingStrategy,
     options: &SimOptions,
 ) -> Result<ProfiledRun, WseError> {
-    strategy.validate()?;
-    match strategy {
-        MappingStrategy::RowParallel { rows } => {
-            let (run, report) = run_row_parallel_with(data, cfg, rows, options)?;
-            Ok(ProfiledRun {
-                run: SimulatedRun {
-                    compressed: run.compressed,
-                    stats: run.stats,
-                    strategy,
-                },
-                report,
-                plan: None,
-            })
-        }
-        MappingStrategy::Pipeline {
-            rows,
-            pipeline_length,
-        } => {
-            let (run, report) = run_pipeline_with(data, cfg, rows, pipeline_length, options)?;
-            Ok(ProfiledRun {
-                run: SimulatedRun {
-                    compressed: run.compressed,
-                    stats: run.stats,
-                    strategy,
-                },
-                report,
-                plan: Some(run.plan),
-            })
-        }
-        MappingStrategy::MultiPipeline {
-            rows,
-            pipeline_length,
-            pipelines_per_row,
-        } => {
-            let (run, report) = run_multi_pipeline_with(
-                data,
-                cfg,
-                rows,
-                pipeline_length,
-                pipelines_per_row,
-                options,
-            )?;
-            Ok(ProfiledRun {
-                run: SimulatedRun {
-                    compressed: run.compressed,
-                    stats: run.stats,
-                    strategy,
-                },
-                report,
-                plan: Some(run.plan),
-            })
-        }
-    }
+    let run = execute(strategy, data, cfg, options)?;
+    Ok(ProfiledRun {
+        run: SimulatedRun {
+            compressed: run.compressed,
+            stats: run.stats,
+            strategy,
+        },
+        report: run.report,
+        plan: run.plan,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::strategy::execute;
     use ceresz_core::{compress, ErrorBound};
 
     #[test]
@@ -346,31 +232,32 @@ mod tests {
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
         let reference = compress(&data, &cfg).unwrap();
         for strategy in [
-            MappingStrategy::RowParallel { rows: 3 },
-            MappingStrategy::Pipeline {
+            StrategyKind::RowParallel { rows: 3 },
+            StrategyKind::Pipeline {
                 rows: 2,
                 pipeline_length: 4,
             },
-            MappingStrategy::MultiPipeline {
+            StrategyKind::MultiPipeline {
                 rows: 2,
                 pipeline_length: 2,
                 pipelines_per_row: 3,
             },
         ] {
-            let run = simulate_compression(&data, &cfg, strategy).unwrap();
+            let run = execute(strategy, &data, &cfg, &SimOptions::default()).unwrap();
             assert_eq!(run.compressed.data, reference.data, "{strategy:?}");
             assert!(run.stats.finish_cycle > 0.0);
+            assert_eq!(run.kind, strategy);
         }
     }
 
-    fn all_strategies() -> [MappingStrategy; 3] {
+    fn all_strategies() -> [StrategyKind; 3] {
         [
-            MappingStrategy::RowParallel { rows: 2 },
-            MappingStrategy::Pipeline {
+            StrategyKind::RowParallel { rows: 2 },
+            StrategyKind::Pipeline {
                 rows: 2,
                 pipeline_length: 3,
             },
-            MappingStrategy::MultiPipeline {
+            StrategyKind::MultiPipeline {
                 rows: 2,
                 pipeline_length: 2,
                 pipelines_per_row: 2,
@@ -383,7 +270,7 @@ mod tests {
         let cfg = CereszConfig::new(ErrorBound::Abs(1e-3));
         let reference = compress(&[], &cfg).unwrap();
         for strategy in all_strategies() {
-            let run = simulate_compression(&[], &cfg, strategy).unwrap();
+            let run = execute(strategy, &[], &cfg, &SimOptions::default()).unwrap();
             assert_eq!(run.compressed.data, reference.data, "{strategy:?}");
             assert_eq!(
                 ceresz_core::decompress_bytes(&run.compressed.data).unwrap(),
@@ -398,7 +285,7 @@ mod tests {
         let data = [42.17f32];
         let reference = compress(&data, &cfg).unwrap();
         for strategy in all_strategies() {
-            let run = simulate_compression(&data, &cfg, strategy).unwrap();
+            let run = execute(strategy, &data, &cfg, &SimOptions::default()).unwrap();
             assert_eq!(run.compressed.data, reference.data, "{strategy:?}");
             let restored = ceresz_core::decompress_bytes(&run.compressed.data).unwrap();
             assert_eq!(restored.len(), 1);
@@ -411,17 +298,17 @@ mod tests {
         let data = [1.0f32; 64];
         let cfg = CereszConfig::new(ErrorBound::Abs(1e-3));
         for strategy in [
-            MappingStrategy::RowParallel { rows: 0 },
-            MappingStrategy::Pipeline {
+            StrategyKind::RowParallel { rows: 0 },
+            StrategyKind::Pipeline {
                 rows: 1,
                 pipeline_length: 0,
             },
-            MappingStrategy::MultiPipeline {
+            StrategyKind::MultiPipeline {
                 rows: 1,
                 pipeline_length: 2,
                 pipelines_per_row: 0,
             },
-            MappingStrategy::MultiPipeline {
+            StrategyKind::MultiPipeline {
                 rows: 2,
                 pipeline_length: usize::MAX,
                 pipelines_per_row: 2,
@@ -429,7 +316,7 @@ mod tests {
         ] {
             assert!(
                 matches!(
-                    simulate_compression(&data, &cfg, strategy),
+                    execute(strategy, &data, &cfg, &SimOptions::default()),
                     Err(crate::error::WseError::InvalidStrategy { .. })
                 ),
                 "{strategy:?}"
@@ -446,7 +333,7 @@ mod tests {
         let cfg = CereszConfig::new(ErrorBound::Abs(1e-3));
         let host = compress(&data, &cfg).unwrap_err();
         for strategy in all_strategies() {
-            match simulate_compression(&data, &cfg, strategy) {
+            match execute(strategy, &data, &cfg, &SimOptions::default()) {
                 Err(crate::error::WseError::Compress(e)) => assert_eq!(e, host, "{strategy:?}"),
                 other => panic!("expected Compress({host:?}), got {other:?}"),
             }
@@ -460,7 +347,7 @@ mod tests {
         for strategy in all_strategies() {
             assert!(
                 matches!(
-                    simulate_compression(&data, &cfg, strategy),
+                    execute(strategy, &data, &cfg, &SimOptions::default()),
                     Err(crate::error::WseError::Compress(
                         ceresz_core::CompressError::BadBlockSize(7)
                     ))
@@ -480,18 +367,18 @@ mod tests {
             .collect();
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
         let mut strategies = vec![
-            MappingStrategy::RowParallel { rows: 1 },
-            MappingStrategy::RowParallel { rows: 8 },
-            MappingStrategy::RowParallel { rows: 32 },
+            StrategyKind::RowParallel { rows: 1 },
+            StrategyKind::RowParallel { rows: 8 },
+            StrategyKind::RowParallel { rows: 32 },
         ];
         for len in [1usize, 2, 4, 8] {
-            strategies.push(MappingStrategy::Pipeline {
+            strategies.push(StrategyKind::Pipeline {
                 rows: 2,
                 pipeline_length: len,
             });
         }
         for (len, p) in [(1usize, 1usize), (1, 8), (2, 3), (4, 2)] {
-            strategies.push(MappingStrategy::MultiPipeline {
+            strategies.push(StrategyKind::MultiPipeline {
                 rows: 2,
                 pipeline_length: len,
                 pipelines_per_row: p,
@@ -509,9 +396,9 @@ mod tests {
 
     #[test]
     fn pes_accounting() {
-        assert_eq!(MappingStrategy::RowParallel { rows: 7 }.pes(), 7);
+        assert_eq!(StrategyKind::RowParallel { rows: 7 }.pes(), 7);
         assert_eq!(
-            MappingStrategy::MultiPipeline {
+            StrategyKind::MultiPipeline {
                 rows: 2,
                 pipeline_length: 3,
                 pipelines_per_row: 4
@@ -519,5 +406,55 @@ mod tests {
             .pes(),
             24
         );
+    }
+
+    #[test]
+    fn sim_options_builders_commute() {
+        // The historical bug: `without_verify()` then wanting profiling
+        // forced `SimOptions::profiled()`, a constructor, which silently
+        // reset verify back to true. Every with_* pair must now commute.
+        let a = SimOptions::default()
+            .with_verify(false)
+            .with_profiling(true);
+        let b = SimOptions::default()
+            .with_profiling(true)
+            .with_verify(false);
+        assert!(!a.verify && !b.verify);
+        assert!(a.trace && b.trace);
+        assert!(a.recorder.is_enabled() && b.recorder.is_enabled());
+
+        let c = SimOptions::default().with_threads(8).with_trace(true);
+        let d = SimOptions::default().with_trace(true).with_threads(8);
+        assert_eq!(c.threads, d.threads);
+        assert_eq!(c.trace, d.trace);
+        assert!(c.verify && d.verify, "unrelated fields keep their defaults");
+
+        // profiled() is now a pure convenience for with_profiling(true).
+        let p = SimOptions::profiled();
+        assert!(p.trace && p.recorder.is_enabled() && p.verify);
+        assert_eq!(p.threads, 1);
+
+        // without_verify composes with profiling in either order.
+        let e = SimOptions::profiled().without_verify();
+        let f = SimOptions::default().without_verify().with_profiling(true);
+        assert!(!e.verify && !f.verify);
+        assert!(e.trace && f.trace);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_execute() {
+        let data: Vec<f32> = (0..32 * 6).map(|i| (i as f32 * 0.03).sin() * 5.0).collect();
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let strategy = StrategyKind::Pipeline {
+            rows: 2,
+            pipeline_length: 2,
+        };
+        let new = execute(strategy, &data, &cfg, &SimOptions::default()).unwrap();
+        let old = simulate_compression(&data, &cfg, strategy).unwrap();
+        assert_eq!(old.compressed.data, new.compressed.data);
+        assert_eq!(old.stats, new.stats);
+        assert_eq!(old.strategy, new.kind);
+        assert!((old.throughput_gbps() - new.throughput_gbps()).abs() < 1e-12);
     }
 }

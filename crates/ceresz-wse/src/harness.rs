@@ -93,25 +93,18 @@ pub fn row_of_block(b: usize, n_rows: usize) -> usize {
     b % n_rows
 }
 
-/// Reassemble per-row emissions (round-robin distributed) into a stream.
+/// Concatenate encoded blocks — already in block order — into the
+/// self-describing stream the host compressor produces, recovering per-block
+/// statistics from each block's header byte(s).
 ///
-/// `per_row[r][i]` must be the encoded bytes of the `i`-th block assigned to
-/// row `r`. Block `b` lives at `per_row[b % rows][b / rows]`.
-pub fn assemble_stream(
+/// This is the single reassembly path behind [`crate::execute`]: every
+/// strategy reduces its emission layout to a block-ordered list of encoded
+/// byte vectors (via its slot table) before calling this.
+pub fn assemble_blocks(
     header: &StreamHeader,
-    per_row: &[Vec<Vec<u8>>],
-    n_blocks: usize,
+    blocks: &[Vec<u8>],
 ) -> Result<Compressed, CompressError> {
-    let rows = per_row.len();
-    let mut body_len = 0usize;
-    for (b, _) in (0..n_blocks).enumerate() {
-        let row = &per_row[b % rows];
-        let idx = b / rows;
-        if idx >= row.len() {
-            return Err(CompressError::Truncated);
-        }
-        body_len += row[idx].len();
-    }
+    let body_len: usize = blocks.iter().map(Vec::len).sum();
     let mut out = Vec::with_capacity(ceresz_core::stream::STREAM_HEADER_BYTES + body_len);
     header.write(&mut out);
     let mut stats = CompressionStats {
@@ -120,14 +113,19 @@ pub fn assemble_stream(
         ..CompressionStats::default()
     };
     let codec = header.codec();
-    for b in 0..n_blocks {
-        let bytes = &per_row[b % rows][b / rows];
+    for bytes in blocks {
         // Recover per-block stats from the header byte(s).
         let f = match header.header_width {
-            ceresz_core::HeaderWidth::W1 => u32::from(bytes[0]),
-            ceresz_core::HeaderWidth::W4 => {
-                u32::from_le_bytes(bytes[0..4].try_into().expect("sized"))
+            ceresz_core::HeaderWidth::W1 => {
+                u32::from(*bytes.first().ok_or(CompressError::Truncated)?)
             }
+            ceresz_core::HeaderWidth::W4 => u32::from_le_bytes(
+                bytes
+                    .get(0..4)
+                    .ok_or(CompressError::Truncated)?
+                    .try_into()
+                    .expect("sized"),
+            ),
         };
         debug_assert_eq!(bytes.len(), codec.encoded_size(f));
         stats.n_blocks += 1;
@@ -140,6 +138,28 @@ pub fn assemble_stream(
     }
     stats.compressed_bytes = out.len();
     Ok(Compressed { data: out, stats })
+}
+
+/// Reassemble per-row emissions (round-robin distributed) into a stream.
+///
+/// `per_row[r][i]` must be the encoded bytes of the `i`-th block assigned to
+/// row `r`. Block `b` lives at `per_row[b % rows][b / rows]`.
+pub fn assemble_stream(
+    header: &StreamHeader,
+    per_row: &[Vec<Vec<u8>>],
+    n_blocks: usize,
+) -> Result<Compressed, CompressError> {
+    let rows = per_row.len();
+    let mut blocks = Vec::with_capacity(n_blocks);
+    for b in 0..n_blocks {
+        let row = &per_row[b % rows];
+        let idx = b / rows;
+        if idx >= row.len() {
+            return Err(CompressError::Truncated);
+        }
+        blocks.push(row[idx].clone());
+    }
+    assemble_blocks(header, &blocks)
 }
 
 /// Padded frame size (in wavelets) for inter-PE transfers of intermediate

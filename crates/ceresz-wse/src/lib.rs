@@ -16,6 +16,11 @@
 //!    of each pipeline relays raw blocks eastward, counting until its own
 //!    block arrives (Fig. 9).
 //!
+//! All three run behind the unified [`Strategy`] execution API: pick a
+//! [`StrategyKind`], call [`execute`], get a [`StrategyRun`]. The simulator
+//! underneath can be sharded over threads ([`SimOptions::with_threads`])
+//! with a bit-identical report at any thread count.
+//!
 //! Every strategy produces a byte stream **bit-identical** to the serial
 //! reference implementation in `ceresz-core` (asserted by the integration
 //! tests), while the simulator charges calibrated cycle costs so the
@@ -38,15 +43,18 @@ pub mod multi_pipeline;
 pub mod pipeline_map;
 pub mod profile;
 pub mod row_parallel;
+pub mod strategy;
 pub mod throughput;
 pub mod wire;
 
-pub use engine::{
-    mapping_manifest, simulate_compression, simulate_compression_with, MappingStrategy,
-    ProfiledRun, SimOptions, SimulatedRun,
-};
+pub use engine::{mapping_manifest, MappingStrategy, SimOptions};
+#[allow(deprecated)]
+pub use engine::{simulate_compression, simulate_compression_with, ProfiledRun, SimulatedRun};
 pub use error::WseError;
 pub use mapping::MappedMesh;
-pub use profile::{build_report, profile_compression, CompressionProfile};
+pub use profile::{
+    build_report, profile_compression, profile_compression_with, CompressionProfile,
+};
+pub use strategy::{execute, execute_strategy, MapOutcome, Strategy, StrategyKind, StrategyRun};
 pub use throughput::{ThroughputReport, WaferConfig};
 pub use wse_verify as verify;

@@ -12,18 +12,18 @@
 //! ends at head `P−1−j` (the first-injected block travels furthest).
 
 use ceresz_core::block::BlockCodec;
-use ceresz_core::compressor::{CereszConfig, CompressError, Compressed};
+use ceresz_core::compressor::{CereszConfig, Compressed};
 use ceresz_core::plan::{CompressionPlan, StageCostModel, SubStageKind};
 use ceresz_core::stream::StreamHeader;
 use wse_sim::{Color, Direction, PeId, PeProgram, SimError, SimStats, TaskCtx, TaskId};
 
 use crate::engine::SimOptions;
 use crate::mapping::MappedMesh;
+use crate::strategy::{execute, MapOutcome, StrategyKind};
 
 use crate::error::WseError;
 use crate::harness::{
-    assemble_stream, colors, emit_encoded, pad_frame, parse_emitted, parse_raw_block,
-    raw_block_wavelets, split_blocks, tasks,
+    colors, emit_encoded, pad_frame, parse_raw_block, raw_block_wavelets, split_blocks, tasks,
 };
 use crate::kernels::CompressState;
 use crate::pipeline_map::inter_color;
@@ -105,6 +105,7 @@ impl PeProgram for HeadPe {
 }
 
 /// Result of a simulated multi-pipeline run.
+#[deprecated(note = "use `ceresz_wse::execute`, which returns a `StrategyRun`")]
 #[derive(Debug)]
 pub struct MultiPipelineRun {
     /// The compressed stream (bit-identical to the host reference).
@@ -117,6 +118,7 @@ pub struct MultiPipelineRun {
     pub plan: CompressionPlan,
 }
 
+#[allow(deprecated)]
 impl MultiPipelineRun {
     /// Compression throughput in GB/s at the CS-2 clock.
     #[must_use]
@@ -129,6 +131,8 @@ impl MultiPipelineRun {
 /// Run CereSZ compression with strategy 3: `pipelines_per_row` pipelines of
 /// `pipeline_length` PEs in each of `rows` rows
 /// (`cols = pipelines_per_row · pipeline_length`).
+#[deprecated(note = "use `ceresz_wse::execute` with `StrategyKind::MultiPipeline`")]
+#[allow(deprecated)]
 pub fn run_multi_pipeline(
     data: &[f32],
     cfg: &CereszConfig,
@@ -147,37 +151,20 @@ pub fn run_multi_pipeline(
     .map(|(run, _)| run)
 }
 
-/// A constructed (but not yet run) multi-pipeline mapping: the mesh with
-/// its static manifest plus everything needed to assemble the output stream.
-pub(crate) struct MultiPipelineBuild {
-    /// The mesh and its recorded manifest.
-    pub mesh: MappedMesh,
-    /// Stream header of the eventual output.
-    pub header: StreamHeader,
-    /// The executed plan.
-    pub plan: CompressionPlan,
-    /// Total (unpadded) block count.
-    pub n_blocks: usize,
-    /// Real (unpadded) blocks per row, for reassembly.
-    pub real_count: Vec<usize>,
-}
-
-/// Construct the multi-pipeline mapping without running it: install relay
-/// routes, head/stage programs, and receives while recording the manifest.
-pub(crate) fn build_multi_pipeline(
+/// Install the multi-pipeline mapping on `mesh`: relay routes, head/stage
+/// programs, and receives, with each row's blocks padded to whole rounds of
+/// `pipelines_per_row`. Row `r`'s `s`-th block ends at pipeline
+/// `P − 1 − (s mod P)`, round `s / P` (the first-injected block of a round
+/// travels furthest), so block `b` (with `r = b mod rows`, `s = b / rows`)
+/// surfaces as emission `s / P` of that pipeline's last PE.
+pub(crate) fn map_multi_pipeline(
+    mesh: &mut MappedMesh,
     data: &[f32],
     cfg: &CereszConfig,
     rows: usize,
     pipeline_length: usize,
     pipelines_per_row: usize,
-    options: &SimOptions,
-) -> Result<MultiPipelineBuild, WseError> {
-    crate::engine::MappingStrategy::MultiPipeline {
-        rows,
-        pipeline_length,
-        pipelines_per_row,
-    }
-    .validate()?;
+) -> Result<MapOutcome, WseError> {
     let eps = cfg.resolve_eps(data)?;
     ceresz_core::precheck_input(data, eps, cfg.block_size)?;
     let codec = BlockCodec::new(cfg.block_size, cfg.header);
@@ -192,7 +179,6 @@ pub(crate) fn build_multi_pipeline(
         CompressionPlan::from_sampled(data, cfg.bound, cfg.block_size, pipeline_length, &model);
     let p = pipelines_per_row;
     let len = pipeline_length;
-    let cols = p * len;
 
     // Deal blocks round-robin over rows, then pad each row to whole rounds.
     let blocks = split_blocks(data, cfg.block_size);
@@ -202,20 +188,12 @@ pub(crate) fn build_multi_pipeline(
         per_row_blocks[b % rows].push(raw_block_wavelets(block));
     }
     let zero_block = raw_block_wavelets(&vec![0.0f32; cfg.block_size]);
-    let mut real_count = vec![0usize; rows];
-    for (r, rb) in per_row_blocks.iter_mut().enumerate() {
-        real_count[r] = rb.len();
+    for rb in &mut per_row_blocks {
         while rb.len() % p != 0 {
             rb.push(zero_block.clone());
         }
     }
 
-    let mut mesh = MappedMesh::new(
-        format!("multi-pipeline rows={rows} len={len} p={p}"),
-        options.mesh_config(rows, cols),
-        rows,
-        cols,
-    );
     let stage_kinds: Vec<SubStageKind> = plan.stages.iter().map(|s| s.kind).collect();
     for (r, row_blocks) in per_row_blocks.iter().enumerate() {
         let rounds = row_blocks.len() / p;
@@ -276,31 +254,31 @@ pub(crate) fn build_multi_pipeline(
             // Remaining PEs of this pipeline reuse the strategy-2 builder's
             // shape: install stage PEs 1..len with their groups and routes.
             if len > 1 {
-                install_tail_stages(
-                    &mut mesh,
-                    r,
-                    head_col,
-                    &plan,
-                    &stage_kinds,
-                    codec,
-                    eps,
-                    rounds,
-                );
+                install_tail_stages(mesh, r, head_col, &plan, &stage_kinds, codec, eps, rounds);
             }
         }
         mesh.inject_blocks(PeId::new(r, 0), colors::DATA, row_blocks.clone(), 0.0);
     }
-    Ok(MultiPipelineBuild {
-        mesh,
+    // Block b = (row r, row-local index s) ends at pipeline P−1−(s mod P),
+    // round s / P.
+    let slots = (0..n_blocks)
+        .map(|b| {
+            let (r, s) = (b % rows, b / rows);
+            let k = p - 1 - (s % p);
+            (PeId::new(r, k * len + len - 1), s / p)
+        })
+        .collect();
+    Ok(MapOutcome {
         header,
-        plan,
-        n_blocks,
-        real_count,
+        plan: Some(plan),
+        slots,
     })
 }
 
 /// [`run_multi_pipeline`] with observability options; also returns the full
 /// simulator report (timeline, per-stage cycle attribution).
+#[deprecated(note = "use `ceresz_wse::execute` with `StrategyKind::MultiPipeline`")]
+#[allow(deprecated)]
 pub fn run_multi_pipeline_with(
     data: &[f32],
     cfg: &CereszConfig,
@@ -309,41 +287,26 @@ pub fn run_multi_pipeline_with(
     pipelines_per_row: usize,
     options: &SimOptions,
 ) -> Result<(MultiPipelineRun, wse_sim::RunReport), WseError> {
-    let build = build_multi_pipeline(data, cfg, rows, pipeline_length, pipelines_per_row, options)?;
-    if options.verify {
-        crate::mapping::ensure_verified(&build.mesh)?;
-    }
-    let (header, plan, n_blocks, real_count) =
-        (build.header, build.plan, build.n_blocks, build.real_count);
-    let (p, len) = (pipelines_per_row, pipeline_length);
-    let report = build.mesh.into_sim().run().map_err(WseError::Sim)?;
-
-    // Reassemble: row r's s-th block lives at pipeline P−1−(s mod P),
-    // round s / P.
-    let mut per_row: Vec<Vec<Vec<u8>>> = Vec::with_capacity(rows);
-    for (r, &real) in real_count.iter().enumerate() {
-        let mut row_out = Vec::with_capacity(real);
-        for s in 0..real {
-            let k = p - 1 - (s % p);
-            let round = s / p;
-            let last_col = k * len + len - 1;
-            let outs = report.outputs(PeId::new(r, last_col));
-            if round >= outs.len() {
-                return Err(CompressError::Truncated.into());
-            }
-            row_out.push(parse_emitted(&outs[round])?);
-        }
-        per_row.push(row_out);
-    }
-    let compressed = assemble_stream(&header, &per_row, n_blocks)?;
+    let run = execute(
+        StrategyKind::MultiPipeline {
+            rows,
+            pipeline_length,
+            pipelines_per_row,
+        },
+        data,
+        cfg,
+        options,
+    )?;
     Ok((
         MultiPipelineRun {
-            compressed,
-            stats: report.stats().clone(),
-            pipelines_per_row: p,
-            plan,
+            compressed: run.compressed,
+            stats: run.stats,
+            pipelines_per_row,
+            plan: run
+                .plan
+                .expect("multi-pipeline strategy always builds a plan"),
         },
-        report,
+        run.report,
     ))
 }
 
@@ -421,13 +384,32 @@ mod tests {
             .collect()
     }
 
+    fn multi_pipeline(
+        data: &[f32],
+        cfg: &CereszConfig,
+        rows: usize,
+        len: usize,
+        p: usize,
+    ) -> Result<crate::strategy::StrategyRun, WseError> {
+        execute(
+            StrategyKind::MultiPipeline {
+                rows,
+                pipeline_length: len,
+                pipelines_per_row: p,
+            },
+            data,
+            cfg,
+            &SimOptions::default(),
+        )
+    }
+
     #[test]
     fn multi_pipeline_matches_reference_bitwise() {
         let data = wavy(32 * 60);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
         let reference = compress(&data, &cfg).unwrap();
         for (len, p) in [(1usize, 4usize), (2, 3), (1, 1), (3, 2)] {
-            let run = run_multi_pipeline(&data, &cfg, 2, len, p).unwrap();
+            let run = multi_pipeline(&data, &cfg, 2, len, p).unwrap();
             assert_eq!(run.compressed.data, reference.data, "len={len} p={p}");
         }
     }
@@ -437,7 +419,7 @@ mod tests {
         let data = wavy(32 * 13 + 5); // 14 blocks over 3 rows × 4 pipelines
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-2));
         let reference = compress(&data, &cfg).unwrap();
-        let run = run_multi_pipeline(&data, &cfg, 3, 1, 4).unwrap();
+        let run = multi_pipeline(&data, &cfg, 3, 1, 4).unwrap();
         assert_eq!(run.compressed.data, reference.data);
     }
 
@@ -445,8 +427,8 @@ mod tests {
     fn more_pipelines_means_more_throughput() {
         let data = wavy(32 * 512);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let p1 = run_multi_pipeline(&data, &cfg, 2, 1, 1).unwrap();
-        let p8 = run_multi_pipeline(&data, &cfg, 2, 1, 8).unwrap();
+        let p1 = multi_pipeline(&data, &cfg, 2, 1, 1).unwrap();
+        let p8 = multi_pipeline(&data, &cfg, 2, 1, 8).unwrap();
         assert!(
             p8.stats.finish_cycle < p1.stats.finish_cycle / 4.0,
             "p=1: {} vs p=8: {}",
@@ -463,10 +445,22 @@ mod tests {
         // relay term rather than exploding.
         let data = wavy(32 * 64);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let p2 = run_multi_pipeline(&data, &cfg, 1, 1, 2).unwrap();
-        let p4 = run_multi_pipeline(&data, &cfg, 1, 1, 4).unwrap();
+        let p2 = multi_pipeline(&data, &cfg, 1, 1, 2).unwrap();
+        let p4 = multi_pipeline(&data, &cfg, 1, 1, 4).unwrap();
         // Twice the pipelines roughly halves compute but adds relay: still
         // a clear net win at these sizes.
         assert!(p4.stats.finish_cycle < p2.stats.finish_cycle);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_execute() {
+        let data = wavy(32 * 12);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let new = multi_pipeline(&data, &cfg, 2, 2, 2).unwrap();
+        let old = run_multi_pipeline(&data, &cfg, 2, 2, 2).unwrap();
+        assert_eq!(old.compressed.data, new.compressed.data);
+        assert_eq!(old.stats, new.stats);
+        assert_eq!(old.pipelines_per_row, 2);
     }
 }

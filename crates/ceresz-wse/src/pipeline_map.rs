@@ -14,11 +14,12 @@ use wse_sim::{Color, Direction, PeId, PeProgram, SimError, SimStats, TaskCtx, Ta
 
 use crate::engine::SimOptions;
 use crate::mapping::MappedMesh;
+use crate::strategy::{execute, MapOutcome, StrategyKind};
 
 use crate::error::WseError;
 use crate::harness::{
-    assemble_stream, colors, emit_encoded, frame_words, pad_frame, parse_emitted, parse_raw_block,
-    raw_block_wavelets, split_blocks, tasks,
+    colors, emit_encoded, frame_words, pad_frame, parse_raw_block, raw_block_wavelets,
+    split_blocks, tasks,
 };
 use crate::kernels::CompressState;
 use crate::row_parallel::kernel_error;
@@ -129,6 +130,7 @@ pub(crate) fn tail_stage_pe(
 }
 
 /// Result of a simulated pipeline run.
+#[deprecated(note = "use `ceresz_wse::execute`, which returns a `StrategyRun`")]
 #[derive(Debug)]
 pub struct PipelineRun {
     /// The compressed stream (bit-identical to the host reference).
@@ -141,6 +143,7 @@ pub struct PipelineRun {
     pub rows: usize,
 }
 
+#[allow(deprecated)]
 impl PipelineRun {
     /// Compression throughput in GB/s at the CS-2 clock.
     #[must_use]
@@ -214,6 +217,8 @@ pub(crate) fn build_pipeline(
 
 /// Run CereSZ compression with strategy 2: one pipeline of `pipeline_length`
 /// PEs per row, over `rows` rows.
+#[deprecated(note = "use `ceresz_wse::execute` with `StrategyKind::Pipeline`")]
+#[allow(deprecated)]
 pub fn run_pipeline(
     data: &[f32],
     cfg: &CereszConfig,
@@ -223,33 +228,17 @@ pub fn run_pipeline(
     run_pipeline_with(data, cfg, rows, pipeline_length, &SimOptions::default()).map(|(run, _)| run)
 }
 
-/// A constructed (but not yet run) pipeline mapping: the mesh with its
-/// static manifest plus everything needed to assemble the output stream.
-pub(crate) struct PipelineBuild {
-    /// The mesh and its recorded manifest.
-    pub mesh: MappedMesh,
-    /// Stream header of the eventual output.
-    pub header: StreamHeader,
-    /// The executed plan.
-    pub plan: CompressionPlan,
-    /// Total block count (for reassembly).
-    pub n_blocks: usize,
-}
-
-/// Construct the pipeline mapping without running it: install routes,
-/// programs, and receives on the mesh while recording the static manifest.
-pub(crate) fn build_pipeline_strategy(
+/// Install the pipeline mapping on `mesh`: one pipeline of
+/// `pipeline_length` PEs per row running the sampled stage plan, blocks
+/// dealt round-robin over rows. Block `b` surfaces as emission `b / rows`
+/// of `PE(b % rows, pipeline_length − 1)`.
+pub(crate) fn map_pipeline(
+    mesh: &mut MappedMesh,
     data: &[f32],
     cfg: &CereszConfig,
     rows: usize,
     pipeline_length: usize,
-    options: &SimOptions,
-) -> Result<PipelineBuild, WseError> {
-    crate::engine::MappingStrategy::Pipeline {
-        rows,
-        pipeline_length,
-    }
-    .validate()?;
+) -> Result<MapOutcome, WseError> {
     let eps = cfg.resolve_eps(data)?;
     ceresz_core::precheck_input(data, eps, cfg.block_size)?;
     let codec = BlockCodec::new(cfg.block_size, cfg.header);
@@ -270,25 +259,22 @@ pub(crate) fn build_pipeline_strategy(
         per_row_blocks[b % rows].push(raw_block_wavelets(block));
     }
 
-    let mut mesh = MappedMesh::new(
-        format!("pipeline rows={rows} len={pipeline_length}"),
-        options.mesh_config(rows, pipeline_length),
-        rows,
-        pipeline_length,
-    );
     for (r, row_blocks) in per_row_blocks.into_iter().enumerate() {
         let count = row_blocks.len();
         if count == 0 {
             continue;
         }
-        build_pipeline(&mut mesh, r, 0, &plan, codec, eps, count, colors::DATA);
+        build_pipeline(mesh, r, 0, &plan, codec, eps, count, colors::DATA);
         mesh.inject_blocks(PeId::new(r, 0), colors::DATA, row_blocks, 0.0);
     }
-    Ok(PipelineBuild {
-        mesh,
+    let last_col = pipeline_length - 1;
+    let slots = (0..n_blocks)
+        .map(|b| (PeId::new(b % rows, last_col), b / rows))
+        .collect();
+    Ok(MapOutcome {
         header,
-        plan,
-        n_blocks,
+        plan: Some(plan),
+        slots,
     })
 }
 
@@ -296,6 +282,8 @@ pub(crate) fn build_pipeline_strategy(
 /// simulator report (task timeline when `options.trace` is set, per-stage
 /// cycle attribution when `options.recorder` is enabled — the per-PE Gantt
 /// view the `trace_pipeline` bench renders comes from the report's trace).
+#[deprecated(note = "use `ceresz_wse::execute` with `StrategyKind::Pipeline`")]
+#[allow(deprecated)]
 pub fn run_pipeline_with(
     data: &[f32],
     cfg: &CereszConfig,
@@ -303,31 +291,23 @@ pub fn run_pipeline_with(
     pipeline_length: usize,
     options: &SimOptions,
 ) -> Result<(PipelineRun, wse_sim::RunReport), WseError> {
-    let build = build_pipeline_strategy(data, cfg, rows, pipeline_length, options)?;
-    if options.verify {
-        crate::mapping::ensure_verified(&build.mesh)?;
-    }
-    let (header, plan, n_blocks) = (build.header, build.plan, build.n_blocks);
-    let report = build.mesh.into_sim().run().map_err(WseError::Sim)?;
-    let last_col = pipeline_length - 1;
-    let mut per_row: Vec<Vec<Vec<u8>>> = Vec::with_capacity(rows);
-    for r in 0..rows {
-        let outs = report.outputs(PeId::new(r, last_col));
-        let mut row = Vec::with_capacity(outs.len());
-        for o in outs {
-            row.push(parse_emitted(o)?);
-        }
-        per_row.push(row);
-    }
-    let compressed = assemble_stream(&header, &per_row, n_blocks)?;
+    let run = execute(
+        StrategyKind::Pipeline {
+            rows,
+            pipeline_length,
+        },
+        data,
+        cfg,
+        options,
+    )?;
     Ok((
         PipelineRun {
-            compressed,
-            stats: report.stats().clone(),
-            plan,
+            compressed: run.compressed,
+            stats: run.stats,
+            plan: run.plan.expect("pipeline strategy always builds a plan"),
             rows,
         },
-        report,
+        run.report,
     ))
 }
 
@@ -342,13 +322,30 @@ mod tests {
             .collect()
     }
 
+    fn pipeline(
+        data: &[f32],
+        cfg: &CereszConfig,
+        rows: usize,
+        pipeline_length: usize,
+    ) -> Result<crate::strategy::StrategyRun, WseError> {
+        execute(
+            StrategyKind::Pipeline {
+                rows,
+                pipeline_length,
+            },
+            data,
+            cfg,
+            &SimOptions::default(),
+        )
+    }
+
     #[test]
     fn pipeline_output_matches_reference_bitwise() {
         let data = wavy(32 * 40 + 7);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
         let reference = compress(&data, &cfg).unwrap();
         for len in [1usize, 2, 3, 4, 8] {
-            let run = run_pipeline(&data, &cfg, 2, len).unwrap();
+            let run = pipeline(&data, &cfg, 2, len).unwrap();
             assert_eq!(run.compressed.data, reference.data, "length = {len}");
         }
     }
@@ -357,11 +354,23 @@ mod tests {
     fn longer_pipeline_is_slower_at_equal_pe_count() {
         // Fig. 13 compares pipeline lengths at a FIXED total PE budget:
         // 8 columns as eight 1-PE pipelines vs two 4-PE pipelines.
-        use crate::multi_pipeline::run_multi_pipeline;
         let data = wavy(32 * 256);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-4));
-        let t1 = run_multi_pipeline(&data, &cfg, 2, 1, 8).unwrap();
-        let t4 = run_multi_pipeline(&data, &cfg, 2, 4, 2).unwrap();
+        let multi = |len, p| {
+            execute(
+                StrategyKind::MultiPipeline {
+                    rows: 2,
+                    pipeline_length: len,
+                    pipelines_per_row: p,
+                },
+                &data,
+                &cfg,
+                &SimOptions::default(),
+            )
+            .unwrap()
+        };
+        let t1 = multi(1, 8);
+        let t4 = multi(4, 2);
         assert!(
             t1.stats.finish_cycle < t4.stats.finish_cycle,
             "len-1 {} vs len-4 {}",
@@ -374,8 +383,8 @@ mod tests {
     fn stage_groups_cover_plan() {
         let data = wavy(32 * 16);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let run = run_pipeline(&data, &cfg, 1, 3).unwrap();
-        assert_eq!(run.plan.groups.len(), 3);
+        let run = pipeline(&data, &cfg, 1, 3).unwrap();
+        assert_eq!(run.plan.unwrap().groups.len(), 3);
     }
 
     #[test]
@@ -384,7 +393,19 @@ mod tests {
         let data = wavy(32 * 8);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-2));
         let reference = compress(&data, &cfg).unwrap();
-        let run = run_pipeline(&data, &cfg, 1, 12).unwrap();
+        let run = pipeline(&data, &cfg, 1, 12).unwrap();
         assert_eq!(run.compressed.data, reference.data);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_execute() {
+        let data = wavy(32 * 10);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let new = pipeline(&data, &cfg, 2, 3).unwrap();
+        let old = run_pipeline(&data, &cfg, 2, 3).unwrap();
+        assert_eq!(old.compressed.data, new.compressed.data);
+        assert_eq!(old.stats, new.stats);
+        assert_eq!(old.plan.groups, new.plan.unwrap().groups);
     }
 }

@@ -1,7 +1,7 @@
 //! Run-level profiling: execute a strategy with full observability and
 //! shape the result into the paper's reporting artifacts.
 //!
-//! [`profile_compression`] runs [`simulate_compression_with`] under an
+//! [`profile_compression`] runs [`crate::execute`] under an
 //! enabled [`telemetry::Recorder`] plus timeline tracing, then assembles:
 //!
 //! * a [`telemetry::profile::ProfileReport`] — per-stage busy cycles
@@ -17,13 +17,15 @@ use ceresz_core::plan::{CompressionPlan, PipelineModel};
 use telemetry::profile::{ProfileReport, StageCycles};
 use telemetry::{Recorder, TelemetrySnapshot};
 
-use crate::engine::{simulate_compression_with, MappingStrategy, SimOptions, SimulatedRun};
+use crate::engine::{MappingStrategy, SimOptions};
 use crate::error::WseError;
+use crate::strategy::{execute, StrategyRun};
 
 /// Everything a profiled run produces.
 pub struct CompressionProfile {
-    /// The compressed output and headline statistics.
-    pub run: SimulatedRun,
+    /// The executed run: compressed output, headline statistics, and the
+    /// full simulator report.
+    pub run: StrategyRun,
     /// Per-stage cycle attribution and model terms (`profile.json`).
     pub report: ProfileReport,
     /// Chrome-trace document of the task timeline (Perfetto-loadable).
@@ -39,29 +41,36 @@ pub fn profile_compression(
     cfg: &CereszConfig,
     strategy: MappingStrategy,
 ) -> Result<CompressionProfile, WseError> {
+    profile_compression_with(data, cfg, strategy, &SimOptions::default())
+}
+
+/// [`profile_compression`] with explicit [`SimOptions`]. Tracing and the
+/// telemetry recorder are forced on (they are what a profile *is*); the
+/// caller's `threads` and `verify` settings are honored, so a sharded
+/// profiled run is `SimOptions::default().with_threads(n)`.
+pub fn profile_compression_with(
+    data: &[f32],
+    cfg: &CereszConfig,
+    strategy: MappingStrategy,
+    options: &SimOptions,
+) -> Result<CompressionProfile, WseError> {
     let recorder = Recorder::enabled();
-    let options = SimOptions {
-        trace: true,
-        recorder: recorder.clone(),
-        ..SimOptions::default()
-    };
-    let profiled = {
+    let options = options
+        .clone()
+        .with_trace(true)
+        .with_recorder(recorder.clone());
+    let run = {
         let _span = recorder.wall_span("simulate_compression");
-        simulate_compression_with(data, cfg, strategy, &options)?
+        execute(strategy, data, cfg, &options)?
     };
 
-    let report = build_report(
-        strategy,
-        cfg.block_size,
-        &profiled.report,
-        profiled.plan.as_ref(),
-    );
-    let trace = profiled
+    let report = build_report(strategy, cfg.block_size, &run.report, run.plan.as_ref());
+    let trace = run
         .report
         .chrome_trace(&format!("ceresz {}", strategy.name()));
 
     Ok(CompressionProfile {
-        run: profiled.run,
+        run,
         report,
         trace,
         snapshot: recorder.snapshot(),

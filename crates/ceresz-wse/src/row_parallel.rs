@@ -13,10 +13,10 @@ use wse_sim::{PeId, PeProgram, SimError, SimStats, TaskCtx, TaskId};
 
 use crate::engine::SimOptions;
 use crate::mapping::MappedMesh;
+use crate::strategy::{execute, MapOutcome, StrategyKind};
 
 use crate::harness::{
-    assemble_stream, colors, emit_encoded, parse_emitted, parse_raw_block, raw_block_wavelets,
-    split_blocks, tasks,
+    colors, emit_encoded, parse_raw_block, raw_block_wavelets, split_blocks, tasks,
 };
 use crate::kernels::compress_block;
 
@@ -76,6 +76,7 @@ pub(crate) fn kernel_error(pe: PeId, e: CompressError) -> SimError {
 use crate::error::WseError;
 
 /// Result of a simulated row-parallel run.
+#[deprecated(note = "use `ceresz_wse::execute`, which returns a `StrategyRun`")]
 #[derive(Debug)]
 pub struct RowParallelRun {
     /// The compressed stream (bit-identical to the host reference).
@@ -87,6 +88,7 @@ pub struct RowParallelRun {
     pub rows: usize,
 }
 
+#[allow(deprecated)]
 impl RowParallelRun {
     /// Compression throughput in GB/s at the CS-2 clock.
     #[must_use]
@@ -101,6 +103,8 @@ impl RowParallelRun {
 /// Input blocks stream into each row's first PE back-to-back (the paper
 /// "keeps flowing data blocks to each row"). Returns the compressed stream
 /// and cycle statistics.
+#[deprecated(note = "use `ceresz_wse::execute` with `StrategyKind::RowParallel`")]
+#[allow(deprecated)]
 pub fn run_row_parallel(
     data: &[f32],
     cfg: &CereszConfig,
@@ -109,26 +113,15 @@ pub fn run_row_parallel(
     run_row_parallel_with(data, cfg, rows, &SimOptions::default()).map(|(run, _)| run)
 }
 
-/// A constructed (but not yet run) row-parallel mapping: the mesh with its
-/// static manifest plus everything needed to assemble the output stream.
-pub(crate) struct RowParallelBuild {
-    /// The mesh and its recorded manifest.
-    pub mesh: MappedMesh,
-    /// Stream header of the eventual output.
-    pub header: StreamHeader,
-    /// Total block count (for reassembly).
-    pub n_blocks: usize,
-}
-
-/// Construct the row-parallel mapping without running it: install programs
-/// and receives on the mesh while recording the static manifest.
-pub(crate) fn build_row_parallel(
+/// Install the row-parallel mapping on `mesh`: the whole-block compressor
+/// program and its receive on each row's first PE, blocks dealt round-robin.
+/// Block `b` surfaces as emission `b / rows` of `PE(b % rows, 0)`.
+pub(crate) fn map_row_parallel(
+    mesh: &mut MappedMesh,
     data: &[f32],
     cfg: &CereszConfig,
     rows: usize,
-    options: &SimOptions,
-) -> Result<RowParallelBuild, WseError> {
-    crate::engine::MappingStrategy::RowParallel { rows }.validate()?;
+) -> Result<MapOutcome, WseError> {
     let eps = cfg.resolve_eps(data)?;
     ceresz_core::precheck_input(data, eps, cfg.block_size)?;
     let codec = BlockCodec::new(cfg.block_size, cfg.header);
@@ -141,12 +134,6 @@ pub(crate) fn build_row_parallel(
     let blocks = split_blocks(data, cfg.block_size);
     let n_blocks = blocks.len();
 
-    let mut mesh = MappedMesh::new(
-        format!("row-parallel rows={rows}"),
-        options.mesh_config(rows, 1),
-        rows,
-        1,
-    );
     // Deal blocks round-robin; inject each row's queue back-to-back.
     let mut per_row_blocks: Vec<Vec<Vec<u32>>> = vec![Vec::new(); rows];
     for (b, block) in blocks.iter().enumerate() {
@@ -172,44 +159,34 @@ pub(crate) fn build_row_parallel(
         mesh.post_recv(pe, colors::DATA, cfg.block_size, tasks::RECV, count);
         mesh.inject_blocks(pe, colors::DATA, row_blocks, 0.0);
     }
-    Ok(RowParallelBuild {
-        mesh,
+    let slots = (0..n_blocks)
+        .map(|b| (PeId::new(b % rows, 0), b / rows))
+        .collect();
+    Ok(MapOutcome {
         header,
-        n_blocks,
+        plan: None,
+        slots,
     })
 }
 
 /// [`run_row_parallel`] with observability options; also returns the full
 /// simulator report (timeline, per-stage cycle attribution).
+#[deprecated(note = "use `ceresz_wse::execute` with `StrategyKind::RowParallel`")]
+#[allow(deprecated)]
 pub fn run_row_parallel_with(
     data: &[f32],
     cfg: &CereszConfig,
     rows: usize,
     options: &SimOptions,
 ) -> Result<(RowParallelRun, wse_sim::RunReport), WseError> {
-    let build = build_row_parallel(data, cfg, rows, options)?;
-    if options.verify {
-        crate::mapping::ensure_verified(&build.mesh)?;
-    }
-    let (header, n_blocks) = (build.header, build.n_blocks);
-    let report = build.mesh.into_sim().run().map_err(WseError::Sim)?;
-    let mut per_row: Vec<Vec<Vec<u8>>> = Vec::with_capacity(rows);
-    for r in 0..rows {
-        let outs = report.outputs(PeId::new(r, 0));
-        let mut row = Vec::with_capacity(outs.len());
-        for o in outs {
-            row.push(parse_emitted(o)?);
-        }
-        per_row.push(row);
-    }
-    let compressed = assemble_stream(&header, &per_row, n_blocks)?;
+    let run = execute(StrategyKind::RowParallel { rows }, data, cfg, options)?;
     Ok((
         RowParallelRun {
-            compressed,
-            stats: report.stats().clone(),
+            compressed: run.compressed,
+            stats: run.stats,
             rows,
         },
-        report,
+        run.report,
     ))
 }
 
@@ -225,11 +202,24 @@ mod tests {
             .collect()
     }
 
+    fn row_parallel(
+        data: &[f32],
+        cfg: &CereszConfig,
+        rows: usize,
+    ) -> Result<crate::strategy::StrategyRun, WseError> {
+        execute(
+            StrategyKind::RowParallel { rows },
+            data,
+            cfg,
+            &SimOptions::default(),
+        )
+    }
+
     #[test]
     fn single_row_matches_reference() {
         let data = wavy(32 * 20);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let run = run_row_parallel(&data, &cfg, 1).unwrap();
+        let run = row_parallel(&data, &cfg, 1).unwrap();
         let reference = compress(&data, &cfg).unwrap();
         assert_eq!(run.compressed.data, reference.data);
     }
@@ -239,7 +229,7 @@ mod tests {
         let data = wavy(32 * 57 + 11); // partial final block
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
         for rows in [2usize, 4, 8] {
-            let run = run_row_parallel(&data, &cfg, rows).unwrap();
+            let run = row_parallel(&data, &cfg, rows).unwrap();
             let reference = compress(&data, &cfg).unwrap();
             assert_eq!(run.compressed.data, reference.data, "rows = {rows}");
             let restored = decompress_bytes(&run.compressed.data).unwrap();
@@ -252,9 +242,9 @@ mod tests {
         // Fig. 7: throughput grows linearly with the row count.
         let data = wavy(32 * 512);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let t1 = run_row_parallel(&data, &cfg, 1).unwrap();
-        let t4 = run_row_parallel(&data, &cfg, 4).unwrap();
-        let t16 = run_row_parallel(&data, &cfg, 16).unwrap();
+        let t1 = row_parallel(&data, &cfg, 1).unwrap();
+        let t4 = row_parallel(&data, &cfg, 4).unwrap();
+        let t16 = row_parallel(&data, &cfg, 16).unwrap();
         let s4 = t1.stats.finish_cycle / t4.stats.finish_cycle;
         let s16 = t1.stats.finish_cycle / t16.stats.finish_cycle;
         assert!((s4 - 4.0).abs() < 0.4, "4-row speedup = {s4}");
@@ -265,7 +255,7 @@ mod tests {
     fn throughput_is_positive_and_finite() {
         let data = wavy(32 * 64);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-2));
-        let run = run_row_parallel(&data, &cfg, 4).unwrap();
+        let run = row_parallel(&data, &cfg, 4).unwrap();
         let gbps = run.throughput_gbps();
         assert!(gbps.is_finite() && gbps > 0.0);
     }
@@ -279,7 +269,7 @@ mod tests {
         // reports the dynamic OutOfMemory.
         let data = wavy(4096 * 4);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3)).with_block_size(4096);
-        match run_row_parallel(&data, &cfg, 2) {
+        match row_parallel(&data, &cfg, 2) {
             Err(crate::error::WseError::MappingRejected { diagnostics, .. }) => {
                 assert!(
                     diagnostics
@@ -290,8 +280,8 @@ mod tests {
             }
             other => panic!("expected MappingRejected, got {other:?}"),
         }
-        let opts = SimOptions::default().without_verify();
-        match run_row_parallel_with(&data, &cfg, 2, &opts) {
+        let opts = SimOptions::default().with_verify(false);
+        match execute(StrategyKind::RowParallel { rows: 2 }, &data, &cfg, &opts) {
             Err(crate::error::WseError::Sim(SimError::OutOfMemory { pe, .. })) => {
                 assert_eq!(pe.col, 0);
             }
@@ -304,8 +294,20 @@ mod tests {
     fn more_rows_than_blocks_is_fine() {
         let data = wavy(40); // 2 blocks of 32
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let run = run_row_parallel(&data, &cfg, 8).unwrap();
+        let run = row_parallel(&data, &cfg, 8).unwrap();
         let reference = compress(&data, &cfg).unwrap();
         assert_eq!(run.compressed.data, reference.data);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_execute() {
+        let data = wavy(32 * 9);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let new = row_parallel(&data, &cfg, 3).unwrap();
+        let old = run_row_parallel(&data, &cfg, 3).unwrap();
+        assert_eq!(old.compressed.data, new.compressed.data);
+        assert_eq!(old.stats, new.stats);
+        assert_eq!(old.rows, 3);
     }
 }

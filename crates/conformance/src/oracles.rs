@@ -12,9 +12,7 @@ use ceresz_core::{
     compress, compress_parallel, decompress_bytes, decompress_bytes_parallel, verify_error_bound,
     Compressed,
 };
-use ceresz_wse::{
-    mapping_manifest, simulate_compression, simulate_compression_with, SimOptions, WseError,
-};
+use ceresz_wse::{execute, mapping_manifest, SimOptions, WseError};
 use wse_sim::SimError;
 
 use crate::generate::Case;
@@ -50,7 +48,10 @@ pub fn oracle_differential(case: &Case) -> Result<Option<Compressed>, String> {
         },
     }
     for strategy in case.strategies {
-        match (simulate_compression(&case.data, &cfg, strategy), &host) {
+        match (
+            execute(strategy, &case.data, &cfg, &SimOptions::default()),
+            &host,
+        ) {
             (Ok(run), Ok(h)) => {
                 if run.compressed.data != h.data {
                     return Err(format!("{strategy:?}: simulated stream differs from host"));
@@ -243,9 +244,7 @@ pub fn oracle_verifier(case: &Case) -> Result<(), String> {
             ));
         }
         let options = SimOptions::default().without_verify();
-        if let Err(WseError::Sim(e)) =
-            simulate_compression_with(&case.data, &cfg, strategy, &options)
-        {
+        if let Err(WseError::Sim(e)) = execute(strategy, &case.data, &cfg, &options) {
             match e {
                 SimError::Deadlock { .. }
                 | SimError::NoRoute { .. }

@@ -105,6 +105,13 @@ impl Fabric {
         self.rules.get(&(pe, color))
     }
 
+    /// Iterate over every installed rule (arbitrary order). Used by the
+    /// sharded engine to discover which mesh rows are coupled by vertical
+    /// routes; the derived partition is order-independent.
+    pub(crate) fn rules_iter(&self) -> impl Iterator<Item = (PeId, &RouteRule)> {
+        self.rules.iter().map(|(&(pe, _), rule)| (pe, rule))
+    }
+
     /// Resolve the path of a stream injected at `src` on `color`.
     ///
     /// `from` is the direction the stream arrives from at `src` (`None` when

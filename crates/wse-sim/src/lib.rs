@@ -82,6 +82,7 @@ pub mod geom;
 pub mod memory;
 pub mod pe;
 pub mod program;
+pub(crate) mod shard;
 pub mod sim;
 pub mod stats;
 pub mod trace;

@@ -28,14 +28,20 @@ pub struct TaskId(pub u16);
 /// program charges compute time via [`TaskCtx::charge`] and communicates via
 /// the async send/receive methods. Returning an error aborts the simulation
 /// with diagnostics.
-pub trait PeProgram {
+///
+/// Programs must be [`Send`]: the sharded engine moves each PE's program to
+/// the worker thread that owns its mesh row. A program is still only ever
+/// invoked from one thread at a time (its shard's), so plain mutable state
+/// works exactly as before; only thread-*affine* types (`Rc`, `RefCell`
+/// handed across threads, raw pointers) are excluded.
+pub trait PeProgram: Send {
     /// Handle an activation of `task`.
     fn on_task(&mut self, ctx: &mut TaskCtx<'_>, task: TaskId) -> Result<(), SimError>;
 }
 
 impl<F> PeProgram for F
 where
-    F: FnMut(&mut TaskCtx<'_>, TaskId) -> Result<(), SimError>,
+    F: FnMut(&mut TaskCtx<'_>, TaskId) -> Result<(), SimError> + Send,
 {
     fn on_task(&mut self, ctx: &mut TaskCtx<'_>, task: TaskId) -> Result<(), SimError> {
         self(ctx, task)

@@ -1,0 +1,641 @@
+//! The sharded parallel engine core.
+//!
+//! The mesh is partitioned into **shards of one PE row each**. Rows are the
+//! natural cut for the CereSZ mappings: every data stream in the paper's
+//! three strategies flows eastward, so all link traffic stays inside one
+//! shard and shards never have to agree on link arbitration order. A shard
+//! owns its row's PE states, its own event heap, and the occupancy clock of
+//! every link *leaving* one of its PEs (including the southward/northward
+//! links into neighbor rows).
+//!
+//! Rows that a routing rule couples vertically (a `North`/`South` input or
+//! output anywhere in the row) are merged into a **group** via union-find.
+//! A singleton group free-runs its heap to exhaustion — byte-for-byte the
+//! behavior of the old serial engine restricted to that row. A multi-row
+//! group steps its shards in lockstep **cycle quanta**: all shards process
+//! events in `[T, T+1)`, then meet at a barrier and exchange boundary
+//! wavelets through per-shard mailboxes ([`BoundaryMsg`]). The outbox a
+//! shard fills during a quantum is the write side of the mailbox; the
+//! destination shard's heap, refilled at the barrier, is the read side —
+//! the two are never touched in the same phase, which is what makes the
+//! exchange race-free without locks.
+//!
+//! **Why a quantum of one cycle is safe (the lookahead argument):** any
+//! influence a shard exerts on another travels over a fabric link, and the
+//! *first* hop of every stream leaves the sending PE — a link the sender's
+//! own shard owns. Reserving that hop advances the stream head by at least
+//! one cycle, so a boundary message caused by an event at time `u` carries a
+//! timestamp `≥ u + 1`, past the end of the quantum that produced it.
+//! Delivering mailboxes at the barrier therefore never back-dates an event
+//! into a window a shard has already finished, and every shard observes
+//! exactly the event sequence the serial engine would have produced.
+//!
+//! Groups are independent by construction, so they run in parallel on
+//! `std::thread::scope` threads; each group itself is stepped by a single
+//! thread, so no simulation state is ever shared mutably. The merge in
+//! [`crate::Simulator::run`] folds per-shard results in row order, making
+//! the final [`crate::RunReport`] bit-identical at any thread count.
+
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+
+use crate::error::SimError;
+use crate::fabric::{Color, Fabric, Hop};
+use crate::geom::{Direction, PeId};
+use crate::pe::{PeState, PendingRecv};
+use crate::program::{Effect, TaskCtx, TaskId};
+use crate::sim::MeshConfig;
+use crate::trace::{Trace, TraceEvent};
+
+/// Lockstep window of a coupled group, in cycles. Matches the one-cycle
+/// per-hop fabric latency that bounds cross-shard lookahead.
+pub(crate) const QUANTUM: f64 = 1.0;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub(crate) enum EventKind {
+    /// Run `task` on `pe` (or retry once the processor frees up).
+    Activate { pe: PeId, task: TaskId },
+    /// The last wavelet of a stream reaches `pe`'s RAMP.
+    Deliver {
+        pe: PeId,
+        color: Color,
+        data: Vec<u32>,
+    },
+    /// A stream crossing into this shard: continue walking `hops` (the
+    /// first hop's `from` belongs to this shard) with the head wavelet
+    /// arriving at the event time, then deliver `data` at `dest`.
+    Transit {
+        hops: Vec<Hop>,
+        dest: PeId,
+        color: Color,
+        data: Vec<u32>,
+    },
+}
+
+impl EventKind {
+    /// Mesh row whose shard must process this event.
+    pub(crate) fn target_row(&self) -> usize {
+        match self {
+            Self::Activate { pe, .. } | Self::Deliver { pe, .. } => pe.row,
+            Self::Transit { hops, dest, .. } => hops.first().map_or(dest.row, |h| h.from.row),
+        }
+    }
+
+    /// The PE this event concerns (for error reporting).
+    pub(crate) fn target_pe(&self) -> PeId {
+        match self {
+            Self::Activate { pe, .. } | Self::Deliver { pe, .. } => *pe,
+            Self::Transit { hops, dest, .. } => hops.first().map_or(*dest, |h| h.from),
+        }
+    }
+}
+
+/// A scheduled event. Ordered earliest-first by `(time, seq)`; `seq` breaks
+/// ties FIFO, which is what makes runs reproducible.
+#[derive(Debug)]
+pub(crate) struct Event {
+    pub(crate) time: f64,
+    pub(crate) seq: u64,
+    pub(crate) kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A wavelet batch crossing a shard boundary, parked in the sending shard's
+/// outbox until the group barrier swaps mailboxes.
+#[derive(Debug)]
+pub(crate) struct BoundaryMsg {
+    pub(crate) time: f64,
+    pub(crate) dest_row: usize,
+    pub(crate) kind: EventKind,
+}
+
+/// Read-only engine state shared by every shard: configuration (cost model,
+/// cycle limit, recorder) and the routing tables. Both are immutable during
+/// the run, so sharing across worker threads is free.
+pub(crate) struct EngineCtx<'a> {
+    pub(crate) config: &'a MeshConfig,
+    pub(crate) fabric: &'a Fabric,
+}
+
+/// One mesh row's worth of simulation state.
+pub(crate) struct Shard {
+    pub(crate) row: usize,
+    cols: usize,
+    /// PE states of this row, indexed by column.
+    pub(crate) pes: Vec<PeState>,
+    events: BinaryHeap<Event>,
+    /// Local sequence counter; starts past every initial event's global seq
+    /// so setup-time ordering is preserved within the shard.
+    seq: u64,
+    /// Occupancy clock of links leaving this shard's PEs.
+    links: HashMap<(PeId, PeId), f64>,
+    pub(crate) trace: Trace,
+    /// Per-column stage attribution (populated only with an enabled recorder).
+    pub(crate) stage_cycles: Vec<BTreeMap<String, f64>>,
+    /// Boundary messages produced this quantum (mailbox write side).
+    outbox: Vec<BoundaryMsg>,
+    pub(crate) finish: f64,
+    /// First error this shard hit, with the event time it fired at.
+    pub(crate) error: Option<(f64, SimError)>,
+}
+
+impl Shard {
+    pub(crate) fn new(row: usize, cols: usize, pes: Vec<PeState>, seq0: u64) -> Self {
+        debug_assert_eq!(pes.len(), cols);
+        Self {
+            row,
+            cols,
+            pes,
+            events: BinaryHeap::new(),
+            seq: seq0,
+            links: HashMap::new(),
+            trace: Trace::default(),
+            stage_cycles: vec![BTreeMap::new(); cols],
+            outbox: Vec::new(),
+            finish: 0.0,
+            error: None,
+        }
+    }
+
+    /// Seed an event carrying its setup-time global sequence number.
+    pub(crate) fn push_initial(&mut self, ev: Event) {
+        debug_assert!(ev.seq < self.seq);
+        self.events.push(ev);
+    }
+
+    fn push(&mut self, time: f64, kind: EventKind) {
+        self.events.push(Event {
+            time,
+            seq: self.seq,
+            kind,
+        });
+        self.seq += 1;
+    }
+
+    /// Deliver a boundary message at the group barrier. Mailbox order (source
+    /// shard, then emission order) assigns the tie-breaking sequence number.
+    pub(crate) fn accept(&mut self, msg: BoundaryMsg) {
+        debug_assert_eq!(msg.dest_row, self.row);
+        self.push(msg.time, msg.kind);
+    }
+
+    /// Timestamp of the next pending event.
+    pub(crate) fn next_time(&self) -> Option<f64> {
+        self.events.peek().map(|ev| ev.time)
+    }
+
+    /// Drain the heap to exhaustion (singleton group: no neighbors to sync
+    /// with, so no barriers are needed). Stops at the first error.
+    pub(crate) fn run_free(&mut self, ctx: &EngineCtx<'_>) {
+        while self.error.is_none() {
+            let Some(ev) = self.events.pop() else { break };
+            self.process(ev, ctx);
+        }
+        debug_assert!(
+            self.outbox.is_empty(),
+            "a free-running shard produced boundary traffic; the row partition is wrong"
+        );
+    }
+
+    /// Process events strictly before `end` (one lockstep quantum).
+    pub(crate) fn run_until(&mut self, end: f64, ctx: &EngineCtx<'_>) {
+        while self.error.is_none() {
+            match self.events.peek() {
+                Some(ev) if ev.time < end => {}
+                _ => break,
+            }
+            let ev = self.events.pop().expect("peeked event");
+            self.process(ev, ctx);
+        }
+    }
+
+    fn process(&mut self, ev: Event, ctx: &EngineCtx<'_>) {
+        let time = ev.time;
+        if let Err(e) = self.step(time, ev.kind, ctx) {
+            self.error = Some((time, e));
+        }
+    }
+
+    /// Index of `pe` within this shard, validating the column bound (the row
+    /// bound was validated when the event was routed to this shard).
+    fn local_index(&self, pe: PeId) -> Result<usize, SimError> {
+        debug_assert_eq!(pe.row, self.row);
+        if pe.col < self.cols {
+            Ok(pe.col)
+        } else {
+            Err(SimError::BadPe { pe })
+        }
+    }
+
+    fn step(&mut self, time: f64, kind: EventKind, ctx: &EngineCtx<'_>) -> Result<(), SimError> {
+        if time > ctx.config.cycle_limit {
+            return Err(SimError::CycleLimitExceeded {
+                limit: ctx.config.cycle_limit,
+            });
+        }
+        self.finish = self.finish.max(time);
+        match kind {
+            EventKind::Deliver { pe, color, data } => {
+                let idx = self.local_index(pe)?;
+                let state = &mut self.pes[idx];
+                state.stats.wavelets_received += data.len() as u64;
+                state.inbox.entry(color).or_default().extend(data);
+                if let Some(task) = state.try_complete_recv(color) {
+                    self.push(time, EventKind::Activate { pe, task });
+                }
+            }
+            EventKind::Activate { pe, task } => {
+                let idx = self.local_index(pe)?;
+                let busy_until = self.pes[idx].busy_until;
+                if busy_until > time {
+                    // Processor occupied: retry when it frees up. Seq
+                    // numbers keep same-time retries in FIFO order.
+                    self.push(busy_until, EventKind::Activate { pe, task });
+                } else {
+                    let end = self.run_task(idx, pe, task, time, ctx)?;
+                    self.finish = self.finish.max(end);
+                }
+            }
+            EventKind::Transit {
+                hops,
+                dest,
+                color,
+                data,
+            } => {
+                // A stream entering from a neighbor shard: its head wavelet
+                // arrives on our first hop at the event time.
+                self.stream_walk(time, &hops, dest, color, data);
+            }
+        }
+        Ok(())
+    }
+
+    /// Walk a stream's remaining hops, reserving each link this shard owns.
+    /// Hands the stream off through the outbox at the first hop owned by a
+    /// neighbor shard, or schedules the final delivery.
+    ///
+    /// Reservation per hop matches [`Fabric::schedule_stream`] exactly:
+    /// the link is occupied for `n` cycles, the head wavelet advances one
+    /// cycle per hop, and contention delays the stream on each link.
+    fn stream_walk(&mut self, start: f64, hops: &[Hop], dest: PeId, color: Color, data: Vec<u32>) {
+        let n = data.len() as f64;
+        let mut head = start;
+        for (i, hop) in hops.iter().enumerate() {
+            if hop.from.row != self.row {
+                self.outbox.push(BoundaryMsg {
+                    time: head,
+                    dest_row: hop.from.row,
+                    kind: EventKind::Transit {
+                        hops: hops[i..].to_vec(),
+                        dest,
+                        color,
+                        data,
+                    },
+                });
+                return;
+            }
+            let key = (hop.from, hop.to);
+            let free = self.links.get(&key).copied().unwrap_or(0.0);
+            let link_start = head.max(free);
+            self.links.insert(key, link_start + n);
+            head = link_start + 1.0; // per-hop latency for the head wavelet
+        }
+        let delivered = head + n; // last wavelet arrives n cycles after head
+        let kind = EventKind::Deliver {
+            pe: dest,
+            color,
+            data,
+        };
+        if dest.row == self.row {
+            self.push(delivered, kind);
+        } else {
+            self.outbox.push(BoundaryMsg {
+                time: delivered,
+                dest_row: dest.row,
+                kind,
+            });
+        }
+    }
+
+    /// Execute one task activation; returns the task's end time.
+    fn run_task(
+        &mut self,
+        idx: usize,
+        pe: PeId,
+        task: TaskId,
+        start: f64,
+        ctx: &EngineCtx<'_>,
+    ) -> Result<f64, SimError> {
+        let mut program = self.pes[idx]
+            .program
+            .take()
+            .unwrap_or_else(|| panic!("{pe} activated task {task:?} but has no program"));
+        let state = &mut self.pes[idx];
+        let attribution = ctx.config.recorder.is_enabled();
+        let mut task_ctx = TaskCtx {
+            pe,
+            now: start,
+            cost: &ctx.config.cost,
+            memory: &mut state.memory,
+            completed: &mut state.completed,
+            charged: 0.0,
+            effects: Vec::new(),
+            attribution,
+            stage: None,
+            stage_base: 0.0,
+            stage_charges: Vec::new(),
+        };
+        let result = program.on_task(&mut task_ctx, task);
+        task_ctx.close_stage_segment();
+        let charged = task_ctx.charged;
+        let effects = std::mem::take(&mut task_ctx.effects);
+        let stage_charges = std::mem::take(&mut task_ctx.stage_charges);
+        drop(task_ctx);
+        self.pes[idx].program = Some(program);
+        result?;
+
+        let end = start + ctx.config.cost.task_overhead + charged;
+        {
+            let s = &mut self.pes[idx].stats;
+            s.busy_cycles += end - start;
+            s.tasks_run += 1;
+            s.last_active = end;
+        }
+        if attribution {
+            // Every busy cycle lands in exactly one stage: the labelled
+            // segments, plus the fixed activation cost under "dispatch", so
+            // stage totals sum to busy cycles.
+            let per_pe = &mut self.stage_cycles[idx];
+            *per_pe.entry("dispatch".to_owned()).or_insert(0.0) += ctx.config.cost.task_overhead;
+            for (stage, cycles) in &stage_charges {
+                *per_pe.entry(stage.clone()).or_insert(0.0) += cycles;
+            }
+        }
+        if ctx.config.trace {
+            // Label the slice with the task's dominant stage, when known.
+            let label = stage_charges
+                .iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(stage, _)| stage.clone());
+            self.trace.record(TraceEvent {
+                pe,
+                task,
+                start,
+                end,
+                label,
+            });
+        }
+        for effect in effects {
+            match effect {
+                Effect::Send {
+                    color,
+                    data,
+                    activate,
+                } => {
+                    let n = data.len();
+                    self.pes[idx].stats.wavelets_sent += n as u64;
+                    let path = ctx.fabric.resolve_path(pe, color, None)?;
+                    let src_done = end + n as f64;
+                    if path.hops.is_empty() {
+                        // RAMP→RAMP loopback: delivery is local by
+                        // definition and takes the stream length.
+                        self.push(
+                            src_done,
+                            EventKind::Deliver {
+                                pe: path.dest,
+                                color,
+                                data,
+                            },
+                        );
+                    } else {
+                        self.stream_walk(end, &path.hops, path.dest, color, data);
+                    }
+                    if let Some(t) = activate {
+                        self.push(src_done, EventKind::Activate { pe, task: t });
+                    }
+                }
+                Effect::PostRecv {
+                    color,
+                    extent,
+                    activate,
+                } => {
+                    let state = &mut self.pes[idx];
+                    let prev = state.pending_recv.insert(
+                        color,
+                        PendingRecv {
+                            extent,
+                            task: activate,
+                        },
+                    );
+                    assert!(prev.is_none(), "{pe} double-posted a receive on {color}");
+                    if let Some(t) = state.try_complete_recv(color) {
+                        self.push(end, EventKind::Activate { pe, task: t });
+                    }
+                }
+                Effect::Activate { task } => {
+                    self.push(end, EventKind::Activate { pe, task });
+                }
+                Effect::Emit { data } => {
+                    self.pes[idx].outputs.push(data);
+                }
+            }
+        }
+        self.pes[idx].busy_until = end;
+        Ok(end)
+    }
+}
+
+/// A set of shards coupled by vertical routes; the unit of parallelism.
+pub(crate) struct Group {
+    pub(crate) shards: Vec<Shard>,
+}
+
+impl Group {
+    /// Step the group to completion. One thread per group: a singleton
+    /// free-runs; a coupled group runs lockstep quanta with a mailbox
+    /// exchange at each barrier. Aborts at the first shard error (the merge
+    /// step picks the globally earliest error across groups).
+    pub(crate) fn run(&mut self, ctx: &EngineCtx<'_>) {
+        if self.shards.len() == 1 {
+            self.shards[0].run_free(ctx);
+            return;
+        }
+        // Each quantum starts at the earliest pending event anywhere in the
+        // group, so idle gaps are skipped in one jump.
+        while let Some(t) = self
+            .shards
+            .iter()
+            .filter_map(Shard::next_time)
+            .min_by(f64::total_cmp)
+        {
+            let end = t + QUANTUM;
+            for shard in &mut self.shards {
+                shard.run_until(end, ctx);
+                if shard.error.is_some() {
+                    return;
+                }
+            }
+            // Barrier: swap mailboxes. Draining outboxes in shard order and
+            // pushing into the destination heaps assigns boundary events a
+            // canonical (time, source shard, emission order) tie order.
+            let mut inbound: Vec<BoundaryMsg> = Vec::new();
+            for shard in &mut self.shards {
+                inbound.append(&mut shard.outbox);
+            }
+            for msg in inbound {
+                let dest = self
+                    .shards
+                    .iter_mut()
+                    .find(|s| s.row == msg.dest_row)
+                    .expect("boundary message into a row outside its group");
+                dest.accept(msg);
+            }
+        }
+    }
+}
+
+/// Partition mesh rows into groups coupled by vertical routing rules, via
+/// union-find. Any rule at a PE in row `r` whose input or outputs mention
+/// `North`/`South` couples `r` with the neighbor row; everything else leaves
+/// rows independent. Returns components in ascending order of their smallest
+/// row, each with its rows ascending — independent of `HashMap` iteration
+/// order, so the partition (and hence the run) is deterministic.
+pub(crate) fn partition_rows(fabric: &Fabric, rows: usize) -> Vec<Vec<usize>> {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]]; // path halving
+            x = parent[x];
+        }
+        x
+    }
+    fn union(parent: &mut [usize], a: usize, b: usize) {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        // Root at the smaller row for a stable shape (size is irrelevant at
+        // these scales).
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        parent[hi] = lo;
+    }
+
+    let mut parent: Vec<usize> = (0..rows).collect();
+    for (pe, rule) in fabric.rules_iter() {
+        if pe.row >= rows {
+            continue;
+        }
+        for dir in rule.input.iter().chain(rule.outputs.iter()) {
+            match dir {
+                Direction::North if pe.row > 0 => union(&mut parent, pe.row, pe.row - 1),
+                Direction::South if pe.row + 1 < rows => union(&mut parent, pe.row, pe.row + 1),
+                _ => {}
+            }
+        }
+    }
+    let mut components: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for r in 0..rows {
+        let root = find(&mut parent, r);
+        components.entry(root).or_default().push(r);
+    }
+    components.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::RouteRule;
+
+    fn fabric_with(rows: usize, rules: &[(PeId, &[Direction])]) -> Fabric {
+        let mut f = Fabric::new(rows, 4);
+        for (pe, outs) in rules {
+            f.set_rule(
+                *pe,
+                Color::new(0),
+                RouteRule {
+                    input: None,
+                    outputs: outs.to_vec(),
+                },
+            );
+        }
+        f
+    }
+
+    #[test]
+    fn horizontal_rules_leave_rows_independent() {
+        let f = fabric_with(
+            4,
+            &[
+                (PeId::new(0, 0), &[Direction::East]),
+                (PeId::new(2, 1), &[Direction::West, Direction::Ramp]),
+            ],
+        );
+        assert_eq!(
+            partition_rows(&f, 4),
+            vec![vec![0], vec![1], vec![2], vec![3]]
+        );
+    }
+
+    #[test]
+    fn south_route_couples_adjacent_rows() {
+        let f = fabric_with(4, &[(PeId::new(1, 0), &[Direction::South])]);
+        assert_eq!(partition_rows(&f, 4), vec![vec![0], vec![1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn north_input_couples_upward() {
+        let mut f = Fabric::new(3, 4);
+        f.set_rule(
+            PeId::new(2, 1),
+            Color::new(3),
+            RouteRule {
+                input: Some(Direction::North),
+                outputs: vec![Direction::Ramp],
+            },
+        );
+        assert_eq!(partition_rows(&f, 3), vec![vec![0], vec![1, 2]]);
+    }
+
+    #[test]
+    fn chained_vertical_rules_merge_transitively() {
+        let f = fabric_with(
+            4,
+            &[
+                (PeId::new(0, 0), &[Direction::South]),
+                (PeId::new(1, 0), &[Direction::South]),
+                (PeId::new(2, 0), &[Direction::South]),
+            ],
+        );
+        assert_eq!(partition_rows(&f, 4), vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn boundary_rows_do_not_couple_off_mesh() {
+        // North at row 0 / South at the last row point off the mesh; they
+        // must not couple anything (resolution reports RouteOffMesh later).
+        let f = fabric_with(
+            2,
+            &[
+                (PeId::new(0, 0), &[Direction::North]),
+                (PeId::new(1, 0), &[Direction::South]),
+            ],
+        );
+        assert_eq!(partition_rows(&f, 2), vec![vec![0], vec![1]]);
+    }
+}

@@ -1,15 +1,24 @@
-//! The discrete-event simulation engine.
+//! The discrete-event simulation engine: mesh setup, the sharded parallel
+//! run loop, and the run report.
+//!
+//! The engine partitions the mesh into per-row shards grouped by vertical
+//! route coupling (see [`crate::shard`] for the full determinism argument)
+//! and steps independent groups on `std::thread::scope` threads. The merge
+//! below folds per-shard results back together in row order — same floating
+//! point addition order, same tie-breaking — so a [`RunReport`] is
+//! bit-identical at any thread count, including the trace event order.
 
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 
 use telemetry::Recorder;
 
 use crate::cost::CostModel;
-use crate::error::{BlockedPe, SimError};
+use crate::error::{BlockedPe, BlockedRecv, SimError};
 use crate::fabric::{Color, Fabric, RouteRule};
 use crate::geom::{Direction, PeId};
 use crate::pe::{PeState, PendingRecv};
-use crate::program::{Effect, PeProgram, TaskCtx, TaskId};
+use crate::program::{PeProgram, TaskId};
+use crate::shard::{partition_rows, EngineCtx, Event, EventKind, Group, Shard};
 use crate::stats::{PeStats, SimStats};
 use crate::trace::{Trace, TraceEvent};
 use crate::PE_SRAM_BYTES;
@@ -32,7 +41,13 @@ pub struct MeshConfig {
     /// Telemetry sink. Disabled by default; when enabled, the run collects
     /// per-stage cycle attribution (see [`TaskCtx::begin_stage`]) and feeds
     /// run counters/histograms into the recorder.
+    ///
+    /// [`TaskCtx::begin_stage`]: crate::TaskCtx::begin_stage
     pub recorder: Recorder,
+    /// Worker threads for the sharded engine: `1` (the default) runs
+    /// serially, `0` means one per available core. The report is
+    /// bit-identical at any setting; threads only change wall-clock time.
+    pub threads: usize,
 }
 
 impl MeshConfig {
@@ -48,6 +63,7 @@ impl MeshConfig {
             cycle_limit: 1e15,
             trace: false,
             recorder: Recorder::disabled(),
+            threads: 1,
         }
     }
 
@@ -65,10 +81,18 @@ impl MeshConfig {
         self
     }
 
-    /// Enable task-timeline tracing.
+    /// Enable or disable task-timeline tracing.
     #[must_use]
-    pub fn with_trace(mut self) -> Self {
-        self.trace = true;
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Set the worker thread count (`0` = one per available core). Purely a
+    /// wall-clock knob: results are bit-identical at any thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -82,48 +106,8 @@ impl MeshConfig {
     }
 }
 
-#[derive(Debug)]
-enum EventKind {
-    Activate {
-        pe: PeId,
-        task: TaskId,
-    },
-    Deliver {
-        pe: PeId,
-        color: Color,
-        data: Vec<u32>,
-    },
-}
-
-struct Event {
-    time: f64,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 /// Results of a completed run.
-#[derive(Debug)]
+#[derive(Debug, PartialEq)]
 pub struct RunReport {
     outputs: Vec<Vec<Vec<u32>>>,
     pe_stats: Vec<PeStats>,
@@ -207,11 +191,10 @@ pub struct Simulator {
     config: MeshConfig,
     fabric: Fabric,
     pes: Vec<PeState>,
-    events: BinaryHeap<Event>,
+    /// Setup-time events in push order; their global sequence numbers are
+    /// the tie-break within each shard's heap.
+    initial: Vec<Event>,
     seq: u64,
-    trace: Trace,
-    /// Per-PE stage attribution, populated only with an enabled recorder.
-    stage_cycles: Vec<BTreeMap<String, f64>>,
 }
 
 impl Simulator {
@@ -226,10 +209,8 @@ impl Simulator {
         Self {
             fabric: Fabric::new(config.rows, config.cols),
             pes,
-            events: BinaryHeap::new(),
+            initial: Vec::new(),
             seq: 0,
-            trace: Trace::default(),
-            stage_cycles: vec![BTreeMap::new(); n],
             config,
         }
     }
@@ -322,7 +303,7 @@ impl Simulator {
     }
 
     fn push_event(&mut self, time: f64, kind: EventKind) {
-        self.events.push(Event {
+        self.initial.push(Event {
             time,
             seq: self.seq,
             kind,
@@ -330,59 +311,120 @@ impl Simulator {
         self.seq += 1;
     }
 
+    /// Worker threads to use: the configured count, with `0` resolved to the
+    /// machine's available parallelism.
+    fn effective_threads(&self) -> usize {
+        if self.config.threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.config.threads
+        }
+    }
+
     /// Run to completion.
+    ///
+    /// The result is bit-identical at any [`MeshConfig::threads`] setting;
+    /// see [`crate::shard`] for the partitioning and determinism argument.
     pub fn run(mut self) -> Result<RunReport, SimError> {
-        let mut finish = 0.0f64;
-        while let Some(ev) = self.events.pop() {
-            if ev.time > self.config.cycle_limit {
-                return Err(SimError::CycleLimitExceeded {
-                    limit: self.config.cycle_limit,
-                });
-            }
-            finish = finish.max(ev.time);
-            match ev.kind {
-                EventKind::Deliver { pe, color, data } => {
-                    let idx = self.pe_index(pe)?;
-                    let state = &mut self.pes[idx];
-                    state.stats.wavelets_received += data.len() as u64;
-                    state.inbox.entry(color).or_default().extend(data);
-                    if let Some(task) = state.try_complete_recv(color) {
-                        self.push_event(ev.time, EventKind::Activate { pe, task });
-                    }
-                }
-                EventKind::Activate { pe, task } => {
-                    let idx = self.pe_index(pe)?;
-                    let busy_until = self.pes[idx].busy_until;
-                    if busy_until > ev.time {
-                        // Processor occupied: retry when it frees up. Seq
-                        // numbers keep same-time retries in FIFO order.
-                        self.push_event(busy_until, EventKind::Activate { pe, task });
-                    } else {
-                        let end = self.run_task(idx, pe, task, ev.time)?;
-                        finish = finish.max(end);
-                    }
+        let (rows, cols) = (self.config.rows, self.config.cols);
+
+        // One shard per mesh row; each takes its row's PE states and starts
+        // its sequence counter past every setup-time event.
+        let mut pe_iter = std::mem::take(&mut self.pes).into_iter();
+        let mut shards: Vec<Shard> = (0..rows)
+            .map(|r| Shard::new(r, cols, pe_iter.by_ref().take(cols).collect(), self.seq))
+            .collect();
+
+        // Distribute setup-time events. A target row off the mesh is the
+        // same `BadPe` the serial engine raised when popping the event; keep
+        // the earliest so error selection below stays time-ordered.
+        let mut bad_event: Option<(f64, SimError)> = None;
+        for ev in std::mem::take(&mut self.initial) {
+            let row = ev.kind.target_row();
+            if row < rows {
+                shards[row].push_initial(ev);
+            } else {
+                let earlier = match &bad_event {
+                    None => true,
+                    Some((t, _)) => ev.time < *t,
+                };
+                if earlier {
+                    let pe = ev.kind.target_pe();
+                    bad_event = Some((ev.time, SimError::BadPe { pe }));
                 }
             }
         }
-        // Queue drained: anything still waiting on input is deadlocked.
+
+        // Rows coupled by vertical routes must step in lockstep; everything
+        // else is free to run ahead. Groups are the unit of parallelism.
+        let components = partition_rows(&self.fabric, rows);
+        let mut shard_slots: Vec<Option<Shard>> = shards.into_iter().map(Some).collect();
+        let mut groups: Vec<Group> = components
+            .iter()
+            .map(|component| Group {
+                shards: component
+                    .iter()
+                    .map(|&r| shard_slots[r].take().expect("each row in one component"))
+                    .collect(),
+            })
+            .collect();
+
+        let threads = self.effective_threads().min(groups.len()).max(1);
+        let ctx = EngineCtx {
+            config: &self.config,
+            fabric: &self.fabric,
+        };
+        if threads <= 1 {
+            for group in &mut groups {
+                group.run(&ctx);
+            }
+        } else {
+            groups = run_groups_parallel(groups, threads, &ctx);
+        }
+
+        let mut shards: Vec<Shard> = groups.into_iter().flat_map(|g| g.shards).collect();
+        shards.sort_by_key(|s| s.row);
+
+        // Earliest error wins, ties broken by row — the serial engine's
+        // global event order for every single-error run.
+        let mut first_err: Option<(f64, usize, SimError)> = bad_event.map(|(t, e)| (t, rows, e));
+        for shard in &mut shards {
+            if let Some((t, e)) = shard.error.take() {
+                let earlier = match &first_err {
+                    None => true,
+                    Some((bt, brow, _)) => t < *bt || (t == *bt && shard.row < *brow),
+                };
+                if earlier {
+                    first_err = Some((t, shard.row, e));
+                }
+            }
+        }
+        if let Some((_, _, e)) = first_err {
+            return Err(e);
+        }
+
+        // Queues drained: anything still waiting on input is deadlocked.
         // Each starved receive is annotated with its static route context
         // (which send origins could have reached it, if any) so the error
         // names the culprit instead of just the victim.
-        let blocked: Vec<BlockedPe> = self
-            .pes
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| !s.pending_recv.is_empty())
-            .map(|(i, s)| {
-                let pe = PeId::new(i / self.config.cols, i % self.config.cols);
-                BlockedPe {
+        let mut blocked: Vec<BlockedPe> = Vec::new();
+        for shard in &shards {
+            for (col, state) in shard.pes.iter().enumerate() {
+                if state.pending_recv.is_empty() {
+                    continue;
+                }
+                let pe = PeId::new(shard.row, col);
+                blocked.push(BlockedPe {
                     pe,
-                    waiting_on: s
+                    waiting_on: state
                         .pending_recv
                         .iter()
                         .map(|(c, p)| {
-                            let have = s.inbox.get(c).map_or(0, std::collections::VecDeque::len);
-                            crate::error::BlockedRecv {
+                            let have = state
+                                .inbox
+                                .get(c)
+                                .map_or(0, std::collections::VecDeque::len);
+                            BlockedRecv {
                                 color: *c,
                                 missing: p.extent.saturating_sub(have),
                                 feeders: self.fabric.origins_reaching(pe, *c),
@@ -390,178 +432,128 @@ impl Simulator {
                             }
                         })
                         .collect(),
-                }
-            })
-            .collect();
+                });
+            }
+        }
         if !blocked.is_empty() {
             return Err(SimError::Deadlock { blocked });
         }
 
+        // Merge in row-major order: the same floating point addition order
+        // the serial engine used, so sums are bit-identical.
+        let finish = shards.iter().fold(0.0f64, |acc, s| acc.max(s.finish));
         let mut stats = SimStats {
             finish_cycle: finish,
             ..SimStats::default()
         };
-        let mut outputs = Vec::with_capacity(self.pes.len());
-        let mut pe_stats = Vec::with_capacity(self.pes.len());
-        for s in &mut self.pes {
-            stats.total_busy_cycles += s.stats.busy_cycles;
-            stats.total_tasks += s.stats.tasks_run;
-            stats.total_wavelets += s.stats.wavelets_sent;
-            if s.stats.tasks_run > 0 {
-                stats.active_pes += 1;
+        let mut outputs = Vec::with_capacity(rows * cols);
+        let mut pe_stats = Vec::with_capacity(rows * cols);
+        let mut stage_cycles = Vec::with_capacity(rows * cols);
+        for shard in &mut shards {
+            for state in &mut shard.pes {
+                stats.total_busy_cycles += state.stats.busy_cycles;
+                stats.total_tasks += state.stats.tasks_run;
+                stats.total_wavelets += state.stats.wavelets_sent;
+                if state.stats.tasks_run > 0 {
+                    stats.active_pes += 1;
+                }
+                outputs.push(std::mem::take(&mut state.outputs));
+                pe_stats.push(state.stats);
             }
-            outputs.push(std::mem::take(&mut s.outputs));
-            pe_stats.push(s.stats);
+            stage_cycles.append(&mut shard.stage_cycles);
         }
         if self.config.recorder.is_enabled() {
+            // Telemetry is fed here, after the join, by one thread in
+            // row-major PE order — deterministic span/counter order without
+            // any cross-thread contention during the run.
             let r = &self.config.recorder;
             r.count("sim.tasks", stats.total_tasks);
             r.count("sim.wavelets_sent", stats.total_wavelets);
             r.count("sim.active_pes", stats.active_pes as u64);
             r.observe("sim.finish_cycle", stats.finish_cycle);
-            for (s, per_pe) in pe_stats.iter().zip(&self.pes) {
-                if s.tasks_run > 0 {
-                    r.observe("sim.pe_busy_cycles", s.busy_cycles);
-                    r.observe("sim.pe_mem_peak_bytes", per_pe.memory.peak() as f64);
+            for shard in &shards {
+                for state in &shard.pes {
+                    if state.stats.tasks_run > 0 {
+                        r.observe("sim.pe_busy_cycles", state.stats.busy_cycles);
+                        r.observe("sim.pe_mem_peak_bytes", state.memory.peak() as f64);
+                    }
                 }
             }
         }
+        // Per-shard timelines are each in execution order; a stable sort by
+        // start time yields one canonical global order (ties keep row
+        // order), independent of how groups were scheduled onto threads.
+        let mut events: Vec<TraceEvent> = Vec::new();
+        for shard in &mut shards {
+            events.extend(std::mem::take(&mut shard.trace).into_events());
+        }
+        events.sort_by(|a, b| a.start.total_cmp(&b.start));
         Ok(RunReport {
             outputs,
             pe_stats,
             stats,
-            cols: self.config.cols,
-            trace: std::mem::take(&mut self.trace),
-            stage_cycles: std::mem::take(&mut self.stage_cycles),
+            cols,
+            trace: Trace::from_events(events),
+            stage_cycles,
         })
     }
+}
 
-    /// Execute one task activation; returns the task's end time.
-    fn run_task(
-        &mut self,
-        idx: usize,
-        pe: PeId,
-        task: TaskId,
-        start: f64,
-    ) -> Result<f64, SimError> {
-        let mut program = self.pes[idx]
-            .program
-            .take()
-            .unwrap_or_else(|| panic!("{pe} activated task {task:?} but has no program"));
-        let state = &mut self.pes[idx];
-        let attribution = self.config.recorder.is_enabled();
-        let mut ctx = TaskCtx {
-            pe,
-            now: start,
-            cost: &self.config.cost,
-            memory: &mut state.memory,
-            completed: &mut state.completed,
-            charged: 0.0,
-            effects: Vec::new(),
-            attribution,
-            stage: None,
-            stage_base: 0.0,
-            stage_charges: Vec::new(),
-        };
-        let result = program.on_task(&mut ctx, task);
-        ctx.close_stage_segment();
-        let charged = ctx.charged;
-        let effects = std::mem::take(&mut ctx.effects);
-        let stage_charges = std::mem::take(&mut ctx.stage_charges);
-        drop(ctx);
-        self.pes[idx].program = Some(program);
-        result?;
-
-        let end = start + self.config.cost.task_overhead + charged;
-        {
-            let s = &mut self.pes[idx].stats;
-            s.busy_cycles += end - start;
-            s.tasks_run += 1;
-            s.last_active = end;
-        }
-        if attribution {
-            // Every busy cycle lands in exactly one stage: the labelled
-            // segments, plus the fixed activation cost under "dispatch", so
-            // stage totals sum to busy cycles.
-            let per_pe = &mut self.stage_cycles[idx];
-            *per_pe.entry("dispatch".to_owned()).or_insert(0.0) += self.config.cost.task_overhead;
-            for (stage, cycles) in &stage_charges {
-                *per_pe.entry(stage.clone()).or_insert(0.0) += cycles;
-            }
-        }
-        if self.config.trace {
-            // Label the slice with the task's dominant stage, when known.
-            let label = stage_charges
-                .iter()
-                .max_by(|a, b| a.1.total_cmp(&b.1))
-                .map(|(stage, _)| stage.clone());
-            self.trace.record(TraceEvent {
-                pe,
-                task,
-                start,
-                end,
-                label,
-            });
-        }
-        for effect in effects {
-            match effect {
-                Effect::Send {
-                    color,
-                    data,
-                    activate,
-                } => {
-                    let n = data.len();
-                    self.pes[idx].stats.wavelets_sent += n as u64;
-                    let path = self.fabric.resolve_path(pe, color, None)?;
-                    let (src_done, delivered) = self.fabric.schedule_stream(&path, n, end);
-                    let dest = path.dest;
-                    self.push_event(
-                        delivered,
-                        EventKind::Deliver {
-                            pe: dest,
-                            color,
-                            data,
-                        },
-                    );
-                    if let Some(t) = activate {
-                        self.push_event(src_done, EventKind::Activate { pe, task: t });
-                    }
-                }
-                Effect::PostRecv {
-                    color,
-                    extent,
-                    activate,
-                } => {
-                    let state = &mut self.pes[idx];
-                    let prev = state.pending_recv.insert(
-                        color,
-                        PendingRecv {
-                            extent,
-                            task: activate,
-                        },
-                    );
-                    assert!(prev.is_none(), "{pe} double-posted a receive on {color}");
-                    if let Some(t) = state.try_complete_recv(color) {
-                        self.push_event(end, EventKind::Activate { pe, task: t });
-                    }
-                }
-                Effect::Activate { task } => {
-                    self.push_event(end, EventKind::Activate { pe, task });
-                }
-                Effect::Emit { data } => {
-                    self.pes[idx].outputs.push(data);
-                }
-            }
-        }
-        self.pes[idx].busy_until = end;
-        Ok(end)
+/// Run independent groups on `threads` scoped workers. Assignment is
+/// longest-processing-time-first by shard count, which only affects
+/// wall-clock: each group is stepped by exactly one thread and is
+/// deterministic in isolation, so results never depend on the assignment.
+fn run_groups_parallel(groups: Vec<Group>, threads: usize, ctx: &EngineCtx<'_>) -> Vec<Group> {
+    let total = groups.len();
+    let mut slots: Vec<Option<Group>> = groups.into_iter().map(Some).collect();
+    let mut order: Vec<usize> = (0..total).collect();
+    order.sort_by_key(|&i| {
+        std::cmp::Reverse(slots[i].as_ref().map_or(0, |group| group.shards.len()))
+    });
+    let mut buckets: Vec<Vec<(usize, Group)>> = (0..threads).map(|_| Vec::new()).collect();
+    let mut load = vec![0usize; threads];
+    for i in order {
+        let group = slots[i].take().expect("each group assigned once");
+        let worker = (0..threads)
+            .min_by_key(|&w| load[w])
+            .expect("at least one worker");
+        load[worker] += group.shards.len();
+        buckets[worker].push((i, group));
     }
+    let finished: Vec<Vec<(usize, Group)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|mut chunk| {
+                scope.spawn(move || {
+                    for (_, group) in &mut chunk {
+                        group.run(ctx);
+                    }
+                    chunk
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+            })
+            .collect()
+    });
+    let mut out: Vec<Option<Group>> = (0..total).map(|_| None).collect();
+    for (i, group) in finished.into_iter().flatten() {
+        out[i] = Some(group);
+    }
+    out.into_iter()
+        .map(|group| group.expect("every group returns from its worker"))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cost::Op;
+    use crate::program::TaskCtx;
 
     const C0: Color = Color::new(0);
     const T0: TaskId = TaskId(0);
@@ -637,6 +629,60 @@ mod tests {
         // Send task: 1 cycle. Stream departs at 1, head at 2, done at 6.
         // Recv task: starts 6, 1 overhead + 4 ops = ends 11.
         assert_eq!(report.stats().finish_cycle, 11.0);
+    }
+
+    #[test]
+    fn vertical_hop_crosses_shard_boundary() {
+        // Same shape as `one_hop_pipeline` but routed southward, so the
+        // sender and receiver live in different shards of one coupled group
+        // and the wavelets travel through the barrier mailbox. Timing must
+        // match the horizontal case exactly.
+        let cfg = MeshConfig::new(2, 1).with_cost(CostModel::unit());
+        let mut sim = Simulator::new(cfg);
+        sim.route(PeId::new(0, 0), C0, None, &[Direction::South]);
+        sim.route(
+            PeId::new(1, 0),
+            C0,
+            Some(Direction::North),
+            &[Direction::Ramp],
+        );
+        sim.set_program(PeId::new(0, 0), Box::new(SendBlock));
+        sim.set_program(PeId::new(1, 0), Box::new(DoubleAndEmit));
+        sim.post_recv(PeId::new(1, 0), C0, 4, T1);
+        sim.activate(PeId::new(0, 0), T0, 0.0);
+        let report = sim.run().unwrap();
+        assert_eq!(report.outputs(PeId::new(1, 0)), &[vec![2, 4, 6, 8]]);
+        assert_eq!(report.stats().finish_cycle, 11.0);
+    }
+
+    #[test]
+    fn transit_resumes_across_intermediate_row() {
+        // Two southward hops: the stream is handed off row 0 → row 1 as a
+        // transit message, reserves row 1's southward link, and delivers in
+        // row 2. Send ends at 1; head advances one cycle per hop (2 hops);
+        // last of 4 wavelets lands at 3 + 4 = 7; recv runs 7 → 12.
+        let cfg = MeshConfig::new(3, 1).with_cost(CostModel::unit());
+        let mut sim = Simulator::new(cfg);
+        sim.route(PeId::new(0, 0), C0, None, &[Direction::South]);
+        sim.route(
+            PeId::new(1, 0),
+            C0,
+            Some(Direction::North),
+            &[Direction::South],
+        );
+        sim.route(
+            PeId::new(2, 0),
+            C0,
+            Some(Direction::North),
+            &[Direction::Ramp],
+        );
+        sim.set_program(PeId::new(0, 0), Box::new(SendBlock));
+        sim.set_program(PeId::new(2, 0), Box::new(DoubleAndEmit));
+        sim.post_recv(PeId::new(2, 0), C0, 4, T1);
+        sim.activate(PeId::new(0, 0), T0, 0.0);
+        let report = sim.run().unwrap();
+        assert_eq!(report.outputs(PeId::new(2, 0)), &[vec![2, 4, 6, 8]]);
+        assert_eq!(report.stats().finish_cycle, 12.0);
     }
 
     #[test]
@@ -843,7 +889,7 @@ mod tests {
         let cfg = MeshConfig::new(1, 1)
             .with_cost(CostModel::unit())
             .with_recorder(telemetry::Recorder::enabled())
-            .with_trace();
+            .with_trace(true);
         let mut sim = Simulator::new(cfg);
         sim.set_program(PeId::new(0, 0), Box::new(Staged));
         sim.activate(PeId::new(0, 0), T0, 0.0);
@@ -871,5 +917,81 @@ mod tests {
         let b = build();
         assert_eq!(a.stats().finish_cycle, b.stats().finish_cycle);
         assert_eq!(a.all_outputs(), b.all_outputs());
+    }
+
+    /// Build a mesh mixing independent horizontal rows with a vertically
+    /// coupled pair, run it at `threads`, and return the full report.
+    fn mixed_mesh_report(threads: usize) -> RunReport {
+        let cfg = MeshConfig::new(4, 2)
+            .with_cost(CostModel::unit())
+            .with_trace(true)
+            .with_threads(threads);
+        let mut sim = Simulator::new(cfg);
+        for r in 0..4 {
+            sim.route_east_chain(r, 0, 1, C0);
+            sim.set_program(PeId::new(r, 0), Box::new(SendBlock));
+            sim.set_program(PeId::new(r, 1), Box::new(DoubleAndEmit));
+            sim.post_recv(PeId::new(r, 1), C0, 4, T1);
+            sim.activate(PeId::new(r, 0), T0, 0.0);
+        }
+        // Couple rows 2 and 3: an extra southward stream through the mailbox,
+        // carried by composite programs on the two row heads.
+        let c1 = Color::new(1);
+        sim.route(PeId::new(2, 0), c1, None, &[Direction::South]);
+        sim.route(
+            PeId::new(3, 0),
+            c1,
+            Some(Direction::North),
+            &[Direction::Ramp],
+        );
+        struct RowHead {
+            vertical: bool,
+        }
+        impl PeProgram for RowHead {
+            fn on_task(&mut self, ctx: &mut TaskCtx<'_>, t: TaskId) -> Result<(), SimError> {
+                match t {
+                    TaskId(7) if self.vertical => ctx.send_async(Color::new(1), vec![9, 9], None),
+                    _ => ctx.send_async(C0, vec![1, 2, 3, 4], None),
+                }
+                Ok(())
+            }
+        }
+        struct RowHeadSink;
+        impl PeProgram for RowHeadSink {
+            fn on_task(&mut self, ctx: &mut TaskCtx<'_>, t: TaskId) -> Result<(), SimError> {
+                if t == TaskId(8) {
+                    let data = ctx.take_received(Color::new(1));
+                    ctx.emit(data);
+                } else {
+                    ctx.send_async(C0, vec![1, 2, 3, 4], None);
+                }
+                Ok(())
+            }
+        }
+        sim.set_program(PeId::new(2, 0), Box::new(RowHead { vertical: true }));
+        sim.set_program(PeId::new(3, 0), Box::new(RowHeadSink));
+        sim.post_recv(PeId::new(3, 0), c1, 2, TaskId(8));
+        sim.activate(PeId::new(2, 0), TaskId(7), 0.0);
+        sim.run().unwrap()
+    }
+
+    #[test]
+    fn thread_sweep_is_bit_identical() {
+        let serial = mixed_mesh_report(1);
+        for threads in [2, 4, 8] {
+            let parallel = mixed_mesh_report(threads);
+            assert_eq!(serial, parallel, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn threads_zero_resolves_to_available_parallelism() {
+        let cfg = MeshConfig::new(1, 1)
+            .with_cost(CostModel::unit())
+            .with_threads(0);
+        let mut sim = Simulator::new(cfg);
+        sim.set_program(PeId::new(0, 0), Box::new(Burn(10)));
+        sim.activate(PeId::new(0, 0), T0, 0.0);
+        assert_eq!(sim.run().unwrap().stats().finish_cycle, 11.0);
     }
 }

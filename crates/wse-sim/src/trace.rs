@@ -26,7 +26,7 @@ pub struct TraceEvent {
 }
 
 /// A recorded timeline.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     events: Vec<TraceEvent>,
 }
@@ -34,6 +34,18 @@ pub struct Trace {
 impl Trace {
     pub(crate) fn record(&mut self, event: TraceEvent) {
         self.events.push(event);
+    }
+
+    /// Rebuild a trace from already-ordered events (the sharded engine's
+    /// merge step sorts per-shard timelines before constructing the final
+    /// trace).
+    pub(crate) fn from_events(events: Vec<TraceEvent>) -> Self {
+        Self { events }
+    }
+
+    /// Consume the trace, yielding its events in recorded order.
+    pub(crate) fn into_events(self) -> Vec<TraceEvent> {
+        self.events
     }
 
     /// All events in execution order.

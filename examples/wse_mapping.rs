@@ -5,7 +5,7 @@
 
 use ceresz::core::{compress, CereszConfig, ErrorBound};
 use ceresz::data::{generate_field, DatasetId};
-use ceresz::wse::{simulate_compression, MappingStrategy};
+use ceresz::wse::{execute, SimOptions, StrategyKind};
 
 fn main() {
     // A slice of the QMCPack orbital file keeps the event simulation snappy.
@@ -23,18 +23,18 @@ fn main() {
         "strategy", "PEs", "cycles", "util", "same?"
     );
     for strategy in [
-        MappingStrategy::RowParallel { rows: 8 },
-        MappingStrategy::Pipeline {
+        StrategyKind::RowParallel { rows: 8 },
+        StrategyKind::Pipeline {
             rows: 4,
             pipeline_length: 4,
         },
-        MappingStrategy::MultiPipeline {
+        StrategyKind::MultiPipeline {
             rows: 4,
             pipeline_length: 2,
             pipelines_per_row: 4,
         },
     ] {
-        let run = simulate_compression(data, &cfg, strategy).expect("simulation runs");
+        let run = execute(strategy, data, &cfg, &SimOptions::default()).expect("simulation runs");
         println!(
             "{:<44} {:>8} {:>12.0} {:>9.1}% {:>8}",
             format!("{strategy:?}"),

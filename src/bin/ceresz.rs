@@ -10,7 +10,7 @@
 //! ceresz profile    <in.f32> [--rel L | --abs E] [--block N]
 //!                   [--strategy row-parallel|pipeline|multi-pipeline]
 //!                   [--rows R] [--len L] [--pipelines P] [--limit N]
-//!                   [--out profile.json] [--trace-out trace.json]
+//!                   [--threads T] [--out profile.json] [--trace-out trace.json]
 //! ceresz fuzz       [--seed N] [--cases M] [--no-shrink]
 //! ceresz lint       [--all-strategies | --strategy S --rows R --len L
 //!                    --pipelines P] [--rel L | --abs E] [--block N]
@@ -20,6 +20,8 @@
 //! per-stage cycle attribution and timeline tracing enabled, prints the
 //! stage table (the shape of the paper's Tables 1–3), and writes the
 //! machine-readable `profile.json` plus a Perfetto-loadable Chrome trace.
+//! `--threads T` shards the simulator over T worker threads (the report is
+//! bit-identical at any thread count).
 //!
 //! `lint` statically verifies the constructed mappings — routing soundness,
 //! color discipline, channel balance, SRAM budgets, task liveness — across
@@ -42,7 +44,7 @@ use ceresz::core::{
     ErrorBound,
 };
 use ceresz::telemetry::Recorder;
-use ceresz::wse::{profile_compression, MappingStrategy};
+use ceresz::wse::{profile_compression_with, MappingStrategy, SimOptions};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,7 +64,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "  ceresz profile    <in.f32> [--rel L | --abs E] [--block N] \
                  [--strategy S] [--rows R] [--len L] [--pipelines P] [--limit N] \
-                 [--out profile.json] [--trace-out trace.json]"
+                 [--threads T] [--out profile.json] [--trace-out trace.json]"
             );
             eprintln!("  ceresz fuzz       [--seed N] [--cases M] [--no-shrink] [--case-seed S]");
             eprintln!(
@@ -116,6 +118,8 @@ struct Flags {
     pipelines: usize,
     /// Max values fed to the event simulator (0 = no limit).
     limit: usize,
+    /// Simulator worker threads (row shards; 1 = serial).
+    threads: usize,
     out: Option<String>,
     trace_out: Option<String>,
     /// `fuzz` options.
@@ -140,6 +144,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         len: 4,
         pipelines: 2,
         limit: 32 * 512,
+        threads: 1,
         out: None,
         trace_out: None,
         seed: 42,
@@ -173,6 +178,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--len" => f.len = parse_usize(&value(&mut i)?, "--len")?,
             "--pipelines" => f.pipelines = parse_usize(&value(&mut i)?, "--pipelines")?,
             "--limit" => f.limit = parse_usize(&value(&mut i)?, "--limit")?,
+            "--threads" => f.threads = parse_usize(&value(&mut i)?, "--threads")?,
             "--out" => f.out = Some(value(&mut i)?),
             "--trace-out" => f.trace_out = Some(value(&mut i)?),
             "--seed" => f.seed = parse_u64(&value(&mut i)?, "--seed")?,
@@ -319,7 +325,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     }
     let strategy = flag_strategy(&f)?;
     let cfg = CereszConfig::new(f.bound).with_block_size(f.block);
-    let profile = ceresz_profile(&data, &cfg, strategy)?;
+    let profile = ceresz_profile(&data, &cfg, strategy, f.threads)?;
     print!("{}", profile.report.render_table());
     println!(
         "\n  ratio {:.2}x   simulated throughput {:.2} GB/s",
@@ -339,13 +345,15 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Run [`profile_compression`] with CLI-friendly error mapping.
+/// Run [`profile_compression_with`] with CLI-friendly error mapping.
 fn ceresz_profile(
     data: &[f32],
     cfg: &CereszConfig,
     strategy: MappingStrategy,
+    threads: usize,
 ) -> Result<ceresz::wse::CompressionProfile, String> {
-    profile_compression(data, cfg, strategy).map_err(|e| e.to_string())
+    let options = SimOptions::default().with_threads(threads.max(1));
+    profile_compression_with(data, cfg, strategy, &options).map_err(|e| e.to_string())
 }
 
 fn cmd_fuzz(args: &[String]) -> Result<(), String> {

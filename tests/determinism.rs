@@ -1,0 +1,128 @@
+//! Determinism of the sharded parallel simulator core: the same mapping
+//! executed at any thread count must produce a bit-identical [`RunReport`]
+//! — same outputs, same statistics, same per-stage cycle attribution, same
+//! trace. This is the contract that makes `--threads` safe to enable
+//! anywhere: parallelism is an implementation detail, never an observable.
+
+use ceresz::core::{compress, CereszConfig, ErrorBound};
+use ceresz::wse::{execute, execute_strategy, SimOptions, Strategy, StrategyKind};
+
+fn wavy(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| (i as f32 * 0.011).sin() * 9.0 + (i as f32 * 0.0047).cos() * 3.0)
+        .collect()
+}
+
+/// The headline acceptance check: a 64×64 mesh (multi-pipeline, the
+/// strategy with the most cross-row structure) stepped serially and with
+/// 2 and 8 worker threads yields the *same* report object: equal outputs,
+/// equal stats, equal stage totals, equal trace.
+#[test]
+fn run_report_is_bit_identical_across_thread_counts() {
+    // 64 rows × (8 pipelines of length 8) = a full 64×64 mesh; one whole
+    // round per pipeline keeps the event count test-sized.
+    let kind = StrategyKind::MultiPipeline {
+        rows: 64,
+        pipeline_length: 8,
+        pipelines_per_row: 8,
+    };
+    assert_eq!(kind.mesh_shape(), (64, 64));
+    let data = wavy(32 * 64 * 8);
+    let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+
+    let serial = execute(kind, &data, &cfg, &SimOptions::default().with_trace(true)).unwrap();
+    for threads in [2usize, 8] {
+        let options = SimOptions::default().with_trace(true).with_threads(threads);
+        let sharded = execute(kind, &data, &cfg, &options).unwrap();
+        assert_eq!(
+            sharded.report, serial.report,
+            "RunReport diverged at {threads} threads"
+        );
+        assert_eq!(sharded.compressed.data, serial.compressed.data);
+        assert_eq!(
+            sharded.report.stats(),
+            serial.report.stats(),
+            "SimStats diverged at {threads} threads"
+        );
+        assert_eq!(
+            sharded.report.stage_totals(),
+            serial.report.stage_totals(),
+            "stage attribution diverged at {threads} threads"
+        );
+    }
+}
+
+/// Thread-count invariance holds for every strategy, including the
+/// row-independent ones (where shards never exchange boundary traffic) and
+/// at thread counts exceeding the row count.
+#[test]
+fn every_strategy_is_thread_count_invariant() {
+    let data = wavy(32 * 40);
+    let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+    for kind in [
+        StrategyKind::RowParallel { rows: 4 },
+        StrategyKind::Pipeline {
+            rows: 3,
+            pipeline_length: 4,
+        },
+        StrategyKind::MultiPipeline {
+            rows: 2,
+            pipeline_length: 2,
+            pipelines_per_row: 3,
+        },
+    ] {
+        let serial = execute(kind, &data, &cfg, &SimOptions::default()).unwrap();
+        for threads in [2usize, 7, 16] {
+            let run = execute(
+                kind,
+                &data,
+                &cfg,
+                &SimOptions::default().with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(
+                run.report, serial.report,
+                "{kind:?} diverged at {threads} threads"
+            );
+            assert_eq!(run.compressed.data, serial.compressed.data, "{kind:?}");
+        }
+    }
+}
+
+/// Cross-strategy conformance through the unified trait: driving all three
+/// strategies as `&dyn Strategy` produces archives byte-identical to the
+/// host reference and to one another.
+#[test]
+fn strategies_agree_bitwise_through_the_trait() {
+    let data = wavy(32 * 36 + 11);
+    let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+    let reference = compress(&data, &cfg).unwrap();
+    let kinds = [
+        StrategyKind::RowParallel { rows: 3 },
+        StrategyKind::Pipeline {
+            rows: 2,
+            pipeline_length: 4,
+        },
+        StrategyKind::MultiPipeline {
+            rows: 2,
+            pipeline_length: 3,
+            pipelines_per_row: 2,
+        },
+    ];
+    let strategies: Vec<&dyn Strategy> = kinds.iter().map(|k| k as &dyn Strategy).collect();
+    for strategy in strategies {
+        let (compressed, _plan, _report) = execute_strategy(
+            strategy,
+            &data,
+            &cfg,
+            &SimOptions::default().with_threads(2),
+        )
+        .unwrap();
+        assert_eq!(
+            compressed.data,
+            reference.data,
+            "{} diverged from the host reference",
+            strategy.name()
+        );
+    }
+}

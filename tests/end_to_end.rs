@@ -4,7 +4,7 @@
 use ceresz::core::{compress, decompress, verify_error_bound, CereszConfig, ErrorBound};
 use ceresz::data::{generate_field, DatasetId, ALL_DATASETS};
 use ceresz::wse::decompress_map::run_row_decompress;
-use ceresz::wse::{simulate_compression, MappingStrategy};
+use ceresz::wse::{execute, SimOptions, StrategyKind};
 
 /// A small prefix of each dataset keeps the event simulator fast while still
 /// exercising real data distributions.
@@ -19,18 +19,18 @@ fn every_dataset_roundtrips_on_every_strategy() {
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
         let reference = compress(&data, &cfg).unwrap();
         for strategy in [
-            MappingStrategy::RowParallel { rows: 4 },
-            MappingStrategy::Pipeline {
+            StrategyKind::RowParallel { rows: 4 },
+            StrategyKind::Pipeline {
                 rows: 2,
                 pipeline_length: 3,
             },
-            MappingStrategy::MultiPipeline {
+            StrategyKind::MultiPipeline {
                 rows: 2,
                 pipeline_length: 2,
                 pipelines_per_row: 2,
             },
         ] {
-            let run = simulate_compression(&data, &cfg, strategy).unwrap();
+            let run = execute(strategy, &data, &cfg, &SimOptions::default()).unwrap();
             assert_eq!(
                 run.compressed.data, reference.data,
                 "{ds:?} {strategy:?} diverged from the host reference"
@@ -61,7 +61,13 @@ fn decompression_beats_compression_in_cycles() {
     // §3's claim, checked in the event simulator on real data.
     let data = sample(DatasetId::CesmAtm, 32 * 64);
     let cfg = CereszConfig::new(ErrorBound::Rel(1e-4));
-    let comp = simulate_compression(&data, &cfg, MappingStrategy::RowParallel { rows: 2 }).unwrap();
+    let comp = execute(
+        StrategyKind::RowParallel { rows: 2 },
+        &data,
+        &cfg,
+        &SimOptions::default(),
+    )
+    .unwrap();
     let decomp = run_row_decompress(&comp.compressed, 2).unwrap();
     assert!(
         decomp.stats.finish_cycle < comp.stats.finish_cycle,

@@ -5,8 +5,22 @@
 use ceresz::core::plan::MeshShape;
 use ceresz::core::{CereszConfig, ErrorBound};
 use ceresz::data::{generate_field, DatasetId};
-use ceresz::wse::multi_pipeline::run_multi_pipeline;
 use ceresz::wse::throughput::WaferConfig;
+use ceresz::wse::{execute, SimOptions, StrategyKind, StrategyRun};
+
+fn multi_pipeline(data: &[f32], cfg: &CereszConfig, rows: usize, pipelines: usize) -> StrategyRun {
+    execute(
+        StrategyKind::MultiPipeline {
+            rows,
+            pipeline_length: 1,
+            pipelines_per_row: pipelines,
+        },
+        data,
+        cfg,
+        &SimOptions::default(),
+    )
+    .unwrap()
+}
 
 /// The analytic model and the event simulator must agree on total cycles at
 /// small mesh sizes (within a modest tolerance: the simulator resolves
@@ -20,7 +34,7 @@ fn analytic_model_tracks_the_simulator() {
         // Whole rounds so both sides see the same utilization.
         let blocks = rows * pipelines * 24;
         let data = &field.data[..32 * blocks];
-        let sim = run_multi_pipeline(data, &cfg, rows, 1, pipelines).unwrap();
+        let sim = multi_pipeline(data, &cfg, rows, pipelines);
         let wafer = WaferConfig::cs2(MeshShape {
             rows,
             cols: pipelines,
@@ -45,8 +59,8 @@ fn scaling_trends_agree() {
     let blocks = 2 * 16 * 12; // whole rounds for both configs
     let data = &field.data[..32 * blocks];
 
-    let sim_a = run_multi_pipeline(data, &cfg, 2, 1, 8).unwrap();
-    let sim_b = run_multi_pipeline(data, &cfg, 2, 1, 16).unwrap();
+    let sim_a = multi_pipeline(data, &cfg, 2, 8);
+    let sim_b = multi_pipeline(data, &cfg, 2, 16);
     let sim_speedup = sim_a.stats.finish_cycle / sim_b.stats.finish_cycle;
 
     let wafer_a = WaferConfig::cs2(MeshShape { rows: 2, cols: 8 });
@@ -64,13 +78,21 @@ fn scaling_trends_agree() {
 /// Fig. 10(b) empirically: simulated per-PE busy time scales ≈ 1/len.
 #[test]
 fn per_pe_busy_time_is_inverse_in_pipeline_length() {
-    use ceresz::wse::pipeline_map::run_pipeline;
     let field = generate_field(DatasetId::QmcPack, 0, 42);
     let cfg = CereszConfig::new(ErrorBound::Rel(1e-4));
     let data = &field.data[..32 * 256];
     let n_blocks = 256.0;
     let busy_per_block = |len: usize| {
-        let run = run_pipeline(data, &cfg, 1, len).unwrap();
+        let run = execute(
+            StrategyKind::Pipeline {
+                rows: 1,
+                pipeline_length: len,
+            },
+            data,
+            &cfg,
+            &SimOptions::default(),
+        )
+        .unwrap();
         run.stats.total_busy_cycles / (n_blocks * len as f64)
     };
     let b1 = busy_per_block(1);

@@ -1,7 +1,7 @@
 //! Workspace-level property tests: arbitrary data through the full stack.
 
 use ceresz::core::{compress, verify_error_bound, CereszConfig, ErrorBound};
-use ceresz::wse::{simulate_compression, MappingStrategy};
+use ceresz::wse::{execute, SimOptions, StrategyKind};
 use proptest::prelude::*;
 
 proptest! {
@@ -18,12 +18,12 @@ proptest! {
     ) {
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
         let reference = compress(&data, &cfg).unwrap();
-        let strategy = MappingStrategy::MultiPipeline {
+        let strategy = StrategyKind::MultiPipeline {
             rows,
             pipeline_length: len,
             pipelines_per_row: pipes,
         };
-        let run = simulate_compression(&data, &cfg, strategy).unwrap();
+        let run = execute(strategy, &data, &cfg, &SimOptions::default()).unwrap();
         prop_assert_eq!(&run.compressed.data, &reference.data);
         let restored = ceresz::core::decompress(&run.compressed).unwrap();
         prop_assert!(verify_error_bound(&data, &restored, reference.stats.eps));
