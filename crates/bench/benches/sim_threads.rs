@@ -6,7 +6,14 @@
 //!
 //! Results (measured wall seconds, speedups, and the host's available
 //! parallelism, which bounds what any thread count can deliver) are written
-//! to `BENCH_sim.json` at the workspace root.
+//! to `BENCH_sim.json` at the workspace root, together with a
+//! `deterministic` block of cycle-exact metrics (finish cycle, busy cycles,
+//! task/wavelet counts, compressed size, and the flight recorder's
+//! stall-cause totals) that is identical on every host — wall seconds are
+//! noise on a loaded CI box, the deterministic block is not. The committed
+//! gate for those metrics is `BENCH_baseline.json` via the `perf_gate`
+//! binary; this file carries them alongside the wall numbers so one
+//! artifact shows both views of the same run.
 //!
 //! Run: `cargo bench -p ceresz-bench --bench sim_threads`
 
@@ -44,7 +51,12 @@ fn main() {
     let mut rows = Vec::new();
     let mut serial: Option<(f64, ceresz_wse::StrategyRun)> = None;
     for threads in THREAD_COUNTS {
-        let options = SimOptions::default().with_threads(threads);
+        // Flight sampling stays on: the timing table then also certifies
+        // that observability does not perturb scaling, and the serial run's
+        // recording feeds the deterministic block below.
+        let options = SimOptions::default()
+            .with_threads(threads)
+            .with_flight_window(1024.0);
         let t0 = Instant::now();
         let run = execute(kind, &data, &cfg, &options).expect("simulation runs");
         let seconds = t0.elapsed().as_secs_f64();
@@ -64,13 +76,42 @@ fn main() {
         }
     }
 
+    // Cycle-exact metrics of the (bit-identical) run: the part of this
+    // artifact that must not move between hosts or thread counts.
+    let (_, serial_run) = serial.as_ref().expect("at least one run");
+    let stats = &serial_run.stats;
+    let flight = serial_run
+        .report
+        .flight()
+        .expect("flight sampling was enabled");
+    let stall_fields: Vec<String> = flight
+        .stall_totals()
+        .iter()
+        .filter(|(cause, _)| **cause != "compute")
+        .map(|(cause, cycles)| format!("    \"stall_{cause}\": {cycles}"))
+        .collect();
+    let deterministic = format!(
+        "  \"deterministic\": {{\n    \"finish_cycle\": {},\n    \
+         \"total_busy_cycles\": {},\n    \"total_tasks\": {},\n    \
+         \"total_wavelets\": {},\n    \"active_pes\": {},\n    \
+         \"compressed_bytes\": {},\n{}\n  }}",
+        stats.finish_cycle,
+        stats.total_busy_cycles,
+        stats.total_tasks,
+        stats.total_wavelets,
+        stats.active_pes,
+        serial_run.compressed.data.len(),
+        stall_fields.join(",\n")
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"sim_threads\",\n  \"strategy\": \"{kind}\",\n  \
          \"mesh\": [128, 128],\n  \"blocks\": {n_blocks},\n  \
          \"host_parallelism\": {host_parallelism},\n  \
          \"note\": \"speedup is bounded by host_parallelism; the determinism \
          assertion (bit-identical RunReport at every thread count) holds \
-         regardless\",\n  \"runs\": [\n{}\n  ]\n}}\n",
+         regardless, and the deterministic block is cycle-exact on every \
+         host\",\n{deterministic},\n  \"runs\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");

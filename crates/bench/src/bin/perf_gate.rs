@@ -1,0 +1,142 @@
+//! `perf_gate` — deterministic cycle-exact perf-regression gate (CI's
+//! `perf-gate` job).
+//!
+//! ```text
+//! perf_gate [--baseline path]             # check (default): fail on drift
+//! perf_gate --update --reason "<why>"     # re-commit the baseline
+//! perf_gate --self-test                   # the gate must catch +1 cycle
+//! ```
+//!
+//! Check mode re-runs the gated scenario suite (see
+//! `ceresz_bench::perf_gate`) and diffs every metric against the committed
+//! `BENCH_baseline.json` with **zero tolerance** — the metrics are
+//! bit-deterministic, so any drift is a real behavior change. Intentional
+//! changes are recorded with `--update --reason`, which lands the new
+//! numbers plus the explanation in the baseline file for review.
+
+use std::process::ExitCode;
+
+use ceresz_bench::perf_gate::{collect, compare, parse_baseline, to_json};
+
+/// Path of the committed baseline, relative to the workspace root.
+const DEFAULT_BASELINE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json");
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("perf_gate: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut update = false;
+    let mut self_test = false;
+    let mut reason: Option<String> = None;
+    let mut baseline_path = DEFAULT_BASELINE.to_owned();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--update" => update = true,
+            "--self-test" => self_test = true,
+            "--reason" => {
+                reason = Some(args.get(i + 1).ok_or("--reason needs a value")?.clone());
+                i += 1;
+            }
+            "--baseline" => {
+                baseline_path = args.get(i + 1).ok_or("--baseline needs a value")?.clone();
+                i += 1;
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag '{other}' \
+                     (usage: perf_gate [--baseline p] [--update --reason \"<why>\"] [--self-test])"
+                ))
+            }
+        }
+        i += 1;
+    }
+
+    if self_test {
+        return run_self_test();
+    }
+
+    println!("collecting cycle-exact metrics for the gated scenario suite...");
+    let current = collect()?;
+    for s in &current {
+        println!(
+            "  {}: finish {} cycles, {} wavelets",
+            s.name, s.metrics["finish_cycle"], s.metrics["total_wavelets"]
+        );
+    }
+
+    if update {
+        let reason = reason.ok_or("--update requires --reason \"<why the numbers moved>\"")?;
+        if reason.trim().is_empty() {
+            return Err("--reason must not be empty".into());
+        }
+        let doc = to_json(&current, &reason);
+        std::fs::write(&baseline_path, doc.to_pretty())
+            .map_err(|e| format!("writing {baseline_path}: {e}"))?;
+        println!("baseline updated at {baseline_path} (reason: {reason})");
+        return Ok(());
+    }
+
+    let text = std::fs::read_to_string(&baseline_path).map_err(|e| {
+        format!(
+            "reading {baseline_path}: {e} \
+             (create it with --update --reason \"initial baseline\")"
+        )
+    })?;
+    let (baseline, base_reason) = parse_baseline(&text)?;
+    let drifts = compare(&baseline, &current);
+    if drifts.is_empty() {
+        println!(
+            "perf gate PASSED: {} scenarios bit-identical to baseline (last update reason: {})",
+            baseline.len(),
+            base_reason
+        );
+        Ok(())
+    } else {
+        eprintln!(
+            "perf gate FAILED: {} metric(s) drifted from baseline:",
+            drifts.len()
+        );
+        for d in &drifts {
+            eprintln!("  {d}");
+        }
+        eprintln!(
+            "if this drift is intentional, re-commit the baseline with\n  \
+             cargo run --release -p ceresz-bench --bin perf_gate -- \
+             --update --reason \"<why the numbers moved>\""
+        );
+        Err(format!("{} unexplained drift(s)", drifts.len()))
+    }
+}
+
+/// Verify the gate end-to-end: a +1-cycle injection into an otherwise
+/// identical collection must be reported as exactly one drift.
+fn run_self_test() -> Result<(), String> {
+    println!("self-test: injecting a 1-cycle regression into a fresh collection...");
+    let baseline = collect()?;
+    let mut tampered = baseline.clone();
+    *tampered[0]
+        .metrics
+        .get_mut("finish_cycle")
+        .ok_or("collection has no finish_cycle metric")? += 1.0;
+    let drifts = compare(&baseline, &tampered);
+    if drifts.len() == 1 && drifts[0].metric == "finish_cycle" {
+        println!(
+            "self-test PASSED: gate detected the injected regression: {}",
+            drifts[0]
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "self-test FAILED: expected exactly one finish_cycle drift, got {drifts:?}"
+        ))
+    }
+}

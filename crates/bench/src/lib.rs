@@ -6,6 +6,8 @@
 //! factors to paper scale, and plain-text table formatting.
 
 #![forbid(unsafe_code)]
+pub mod perf_gate;
+
 use baselines::device_model::{DataProfile, DeviceModel, Direction};
 use ceresz_core::{CereszConfig, ErrorBound};
 use ceresz_wse::throughput::WaferConfig;

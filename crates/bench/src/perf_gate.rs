@@ -1,0 +1,337 @@
+//! Deterministic perf-regression gating.
+//!
+//! The simulator's cycle accounting is bit-deterministic: the same input,
+//! config, and strategy produce the same `RunReport` on every host at every
+//! thread count. That makes *cycle-exact* metrics — finish cycle, busy
+//! cycles, wavelet counts, stall-cause breakdowns — gateable in CI the way
+//! wall-clock numbers never are (this repo's CI runs on a 1-core host where
+//! wall time is noise). This module collects a fixed scenario suite,
+//! serializes it to `BENCH_baseline.json`, and diffs a fresh collection
+//! against the committed baseline; *any* drift fails the gate unless the
+//! baseline is re-committed with an explicit `--reason`.
+//!
+//! The `perf_gate` binary drives it:
+//!
+//! ```text
+//! perf_gate                      # check against BENCH_baseline.json
+//! perf_gate --update --reason "lorenzo kernel now 2 fewer cycles/block"
+//! perf_gate --self-test          # verify the gate catches a +1-cycle drift
+//! ```
+
+use std::collections::BTreeMap;
+
+use ceresz_core::{CereszConfig, ErrorBound};
+use ceresz_wse::{execute, SimOptions, StrategyKind};
+use datasets::{generate_field, DatasetId};
+use telemetry::json::JsonValue;
+
+/// Artifact tag identifying a baseline document.
+pub const BASELINE_ARTIFACT: &str = "ceresz-perf-baseline";
+
+/// Cycle-exact metrics of one gated scenario, in a deterministic key order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioMetrics {
+    /// Scenario name (the strategy's display form).
+    pub name: String,
+    /// Metric name → value. All values are exactly reproducible: cycle
+    /// counts, wavelet/task/byte counts, and flight-recorder stall totals.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// A metric that moved between baseline and current collection.
+#[derive(Debug, Clone)]
+pub struct Drift {
+    /// Scenario the drift was observed in.
+    pub scenario: String,
+    /// Which metric moved (or `<scenario>` for a missing/extra scenario).
+    pub metric: String,
+    /// Baseline value (`None` if the metric is new).
+    pub baseline: Option<f64>,
+    /// Current value (`None` if the metric disappeared).
+    pub current: Option<f64>,
+}
+
+impl std::fmt::Display for Drift {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let show = |v: Option<f64>| v.map_or("<absent>".to_owned(), |v| format!("{v}"));
+        write!(
+            f,
+            "{} / {}: baseline {} -> current {}",
+            self.scenario,
+            self.metric,
+            show(self.baseline),
+            show(self.current)
+        )
+    }
+}
+
+/// The gated strategy suite: one scenario per mapping strategy, sized to
+/// run in seconds while still exercising relay chains, pipeline frames, and
+/// multi-row sharding (so a perf regression in any of those moves a metric).
+#[must_use]
+pub fn gate_scenarios() -> Vec<StrategyKind> {
+    vec![
+        StrategyKind::RowParallel { rows: 4 },
+        StrategyKind::Pipeline {
+            rows: 2,
+            pipeline_length: 4,
+        },
+        StrategyKind::MultiPipeline {
+            rows: 4,
+            pipeline_length: 4,
+            pipelines_per_row: 4,
+        },
+    ]
+}
+
+/// The fixed gate input: a seeded synthetic QMCPack field truncated to 256
+/// blocks (identical on every host; see `datasets::generate_field`).
+#[must_use]
+pub fn gate_data(block_size: usize) -> Vec<f32> {
+    let field = generate_field(DatasetId::QmcPack, 0, crate::SEED);
+    field
+        .data
+        .iter()
+        .copied()
+        .cycle()
+        .take(block_size * 256)
+        .collect()
+}
+
+/// Run the scenario suite and collect its cycle-exact metrics. Flight
+/// sampling is enabled so the stall-cause breakdown is part of the gated
+/// surface — a routing or backpressure regression shows up even when the
+/// finish cycle happens to hide it.
+pub fn collect() -> Result<Vec<ScenarioMetrics>, String> {
+    let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+    let data = gate_data(cfg.block_size);
+    let options = SimOptions::default().with_flight_window(1024.0);
+    gate_scenarios()
+        .into_iter()
+        .map(|kind| {
+            let run = execute(kind, &data, &cfg, &options).map_err(|e| format!("{kind}: {e}"))?;
+            let stats = &run.stats;
+            let mut metrics = BTreeMap::new();
+            metrics.insert("finish_cycle".to_owned(), stats.finish_cycle);
+            metrics.insert("total_busy_cycles".to_owned(), stats.total_busy_cycles);
+            metrics.insert("total_tasks".to_owned(), stats.total_tasks as f64);
+            metrics.insert("total_wavelets".to_owned(), stats.total_wavelets as f64);
+            metrics.insert("active_pes".to_owned(), stats.active_pes as f64);
+            metrics.insert(
+                "compressed_bytes".to_owned(),
+                run.compressed.data.len() as f64,
+            );
+            let flight = run.report.flight().expect("sampling was enabled");
+            for (cause, cycles) in flight.stall_totals() {
+                if cause != "compute" {
+                    // busy is already gated as total_busy_cycles.
+                    metrics.insert(format!("stall_{cause}"), cycles);
+                }
+            }
+            Ok(ScenarioMetrics {
+                name: kind.to_string(),
+                metrics,
+            })
+        })
+        .collect()
+}
+
+/// Diff `current` against `baseline`. Empty result = gate passes. Every
+/// metric is compared for exact equality — the whole point of gating
+/// deterministic metrics is that there is no tolerance to tune.
+#[must_use]
+pub fn compare(baseline: &[ScenarioMetrics], current: &[ScenarioMetrics]) -> Vec<Drift> {
+    let mut drifts = Vec::new();
+    let by_name = |set: &[ScenarioMetrics]| -> BTreeMap<String, BTreeMap<String, f64>> {
+        set.iter()
+            .map(|s| (s.name.clone(), s.metrics.clone()))
+            .collect()
+    };
+    let base = by_name(baseline);
+    let cur = by_name(current);
+    for (name, base_metrics) in &base {
+        let Some(cur_metrics) = cur.get(name) else {
+            drifts.push(Drift {
+                scenario: name.clone(),
+                metric: "<scenario>".to_owned(),
+                baseline: Some(f64::from(base_metrics.len() as u32)),
+                current: None,
+            });
+            continue;
+        };
+        let keys: std::collections::BTreeSet<&String> =
+            base_metrics.keys().chain(cur_metrics.keys()).collect();
+        for key in keys {
+            let (b, c) = (
+                base_metrics.get(key).copied(),
+                cur_metrics.get(key).copied(),
+            );
+            if b != c {
+                drifts.push(Drift {
+                    scenario: name.clone(),
+                    metric: key.clone(),
+                    baseline: b,
+                    current: c,
+                });
+            }
+        }
+    }
+    for name in cur.keys() {
+        if !base.contains_key(name) {
+            drifts.push(Drift {
+                scenario: name.clone(),
+                metric: "<scenario>".to_owned(),
+                baseline: None,
+                current: Some(0.0),
+            });
+        }
+    }
+    drifts
+}
+
+/// Serialize a collection (plus the human-supplied drift reason) to the
+/// baseline document format.
+#[must_use]
+pub fn to_json(scenarios: &[ScenarioMetrics], reason: &str) -> JsonValue {
+    let rows = scenarios
+        .iter()
+        .map(|s| {
+            JsonValue::Obj(vec![
+                ("name".to_owned(), JsonValue::Str(s.name.clone())),
+                (
+                    "metrics".to_owned(),
+                    JsonValue::Obj(
+                        s.metrics
+                            .iter()
+                            .map(|(k, v)| (k.clone(), JsonValue::Num(*v)))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    JsonValue::Obj(vec![
+        (
+            "artifact".to_owned(),
+            JsonValue::Str(BASELINE_ARTIFACT.to_owned()),
+        ),
+        ("reason".to_owned(), JsonValue::Str(reason.to_owned())),
+        (
+            "note".to_owned(),
+            JsonValue::Str(
+                "cycle-exact deterministic metrics; regenerate only via \
+                 `cargo run -p ceresz-bench --bin perf_gate -- --update \
+                 --reason \"<why the numbers moved>\"`"
+                    .to_owned(),
+            ),
+        ),
+        ("scenarios".to_owned(), JsonValue::Arr(rows)),
+    ])
+}
+
+/// Parse a baseline document. Returns the scenarios and the recorded reason.
+pub fn from_json(doc: &JsonValue) -> Result<(Vec<ScenarioMetrics>, String), String> {
+    let artifact = doc
+        .get("artifact")
+        .and_then(JsonValue::as_str)
+        .ok_or("baseline: missing artifact tag")?;
+    if artifact != BASELINE_ARTIFACT {
+        return Err(format!("baseline: unexpected artifact '{artifact}'"));
+    }
+    let reason = doc
+        .get("reason")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("")
+        .to_owned();
+    let rows = doc
+        .get("scenarios")
+        .and_then(JsonValue::as_arr)
+        .ok_or("baseline: missing scenarios array")?;
+    let mut out = Vec::new();
+    for row in rows {
+        let name = row
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or("baseline: scenario missing name")?
+            .to_owned();
+        let JsonValue::Obj(fields) = row
+            .get("metrics")
+            .ok_or_else(|| format!("baseline: scenario '{name}' missing metrics"))?
+        else {
+            return Err(format!("baseline: scenario '{name}' metrics not an object"));
+        };
+        let mut metrics = BTreeMap::new();
+        for (key, value) in fields {
+            let v = value
+                .as_f64()
+                .ok_or_else(|| format!("baseline: {name}/{key} is not a number"))?;
+            metrics.insert(key.clone(), v);
+        }
+        out.push(ScenarioMetrics { name, metrics });
+    }
+    Ok((out, reason))
+}
+
+/// Parse a baseline from its on-disk text form.
+pub fn parse_baseline(text: &str) -> Result<(Vec<ScenarioMetrics>, String), String> {
+    let doc = telemetry::json::parse(text).map_err(|e| format!("baseline: {e}"))?;
+    from_json(&doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collection_is_deterministic() {
+        let a = collect().unwrap();
+        let b = collect().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), gate_scenarios().len());
+        for s in &a {
+            assert!(s.metrics["finish_cycle"] > 0.0, "{}", s.name);
+            assert!(s.metrics.contains_key("stall_recv_waiting"), "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn identical_collections_pass_the_gate() {
+        let a = collect().unwrap();
+        assert!(compare(&a, &a).is_empty());
+    }
+
+    #[test]
+    fn one_cycle_of_drift_fails_the_gate() {
+        let baseline = collect().unwrap();
+        let mut current = baseline.clone();
+        *current[0].metrics.get_mut("finish_cycle").unwrap() += 1.0;
+        let drifts = compare(&baseline, &current);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].metric, "finish_cycle");
+        assert_eq!(drifts[0].scenario, baseline[0].name);
+    }
+
+    #[test]
+    fn missing_and_extra_scenarios_are_drift() {
+        let baseline = collect().unwrap();
+        let mut current = baseline.clone();
+        let dropped = current.remove(0);
+        current.push(ScenarioMetrics {
+            name: "made-up".to_owned(),
+            metrics: BTreeMap::new(),
+        });
+        let drifts = compare(&baseline, &current);
+        assert!(drifts.iter().any(|d| d.scenario == dropped.name));
+        assert!(drifts.iter().any(|d| d.scenario == "made-up"));
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let scenarios = collect().unwrap();
+        let text = to_json(&scenarios, "test reason").to_pretty();
+        let (parsed, reason) = parse_baseline(&text).unwrap();
+        assert_eq!(parsed, scenarios);
+        assert_eq!(reason, "test reason");
+        assert!(compare(&scenarios, &parsed).is_empty());
+    }
+}

@@ -1,20 +1,18 @@
-//! Simulation options and the legacy entry points, kept as thin shims over
-//! the unified [`crate::execute`] API.
+//! Simulation options shared by every mapping strategy, plus the static
+//! manifest builder used by `ceresz lint` and the conformance fuzzer.
 //!
 //! [`MappingStrategy`] is the historical name of [`StrategyKind`] and stays
 //! available as a plain re-export (not deprecated — it is the same type).
-//! The per-strategy `simulate_compression*` functions and their result
-//! structs are deprecated; new code calls [`crate::execute`] and reads the
-//! [`crate::StrategyRun`] it returns.
+//! All execution goes through the unified [`crate::execute`] API, which
+//! returns a [`crate::StrategyRun`].
 
-use ceresz_core::compressor::{CereszConfig, Compressed};
-use ceresz_core::plan::CompressionPlan;
+use ceresz_core::compressor::CereszConfig;
 
 use crate::error::WseError;
 use telemetry::Recorder;
-use wse_sim::{MeshConfig, RunReport, SimStats};
+use wse_sim::{FlightConfig, MeshConfig};
 
-use crate::strategy::{execute, Strategy};
+use crate::strategy::Strategy;
 
 pub use crate::strategy::StrategyKind;
 
@@ -43,8 +41,14 @@ pub struct SimOptions {
     pub verify: bool,
     /// Worker threads for the sharded simulator core (default 1 = serial;
     /// 0 = one per available core). Any value produces a bit-identical
-    /// [`RunReport`] ([`MeshConfig::with_threads`]).
+    /// [`wse_sim::RunReport`] ([`MeshConfig::with_threads`]).
     pub threads: usize,
+    /// Flight-recorder sampling ([`MeshConfig::with_flight`]): off by
+    /// default; when set, the run's report carries a
+    /// [`wse_sim::FlightRecording`] with per-PE/per-link time-series and
+    /// stall attribution. Purely observational — the functional report is
+    /// bit-identical with sampling on or off.
+    pub flight: Option<FlightConfig>,
 }
 
 impl Default for SimOptions {
@@ -54,6 +58,7 @@ impl Default for SimOptions {
             recorder: Recorder::default(),
             verify: true,
             threads: 1,
+            flight: None,
         }
     }
 }
@@ -117,49 +122,33 @@ impl SimOptions {
         self.with_verify(false)
     }
 
+    /// Enable flight-recorder sampling with the given config.
+    #[must_use]
+    pub fn with_flight(mut self, flight: FlightConfig) -> Self {
+        self.flight = Some(flight);
+        self
+    }
+
+    /// Enable flight-recorder sampling with a `window`-cycle window.
+    ///
+    /// # Panics
+    /// If `window` is not positive and finite.
+    #[must_use]
+    pub fn with_flight_window(self, window: f64) -> Self {
+        self.with_flight(FlightConfig::new(window))
+    }
+
     /// Build a mesh configuration carrying these options.
     pub(crate) fn mesh_config(&self, rows: usize, cols: usize) -> MeshConfig {
-        MeshConfig::new(rows, cols)
+        let mut config = MeshConfig::new(rows, cols)
             .with_trace(self.trace)
             .with_threads(self.threads)
-            .with_recorder(self.recorder.clone())
+            .with_recorder(self.recorder.clone());
+        if let Some(flight) = self.flight {
+            config = config.with_flight(flight);
+        }
+        config
     }
-}
-
-/// Outcome of a simulated compression run.
-#[deprecated(note = "use `ceresz_wse::execute`, which returns a `StrategyRun`")]
-#[derive(Debug)]
-pub struct SimulatedRun {
-    /// The compressed stream (bit-identical to the host reference).
-    pub compressed: Compressed,
-    /// Simulator statistics; `finish_cycle` is the runtime measure.
-    pub stats: SimStats,
-    /// The strategy that produced it.
-    pub strategy: MappingStrategy,
-}
-
-#[allow(deprecated)]
-impl SimulatedRun {
-    /// Compression throughput in GB/s at the CS-2 clock.
-    #[must_use]
-    pub fn throughput_gbps(&self) -> f64 {
-        self.stats
-            .throughput_gbps(self.compressed.stats.original_bytes, wse_sim::CLOCK_HZ)
-    }
-}
-
-/// A [`SimulatedRun`] plus the full simulator report (timeline, per-stage
-/// cycle attribution, per-PE counters) and the compression plan the run
-/// executed, when the strategy builds one.
-#[deprecated(note = "use `ceresz_wse::execute`, which returns a `StrategyRun`")]
-#[allow(deprecated)]
-pub struct ProfiledRun {
-    /// The compressed output and headline statistics.
-    pub run: SimulatedRun,
-    /// The complete simulator report for the run.
-    pub report: RunReport,
-    /// The stage plan (pipeline strategies only).
-    pub plan: Option<CompressionPlan>,
 }
 
 /// Build the static [`wse_verify::MappingManifest`] the given strategy
@@ -182,40 +171,6 @@ pub fn mapping_manifest(
     );
     strategy.map(&mut mesh, data, cfg)?;
     Ok(mesh.into_parts().1)
-}
-
-/// Simulate CereSZ compression of `data` with the given strategy.
-#[deprecated(note = "use `ceresz_wse::execute`")]
-#[allow(deprecated)]
-pub fn simulate_compression(
-    data: &[f32],
-    cfg: &CereszConfig,
-    strategy: MappingStrategy,
-) -> Result<SimulatedRun, WseError> {
-    simulate_compression_with(data, cfg, strategy, &SimOptions::default()).map(|p| p.run)
-}
-
-/// [`simulate_compression`] with observability options; returns the full
-/// simulator report (and plan) alongside the run so callers can build
-/// profiles and traces.
-#[deprecated(note = "use `ceresz_wse::execute`")]
-#[allow(deprecated)]
-pub fn simulate_compression_with(
-    data: &[f32],
-    cfg: &CereszConfig,
-    strategy: MappingStrategy,
-    options: &SimOptions,
-) -> Result<ProfiledRun, WseError> {
-    let run = execute(strategy, data, cfg, options)?;
-    Ok(ProfiledRun {
-        run: SimulatedRun {
-            compressed: run.compressed,
-            stats: run.stats,
-            strategy,
-        },
-        report: run.report,
-        plan: run.plan,
-    })
 }
 
 #[cfg(test)]
@@ -439,22 +394,16 @@ mod tests {
         let f = SimOptions::default().without_verify().with_profiling(true);
         assert!(!e.verify && !f.verify);
         assert!(e.trace && f.trace);
-    }
 
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_execute() {
-        let data: Vec<f32> = (0..32 * 6).map(|i| (i as f32 * 0.03).sin() * 5.0).collect();
-        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let strategy = StrategyKind::Pipeline {
-            rows: 2,
-            pipeline_length: 2,
-        };
-        let new = execute(strategy, &data, &cfg, &SimOptions::default()).unwrap();
-        let old = simulate_compression(&data, &cfg, strategy).unwrap();
-        assert_eq!(old.compressed.data, new.compressed.data);
-        assert_eq!(old.stats, new.stats);
-        assert_eq!(old.strategy, new.kind);
-        assert!((old.throughput_gbps() - new.throughput_gbps()).abs() < 1e-12);
+        // with_flight composes with the rest in any order.
+        let g = SimOptions::default()
+            .with_flight_window(512.0)
+            .with_threads(4);
+        let h = SimOptions::default()
+            .with_threads(4)
+            .with_flight_window(512.0);
+        assert_eq!(g.flight, h.flight);
+        assert_eq!(g.flight.unwrap().window, 512.0);
+        assert_eq!(g.threads, h.threads);
     }
 }

@@ -40,6 +40,7 @@ pub mod harness;
 pub mod kernels;
 pub mod mapping;
 pub mod multi_pipeline;
+pub mod observe;
 pub mod pipeline_map;
 pub mod profile;
 pub mod row_parallel;
@@ -48,10 +49,9 @@ pub mod throughput;
 pub mod wire;
 
 pub use engine::{mapping_manifest, MappingStrategy, SimOptions};
-#[allow(deprecated)]
-pub use engine::{simulate_compression, simulate_compression_with, ProfiledRun, SimulatedRun};
 pub use error::WseError;
 pub use mapping::MappedMesh;
+pub use observe::{observe, ObserveReport};
 pub use profile::{
     build_report, profile_compression, profile_compression_with, CompressionProfile,
 };

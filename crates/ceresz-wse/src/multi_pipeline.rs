@@ -12,14 +12,13 @@
 //! ends at head `P−1−j` (the first-injected block travels furthest).
 
 use ceresz_core::block::BlockCodec;
-use ceresz_core::compressor::{CereszConfig, Compressed};
+use ceresz_core::compressor::CereszConfig;
 use ceresz_core::plan::{CompressionPlan, StageCostModel, SubStageKind};
 use ceresz_core::stream::StreamHeader;
-use wse_sim::{Color, Direction, PeId, PeProgram, SimError, SimStats, TaskCtx, TaskId};
+use wse_sim::{Color, Direction, PeId, PeProgram, SimError, TaskCtx, TaskId};
 
-use crate::engine::SimOptions;
 use crate::mapping::MappedMesh;
-use crate::strategy::{execute, MapOutcome, StrategyKind};
+use crate::strategy::MapOutcome;
 
 use crate::error::WseError;
 use crate::harness::{
@@ -102,53 +101,6 @@ impl PeProgram for HeadPe {
         }
         Ok(())
     }
-}
-
-/// Result of a simulated multi-pipeline run.
-#[deprecated(note = "use `ceresz_wse::execute`, which returns a `StrategyRun`")]
-#[derive(Debug)]
-pub struct MultiPipelineRun {
-    /// The compressed stream (bit-identical to the host reference).
-    pub compressed: Compressed,
-    /// Simulator statistics.
-    pub stats: SimStats,
-    /// Pipelines per row.
-    pub pipelines_per_row: usize,
-    /// The executed plan.
-    pub plan: CompressionPlan,
-}
-
-#[allow(deprecated)]
-impl MultiPipelineRun {
-    /// Compression throughput in GB/s at the CS-2 clock.
-    #[must_use]
-    pub fn throughput_gbps(&self) -> f64 {
-        self.stats
-            .throughput_gbps(self.compressed.stats.original_bytes, wse_sim::CLOCK_HZ)
-    }
-}
-
-/// Run CereSZ compression with strategy 3: `pipelines_per_row` pipelines of
-/// `pipeline_length` PEs in each of `rows` rows
-/// (`cols = pipelines_per_row · pipeline_length`).
-#[deprecated(note = "use `ceresz_wse::execute` with `StrategyKind::MultiPipeline`")]
-#[allow(deprecated)]
-pub fn run_multi_pipeline(
-    data: &[f32],
-    cfg: &CereszConfig,
-    rows: usize,
-    pipeline_length: usize,
-    pipelines_per_row: usize,
-) -> Result<MultiPipelineRun, WseError> {
-    run_multi_pipeline_with(
-        data,
-        cfg,
-        rows,
-        pipeline_length,
-        pipelines_per_row,
-        &SimOptions::default(),
-    )
-    .map(|(run, _)| run)
 }
 
 /// Install the multi-pipeline mapping on `mesh`: relay routes, head/stage
@@ -275,41 +227,6 @@ pub(crate) fn map_multi_pipeline(
     })
 }
 
-/// [`run_multi_pipeline`] with observability options; also returns the full
-/// simulator report (timeline, per-stage cycle attribution).
-#[deprecated(note = "use `ceresz_wse::execute` with `StrategyKind::MultiPipeline`")]
-#[allow(deprecated)]
-pub fn run_multi_pipeline_with(
-    data: &[f32],
-    cfg: &CereszConfig,
-    rows: usize,
-    pipeline_length: usize,
-    pipelines_per_row: usize,
-    options: &SimOptions,
-) -> Result<(MultiPipelineRun, wse_sim::RunReport), WseError> {
-    let run = execute(
-        StrategyKind::MultiPipeline {
-            rows,
-            pipeline_length,
-            pipelines_per_row,
-        },
-        data,
-        cfg,
-        options,
-    )?;
-    Ok((
-        MultiPipelineRun {
-            compressed: run.compressed,
-            stats: run.stats,
-            pipelines_per_row,
-            plan: run
-                .plan
-                .expect("multi-pipeline strategy always builds a plan"),
-        },
-        run.report,
-    ))
-}
-
 /// Install PEs 1..len of a pipeline (the non-head stages).
 #[allow(clippy::too_many_arguments)]
 fn install_tail_stages(
@@ -376,6 +293,8 @@ fn install_tail_stages(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::SimOptions;
+    use crate::strategy::{execute, StrategyKind};
     use ceresz_core::{compress, ErrorBound};
 
     fn wavy(n: usize) -> Vec<f32> {
@@ -450,17 +369,5 @@ mod tests {
         // Twice the pipelines roughly halves compute but adds relay: still
         // a clear net win at these sizes.
         assert!(p4.stats.finish_cycle < p2.stats.finish_cycle);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_execute() {
-        let data = wavy(32 * 12);
-        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let new = multi_pipeline(&data, &cfg, 2, 2, 2).unwrap();
-        let old = run_multi_pipeline(&data, &cfg, 2, 2, 2).unwrap();
-        assert_eq!(old.compressed.data, new.compressed.data);
-        assert_eq!(old.stats, new.stats);
-        assert_eq!(old.pipelines_per_row, 2);
     }
 }

@@ -7,14 +7,13 @@
 //! the sampled plan missed and emits the encoded block.
 
 use ceresz_core::block::BlockCodec;
-use ceresz_core::compressor::{CereszConfig, CompressError, Compressed};
+use ceresz_core::compressor::{CereszConfig, CompressError};
 use ceresz_core::plan::{CompressionPlan, StageCostModel, SubStageKind};
 use ceresz_core::stream::StreamHeader;
-use wse_sim::{Color, Direction, PeId, PeProgram, SimError, SimStats, TaskCtx, TaskId};
+use wse_sim::{Color, Direction, PeId, PeProgram, SimError, TaskCtx, TaskId};
 
-use crate::engine::SimOptions;
 use crate::mapping::MappedMesh;
-use crate::strategy::{execute, MapOutcome, StrategyKind};
+use crate::strategy::MapOutcome;
 
 use crate::error::WseError;
 use crate::harness::{
@@ -129,30 +128,6 @@ pub(crate) fn tail_stage_pe(
     })
 }
 
-/// Result of a simulated pipeline run.
-#[deprecated(note = "use `ceresz_wse::execute`, which returns a `StrategyRun`")]
-#[derive(Debug)]
-pub struct PipelineRun {
-    /// The compressed stream (bit-identical to the host reference).
-    pub compressed: Compressed,
-    /// Simulator statistics.
-    pub stats: SimStats,
-    /// The plan that was executed.
-    pub plan: CompressionPlan,
-    /// Rows used.
-    pub rows: usize,
-}
-
-#[allow(deprecated)]
-impl PipelineRun {
-    /// Compression throughput in GB/s at the CS-2 clock.
-    #[must_use]
-    pub fn throughput_gbps(&self) -> f64 {
-        self.stats
-            .throughput_gbps(self.compressed.stats.original_bytes, wse_sim::CLOCK_HZ)
-    }
-}
-
 /// Configure the PEs and routing of one pipeline in `row`, starting at
 /// column `start_col`, processing `count` blocks, declaring every channel
 /// and working set in the mesh's manifest. Shared with the multi-pipeline
@@ -215,19 +190,6 @@ pub(crate) fn build_pipeline(
     }
 }
 
-/// Run CereSZ compression with strategy 2: one pipeline of `pipeline_length`
-/// PEs per row, over `rows` rows.
-#[deprecated(note = "use `ceresz_wse::execute` with `StrategyKind::Pipeline`")]
-#[allow(deprecated)]
-pub fn run_pipeline(
-    data: &[f32],
-    cfg: &CereszConfig,
-    rows: usize,
-    pipeline_length: usize,
-) -> Result<PipelineRun, WseError> {
-    run_pipeline_with(data, cfg, rows, pipeline_length, &SimOptions::default()).map(|(run, _)| run)
-}
-
 /// Install the pipeline mapping on `mesh`: one pipeline of
 /// `pipeline_length` PEs per row running the sampled stage plan, blocks
 /// dealt round-robin over rows. Block `b` surfaces as emission `b / rows`
@@ -278,42 +240,11 @@ pub(crate) fn map_pipeline(
     })
 }
 
-/// [`run_pipeline`] with observability options; also returns the full
-/// simulator report (task timeline when `options.trace` is set, per-stage
-/// cycle attribution when `options.recorder` is enabled — the per-PE Gantt
-/// view the `trace_pipeline` bench renders comes from the report's trace).
-#[deprecated(note = "use `ceresz_wse::execute` with `StrategyKind::Pipeline`")]
-#[allow(deprecated)]
-pub fn run_pipeline_with(
-    data: &[f32],
-    cfg: &CereszConfig,
-    rows: usize,
-    pipeline_length: usize,
-    options: &SimOptions,
-) -> Result<(PipelineRun, wse_sim::RunReport), WseError> {
-    let run = execute(
-        StrategyKind::Pipeline {
-            rows,
-            pipeline_length,
-        },
-        data,
-        cfg,
-        options,
-    )?;
-    Ok((
-        PipelineRun {
-            compressed: run.compressed,
-            stats: run.stats,
-            plan: run.plan.expect("pipeline strategy always builds a plan"),
-            rows,
-        },
-        run.report,
-    ))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::SimOptions;
+    use crate::strategy::{execute, StrategyKind};
     use ceresz_core::{compress, ErrorBound};
 
     fn wavy(n: usize) -> Vec<f32> {
@@ -395,17 +326,5 @@ mod tests {
         let reference = compress(&data, &cfg).unwrap();
         let run = pipeline(&data, &cfg, 1, 12).unwrap();
         assert_eq!(run.compressed.data, reference.data);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_execute() {
-        let data = wavy(32 * 10);
-        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let new = pipeline(&data, &cfg, 2, 3).unwrap();
-        let old = run_pipeline(&data, &cfg, 2, 3).unwrap();
-        assert_eq!(old.compressed.data, new.compressed.data);
-        assert_eq!(old.stats, new.stats);
-        assert_eq!(old.plan.groups, new.plan.unwrap().groups);
     }
 }

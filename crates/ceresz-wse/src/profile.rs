@@ -60,14 +60,20 @@ pub fn profile_compression_with(
         .with_trace(true)
         .with_recorder(recorder.clone());
     let run = {
-        let _span = recorder.wall_span("simulate_compression");
+        let _span = recorder.wall_span("execute_strategy");
         execute(strategy, data, cfg, &options)?
     };
 
     let report = build_report(strategy, cfg.block_size, &run.report, run.plan.as_ref());
-    let trace = run
+    let mut trace = run
         .report
         .chrome_trace(&format!("ceresz {}", strategy.name()));
+    if let Some(flight) = run.report.flight() {
+        // Flight-recorder tracks ride along in the same document: mesh-wide
+        // compute/stall cycles per window as Perfetto counter series under
+        // the run's process (pid 1, matching Trace::chrome_trace).
+        flight.add_counter_tracks(&mut trace, 1);
+    }
 
     Ok(CompressionProfile {
         run,
@@ -260,6 +266,31 @@ mod tests {
             .snapshot
             .spans
             .iter()
-            .any(|s| s.name == "simulate_compression"));
+            .any(|s| s.name == "execute_strategy"));
+    }
+
+    #[test]
+    fn flight_sampling_adds_counter_tracks_to_the_trace() {
+        let data = wavy(32 * 8);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-2));
+        let strategy = MappingStrategy::Pipeline {
+            rows: 1,
+            pipeline_length: 2,
+        };
+        let options = SimOptions::default().with_flight_window(64.0);
+        let profile = profile_compression_with(&data, &cfg, strategy, &options).unwrap();
+        assert!(profile.trace.counter_count() > 0);
+        let doc = profile.trace.to_json();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(events.iter().any(|e| {
+            e.get("ph").unwrap().as_str() == Some("C")
+                && e.get("name")
+                    .unwrap()
+                    .as_str()
+                    .is_some_and(|n| n.starts_with("flight:"))
+        }));
+        // Without sampling there are no counter tracks.
+        let plain = profile_compression(&data, &cfg, strategy).unwrap();
+        assert_eq!(plain.trace.counter_count(), 0);
     }
 }

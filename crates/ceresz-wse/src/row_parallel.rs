@@ -6,14 +6,13 @@
 //! experiment behind Fig. 7.
 
 use ceresz_core::block::BlockCodec;
-use ceresz_core::compressor::{CereszConfig, CompressError, Compressed};
+use ceresz_core::compressor::{CereszConfig, CompressError};
 use ceresz_core::plan::{self, StageCostModel, SubStageKind};
 use ceresz_core::stream::StreamHeader;
-use wse_sim::{PeId, PeProgram, SimError, SimStats, TaskCtx, TaskId};
+use wse_sim::{PeId, PeProgram, SimError, TaskCtx, TaskId};
 
-use crate::engine::SimOptions;
 use crate::mapping::MappedMesh;
-use crate::strategy::{execute, MapOutcome, StrategyKind};
+use crate::strategy::MapOutcome;
 
 use crate::harness::{
     colors, emit_encoded, parse_raw_block, raw_block_wavelets, split_blocks, tasks,
@@ -75,44 +74,6 @@ pub(crate) fn kernel_error(pe: PeId, e: CompressError) -> SimError {
 
 use crate::error::WseError;
 
-/// Result of a simulated row-parallel run.
-#[deprecated(note = "use `ceresz_wse::execute`, which returns a `StrategyRun`")]
-#[derive(Debug)]
-pub struct RowParallelRun {
-    /// The compressed stream (bit-identical to the host reference).
-    pub compressed: Compressed,
-    /// Simulator statistics; `stats.finish_cycle` is the paper's runtime
-    /// measure (cycles until the last PE finished).
-    pub stats: SimStats,
-    /// Rows used.
-    pub rows: usize,
-}
-
-#[allow(deprecated)]
-impl RowParallelRun {
-    /// Compression throughput in GB/s at the CS-2 clock.
-    #[must_use]
-    pub fn throughput_gbps(&self) -> f64 {
-        self.stats
-            .throughput_gbps(self.compressed.stats.original_bytes, wse_sim::CLOCK_HZ)
-    }
-}
-
-/// Run CereSZ compression with strategy 1 on `rows` simulated PE rows.
-///
-/// Input blocks stream into each row's first PE back-to-back (the paper
-/// "keeps flowing data blocks to each row"). Returns the compressed stream
-/// and cycle statistics.
-#[deprecated(note = "use `ceresz_wse::execute` with `StrategyKind::RowParallel`")]
-#[allow(deprecated)]
-pub fn run_row_parallel(
-    data: &[f32],
-    cfg: &CereszConfig,
-    rows: usize,
-) -> Result<RowParallelRun, WseError> {
-    run_row_parallel_with(data, cfg, rows, &SimOptions::default()).map(|(run, _)| run)
-}
-
 /// Install the row-parallel mapping on `mesh`: the whole-block compressor
 /// program and its receive on each row's first PE, blocks dealt round-robin.
 /// Block `b` surfaces as emission `b / rows` of `PE(b % rows, 0)`.
@@ -169,30 +130,11 @@ pub(crate) fn map_row_parallel(
     })
 }
 
-/// [`run_row_parallel`] with observability options; also returns the full
-/// simulator report (timeline, per-stage cycle attribution).
-#[deprecated(note = "use `ceresz_wse::execute` with `StrategyKind::RowParallel`")]
-#[allow(deprecated)]
-pub fn run_row_parallel_with(
-    data: &[f32],
-    cfg: &CereszConfig,
-    rows: usize,
-    options: &SimOptions,
-) -> Result<(RowParallelRun, wse_sim::RunReport), WseError> {
-    let run = execute(StrategyKind::RowParallel { rows }, data, cfg, options)?;
-    Ok((
-        RowParallelRun {
-            compressed: run.compressed,
-            stats: run.stats,
-            rows,
-        },
-        run.report,
-    ))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::SimOptions;
+    use crate::strategy::{execute, StrategyKind};
     use ceresz_core::compressor::decompress_bytes;
     use ceresz_core::{compress, ErrorBound};
 
@@ -297,17 +239,5 @@ mod tests {
         let run = row_parallel(&data, &cfg, 8).unwrap();
         let reference = compress(&data, &cfg).unwrap();
         assert_eq!(run.compressed.data, reference.data);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_execute() {
-        let data = wavy(32 * 9);
-        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let new = row_parallel(&data, &cfg, 3).unwrap();
-        let old = run_row_parallel(&data, &cfg, 3).unwrap();
-        assert_eq!(old.compressed.data, new.compressed.data);
-        assert_eq!(old.stats, new.stats);
-        assert_eq!(old.rows, 3);
     }
 }

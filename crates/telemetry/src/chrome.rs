@@ -23,12 +23,22 @@ struct Slice {
     dur: f64,
 }
 
+/// One counter sample on a counter track.
+#[derive(Debug, Clone)]
+struct Counter {
+    pid: u64,
+    name: String,
+    ts: f64,
+    value: f64,
+}
+
 /// Builder for a Chrome-trace JSON document.
 #[derive(Debug, Default)]
 pub struct ChromeTrace {
     process_names: Vec<(u64, String)>,
     thread_names: Vec<(u64, u64, String)>,
     slices: Vec<Slice>,
+    counters: Vec<Counter>,
 }
 
 impl ChromeTrace {
@@ -69,10 +79,28 @@ impl ChromeTrace {
         });
     }
 
+    /// Add a counter (`ph: "C"`) sample. Samples sharing `name` within a
+    /// process form one counter track; the UI draws them as a step chart.
+    /// `ts` is in trace microseconds.
+    pub fn counter(&mut self, pid: u64, name: impl Into<String>, ts: f64, value: f64) {
+        self.counters.push(Counter {
+            pid,
+            name: name.into(),
+            ts,
+            value,
+        });
+    }
+
     /// Number of slices added so far.
     #[must_use]
     pub fn slice_count(&self) -> usize {
         self.slices.len()
+    }
+
+    /// Number of counter samples added so far.
+    #[must_use]
+    pub fn counter_count(&self) -> usize {
+        self.counters.len()
     }
 
     /// Build the `{"traceEvents": [...]}` document.
@@ -107,6 +135,15 @@ impl ChromeTrace {
                 ("tid", J::Num(s.tid as f64)),
                 ("ts", J::Num(s.ts)),
                 ("dur", J::Num(s.dur)),
+            ]));
+        }
+        for c in &self.counters {
+            events.push(J::obj(vec![
+                ("name", J::Str(c.name.clone())),
+                ("ph", J::Str("C".into())),
+                ("pid", J::Num(c.pid as f64)),
+                ("ts", J::Num(c.ts)),
+                ("args", J::obj(vec![("value", J::Num(c.value))])),
             ]));
         }
         J::obj(vec![
@@ -153,5 +190,35 @@ mod tests {
         assert_eq!(slices[0].get("dur").unwrap().as_f64(), Some(156.2));
         assert_eq!(slices[0].get("pid").unwrap().as_f64(), Some(1.0));
         assert_eq!(slices[0].get("tid").unwrap().as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn counter_events_carry_their_value() {
+        let mut t = ChromeTrace::new();
+        t.counter(1, "wavelets/window", 0.0, 12.0);
+        t.counter(1, "wavelets/window", 1024.0, 7.5);
+        assert_eq!(t.counter_count(), 2);
+
+        let doc = json::parse(&t.to_json().to_pretty()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let counters: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 2);
+        assert_eq!(
+            counters[0].get("name").unwrap().as_str(),
+            Some("wavelets/window")
+        );
+        assert_eq!(counters[1].get("ts").unwrap().as_f64(), Some(1024.0));
+        assert_eq!(
+            counters[1]
+                .get("args")
+                .unwrap()
+                .get("value")
+                .unwrap()
+                .as_f64(),
+            Some(7.5)
+        );
     }
 }

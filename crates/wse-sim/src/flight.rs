@@ -1,0 +1,781 @@
+//! The fabric flight recorder: per-PE and per-link time-series sampling
+//! with a stall-cause taxonomy.
+//!
+//! Whole-run counters ([`crate::SimStats`]) say *that* a mapping is slow;
+//! the flight recorder says *where* and *why*: which rows sit idle waiting
+//! for wavelets, which links serialize streams, which relay PEs spend their
+//! cycles backpressured. Sampling is windowed — every busy or stalled span
+//! is distributed over fixed-size cycle buckets — so the recording is a
+//! time-series per PE and per link, not just a total.
+//!
+//! ## Stall taxonomy
+//!
+//! Every attributed cycle falls into one of four causes:
+//!
+//! * **compute** — the processor was executing a task (`busy` series);
+//! * **send-backpressured** — a stream this PE forwarded was delayed
+//!   because an outgoing link was still occupied by an earlier stream;
+//! * **recv-waiting** — an input DSD was outstanding: the span from posting
+//!   the receive to the arrival of its last wavelet;
+//! * **ramp-blocked** — an activation was pending while the processor was
+//!   still busy with an earlier task (the wait in the activation queue).
+//!
+//! The causes are attributions, not a partition of wall-clock: a PE can be
+//! recv-waiting on one color while computing on another task, exactly as on
+//! hardware.
+//!
+//! ## Determinism
+//!
+//! Samples are accumulated per shard by the thread that owns the shard and
+//! merged row-major after the join — the same floating-point addition order
+//! at any thread count — so a [`FlightRecording`] is bit-identical whether
+//! the run was serial or sharded. Recording never changes event timing, so
+//! the functional parts of a [`crate::RunReport`] are bit-identical with
+//! sampling on or off (pinned by `tests/determinism.rs`).
+
+use std::collections::BTreeMap;
+
+use telemetry::chrome::ChromeTrace;
+use telemetry::json::JsonValue;
+
+use crate::geom::PeId;
+
+/// Flight-recorder sampling configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlightConfig {
+    /// Cycles per sample window (time-series bucket). Smaller windows give
+    /// finer time resolution at proportionally more memory per PE.
+    pub window: f64,
+}
+
+impl FlightConfig {
+    /// Default sampling window in cycles.
+    pub const DEFAULT_WINDOW: f64 = 1024.0;
+
+    /// Config with the given sampling window.
+    ///
+    /// # Panics
+    /// If `window` is not positive and finite.
+    #[must_use]
+    pub fn new(window: f64) -> Self {
+        assert!(
+            window.is_finite() && window > 0.0,
+            "flight-recorder window must be positive and finite"
+        );
+        Self { window }
+    }
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_WINDOW)
+    }
+}
+
+/// The non-compute stall causes of the taxonomy (compute itself is the
+/// `busy` series).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StallCause {
+    /// A forwarded stream waited for an occupied outgoing link.
+    SendBackpressure,
+    /// An input DSD was outstanding (posted but not yet completed).
+    RecvWaiting,
+    /// An activation waited for the processor to finish an earlier task.
+    RampBlocked,
+}
+
+impl StallCause {
+    /// All stall causes, in reporting order.
+    pub const ALL: [StallCause; 3] = [
+        StallCause::SendBackpressure,
+        StallCause::RecvWaiting,
+        StallCause::RampBlocked,
+    ];
+
+    /// Stable snake-case name used in reports and JSON keys.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StallCause::SendBackpressure => "send_backpressure",
+            StallCause::RecvWaiting => "recv_waiting",
+            StallCause::RampBlocked => "ramp_blocked",
+        }
+    }
+}
+
+/// Which per-PE series a heatmap or top-K query reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Compute (busy) cycles.
+    Busy,
+    /// One stall cause.
+    Stall(StallCause),
+    /// Sum of all three stall causes.
+    TotalStall,
+}
+
+impl Metric {
+    /// Stable name used in reports and for CLI parsing.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Busy => "busy",
+            Metric::Stall(c) => c.name(),
+            Metric::TotalStall => "stall",
+        }
+    }
+
+    /// Parse a metric name as printed by [`Metric::name`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Metric> {
+        match s {
+            "busy" | "compute" => Some(Metric::Busy),
+            "send_backpressure" | "send" => Some(Metric::Stall(StallCause::SendBackpressure)),
+            "recv_waiting" | "recv" => Some(Metric::Stall(StallCause::RecvWaiting)),
+            "ramp_blocked" | "ramp" => Some(Metric::Stall(StallCause::RampBlocked)),
+            "stall" => Some(Metric::TotalStall),
+            _ => None,
+        }
+    }
+}
+
+/// A windowed cycle series: bucket `i` holds the cycles that fell into
+/// `[i·window, (i+1)·window)`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Series {
+    buckets: Vec<f64>,
+}
+
+impl Series {
+    /// Distribute the span `[start, end)` over the buckets it overlaps.
+    fn add_span(&mut self, window: f64, start: f64, end: f64) {
+        // Rejects empty, inverted, and NaN spans alike.
+        if end.partial_cmp(&start) != Some(std::cmp::Ordering::Greater) {
+            return;
+        }
+        let first = (start / window) as usize;
+        // `ceil - 1` so a span ending exactly on a bucket boundary doesn't
+        // allocate the (empty) bucket it abuts.
+        let last = (((end / window).ceil() as usize).saturating_sub(1)).max(first);
+        if self.buckets.len() <= last {
+            self.buckets.resize(last + 1, 0.0);
+        }
+        for (i, bucket) in self.buckets[first..=last].iter_mut().enumerate() {
+            let b = (first + i) as f64;
+            let overlap = end.min((b + 1.0) * window) - start.max(b * window);
+            if overlap > 0.0 {
+                *bucket += overlap;
+            }
+        }
+    }
+
+    /// The per-window buckets, earliest first.
+    #[must_use]
+    pub fn buckets(&self) -> &[f64] {
+        &self.buckets
+    }
+
+    /// Sum over all buckets.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        // Fold from +0.0: an empty `Iterator::sum` yields -0.0, which would
+        // print as "-0" in the CSV/JSON artifacts.
+        self.buckets.iter().fold(0.0, |acc, v| acc + v)
+    }
+}
+
+/// Flight samples of one PE.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PeFlight {
+    /// Compute (busy) cycles per window.
+    pub busy: Series,
+    /// Send-backpressure stall cycles per window.
+    pub send_backpressure: Series,
+    /// Recv-waiting stall cycles per window.
+    pub recv_waiting: Series,
+    /// Ramp-blocked stall cycles per window.
+    pub ramp_blocked: Series,
+    /// High-watermark of wavelets buffered in this PE's inbox on any single
+    /// color (channel queue occupancy).
+    pub inbox_high_watermark: u64,
+}
+
+impl PeFlight {
+    /// The series of one stall cause.
+    #[must_use]
+    pub fn stall(&self, cause: StallCause) -> &Series {
+        match cause {
+            StallCause::SendBackpressure => &self.send_backpressure,
+            StallCause::RecvWaiting => &self.recv_waiting,
+            StallCause::RampBlocked => &self.ramp_blocked,
+        }
+    }
+
+    fn stall_mut(&mut self, cause: StallCause) -> &mut Series {
+        match cause {
+            StallCause::SendBackpressure => &mut self.send_backpressure,
+            StallCause::RecvWaiting => &mut self.recv_waiting,
+            StallCause::RampBlocked => &mut self.ramp_blocked,
+        }
+    }
+
+    /// Total cycles of `metric` over the whole run.
+    #[must_use]
+    pub fn metric_total(&self, metric: Metric) -> f64 {
+        match metric {
+            Metric::Busy => self.busy.total(),
+            Metric::Stall(c) => self.stall(c).total(),
+            Metric::TotalStall => StallCause::ALL.iter().map(|&c| self.stall(c).total()).sum(),
+        }
+    }
+}
+
+/// Flight samples of one fabric link.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinkFlight {
+    /// Cycles the link was occupied by a stream, per window.
+    pub occupancy: Series,
+    /// Wavelets that crossed the link.
+    pub wavelets: u64,
+    /// Streams that crossed the link.
+    pub streams: u64,
+    /// Total cycles streams were delayed waiting for this link.
+    pub backpressure_cycles: f64,
+}
+
+/// Per-shard sample accumulator: owned and written by exactly one worker
+/// thread during the run, merged row-major afterwards.
+#[derive(Debug)]
+pub(crate) struct FlightShard {
+    window: f64,
+    /// Per-column PE samples of this shard's row.
+    pub(crate) pes: Vec<PeFlight>,
+    /// Links *leaving* this shard's PEs (the links the shard owns).
+    pub(crate) links: BTreeMap<(PeId, PeId), LinkFlight>,
+}
+
+impl FlightShard {
+    pub(crate) fn new(window: f64, cols: usize) -> Self {
+        Self {
+            window,
+            pes: vec![PeFlight::default(); cols],
+            links: BTreeMap::new(),
+        }
+    }
+
+    /// Record a task execution span on column `col`.
+    pub(crate) fn on_busy(&mut self, col: usize, start: f64, end: f64) {
+        self.pes[col].busy.add_span(self.window, start, end);
+    }
+
+    /// Record a stall span of `cause` on column `col`.
+    pub(crate) fn on_stall(&mut self, col: usize, cause: StallCause, start: f64, end: f64) {
+        self.pes[col]
+            .stall_mut(cause)
+            .add_span(self.window, start, end);
+    }
+
+    /// Record a stream reserving `(from, to)` for `[start, start+n)` after
+    /// waiting `delay` cycles for the link, carrying `n` wavelets.
+    pub(crate) fn on_link(&mut self, from: PeId, to: PeId, start: f64, n: f64, delay: f64) {
+        let link = self.links.entry((from, to)).or_default();
+        link.occupancy.add_span(self.window, start, start + n);
+        link.wavelets += n as u64;
+        link.streams += 1;
+        link.backpressure_cycles += delay;
+    }
+
+    /// Record the inbox depth of column `col` after a delivery.
+    pub(crate) fn on_inbox_depth(&mut self, col: usize, depth: usize) {
+        let pe = &mut self.pes[col];
+        pe.inbox_high_watermark = pe.inbox_high_watermark.max(depth as u64);
+    }
+}
+
+/// A merged flight recording of a completed run: per-PE and per-link
+/// windowed time-series plus the derived reports (heatmaps, top-K
+/// congestion tables, stall breakdowns, export documents).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecording {
+    window: f64,
+    rows: usize,
+    cols: usize,
+    /// Row-major per-PE samples.
+    pes: Vec<PeFlight>,
+    links: BTreeMap<(PeId, PeId), LinkFlight>,
+}
+
+impl FlightRecording {
+    pub(crate) fn from_parts(
+        window: f64,
+        rows: usize,
+        cols: usize,
+        pes: Vec<PeFlight>,
+        links: BTreeMap<(PeId, PeId), LinkFlight>,
+    ) -> Self {
+        debug_assert_eq!(pes.len(), rows * cols);
+        Self {
+            window,
+            rows,
+            cols,
+            pes,
+            links,
+        }
+    }
+
+    /// Sampling window in cycles.
+    #[must_use]
+    pub fn window(&self) -> f64 {
+        self.window
+    }
+
+    /// Mesh shape `(rows, cols)`.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Samples of one PE.
+    #[must_use]
+    pub fn pe(&self, pe: PeId) -> &PeFlight {
+        &self.pes[pe.index(self.cols)]
+    }
+
+    /// All per-PE samples, row-major.
+    #[must_use]
+    pub fn pes(&self) -> &[PeFlight] {
+        &self.pes
+    }
+
+    /// All per-link samples, keyed `(from, to)` in row-major key order.
+    #[must_use]
+    pub fn links(&self) -> &BTreeMap<(PeId, PeId), LinkFlight> {
+        &self.links
+    }
+
+    /// Number of sample windows covering the run (longest series).
+    #[must_use]
+    pub fn bucket_count(&self) -> usize {
+        let pe_max = self
+            .pes
+            .iter()
+            .flat_map(|p| {
+                [
+                    p.busy.buckets().len(),
+                    p.send_backpressure.buckets().len(),
+                    p.recv_waiting.buckets().len(),
+                    p.ramp_blocked.buckets().len(),
+                ]
+            })
+            .max()
+            .unwrap_or(0);
+        let link_max = self
+            .links
+            .values()
+            .map(|l| l.occupancy.buckets().len())
+            .max()
+            .unwrap_or(0);
+        pe_max.max(link_max)
+    }
+
+    /// Whole-run stall breakdown: total cycles per taxonomy cause, plus
+    /// `compute` (busy cycles), summed over all PEs. Keys are the stable
+    /// snake-case names.
+    #[must_use]
+    pub fn stall_totals(&self) -> BTreeMap<&'static str, f64> {
+        let mut totals = BTreeMap::new();
+        totals.insert("compute", self.pes.iter().map(|p| p.busy.total()).sum());
+        for cause in StallCause::ALL {
+            totals.insert(
+                cause.name(),
+                self.pes.iter().map(|p| p.stall(cause).total()).sum(),
+            );
+        }
+        totals
+    }
+
+    /// Mesh-shaped totals of `metric`: `grid[row][col]` is the PE's cycles
+    /// over the whole run.
+    #[must_use]
+    pub fn heatmap(&self, metric: Metric) -> Vec<Vec<f64>> {
+        (0..self.rows)
+            .map(|r| {
+                (0..self.cols)
+                    .map(|c| self.pe(PeId::new(r, c)).metric_total(metric))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The `k` PEs with the highest `metric` totals, descending; ties break
+    /// row-major. PEs with a zero total are omitted.
+    #[must_use]
+    pub fn top_pes(&self, metric: Metric, k: usize) -> Vec<(PeId, f64)> {
+        let mut ranked: Vec<(PeId, f64)> = (0..self.rows)
+            .flat_map(|r| (0..self.cols).map(move |c| PeId::new(r, c)))
+            .map(|pe| (pe, self.pe(pe).metric_total(metric)))
+            .filter(|&(_, v)| v > 0.0)
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// The `k` most occupied links, by total occupancy cycles, descending;
+    /// ties break on the `(from, to)` key. Unused links never appear (only
+    /// links that carried a stream are recorded).
+    #[must_use]
+    pub fn top_links(&self, k: usize) -> Vec<((PeId, PeId), &LinkFlight)> {
+        let mut ranked: Vec<((PeId, PeId), &LinkFlight)> =
+            self.links.iter().map(|(&key, l)| (key, l)).collect();
+        ranked.sort_by(|a, b| {
+            b.1.occupancy
+                .total()
+                .total_cmp(&a.1.occupancy.total())
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Render the mesh-shaped totals of `metric` as an ASCII heatmap.
+    ///
+    /// Cells are shaded `.` (zero) through `@` (the mesh maximum) on a
+    /// ten-step ramp. Meshes wider or taller than `max_cols`/`max_rows`
+    /// character cells are downsampled by averaging rectangular PE tiles, so
+    /// a 750-column wafer still fits a terminal.
+    #[must_use]
+    pub fn ascii_heatmap(&self, metric: Metric, max_rows: usize, max_cols: usize) -> String {
+        const RAMP: &[u8] = b".:-=+*#%@";
+        let grid = self.heatmap(metric);
+        let (max_rows, max_cols) = (max_rows.max(1), max_cols.max(1));
+        let tile_r = self.rows.div_ceil(max_rows);
+        let tile_c = self.cols.div_ceil(max_cols);
+        let out_rows = self.rows.div_ceil(tile_r);
+        let out_cols = self.cols.div_ceil(tile_c);
+        let mut tiles = vec![vec![0.0f64; out_cols]; out_rows];
+        for (r, row) in grid.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                tiles[r / tile_r][c / tile_c] += v;
+            }
+        }
+        let per_tile = (tile_r * tile_c) as f64;
+        let max = tiles
+            .iter()
+            .flatten()
+            .fold(0.0f64, |acc, &v| acc.max(v / per_tile));
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} heatmap, {}x{} PEs ({} per cell), max {:.0} cycles:\n",
+            metric.name(),
+            self.rows,
+            self.cols,
+            tile_r * tile_c,
+            max
+        ));
+        for (r, tile_row) in tiles.iter().enumerate() {
+            out.push_str(&format!("{:>5} |", r * tile_r));
+            for &v in tile_row {
+                let v = v / per_tile;
+                let ch = if max <= 0.0 || v <= 0.0 {
+                    b'.'
+                } else {
+                    let level = ((v / max) * (RAMP.len() - 1) as f64).round() as usize;
+                    RAMP[level.min(RAMP.len() - 1)]
+                };
+                out.push(ch as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Export the recording as a mesh-shaped JSON document: run metadata,
+    /// per-metric total grids, per-metric windowed series (row-major PE
+    /// order), and the per-link table.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        use JsonValue as J;
+        let buckets = self.bucket_count();
+        let grid = |metric: Metric| {
+            J::Arr(
+                self.heatmap(metric)
+                    .into_iter()
+                    .map(|row| J::Arr(row.into_iter().map(J::Num).collect()))
+                    .collect(),
+            )
+        };
+        let series_of = |f: &dyn Fn(&PeFlight) -> &Series| {
+            J::Arr(
+                self.pes
+                    .iter()
+                    .map(|p| {
+                        let s = f(p).buckets();
+                        // Pad to the common bucket count so every PE's
+                        // series has the same length in the artifact.
+                        J::Arr(
+                            (0..buckets)
+                                .map(|i| J::Num(s.get(i).copied().unwrap_or(0.0)))
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        let totals = J::obj(vec![
+            ("busy", grid(Metric::Busy)),
+            (
+                "send_backpressure",
+                grid(Metric::Stall(StallCause::SendBackpressure)),
+            ),
+            ("recv_waiting", grid(Metric::Stall(StallCause::RecvWaiting))),
+            ("ramp_blocked", grid(Metric::Stall(StallCause::RampBlocked))),
+            (
+                "inbox_high_watermark",
+                J::Arr(
+                    (0..self.rows)
+                        .map(|r| {
+                            J::Arr(
+                                (0..self.cols)
+                                    .map(|c| {
+                                        J::Num(self.pe(PeId::new(r, c)).inbox_high_watermark as f64)
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        let series = J::obj(vec![
+            ("busy", series_of(&|p| &p.busy)),
+            ("send_backpressure", series_of(&|p| &p.send_backpressure)),
+            ("recv_waiting", series_of(&|p| &p.recv_waiting)),
+            ("ramp_blocked", series_of(&|p| &p.ramp_blocked)),
+        ]);
+        let links = J::Arr(
+            self.links
+                .iter()
+                .map(|(&(from, to), l)| {
+                    J::obj(vec![
+                        (
+                            "from",
+                            J::Arr(vec![J::Num(from.row as f64), J::Num(from.col as f64)]),
+                        ),
+                        (
+                            "to",
+                            J::Arr(vec![J::Num(to.row as f64), J::Num(to.col as f64)]),
+                        ),
+                        ("occupancy_cycles", J::Num(l.occupancy.total())),
+                        ("wavelets", J::Num(l.wavelets as f64)),
+                        ("streams", J::Num(l.streams as f64)),
+                        ("backpressure_cycles", J::Num(l.backpressure_cycles)),
+                    ])
+                })
+                .collect(),
+        );
+        J::obj(vec![
+            ("artifact", J::Str("ceresz-flight-recording".into())),
+            ("window_cycles", J::Num(self.window)),
+            ("rows", J::Num(self.rows as f64)),
+            ("cols", J::Num(self.cols as f64)),
+            ("buckets", J::Num(buckets as f64)),
+            ("pe_totals", totals),
+            ("pe_series", series),
+            ("links", links),
+        ])
+    }
+
+    /// Export the per-PE totals as a CSV table (one row per PE, row-major;
+    /// links are only in the JSON artifact).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "row,col,busy_cycles,send_backpressure_cycles,recv_waiting_cycles,\
+             ramp_blocked_cycles,inbox_high_watermark\n",
+        );
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let p = self.pe(PeId::new(r, c));
+                out.push_str(&format!(
+                    "{r},{c},{},{},{},{},{}\n",
+                    p.busy.total(),
+                    p.send_backpressure.total(),
+                    p.recv_waiting.total(),
+                    p.ramp_blocked.total(),
+                    p.inbox_high_watermark
+                ));
+            }
+        }
+        out
+    }
+
+    /// Add flight-recorder counter tracks to a Chrome/Perfetto trace
+    /// document: one counter series per taxonomy cause (plus compute),
+    /// each sample the mesh-wide cycles in that window.
+    pub fn add_counter_tracks(&self, trace: &mut ChromeTrace, pid: u64) {
+        let buckets = self.bucket_count();
+        let mut emit = |name: &str, f: &dyn Fn(&PeFlight) -> &Series| {
+            for i in 0..buckets {
+                let v: f64 = self
+                    .pes
+                    .iter()
+                    .map(|p| f(p).buckets().get(i).copied().unwrap_or(0.0))
+                    .sum();
+                trace.counter(pid, format!("flight: {name}"), i as f64 * self.window, v);
+            }
+        };
+        emit("compute cycles/window", &|p| &p.busy);
+        emit("send-backpressure cycles/window", &|p| &p.send_backpressure);
+        emit("recv-waiting cycles/window", &|p| &p.recv_waiting);
+        emit("ramp-blocked cycles/window", &|p| &p.ramp_blocked);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_distributes_over_buckets() {
+        let mut s = Series::default();
+        // Window 10: span [5, 25) → 5 cycles in bucket 0, 10 in 1, 5 in 2.
+        s.add_span(10.0, 5.0, 25.0);
+        assert_eq!(s.buckets(), &[5.0, 10.0, 5.0]);
+        assert_eq!(s.total(), 20.0);
+    }
+
+    #[test]
+    fn span_on_boundary_touches_one_bucket() {
+        let mut s = Series::default();
+        s.add_span(10.0, 10.0, 20.0);
+        assert_eq!(s.buckets(), &[0.0, 10.0]);
+    }
+
+    #[test]
+    fn empty_span_is_ignored() {
+        let mut s = Series::default();
+        s.add_span(10.0, 5.0, 5.0);
+        s.add_span(10.0, 7.0, 3.0);
+        assert!(s.buckets().is_empty());
+        assert_eq!(s.total(), 0.0);
+    }
+
+    fn recording_2x2() -> FlightRecording {
+        let mut a = FlightShard::new(10.0, 2);
+        a.on_busy(0, 0.0, 15.0);
+        a.on_stall(1, StallCause::RecvWaiting, 0.0, 5.0);
+        a.on_link(PeId::new(0, 0), PeId::new(0, 1), 2.0, 4.0, 1.5);
+        a.on_inbox_depth(1, 7);
+        let mut b = FlightShard::new(10.0, 2);
+        b.on_busy(1, 0.0, 30.0);
+        b.on_stall(0, StallCause::SendBackpressure, 3.0, 9.0);
+        let mut pes = a.pes;
+        pes.extend(b.pes);
+        let mut links = a.links;
+        links.extend(b.links);
+        FlightRecording::from_parts(10.0, 2, 2, pes, links)
+    }
+
+    #[test]
+    fn totals_and_topk_are_ranked() {
+        let rec = recording_2x2();
+        let totals = rec.stall_totals();
+        assert_eq!(totals["compute"], 45.0);
+        assert_eq!(totals["recv_waiting"], 5.0);
+        assert_eq!(totals["send_backpressure"], 6.0);
+        assert_eq!(totals["ramp_blocked"], 0.0);
+
+        let top = rec.top_pes(Metric::Busy, 5);
+        assert_eq!(top, vec![(PeId::new(1, 1), 30.0), (PeId::new(0, 0), 15.0)]);
+        let links = rec.top_links(5);
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].0, (PeId::new(0, 0), PeId::new(0, 1)));
+        assert_eq!(links[0].1.wavelets, 4);
+        assert_eq!(links[0].1.backpressure_cycles, 1.5);
+    }
+
+    #[test]
+    fn heatmap_shapes_match_mesh() {
+        let rec = recording_2x2();
+        let grid = rec.heatmap(Metric::TotalStall);
+        assert_eq!(grid, vec![vec![0.0, 5.0], vec![6.0, 0.0]]);
+        let ascii = rec.ascii_heatmap(Metric::Busy, 64, 64);
+        let lines: Vec<&str> = ascii.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 mesh rows
+        assert!(lines[0].starts_with("busy heatmap"));
+        assert!(lines[1].ends_with("+.")); // PE(0,0)=15 mid-ramp, PE(0,1)=0
+        assert!(lines[2].ends_with(".@")); // PE(1,1)=30 is the max
+    }
+
+    #[test]
+    fn ascii_heatmap_downsamples_wide_meshes() {
+        let pes = vec![PeFlight::default(); 4 * 100];
+        let rec = FlightRecording::from_parts(10.0, 4, 100, pes, BTreeMap::new());
+        let ascii = rec.ascii_heatmap(Metric::Busy, 2, 25);
+        let lines: Vec<&str> = ascii.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 downsampled rows
+        let cells = lines[1].split('|').nth(1).unwrap();
+        assert_eq!(cells.len(), 25);
+    }
+
+    #[test]
+    fn json_and_csv_exports_carry_the_grid() {
+        let rec = recording_2x2();
+        let doc = rec.to_json();
+        assert_eq!(doc.get("rows").unwrap().as_f64(), Some(2.0));
+        assert_eq!(doc.get("buckets").unwrap().as_f64(), Some(3.0));
+        let busy = doc.get("pe_totals").unwrap().get("busy").unwrap();
+        let row1 = busy.as_arr().unwrap()[1].as_arr().unwrap();
+        assert_eq!(row1[1].as_f64(), Some(30.0));
+        // The document round-trips through the workspace JSON parser.
+        let parsed = telemetry::json::parse(&doc.to_pretty()).unwrap();
+        assert_eq!(parsed, doc);
+
+        let csv = rec.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 5); // header + 4 PEs
+        assert_eq!(lines[2], "0,1,0,0,5,0,7");
+    }
+
+    #[test]
+    fn counter_tracks_sum_per_window() {
+        let rec = recording_2x2();
+        let mut trace = ChromeTrace::new();
+        rec.add_counter_tracks(&mut trace, 1);
+        let doc = trace.to_json();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let counters: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("C"))
+            .collect();
+        // 4 series × 3 windows.
+        assert_eq!(counters.len(), 12);
+        // First compute sample: both busy PEs overlap window 0 by 10 each.
+        let first = counters
+            .iter()
+            .find(|e| {
+                e.get("name").unwrap().as_str() == Some("flight: compute cycles/window")
+                    && e.get("ts").unwrap().as_f64() == Some(0.0)
+            })
+            .unwrap();
+        assert_eq!(
+            first.get("args").unwrap().get("value").unwrap().as_f64(),
+            Some(20.0)
+        );
+    }
+
+    #[test]
+    fn metric_names_round_trip() {
+        for m in [
+            Metric::Busy,
+            Metric::Stall(StallCause::SendBackpressure),
+            Metric::Stall(StallCause::RecvWaiting),
+            Metric::Stall(StallCause::RampBlocked),
+            Metric::TotalStall,
+        ] {
+            assert_eq!(Metric::parse(m.name()), Some(m));
+        }
+        assert_eq!(Metric::parse("nonsense"), None);
+    }
+}

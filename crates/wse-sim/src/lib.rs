@@ -78,6 +78,7 @@
 pub mod cost;
 pub mod error;
 pub mod fabric;
+pub mod flight;
 pub mod geom;
 pub mod memory;
 pub mod pe;
@@ -90,6 +91,7 @@ pub mod trace;
 pub use cost::{CostModel, Op};
 pub use error::{BlockedPe, BlockedRecv, SimError};
 pub use fabric::{Color, RouteRule, MAX_COLORS};
+pub use flight::{FlightConfig, FlightRecording, LinkFlight, Metric, PeFlight, Series, StallCause};
 pub use geom::{Direction, PeId};
 pub use memory::MemoryTracker;
 pub use program::{PeProgram, TaskCtx, TaskId};

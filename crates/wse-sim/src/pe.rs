@@ -12,6 +12,9 @@ use crate::stats::PeStats;
 pub(crate) struct PendingRecv {
     pub extent: usize,
     pub task: TaskId,
+    /// Cycle the receive was posted — the start of the recv-waiting stall
+    /// span the flight recorder attributes when the DSD completes.
+    pub posted_at: f64,
 }
 
 /// Runtime state of one PE.
@@ -49,8 +52,9 @@ impl PeState {
     }
 
     /// Try to satisfy the pending receive on `color` from the inbox.
-    /// Returns the task to activate if the DSD completed.
-    pub fn try_complete_recv(&mut self, color: Color) -> Option<TaskId> {
+    /// Returns the completed DSD (task to activate plus the cycle it was
+    /// posted at) if the receive is now satisfied.
+    pub fn try_complete_recv(&mut self, color: Color) -> Option<PendingRecv> {
         let pending = self.pending_recv.get(&color).copied()?;
         let inbox = self.inbox.entry(color).or_default();
         if inbox.len() < pending.extent {
@@ -63,6 +67,6 @@ impl PeState {
             prev.is_none(),
             "receive completed on {color} before the previous buffer was taken"
         );
-        Some(pending.task)
+        Some(pending)
     }
 }

@@ -40,6 +40,7 @@ use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 use crate::error::SimError;
 use crate::fabric::{Color, Fabric, Hop};
+use crate::flight::{FlightShard, StallCause};
 use crate::geom::{Direction, PeId};
 use crate::pe::{PeState, PendingRecv};
 use crate::program::{Effect, TaskCtx, TaskId};
@@ -150,6 +151,9 @@ pub(crate) struct Shard {
     /// Occupancy clock of links leaving this shard's PEs.
     links: HashMap<(PeId, PeId), f64>,
     pub(crate) trace: Trace,
+    /// Flight-recorder samples (present only when sampling is enabled; the
+    /// hooks below are no-ops otherwise, keeping the hot path clean).
+    pub(crate) flight: Option<FlightShard>,
     /// Per-column stage attribution (populated only with an enabled recorder).
     pub(crate) stage_cycles: Vec<BTreeMap<String, f64>>,
     /// Boundary messages produced this quantum (mailbox write side).
@@ -160,7 +164,13 @@ pub(crate) struct Shard {
 }
 
 impl Shard {
-    pub(crate) fn new(row: usize, cols: usize, pes: Vec<PeState>, seq0: u64) -> Self {
+    pub(crate) fn new(
+        row: usize,
+        cols: usize,
+        pes: Vec<PeState>,
+        seq0: u64,
+        flight_window: Option<f64>,
+    ) -> Self {
         debug_assert_eq!(pes.len(), cols);
         Self {
             row,
@@ -170,6 +180,7 @@ impl Shard {
             seq: seq0,
             links: HashMap::new(),
             trace: Trace::default(),
+            flight: flight_window.map(|w| FlightShard::new(w, cols)),
             stage_cycles: vec![BTreeMap::new(); cols],
             outbox: Vec::new(),
             finish: 0.0,
@@ -259,9 +270,24 @@ impl Shard {
                 let idx = self.local_index(pe)?;
                 let state = &mut self.pes[idx];
                 state.stats.wavelets_received += data.len() as u64;
-                state.inbox.entry(color).or_default().extend(data);
-                if let Some(task) = state.try_complete_recv(color) {
-                    self.push(time, EventKind::Activate { pe, task });
+                let queue = state.inbox.entry(color).or_default();
+                queue.extend(data);
+                let depth = queue.len();
+                if let Some(flight) = &mut self.flight {
+                    flight.on_inbox_depth(idx, depth);
+                }
+                let completed = self.pes[idx].try_complete_recv(color);
+                if let Some(pending) = completed {
+                    if let Some(flight) = &mut self.flight {
+                        flight.on_stall(idx, StallCause::RecvWaiting, pending.posted_at, time);
+                    }
+                    self.push(
+                        time,
+                        EventKind::Activate {
+                            pe,
+                            task: pending.task,
+                        },
+                    );
                 }
             }
             EventKind::Activate { pe, task } => {
@@ -270,6 +296,9 @@ impl Shard {
                 if busy_until > time {
                     // Processor occupied: retry when it frees up. Seq
                     // numbers keep same-time retries in FIFO order.
+                    if let Some(flight) = &mut self.flight {
+                        flight.on_stall(idx, StallCause::RampBlocked, time, busy_until);
+                    }
                     self.push(busy_until, EventKind::Activate { pe, task });
                 } else {
                     let end = self.run_task(idx, pe, task, time, ctx)?;
@@ -318,6 +347,14 @@ impl Shard {
             let free = self.links.get(&key).copied().unwrap_or(0.0);
             let link_start = head.max(free);
             self.links.insert(key, link_start + n);
+            if let Some(flight) = &mut self.flight {
+                // The wait for an occupied link is backpressure charged to
+                // the PE whose router holds the stream (the hop's source).
+                flight.on_link(hop.from, hop.to, link_start, n, link_start - head);
+                if link_start > head {
+                    flight.on_stall(hop.from.col, StallCause::SendBackpressure, head, link_start);
+                }
+            }
             head = link_start + 1.0; // per-hop latency for the head wavelet
         }
         let delivered = head + n; // last wavelet arrives n cycles after head
@@ -380,6 +417,9 @@ impl Shard {
             s.busy_cycles += end - start;
             s.tasks_run += 1;
             s.last_active = end;
+        }
+        if let Some(flight) = &mut self.flight {
+            flight.on_busy(idx, start, end);
         }
         if attribution {
             // Every busy cycle lands in exactly one stage: the labelled
@@ -445,11 +485,20 @@ impl Shard {
                         PendingRecv {
                             extent,
                             task: activate,
+                            posted_at: end,
                         },
                     );
                     assert!(prev.is_none(), "{pe} double-posted a receive on {color}");
-                    if let Some(t) = state.try_complete_recv(color) {
-                        self.push(end, EventKind::Activate { pe, task: t });
+                    // Satisfied immediately from the inbox: a zero-length
+                    // recv-wait, so no stall span to record.
+                    if let Some(pending) = state.try_complete_recv(color) {
+                        self.push(
+                            end,
+                            EventKind::Activate {
+                                pe,
+                                task: pending.task,
+                            },
+                        );
                     }
                 }
                 Effect::Activate { task } => {

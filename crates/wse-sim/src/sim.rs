@@ -15,6 +15,7 @@ use telemetry::Recorder;
 use crate::cost::CostModel;
 use crate::error::{BlockedPe, BlockedRecv, SimError};
 use crate::fabric::{Color, Fabric, RouteRule};
+use crate::flight::{FlightConfig, FlightRecording, LinkFlight, PeFlight};
 use crate::geom::{Direction, PeId};
 use crate::pe::{PeState, PendingRecv};
 use crate::program::{PeProgram, TaskId};
@@ -48,6 +49,10 @@ pub struct MeshConfig {
     /// serially, `0` means one per available core. The report is
     /// bit-identical at any setting; threads only change wall-clock time.
     pub threads: usize,
+    /// Flight-recorder sampling (off by default). Sampling is purely
+    /// observational: the functional report is bit-identical with it on or
+    /// off, and the recording itself is bit-identical at any thread count.
+    pub flight: Option<FlightConfig>,
 }
 
 impl MeshConfig {
@@ -64,6 +69,7 @@ impl MeshConfig {
             trace: false,
             recorder: Recorder::disabled(),
             threads: 1,
+            flight: None,
         }
     }
 
@@ -104,10 +110,26 @@ impl MeshConfig {
         self.recorder = recorder;
         self
     }
+
+    /// Enable the flight recorder with the given sampling config.
+    #[must_use]
+    pub fn with_flight(mut self, flight: FlightConfig) -> Self {
+        self.flight = Some(flight);
+        self
+    }
+
+    /// Enable the flight recorder with a `window`-cycle sampling window.
+    ///
+    /// # Panics
+    /// If `window` is not positive and finite.
+    #[must_use]
+    pub fn with_flight_window(self, window: f64) -> Self {
+        self.with_flight(FlightConfig::new(window))
+    }
 }
 
 /// Results of a completed run.
-#[derive(Debug, PartialEq)]
+#[derive(Debug)]
 pub struct RunReport {
     outputs: Vec<Vec<Vec<u32>>>,
     pe_stats: Vec<PeStats>,
@@ -117,6 +139,23 @@ pub struct RunReport {
     /// Per-PE busy cycles by kernel stage; empty maps unless the run had an
     /// enabled recorder.
     stage_cycles: Vec<BTreeMap<String, f64>>,
+    /// Flight recording; present only when sampling was enabled.
+    flight: Option<FlightRecording>,
+}
+
+/// Equality deliberately ignores the flight recording: enabling sampling
+/// must never change what a run *computed*, and the determinism suite pins
+/// exactly that by comparing reports across sampling settings. The
+/// recording has its own `PartialEq` for recording-vs-recording checks.
+impl PartialEq for RunReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.outputs == other.outputs
+            && self.pe_stats == other.pe_stats
+            && self.stats == other.stats
+            && self.cols == other.cols
+            && self.trace == other.trace
+            && self.stage_cycles == other.stage_cycles
+    }
 }
 
 impl RunReport {
@@ -183,6 +222,18 @@ impl RunReport {
     #[must_use]
     pub fn chrome_trace(&self, process_name: &str) -> telemetry::chrome::ChromeTrace {
         self.trace.chrome_trace(process_name, self.cols)
+    }
+
+    /// The flight recording, if sampling was enabled for the run.
+    #[must_use]
+    pub fn flight(&self) -> Option<&FlightRecording> {
+        self.flight.as_ref()
+    }
+
+    /// Take the flight recording out of the report.
+    #[must_use]
+    pub fn take_flight(&mut self) -> Option<FlightRecording> {
+        self.flight.take()
     }
 }
 
@@ -262,9 +313,14 @@ impl Simulator {
     /// Post an initial input DSD on `pe` before the run starts.
     pub fn post_recv(&mut self, pe: PeId, color: Color, extent: usize, task: TaskId) {
         let idx = self.pe_index(pe).expect("recv PE outside mesh");
-        let prev = self.pes[idx]
-            .pending_recv
-            .insert(color, PendingRecv { extent, task });
+        let prev = self.pes[idx].pending_recv.insert(
+            color,
+            PendingRecv {
+                extent,
+                task,
+                posted_at: 0.0,
+            },
+        );
         assert!(
             prev.is_none(),
             "{pe} already has a pending receive on {color}"
@@ -330,9 +386,18 @@ impl Simulator {
 
         // One shard per mesh row; each takes its row's PE states and starts
         // its sequence counter past every setup-time event.
+        let flight_window = self.config.flight.map(|f| f.window);
         let mut pe_iter = std::mem::take(&mut self.pes).into_iter();
         let mut shards: Vec<Shard> = (0..rows)
-            .map(|r| Shard::new(r, cols, pe_iter.by_ref().take(cols).collect(), self.seq))
+            .map(|r| {
+                Shard::new(
+                    r,
+                    cols,
+                    pe_iter.by_ref().take(cols).collect(),
+                    self.seq,
+                    flight_window,
+                )
+            })
             .collect();
 
         // Distribute setup-time events. A target row off the mesh is the
@@ -488,6 +553,20 @@ impl Simulator {
             events.extend(std::mem::take(&mut shard.trace).into_events());
         }
         events.sort_by(|a, b| a.start.total_cmp(&b.start));
+        // Flight merge, also row-major: PE series concatenate in PE order,
+        // and link maps union without key collisions (every link is owned by
+        // exactly the shard of its source row). Same fold order at any
+        // thread count ⇒ a bit-identical recording.
+        let flight = flight_window.map(|window| {
+            let mut flight_pes: Vec<PeFlight> = Vec::with_capacity(rows * cols);
+            let mut flight_links: BTreeMap<(PeId, PeId), LinkFlight> = BTreeMap::new();
+            for shard in &mut shards {
+                let fs = shard.flight.take().expect("sampling was enabled");
+                flight_pes.extend(fs.pes);
+                flight_links.extend(fs.links);
+            }
+            FlightRecording::from_parts(window, rows, cols, flight_pes, flight_links)
+        });
         Ok(RunReport {
             outputs,
             pe_stats,
@@ -495,6 +574,7 @@ impl Simulator {
             cols,
             trace: Trace::from_events(events),
             stage_cycles,
+            flight,
         })
     }
 }

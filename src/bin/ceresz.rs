@@ -11,6 +11,11 @@
 //!                   [--strategy row-parallel|pipeline|multi-pipeline]
 //!                   [--rows R] [--len L] [--pipelines P] [--limit N]
 //!                   [--threads T] [--out profile.json] [--trace-out trace.json]
+//! ceresz observe    [<in.f32>] [--rel L | --abs E] [--block N]
+//!                   [--strategy S --rows R --len L --pipelines P |
+//!                    --all-strategies] [--limit N] [--threads T]
+//!                   [--window W] [--top K] [--json-out h.json]
+//!                   [--csv-out h.csv]
 //! ceresz fuzz       [--seed N] [--cases M] [--no-shrink]
 //! ceresz lint       [--all-strategies | --strategy S --rows R --len L
 //!                    --pipelines P] [--rel L | --abs E] [--block N]
@@ -22,6 +27,14 @@
 //! machine-readable `profile.json` plus a Perfetto-loadable Chrome trace.
 //! `--threads T` shards the simulator over T worker threads (the report is
 //! bit-identical at any thread count).
+//!
+//! `observe` runs the flight recorder over a strategy (by default the
+//! 64×64-mesh multi-pipeline; `--all-strategies` sweeps all three on
+//! 64-row meshes) and prints the stall-attribution report, ASCII busy and
+//! stall heatmaps, and the top-K congested PEs and links. Without an input
+//! file a synthetic smooth signal sized to the mesh is used. `--window W`
+//! sets the sampling window in cycles; `--json-out`/`--csv-out` write the
+//! mesh-shaped heatmap artifacts.
 //!
 //! `lint` statically verifies the constructed mappings — routing soundness,
 //! color discipline, channel balance, SRAM budgets, task liveness — across
@@ -66,6 +79,12 @@ fn main() -> ExitCode {
                  [--strategy S] [--rows R] [--len L] [--pipelines P] [--limit N] \
                  [--threads T] [--out profile.json] [--trace-out trace.json]"
             );
+            eprintln!(
+                "  ceresz observe    [<in.f32>] [--rel L | --abs E] [--block N] \
+                 [--strategy S --rows R --len L --pipelines P | --all-strategies] \
+                 [--limit N] [--threads T] [--window W] [--top K] \
+                 [--json-out h.json] [--csv-out h.csv]"
+            );
             eprintln!("  ceresz fuzz       [--seed N] [--cases M] [--no-shrink] [--case-seed S]");
             eprintln!(
                 "  ceresz lint       [--all-strategies | --strategy S --rows R --len L \
@@ -83,6 +102,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("info") => cmd_info(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
+        Some("observe") => cmd_observe(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         Some(other) => Err(format!("unknown command '{other}'")),
@@ -122,6 +142,12 @@ struct Flags {
     threads: usize,
     out: Option<String>,
     trace_out: Option<String>,
+    /// `observe` options: sampling window in cycles (0 = recorder default).
+    window: f64,
+    /// Top-K table length in the observe report.
+    top: usize,
+    json_out: Option<String>,
+    csv_out: Option<String>,
     /// `fuzz` options.
     seed: u64,
     cases: u64,
@@ -147,6 +173,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         threads: 1,
         out: None,
         trace_out: None,
+        window: 0.0,
+        top: 8,
+        json_out: None,
+        csv_out: None,
         seed: 42,
         cases: 1000,
         no_shrink: false,
@@ -181,6 +211,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--threads" => f.threads = parse_usize(&value(&mut i)?, "--threads")?,
             "--out" => f.out = Some(value(&mut i)?),
             "--trace-out" => f.trace_out = Some(value(&mut i)?),
+            "--window" => f.window = parse_num(&value(&mut i)?, "--window")?,
+            "--top" => f.top = parse_usize(&value(&mut i)?, "--top")?,
+            "--json-out" => f.json_out = Some(value(&mut i)?),
+            "--csv-out" => f.csv_out = Some(value(&mut i)?),
             "--seed" => f.seed = parse_u64(&value(&mut i)?, "--seed")?,
             "--cases" => f.cases = parse_u64(&value(&mut i)?, "--cases")?,
             "--no-shrink" => {
@@ -354,6 +388,108 @@ fn ceresz_profile(
 ) -> Result<ceresz::wse::CompressionProfile, String> {
     let options = SimOptions::default().with_threads(threads.max(1));
     profile_compression_with(data, cfg, strategy, &options).map_err(|e| e.to_string())
+}
+
+/// The `--all-strategies` observation sweep: all three mappings on 64-row
+/// meshes, the pipelined two genuinely 64×64 (the acceptance shape).
+fn observe_sweep() -> Vec<MappingStrategy> {
+    vec![
+        MappingStrategy::RowParallel { rows: 64 },
+        MappingStrategy::Pipeline {
+            rows: 64,
+            pipeline_length: 64,
+        },
+        MappingStrategy::MultiPipeline {
+            rows: 64,
+            pipeline_length: 8,
+            pipelines_per_row: 8,
+        },
+    ]
+}
+
+/// Derive a per-strategy artifact path when one flag serves several runs:
+/// `heat.json` + `pipeline rows=64 len=64` → `heat.pipeline-rows-64-len-64.json`.
+fn suffixed(path: &str, strategy: MappingStrategy, many: bool) -> String {
+    if !many {
+        return path.to_owned();
+    }
+    let tag: String = strategy
+        .to_string()
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '-' })
+        .collect();
+    match path.rsplit_once('.') {
+        Some((stem, ext)) => format!("{stem}.{tag}.{ext}"),
+        None => format!("{path}.{tag}"),
+    }
+}
+
+fn cmd_observe(args: &[String]) -> Result<(), String> {
+    let f = parse_flags(args)?;
+    let strategies = if f.all_strategies {
+        observe_sweep()
+    } else if f.strategy_explicit {
+        vec![flag_strategy(&f)?]
+    } else {
+        // Default acceptance shape: the 64×64-mesh multi-pipeline.
+        vec![MappingStrategy::MultiPipeline {
+            rows: 64,
+            pipeline_length: 8,
+            pipelines_per_row: 8,
+        }]
+    };
+    let cfg = CereszConfig::new(f.bound).with_block_size(f.block);
+    let data = match f.positional.as_slice() {
+        [] => {
+            // Synthetic smooth signal: several blocks per row of the
+            // largest mesh, enough to surface pipeline contention.
+            let rows = strategies
+                .iter()
+                .map(|s| s.mesh_shape().0)
+                .max()
+                .unwrap_or(1);
+            (0..f.block * rows * 8)
+                .map(|i| (i as f32 * 0.017).sin() * 8.0 + (i as f32 * 0.0042).cos() * 3.0)
+                .collect()
+        }
+        [input] => {
+            let mut data = read_f32(input)?;
+            let total = data.len();
+            if f.limit > 0 && data.len() > f.limit {
+                data.truncate(f.limit);
+                println!(
+                    "observing the first {} of {total} values (raise with --limit N, 0 = all)",
+                    data.len()
+                );
+            }
+            data
+        }
+        other => return Err(format!("observe takes at most one input file: {other:?}")),
+    };
+    let mut options = SimOptions::default().with_threads(f.threads.max(1));
+    if f.window > 0.0 {
+        options = options.with_flight_window(f.window);
+    }
+    let many = strategies.len() > 1;
+    for (i, &strategy) in strategies.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        let report = ceresz::wse::observe(&strategy, &data, &cfg, &options)
+            .map_err(|e| format!("{strategy}: {e}"))?;
+        print!("{}", report.render(f.top, 32, 96));
+        if let Some(path) = &f.json_out {
+            let path = suffixed(path, strategy, many);
+            write_json(&path, &report.to_json())?;
+            println!("heatmap JSON written to {path}");
+        }
+        if let Some(path) = &f.csv_out {
+            let path = suffixed(path, strategy, many);
+            std::fs::write(&path, report.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("heatmap CSV written to {path}");
+        }
+    }
+    Ok(())
 }
 
 fn cmd_fuzz(args: &[String]) -> Result<(), String> {

@@ -102,6 +102,56 @@ fn info_reports_stream_metadata() {
 }
 
 #[test]
+fn observe_reports_congestion_and_writes_artifacts() {
+    let dir = tmpdir("observe");
+    let orig_path = dir.join("orig.f32");
+    let json_path = dir.join("heat.json");
+    let csv_path = dir.join("heat.csv");
+    let data: Vec<f32> = (0..32 * 64)
+        .map(|i| (i as f32 * 0.02).sin() * 5.0)
+        .collect();
+    write_f32(&orig_path, &data);
+
+    let out = Command::new(bin())
+        .args([
+            "observe",
+            orig_path.to_str().unwrap(),
+            "--strategy",
+            "pipeline",
+            "--rows",
+            "2",
+            "--len",
+            "4",
+            "--top",
+            "3",
+            "--window",
+            "256",
+            "--json-out",
+            json_path.to_str().unwrap(),
+            "--csv-out",
+            csv_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("stall attribution"), "{text}");
+    assert!(text.contains("busy heatmap"), "{text}");
+    assert!(text.contains("top 3 PEs by total stall cycles"), "{text}");
+    assert!(text.contains("top 3 links by occupancy cycles"), "{text}");
+
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"artifact\": \"ceresz-flight-recording\""));
+    let csv = std::fs::read_to_string(&csv_path).unwrap();
+    assert!(csv.starts_with("row,col,busy_cycles"));
+    assert_eq!(csv.lines().count(), 2 * 4 + 1); // header + one row per PE
+}
+
+#[test]
 fn bad_usage_fails_with_help() {
     let out = Command::new(bin()).args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());

@@ -89,6 +89,90 @@ fn every_strategy_is_thread_count_invariant() {
     }
 }
 
+/// Observability must be unobservable: enabling flight-recorder sampling
+/// changes neither the archive bytes nor the `RunReport` (whose equality
+/// deliberately excludes the recording itself), at every tested thread
+/// count, for every strategy.
+#[test]
+fn run_report_is_bit_identical_with_sampling_on_or_off() {
+    let data = wavy(32 * 48);
+    let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+    for kind in [
+        StrategyKind::RowParallel { rows: 4 },
+        StrategyKind::Pipeline {
+            rows: 2,
+            pipeline_length: 4,
+        },
+        StrategyKind::MultiPipeline {
+            rows: 4,
+            pipeline_length: 2,
+            pipelines_per_row: 3,
+        },
+    ] {
+        for threads in [1usize, 2, 8] {
+            let base = SimOptions::default().with_threads(threads);
+            let plain = execute(kind, &data, &cfg, &base).unwrap();
+            let sampled =
+                execute(kind, &data, &cfg, &base.clone().with_flight_window(512.0)).unwrap();
+            assert_eq!(
+                sampled.report, plain.report,
+                "{kind:?}: sampling changed the report at {threads} threads"
+            );
+            assert_eq!(
+                sampled.compressed.data, plain.compressed.data,
+                "{kind:?}: sampling changed the archive at {threads} threads"
+            );
+            assert!(plain.report.flight().is_none());
+            assert!(sampled.report.flight().is_some());
+            assert_eq!(
+                sampled.report.stats(),
+                plain.report.stats(),
+                "{kind:?}: sampling changed the stats at {threads} threads"
+            );
+        }
+    }
+}
+
+/// The recording itself is also thread-count invariant: per-PE series,
+/// link occupancy, watermarks, and stall attributions merge row-major in
+/// the same floating-point order regardless of sharding, so the whole
+/// `FlightRecording` compares equal at 1, 2, and 8 threads.
+#[test]
+fn flight_recording_is_thread_count_invariant() {
+    let kind = StrategyKind::MultiPipeline {
+        rows: 8,
+        pipeline_length: 4,
+        pipelines_per_row: 2,
+    };
+    let data = wavy(32 * 8 * 6);
+    let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+    let serial = execute(
+        kind,
+        &data,
+        &cfg,
+        &SimOptions::default().with_flight_window(256.0),
+    )
+    .unwrap();
+    let reference = serial.report.flight().unwrap();
+    assert!(reference.stall_totals()["compute"] > 0.0);
+    for threads in [2usize, 8] {
+        let sharded = execute(
+            kind,
+            &data,
+            &cfg,
+            &SimOptions::default()
+                .with_threads(threads)
+                .with_flight_window(256.0),
+        )
+        .unwrap();
+        assert_eq!(
+            sharded.report.flight().unwrap(),
+            reference,
+            "flight recording diverged at {threads} threads"
+        );
+    }
+}
+
 /// Cross-strategy conformance through the unified trait: driving all three
 /// strategies as `&dyn Strategy` produces archives byte-identical to the
 /// host reference and to one another.

@@ -1,0 +1,91 @@
+//! Golden-file tests for the flight-recorder exports: a small fixed mapping
+//! on a fixed input must reproduce the committed CSV grid and ASCII heatmap
+//! byte-for-byte. The exports are pure functions of the (bit-deterministic)
+//! recording, so any diff here is a real behavior change in the simulator's
+//! cycle accounting or in the export formatting — both worth a review.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! BLESS_GOLDEN=1 cargo test --test flight_golden
+//! ```
+
+use ceresz::core::{CereszConfig, ErrorBound};
+use ceresz::sim::{FlightRecording, Metric, StallCause};
+use ceresz::wse::{execute, SimOptions, StrategyKind};
+
+fn wavy(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| (i as f32 * 0.013).sin() * 10.0 + (i as f32 * 0.0031).cos() * 2.0)
+        .collect()
+}
+
+/// The fixed golden scenario: a 2-row, length-4 pipeline over 16 blocks,
+/// sampled with a 256-cycle window — small enough to eyeball, rich enough
+/// to exercise every stall cause except send-backpressure.
+fn run_golden() -> FlightRecording {
+    let data = wavy(32 * 16);
+    let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+    let kind = StrategyKind::Pipeline {
+        rows: 2,
+        pipeline_length: 4,
+    };
+    let mut run = execute(
+        kind,
+        &data,
+        &cfg,
+        &SimOptions::default().with_flight_window(256.0),
+    )
+    .unwrap();
+    run.report.take_flight().unwrap()
+}
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{}: {e}; bless with BLESS_GOLDEN=1", path.display()));
+    assert_eq!(
+        actual, expected,
+        "{name} diverged from golden; if intentional, regenerate with \
+         BLESS_GOLDEN=1 cargo test --test flight_golden"
+    );
+}
+
+#[test]
+fn csv_export_matches_golden() {
+    check_golden("flight_pipeline.csv", &run_golden().to_csv());
+}
+
+#[test]
+fn ascii_heatmaps_match_golden() {
+    let recording = run_golden();
+    let mut text = String::new();
+    for metric in [
+        Metric::Busy,
+        Metric::TotalStall,
+        Metric::Stall(StallCause::RecvWaiting),
+    ] {
+        text.push_str(&recording.ascii_heatmap(metric, 8, 80));
+        text.push('\n');
+    }
+    for (cause, cycles) in recording.stall_totals() {
+        text.push_str(&format!("{cause}: {cycles}\n"));
+    }
+    check_golden("flight_pipeline_heatmap.txt", &text);
+}
+
+#[test]
+fn json_export_matches_golden() {
+    check_golden("flight_pipeline.json", &run_golden().to_json().to_pretty());
+}
