@@ -4,35 +4,74 @@
 //! the serial one — the speedup table is only meaningful because the
 //! parallelism is unobservable.
 //!
-//! Results (measured wall seconds, speedups, and the host's available
-//! parallelism, which bounds what any thread count can deliver) are written
-//! to `BENCH_sim.json` at the workspace root, together with a
-//! `deterministic` block of cycle-exact metrics (finish cycle, busy cycles,
-//! task/wavelet counts, compressed size, and the flight recorder's
-//! stall-cause totals) that is identical on every host — wall seconds are
-//! noise on a loaded CI box, the deterministic block is not. The committed
-//! gate for those metrics is `BENCH_baseline.json` via the `perf_gate`
-//! binary; this file carries them alongside the wall numbers so one
-//! artifact shows both views of the same run.
+//! Results are written to `BENCH_sim.json` at the workspace root:
+//!
+//! * a `runs` table of wall seconds per thread count, recording both the
+//!   *requested* and the *effective* thread count (requests are clamped to
+//!   the host's available parallelism unless made exact, so `speedup` is
+//!   interpretable on a small CI box);
+//! * a `deterministic` block of tick-exact metrics (finish/busy ticks,
+//!   task/wavelet counts, compressed size, and the flight recorder's
+//!   stall-cause totals) that is identical on every host — wall seconds
+//!   are noise on a loaded CI box, the deterministic block is not (its
+//!   committed gate is `BENCH_baseline.json` via the `perf_gate` binary);
+//! * a `sparse` block comparing the discrete-event engine against the
+//!   cycle-stepped reference on an RTM-style zero-heavy workload, where
+//!   long event-free stretches are the norm and skipping them is the whole
+//!   point of the event queue. Both engines must produce bit-identical
+//!   reports; the event engine must not be slower.
 //!
 //! Run: `cargo bench -p ceresz-bench --bench sim_threads`
+//! CI smoke: `cargo bench -p ceresz-bench --bench sim_threads -- --sparse-only`
 
 use std::time::Instant;
 
 use ceresz_core::{CereszConfig, ErrorBound};
-use ceresz_wse::{execute, SimOptions, StrategyKind};
+use ceresz_wse::{execute, EngineMode, SimOptions, StrategyKind};
 use datasets::{generate_field, DatasetId};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
-fn main() {
-    // `cargo bench` passes harness flags (e.g. --bench) we don't use.
-    let kind = StrategyKind::MultiPipeline {
+/// The shared 128×128 scenario: 16 pipelines of length 8 per row.
+fn mesh_kind() -> StrategyKind {
+    StrategyKind::MultiPipeline {
         rows: 128,
         pipeline_length: 8,
         pipelines_per_row: 16,
-    };
+    }
+}
+
+/// RTM-style zero-heavy field: seismic wavefields are zero almost
+/// everywhere early in the simulation, with a sparse active front. One in
+/// sixteen blocks carries signal; the rest hit the zero fast path, so the
+/// mesh spends most cycles with no events anywhere — the workload the
+/// discrete-event core exists for.
+fn sparse_data(n_blocks: usize, block_size: usize) -> Vec<f32> {
+    let field = generate_field(DatasetId::QmcPack, 0, 2024);
+    let mut data = vec![0f32; n_blocks * block_size];
+    for b in (0..n_blocks).step_by(16) {
+        for i in 0..block_size {
+            data[b * block_size + i] = field.data[(b * block_size + i) % field.data.len()];
+        }
+    }
+    data
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sparse_only = args.iter().any(|a| a == "--sparse-only");
+
+    let kind = mesh_kind();
     assert_eq!(kind.mesh_shape(), (128, 128));
+    let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+    let host_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let sparse = run_sparse(kind, &cfg, host_parallelism);
+    if sparse_only {
+        println!("sparse smoke passed (event engine not slower, reports bit-identical)");
+        return;
+    }
+
     let field = generate_field(DatasetId::QmcPack, 0, 2024);
     // Two whole rounds per pipeline: 128 rows × 16 pipelines × 2.
     let n_blocks = 128 * 16 * 2;
@@ -43,8 +82,6 @@ fn main() {
         .cycle()
         .take(32 * n_blocks)
         .collect();
-    let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-    let host_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
 
     println!("sim_threads: {kind:?}, {n_blocks} blocks, host parallelism {host_parallelism}");
 
@@ -56,7 +93,8 @@ fn main() {
         // recording feeds the deterministic block below.
         let options = SimOptions::default()
             .with_threads(threads)
-            .with_flight_window(1024.0);
+            .with_flight_window(1024);
+        let effective = options.effective_threads();
         let t0 = Instant::now();
         let run = execute(kind, &data, &cfg, &options).expect("simulation runs");
         let seconds = t0.elapsed().as_secs_f64();
@@ -66,18 +104,23 @@ fn main() {
         };
         assert!(identical, "{threads}-thread report diverged from serial");
         let speedup = base_seconds / seconds;
-        println!("  threads {threads:>2}: {seconds:>7.3} s  speedup {speedup:.2}x  bit-identical");
+        println!(
+            "  threads {threads:>2} (effective {effective:>2}): {seconds:>7.3} s  \
+             speedup {speedup:.2}x  bit-identical"
+        );
         rows.push(format!(
-            "    {{ \"threads\": {threads}, \"wall_seconds\": {seconds:.4}, \
-             \"speedup_vs_serial\": {speedup:.3}, \"report_identical\": true }}"
+            "    {{ \"requested_threads\": {threads}, \"effective_threads\": {effective}, \
+             \"wall_seconds\": {seconds:.4}, \"speedup_vs_serial\": {speedup:.3}, \
+             \"report_identical\": true }}"
         ));
         if serial.is_none() {
             serial = Some((seconds, run));
         }
     }
 
-    // Cycle-exact metrics of the (bit-identical) run: the part of this
-    // artifact that must not move between hosts or thread counts.
+    // Tick-exact metrics of the (bit-identical) run: the part of this
+    // artifact that must not move between hosts or thread counts. Every
+    // value is an exact integer.
     let (_, serial_run) = serial.as_ref().expect("at least one run");
     let stats = &serial_run.stats;
     let flight = serial_run
@@ -88,15 +131,15 @@ fn main() {
         .stall_totals()
         .iter()
         .filter(|(cause, _)| **cause != "compute")
-        .map(|(cause, cycles)| format!("    \"stall_{cause}\": {cycles}"))
+        .map(|(cause, time)| format!("    \"stall_{cause}_ticks\": {}", time.ticks()))
         .collect();
     let deterministic = format!(
-        "  \"deterministic\": {{\n    \"finish_cycle\": {},\n    \
-         \"total_busy_cycles\": {},\n    \"total_tasks\": {},\n    \
+        "  \"deterministic\": {{\n    \"finish_ticks\": {},\n    \
+         \"total_busy_ticks\": {},\n    \"total_tasks\": {},\n    \
          \"total_wavelets\": {},\n    \"active_pes\": {},\n    \
          \"compressed_bytes\": {},\n{}\n  }}",
-        stats.finish_cycle,
-        stats.total_busy_cycles,
+        stats.finish_cycle.ticks(),
+        stats.total_busy_cycles.ticks(),
         stats.total_tasks,
         stats.total_wavelets,
         stats.active_pes,
@@ -108,13 +151,78 @@ fn main() {
         "{{\n  \"bench\": \"sim_threads\",\n  \"strategy\": \"{kind}\",\n  \
          \"mesh\": [128, 128],\n  \"blocks\": {n_blocks},\n  \
          \"host_parallelism\": {host_parallelism},\n  \
-         \"note\": \"speedup is bounded by host_parallelism; the determinism \
-         assertion (bit-identical RunReport at every thread count) holds \
-         regardless, and the deterministic block is cycle-exact on every \
-         host\",\n{deterministic},\n  \"runs\": [\n{}\n  ]\n}}\n",
+         \"ticks_per_cycle\": {},\n  \
+         \"note\": \"speedup is bounded by effective_threads (requests are \
+         clamped to host_parallelism); the determinism assertion \
+         (bit-identical RunReport at every thread count) holds regardless, \
+         and the deterministic block is tick-exact on every host\",\n\
+         {deterministic},\n  \"runs\": [\n{}\n  ],\n{sparse}\n}}\n",
+        wse_sim::TICKS_PER_CYCLE,
         rows.join(",\n")
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
     std::fs::write(out, &json).expect("write BENCH_sim.json");
     println!("wrote {out}");
+}
+
+/// The sparse engine comparison: event-driven vs cycle-stepped on the
+/// zero-heavy workload, plus the 1/2/8-thread bit-identity sweep for the
+/// event engine. Returns the formatted `"sparse"` JSON member.
+fn run_sparse(kind: StrategyKind, cfg: &CereszConfig, host_parallelism: usize) -> String {
+    // Three rounds per pipeline: 6144 blocks, 1-in-16 dense. Multiple
+    // rounds matter: queued blocks keep receives posted, which is what the
+    // cycle-stepped core must re-poll on every one of its idle cycles.
+    let n_blocks = 128 * 16 * 3;
+    let data = sparse_data(n_blocks, cfg.block_size);
+    println!(
+        "sparse (RTM-style zero-heavy): {n_blocks} blocks, 1-in-16 dense, \
+         host parallelism {host_parallelism}"
+    );
+
+    let time_engine = |engine: EngineMode| {
+        let options = SimOptions::default().with_engine(engine);
+        let t0 = Instant::now();
+        let run = execute(kind, &data, cfg, &options).expect("simulation runs");
+        (t0.elapsed().as_secs_f64(), run)
+    };
+    let (event_seconds, event_run) = time_engine(EngineMode::EventDriven);
+    let (stepped_seconds, stepped_run) = time_engine(EngineMode::CycleStepped);
+    assert_eq!(
+        event_run.report, stepped_run.report,
+        "event-driven report diverged from the cycle-stepped reference"
+    );
+    let speedup = stepped_seconds / event_seconds;
+    println!(
+        "  event-driven {event_seconds:>7.3} s vs cycle-stepped {stepped_seconds:>7.3} s: \
+         {speedup:.1}x, bit-identical"
+    );
+    assert!(
+        event_seconds <= stepped_seconds,
+        "event engine slower than cycle-stepped on the sparse workload \
+         ({event_seconds:.3}s vs {stepped_seconds:.3}s)"
+    );
+
+    // Thread sweep on the event engine: exact counts so the sweep exercises
+    // real sharding even on a 1-core host.
+    for threads in [1usize, 2, 8] {
+        let options = SimOptions::default().with_threads_exact(threads);
+        let run = execute(kind, &data, cfg, &options).expect("simulation runs");
+        assert_eq!(
+            run.report, event_run.report,
+            "sparse event-driven report diverged at {threads} threads"
+        );
+    }
+    println!("  event-driven bit-identical at 1/2/8 threads");
+
+    format!(
+        "  \"sparse\": {{\n    \"blocks\": {n_blocks},\n    \
+         \"dense_fraction\": 0.0625,\n    \
+         \"finish_ticks\": {},\n    \
+         \"event_driven_seconds\": {event_seconds:.4},\n    \
+         \"cycle_stepped_seconds\": {stepped_seconds:.4},\n    \
+         \"event_speedup\": {speedup:.2},\n    \
+         \"report_identical\": true,\n    \
+         \"thread_sweep_identical\": [1, 2, 8]\n  }}",
+        event_run.stats.finish_cycle.ticks()
+    )
 }

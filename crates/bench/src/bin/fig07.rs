@@ -38,14 +38,17 @@ fn main() {
             &SimOptions::default(),
         )
         .expect("simulation runs");
-        let seconds = run.stats.finish_cycle / wse_sim::CLOCK_HZ;
+        let seconds = run.stats.finish_cycle.cycles_f64() / wse_sim::CLOCK_HZ;
         let mbps = field.bytes() as f64 / seconds / 1e6;
         let base = *base_cycles.get_or_insert(run.stats.finish_cycle);
         t.row(&[
             rows.to_string(),
-            format!("{:.0}", run.stats.finish_cycle),
+            format!("{}", run.stats.finish_cycle),
             format!("{mbps:.1}"),
-            format!("{:.2}x", base / run.stats.finish_cycle),
+            format!(
+                "{:.2}x",
+                base.ticks() as f64 / run.stats.finish_cycle.ticks() as f64
+            ),
         ]);
     }
     t.sep();

@@ -32,7 +32,7 @@ fn main() {
     // One identical block per pipeline isolates the relay term: compute is
     // constant, so the finish-time growth is purely relay latency.
     let block = &data[..32];
-    let mut prev: Option<(usize, f64)> = None;
+    let mut prev: Option<(usize, wse_sim::Time)> = None;
     for p in [2usize, 4, 8, 16, 32] {
         let round: Vec<f32> = block.iter().copied().cycle().take(32 * p).collect();
         let run = execute(
@@ -49,13 +49,13 @@ fn main() {
         let finish = run.stats.finish_cycle;
         let delta = prev.map_or_else(
             || "-".into(),
-            |(pp, pf)| format!("{:.0}/col", (finish - pf) / (p - pp) as f64),
+            |(pp, pf)| format!("{:.0}/col", (finish - pf).cycles_f64() / (p - pp) as f64),
         );
         prev = Some((p, finish));
         let eq2 = model.relay_cycles_per_round(p);
         t.row(&[
             p.to_string(),
-            format!("{finish:.0}"),
+            format!("{finish}"),
             delta,
             format!("{eq2:.0}"),
         ]);
@@ -90,7 +90,7 @@ fn main() {
             &SimOptions::default(),
         )
         .expect("simulation runs");
-        let per_pe_per_block = run.stats.total_busy_cycles / (n_blocks * len as f64);
+        let per_pe_per_block = run.stats.total_busy_cycles.cycles_f64() / (n_blocks * len as f64);
         let plan = run.plan.as_ref().expect("pipeline strategy builds a plan");
         let c = *c_total.get_or_insert(plan.total_cycles);
         let eq3 = model.compute_cycles_per_round(c, len);

@@ -4,7 +4,7 @@
 //! ```text
 //! perf_gate [--baseline path]             # check (default): fail on drift
 //! perf_gate --update --reason "<why>"     # re-commit the baseline
-//! perf_gate --self-test                   # the gate must catch +1 cycle
+//! perf_gate --self-test                   # the gate must catch +1 tick
 //! ```
 //!
 //! Check mode re-runs the gated scenario suite (see
@@ -64,12 +64,12 @@ fn run() -> Result<(), String> {
         return run_self_test();
     }
 
-    println!("collecting cycle-exact metrics for the gated scenario suite...");
+    println!("collecting tick-exact metrics for the gated scenario suite...");
     let current = collect()?;
     for s in &current {
         println!(
-            "  {}: finish {} cycles, {} wavelets",
-            s.name, s.metrics["finish_cycle"], s.metrics["total_wavelets"]
+            "  {}: finish {} ticks, {} wavelets",
+            s.name, s.metrics["finish_ticks"], s.metrics["total_wavelets"]
         );
     }
 
@@ -117,18 +117,18 @@ fn run() -> Result<(), String> {
     }
 }
 
-/// Verify the gate end-to-end: a +1-cycle injection into an otherwise
+/// Verify the gate end-to-end: a +1-tick injection into an otherwise
 /// identical collection must be reported as exactly one drift.
 fn run_self_test() -> Result<(), String> {
-    println!("self-test: injecting a 1-cycle regression into a fresh collection...");
+    println!("self-test: injecting a 1-tick regression into a fresh collection...");
     let baseline = collect()?;
     let mut tampered = baseline.clone();
     *tampered[0]
         .metrics
-        .get_mut("finish_cycle")
-        .ok_or("collection has no finish_cycle metric")? += 1.0;
+        .get_mut("finish_ticks")
+        .ok_or("collection has no finish_ticks metric")? += 1;
     let drifts = compare(&baseline, &tampered);
-    if drifts.len() == 1 && drifts[0].metric == "finish_cycle" {
+    if drifts.len() == 1 && drifts[0].metric == "finish_ticks" {
         println!(
             "self-test PASSED: gate detected the injected regression: {}",
             drifts[0]
@@ -136,7 +136,7 @@ fn run_self_test() -> Result<(), String> {
         Ok(())
     } else {
         Err(format!(
-            "self-test FAILED: expected exactly one finish_cycle drift, got {drifts:?}"
+            "self-test FAILED: expected exactly one finish_ticks drift, got {drifts:?}"
         ))
     }
 }

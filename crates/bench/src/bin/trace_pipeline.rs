@@ -33,7 +33,10 @@ fn main() {
         println!("  PE {pe}: [{}]", names.join(", "));
     }
     println!();
-    let window = run.stats.finish_cycle.min(200_000.0);
+    let window = run
+        .stats
+        .finish_cycle
+        .min(wse_sim::Time::from_cycles(200_000));
     print!("{}", run.report.trace().gantt(window, 100));
     println!(
         "\nOnce the pipeline fills, all 4 PEs overlap on different blocks — \

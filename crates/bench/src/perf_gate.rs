@@ -28,14 +28,16 @@ use telemetry::json::JsonValue;
 /// Artifact tag identifying a baseline document.
 pub const BASELINE_ARTIFACT: &str = "ceresz-perf-baseline";
 
-/// Cycle-exact metrics of one gated scenario, in a deterministic key order.
-#[derive(Debug, Clone, PartialEq)]
+/// Tick-exact metrics of one gated scenario, in a deterministic key order.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScenarioMetrics {
     /// Scenario name (the strategy's display form).
     pub name: String,
-    /// Metric name → value. All values are exactly reproducible: cycle
-    /// counts, wavelet/task/byte counts, and flight-recorder stall totals.
-    pub metrics: BTreeMap<String, f64>,
+    /// Metric name → value. Every value is an exact integer: tick counts
+    /// (`*_ticks`), wavelet/task/byte counts, and flight-recorder stall
+    /// totals. Integers make the zero-tolerance comparison trivially exact
+    /// — no float equality, no epsilon to tune.
+    pub metrics: BTreeMap<String, u64>,
 }
 
 /// A metric that moved between baseline and current collection.
@@ -46,14 +48,14 @@ pub struct Drift {
     /// Which metric moved (or `<scenario>` for a missing/extra scenario).
     pub metric: String,
     /// Baseline value (`None` if the metric is new).
-    pub baseline: Option<f64>,
+    pub baseline: Option<u64>,
     /// Current value (`None` if the metric disappeared).
-    pub current: Option<f64>,
+    pub current: Option<u64>,
 }
 
 impl std::fmt::Display for Drift {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let show = |v: Option<f64>| v.map_or("<absent>".to_owned(), |v| format!("{v}"));
+        let show = |v: Option<u64>| v.map_or("<absent>".to_owned(), |v| format!("{v}"));
         write!(
             f,
             "{} / {}: baseline {} -> current {}",
@@ -105,27 +107,30 @@ pub fn gate_data(block_size: usize) -> Vec<f32> {
 pub fn collect() -> Result<Vec<ScenarioMetrics>, String> {
     let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
     let data = gate_data(cfg.block_size);
-    let options = SimOptions::default().with_flight_window(1024.0);
+    let options = SimOptions::default().with_flight_window(1024);
     gate_scenarios()
         .into_iter()
         .map(|kind| {
             let run = execute(kind, &data, &cfg, &options).map_err(|e| format!("{kind}: {e}"))?;
             let stats = &run.stats;
             let mut metrics = BTreeMap::new();
-            metrics.insert("finish_cycle".to_owned(), stats.finish_cycle);
-            metrics.insert("total_busy_cycles".to_owned(), stats.total_busy_cycles);
-            metrics.insert("total_tasks".to_owned(), stats.total_tasks as f64);
-            metrics.insert("total_wavelets".to_owned(), stats.total_wavelets as f64);
-            metrics.insert("active_pes".to_owned(), stats.active_pes as f64);
+            metrics.insert("finish_ticks".to_owned(), stats.finish_cycle.ticks());
+            metrics.insert(
+                "total_busy_ticks".to_owned(),
+                stats.total_busy_cycles.ticks(),
+            );
+            metrics.insert("total_tasks".to_owned(), stats.total_tasks);
+            metrics.insert("total_wavelets".to_owned(), stats.total_wavelets);
+            metrics.insert("active_pes".to_owned(), stats.active_pes as u64);
             metrics.insert(
                 "compressed_bytes".to_owned(),
-                run.compressed.data.len() as f64,
+                run.compressed.data.len() as u64,
             );
             let flight = run.report.flight().expect("sampling was enabled");
-            for (cause, cycles) in flight.stall_totals() {
+            for (cause, time) in flight.stall_totals() {
                 if cause != "compute" {
-                    // busy is already gated as total_busy_cycles.
-                    metrics.insert(format!("stall_{cause}"), cycles);
+                    // busy is already gated as total_busy_ticks.
+                    metrics.insert(format!("stall_{cause}_ticks"), time.ticks());
                 }
             }
             Ok(ScenarioMetrics {
@@ -142,7 +147,7 @@ pub fn collect() -> Result<Vec<ScenarioMetrics>, String> {
 #[must_use]
 pub fn compare(baseline: &[ScenarioMetrics], current: &[ScenarioMetrics]) -> Vec<Drift> {
     let mut drifts = Vec::new();
-    let by_name = |set: &[ScenarioMetrics]| -> BTreeMap<String, BTreeMap<String, f64>> {
+    let by_name = |set: &[ScenarioMetrics]| -> BTreeMap<String, BTreeMap<String, u64>> {
         set.iter()
             .map(|s| (s.name.clone(), s.metrics.clone()))
             .collect()
@@ -154,7 +159,7 @@ pub fn compare(baseline: &[ScenarioMetrics], current: &[ScenarioMetrics]) -> Vec
             drifts.push(Drift {
                 scenario: name.clone(),
                 metric: "<scenario>".to_owned(),
-                baseline: Some(f64::from(base_metrics.len() as u32)),
+                baseline: Some(base_metrics.len() as u64),
                 current: None,
             });
             continue;
@@ -182,7 +187,7 @@ pub fn compare(baseline: &[ScenarioMetrics], current: &[ScenarioMetrics]) -> Vec
                 scenario: name.clone(),
                 metric: "<scenario>".to_owned(),
                 baseline: None,
-                current: Some(0.0),
+                current: Some(0),
             });
         }
     }
@@ -203,7 +208,7 @@ pub fn to_json(scenarios: &[ScenarioMetrics], reason: &str) -> JsonValue {
                     JsonValue::Obj(
                         s.metrics
                             .iter()
-                            .map(|(k, v)| (k.clone(), JsonValue::Num(*v)))
+                            .map(|(k, v)| (k.clone(), JsonValue::Num(*v as f64)))
                             .collect(),
                     ),
                 ),
@@ -265,7 +270,15 @@ pub fn from_json(doc: &JsonValue) -> Result<(Vec<ScenarioMetrics>, String), Stri
             let v = value
                 .as_f64()
                 .ok_or_else(|| format!("baseline: {name}/{key} is not a number"))?;
-            metrics.insert(key.clone(), v);
+            // The gate's contract: every metric is an exact integer tick or
+            // event count. A fractional value means someone hand-edited the
+            // baseline or an old float-cycle artifact leaked in — reject it.
+            if v < 0.0 || v.fract() != 0.0 {
+                return Err(format!(
+                    "baseline: {name}/{key} is not an integer count: {v}"
+                ));
+            }
+            metrics.insert(key.clone(), v as u64);
         }
         out.push(ScenarioMetrics { name, metrics });
     }
@@ -289,8 +302,12 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.len(), gate_scenarios().len());
         for s in &a {
-            assert!(s.metrics["finish_cycle"] > 0.0, "{}", s.name);
-            assert!(s.metrics.contains_key("stall_recv_waiting"), "{}", s.name);
+            assert!(s.metrics["finish_ticks"] > 0, "{}", s.name);
+            assert!(
+                s.metrics.contains_key("stall_recv_waiting_ticks"),
+                "{}",
+                s.name
+            );
         }
     }
 
@@ -301,13 +318,13 @@ mod tests {
     }
 
     #[test]
-    fn one_cycle_of_drift_fails_the_gate() {
+    fn one_tick_of_drift_fails_the_gate() {
         let baseline = collect().unwrap();
         let mut current = baseline.clone();
-        *current[0].metrics.get_mut("finish_cycle").unwrap() += 1.0;
+        *current[0].metrics.get_mut("finish_ticks").unwrap() += 1;
         let drifts = compare(&baseline, &current);
         assert_eq!(drifts.len(), 1);
-        assert_eq!(drifts[0].metric, "finish_cycle");
+        assert_eq!(drifts[0].metric, "finish_ticks");
         assert_eq!(drifts[0].scenario, baseline[0].name);
     }
 

@@ -15,6 +15,7 @@ use ceresz_core::plan::{
 use ceresz_core::stream::{scan_block_offsets, StreamHeader};
 use wse_sim::{
     Color, Direction, MeshConfig, PeId, PeProgram, SimError, SimStats, Simulator, TaskCtx, TaskId,
+    Time,
 };
 
 use crate::error::WseError;
@@ -171,7 +172,7 @@ pub fn run_row_decompress(compressed: &Compressed, rows: usize) -> Result<Decomp
             }),
         );
         sim.post_recv(pe, colors::DATA, 1, tasks::RECV);
-        sim.inject_blocks(pe, colors::DATA, row_blocks, 0.0);
+        sim.inject_blocks(pe, colors::DATA, row_blocks, Time::ZERO);
     }
 
     let report = sim.run().map_err(WseError::Sim)?;
@@ -386,7 +387,7 @@ pub fn run_pipeline_decompress(
             };
             sim.post_recv(pe, in_color, extent, tasks::RECV);
         }
-        sim.inject_blocks(PeId::new(r, 0), colors::DATA, row_blocks, 0.0);
+        sim.inject_blocks(PeId::new(r, 0), colors::DATA, row_blocks, Time::ZERO);
     }
 
     let report = sim.run().map_err(WseError::Sim)?;
@@ -497,7 +498,7 @@ mod tests {
         let c = compress(&data, &cfg).unwrap();
         let t1 = run_row_decompress(&c, 1).unwrap();
         let t8 = run_row_decompress(&c, 8).unwrap();
-        let speedup = t1.stats.finish_cycle / t8.stats.finish_cycle;
+        let speedup = t1.stats.finish_cycle.ticks() as f64 / t8.stats.finish_cycle.ticks() as f64;
         assert!((speedup - 8.0).abs() < 1.0, "speedup = {speedup}");
     }
 }

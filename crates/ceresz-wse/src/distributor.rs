@@ -16,6 +16,7 @@ use ceresz_core::compressor::{CereszConfig, Compressed};
 use ceresz_core::stream::StreamHeader;
 use wse_sim::{
     Color, Direction, MeshConfig, PeId, PeProgram, SimError, SimStats, Simulator, TaskCtx, TaskId,
+    Time,
 };
 
 use crate::error::WseError;
@@ -185,7 +186,7 @@ pub fn run_edge_fed(data: &[f32], cfg: &CereszConfig, rows: usize) -> Result<Edg
         );
         sim.post_recv(PeId::new(r, 1), colors::DATA, cfg.block_size, tasks::RECV);
     }
-    sim.inject_blocks(PeId::new(0, 0), Color::new(7), wavelet_blocks, 0.0);
+    sim.inject_blocks(PeId::new(0, 0), Color::new(7), wavelet_blocks, Time::ZERO);
 
     let report = sim.run().map_err(WseError::Sim)?;
     // Round j-th block lands in row rows−1−j; reassemble accordingly.

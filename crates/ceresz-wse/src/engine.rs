@@ -10,7 +10,7 @@ use ceresz_core::compressor::CereszConfig;
 
 use crate::error::WseError;
 use telemetry::Recorder;
-use wse_sim::{FlightConfig, MeshConfig};
+use wse_sim::{EngineMode, FlightConfig, MeshConfig, Time};
 
 use crate::strategy::Strategy;
 
@@ -40,9 +40,18 @@ pub struct SimOptions {
     /// [`WseError::MappingRejected`] instead of failing mid-run.
     pub verify: bool,
     /// Worker threads for the sharded simulator core (default 1 = serial;
-    /// 0 = one per available core). Any value produces a bit-identical
-    /// [`wse_sim::RunReport`] ([`MeshConfig::with_threads`]).
+    /// 0 = one per available core; larger requests clamp to the host's
+    /// available parallelism unless `threads_exact` is set). Any value
+    /// produces a bit-identical [`wse_sim::RunReport`]
+    /// ([`MeshConfig::with_threads`]).
     pub threads: usize,
+    /// Take `threads` literally instead of clamping to the host's available
+    /// parallelism ([`MeshConfig::with_threads_exact`]).
+    pub threads_exact: bool,
+    /// Engine stepping mode for coupled shard groups
+    /// ([`MeshConfig::with_engine`]): event-driven by default; the
+    /// cycle-stepped reference exists for equivalence checks and benches.
+    pub engine: EngineMode,
     /// Flight-recorder sampling ([`MeshConfig::with_flight`]): off by
     /// default; when set, the run's report carries a
     /// [`wse_sim::FlightRecording`] with per-PE/per-link time-series and
@@ -58,6 +67,8 @@ impl Default for SimOptions {
             recorder: Recorder::default(),
             verify: true,
             threads: 1,
+            threads_exact: false,
+            engine: EngineMode::default(),
             flight: None,
         }
     }
@@ -86,10 +97,28 @@ impl SimOptions {
         self
     }
 
-    /// Set the simulator's worker-thread count (0 = one per core).
+    /// Set the simulator's worker-thread count (0 = one per core; clamped
+    /// to the host's available parallelism).
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self.threads_exact = false;
+        self
+    }
+
+    /// Set an exact worker-thread count, bypassing the host-parallelism
+    /// clamp (determinism sweeps on small hosts).
+    #[must_use]
+    pub fn with_threads_exact(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self.threads_exact = true;
+        self
+    }
+
+    /// Select the simulator engine mode for coupled shard groups.
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineMode) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -132,18 +161,33 @@ impl SimOptions {
     /// Enable flight-recorder sampling with a `window`-cycle window.
     ///
     /// # Panics
-    /// If `window` is not positive and finite.
+    /// If `window` is zero.
     #[must_use]
-    pub fn with_flight_window(self, window: f64) -> Self {
-        self.with_flight(FlightConfig::new(window))
+    pub fn with_flight_window(self, window: u64) -> Self {
+        self.with_flight(FlightConfig::new(Time::from_cycles(window)))
+    }
+
+    /// The worker-thread count a run with these options will actually use:
+    /// the requested count clamped to the host's available parallelism,
+    /// unless set via [`Self::with_threads_exact`]. Delegates to the
+    /// simulator's own resolution so benchmark artifacts record the
+    /// authoritative value.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        self.mesh_config(1, 1).effective_threads()
     }
 
     /// Build a mesh configuration carrying these options.
     pub(crate) fn mesh_config(&self, rows: usize, cols: usize) -> MeshConfig {
         let mut config = MeshConfig::new(rows, cols)
             .with_trace(self.trace)
-            .with_threads(self.threads)
-            .with_recorder(self.recorder.clone());
+            .with_recorder(self.recorder.clone())
+            .with_engine(self.engine);
+        config = if self.threads_exact {
+            config.with_threads_exact(self.threads)
+        } else {
+            config.with_threads(self.threads)
+        };
         if let Some(flight) = self.flight {
             config = config.with_flight(flight);
         }
@@ -200,7 +244,7 @@ mod tests {
         ] {
             let run = execute(strategy, &data, &cfg, &SimOptions::default()).unwrap();
             assert_eq!(run.compressed.data, reference.data, "{strategy:?}");
-            assert!(run.stats.finish_cycle > 0.0);
+            assert!(!run.stats.finish_cycle.is_zero());
             assert_eq!(run.kind, strategy);
         }
     }
@@ -397,13 +441,13 @@ mod tests {
 
         // with_flight composes with the rest in any order.
         let g = SimOptions::default()
-            .with_flight_window(512.0)
+            .with_flight_window(512)
             .with_threads(4);
         let h = SimOptions::default()
             .with_threads(4)
-            .with_flight_window(512.0);
+            .with_flight_window(512);
         assert_eq!(g.flight, h.flight);
-        assert_eq!(g.flight.unwrap().window, 512.0);
+        assert_eq!(g.flight.unwrap().window, Time::from_cycles(512));
         assert_eq!(g.threads, h.threads);
     }
 }

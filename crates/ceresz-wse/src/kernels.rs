@@ -20,7 +20,7 @@ use ceresz_core::fixed_length::{
 use ceresz_core::plan::SubStageKind;
 use ceresz_core::quantize::QuantizeError;
 use ceresz_core::QUANT_MAX;
-use wse_sim::{CostModel, Op, TaskCtx};
+use wse_sim::{CostModel, Op, TaskCtx, Time};
 
 use crate::wire::{WaveletReader, WaveletWriter, WireTruncated};
 
@@ -55,11 +55,13 @@ impl Charger for TaskCtx<'_> {
     }
 }
 
-/// Host-side cycle accumulator using a [`CostModel`].
+/// Host-side cycle accumulator using a [`CostModel`]. Accumulates integer
+/// ticks ([`Time`]), exactly like the simulator's per-task charging, so
+/// host-side accounting and simulated runs can never drift apart.
 #[derive(Debug, Clone)]
 pub struct HostCharger {
-    /// Cycles accumulated so far.
-    pub cycles: f64,
+    /// Time accumulated so far (integer ticks).
+    pub time: Time,
     model: CostModel,
 }
 
@@ -67,13 +69,23 @@ impl HostCharger {
     /// New accumulator over `model`.
     #[must_use]
     pub fn new(model: CostModel) -> Self {
-        Self { cycles: 0.0, model }
+        Self {
+            time: Time::ZERO,
+            model,
+        }
+    }
+
+    /// Accumulated time in cycles (exact: every tick count below 2^53
+    /// converts without rounding).
+    #[must_use]
+    pub fn cycles(&self) -> f64 {
+        self.time.cycles_f64()
     }
 }
 
 impl Charger for HostCharger {
     fn charge_op(&mut self, op: Op, n: u64) {
-        self.cycles += self.model.cycles(op, n);
+        self.time += self.model.cost(op, n);
     }
 }
 
@@ -791,9 +803,9 @@ mod tests {
             .map(|s| s.cycles - model.task_overhead)
             .sum();
         assert!(
-            (charger.cycles - expected).abs() < 1e-6,
+            (charger.cycles() - expected).abs() < 1e-6,
             "{} vs {expected}",
-            charger.cycles
+            charger.cycles()
         );
     }
 

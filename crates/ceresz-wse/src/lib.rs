@@ -57,4 +57,5 @@ pub use profile::{
 };
 pub use strategy::{execute, execute_strategy, MapOutcome, Strategy, StrategyKind, StrategyRun};
 pub use throughput::{ThroughputReport, WaferConfig};
+pub use wse_sim::{EngineMode, Time};
 pub use wse_verify as verify;

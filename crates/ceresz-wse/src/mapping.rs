@@ -8,7 +8,7 @@
 //! the wrapper, the manifest cannot drift from the mapping it describes —
 //! the verifier sees exactly what the simulator will execute.
 
-use wse_sim::{Color, Direction, MeshConfig, PeId, PeProgram, RouteRule, Simulator, TaskId};
+use wse_sim::{Color, Direction, MeshConfig, PeId, PeProgram, RouteRule, Simulator, TaskId, Time};
 use wse_verify::{MappingManifest, Severity, VerifyReport};
 
 use crate::error::WseError;
@@ -97,7 +97,7 @@ impl MappedMesh {
 
     /// Inject blocks back-to-back into `pe`'s RAMP (mirrors
     /// [`Simulator::inject_blocks`]) and record the delivered wavelet total.
-    pub fn inject_blocks(&mut self, pe: PeId, color: Color, blocks: Vec<Vec<u32>>, start: f64) {
+    pub fn inject_blocks(&mut self, pe: PeId, color: Color, blocks: Vec<Vec<u32>>, start: Time) {
         let words: usize = blocks.iter().map(Vec::len).sum();
         self.manifest.declare_injection(pe, color, words);
         self.sim.inject_blocks(pe, color, blocks, start);
@@ -105,7 +105,7 @@ impl MappedMesh {
 
     /// Activate a task from the host (mirrors [`Simulator::activate`]) and
     /// record the liveness entry point.
-    pub fn activate(&mut self, pe: PeId, task: TaskId, time: f64) {
+    pub fn activate(&mut self, pe: PeId, task: TaskId, time: Time) {
         self.sim.activate(pe, task, time);
         self.manifest.declare_entry(pe, task);
     }

@@ -15,7 +15,7 @@ use ceresz_core::block::BlockCodec;
 use ceresz_core::compressor::CereszConfig;
 use ceresz_core::plan::{CompressionPlan, StageCostModel, SubStageKind};
 use ceresz_core::stream::StreamHeader;
-use wse_sim::{Color, Direction, PeId, PeProgram, SimError, TaskCtx, TaskId};
+use wse_sim::{Color, Direction, PeId, PeProgram, SimError, TaskCtx, TaskId, Time};
 
 use crate::mapping::MappedMesh;
 use crate::strategy::MapOutcome;
@@ -209,7 +209,12 @@ pub(crate) fn map_multi_pipeline(
                 install_tail_stages(mesh, r, head_col, &plan, &stage_kinds, codec, eps, rounds);
             }
         }
-        mesh.inject_blocks(PeId::new(r, 0), colors::DATA, row_blocks.clone(), 0.0);
+        mesh.inject_blocks(
+            PeId::new(r, 0),
+            colors::DATA,
+            row_blocks.clone(),
+            Time::ZERO,
+        );
     }
     // Block b = (row r, row-local index s) ends at pipeline P−1−(s mod P),
     // round s / P.
@@ -349,7 +354,7 @@ mod tests {
         let p1 = multi_pipeline(&data, &cfg, 2, 1, 1).unwrap();
         let p8 = multi_pipeline(&data, &cfg, 2, 1, 8).unwrap();
         assert!(
-            p8.stats.finish_cycle < p1.stats.finish_cycle / 4.0,
+            p8.stats.finish_cycle.ticks() * 4 < p1.stats.finish_cycle.ticks(),
             "p=1: {} vs p=8: {}",
             p1.stats.finish_cycle,
             p8.stats.finish_cycle

@@ -5,7 +5,7 @@
 
 use ceresz_core::compressor::CereszConfig;
 use telemetry::json::JsonValue;
-use wse_sim::{FlightConfig, FlightRecording, Metric, PeId, SimStats, StallCause};
+use wse_sim::{FlightConfig, FlightRecording, Metric, PeId, SimStats, StallCause, Time};
 
 use crate::engine::SimOptions;
 use crate::error::WseError;
@@ -61,7 +61,7 @@ impl ObserveReport {
         let mut out = String::new();
         let (rows, cols) = self.mesh;
         out.push_str(&format!(
-            "strategy {} on {rows}x{cols} mesh: {:.0} cycles, {} wavelets, \
+            "strategy {} on {rows}x{cols} mesh: {} cycles, {} wavelets, \
              utilization {:.1}%\n",
             self.strategy,
             self.stats.finish_cycle,
@@ -71,14 +71,17 @@ impl ObserveReport {
 
         out.push_str("\nstall attribution (cycles summed over all PEs):\n");
         let totals = self.flight.stall_totals();
-        let denom: f64 = totals.values().fold(0.0, |a, v| a + v);
-        for (name, cycles) in &totals {
-            let share = if denom > 0.0 {
-                cycles / denom * 100.0
-            } else {
+        let denom: Time = totals.values().copied().sum();
+        for (name, time) in &totals {
+            let share = if denom.is_zero() {
                 0.0
+            } else {
+                time.ticks() as f64 / denom.ticks() as f64 * 100.0
             };
-            out.push_str(&format!("  {name:<18} {cycles:>14.0}  ({share:>5.1}%)\n"));
+            out.push_str(&format!(
+                "  {name:<18} {:>14}  ({share:>5.1}%)\n",
+                time.to_string()
+            ));
         }
 
         for metric in [Metric::Busy, Metric::TotalStall] {
@@ -91,11 +94,11 @@ impl ObserveReport {
         if top.is_empty() {
             out.push_str("  (no stalled PEs)\n");
         }
-        for (pe, cycles) in top {
+        for (pe, time) in top {
             let p = self.flight.pe(pe);
             out.push_str(&format!(
-                "  {pe}: {cycles:.0} stall (send {:.0}, recv {:.0}, ramp {:.0}), \
-                 busy {:.0}, inbox high-water {}\n",
+                "  {pe}: {time} stall (send {}, recv {}, ramp {}), \
+                 busy {}, inbox high-water {}\n",
                 p.stall(StallCause::SendBackpressure).total(),
                 p.stall(StallCause::RecvWaiting).total(),
                 p.stall(StallCause::RampBlocked).total(),
@@ -111,12 +114,12 @@ impl ObserveReport {
         }
         for ((from, to), link) in links {
             out.push_str(&format!(
-                "  {from} -> {to}: {:.0} occupied, {} wavelets in {} streams, \
-                 {:.0} backpressure\n",
+                "  {from} -> {to}: {} occupied, {} wavelets in {} streams, \
+                 {} backpressure\n",
                 link.occupancy.total(),
                 link.wavelets,
                 link.streams,
-                link.backpressure_cycles
+                link.backpressure
             ));
         }
         out
@@ -129,7 +132,10 @@ impl ObserveReport {
         use JsonValue as J;
         let mut fields: Vec<(String, JsonValue)> = vec![
             ("strategy".to_owned(), J::Str(self.strategy.clone())),
-            ("finish_cycle".to_owned(), J::Num(self.stats.finish_cycle)),
+            (
+                "finish_ticks".to_owned(),
+                J::Num(self.stats.finish_cycle.ticks() as f64),
+            ),
             (
                 "total_wavelets".to_owned(),
                 J::Num(self.stats.total_wavelets as f64),
@@ -151,7 +157,7 @@ impl ObserveReport {
     /// The most-stalled PE, if any PE stalled at all (convenience for
     /// programmatic consumers and tests).
     #[must_use]
-    pub fn hottest_pe(&self) -> Option<(PeId, f64)> {
+    pub fn hottest_pe(&self) -> Option<(PeId, Time)> {
         self.flight
             .top_pes(Metric::TotalStall, 1)
             .into_iter()
@@ -189,12 +195,12 @@ mod tests {
         ] {
             let report = observe(&kind, &data, &cfg, &SimOptions::default()).unwrap();
             assert_eq!(report.mesh, kind.mesh_shape());
-            assert!(report.stats.finish_cycle > 0.0);
-            let busy: f64 = report.flight.stall_totals()["compute"];
-            assert!(
-                (busy - report.stats.total_busy_cycles).abs() < 1e-6,
-                "{kind:?}: flight busy {busy} vs stats {}",
-                report.stats.total_busy_cycles
+            assert!(!report.stats.finish_cycle.is_zero());
+            // Integer ticks: flight busy totals equal the stats exactly.
+            let busy = report.flight.stall_totals()["compute"];
+            assert_eq!(
+                busy, report.stats.total_busy_cycles,
+                "{kind:?}: flight busy vs stats"
             );
             let text = report.render(5, 32, 80);
             assert!(text.contains("stall attribution"), "{text}");
@@ -214,7 +220,7 @@ mod tests {
             pipeline_length: 4,
         };
         let report = observe(&kind, &data, &cfg, &SimOptions::default()).unwrap();
-        assert!(report.flight.stall_totals()["recv_waiting"] > 0.0);
+        assert!(!report.flight.stall_totals()["recv_waiting"].is_zero());
         assert!(report.hottest_pe().is_some());
         // The pipeline moves data over east links; they must show traffic.
         assert!(!report.flight.links().is_empty());
@@ -239,7 +245,7 @@ mod tests {
         let csv = report.to_csv();
         let (rows, cols) = report.mesh;
         assert_eq!(csv.lines().count(), rows * cols + 1);
-        assert!(csv.starts_with("row,col,busy_cycles"));
+        assert!(csv.starts_with("row,col,busy_ticks"));
     }
 
     #[test]
@@ -256,7 +262,7 @@ mod tests {
             kind,
             &data,
             &cfg,
-            &SimOptions::default().with_flight_window(256.0),
+            &SimOptions::default().with_flight_window(256),
         )
         .unwrap();
         assert_eq!(plain.compressed.data, observed.compressed.data);

@@ -10,7 +10,7 @@ use ceresz_core::block::BlockCodec;
 use ceresz_core::compressor::{CereszConfig, CompressError};
 use ceresz_core::plan::{CompressionPlan, StageCostModel, SubStageKind};
 use ceresz_core::stream::StreamHeader;
-use wse_sim::{Color, Direction, PeId, PeProgram, SimError, TaskCtx, TaskId};
+use wse_sim::{Color, Direction, PeId, PeProgram, SimError, TaskCtx, TaskId, Time};
 
 use crate::mapping::MappedMesh;
 use crate::strategy::MapOutcome;
@@ -227,7 +227,7 @@ pub(crate) fn map_pipeline(
             continue;
         }
         build_pipeline(mesh, r, 0, &plan, codec, eps, count, colors::DATA);
-        mesh.inject_blocks(PeId::new(r, 0), colors::DATA, row_blocks, 0.0);
+        mesh.inject_blocks(PeId::new(r, 0), colors::DATA, row_blocks, Time::ZERO);
     }
     let last_col = pipeline_length - 1;
     let slots = (0..n_blocks)

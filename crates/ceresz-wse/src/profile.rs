@@ -4,8 +4,8 @@
 //! [`profile_compression`] runs [`crate::execute`] under an
 //! enabled [`telemetry::Recorder`] plus timeline tracing, then assembles:
 //!
-//! * a [`telemetry::profile::ProfileReport`] — per-stage busy cycles
-//!   (summing exactly to `total_busy_cycles`), the Tables 1–3 stage groups,
+//! * a [`telemetry::profile::ProfileReport`] — per-stage busy ticks
+//!   (summing exactly to `total_busy_ticks`), the Tables 1–3 stage groups,
 //!   and the analytic Eq. 2/Eq. 3 cost terms when the strategy has a
 //!   pipeline plan;
 //! * a Chrome/Perfetto trace document (one track per PE, one slice per
@@ -100,9 +100,14 @@ pub fn build_report(
     let mut stages: Vec<StageCycles> = sim_report
         .stage_totals()
         .into_iter()
-        .map(|(name, cycles)| StageCycles { name, cycles })
+        .map(|(name, time)| StageCycles {
+            name,
+            ticks: time.ticks(),
+        })
         .collect();
-    stages.sort_by(|a, b| b.cycles.total_cmp(&a.cycles));
+    // Largest first; the source BTreeMap keeps ties in name order, and the
+    // sort is stable, so the table is fully deterministic.
+    stages.sort_by_key(|s| std::cmp::Reverse(s.ticks));
 
     // Analytic cost terms for pipeline strategies: the plan's per-block
     // compute cost `C` feeds the paper's Eq. 2 (relay overhead per round)
@@ -131,8 +136,8 @@ pub fn build_report(
         strategy: strategy.name().to_owned(),
         mesh_rows,
         mesh_cols,
-        finish_cycle: stats.finish_cycle,
-        total_busy_cycles: stats.total_busy_cycles,
+        finish_ticks: stats.finish_cycle.ticks(),
+        total_busy_ticks: stats.total_busy_cycles.ticks(),
         total_tasks: stats.total_tasks,
         total_wavelets: stats.total_wavelets,
         active_pes: stats.active_pes,
@@ -171,7 +176,7 @@ mod tests {
     }
 
     #[test]
-    fn stage_shares_sum_to_total_busy_cycles() {
+    fn stage_ticks_sum_exactly_to_total_busy_ticks() {
         let data = wavy(32 * 24);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
         for strategy in [
@@ -187,12 +192,10 @@ mod tests {
             },
         ] {
             let profile = profile_compression(&data, &cfg, strategy).unwrap();
-            let attributed = profile.report.attributed_cycles();
-            let total = profile.report.total_busy_cycles;
-            assert!(
-                (attributed - total).abs() <= total * 1e-3,
-                "{strategy:?}: attributed {attributed} vs busy {total}"
-            );
+            // Integer ticks: attribution is exact, not approximately equal.
+            let attributed = profile.report.attributed_ticks();
+            let total = profile.report.total_busy_ticks;
+            assert_eq!(attributed, total, "{strategy:?}");
         }
     }
 
@@ -277,7 +280,7 @@ mod tests {
             rows: 1,
             pipeline_length: 2,
         };
-        let options = SimOptions::default().with_flight_window(64.0);
+        let options = SimOptions::default().with_flight_window(64);
         let profile = profile_compression_with(&data, &cfg, strategy, &options).unwrap();
         assert!(profile.trace.counter_count() > 0);
         let doc = profile.trace.to_json();

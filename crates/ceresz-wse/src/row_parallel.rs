@@ -9,7 +9,7 @@ use ceresz_core::block::BlockCodec;
 use ceresz_core::compressor::{CereszConfig, CompressError};
 use ceresz_core::plan::{self, StageCostModel, SubStageKind};
 use ceresz_core::stream::StreamHeader;
-use wse_sim::{PeId, PeProgram, SimError, TaskCtx, TaskId};
+use wse_sim::{PeId, PeProgram, SimError, TaskCtx, TaskId, Time};
 
 use crate::mapping::MappedMesh;
 use crate::strategy::MapOutcome;
@@ -118,7 +118,7 @@ pub(crate) fn map_row_parallel(
         );
         mesh.declare_buffer(pe, RowCompressor::working_set(&codec), "row working set");
         mesh.post_recv(pe, colors::DATA, cfg.block_size, tasks::RECV, count);
-        mesh.inject_blocks(pe, colors::DATA, row_blocks, 0.0);
+        mesh.inject_blocks(pe, colors::DATA, row_blocks, Time::ZERO);
     }
     let slots = (0..n_blocks)
         .map(|b| (PeId::new(b % rows, 0), b / rows))
@@ -187,8 +187,8 @@ mod tests {
         let t1 = row_parallel(&data, &cfg, 1).unwrap();
         let t4 = row_parallel(&data, &cfg, 4).unwrap();
         let t16 = row_parallel(&data, &cfg, 16).unwrap();
-        let s4 = t1.stats.finish_cycle / t4.stats.finish_cycle;
-        let s16 = t1.stats.finish_cycle / t16.stats.finish_cycle;
+        let s4 = t1.stats.finish_cycle.ticks() as f64 / t4.stats.finish_cycle.ticks() as f64;
+        let s16 = t1.stats.finish_cycle.ticks() as f64 / t16.stats.finish_cycle.ticks() as f64;
         assert!((s4 - 4.0).abs() < 0.4, "4-row speedup = {s4}");
         assert!((s16 - 16.0).abs() < 1.6, "16-row speedup = {s16}");
     }

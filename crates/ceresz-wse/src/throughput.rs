@@ -106,7 +106,7 @@ impl WaferConfig {
         let ops_mean = if sampled == 0 {
             0.0
         } else {
-            charger.cycles / sampled as f64
+            charger.cycles() / sampled as f64
         };
         let replicate = replicate.max(1);
         self.finish_report(
@@ -156,7 +156,7 @@ impl WaferConfig {
         let ops_mean = if sampled == 0 {
             0.0
         } else {
-            charger.cycles / sampled as f64
+            charger.cycles() / sampled as f64
         };
         // Two task activations per block on the consuming PE (header phase +
         // body phase of the two-phase receive).
@@ -185,8 +185,9 @@ impl WaferConfig {
     ) -> Result<ThroughputReport, CompressError> {
         // Per-block compute C: kernel ops + one task dispatch per pipeline PE
         // touching the block.
-        let c_total =
-            ops_mean + self.cost.task_overhead * (self.pipeline_length * activations_per_pe) as f64;
+        let c_total = ops_mean
+            + self.cost.task_overhead.cycles_f64()
+                * (self.pipeline_length * activations_per_pe) as f64;
         let cycles =
             self.pipe
                 .total_cycles(n_blocks.max(1), self.mesh, self.pipeline_length, c_total);

@@ -2,9 +2,15 @@
 //!
 //! A [`ProfileReport`] is the machine- and human-readable summary of one
 //! simulated run: the headline simulator statistics, per-kernel-stage busy
-//! cycles (every busy cycle is attributed to exactly one stage, so the
-//! stage column sums to `total_busy_cycles`), and optional analytic cost
-//! terms (the paper's Eq. 2 relay overhead and Eq. 3 pipeline cost model).
+//! time (every busy tick is attributed to exactly one stage, so the stage
+//! column sums to `total_busy_ticks` *exactly* — integer ticks, no float
+//! accumulation error), and optional analytic cost terms (the paper's Eq. 2
+//! relay overhead and Eq. 3 pipeline cost model, which stay `f64` because
+//! they are closed-form estimates, not measured time).
+//!
+//! All measured time is carried as integer ticks ([`TICKS_PER_CYCLE`] ticks
+//! per simulator cycle, mirroring `wse_sim::TICKS_PER_CYCLE`); the rendered
+//! table derives cycles for human eyes.
 //!
 //! Stage names follow `SubStageKind::name()` in `ceresz-core`
 //! (`"quant-mul"`, `"lorenzo"`, `"shuffle-bit-3"`, …) plus the simulator's
@@ -15,13 +21,32 @@
 
 use crate::json::JsonValue;
 
-/// Busy cycles attributed to one kernel stage, summed over all PEs.
-#[derive(Debug, Clone, PartialEq)]
+/// Fixed-point ticks per simulator cycle. Kept in sync with
+/// `wse_sim::TICKS_PER_CYCLE` (asserted by an integration test in
+/// `ceresz-wse`); `telemetry` has no dependency on the simulator crate.
+pub const TICKS_PER_CYCLE: u64 = 1_000;
+
+/// Render integer ticks as a decimal cycle count with trailing zeros
+/// trimmed (`5078400` ticks → `"5078.4"`, `11000` → `"11"`).
+#[must_use]
+pub fn fmt_ticks_as_cycles(ticks: u64) -> String {
+    let whole = ticks / TICKS_PER_CYCLE;
+    let frac = ticks % TICKS_PER_CYCLE;
+    if frac == 0 {
+        format!("{whole}")
+    } else {
+        let s = format!("{frac:03}");
+        format!("{whole}.{}", s.trim_end_matches('0'))
+    }
+}
+
+/// Busy time attributed to one kernel stage, summed over all PEs.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StageCycles {
     /// Stage name (`SubStageKind::name()` or a simulator pseudo-stage).
     pub name: String,
-    /// Total busy cycles charged while this stage was active.
-    pub cycles: f64,
+    /// Total busy ticks charged while this stage was active.
+    pub ticks: u64,
 }
 
 /// Map a stage name onto the paper's Tables 1–3 reporting groups.
@@ -50,10 +75,10 @@ pub struct ProfileReport {
     pub mesh_rows: usize,
     /// Mesh columns the strategy occupied.
     pub mesh_cols: usize,
-    /// Cycle at which the last task finished.
-    pub finish_cycle: f64,
-    /// Sum of busy cycles over all PEs.
-    pub total_busy_cycles: f64,
+    /// Tick at which the last task finished.
+    pub finish_ticks: u64,
+    /// Sum of busy ticks over all PEs.
+    pub total_busy_ticks: u64,
     /// Tasks executed across all PEs.
     pub total_tasks: u64,
     /// Wavelets moved across the fabric.
@@ -62,39 +87,42 @@ pub struct ProfileReport {
     pub active_pes: usize,
     /// Mean busy fraction of active PEs over the run.
     pub utilization: f64,
-    /// Per-stage busy cycles; sums to `total_busy_cycles`.
+    /// Per-stage busy ticks; sums to `total_busy_ticks` exactly.
     pub stages: Vec<StageCycles>,
     /// Analytic cost terms (Eq. 2 relay overhead, Eq. 3 pipeline terms, …)
-    /// keyed by name.
+    /// keyed by name. Model estimates, not measured time — stay `f64`.
     pub model_terms: Vec<(String, f64)>,
 }
 
 impl ProfileReport {
-    /// Sum of all attributed stage cycles.
+    /// Sum of all attributed stage ticks. Equals `total_busy_ticks` exactly
+    /// for a report built from a simulated run.
     #[must_use]
-    pub fn attributed_cycles(&self) -> f64 {
-        self.stages.iter().map(|s| s.cycles).sum()
+    pub fn attributed_ticks(&self) -> u64 {
+        self.stages.iter().map(|s| s.ticks).sum()
     }
 
-    /// Aggregate per-stage cycles into the paper's groups, in
-    /// [`GROUP_ORDER`]; groups with zero cycles are omitted.
+    /// Aggregate per-stage ticks into the paper's groups, in
+    /// [`GROUP_ORDER`]; groups with zero time are omitted.
     #[must_use]
-    pub fn grouped(&self) -> Vec<(&'static str, f64)> {
+    pub fn grouped(&self) -> Vec<(&'static str, u64)> {
         GROUP_ORDER
             .iter()
             .filter_map(|group| {
-                let cycles: f64 = self
+                let ticks: u64 = self
                     .stages
                     .iter()
                     .filter(|s| stage_group(&s.name) == *group)
-                    .map(|s| s.cycles)
+                    .map(|s| s.ticks)
                     .sum();
-                (cycles > 0.0).then_some((*group, cycles))
+                (ticks > 0).then_some((*group, ticks))
             })
             .collect()
     }
 
-    /// Serialize to the `profile.json` document shape.
+    /// Serialize to the `profile.json` document shape. All measured-time
+    /// fields are exact integer tick counts; `share` values are derived
+    /// ratios and remain floating point.
     #[must_use]
     pub fn to_json(&self) -> JsonValue {
         use JsonValue as J;
@@ -105,11 +133,11 @@ impl ProfileReport {
                     J::obj(vec![
                         ("name", J::Str(s.name.clone())),
                         ("group", J::Str(stage_group(&s.name).into())),
-                        ("cycles", J::Num(s.cycles)),
+                        ("ticks", J::Num(s.ticks as f64)),
                         (
                             "share",
-                            J::Num(if self.total_busy_cycles > 0.0 {
-                                s.cycles / self.total_busy_cycles
+                            J::Num(if self.total_busy_ticks > 0 {
+                                s.ticks as f64 / self.total_busy_ticks as f64
                             } else {
                                 0.0
                             }),
@@ -121,7 +149,7 @@ impl ProfileReport {
         let groups = J::Obj(
             self.grouped()
                 .into_iter()
-                .map(|(g, c)| (g.to_owned(), J::Num(c)))
+                .map(|(g, t)| (g.to_owned(), J::Num(t as f64)))
                 .collect(),
         );
         let model = J::Obj(
@@ -139,8 +167,9 @@ impl ProfileReport {
                     ("cols", J::Num(self.mesh_cols as f64)),
                 ]),
             ),
-            ("finish_cycle", J::Num(self.finish_cycle)),
-            ("total_busy_cycles", J::Num(self.total_busy_cycles)),
+            ("ticks_per_cycle", J::Num(TICKS_PER_CYCLE as f64)),
+            ("finish_ticks", J::Num(self.finish_ticks as f64)),
+            ("total_busy_ticks", J::Num(self.total_busy_ticks as f64)),
             ("total_tasks", J::Num(self.total_tasks as f64)),
             ("total_wavelets", J::Num(self.total_wavelets as f64)),
             ("active_pes", J::Num(self.active_pes as f64)),
@@ -159,6 +188,13 @@ impl ProfileReport {
                 .and_then(JsonValue::as_f64)
                 .ok_or_else(|| format!("missing numeric field '{key}'"))
         };
+        let ticks = |key: &str| -> Result<u64, String> {
+            let v = num(key)?;
+            if v < 0.0 || v.fract() != 0.0 {
+                return Err(format!("field '{key}' is not an integer tick count: {v}"));
+            }
+            Ok(v as u64)
+        };
         let mesh = doc.get("mesh").ok_or("missing 'mesh'")?;
         let stages = doc
             .get("stages")
@@ -166,16 +202,20 @@ impl ProfileReport {
             .ok_or("missing 'stages' array")?
             .iter()
             .map(|s| {
+                let t = s
+                    .get("ticks")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or("stage missing 'ticks'")?;
+                if t < 0.0 || t.fract() != 0.0 {
+                    return Err(format!("stage 'ticks' is not an integer: {t}"));
+                }
                 Ok(StageCycles {
                     name: s
                         .get("name")
                         .and_then(JsonValue::as_str)
                         .ok_or("stage missing 'name'")?
                         .to_owned(),
-                    cycles: s
-                        .get("cycles")
-                        .and_then(JsonValue::as_f64)
-                        .ok_or("stage missing 'cycles'")?,
+                    ticks: t as u64,
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
@@ -197,8 +237,8 @@ impl ProfileReport {
                 .to_owned(),
             mesh_rows: mesh.get("rows").and_then(JsonValue::as_f64).unwrap_or(0.0) as usize,
             mesh_cols: mesh.get("cols").and_then(JsonValue::as_f64).unwrap_or(0.0) as usize,
-            finish_cycle: num("finish_cycle")?,
-            total_busy_cycles: num("total_busy_cycles")?,
+            finish_ticks: ticks("finish_ticks")?,
+            total_busy_ticks: ticks("total_busy_ticks")?,
             total_tasks: num("total_tasks")? as u64,
             total_wavelets: num("total_wavelets")? as u64,
             active_pes: num("active_pes")? as usize,
@@ -208,7 +248,8 @@ impl ProfileReport {
         })
     }
 
-    /// Render the human-readable `--profile` table.
+    /// Render the human-readable `--profile` table. Time columns show
+    /// cycles derived exactly from the stored ticks.
     #[must_use]
     pub fn render_table(&self) -> String {
         let mut out = String::new();
@@ -217,8 +258,9 @@ impl ProfileReport {
             self.strategy, self.mesh_rows, self.mesh_cols
         ));
         out.push_str(&format!(
-            "  finish cycle {:>14.0}   busy cycles {:>14.0}\n",
-            self.finish_cycle, self.total_busy_cycles
+            "  finish cycle {:>14}   busy cycles {:>14}\n",
+            fmt_ticks_as_cycles(self.finish_ticks),
+            fmt_ticks_as_cycles(self.total_busy_ticks)
         ));
         out.push_str(&format!(
             "  tasks {:>10}   wavelets {:>10}   active PEs {:>6}   utilization {:>6.1}%\n",
@@ -230,29 +272,32 @@ impl ProfileReport {
         out.push_str("\n  stage               group        cycles        share\n");
         out.push_str("  ------------------  ---------  ------------  -------\n");
         for s in &self.stages {
-            let share = if self.total_busy_cycles > 0.0 {
-                s.cycles / self.total_busy_cycles * 100.0
+            let share = if self.total_busy_ticks > 0 {
+                s.ticks as f64 / self.total_busy_ticks as f64 * 100.0
             } else {
                 0.0
             };
             out.push_str(&format!(
-                "  {:<18}  {:<9}  {:>12.0}  {:>6.2}%\n",
+                "  {:<18}  {:<9}  {:>12}  {:>6.2}%\n",
                 s.name,
                 stage_group(&s.name),
-                s.cycles,
+                fmt_ticks_as_cycles(s.ticks),
                 share
             ));
         }
         let grouped = self.grouped();
         if !grouped.is_empty() {
             out.push_str("\n  group summary (paper Tables 1-3 granularity):\n");
-            for (g, c) in grouped {
-                let share = if self.total_busy_cycles > 0.0 {
-                    c / self.total_busy_cycles * 100.0
+            for (g, t) in grouped {
+                let share = if self.total_busy_ticks > 0 {
+                    t as f64 / self.total_busy_ticks as f64 * 100.0
                 } else {
                     0.0
                 };
-                out.push_str(&format!("  {g:<18}  {c:>12.0}  {share:>6.2}%\n"));
+                out.push_str(&format!(
+                    "  {g:<18}  {:>12}  {share:>6.2}%\n",
+                    fmt_ticks_as_cycles(t)
+                ));
             }
         }
         if !self.model_terms.is_empty() {
@@ -275,8 +320,8 @@ mod tests {
             strategy: "pipeline".into(),
             mesh_rows: 2,
             mesh_cols: 8,
-            finish_cycle: 10_000.0,
-            total_busy_cycles: 1000.0,
+            finish_ticks: 10_000 * TICKS_PER_CYCLE,
+            total_busy_ticks: 1000 * TICKS_PER_CYCLE,
             total_tasks: 12,
             total_wavelets: 40,
             active_pes: 16,
@@ -284,27 +329,27 @@ mod tests {
             stages: vec![
                 StageCycles {
                     name: "quant-mul".into(),
-                    cycles: 300.0,
+                    ticks: 300_000,
                 },
                 StageCycles {
                     name: "quant-add".into(),
-                    cycles: 100.0,
+                    ticks: 100_000,
                 },
                 StageCycles {
                     name: "lorenzo".into(),
-                    cycles: 150.0,
+                    ticks: 150_000,
                 },
                 StageCycles {
                     name: "sign".into(),
-                    cycles: 50.0,
+                    ticks: 50_000,
                 },
                 StageCycles {
                     name: "shuffle-bit-2".into(),
-                    cycles: 200.0,
+                    ticks: 200_000,
                 },
                 StageCycles {
                     name: "dispatch".into(),
-                    cycles: 200.0,
+                    ticks: 200_000,
                 },
             ],
             model_terms: vec![("relay_cycles_per_round".into(), 42.5)],
@@ -334,27 +379,42 @@ mod tests {
         assert_eq!(
             groups,
             vec![
-                ("pre-quant", 400.0),
-                ("lorenzo", 150.0),
-                ("encode", 250.0),
-                ("other", 200.0),
+                ("pre-quant", 400_000),
+                ("lorenzo", 150_000),
+                ("encode", 250_000),
+                ("other", 200_000),
             ]
         );
     }
 
     #[test]
-    fn json_roundtrip_preserves_report() {
+    fn json_roundtrip_preserves_report_exactly() {
         let report = sample();
         let doc = json::parse(&report.to_json().to_pretty()).unwrap();
         let back = ProfileReport::from_json(&doc).unwrap();
         assert_eq!(back.strategy, "pipeline");
         assert_eq!(back.mesh_rows, 2);
         assert_eq!(back.mesh_cols, 8);
-        assert_eq!(back.finish_cycle, 10_000.0);
-        assert_eq!(back.total_busy_cycles, 1000.0);
+        assert_eq!(back.finish_ticks, 10_000 * TICKS_PER_CYCLE);
+        assert_eq!(back.total_busy_ticks, 1000 * TICKS_PER_CYCLE);
         assert_eq!(back.stages, report.stages);
         assert_eq!(back.model_terms, report.model_terms);
-        assert!((back.attributed_cycles() - back.total_busy_cycles).abs() < 1e-9);
+        assert_eq!(back.attributed_ticks(), back.total_busy_ticks);
+    }
+
+    #[test]
+    fn from_json_rejects_fractional_ticks() {
+        let mut doc = sample().to_json();
+        if let JsonValue::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "finish_ticks" {
+                    *v = JsonValue::Num(10.5);
+                }
+            }
+        }
+        let doc = json::parse(&doc.to_pretty()).unwrap();
+        let err = ProfileReport::from_json(&doc).unwrap_err();
+        assert!(err.contains("finish_ticks"), "{err}");
     }
 
     #[test]
@@ -372,12 +432,36 @@ mod tests {
     }
 
     #[test]
+    fn json_time_fields_are_integers() {
+        let doc = sample().to_json();
+        for key in ["finish_ticks", "total_busy_ticks", "ticks_per_cycle"] {
+            let v = doc.get(key).unwrap().as_f64().unwrap();
+            assert_eq!(v.fract(), 0.0, "{key} = {v}");
+        }
+        for s in doc.get("stages").unwrap().as_arr().unwrap() {
+            let v = s.get("ticks").unwrap().as_f64().unwrap();
+            assert_eq!(v.fract(), 0.0);
+        }
+    }
+
+    #[test]
+    fn cycle_formatting_trims_trailing_zeros() {
+        assert_eq!(fmt_ticks_as_cycles(0), "0");
+        assert_eq!(fmt_ticks_as_cycles(1), "0.001");
+        assert_eq!(fmt_ticks_as_cycles(11_000), "11");
+        assert_eq!(fmt_ticks_as_cycles(5_078_400), "5078.4");
+        assert_eq!(fmt_ticks_as_cycles(59_250), "59.25");
+    }
+
+    #[test]
     fn table_renders_all_sections() {
         let text = sample().render_table();
         assert!(text.contains("pipeline on 2x8 mesh"));
         assert!(text.contains("quant-mul"));
         assert!(text.contains("pre-quant"));
         assert!(text.contains("relay_cycles_per_round"));
+        // Cycle columns derive from ticks: 300_000 ticks = 300 cycles.
+        assert!(text.contains("300"), "{text}");
     }
 
     #[test]
@@ -387,6 +471,6 @@ mod tests {
         assert!(text.contains("utilization"));
         assert_eq!(report.grouped(), vec![]);
         let doc = report.to_json();
-        assert_eq!(doc.get("total_busy_cycles").unwrap().as_f64(), Some(0.0));
+        assert_eq!(doc.get("total_busy_ticks").unwrap().as_f64(), Some(0.0));
     }
 }

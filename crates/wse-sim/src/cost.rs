@@ -1,4 +1,4 @@
-//! Per-operation cycle cost model of the PE core.
+//! Per-operation cost model of the PE core, tabulated in integer ticks.
 //!
 //! The constants are calibrated so that the CereSZ kernels reproduce the
 //! per-stage cycle counts the paper profiled on real CS-2 hardware
@@ -6,6 +6,13 @@
 //! claimed to be the true per-instruction latencies of the Cerebras core —
 //! only the stage-level aggregates are observable from the paper — but all
 //! balancing and pipelining behaviour depends only on those aggregates.
+//!
+//! Costs are stored as exact [`Time`] tick counts (millicycles): the
+//! calibration's fractional cycle values quantize without loss (156.2
+//! cycles = 156 200 ticks), so charging an op `n` times is a single integer
+//! multiply and accumulated totals never drift.
+
+use crate::time::Time;
 
 /// Operations a kernel can charge cycles for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -34,67 +41,69 @@ pub enum Op {
     MemCopy,
 }
 
-/// Cycle costs per operation plus the fixed per-task overhead.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Tick costs per operation plus the fixed per-task overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CostModel {
-    /// Fixed cycles charged when a task activates (task dispatch + DSD setup).
-    pub task_overhead: f64,
-    f32_mul: f64,
-    f32_add_round: f64,
-    i32_sub: f64,
-    i32_add: f64,
-    sign_abs: f64,
-    max_step: f64,
-    clz: f64,
-    shuffle_bit: f64,
-    unshuffle_bit: f64,
-    mem_set: f64,
-    mem_copy: f64,
+    /// Fixed time charged when a task activates (task dispatch + DSD setup).
+    pub task_overhead: Time,
+    f32_mul: Time,
+    f32_add_round: Time,
+    i32_sub: Time,
+    i32_add: Time,
+    sign_abs: Time,
+    max_step: Time,
+    clz: Time,
+    shuffle_bit: Time,
+    unshuffle_bit: Time,
+    mem_set: Time,
+    mem_copy: Time,
 }
 
 impl CostModel {
-    /// Constants matching `ceresz_core::plan::StageCostModel::calibrated()`.
+    /// Constants matching `ceresz_core::plan::StageCostModel::calibrated()`
+    /// (cycle values quantized exactly to ticks).
     #[must_use]
-    pub fn calibrated() -> Self {
+    pub const fn calibrated() -> Self {
         Self {
-            task_overhead: 80.0,
-            f32_mul: 156.2,
-            f32_add_round: 30.0,
-            i32_sub: 28.0,
-            i32_add: 28.0,
-            sign_abs: 30.1,
-            max_step: 29.9,
-            clz: 1306.0,
-            shuffle_bit: 59.25,
-            unshuffle_bit: 43.0,
-            mem_set: 8.0,
-            mem_copy: 2.0,
+            task_overhead: Time::from_ticks(80_000), // 80.0 cycles
+            f32_mul: Time::from_ticks(156_200),      // 156.2
+            f32_add_round: Time::from_ticks(30_000), // 30.0
+            i32_sub: Time::from_ticks(28_000),       // 28.0
+            i32_add: Time::from_ticks(28_000),       // 28.0
+            sign_abs: Time::from_ticks(30_100),      // 30.1
+            max_step: Time::from_ticks(29_900),      // 29.9
+            clz: Time::from_ticks(1_306_000),        // 1306.0
+            shuffle_bit: Time::from_ticks(59_250),   // 59.25
+            unshuffle_bit: Time::from_ticks(43_000), // 43.0
+            mem_set: Time::from_ticks(8_000),        // 8.0
+            mem_copy: Time::from_ticks(2_000),       // 2.0
         }
     }
 
-    /// A uniform unit-cost model, handy for routing/scheduling tests where
-    /// compute time should not dominate.
+    /// A uniform one-cycle-per-op model, handy for routing/scheduling tests
+    /// where compute time should not dominate.
     #[must_use]
-    pub fn unit() -> Self {
+    pub const fn unit() -> Self {
+        let one = Time::from_cycles(1);
         Self {
-            task_overhead: 1.0,
-            f32_mul: 1.0,
-            f32_add_round: 1.0,
-            i32_sub: 1.0,
-            i32_add: 1.0,
-            sign_abs: 1.0,
-            max_step: 1.0,
-            clz: 1.0,
-            shuffle_bit: 1.0,
-            unshuffle_bit: 1.0,
-            mem_set: 1.0,
-            mem_copy: 1.0,
+            task_overhead: one,
+            f32_mul: one,
+            f32_add_round: one,
+            i32_sub: one,
+            i32_add: one,
+            sign_abs: one,
+            max_step: one,
+            clz: one,
+            shuffle_bit: one,
+            unshuffle_bit: one,
+            mem_set: one,
+            mem_copy: one,
         }
     }
 
-    /// Cycles for `count` repetitions of `op`.
+    /// Exact time for `count` repetitions of `op`.
     #[must_use]
-    pub fn cycles(&self, op: Op, count: u64) -> f64 {
+    pub fn cost(&self, op: Op, count: u64) -> Time {
         let per = match op {
             Op::F32Mul => self.f32_mul,
             Op::F32AddRound => self.f32_add_round,
@@ -108,7 +117,14 @@ impl CostModel {
             Op::MemSet => self.mem_set,
             Op::MemCopy => self.mem_copy,
         };
-        per * count as f64
+        per * count
+    }
+
+    /// Convenience for analytic consumers: the cost of `op` in cycles as
+    /// `f64` (exact — derived from the integer tick table).
+    #[must_use]
+    pub fn cycles(&self, op: Op, count: u64) -> f64 {
+        self.cost(op, count).cycles_f64()
     }
 }
 
@@ -124,22 +140,31 @@ mod tests {
 
     #[test]
     fn calibrated_matches_stage_model() {
-        // One task doing 32 F32Mul must cost what Table 2 reports (~5078).
+        // One task doing 32 F32Mul must cost what Table 2 reports: exactly
+        // 80.0 + 32 x 156.2 = 5078.4 cycles = 5 078 400 ticks.
         let m = CostModel::calibrated();
-        let total = m.task_overhead + m.cycles(Op::F32Mul, 32);
-        assert!((total - 5078.4).abs() < 1.0);
+        let total = m.task_overhead + m.cost(Op::F32Mul, 32);
+        assert_eq!(total, Time::from_ticks(5_078_400));
+        assert_eq!(total.cycles_f64(), 5078.4);
     }
 
     #[test]
     fn unit_model_is_uniform() {
         let m = CostModel::unit();
-        assert_eq!(m.cycles(Op::F32Mul, 7), 7.0);
-        assert_eq!(m.cycles(Op::Clz, 3), 3.0);
+        assert_eq!(m.cost(Op::F32Mul, 7), Time::from_cycles(7));
+        assert_eq!(m.cost(Op::Clz, 3), Time::from_cycles(3));
     }
 
     #[test]
     fn zero_count_is_free() {
         let m = CostModel::calibrated();
-        assert_eq!(m.cycles(Op::ShuffleBit, 0), 0.0);
+        assert_eq!(m.cost(Op::ShuffleBit, 0), Time::ZERO);
+    }
+
+    #[test]
+    fn analytic_cycles_are_exact() {
+        let m = CostModel::calibrated();
+        assert_eq!(m.cycles(Op::ShuffleBit, 2), 118.5);
+        assert_eq!(m.cycles(Op::MemCopy, 5), 10.0);
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::fabric::Color;
 use crate::geom::PeId;
+use crate::time::Time;
 
 /// One outstanding receive of a deadlocked PE, annotated with the static
 /// routing context of the starved color so the error explains *why* nothing
@@ -49,7 +50,7 @@ pub struct BlockedPe {
 }
 
 /// Errors the simulator can raise.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// A stream needed a routing rule that was never configured.
     NoRoute {
@@ -104,7 +105,7 @@ pub enum SimError {
     /// The simulation exceeded its configured cycle budget (runaway guard).
     CycleLimitExceeded {
         /// The configured limit.
-        limit: f64,
+        limit: Time,
     },
     /// A program referenced a PE outside the mesh.
     BadPe {
@@ -160,7 +161,7 @@ impl std::fmt::Display for SimError {
                 "{pe} out of SRAM: requested {requested} B, {available} B free"
             ),
             SimError::CycleLimitExceeded { limit } => {
-                write!(f, "simulation exceeded the cycle limit of {limit}")
+                write!(f, "simulation exceeded the cycle limit of {limit} cycles")
             }
             SimError::BadPe { pe } => write!(f, "{pe} is outside the mesh"),
             SimError::Kernel { pe, message } => write!(f, "kernel failure on {pe}: {message}"),

@@ -12,6 +12,7 @@ use std::collections::HashMap;
 
 use crate::error::SimError;
 use crate::geom::{Direction, PeId};
+use crate::time::Time;
 
 /// Number of routable colors on the CS-2 fabric.
 pub const MAX_COLORS: u8 = 24;
@@ -76,8 +77,8 @@ pub struct ResolvedPath {
 #[derive(Debug, Default)]
 pub struct Fabric {
     rules: HashMap<(PeId, Color), RouteRule>,
-    /// `free_at[link]`: earliest cycle the link can accept a new stream.
-    link_free_at: HashMap<(PeId, PeId), f64>,
+    /// `free_at[link]`: earliest instant the link can accept a new stream.
+    link_free_at: HashMap<(PeId, PeId), Time>,
     rows: usize,
     cols: usize,
 }
@@ -163,19 +164,20 @@ impl Fabric {
 
     /// Schedule a stream of `n` wavelets along `path` starting at `start`.
     ///
-    /// Returns `(src_done, delivered)`: the cycle the last wavelet leaves the
-    /// source, and the cycle the last wavelet reaches the destination RAMP.
-    /// Links are occupied for `n` cycles each with 1 cycle latency per hop;
-    /// contention with earlier streams delays the start on each link.
-    pub fn schedule_stream(&mut self, path: &ResolvedPath, n: usize, start: f64) -> (f64, f64) {
-        let n = n as f64;
+    /// Returns `(src_done, delivered)`: the instant the last wavelet leaves
+    /// the source, and the instant the last wavelet reaches the destination
+    /// RAMP. Links are occupied for `n` cycles each with 1 cycle latency per
+    /// hop; contention with earlier streams delays the start on each link.
+    pub fn schedule_stream(&mut self, path: &ResolvedPath, n: usize, start: Time) -> (Time, Time) {
+        let n = Time::from_cycles(n as u64);
+        let one = Time::from_cycles(1);
         let mut head = start; // when the first wavelet can enter the next link
         for hop in &path.hops {
             let key = (hop.from, hop.to);
-            let free = self.link_free_at.get(&key).copied().unwrap_or(0.0);
+            let free = self.link_free_at.get(&key).copied().unwrap_or(Time::ZERO);
             let link_start = head.max(free);
             self.link_free_at.insert(key, link_start + n);
-            head = link_start + 1.0; // per-hop latency for the head wavelet
+            head = link_start + one; // per-hop latency for the head wavelet
         }
         let src_done = start + n;
         let delivered = head + n; // last wavelet arrives n cycles after head
@@ -333,10 +335,10 @@ mod tests {
         let c = Color::new(1);
         f.route_east_chain(0, 0, 2, c);
         let p = f.resolve_path(PeId::new(0, 0), c, None).unwrap();
-        let (src_done, delivered) = f.schedule_stream(&p, 32, 0.0);
-        assert_eq!(src_done, 32.0);
+        let (src_done, delivered) = f.schedule_stream(&p, 32, Time::ZERO);
+        assert_eq!(src_done, Time::from_cycles(32));
         // Head reaches dest after 2 hops (2 cycles); last wavelet 32 later.
-        assert_eq!(delivered, 34.0);
+        assert_eq!(delivered, Time::from_cycles(34));
     }
 
     #[test]
@@ -345,11 +347,11 @@ mod tests {
         let c = Color::new(0);
         f.route_east_chain(0, 0, 1, c);
         let p = f.resolve_path(PeId::new(0, 0), c, None).unwrap();
-        let (_, d1) = f.schedule_stream(&p, 10, 0.0);
-        let (_, d2) = f.schedule_stream(&p, 10, 0.0);
-        assert_eq!(d1, 11.0);
+        let (_, d1) = f.schedule_stream(&p, 10, Time::ZERO);
+        let (_, d2) = f.schedule_stream(&p, 10, Time::ZERO);
+        assert_eq!(d1, Time::from_cycles(11));
         // Second stream waits for the link: starts at 10, head at 11, done 21.
-        assert_eq!(d2, 21.0);
+        assert_eq!(d2, Time::from_cycles(21));
     }
 
     #[test]
@@ -462,8 +464,8 @@ mod tests {
         let p = f.resolve_path(PeId::new(0, 0), c, None).unwrap();
         assert_eq!(p.dest, PeId::new(0, 0));
         assert!(p.hops.is_empty());
-        let (s, d) = f.schedule_stream(&p, 8, 5.0);
-        assert_eq!(s, 13.0);
-        assert_eq!(d, 13.0);
+        let (s, d) = f.schedule_stream(&p, 8, Time::from_cycles(5));
+        assert_eq!(s, Time::from_cycles(13));
+        assert_eq!(d, Time::from_cycles(13));
     }
 }

@@ -5,12 +5,17 @@
 //! the flight recorder says *where* and *why*: which rows sit idle waiting
 //! for wavelets, which links serialize streams, which relay PEs spend their
 //! cycles backpressured. Sampling is windowed — every busy or stalled span
-//! is distributed over fixed-size cycle buckets — so the recording is a
+//! is distributed over fixed-size time buckets — so the recording is a
 //! time-series per PE and per link, not just a total.
+//!
+//! All sampled quantities are exact integer [`Time`] ticks: bucketing is
+//! pure integer arithmetic (no float rounding at bucket boundaries) and
+//! totals never drift, which is what lets the perf gate compare recordings
+//! with zero tolerance.
 //!
 //! ## Stall taxonomy
 //!
-//! Every attributed cycle falls into one of four causes:
+//! Every attributed tick falls into one of four causes:
 //!
 //! * **compute** — the processor was executing a task (`busy` series);
 //! * **send-backpressured** — a stream this PE forwarded was delayed
@@ -27,11 +32,12 @@
 //! ## Determinism
 //!
 //! Samples are accumulated per shard by the thread that owns the shard and
-//! merged row-major after the join — the same floating-point addition order
-//! at any thread count — so a [`FlightRecording`] is bit-identical whether
-//! the run was serial or sharded. Recording never changes event timing, so
-//! the functional parts of a [`crate::RunReport`] are bit-identical with
-//! sampling on or off (pinned by `tests/determinism.rs`).
+//! merged row-major after the join. With integer ticks the merge is exact
+//! by construction — no addition-order concerns — so a [`FlightRecording`]
+//! is bit-identical whether the run was serial or sharded. Recording never
+//! changes event timing, so the functional parts of a [`crate::RunReport`]
+//! are bit-identical with sampling on or off (pinned by
+//! `tests/determinism.rs`).
 
 use std::collections::BTreeMap;
 
@@ -39,29 +45,34 @@ use telemetry::chrome::ChromeTrace;
 use telemetry::json::JsonValue;
 
 use crate::geom::PeId;
+use crate::time::{Time, TICKS_PER_CYCLE};
+
+/// A tick count as an exact JSON integer (tick totals stay far below 2^53).
+fn jticks(t: Time) -> JsonValue {
+    JsonValue::Num(t.ticks() as f64)
+}
 
 /// Flight-recorder sampling configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlightConfig {
-    /// Cycles per sample window (time-series bucket). Smaller windows give
-    /// finer time resolution at proportionally more memory per PE.
-    pub window: f64,
+    /// Simulated time per sample window (time-series bucket). Smaller
+    /// windows give finer time resolution at proportionally more memory
+    /// per PE.
+    pub window: Time,
 }
 
 impl FlightConfig {
-    /// Default sampling window in cycles.
-    pub const DEFAULT_WINDOW: f64 = 1024.0;
+    /// Default sampling window (1024 cycles).
+    pub const DEFAULT_WINDOW: Time = Time::from_cycles(1024);
 
     /// Config with the given sampling window.
     ///
     /// # Panics
-    /// If `window` is not positive and finite.
+    /// If `window` is zero (with integer time there is no NaN/negative
+    /// window left to reject).
     #[must_use]
-    pub fn new(window: f64) -> Self {
-        assert!(
-            window.is_finite() && window > 0.0,
-            "flight-recorder window must be positive and finite"
-        );
+    pub fn new(window: Time) -> Self {
+        assert!(!window.is_zero(), "flight-recorder window must be nonzero");
         Self { window }
     }
 }
@@ -106,7 +117,7 @@ impl StallCause {
 /// Which per-PE series a heatmap or top-K query reads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Metric {
-    /// Compute (busy) cycles.
+    /// Compute (busy) time.
     Busy,
     /// One stall cause.
     Stall(StallCause),
@@ -139,61 +150,63 @@ impl Metric {
     }
 }
 
-/// A windowed cycle series: bucket `i` holds the cycles that fell into
+/// A windowed time series: bucket `i` holds the ticks that fell into
 /// `[i·window, (i+1)·window)`.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Series {
-    buckets: Vec<f64>,
+    buckets: Vec<Time>,
 }
 
 impl Series {
     /// Distribute the span `[start, end)` over the buckets it overlaps.
-    fn add_span(&mut self, window: f64, start: f64, end: f64) {
-        // Rejects empty, inverted, and NaN spans alike.
-        if end.partial_cmp(&start) != Some(std::cmp::Ordering::Greater) {
-            return;
+    ///
+    /// Pure integer arithmetic: a span ending exactly on a bucket boundary
+    /// contributes nothing to the bucket it abuts, and a zero-length span
+    /// contributes nothing anywhere — there are no float-rounding edge
+    /// cases at the boundaries.
+    fn add_span(&mut self, window: Time, start: Time, end: Time) {
+        if end <= start {
+            return; // zero-length (or inverted) spans carry no time
         }
-        let first = (start / window) as usize;
-        // `ceil - 1` so a span ending exactly on a bucket boundary doesn't
-        // allocate the (empty) bucket it abuts.
-        let last = (((end / window).ceil() as usize).saturating_sub(1)).max(first);
+        let w = window.ticks();
+        let first = (start.ticks() / w) as usize;
+        // Last tick of the span is `end - 1`, so `end` exactly on a bucket
+        // boundary never allocates the bucket it abuts.
+        let last = (((end.ticks() - 1) / w) as usize).max(first);
         if self.buckets.len() <= last {
-            self.buckets.resize(last + 1, 0.0);
+            self.buckets.resize(last + 1, Time::ZERO);
         }
         for (i, bucket) in self.buckets[first..=last].iter_mut().enumerate() {
-            let b = (first + i) as f64;
-            let overlap = end.min((b + 1.0) * window) - start.max(b * window);
-            if overlap > 0.0 {
-                *bucket += overlap;
-            }
+            let b = (first + i) as u64;
+            let lo = Time::from_ticks(b * w);
+            let hi = Time::from_ticks((b + 1) * w);
+            *bucket += end.min(hi) - start.max(lo);
         }
     }
 
     /// The per-window buckets, earliest first.
     #[must_use]
-    pub fn buckets(&self) -> &[f64] {
+    pub fn buckets(&self) -> &[Time] {
         &self.buckets
     }
 
-    /// Sum over all buckets.
+    /// Sum over all buckets (exact).
     #[must_use]
-    pub fn total(&self) -> f64 {
-        // Fold from +0.0: an empty `Iterator::sum` yields -0.0, which would
-        // print as "-0" in the CSV/JSON artifacts.
-        self.buckets.iter().fold(0.0, |acc, v| acc + v)
+    pub fn total(&self) -> Time {
+        self.buckets.iter().copied().sum()
     }
 }
 
 /// Flight samples of one PE.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PeFlight {
-    /// Compute (busy) cycles per window.
+    /// Compute (busy) time per window.
     pub busy: Series,
-    /// Send-backpressure stall cycles per window.
+    /// Send-backpressure stall time per window.
     pub send_backpressure: Series,
-    /// Recv-waiting stall cycles per window.
+    /// Recv-waiting stall time per window.
     pub recv_waiting: Series,
-    /// Ramp-blocked stall cycles per window.
+    /// Ramp-blocked stall time per window.
     pub ramp_blocked: Series,
     /// High-watermark of wavelets buffered in this PE's inbox on any single
     /// color (channel queue occupancy).
@@ -219,9 +232,9 @@ impl PeFlight {
         }
     }
 
-    /// Total cycles of `metric` over the whole run.
+    /// Total time of `metric` over the whole run.
     #[must_use]
-    pub fn metric_total(&self, metric: Metric) -> f64 {
+    pub fn metric_total(&self, metric: Metric) -> Time {
         match metric {
             Metric::Busy => self.busy.total(),
             Metric::Stall(c) => self.stall(c).total(),
@@ -231,23 +244,23 @@ impl PeFlight {
 }
 
 /// Flight samples of one fabric link.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LinkFlight {
-    /// Cycles the link was occupied by a stream, per window.
+    /// Time the link was occupied by a stream, per window.
     pub occupancy: Series,
     /// Wavelets that crossed the link.
     pub wavelets: u64,
     /// Streams that crossed the link.
     pub streams: u64,
-    /// Total cycles streams were delayed waiting for this link.
-    pub backpressure_cycles: f64,
+    /// Total time streams were delayed waiting for this link.
+    pub backpressure: Time,
 }
 
 /// Per-shard sample accumulator: owned and written by exactly one worker
 /// thread during the run, merged row-major afterwards.
 #[derive(Debug)]
 pub(crate) struct FlightShard {
-    window: f64,
+    window: Time,
     /// Per-column PE samples of this shard's row.
     pub(crate) pes: Vec<PeFlight>,
     /// Links *leaving* this shard's PEs (the links the shard owns).
@@ -255,7 +268,7 @@ pub(crate) struct FlightShard {
 }
 
 impl FlightShard {
-    pub(crate) fn new(window: f64, cols: usize) -> Self {
+    pub(crate) fn new(window: Time, cols: usize) -> Self {
         Self {
             window,
             pes: vec![PeFlight::default(); cols],
@@ -264,25 +277,26 @@ impl FlightShard {
     }
 
     /// Record a task execution span on column `col`.
-    pub(crate) fn on_busy(&mut self, col: usize, start: f64, end: f64) {
+    pub(crate) fn on_busy(&mut self, col: usize, start: Time, end: Time) {
         self.pes[col].busy.add_span(self.window, start, end);
     }
 
     /// Record a stall span of `cause` on column `col`.
-    pub(crate) fn on_stall(&mut self, col: usize, cause: StallCause, start: f64, end: f64) {
+    pub(crate) fn on_stall(&mut self, col: usize, cause: StallCause, start: Time, end: Time) {
         self.pes[col]
             .stall_mut(cause)
             .add_span(self.window, start, end);
     }
 
-    /// Record a stream reserving `(from, to)` for `[start, start+n)` after
-    /// waiting `delay` cycles for the link, carrying `n` wavelets.
-    pub(crate) fn on_link(&mut self, from: PeId, to: PeId, start: f64, n: f64, delay: f64) {
+    /// Record a stream reserving `(from, to)` for `n` wavelet-cycles from
+    /// `start` after waiting `delay` for the link.
+    pub(crate) fn on_link(&mut self, from: PeId, to: PeId, start: Time, n: u64, delay: Time) {
         let link = self.links.entry((from, to)).or_default();
-        link.occupancy.add_span(self.window, start, start + n);
-        link.wavelets += n as u64;
+        link.occupancy
+            .add_span(self.window, start, start + Time::from_cycles(n));
+        link.wavelets += n;
         link.streams += 1;
-        link.backpressure_cycles += delay;
+        link.backpressure += delay;
     }
 
     /// Record the inbox depth of column `col` after a delivery.
@@ -295,9 +309,9 @@ impl FlightShard {
 /// A merged flight recording of a completed run: per-PE and per-link
 /// windowed time-series plus the derived reports (heatmaps, top-K
 /// congestion tables, stall breakdowns, export documents).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlightRecording {
-    window: f64,
+    window: Time,
     rows: usize,
     cols: usize,
     /// Row-major per-PE samples.
@@ -307,7 +321,7 @@ pub struct FlightRecording {
 
 impl FlightRecording {
     pub(crate) fn from_parts(
-        window: f64,
+        window: Time,
         rows: usize,
         cols: usize,
         pes: Vec<PeFlight>,
@@ -323,9 +337,9 @@ impl FlightRecording {
         }
     }
 
-    /// Sampling window in cycles.
+    /// Sampling window.
     #[must_use]
-    pub fn window(&self) -> f64 {
+    pub fn window(&self) -> Time {
         self.window
     }
 
@@ -378,11 +392,11 @@ impl FlightRecording {
         pe_max.max(link_max)
     }
 
-    /// Whole-run stall breakdown: total cycles per taxonomy cause, plus
-    /// `compute` (busy cycles), summed over all PEs. Keys are the stable
+    /// Whole-run stall breakdown: total time per taxonomy cause, plus
+    /// `compute` (busy time), summed over all PEs. Keys are the stable
     /// snake-case names.
     #[must_use]
-    pub fn stall_totals(&self) -> BTreeMap<&'static str, f64> {
+    pub fn stall_totals(&self) -> BTreeMap<&'static str, Time> {
         let mut totals = BTreeMap::new();
         totals.insert("compute", self.pes.iter().map(|p| p.busy.total()).sum());
         for cause in StallCause::ALL {
@@ -394,10 +408,10 @@ impl FlightRecording {
         totals
     }
 
-    /// Mesh-shaped totals of `metric`: `grid[row][col]` is the PE's cycles
-    /// over the whole run.
+    /// Mesh-shaped totals of `metric`: `grid[row][col]` is the PE's total
+    /// time over the whole run.
     #[must_use]
-    pub fn heatmap(&self, metric: Metric) -> Vec<Vec<f64>> {
+    pub fn heatmap(&self, metric: Metric) -> Vec<Vec<Time>> {
         (0..self.rows)
             .map(|r| {
                 (0..self.cols)
@@ -410,18 +424,18 @@ impl FlightRecording {
     /// The `k` PEs with the highest `metric` totals, descending; ties break
     /// row-major. PEs with a zero total are omitted.
     #[must_use]
-    pub fn top_pes(&self, metric: Metric, k: usize) -> Vec<(PeId, f64)> {
-        let mut ranked: Vec<(PeId, f64)> = (0..self.rows)
+    pub fn top_pes(&self, metric: Metric, k: usize) -> Vec<(PeId, Time)> {
+        let mut ranked: Vec<(PeId, Time)> = (0..self.rows)
             .flat_map(|r| (0..self.cols).map(move |c| PeId::new(r, c)))
             .map(|pe| (pe, self.pe(pe).metric_total(metric)))
-            .filter(|&(_, v)| v > 0.0)
+            .filter(|&(_, v)| !v.is_zero())
             .collect();
-        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         ranked.truncate(k);
         ranked
     }
 
-    /// The `k` most occupied links, by total occupancy cycles, descending;
+    /// The `k` most occupied links, by total occupancy time, descending;
     /// ties break on the `(from, to)` key. Unused links never appear (only
     /// links that carried a stream are recorded).
     #[must_use]
@@ -431,7 +445,7 @@ impl FlightRecording {
         ranked.sort_by(|a, b| {
             b.1.occupancy
                 .total()
-                .total_cmp(&a.1.occupancy.total())
+                .cmp(&a.1.occupancy.total())
                 .then_with(|| a.0.cmp(&b.0))
         });
         ranked.truncate(k);
@@ -456,7 +470,7 @@ impl FlightRecording {
         let mut tiles = vec![vec![0.0f64; out_cols]; out_rows];
         for (r, row) in grid.iter().enumerate() {
             for (c, &v) in row.iter().enumerate() {
-                tiles[r / tile_r][c / tile_c] += v;
+                tiles[r / tile_r][c / tile_c] += v.ticks() as f64;
             }
         }
         let per_tile = (tile_r * tile_c) as f64;
@@ -471,7 +485,7 @@ impl FlightRecording {
             self.rows,
             self.cols,
             tile_r * tile_c,
-            max
+            max / TICKS_PER_CYCLE as f64
         ));
         for (r, tile_row) in tiles.iter().enumerate() {
             out.push_str(&format!("{:>5} |", r * tile_r));
@@ -492,7 +506,8 @@ impl FlightRecording {
 
     /// Export the recording as a mesh-shaped JSON document: run metadata,
     /// per-metric total grids, per-metric windowed series (row-major PE
-    /// order), and the per-link table.
+    /// order), and the per-link table. Every time-valued field is an exact
+    /// integer tick count (`ticks_per_cycle` gives the scale).
     #[must_use]
     pub fn to_json(&self) -> JsonValue {
         use JsonValue as J;
@@ -501,7 +516,7 @@ impl FlightRecording {
             J::Arr(
                 self.heatmap(metric)
                     .into_iter()
-                    .map(|row| J::Arr(row.into_iter().map(J::Num).collect()))
+                    .map(|row| J::Arr(row.into_iter().map(jticks).collect()))
                     .collect(),
             )
         };
@@ -515,7 +530,7 @@ impl FlightRecording {
                         // series has the same length in the artifact.
                         J::Arr(
                             (0..buckets)
-                                .map(|i| J::Num(s.get(i).copied().unwrap_or(0.0)))
+                                .map(|i| jticks(s.get(i).copied().unwrap_or(Time::ZERO)))
                                 .collect(),
                         )
                     })
@@ -566,17 +581,18 @@ impl FlightRecording {
                             "to",
                             J::Arr(vec![J::Num(to.row as f64), J::Num(to.col as f64)]),
                         ),
-                        ("occupancy_cycles", J::Num(l.occupancy.total())),
+                        ("occupancy_ticks", jticks(l.occupancy.total())),
                         ("wavelets", J::Num(l.wavelets as f64)),
                         ("streams", J::Num(l.streams as f64)),
-                        ("backpressure_cycles", J::Num(l.backpressure_cycles)),
+                        ("backpressure_ticks", jticks(l.backpressure)),
                     ])
                 })
                 .collect(),
         );
         J::obj(vec![
             ("artifact", J::Str("ceresz-flight-recording".into())),
-            ("window_cycles", J::Num(self.window)),
+            ("ticks_per_cycle", J::Num(TICKS_PER_CYCLE as f64)),
+            ("window_ticks", jticks(self.window)),
             ("rows", J::Num(self.rows as f64)),
             ("cols", J::Num(self.cols as f64)),
             ("buckets", J::Num(buckets as f64)),
@@ -587,22 +603,23 @@ impl FlightRecording {
     }
 
     /// Export the per-PE totals as a CSV table (one row per PE, row-major;
-    /// links are only in the JSON artifact).
+    /// links are only in the JSON artifact). Time columns are integer tick
+    /// counts.
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "row,col,busy_cycles,send_backpressure_cycles,recv_waiting_cycles,\
-             ramp_blocked_cycles,inbox_high_watermark\n",
+            "row,col,busy_ticks,send_backpressure_ticks,recv_waiting_ticks,\
+             ramp_blocked_ticks,inbox_high_watermark\n",
         );
         for r in 0..self.rows {
             for c in 0..self.cols {
                 let p = self.pe(PeId::new(r, c));
                 out.push_str(&format!(
                     "{r},{c},{},{},{},{},{}\n",
-                    p.busy.total(),
-                    p.send_backpressure.total(),
-                    p.recv_waiting.total(),
-                    p.ramp_blocked.total(),
+                    p.busy.total().ticks(),
+                    p.send_backpressure.total().ticks(),
+                    p.recv_waiting.total().ticks(),
+                    p.ramp_blocked.total().ticks(),
                     p.inbox_high_watermark
                 ));
             }
@@ -617,12 +634,17 @@ impl FlightRecording {
         let buckets = self.bucket_count();
         let mut emit = |name: &str, f: &dyn Fn(&PeFlight) -> &Series| {
             for i in 0..buckets {
-                let v: f64 = self
+                let v: Time = self
                     .pes
                     .iter()
-                    .map(|p| f(p).buckets().get(i).copied().unwrap_or(0.0))
+                    .map(|p| f(p).buckets().get(i).copied().unwrap_or(Time::ZERO))
                     .sum();
-                trace.counter(pid, format!("flight: {name}"), i as f64 * self.window, v);
+                trace.counter(
+                    pid,
+                    format!("flight: {name}"),
+                    (self.window * i as u64).cycles_f64(),
+                    v.cycles_f64(),
+                );
             }
         };
         emit("compute cycles/window", &|p| &p.busy);
@@ -636,70 +658,108 @@ impl FlightRecording {
 mod tests {
     use super::*;
 
+    fn cyc(c: u64) -> Time {
+        Time::from_cycles(c)
+    }
+
     #[test]
     fn span_distributes_over_buckets() {
         let mut s = Series::default();
         // Window 10: span [5, 25) → 5 cycles in bucket 0, 10 in 1, 5 in 2.
-        s.add_span(10.0, 5.0, 25.0);
-        assert_eq!(s.buckets(), &[5.0, 10.0, 5.0]);
-        assert_eq!(s.total(), 20.0);
+        s.add_span(cyc(10), cyc(5), cyc(25));
+        assert_eq!(s.buckets(), &[cyc(5), cyc(10), cyc(5)]);
+        assert_eq!(s.total(), cyc(20));
     }
 
     #[test]
     fn span_on_boundary_touches_one_bucket() {
         let mut s = Series::default();
-        s.add_span(10.0, 10.0, 20.0);
-        assert_eq!(s.buckets(), &[0.0, 10.0]);
+        s.add_span(cyc(10), cyc(10), cyc(20));
+        assert_eq!(s.buckets(), &[Time::ZERO, cyc(10)]);
+    }
+
+    #[test]
+    fn span_ending_exactly_on_boundary_skips_next_bucket() {
+        // Pinned satellite behavior: `end` is exclusive, so a span ending
+        // exactly on a bucket boundary must not allocate the bucket it
+        // abuts — with integer ticks this is exact, not a rounding accident.
+        let mut s = Series::default();
+        s.add_span(cyc(10), cyc(0), cyc(10));
+        assert_eq!(s.buckets(), &[cyc(10)]);
+        s.add_span(cyc(10), cyc(19), cyc(20));
+        assert_eq!(s.buckets(), &[cyc(10), cyc(1)]);
+    }
+
+    #[test]
+    fn one_tick_span_lands_in_its_bucket() {
+        // The smallest representable span: exactly one tick wide, starting
+        // one tick before a bucket boundary.
+        let mut s = Series::default();
+        let end = cyc(10);
+        s.add_span(cyc(10), end - Time::from_ticks(1), end);
+        assert_eq!(s.buckets(), &[Time::from_ticks(1)]);
     }
 
     #[test]
     fn empty_span_is_ignored() {
         let mut s = Series::default();
-        s.add_span(10.0, 5.0, 5.0);
-        s.add_span(10.0, 7.0, 3.0);
+        s.add_span(cyc(10), cyc(5), cyc(5));
+        s.add_span(cyc(10), cyc(7), cyc(3));
         assert!(s.buckets().is_empty());
-        assert_eq!(s.total(), 0.0);
+        assert_eq!(s.total(), Time::ZERO);
     }
 
     fn recording_2x2() -> FlightRecording {
-        let mut a = FlightShard::new(10.0, 2);
-        a.on_busy(0, 0.0, 15.0);
-        a.on_stall(1, StallCause::RecvWaiting, 0.0, 5.0);
-        a.on_link(PeId::new(0, 0), PeId::new(0, 1), 2.0, 4.0, 1.5);
+        let mut a = FlightShard::new(cyc(10), 2);
+        a.on_busy(0, cyc(0), cyc(15));
+        a.on_stall(1, StallCause::RecvWaiting, cyc(0), cyc(5));
+        a.on_link(
+            PeId::new(0, 0),
+            PeId::new(0, 1),
+            cyc(2),
+            4,
+            Time::from_ticks(1_500),
+        );
         a.on_inbox_depth(1, 7);
-        let mut b = FlightShard::new(10.0, 2);
-        b.on_busy(1, 0.0, 30.0);
-        b.on_stall(0, StallCause::SendBackpressure, 3.0, 9.0);
+        let mut b = FlightShard::new(cyc(10), 2);
+        b.on_busy(1, cyc(0), cyc(30));
+        b.on_stall(0, StallCause::SendBackpressure, cyc(3), cyc(9));
         let mut pes = a.pes;
         pes.extend(b.pes);
         let mut links = a.links;
         links.extend(b.links);
-        FlightRecording::from_parts(10.0, 2, 2, pes, links)
+        FlightRecording::from_parts(cyc(10), 2, 2, pes, links)
     }
 
     #[test]
     fn totals_and_topk_are_ranked() {
         let rec = recording_2x2();
         let totals = rec.stall_totals();
-        assert_eq!(totals["compute"], 45.0);
-        assert_eq!(totals["recv_waiting"], 5.0);
-        assert_eq!(totals["send_backpressure"], 6.0);
-        assert_eq!(totals["ramp_blocked"], 0.0);
+        assert_eq!(totals["compute"], cyc(45));
+        assert_eq!(totals["recv_waiting"], cyc(5));
+        assert_eq!(totals["send_backpressure"], cyc(6));
+        assert_eq!(totals["ramp_blocked"], Time::ZERO);
 
         let top = rec.top_pes(Metric::Busy, 5);
-        assert_eq!(top, vec![(PeId::new(1, 1), 30.0), (PeId::new(0, 0), 15.0)]);
+        assert_eq!(
+            top,
+            vec![(PeId::new(1, 1), cyc(30)), (PeId::new(0, 0), cyc(15))]
+        );
         let links = rec.top_links(5);
         assert_eq!(links.len(), 1);
         assert_eq!(links[0].0, (PeId::new(0, 0), PeId::new(0, 1)));
         assert_eq!(links[0].1.wavelets, 4);
-        assert_eq!(links[0].1.backpressure_cycles, 1.5);
+        assert_eq!(links[0].1.backpressure, Time::from_ticks(1_500));
     }
 
     #[test]
     fn heatmap_shapes_match_mesh() {
         let rec = recording_2x2();
         let grid = rec.heatmap(Metric::TotalStall);
-        assert_eq!(grid, vec![vec![0.0, 5.0], vec![6.0, 0.0]]);
+        assert_eq!(
+            grid,
+            vec![vec![Time::ZERO, cyc(5)], vec![cyc(6), Time::ZERO]]
+        );
         let ascii = rec.ascii_heatmap(Metric::Busy, 64, 64);
         let lines: Vec<&str> = ascii.lines().collect();
         assert_eq!(lines.len(), 3); // header + 2 mesh rows
@@ -711,7 +771,7 @@ mod tests {
     #[test]
     fn ascii_heatmap_downsamples_wide_meshes() {
         let pes = vec![PeFlight::default(); 4 * 100];
-        let rec = FlightRecording::from_parts(10.0, 4, 100, pes, BTreeMap::new());
+        let rec = FlightRecording::from_parts(cyc(10), 4, 100, pes, BTreeMap::new());
         let ascii = rec.ascii_heatmap(Metric::Busy, 2, 25);
         let lines: Vec<&str> = ascii.lines().collect();
         assert_eq!(lines.len(), 3); // header + 2 downsampled rows
@@ -725,17 +785,36 @@ mod tests {
         let doc = rec.to_json();
         assert_eq!(doc.get("rows").unwrap().as_f64(), Some(2.0));
         assert_eq!(doc.get("buckets").unwrap().as_f64(), Some(3.0));
+        assert_eq!(doc.get("ticks_per_cycle").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(doc.get("window_ticks").unwrap().as_f64(), Some(10_000.0));
         let busy = doc.get("pe_totals").unwrap().get("busy").unwrap();
         let row1 = busy.as_arr().unwrap()[1].as_arr().unwrap();
-        assert_eq!(row1[1].as_f64(), Some(30.0));
-        // The document round-trips through the workspace JSON parser.
+        assert_eq!(row1[1].as_f64(), Some(30_000.0)); // 30 cycles in ticks
+                                                      // The document round-trips through the workspace JSON parser.
         let parsed = telemetry::json::parse(&doc.to_pretty()).unwrap();
         assert_eq!(parsed, doc);
 
         let csv = rec.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 5); // header + 4 PEs
-        assert_eq!(lines[2], "0,1,0,0,5,0,7");
+        assert_eq!(lines[2], "0,1,0,0,5000,0,7");
+    }
+
+    #[test]
+    fn json_time_fields_are_integer_ticks() {
+        // Satellite contract: every time-valued field in the artifact is an
+        // exact integer (fractional cycles appear only as tick counts).
+        let rec = recording_2x2();
+        let doc = rec.to_json();
+        fn assert_integral(v: &JsonValue) {
+            match v {
+                JsonValue::Num(n) => assert_eq!(n.fract(), 0.0, "fractional artifact value {n}"),
+                JsonValue::Arr(items) => items.iter().for_each(assert_integral),
+                JsonValue::Obj(fields) => fields.iter().for_each(|(_, v)| assert_integral(v)),
+                _ => {}
+            }
+        }
+        assert_integral(&doc);
     }
 
     #[test]

@@ -69,7 +69,7 @@
 //! sim.set_program(PeId::new(0, 0), Box::new(Sender));
 //! sim.set_program(PeId::new(0, 1), Box::new(Receiver));
 //! sim.post_recv(PeId::new(0, 1), DATA, 4, RECV_DONE);
-//! sim.activate(PeId::new(0, 0), TaskId(9), 0.0); // kick the sender
+//! sim.activate(PeId::new(0, 0), TaskId(9), wse_sim::Time::ZERO); // kick the sender
 //! let report = sim.run().unwrap();
 //! assert_eq!(report.outputs(PeId::new(0, 1)), &[vec![1, 2, 3, 4]]);
 //! ```
@@ -86,6 +86,7 @@ pub mod program;
 pub(crate) mod shard;
 pub mod sim;
 pub mod stats;
+pub mod time;
 pub mod trace;
 
 pub use cost::{CostModel, Op};
@@ -95,8 +96,9 @@ pub use flight::{FlightConfig, FlightRecording, LinkFlight, Metric, PeFlight, Se
 pub use geom::{Direction, PeId};
 pub use memory::MemoryTracker;
 pub use program::{PeProgram, TaskCtx, TaskId};
-pub use sim::{MeshConfig, RunReport, Simulator};
+pub use sim::{EngineMode, MeshConfig, RunReport, Simulator};
 pub use stats::{PeStats, SimStats};
+pub use time::{Time, TICKS_PER_CYCLE};
 pub use trace::{Trace, TraceEvent};
 
 /// SRAM bytes per PE on the CS-2 (§5.1.1 of the CereSZ paper).

@@ -6,23 +6,24 @@ use crate::fabric::Color;
 use crate::memory::MemoryTracker;
 use crate::program::{PeProgram, TaskId};
 use crate::stats::PeStats;
+use crate::time::Time;
 
 /// An outstanding input DSD: activate `task` once `extent` wavelets arrived.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct PendingRecv {
     pub extent: usize,
     pub task: TaskId,
-    /// Cycle the receive was posted — the start of the recv-waiting stall
+    /// Instant the receive was posted — the start of the recv-waiting stall
     /// span the flight recorder attributes when the DSD completes.
-    pub posted_at: f64,
+    pub posted_at: Time,
 }
 
 /// Runtime state of one PE.
 pub(crate) struct PeState {
     /// The program, taken out while its task runs (re-entrancy guard).
     pub program: Option<Box<dyn PeProgram>>,
-    /// Earliest cycle the processor is free.
-    pub busy_until: f64,
+    /// Earliest instant the processor is free.
+    pub busy_until: Time,
     /// Wavelets delivered per color, not yet claimed by an input DSD.
     pub inbox: HashMap<Color, VecDeque<u32>>,
     /// At most one outstanding input DSD per color.
@@ -41,7 +42,7 @@ impl PeState {
     pub fn new(sram_bytes: usize) -> Self {
         Self {
             program: None,
-            busy_until: 0.0,
+            busy_until: Time::ZERO,
             inbox: HashMap::new(),
             pending_recv: HashMap::new(),
             completed: HashMap::new(),

@@ -16,6 +16,7 @@ use crate::error::SimError;
 use crate::fabric::Color;
 use crate::geom::PeId;
 use crate::memory::MemoryTracker;
+use crate::time::Time;
 
 /// Identifier of a task within one PE's program (the analogue of a bound
 /// task color in CSL).
@@ -75,20 +76,20 @@ pub(crate) enum Effect {
 /// and records deferred effects plus charged cycles.
 pub struct TaskCtx<'a> {
     pub(crate) pe: PeId,
-    pub(crate) now: f64,
+    pub(crate) now: Time,
     pub(crate) cost: &'a CostModel,
     pub(crate) memory: &'a mut MemoryTracker,
     pub(crate) completed: &'a mut std::collections::HashMap<Color, Vec<u32>>,
-    pub(crate) charged: f64,
+    pub(crate) charged: Time,
     pub(crate) effects: Vec<Effect>,
     /// Whether per-stage cycle attribution is being collected this run.
     pub(crate) attribution: bool,
     /// Currently open stage label, if any.
     pub(crate) stage: Option<String>,
     /// `charged` at the time the current stage segment opened.
-    pub(crate) stage_base: f64,
-    /// Closed `(stage, cycles)` segments of this task.
-    pub(crate) stage_charges: Vec<(String, f64)>,
+    pub(crate) stage_base: Time,
+    /// Closed `(stage, time)` segments of this task.
+    pub(crate) stage_charges: Vec<(String, Time)>,
 }
 
 impl<'a> TaskCtx<'a> {
@@ -98,25 +99,25 @@ impl<'a> TaskCtx<'a> {
         self.pe
     }
 
-    /// Simulation time (cycles) when this task started.
+    /// Simulation time when this task started.
     #[must_use]
-    pub fn now(&self) -> f64 {
+    pub fn now(&self) -> Time {
         self.now
     }
 
     /// Charge `count` repetitions of `op` to this task's execution time.
     pub fn charge(&mut self, op: Op, count: u64) {
-        self.charged += self.cost.cycles(op, count);
+        self.charged += self.cost.cost(op, count);
     }
 
-    /// Charge raw cycles (for costs outside the op table).
-    pub fn charge_cycles(&mut self, cycles: f64) {
-        self.charged += cycles;
+    /// Charge a raw duration (for costs outside the op table).
+    pub fn charge_time(&mut self, time: Time) {
+        self.charged += time;
     }
 
-    /// Cycles charged so far in this task (excluding the task overhead).
+    /// Time charged so far in this task (excluding the task overhead).
     #[must_use]
-    pub fn charged(&self) -> f64 {
+    pub fn charged(&self) -> Time {
         self.charged
     }
 
@@ -141,12 +142,12 @@ impl<'a> TaskCtx<'a> {
         self.stage = Some(name.to_owned());
     }
 
-    /// Close the open stage segment, attributing its charged cycles.
+    /// Close the open stage segment, attributing its charged time.
     pub(crate) fn close_stage_segment(&mut self) {
         let delta = self.charged - self.stage_base;
         self.stage_base = self.charged;
         let stage = self.stage.take();
-        if delta > 0.0 {
+        if !delta.is_zero() {
             let label = stage.unwrap_or_else(|| "unattributed".to_owned());
             self.stage_charges.push((label, delta));
         }

@@ -1,4 +1,4 @@
-//! The sharded parallel engine core.
+//! The sharded discrete-event engine core.
 //!
 //! The mesh is partitioned into **shards of one PE row each**. Rows are the
 //! natural cut for the CereSZ mappings: every data stream in the paper's
@@ -8,27 +8,44 @@
 //! every link *leaving* one of its PEs (including the southward/northward
 //! links into neighbor rows).
 //!
+//! All event timestamps are integer [`Time`] ticks, so the heap order — and
+//! with it every tie-break — is exact integer comparison: there is no float
+//! rounding anywhere in the timing path.
+//!
 //! Rows that a routing rule couples vertically (a `North`/`South` input or
 //! output anywhere in the row) are merged into a **group** via union-find.
 //! A singleton group free-runs its heap to exhaustion — byte-for-byte the
-//! behavior of the old serial engine restricted to that row. A multi-row
-//! group steps its shards in lockstep **cycle quanta**: all shards process
-//! events in `[T, T+1)`, then meet at a barrier and exchange boundary
+//! behavior of the serial engine restricted to that row. A multi-row group
+//! synchronizes on **cycle-aligned event horizons**: windows `[C, C+1)`
+//! cycles with `C` on the integer cycle grid. All shards process events
+//! strictly inside the window, then meet at a barrier and exchange boundary
 //! wavelets through per-shard mailboxes ([`BoundaryMsg`]). The outbox a
-//! shard fills during a quantum is the write side of the mailbox; the
+//! shard fills during a window is the write side of the mailbox; the
 //! destination shard's heap, refilled at the barrier, is the read side —
 //! the two are never touched in the same phase, which is what makes the
 //! exchange race-free without locks.
 //!
-//! **Why a quantum of one cycle is safe (the lookahead argument):** any
+//! **Why a one-cycle horizon is safe (the lookahead argument):** any
 //! influence a shard exerts on another travels over a fabric link, and the
 //! *first* hop of every stream leaves the sending PE — a link the sender's
 //! own shard owns. Reserving that hop advances the stream head by at least
-//! one cycle, so a boundary message caused by an event at time `u` carries a
-//! timestamp `≥ u + 1`, past the end of the quantum that produced it.
-//! Delivering mailboxes at the barrier therefore never back-dates an event
-//! into a window a shard has already finished, and every shard observes
-//! exactly the event sequence the serial engine would have produced.
+//! one cycle, so a boundary message caused by an event at time `u ≥ C`
+//! carries a timestamp `≥ u + 1 ≥ C + 1` cycles, past the end of the window
+//! that produced it. Delivering mailboxes at the barrier therefore never
+//! back-dates an event into a window a shard has already finished.
+//!
+//! **The two engines.** [`EngineMode::CycleStepped`] is the reference: it
+//! visits *every* cycle window from the first event onward, stepping every
+//! shard and exchanging mailboxes once per cycle — the classic cycle-stepped
+//! simulator loop. [`EngineMode::EventDriven`] is the production engine: at
+//! each round it jumps `C` straight to the cycle of the earliest pending
+//! event anywhere in the group and only steps the shards that actually have
+//! an event inside the window. Both produce identical results: a cycle
+//! window with no events processes nothing, emits nothing into any outbox,
+//! and assigns no sequence numbers — so skipping it is exact, not
+//! approximate. The equivalence suite (`tests/determinism.rs`) pins the two
+//! engines to bit-identical reports; the win is wall-clock only, and it is
+//! largest on sparse workloads where most cycles are idle.
 //!
 //! Groups are independent by construction, so they run in parallel on
 //! `std::thread::scope` threads; each group itself is stepped by a single
@@ -44,12 +61,13 @@ use crate::flight::{FlightShard, StallCause};
 use crate::geom::{Direction, PeId};
 use crate::pe::{PeState, PendingRecv};
 use crate::program::{Effect, TaskCtx, TaskId};
-use crate::sim::MeshConfig;
+use crate::sim::{EngineMode, MeshConfig};
+use crate::time::Time;
 use crate::trace::{Trace, TraceEvent};
 
-/// Lockstep window of a coupled group, in cycles. Matches the one-cycle
-/// per-hop fabric latency that bounds cross-shard lookahead.
-pub(crate) const QUANTUM: f64 = 1.0;
+/// One cycle: the event-horizon width of a coupled group. Matches the
+/// one-cycle per-hop fabric latency that bounds cross-shard lookahead.
+const HORIZON: Time = Time::from_cycles(1);
 
 /// What happens when an event fires.
 #[derive(Debug)]
@@ -92,10 +110,11 @@ impl EventKind {
 }
 
 /// A scheduled event. Ordered earliest-first by `(time, seq)`; `seq` breaks
-/// ties FIFO, which is what makes runs reproducible.
+/// ties FIFO, which is what makes runs reproducible. Both fields are
+/// integers, so the order is total and exact by construction.
 #[derive(Debug)]
 pub(crate) struct Event {
-    pub(crate) time: f64,
+    pub(crate) time: Time,
     pub(crate) seq: u64,
     pub(crate) kind: EventKind,
 }
@@ -116,7 +135,7 @@ impl Ord for Event {
         // Reversed: BinaryHeap is a max-heap, we need earliest-first.
         other
             .time
-            .total_cmp(&self.time)
+            .cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -125,7 +144,7 @@ impl Ord for Event {
 /// outbox until the group barrier swaps mailboxes.
 #[derive(Debug)]
 pub(crate) struct BoundaryMsg {
-    pub(crate) time: f64,
+    pub(crate) time: Time,
     pub(crate) dest_row: usize,
     pub(crate) kind: EventKind,
 }
@@ -149,18 +168,18 @@ pub(crate) struct Shard {
     /// so setup-time ordering is preserved within the shard.
     seq: u64,
     /// Occupancy clock of links leaving this shard's PEs.
-    links: HashMap<(PeId, PeId), f64>,
+    links: HashMap<(PeId, PeId), Time>,
     pub(crate) trace: Trace,
     /// Flight-recorder samples (present only when sampling is enabled; the
     /// hooks below are no-ops otherwise, keeping the hot path clean).
     pub(crate) flight: Option<FlightShard>,
     /// Per-column stage attribution (populated only with an enabled recorder).
-    pub(crate) stage_cycles: Vec<BTreeMap<String, f64>>,
-    /// Boundary messages produced this quantum (mailbox write side).
+    pub(crate) stage_cycles: Vec<BTreeMap<String, Time>>,
+    /// Boundary messages produced this window (mailbox write side).
     outbox: Vec<BoundaryMsg>,
-    pub(crate) finish: f64,
+    pub(crate) finish: Time,
     /// First error this shard hit, with the event time it fired at.
-    pub(crate) error: Option<(f64, SimError)>,
+    pub(crate) error: Option<(Time, SimError)>,
 }
 
 impl Shard {
@@ -169,7 +188,7 @@ impl Shard {
         cols: usize,
         pes: Vec<PeState>,
         seq0: u64,
-        flight_window: Option<f64>,
+        flight_window: Option<Time>,
     ) -> Self {
         debug_assert_eq!(pes.len(), cols);
         Self {
@@ -183,7 +202,7 @@ impl Shard {
             flight: flight_window.map(|w| FlightShard::new(w, cols)),
             stage_cycles: vec![BTreeMap::new(); cols],
             outbox: Vec::new(),
-            finish: 0.0,
+            finish: Time::ZERO,
             error: None,
         }
     }
@@ -194,7 +213,7 @@ impl Shard {
         self.events.push(ev);
     }
 
-    fn push(&mut self, time: f64, kind: EventKind) {
+    fn push(&mut self, time: Time, kind: EventKind) {
         self.events.push(Event {
             time,
             seq: self.seq,
@@ -211,12 +230,12 @@ impl Shard {
     }
 
     /// Timestamp of the next pending event.
-    pub(crate) fn next_time(&self) -> Option<f64> {
+    pub(crate) fn next_time(&self) -> Option<Time> {
         self.events.peek().map(|ev| ev.time)
     }
 
     /// Drain the heap to exhaustion (singleton group: no neighbors to sync
-    /// with, so no barriers are needed). Stops at the first error.
+    /// with, so no horizons are needed). Stops at the first error.
     pub(crate) fn run_free(&mut self, ctx: &EngineCtx<'_>) {
         while self.error.is_none() {
             let Some(ev) = self.events.pop() else { break };
@@ -228,8 +247,32 @@ impl Shard {
         );
     }
 
-    /// Process events strictly before `end` (one lockstep quantum).
-    pub(crate) fn run_until(&mut self, end: f64, ctx: &EngineCtx<'_>) {
+    /// The classic reference loop's per-PE sweep: ask every PE in the row
+    /// whether it can fire a task at `now` — a posted receive satisfiable
+    /// from the inbox, on a free processor. A polling simulator has no
+    /// event queue, so it must re-ask this of every PE on every cycle; the
+    /// event heap answers the same question directly (the sweep never finds
+    /// work `run_until` would not fire), but the cycle-stepped engine keeps
+    /// the sweep because this O(PEs)-per-cycle scan *is* the
+    /// step-every-PE-every-cycle cost model the event-driven core replaces.
+    /// Returns the number of fireable PEs so the call has an observable
+    /// result the optimizer must compute.
+    pub(crate) fn poll_all_pes(&self, now: Time) -> usize {
+        self.pes
+            .iter()
+            .filter(|pe| {
+                let recv_ready = pe.pending_recv.iter().any(|(color, pending)| {
+                    pe.inbox
+                        .get(color)
+                        .is_some_and(|queue| queue.len() >= pending.extent)
+                });
+                recv_ready && pe.busy_until <= now
+            })
+            .count()
+    }
+
+    /// Process events strictly before `end` (one event-horizon window).
+    pub(crate) fn run_until(&mut self, end: Time, ctx: &EngineCtx<'_>) {
         while self.error.is_none() {
             match self.events.peek() {
                 Some(ev) if ev.time < end => {}
@@ -258,7 +301,7 @@ impl Shard {
         }
     }
 
-    fn step(&mut self, time: f64, kind: EventKind, ctx: &EngineCtx<'_>) -> Result<(), SimError> {
+    fn step(&mut self, time: Time, kind: EventKind, ctx: &EngineCtx<'_>) -> Result<(), SimError> {
         if time > ctx.config.cycle_limit {
             return Err(SimError::CycleLimitExceeded {
                 limit: ctx.config.cycle_limit,
@@ -326,8 +369,9 @@ impl Shard {
     /// Reservation per hop matches [`Fabric::schedule_stream`] exactly:
     /// the link is occupied for `n` cycles, the head wavelet advances one
     /// cycle per hop, and contention delays the stream on each link.
-    fn stream_walk(&mut self, start: f64, hops: &[Hop], dest: PeId, color: Color, data: Vec<u32>) {
-        let n = data.len() as f64;
+    fn stream_walk(&mut self, start: Time, hops: &[Hop], dest: PeId, color: Color, data: Vec<u32>) {
+        let n = data.len() as u64;
+        let n_time = Time::from_cycles(n);
         let mut head = start;
         for (i, hop) in hops.iter().enumerate() {
             if hop.from.row != self.row {
@@ -344,9 +388,9 @@ impl Shard {
                 return;
             }
             let key = (hop.from, hop.to);
-            let free = self.links.get(&key).copied().unwrap_or(0.0);
+            let free = self.links.get(&key).copied().unwrap_or(Time::ZERO);
             let link_start = head.max(free);
-            self.links.insert(key, link_start + n);
+            self.links.insert(key, link_start + n_time);
             if let Some(flight) = &mut self.flight {
                 // The wait for an occupied link is backpressure charged to
                 // the PE whose router holds the stream (the hop's source).
@@ -355,9 +399,9 @@ impl Shard {
                     flight.on_stall(hop.from.col, StallCause::SendBackpressure, head, link_start);
                 }
             }
-            head = link_start + 1.0; // per-hop latency for the head wavelet
+            head = link_start + HORIZON; // per-hop latency for the head wavelet
         }
-        let delivered = head + n; // last wavelet arrives n cycles after head
+        let delivered = head + n_time; // last wavelet arrives n cycles after head
         let kind = EventKind::Deliver {
             pe: dest,
             color,
@@ -380,9 +424,9 @@ impl Shard {
         idx: usize,
         pe: PeId,
         task: TaskId,
-        start: f64,
+        start: Time,
         ctx: &EngineCtx<'_>,
-    ) -> Result<f64, SimError> {
+    ) -> Result<Time, SimError> {
         let mut program = self.pes[idx]
             .program
             .take()
@@ -395,11 +439,11 @@ impl Shard {
             cost: &ctx.config.cost,
             memory: &mut state.memory,
             completed: &mut state.completed,
-            charged: 0.0,
+            charged: Time::ZERO,
             effects: Vec::new(),
             attribution,
             stage: None,
-            stage_base: 0.0,
+            stage_base: Time::ZERO,
             stage_charges: Vec::new(),
         };
         let result = program.on_task(&mut task_ctx, task);
@@ -422,20 +466,21 @@ impl Shard {
             flight.on_busy(idx, start, end);
         }
         if attribution {
-            // Every busy cycle lands in exactly one stage: the labelled
+            // Every busy tick lands in exactly one stage: the labelled
             // segments, plus the fixed activation cost under "dispatch", so
-            // stage totals sum to busy cycles.
+            // stage totals sum to busy time exactly.
             let per_pe = &mut self.stage_cycles[idx];
-            *per_pe.entry("dispatch".to_owned()).or_insert(0.0) += ctx.config.cost.task_overhead;
-            for (stage, cycles) in &stage_charges {
-                *per_pe.entry(stage.clone()).or_insert(0.0) += cycles;
+            *per_pe.entry("dispatch".to_owned()).or_insert(Time::ZERO) +=
+                ctx.config.cost.task_overhead;
+            for (stage, time) in &stage_charges {
+                *per_pe.entry(stage.clone()).or_insert(Time::ZERO) += *time;
             }
         }
         if ctx.config.trace {
             // Label the slice with the task's dominant stage, when known.
             let label = stage_charges
                 .iter()
-                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .max_by(|a, b| a.1.cmp(&b.1))
                 .map(|(stage, _)| stage.clone());
             self.trace.record(TraceEvent {
                 pe,
@@ -455,7 +500,7 @@ impl Shard {
                     let n = data.len();
                     self.pes[idx].stats.wavelets_sent += n as u64;
                     let path = ctx.fabric.resolve_path(pe, color, None)?;
-                    let src_done = end + n as f64;
+                    let src_done = end + Time::from_cycles(n as u64);
                     if path.hops.is_empty() {
                         // RAMP→RAMP loopback: delivery is local by
                         // definition and takes the stream length.
@@ -520,45 +565,90 @@ pub(crate) struct Group {
 }
 
 impl Group {
-    /// Step the group to completion. One thread per group: a singleton
-    /// free-runs; a coupled group runs lockstep quanta with a mailbox
-    /// exchange at each barrier. Aborts at the first shard error (the merge
-    /// step picks the globally earliest error across groups).
+    /// Step the group to completion. One thread per group: under the
+    /// event-driven engine a singleton free-runs its heap (no neighbors, no
+    /// horizons); a coupled group synchronizes on cycle-aligned event
+    /// horizons with a mailbox exchange at each barrier. The cycle-stepped
+    /// reference always walks the horizon loop — visiting every cycle window
+    /// even for a singleton, where the exchange is a guaranteed no-op — so
+    /// it is the classic one-round-per-cycle simulator in *every* topology.
+    /// Aborts at the first shard error (the merge step picks the globally
+    /// earliest error across groups).
     pub(crate) fn run(&mut self, ctx: &EngineCtx<'_>) {
-        if self.shards.len() == 1 {
-            self.shards[0].run_free(ctx);
-            return;
+        match ctx.config.engine {
+            EngineMode::EventDriven if self.shards.len() == 1 => self.shards[0].run_free(ctx),
+            EngineMode::EventDriven => self.run_event_driven(ctx),
+            EngineMode::CycleStepped => self.run_cycle_stepped(ctx),
         }
-        // Each quantum starts at the earliest pending event anywhere in the
-        // group, so idle gaps are skipped in one jump.
-        while let Some(t) = self
-            .shards
-            .iter()
-            .filter_map(Shard::next_time)
-            .min_by(f64::total_cmp)
-        {
-            let end = t + QUANTUM;
+    }
+
+    /// Earliest pending event anywhere in the group.
+    fn earliest(&self) -> Option<Time> {
+        self.shards.iter().filter_map(Shard::next_time).min()
+    }
+
+    /// The production engine: jump straight to the cycle window of the
+    /// earliest pending event, step only the shards with work inside it,
+    /// exchange mailboxes, repeat. Idle cycles are skipped in one jump and
+    /// idle shards cost one heap peek per round.
+    fn run_event_driven(&mut self, ctx: &EngineCtx<'_>) {
+        while let Some(t) = self.earliest() {
+            let end = t.floor_to_cycle() + HORIZON;
             for shard in &mut self.shards {
+                if shard.next_time().is_some_and(|next| next < end) {
+                    shard.run_until(end, ctx);
+                    if shard.error.is_some() {
+                        return;
+                    }
+                }
+            }
+            self.exchange();
+        }
+    }
+
+    /// The reference engine: visit every cycle window from the first event
+    /// onward, sweeping every PE of every shard (see [`Shard::poll_all_pes`])
+    /// and exchanging mailboxes once per cycle — even through windows with
+    /// no events, where the sweep finds nothing runnable and the exchange is
+    /// a no-op (empty outboxes assign no sequence numbers). That per-cycle,
+    /// per-PE cost is the loop the event-driven engine replaces, and why it
+    /// may skip idle windows without changing any result.
+    fn run_cycle_stepped(&mut self, ctx: &EngineCtx<'_>) {
+        let Some(first) = self.earliest() else { return };
+        let mut window = first.floor_to_cycle();
+        loop {
+            let end = window + HORIZON;
+            for shard in &mut self.shards {
+                std::hint::black_box(shard.poll_all_pes(window));
                 shard.run_until(end, ctx);
                 if shard.error.is_some() {
                     return;
                 }
             }
-            // Barrier: swap mailboxes. Draining outboxes in shard order and
-            // pushing into the destination heaps assigns boundary events a
-            // canonical (time, source shard, emission order) tie order.
-            let mut inbound: Vec<BoundaryMsg> = Vec::new();
-            for shard in &mut self.shards {
-                inbound.append(&mut shard.outbox);
+            self.exchange();
+            if self.earliest().is_none() {
+                return;
             }
-            for msg in inbound {
-                let dest = self
-                    .shards
-                    .iter_mut()
-                    .find(|s| s.row == msg.dest_row)
-                    .expect("boundary message into a row outside its group");
-                dest.accept(msg);
-            }
+            window = end;
+        }
+    }
+
+    /// Barrier: swap mailboxes. Draining outboxes in shard order and pushing
+    /// into the destination heaps assigns boundary events a canonical
+    /// (time, source shard, emission order) tie order — identical in both
+    /// engine modes because both exchange at the same cycle boundaries.
+    fn exchange(&mut self) {
+        let mut inbound: Vec<BoundaryMsg> = Vec::new();
+        for shard in &mut self.shards {
+            inbound.append(&mut shard.outbox);
+        }
+        for msg in inbound {
+            let dest = self
+                .shards
+                .iter_mut()
+                .find(|s| s.row == msg.dest_row)
+                .expect("boundary message into a row outside its group");
+            dest.accept(msg);
         }
     }
 }
@@ -686,5 +776,25 @@ mod tests {
             ],
         );
         assert_eq!(partition_rows(&f, 2), vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn event_heap_orders_by_time_then_seq() {
+        let mut heap = BinaryHeap::new();
+        let ev = |ticks: u64, seq: u64| Event {
+            time: Time::from_ticks(ticks),
+            seq,
+            kind: EventKind::Activate {
+                pe: PeId::new(0, 0),
+                task: TaskId(0),
+            },
+        };
+        heap.push(ev(2_000, 5));
+        heap.push(ev(1_999, 9)); // one tick earlier wins despite higher seq
+        heap.push(ev(2_000, 1));
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| heap.pop())
+            .map(|e| (e.time.ticks(), e.seq))
+            .collect();
+        assert_eq!(order, vec![(1_999, 9), (2_000, 1), (2_000, 5)]);
     }
 }

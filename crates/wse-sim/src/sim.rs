@@ -1,12 +1,15 @@
 //! The discrete-event simulation engine: mesh setup, the sharded parallel
 //! run loop, and the run report.
 //!
-//! The engine partitions the mesh into per-row shards grouped by vertical
-//! route coupling (see [`crate::shard`] for the full determinism argument)
-//! and steps independent groups on `std::thread::scope` threads. The merge
-//! below folds per-shard results back together in row order — same floating
-//! point addition order, same tie-breaking — so a [`RunReport`] is
-//! bit-identical at any thread count, including the trace event order.
+//! All simulated time is the integer [`Time`] tick base — event timestamps,
+//! cycle limits, and every counter in the report are exact tick counts, so
+//! nothing in the timing path can drift. The engine partitions the mesh into
+//! per-row shards grouped by vertical route coupling (see [`crate::shard`]
+//! for the full determinism argument) and steps independent groups on
+//! `std::thread::scope` threads. The merge below folds per-shard results
+//! back together in row order — same integer addition order, same
+//! tie-breaking — so a [`RunReport`] is bit-identical at any thread count
+//! and in either [`EngineMode`], including the trace event order.
 
 use std::collections::BTreeMap;
 
@@ -21,8 +24,27 @@ use crate::pe::{PeState, PendingRecv};
 use crate::program::{PeProgram, TaskId};
 use crate::shard::{partition_rows, EngineCtx, Event, EventKind, Group, Shard};
 use crate::stats::{PeStats, SimStats};
+use crate::time::Time;
 use crate::trace::{Trace, TraceEvent};
 use crate::PE_SRAM_BYTES;
+
+/// Which engine steps coupled shard groups (singleton groups always
+/// free-run their event heap; the modes only differ on coupled groups).
+///
+/// Both modes produce bit-identical [`RunReport`]s and flight recordings —
+/// the cycle-stepped loop exists as the reference the event-driven engine is
+/// checked against (`tests/determinism.rs`) and as the slow baseline the
+/// benches quantify the event-driven win over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Jump between cycle-aligned event horizons, skipping idle cycles and
+    /// idle shards (the default).
+    #[default]
+    EventDriven,
+    /// Visit every cycle window from the first event onward, stepping all
+    /// shards with a barrier per cycle — the classic cycle-stepped loop.
+    CycleStepped,
+}
 
 /// Mesh and engine configuration.
 #[derive(Debug, Clone)]
@@ -33,10 +55,10 @@ pub struct MeshConfig {
     pub cols: usize,
     /// SRAM per PE in bytes (48 KB on the CS-2).
     pub sram_bytes: usize,
-    /// Per-operation cycle costs.
+    /// Per-operation tick costs.
     pub cost: CostModel,
-    /// Runaway guard: abort past this cycle.
-    pub cycle_limit: f64,
+    /// Runaway guard: abort past this instant.
+    pub cycle_limit: Time,
     /// Record a per-PE task timeline (off by default; costs memory).
     pub trace: bool,
     /// Telemetry sink. Disabled by default; when enabled, the run collects
@@ -46,9 +68,17 @@ pub struct MeshConfig {
     /// [`TaskCtx::begin_stage`]: crate::TaskCtx::begin_stage
     pub recorder: Recorder,
     /// Worker threads for the sharded engine: `1` (the default) runs
-    /// serially, `0` means one per available core. The report is
-    /// bit-identical at any setting; threads only change wall-clock time.
+    /// serially, `0` means one per available core, and any larger request is
+    /// clamped to the host's available parallelism unless `threads_exact`
+    /// is set. The report is bit-identical at any setting; threads only
+    /// change wall-clock time.
     pub threads: usize,
+    /// Take `threads` literally instead of clamping to the host's available
+    /// parallelism. Determinism sweeps set this to exercise real
+    /// multi-threaded merges even on small hosts.
+    pub threads_exact: bool,
+    /// Engine stepping mode for coupled shard groups.
+    pub engine: EngineMode,
     /// Flight-recorder sampling (off by default). Sampling is purely
     /// observational: the functional report is bit-identical with it on or
     /// off, and the recording itself is bit-identical at any thread count.
@@ -65,10 +95,12 @@ impl MeshConfig {
             cols,
             sram_bytes: PE_SRAM_BYTES,
             cost: CostModel::calibrated(),
-            cycle_limit: 1e15,
+            cycle_limit: Time::from_cycles(1_000_000_000_000_000),
             trace: false,
             recorder: Recorder::disabled(),
             threads: 1,
+            threads_exact: false,
+            engine: EngineMode::default(),
             flight: None,
         }
     }
@@ -82,7 +114,7 @@ impl MeshConfig {
 
     /// Override the cycle limit.
     #[must_use]
-    pub fn with_cycle_limit(mut self, limit: f64) -> Self {
+    pub fn with_cycle_limit(mut self, limit: Time) -> Self {
         self.cycle_limit = limit;
         self
     }
@@ -94,11 +126,31 @@ impl MeshConfig {
         self
     }
 
-    /// Set the worker thread count (`0` = one per available core). Purely a
+    /// Set the worker thread count (`0` = one per available core; larger
+    /// requests clamp to the host's available parallelism). Purely a
     /// wall-clock knob: results are bit-identical at any thread count.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self.threads_exact = false;
+        self
+    }
+
+    /// Set an exact worker thread count, bypassing the available-parallelism
+    /// clamp. For determinism sweeps that must exercise real multi-threaded
+    /// merges regardless of host size; `0` still resolves to one thread per
+    /// available core.
+    #[must_use]
+    pub fn with_threads_exact(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self.threads_exact = true;
+        self
+    }
+
+    /// Select the engine stepping mode for coupled shard groups.
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineMode) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -121,10 +173,25 @@ impl MeshConfig {
     /// Enable the flight recorder with a `window`-cycle sampling window.
     ///
     /// # Panics
-    /// If `window` is not positive and finite.
+    /// If `window` is zero.
     #[must_use]
-    pub fn with_flight_window(self, window: f64) -> Self {
-        self.with_flight(FlightConfig::new(window))
+    pub fn with_flight_window(self, window: u64) -> Self {
+        self.with_flight(FlightConfig::new(Time::from_cycles(window)))
+    }
+
+    /// Worker threads a run will actually use: the configured count with `0`
+    /// resolved to — and, unless [`Self::threads_exact`] is set, clamped to —
+    /// the machine's available parallelism. (Oversubscribing the sharded
+    /// engine only adds scheduler churn; a 4-thread request on a 1-core host
+    /// used to run *slower* than serial.)
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        match (self.threads, self.threads_exact) {
+            (0, _) => available,
+            (n, true) => n,
+            (n, false) => n.min(available),
+        }
     }
 }
 
@@ -136,9 +203,9 @@ pub struct RunReport {
     stats: SimStats,
     cols: usize,
     trace: Trace,
-    /// Per-PE busy cycles by kernel stage; empty maps unless the run had an
+    /// Per-PE busy time by kernel stage; empty maps unless the run had an
     /// enabled recorder.
-    stage_cycles: Vec<BTreeMap<String, f64>>,
+    stage_cycles: Vec<BTreeMap<String, Time>>,
     /// Flight recording; present only when sampling was enabled.
     flight: Option<FlightRecording>,
 }
@@ -189,23 +256,24 @@ impl RunReport {
         &self.trace
     }
 
-    /// Busy cycles of `pe` by kernel stage (empty unless the run had an
+    /// Busy time of `pe` by kernel stage (empty unless the run had an
     /// enabled recorder). Stage names follow `TaskCtx::begin_stage`, plus
     /// the pseudo-stages `"dispatch"` (task overhead) and `"unattributed"`
-    /// (cycles charged outside any labelled stage).
+    /// (time charged outside any labelled stage).
     #[must_use]
-    pub fn stage_cycles_of(&self, pe: PeId) -> &BTreeMap<String, f64> {
+    pub fn stage_cycles_of(&self, pe: PeId) -> &BTreeMap<String, Time> {
         &self.stage_cycles[pe.index(self.cols)]
     }
 
-    /// Busy cycles by kernel stage summed over all PEs. When attribution was
-    /// collected, the values sum to `stats().total_busy_cycles` exactly.
+    /// Busy time by kernel stage summed over all PEs. When attribution was
+    /// collected, the values sum to `stats().total_busy_cycles` exactly
+    /// (integer ticks — not approximately).
     #[must_use]
-    pub fn stage_totals(&self) -> BTreeMap<String, f64> {
+    pub fn stage_totals(&self) -> BTreeMap<String, Time> {
         let mut totals = BTreeMap::new();
         for per_pe in &self.stage_cycles {
-            for (stage, cycles) in per_pe {
-                *totals.entry(stage.clone()).or_insert(0.0) += cycles;
+            for (stage, time) in per_pe {
+                *totals.entry(stage.clone()).or_insert(Time::ZERO) += *time;
             }
         }
         totals
@@ -318,7 +386,7 @@ impl Simulator {
             PendingRecv {
                 extent,
                 task,
-                posted_at: 0.0,
+                posted_at: Time::ZERO,
             },
         );
         assert!(
@@ -329,23 +397,23 @@ impl Simulator {
 
     /// Schedule an explicit task activation at `time` (the host-side kick
     /// that starts a program).
-    pub fn activate(&mut self, pe: PeId, task: TaskId, time: f64) {
+    pub fn activate(&mut self, pe: PeId, task: TaskId, time: Time) {
         self.push_event(time, EventKind::Activate { pe, task });
     }
 
     /// Deliver `data` to `pe`'s RAMP on `color`, as if it streamed in over an
     /// off-mesh boundary link at one wavelet per cycle starting at `at`.
-    pub fn inject_stream(&mut self, pe: PeId, color: Color, data: Vec<u32>, at: f64) {
-        let arrive = at + data.len() as f64;
+    pub fn inject_stream(&mut self, pe: PeId, color: Color, data: Vec<u32>, at: Time) {
+        let arrive = at + Time::from_cycles(data.len() as u64);
         self.push_event(arrive, EventKind::Deliver { pe, color, data });
     }
 
     /// Inject a back-to-back sequence of blocks starting at `start`: block
-    /// `i` finishes arriving at `start + (i+1)·len(block_i)`.
-    pub fn inject_blocks(&mut self, pe: PeId, color: Color, blocks: Vec<Vec<u32>>, start: f64) {
+    /// `i` finishes arriving at `start + (i+1)·len(block_i)` cycles.
+    pub fn inject_blocks(&mut self, pe: PeId, color: Color, blocks: Vec<Vec<u32>>, start: Time) {
         let mut t = start;
         for block in blocks {
-            let n = block.len() as f64;
+            let n = Time::from_cycles(block.len() as u64);
             self.push_event(
                 t + n,
                 EventKind::Deliver {
@@ -358,7 +426,7 @@ impl Simulator {
         }
     }
 
-    fn push_event(&mut self, time: f64, kind: EventKind) {
+    fn push_event(&mut self, time: Time, kind: EventKind) {
         self.initial.push(Event {
             time,
             seq: self.seq,
@@ -367,20 +435,11 @@ impl Simulator {
         self.seq += 1;
     }
 
-    /// Worker threads to use: the configured count, with `0` resolved to the
-    /// machine's available parallelism.
-    fn effective_threads(&self) -> usize {
-        if self.config.threads == 0 {
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-        } else {
-            self.config.threads
-        }
-    }
-
     /// Run to completion.
     ///
-    /// The result is bit-identical at any [`MeshConfig::threads`] setting;
-    /// see [`crate::shard`] for the partitioning and determinism argument.
+    /// The result is bit-identical at any [`MeshConfig::threads`] setting
+    /// and in either [`EngineMode`]; see [`crate::shard`] for the
+    /// partitioning and determinism argument.
     pub fn run(mut self) -> Result<RunReport, SimError> {
         let (rows, cols) = (self.config.rows, self.config.cols);
 
@@ -388,7 +447,7 @@ impl Simulator {
         // its sequence counter past every setup-time event.
         let flight_window = self.config.flight.map(|f| f.window);
         let mut pe_iter = std::mem::take(&mut self.pes).into_iter();
-        let mut shards: Vec<Shard> = (0..rows)
+        let shards: Vec<Shard> = (0..rows)
             .map(|r| {
                 Shard::new(
                     r,
@@ -399,11 +458,12 @@ impl Simulator {
                 )
             })
             .collect();
+        let mut shards = shards;
 
         // Distribute setup-time events. A target row off the mesh is the
         // same `BadPe` the serial engine raised when popping the event; keep
         // the earliest so error selection below stays time-ordered.
-        let mut bad_event: Option<(f64, SimError)> = None;
+        let mut bad_event: Option<(Time, SimError)> = None;
         for ev in std::mem::take(&mut self.initial) {
             let row = ev.kind.target_row();
             if row < rows {
@@ -434,7 +494,7 @@ impl Simulator {
             })
             .collect();
 
-        let threads = self.effective_threads().min(groups.len()).max(1);
+        let threads = self.config.effective_threads().min(groups.len()).max(1);
         let ctx = EngineCtx {
             config: &self.config,
             fabric: &self.fabric,
@@ -452,7 +512,7 @@ impl Simulator {
 
         // Earliest error wins, ties broken by row — the serial engine's
         // global event order for every single-error run.
-        let mut first_err: Option<(f64, usize, SimError)> = bad_event.map(|(t, e)| (t, rows, e));
+        let mut first_err: Option<(Time, usize, SimError)> = bad_event.map(|(t, e)| (t, rows, e));
         for shard in &mut shards {
             if let Some((t, e)) = shard.error.take() {
                 let earlier = match &first_err {
@@ -504,9 +564,10 @@ impl Simulator {
             return Err(SimError::Deadlock { blocked });
         }
 
-        // Merge in row-major order: the same floating point addition order
-        // the serial engine used, so sums are bit-identical.
-        let finish = shards.iter().fold(0.0f64, |acc, s| acc.max(s.finish));
+        // Merge in row-major order. With integer ticks the sums are exact in
+        // any order, but keeping the serial fold order also keeps every
+        // derived artifact (trace order, telemetry order) canonical.
+        let finish = shards.iter().fold(Time::ZERO, |acc, s| acc.max(s.finish));
         let mut stats = SimStats {
             finish_cycle: finish,
             ..SimStats::default()
@@ -535,11 +596,11 @@ impl Simulator {
             r.count("sim.tasks", stats.total_tasks);
             r.count("sim.wavelets_sent", stats.total_wavelets);
             r.count("sim.active_pes", stats.active_pes as u64);
-            r.observe("sim.finish_cycle", stats.finish_cycle);
+            r.observe("sim.finish_cycle", stats.finish_cycle.cycles_f64());
             for shard in &shards {
                 for state in &shard.pes {
                     if state.stats.tasks_run > 0 {
-                        r.observe("sim.pe_busy_cycles", state.stats.busy_cycles);
+                        r.observe("sim.pe_busy_cycles", state.stats.busy_cycles.cycles_f64());
                         r.observe("sim.pe_mem_peak_bytes", state.memory.peak() as f64);
                     }
                 }
@@ -552,7 +613,7 @@ impl Simulator {
         for shard in &mut shards {
             events.extend(std::mem::take(&mut shard.trace).into_events());
         }
-        events.sort_by(|a, b| a.start.total_cmp(&b.start));
+        events.sort_by_key(|e| e.start);
         // Flight merge, also row-major: PE series concatenate in PE order,
         // and link maps union without key collisions (every link is owned by
         // exactly the shard of its source row). Same fold order at any
@@ -639,6 +700,10 @@ mod tests {
     const T0: TaskId = TaskId(0);
     const T1: TaskId = TaskId(1);
 
+    fn cyc(c: u64) -> Time {
+        Time::from_cycles(c)
+    }
+
     /// Program that computes for a fixed op count then emits a marker.
     struct Burn(u64);
     impl PeProgram for Burn {
@@ -654,10 +719,10 @@ mod tests {
         let cfg = MeshConfig::new(1, 1).with_cost(CostModel::unit());
         let mut sim = Simulator::new(cfg);
         sim.set_program(PeId::new(0, 0), Box::new(Burn(10)));
-        sim.activate(PeId::new(0, 0), T0, 0.0);
+        sim.activate(PeId::new(0, 0), T0, Time::ZERO);
         let report = sim.run().unwrap();
         // 1 (overhead) + 10 (ops) = 11 cycles.
-        assert_eq!(report.stats().finish_cycle, 11.0);
+        assert_eq!(report.stats().finish_cycle, cyc(11));
         assert_eq!(report.outputs(PeId::new(0, 0)), &[vec![42]]);
         assert_eq!(report.pe_stats(PeId::new(0, 0)).tasks_run, 1);
     }
@@ -667,11 +732,11 @@ mod tests {
         let cfg = MeshConfig::new(1, 1).with_cost(CostModel::unit());
         let mut sim = Simulator::new(cfg);
         sim.set_program(PeId::new(0, 0), Box::new(Burn(9)));
-        sim.activate(PeId::new(0, 0), T0, 0.0);
-        sim.activate(PeId::new(0, 0), T0, 1.0); // lands while busy
+        sim.activate(PeId::new(0, 0), T0, Time::ZERO);
+        sim.activate(PeId::new(0, 0), T0, cyc(1)); // lands while busy
         let report = sim.run().unwrap();
         // Two sequential 10-cycle tasks.
-        assert_eq!(report.stats().finish_cycle, 20.0);
+        assert_eq!(report.stats().finish_cycle, cyc(20));
         assert_eq!(report.pe_stats(PeId::new(0, 0)).tasks_run, 2);
     }
 
@@ -703,12 +768,12 @@ mod tests {
         sim.set_program(PeId::new(0, 0), Box::new(SendBlock));
         sim.set_program(PeId::new(0, 1), Box::new(DoubleAndEmit));
         sim.post_recv(PeId::new(0, 1), C0, 4, T1);
-        sim.activate(PeId::new(0, 0), T0, 0.0);
+        sim.activate(PeId::new(0, 0), T0, Time::ZERO);
         let report = sim.run().unwrap();
         assert_eq!(report.outputs(PeId::new(0, 1)), &[vec![2, 4, 6, 8]]);
         // Send task: 1 cycle. Stream departs at 1, head at 2, done at 6.
         // Recv task: starts 6, 1 overhead + 4 ops = ends 11.
-        assert_eq!(report.stats().finish_cycle, 11.0);
+        assert_eq!(report.stats().finish_cycle, cyc(11));
     }
 
     #[test]
@@ -729,10 +794,10 @@ mod tests {
         sim.set_program(PeId::new(0, 0), Box::new(SendBlock));
         sim.set_program(PeId::new(1, 0), Box::new(DoubleAndEmit));
         sim.post_recv(PeId::new(1, 0), C0, 4, T1);
-        sim.activate(PeId::new(0, 0), T0, 0.0);
+        sim.activate(PeId::new(0, 0), T0, Time::ZERO);
         let report = sim.run().unwrap();
         assert_eq!(report.outputs(PeId::new(1, 0)), &[vec![2, 4, 6, 8]]);
-        assert_eq!(report.stats().finish_cycle, 11.0);
+        assert_eq!(report.stats().finish_cycle, cyc(11));
     }
 
     #[test]
@@ -759,10 +824,10 @@ mod tests {
         sim.set_program(PeId::new(0, 0), Box::new(SendBlock));
         sim.set_program(PeId::new(2, 0), Box::new(DoubleAndEmit));
         sim.post_recv(PeId::new(2, 0), C0, 4, T1);
-        sim.activate(PeId::new(0, 0), T0, 0.0);
+        sim.activate(PeId::new(0, 0), T0, Time::ZERO);
         let report = sim.run().unwrap();
         assert_eq!(report.outputs(PeId::new(2, 0)), &[vec![2, 4, 6, 8]]);
-        assert_eq!(report.stats().finish_cycle, 12.0);
+        assert_eq!(report.stats().finish_cycle, cyc(12));
     }
 
     #[test]
@@ -771,7 +836,7 @@ mod tests {
         let mut sim = Simulator::new(cfg);
         sim.set_program(PeId::new(0, 0), Box::new(DoubleAndEmit));
         sim.post_recv(PeId::new(0, 0), C0, 4, T1);
-        sim.inject_stream(PeId::new(0, 0), C0, vec![5, 6, 7, 8], 0.0);
+        sim.inject_stream(PeId::new(0, 0), C0, vec![5, 6, 7, 8], Time::ZERO);
         let report = sim.run().unwrap();
         assert_eq!(report.outputs(PeId::new(0, 0)), &[vec![10, 12, 14, 16]]);
     }
@@ -782,7 +847,7 @@ mod tests {
         let mut sim = Simulator::new(cfg);
         sim.set_program(PeId::new(0, 0), Box::new(DoubleAndEmit));
         sim.post_recv(PeId::new(0, 0), C0, 4, T1);
-        sim.inject_stream(PeId::new(0, 0), C0, vec![5], 0.0); // 3 short
+        sim.inject_stream(PeId::new(0, 0), C0, vec![5], Time::ZERO); // 3 short
         match sim.run() {
             Err(SimError::Deadlock { blocked }) => {
                 assert_eq!(blocked.len(), 1);
@@ -811,7 +876,7 @@ mod tests {
         sim.set_program(PeId::new(0, 0), Box::new(SendBlock));
         sim.set_program(PeId::new(0, 1), Box::new(DoubleAndEmit));
         sim.post_recv(PeId::new(0, 1), C0, 6, T1);
-        sim.activate(PeId::new(0, 0), T0, 0.0);
+        sim.activate(PeId::new(0, 0), T0, Time::ZERO);
         match sim.run() {
             Err(SimError::Deadlock { blocked }) => {
                 assert_eq!(blocked.len(), 1);
@@ -854,7 +919,7 @@ mod tests {
             PeId::new(0, 0),
             C0,
             vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8]],
-            0.0,
+            Time::ZERO,
         );
         let report = sim.run().unwrap();
         assert_eq!(
@@ -874,10 +939,10 @@ mod tests {
         }
         let cfg = MeshConfig::new(1, 1)
             .with_cost(CostModel::unit())
-            .with_cycle_limit(1000.0);
+            .with_cycle_limit(cyc(1000));
         let mut sim = Simulator::new(cfg);
         sim.set_program(PeId::new(0, 0), Box::new(Forever));
-        sim.activate(PeId::new(0, 0), T0, 0.0);
+        sim.activate(PeId::new(0, 0), T0, Time::ZERO);
         assert!(matches!(
             sim.run(),
             Err(SimError::CycleLimitExceeded { .. })
@@ -895,7 +960,7 @@ mod tests {
         }
         let mut sim = Simulator::new(MeshConfig::new(1, 1));
         sim.set_program(PeId::new(0, 0), Box::new(Hog));
-        sim.activate(PeId::new(0, 0), T0, 0.0);
+        sim.activate(PeId::new(0, 0), T0, Time::ZERO);
         assert!(matches!(sim.run(), Err(SimError::OutOfMemory { .. })));
     }
 
@@ -921,16 +986,16 @@ mod tests {
             .with_recorder(recorder.clone());
         let mut sim = Simulator::new(cfg);
         sim.set_program(PeId::new(0, 0), Box::new(Staged));
-        sim.activate(PeId::new(0, 0), T0, 0.0);
+        sim.activate(PeId::new(0, 0), T0, Time::ZERO);
         let report = sim.run().unwrap();
 
         assert!(report.has_stage_attribution());
         let totals = report.stage_totals();
-        assert_eq!(totals["quant-mul"], 10.0);
-        assert_eq!(totals["lorenzo"], 5.0);
-        assert_eq!(totals[""], 3.0); // empty label is still a label
-        assert_eq!(totals["dispatch"], 1.0); // unit task overhead
-        let attributed: f64 = totals.values().sum();
+        assert_eq!(totals["quant-mul"], cyc(10));
+        assert_eq!(totals["lorenzo"], cyc(5));
+        assert_eq!(totals[""], cyc(3)); // empty label is still a label
+        assert_eq!(totals["dispatch"], cyc(1)); // unit task overhead
+        let attributed: Time = totals.values().copied().sum();
         assert_eq!(attributed, report.stats().total_busy_cycles);
         // The recorder saw the run counters.
         let snap = recorder.snapshot();
@@ -945,11 +1010,11 @@ mod tests {
             .with_recorder(telemetry::Recorder::enabled());
         let mut sim = Simulator::new(cfg);
         sim.set_program(PeId::new(0, 0), Box::new(Burn(7)));
-        sim.activate(PeId::new(0, 0), T0, 0.0);
+        sim.activate(PeId::new(0, 0), T0, Time::ZERO);
         let report = sim.run().unwrap();
         let totals = report.stage_totals();
-        assert_eq!(totals["unattributed"], 7.0);
-        assert_eq!(totals["dispatch"], 1.0);
+        assert_eq!(totals["unattributed"], cyc(7));
+        assert_eq!(totals["dispatch"], cyc(1));
     }
 
     #[test]
@@ -957,11 +1022,11 @@ mod tests {
         let cfg = MeshConfig::new(1, 1).with_cost(CostModel::unit());
         let mut sim = Simulator::new(cfg);
         sim.set_program(PeId::new(0, 0), Box::new(Staged));
-        sim.activate(PeId::new(0, 0), T0, 0.0);
+        sim.activate(PeId::new(0, 0), T0, Time::ZERO);
         let report = sim.run().unwrap();
         assert!(!report.has_stage_attribution());
         assert!(report.stage_totals().is_empty());
-        assert_eq!(report.stats().finish_cycle, 19.0); // timing unchanged
+        assert_eq!(report.stats().finish_cycle, cyc(19)); // timing unchanged
     }
 
     #[test]
@@ -972,7 +1037,7 @@ mod tests {
             .with_trace(true);
         let mut sim = Simulator::new(cfg);
         sim.set_program(PeId::new(0, 0), Box::new(Staged));
-        sim.activate(PeId::new(0, 0), T0, 0.0);
+        sim.activate(PeId::new(0, 0), T0, Time::ZERO);
         let report = sim.run().unwrap();
         let events = report.trace().events();
         assert_eq!(events.len(), 1);
@@ -989,7 +1054,7 @@ mod tests {
                 sim.set_program(PeId::new(r, 0), Box::new(SendBlock));
                 sim.set_program(PeId::new(r, 1), Box::new(DoubleAndEmit));
                 sim.post_recv(PeId::new(r, 1), C0, 4, T1);
-                sim.activate(PeId::new(r, 0), T0, 0.0);
+                sim.activate(PeId::new(r, 0), T0, Time::ZERO);
             }
             sim.run().unwrap()
         };
@@ -1000,19 +1065,21 @@ mod tests {
     }
 
     /// Build a mesh mixing independent horizontal rows with a vertically
-    /// coupled pair, run it at `threads`, and return the full report.
-    fn mixed_mesh_report(threads: usize) -> RunReport {
+    /// coupled pair, run it with the given engine/thread settings, and
+    /// return the full report.
+    fn mixed_mesh_report_with(threads: usize, engine: EngineMode) -> RunReport {
         let cfg = MeshConfig::new(4, 2)
             .with_cost(CostModel::unit())
             .with_trace(true)
-            .with_threads(threads);
+            .with_threads_exact(threads)
+            .with_engine(engine);
         let mut sim = Simulator::new(cfg);
         for r in 0..4 {
             sim.route_east_chain(r, 0, 1, C0);
             sim.set_program(PeId::new(r, 0), Box::new(SendBlock));
             sim.set_program(PeId::new(r, 1), Box::new(DoubleAndEmit));
             sim.post_recv(PeId::new(r, 1), C0, 4, T1);
-            sim.activate(PeId::new(r, 0), T0, 0.0);
+            sim.activate(PeId::new(r, 0), T0, Time::ZERO);
         }
         // Couple rows 2 and 3: an extra southward stream through the mailbox,
         // carried by composite programs on the two row heads.
@@ -1051,8 +1118,12 @@ mod tests {
         sim.set_program(PeId::new(2, 0), Box::new(RowHead { vertical: true }));
         sim.set_program(PeId::new(3, 0), Box::new(RowHeadSink));
         sim.post_recv(PeId::new(3, 0), c1, 2, TaskId(8));
-        sim.activate(PeId::new(2, 0), TaskId(7), 0.0);
+        sim.activate(PeId::new(2, 0), TaskId(7), Time::ZERO);
         sim.run().unwrap()
+    }
+
+    fn mixed_mesh_report(threads: usize) -> RunReport {
+        mixed_mesh_report_with(threads, EngineMode::default())
     }
 
     #[test]
@@ -1065,13 +1136,52 @@ mod tests {
     }
 
     #[test]
+    fn cycle_stepped_reference_matches_event_driven() {
+        // The tentpole equivalence: the event-driven engine skips idle cycle
+        // windows and idle shards, the cycle-stepped reference visits every
+        // one — and the reports (timing, outputs, trace order, stage
+        // attribution) are bit-identical, serial and threaded.
+        let event = mixed_mesh_report_with(1, EngineMode::EventDriven);
+        for threads in [1, 2, 8] {
+            let stepped = mixed_mesh_report_with(threads, EngineMode::CycleStepped);
+            assert_eq!(event, stepped, "cycle-stepped @ {threads} threads diverged");
+        }
+    }
+
+    #[test]
     fn threads_zero_resolves_to_available_parallelism() {
         let cfg = MeshConfig::new(1, 1)
             .with_cost(CostModel::unit())
             .with_threads(0);
         let mut sim = Simulator::new(cfg);
         sim.set_program(PeId::new(0, 0), Box::new(Burn(10)));
-        sim.activate(PeId::new(0, 0), T0, 0.0);
-        assert_eq!(sim.run().unwrap().stats().finish_cycle, 11.0);
+        sim.activate(PeId::new(0, 0), T0, Time::ZERO);
+        assert_eq!(sim.run().unwrap().stats().finish_cycle, cyc(11));
+    }
+
+    #[test]
+    fn requested_threads_clamp_to_host_parallelism() {
+        let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        // Oversubscription clamps…
+        assert_eq!(
+            MeshConfig::new(1, 1)
+                .with_threads(usize::MAX)
+                .effective_threads(),
+            available
+        );
+        // …unless explicitly requested exact (determinism sweeps).
+        assert_eq!(
+            MeshConfig::new(1, 1)
+                .with_threads_exact(3)
+                .effective_threads(),
+            3
+        );
+        // `0` always resolves to the host parallelism.
+        assert_eq!(
+            MeshConfig::new(1, 1).with_threads(0).effective_threads(),
+            available
+        );
+        // In-range requests pass through untouched.
+        assert_eq!(MeshConfig::new(1, 1).with_threads(1).effective_threads(), 1);
     }
 }

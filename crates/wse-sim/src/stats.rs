@@ -1,28 +1,34 @@
-//! Cycle counters and utilization statistics.
+//! Tick counters and utilization statistics.
+//!
+//! All time-valued counters are exact integer [`Time`] ticks; the satellite
+//! ratios (utilization, seconds, GB/s) are derived from them at the edge,
+//! so a run's statistics never carry accumulated floating-point drift.
+
+use crate::time::Time;
 
 /// Counters of one PE.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PeStats {
-    /// Cycles the processor spent executing tasks (incl. task overhead).
-    pub busy_cycles: f64,
+    /// Time the processor spent executing tasks (incl. task overhead).
+    pub busy_cycles: Time,
     /// Number of task activations executed.
     pub tasks_run: u64,
     /// Wavelets sent from this PE's RAMP.
     pub wavelets_sent: u64,
     /// Wavelets delivered to this PE's RAMP.
     pub wavelets_received: u64,
-    /// Cycle when this PE last finished a task.
-    pub last_active: f64,
+    /// Instant when this PE last finished a task.
+    pub last_active: Time,
 }
 
 /// Aggregate statistics of a run.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
-    /// Cycle of the last event processed — the paper's runtime measure
+    /// Instant of the last event processed — the paper's runtime measure
     /// ("clock cycles needed for the last PE to finish processing", §4.1).
-    pub finish_cycle: f64,
-    /// Sum of busy cycles over all PEs.
-    pub total_busy_cycles: f64,
+    pub finish_cycle: Time,
+    /// Sum of busy time over all PEs.
+    pub total_busy_cycles: Time,
     /// Total tasks executed.
     pub total_tasks: u64,
     /// Total wavelets moved over the fabric (RAMP egress count).
@@ -32,30 +38,34 @@ pub struct SimStats {
 }
 
 impl SimStats {
-    /// Mean utilization of the active PEs: busy cycles / (active · finish).
+    /// Mean utilization of the active PEs: busy time / (active · finish).
+    ///
+    /// An empty run (`finish_cycle == 0` — with integer time there is no
+    /// "negative finish" edge case left) or a run with no active PEs has
+    /// utilization 0 by definition.
     #[must_use]
     pub fn utilization(&self) -> f64 {
-        if self.finish_cycle <= 0.0 || self.active_pes == 0 {
+        if self.finish_cycle.is_zero() || self.active_pes == 0 {
             0.0
         } else {
-            self.total_busy_cycles / (self.finish_cycle * self.active_pes as f64)
+            self.total_busy_cycles.ticks() as f64
+                / (self.finish_cycle.ticks() as f64 * self.active_pes as f64)
         }
     }
 
     /// Wall-clock seconds at `clock_hz`.
     #[must_use]
     pub fn seconds(&self, clock_hz: f64) -> f64 {
-        self.finish_cycle / clock_hz
+        self.finish_cycle.cycles_f64() / clock_hz
     }
 
     /// Throughput in GB/s for `bytes` of data processed during the run.
     #[must_use]
     pub fn throughput_gbps(&self, bytes: usize, clock_hz: f64) -> f64 {
-        let s = self.seconds(clock_hz);
-        if s <= 0.0 {
+        if self.finish_cycle.is_zero() {
             0.0
         } else {
-            bytes as f64 / s / 1e9
+            bytes as f64 / self.seconds(clock_hz) / 1e9
         }
     }
 }
@@ -67,8 +77,8 @@ mod tests {
     #[test]
     fn utilization_bounds() {
         let s = SimStats {
-            finish_cycle: 100.0,
-            total_busy_cycles: 150.0,
+            finish_cycle: Time::from_cycles(100),
+            total_busy_cycles: Time::from_cycles(150),
             active_pes: 2,
             ..SimStats::default()
         };
@@ -85,8 +95,8 @@ mod tests {
     #[test]
     fn zero_active_pes_yields_zero_utilization() {
         let s = SimStats {
-            finish_cycle: 100.0,
-            total_busy_cycles: 0.0,
+            finish_cycle: Time::from_cycles(100),
+            total_busy_cycles: Time::ZERO,
             active_pes: 0,
             ..SimStats::default()
         };
@@ -95,9 +105,11 @@ mod tests {
 
     #[test]
     fn zero_finish_cycle_yields_zero_utilization() {
+        // Pinned satellite behavior: a zero-length run divides nowhere —
+        // utilization and throughput are 0, not NaN/inf.
         let s = SimStats {
-            finish_cycle: 0.0,
-            total_busy_cycles: 50.0,
+            finish_cycle: Time::ZERO,
+            total_busy_cycles: Time::from_cycles(50),
             active_pes: 4,
             ..SimStats::default()
         };
@@ -106,12 +118,26 @@ mod tests {
     }
 
     #[test]
+    fn sub_cycle_finish_still_counts() {
+        // With the old f64 guard (`finish_cycle <= 0.0`) a sub-cycle finish
+        // was a hair above zero and passed; integer ticks preserve that: any
+        // nonzero tick count yields a real utilization.
+        let s = SimStats {
+            finish_cycle: Time::from_ticks(1),
+            total_busy_cycles: Time::from_ticks(1),
+            active_pes: 1,
+            ..SimStats::default()
+        };
+        assert_eq!(s.utilization(), 1.0);
+    }
+
+    #[test]
     fn fully_busy_pes_cap_at_one() {
         // Non-preemptive PEs can't be busy for more than the whole run, so a
         // consistent report never exceeds utilization 1.0.
         let s = SimStats {
-            finish_cycle: 200.0,
-            total_busy_cycles: 200.0 * 8.0,
+            finish_cycle: Time::from_cycles(200),
+            total_busy_cycles: Time::from_cycles(200 * 8),
             active_pes: 8,
             ..SimStats::default()
         };
@@ -122,7 +148,7 @@ mod tests {
     #[test]
     fn throughput_math() {
         let s = SimStats {
-            finish_cycle: 850e6, // one second at CS-2 clock
+            finish_cycle: Time::from_cycles(850_000_000), // one second at CS-2 clock
             ..SimStats::default()
         };
         assert!((s.throughput_gbps(2_000_000_000, 850e6) - 2.0).abs() < 1e-9);

@@ -1,0 +1,229 @@
+//! Fixed-point simulated time.
+//!
+//! All simulator time is counted in integer **ticks** of one millicycle
+//! (1/1000 of a fabric clock cycle). A [`Time`] is a `u64` tick count, so
+//! every instant and every duration is exactly representable, exactly
+//! comparable (`Ord`, no `total_cmp` dance), and sums never drift — the
+//! property the discrete-event queue and the zero-tolerance perf gate both
+//! rest on. Fractional per-op costs from the calibration tables (e.g.
+//! 156.2 cycles for a 32-element `f32` multiply) quantize exactly:
+//! 156.2 cycles = 156 200 ticks.
+//!
+//! Rendering back to cycles is lossless too: a tick count is formatted as
+//! `cycles.millicycles` with trailing zeros trimmed, and
+//! [`Time::cycles_f64`] is exact for every value below 2^53 ticks.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// Ticks per fabric clock cycle (fixed-point scale of [`Time`]).
+pub const TICKS_PER_CYCLE: u64 = 1_000;
+
+/// An instant or duration in simulated time, counted in integer millicycle
+/// ticks. The zero value is the simulation epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+impl Time {
+    /// The simulation epoch (zero ticks).
+    pub const ZERO: Self = Self(0);
+    /// The greatest representable time.
+    pub const MAX: Self = Self(u64::MAX);
+
+    /// A time of exactly `ticks` millicycles.
+    #[must_use]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        Self(ticks)
+    }
+
+    /// A time of exactly `cycles` whole clock cycles.
+    ///
+    /// # Panics
+    /// Panics if `cycles * 1000` overflows `u64` (beyond any plausible
+    /// simulation horizon).
+    #[must_use]
+    pub const fn from_cycles(cycles: u64) -> Self {
+        match cycles.checked_mul(TICKS_PER_CYCLE) {
+            Some(t) => Self(t),
+            None => panic!("cycle count overflows the tick timebase"),
+        }
+    }
+
+    /// The raw tick count.
+    #[must_use]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Whole cycles, truncating any fractional-cycle remainder.
+    #[must_use]
+    pub const fn full_cycles(self) -> u64 {
+        self.0 / TICKS_PER_CYCLE
+    }
+
+    /// This time in cycles as `f64` (exact below 2^53 ticks; display and
+    /// wall-clock conversions only — never arithmetic on the hot path).
+    #[must_use]
+    pub fn cycles_f64(self) -> f64 {
+        // Split to keep the conversion exact well past 2^53 total ticks:
+        // both factors are individually exact.
+        let whole = self.0 / TICKS_PER_CYCLE;
+        let frac = self.0 % TICKS_PER_CYCLE;
+        whole as f64 + frac as f64 / TICKS_PER_CYCLE as f64
+    }
+
+    /// `true` iff this is the epoch / a zero-length duration.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The greatest cycle boundary at or before this time.
+    #[must_use]
+    pub const fn floor_to_cycle(self) -> Self {
+        Self(self.0 - self.0 % TICKS_PER_CYCLE)
+    }
+
+    /// Duration to `other`, clamped at zero.
+    #[must_use]
+    pub const fn saturating_sub(self, other: Self) -> Self {
+        Self(self.0.saturating_sub(other.0))
+    }
+
+    /// The larger of two times.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two times.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Time {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0.checked_add(rhs.0).expect("simulated time overflow"))
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Time {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("simulated time underflow (negative duration)"),
+        )
+    }
+}
+
+impl SubAssign for Time {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Self;
+    fn mul(self, rhs: u64) -> Self {
+        Self(self.0.checked_mul(rhs).expect("simulated time overflow"))
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Time {
+    /// Formats as cycles: `5078.4` for 5 078 400 ticks, `11` for 11 000.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let whole = self.0 / TICKS_PER_CYCLE;
+        let frac = self.0 % TICKS_PER_CYCLE;
+        if frac == 0 {
+            write!(f, "{whole}")
+        } else {
+            let digits = format!("{frac:03}");
+            write!(f, "{whole}.{}", digits.trim_end_matches('0'))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_and_tick_constructors_agree() {
+        assert_eq!(Time::from_cycles(7), Time::from_ticks(7_000));
+        assert_eq!(Time::from_cycles(7).ticks(), 7_000);
+        assert_eq!(Time::from_ticks(7_500).full_cycles(), 7);
+    }
+
+    #[test]
+    fn ordering_is_exact_and_total() {
+        let a = Time::from_ticks(156_200);
+        let b = Time::from_ticks(156_201);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn arithmetic_never_drifts() {
+        // The motivating bug: summing 156.2 a million times drifts in f64.
+        let step = Time::from_ticks(156_200);
+        let total: Time = std::iter::repeat_n(step, 1_000_000).sum();
+        assert_eq!(total.ticks(), 156_200_000_000);
+        assert_eq!(total.cycles_f64(), 156_200_000.0);
+    }
+
+    #[test]
+    fn floor_to_cycle_lands_on_the_grid() {
+        assert_eq!(
+            Time::from_ticks(10_999).floor_to_cycle(),
+            Time::from_cycles(10)
+        );
+        assert_eq!(
+            Time::from_ticks(11_000).floor_to_cycle(),
+            Time::from_cycles(11)
+        );
+        assert_eq!(Time::ZERO.floor_to_cycle(), Time::ZERO);
+    }
+
+    #[test]
+    fn display_renders_exact_cycles() {
+        assert_eq!(Time::from_ticks(5_078_400).to_string(), "5078.4");
+        assert_eq!(Time::from_ticks(11_000).to_string(), "11");
+        assert_eq!(Time::from_ticks(59_250).to_string(), "59.25");
+        assert_eq!(Time::from_ticks(1).to_string(), "0.001");
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_zero() {
+        let a = Time::from_cycles(3);
+        let b = Time::from_cycles(5);
+        assert_eq!(a.saturating_sub(b), Time::ZERO);
+        assert_eq!(b.saturating_sub(a), Time::from_cycles(2));
+    }
+}

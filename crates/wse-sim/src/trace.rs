@@ -7,26 +7,27 @@
 
 use crate::geom::PeId;
 use crate::program::TaskId;
+use crate::time::Time;
 
 /// One executed task.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// The PE that ran it.
     pub pe: PeId,
     /// Which task.
     pub task: TaskId,
-    /// Start cycle.
-    pub start: f64,
-    /// End cycle.
-    pub end: f64,
-    /// Dominant kernel stage of the task (most charged cycles), when stage
+    /// Start instant.
+    pub start: Time,
+    /// End instant.
+    pub end: Time,
+    /// Dominant kernel stage of the task (most charged time), when stage
     /// attribution was active during the run. Used as the slice name by the
     /// Perfetto exporter.
     pub label: Option<String>,
 }
 
 /// A recorded timeline.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     events: Vec<TraceEvent>,
 }
@@ -60,17 +61,25 @@ impl Trace {
         self.events.iter().filter(|e| e.pe == pe).cloned().collect()
     }
 
-    /// Render an ASCII Gantt chart of the first `window` cycles, one row per
-    /// PE (row-major order), `width` characters wide. `#` marks busy time.
+    /// Render an ASCII Gantt chart of the first `window` of simulated time,
+    /// one row per PE (row-major order), `width` characters wide. `#` marks
+    /// busy time. Cell indices are exact integer tick arithmetic — there is
+    /// no floating-point rounding that could push a start past the right
+    /// edge (the old f64 implementation needed ulp-level clamps here).
     #[must_use]
-    pub fn gantt(&self, window: f64, width: usize) -> String {
-        if self.events.is_empty() || window <= 0.0 || width == 0 {
+    pub fn gantt(&self, window: Time, width: usize) -> String {
+        if self.events.is_empty() || window.is_zero() || width == 0 {
             return String::new();
         }
         let mut pes: Vec<PeId> = self.events.iter().map(|e| e.pe).collect();
         pes.sort_unstable();
         pes.dedup();
-        let scale = window / width as f64;
+        // cell(t) = floor(t * width / window) in u128 (no overflow for any
+        // u64 tick count times a sane width).
+        let cell = |t: Time| -> usize {
+            let idx = u128::from(t.ticks()) * width as u128 / u128::from(window.ticks());
+            (idx as usize).min(width - 1)
+        };
         let mut out = String::new();
         for pe in pes {
             let mut row = vec![b'.'; width];
@@ -78,12 +87,9 @@ impl Trace {
                 if e.start >= window {
                     continue;
                 }
-                // Clamp both indices into the row: a start that rounds onto
-                // the right edge (e.start / scale == width) must not index
-                // past the buffer, and after clamping the end must not fall
-                // before the start (zero-length events at the edge).
-                let a = ((e.start / scale) as usize).min(width - 1);
-                let b = ((e.end.min(window) / scale) as usize).clamp(a, width - 1);
+                let a = cell(e.start);
+                // Zero-length events still mark the cell they land in.
+                let b = cell(e.end.min(window)).max(a);
                 for c in &mut row[a..=b] {
                     *c = b'#';
                 }
@@ -93,11 +99,11 @@ impl Trace {
             out.push('\n');
         }
         out.push_str(&format!(
-            "{:>10} +{}>\n{:>10}  0{:>width$.0}\n",
+            "{:>10} +{}>\n{:>10}  0{:>width$}\n",
             "",
             "-".repeat(width),
             "cycles",
-            window,
+            window.to_string(),
             width = width
         ));
         out
@@ -129,8 +135,8 @@ impl Trace {
                 e.pe.index(cols) as u64,
                 name,
                 "task",
-                e.start,
-                e.end - e.start,
+                e.start.cycles_f64(),
+                (e.end - e.start).cycles_f64(),
             );
         }
         out
@@ -138,17 +144,17 @@ impl Trace {
 
     /// Busy fraction of `pe` within `[0, until]`.
     #[must_use]
-    pub fn utilization_of(&self, pe: PeId, until: f64) -> f64 {
-        if until <= 0.0 {
+    pub fn utilization_of(&self, pe: PeId, until: Time) -> f64 {
+        if until.is_zero() {
             return 0.0;
         }
-        let busy: f64 = self
+        let busy: Time = self
             .events
             .iter()
             .filter(|e| e.pe == pe && e.start < until)
             .map(|e| e.end.min(until) - e.start)
             .sum();
-        busy / until
+        busy.ticks() as f64 / until.ticks() as f64
     }
 }
 
@@ -156,7 +162,11 @@ impl Trace {
 mod tests {
     use super::*;
 
-    fn ev(row: usize, start: f64, end: f64) -> TraceEvent {
+    fn at(cycles_tenths: u64) -> Time {
+        Time::from_ticks(cycles_tenths * 100)
+    }
+
+    fn ev(row: usize, start: Time, end: Time) -> TraceEvent {
         TraceEvent {
             pe: PeId::new(row, 0),
             task: TaskId(0),
@@ -169,18 +179,21 @@ mod tests {
     #[test]
     fn utilization_math() {
         let mut t = Trace::default();
-        t.record(ev(0, 0.0, 25.0));
-        t.record(ev(0, 50.0, 75.0));
-        assert!((t.utilization_of(PeId::new(0, 0), 100.0) - 0.5).abs() < 1e-12);
-        assert_eq!(t.utilization_of(PeId::new(1, 0), 100.0), 0.0);
+        t.record(ev(0, Time::from_cycles(0), Time::from_cycles(25)));
+        t.record(ev(0, Time::from_cycles(50), Time::from_cycles(75)));
+        assert!((t.utilization_of(PeId::new(0, 0), Time::from_cycles(100)) - 0.5).abs() < 1e-12);
+        assert_eq!(
+            t.utilization_of(PeId::new(1, 0), Time::from_cycles(100)),
+            0.0
+        );
     }
 
     #[test]
     fn gantt_marks_busy_spans() {
         let mut t = Trace::default();
-        t.record(ev(0, 0.0, 50.0));
-        t.record(ev(1, 50.0, 100.0));
-        let g = t.gantt(100.0, 20);
+        t.record(ev(0, Time::from_cycles(0), Time::from_cycles(50)));
+        t.record(ev(1, Time::from_cycles(50), Time::from_cycles(100)));
+        let g = t.gantt(Time::from_cycles(100), 20);
         let lines: Vec<&str> = g.lines().collect();
         assert!(lines[0].contains("PE(0,0)"));
         assert!(lines[0].contains("##########"));
@@ -193,19 +206,21 @@ mod tests {
 
     #[test]
     fn empty_trace_renders_empty() {
-        assert!(Trace::default().gantt(100.0, 10).is_empty());
+        assert!(Trace::default()
+            .gantt(Time::from_cycles(100), 10)
+            .is_empty());
     }
 
     #[test]
     fn chrome_trace_has_one_track_per_pe_and_one_slice_per_task() {
         let mut t = Trace::default();
-        t.record(ev(0, 0.0, 10.0));
-        t.record(ev(1, 5.0, 20.0));
+        t.record(ev(0, Time::from_cycles(0), Time::from_cycles(10)));
+        t.record(ev(1, Time::from_cycles(5), Time::from_cycles(20)));
         t.record(TraceEvent {
             pe: PeId::new(0, 0),
             task: TaskId(3),
-            start: 12.0,
-            end: 14.0,
+            start: Time::from_cycles(12),
+            end: Time::from_cycles(14),
             label: Some("lorenzo".into()),
         });
         let doc = t.chrome_trace("test mesh", 4).to_json();
@@ -232,26 +247,35 @@ mod tests {
     }
 
     #[test]
-    fn gantt_start_on_right_edge_does_not_panic() {
-        // With window 1.0 and width 3 the scale is 1/3, and a start one ulp
-        // below the window divides to exactly 3.0 — the unclamped start
-        // index used to slice `row[3..=2]` and panic.
-        let start = f64::from_bits(1.0f64.to_bits() - 1);
+    fn gantt_start_one_tick_before_window_lands_in_last_cell() {
+        // The integer replacement of the old f64 right-edge ulp case: a
+        // start one tick short of the window maps into the final cell and
+        // must not index past the row.
+        let start = Time::from_cycles(1) - Time::from_ticks(1);
         let mut t = Trace::default();
-        t.record(ev(0, start, 1.5));
-        let g = t.gantt(1.0, 3);
+        t.record(ev(0, start, at(15)));
+        let g = t.gantt(Time::from_cycles(1), 3);
         let bar = g.lines().next().unwrap().split('|').nth(1).unwrap();
         assert_eq!(bar, "..#");
     }
 
     #[test]
-    fn gantt_clamps_start_after_end_to_one_cell() {
-        // Same right-edge rounding with the event end clamped to the window:
-        // after clamping, start > end must still mark exactly one cell.
-        let start = f64::from_bits(1.0f64.to_bits() - 1);
+    fn gantt_start_exactly_at_window_is_excluded() {
+        // A span beginning exactly on the window edge is outside `[0, window)`
+        // — pinned: it draws nothing (no wrap-around, no panic).
+        let mut t = Trace::default();
+        t.record(ev(0, Time::from_cycles(1), Time::from_cycles(2)));
+        let g = t.gantt(Time::from_cycles(1), 3);
+        let bar = g.lines().next().unwrap().split('|').nth(1).unwrap();
+        assert_eq!(bar, "...");
+    }
+
+    #[test]
+    fn gantt_zero_length_event_marks_one_cell() {
+        let start = Time::from_cycles(1) - Time::from_ticks(1);
         let mut t = Trace::default();
         t.record(ev(0, start, start));
-        let g = t.gantt(1.0, 3);
+        let g = t.gantt(Time::from_cycles(1), 3);
         let bar = g.lines().next().unwrap().split('|').nth(1).unwrap();
         assert_eq!(bar, "..#");
     }

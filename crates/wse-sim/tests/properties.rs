@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use wse_sim::{
-    Color, CostModel, MeshConfig, Op, PeId, PeProgram, SimError, Simulator, TaskCtx, TaskId,
+    Color, CostModel, MeshConfig, Op, PeId, PeProgram, SimError, Simulator, TaskCtx, TaskId, Time,
 };
 
 const C0: Color = Color::new(0);
@@ -61,7 +61,7 @@ proptest! {
             }
         }
         sim.set_program(PeId::new(0, 0), Box::new(SendAll { blocks: payload.clone() }));
-        sim.activate(PeId::new(0, 0), TaskId(9), 0.0);
+        sim.activate(PeId::new(0, 0), TaskId(9), Time::ZERO);
         let report = sim.run().unwrap();
         let outs = report.outputs(dest);
         prop_assert_eq!(outs.len(), blocks);
@@ -84,7 +84,7 @@ proptest! {
                 let data: Vec<Vec<u32>> = (0..blocks)
                     .map(|b| (0..8u32).map(|i| (r as u32) << 16 | (b as u32) << 8 | i).collect())
                     .collect();
-                sim.inject_blocks(pe, C0, data, 0.0);
+                sim.inject_blocks(pe, C0, data, Time::ZERO);
             }
             sim.run().unwrap()
         };
@@ -103,7 +103,7 @@ proptest! {
         sim.set_program(pe, Box::new(AddOne { extent, remaining: 1 }));
         sim.post_recv(pe, C0, extent, RECV);
         if fed > 0 {
-            sim.inject_stream(pe, C0, vec![7; extent - 1], 0.0);
+            sim.inject_stream(pe, C0, vec![7; extent - 1], Time::ZERO);
         }
         match sim.run() {
             Err(SimError::Deadlock { blocked }) => {

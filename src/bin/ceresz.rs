@@ -142,8 +142,9 @@ struct Flags {
     threads: usize,
     out: Option<String>,
     trace_out: Option<String>,
-    /// `observe` options: sampling window in cycles (0 = recorder default).
-    window: f64,
+    /// `observe` options: sampling window in whole cycles (0 = recorder
+    /// default).
+    window: u64,
     /// Top-K table length in the observe report.
     top: usize,
     json_out: Option<String>,
@@ -173,7 +174,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         threads: 1,
         out: None,
         trace_out: None,
-        window: 0.0,
+        window: 0,
         top: 8,
         json_out: None,
         csv_out: None,
@@ -211,7 +212,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--threads" => f.threads = parse_usize(&value(&mut i)?, "--threads")?,
             "--out" => f.out = Some(value(&mut i)?),
             "--trace-out" => f.trace_out = Some(value(&mut i)?),
-            "--window" => f.window = parse_num(&value(&mut i)?, "--window")?,
+            "--window" => f.window = parse_u64(&value(&mut i)?, "--window")?,
             "--top" => f.top = parse_usize(&value(&mut i)?, "--top")?,
             "--json-out" => f.json_out = Some(value(&mut i)?),
             "--csv-out" => f.csv_out = Some(value(&mut i)?),
@@ -467,7 +468,7 @@ fn cmd_observe(args: &[String]) -> Result<(), String> {
         other => return Err(format!("observe takes at most one input file: {other:?}")),
     };
     let mut options = SimOptions::default().with_threads(f.threads.max(1));
-    if f.window > 0.0 {
+    if f.window > 0 {
         options = options.with_flight_window(f.window);
     }
     let many = strategies.len() > 1;

@@ -147,7 +147,7 @@ fn observe_reports_congestion_and_writes_artifacts() {
     let json = std::fs::read_to_string(&json_path).unwrap();
     assert!(json.contains("\"artifact\": \"ceresz-flight-recording\""));
     let csv = std::fs::read_to_string(&csv_path).unwrap();
-    assert!(csv.starts_with("row,col,busy_cycles"));
+    assert!(csv.starts_with("row,col,busy_ticks"));
     assert_eq!(csv.lines().count(), 2 * 4 + 1); // header + one row per PE
 }
 

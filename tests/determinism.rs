@@ -5,12 +5,26 @@
 //! anywhere: parallelism is an implementation detail, never an observable.
 
 use ceresz::core::{compress, CereszConfig, ErrorBound};
-use ceresz::wse::{execute, execute_strategy, SimOptions, Strategy, StrategyKind};
+use ceresz::wse::{execute, execute_strategy, EngineMode, SimOptions, Strategy, StrategyKind};
 
 fn wavy(n: usize) -> Vec<f32> {
     (0..n)
         .map(|i| (i as f32 * 0.011).sin() * 9.0 + (i as f32 * 0.0047).cos() * 3.0)
         .collect()
+}
+
+/// RTM-style zero-heavy input: long zero runs with a sparse active front
+/// (1-in-16 blocks carry signal). The workload where the discrete-event
+/// engine skips the most cycles, so also where an equivalence bug would
+/// show first.
+fn sparse(n_blocks: usize) -> Vec<f32> {
+    let mut data = vec![0f32; n_blocks * 32];
+    for b in (0..n_blocks).step_by(16) {
+        for i in 0..32 {
+            data[b * 32 + i] = ((b * 32 + i) as f32 * 0.013).sin() * 20.0;
+        }
+    }
+    data
 }
 
 /// The headline acceptance check: a 64×64 mesh (multi-pipeline, the
@@ -32,7 +46,11 @@ fn run_report_is_bit_identical_across_thread_counts() {
 
     let serial = execute(kind, &data, &cfg, &SimOptions::default().with_trace(true)).unwrap();
     for threads in [2usize, 8] {
-        let options = SimOptions::default().with_trace(true).with_threads(threads);
+        // Exact thread counts: the sweep must exercise real sharding even
+        // on a 1-core CI host (`with_threads` would clamp to 1 there).
+        let options = SimOptions::default()
+            .with_trace(true)
+            .with_threads_exact(threads);
         let sharded = execute(kind, &data, &cfg, &options).unwrap();
         assert_eq!(
             sharded.report, serial.report,
@@ -77,7 +95,7 @@ fn every_strategy_is_thread_count_invariant() {
                 kind,
                 &data,
                 &cfg,
-                &SimOptions::default().with_threads(threads),
+                &SimOptions::default().with_threads_exact(threads),
             )
             .unwrap();
             assert_eq!(
@@ -110,10 +128,10 @@ fn run_report_is_bit_identical_with_sampling_on_or_off() {
         },
     ] {
         for threads in [1usize, 2, 8] {
-            let base = SimOptions::default().with_threads(threads);
+            let base = SimOptions::default().with_threads_exact(threads);
             let plain = execute(kind, &data, &cfg, &base).unwrap();
             let sampled =
-                execute(kind, &data, &cfg, &base.clone().with_flight_window(512.0)).unwrap();
+                execute(kind, &data, &cfg, &base.clone().with_flight_window(512)).unwrap();
             assert_eq!(
                 sampled.report, plain.report,
                 "{kind:?}: sampling changed the report at {threads} threads"
@@ -150,19 +168,19 @@ fn flight_recording_is_thread_count_invariant() {
         kind,
         &data,
         &cfg,
-        &SimOptions::default().with_flight_window(256.0),
+        &SimOptions::default().with_flight_window(256),
     )
     .unwrap();
     let reference = serial.report.flight().unwrap();
-    assert!(reference.stall_totals()["compute"] > 0.0);
+    assert!(!reference.stall_totals()["compute"].is_zero());
     for threads in [2usize, 8] {
         let sharded = execute(
             kind,
             &data,
             &cfg,
             &SimOptions::default()
-                .with_threads(threads)
-                .with_flight_window(256.0),
+                .with_threads_exact(threads)
+                .with_flight_window(256),
         )
         .unwrap();
         assert_eq!(
@@ -199,7 +217,7 @@ fn strategies_agree_bitwise_through_the_trait() {
             strategy,
             &data,
             &cfg,
-            &SimOptions::default().with_threads(2),
+            &SimOptions::default().with_threads_exact(2),
         )
         .unwrap();
         assert_eq!(
@@ -208,5 +226,107 @@ fn strategies_agree_bitwise_through_the_trait() {
             "{} diverged from the host reference",
             strategy.name()
         );
+    }
+}
+
+/// The discrete-event engine is an *optimization*, never a semantic change:
+/// for every strategy, at 1, 2, and 8 worker threads, it produces a
+/// `RunReport` AND a `FlightRecording` bit-identical to the cycle-stepped
+/// reference engine.
+#[test]
+fn event_engine_matches_cycle_stepped_reference() {
+    let data = wavy(32 * 48);
+    let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+    for kind in [
+        StrategyKind::RowParallel { rows: 4 },
+        StrategyKind::Pipeline {
+            rows: 2,
+            pipeline_length: 4,
+        },
+        StrategyKind::MultiPipeline {
+            rows: 4,
+            pipeline_length: 2,
+            pipelines_per_row: 3,
+        },
+    ] {
+        for threads in [1usize, 2, 8] {
+            let base = SimOptions::default()
+                .with_threads_exact(threads)
+                .with_flight_window(512);
+            let event = execute(
+                kind,
+                &data,
+                &cfg,
+                &base.clone().with_engine(EngineMode::EventDriven),
+            )
+            .unwrap();
+            let stepped = execute(
+                kind,
+                &data,
+                &cfg,
+                &base.clone().with_engine(EngineMode::CycleStepped),
+            )
+            .unwrap();
+            assert_eq!(
+                event.report, stepped.report,
+                "{kind:?}: engines diverged at {threads} threads"
+            );
+            assert_eq!(
+                event.report.flight().unwrap(),
+                stepped.report.flight().unwrap(),
+                "{kind:?}: flight recordings diverged at {threads} threads"
+            );
+            assert_eq!(event.compressed.data, stepped.compressed.data, "{kind:?}");
+        }
+    }
+}
+
+/// Engine equivalence on the workload the event queue optimizes hardest:
+/// RTM-style zero-heavy data, where whole cycle windows are empty and the
+/// event engine skips them. Skipping must be exact — the cycle-stepped
+/// reference and the event engine agree bit-for-bit, at every thread count,
+/// recordings included.
+#[test]
+fn sparse_zero_heavy_workload_is_engine_and_thread_invariant() {
+    let kind = StrategyKind::MultiPipeline {
+        rows: 8,
+        pipeline_length: 4,
+        pipelines_per_row: 4,
+    };
+    let data = sparse(8 * 4 * 2); // two rounds per pipeline, 1-in-16 dense
+    let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+    let reference = execute(
+        kind,
+        &data,
+        &cfg,
+        &SimOptions::default()
+            .with_threads_exact(1)
+            .with_flight_window(256)
+            .with_engine(EngineMode::CycleStepped),
+    )
+    .unwrap();
+    for engine in [EngineMode::EventDriven, EngineMode::CycleStepped] {
+        for threads in [1usize, 2, 8] {
+            let run = execute(
+                kind,
+                &data,
+                &cfg,
+                &SimOptions::default()
+                    .with_threads_exact(threads)
+                    .with_flight_window(256)
+                    .with_engine(engine),
+            )
+            .unwrap();
+            assert_eq!(
+                run.report, reference.report,
+                "sparse run diverged: {engine:?} at {threads} threads"
+            );
+            assert_eq!(
+                run.report.flight().unwrap(),
+                reference.report.flight().unwrap(),
+                "sparse flight recording diverged: {engine:?} at {threads} threads"
+            );
+            assert_eq!(run.compressed.data, reference.compressed.data);
+        }
     }
 }

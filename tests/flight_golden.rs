@@ -34,7 +34,7 @@ fn run_golden() -> FlightRecording {
         kind,
         &data,
         &cfg,
-        &SimOptions::default().with_flight_window(256.0),
+        &SimOptions::default().with_flight_window(256),
     )
     .unwrap();
     run.report.take_flight().unwrap()

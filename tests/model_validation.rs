@@ -40,7 +40,7 @@ fn analytic_model_tracks_the_simulator() {
             cols: pipelines,
         });
         let analytic = wafer.compression_report(data, &cfg, 1).unwrap();
-        let ratio = sim.stats.finish_cycle / analytic.cycles;
+        let ratio = sim.stats.finish_cycle.cycles_f64() / analytic.cycles;
         assert!(
             (0.75..1.25).contains(&ratio),
             "{rows}x{pipelines}: sim {} vs analytic {} (ratio {ratio:.3})",
@@ -61,7 +61,8 @@ fn scaling_trends_agree() {
 
     let sim_a = multi_pipeline(data, &cfg, 2, 8);
     let sim_b = multi_pipeline(data, &cfg, 2, 16);
-    let sim_speedup = sim_a.stats.finish_cycle / sim_b.stats.finish_cycle;
+    let sim_speedup =
+        sim_a.stats.finish_cycle.ticks() as f64 / sim_b.stats.finish_cycle.ticks() as f64;
 
     let wafer_a = WaferConfig::cs2(MeshShape { rows: 2, cols: 8 });
     let wafer_b = WaferConfig::cs2(MeshShape { rows: 2, cols: 16 });
@@ -93,7 +94,7 @@ fn per_pe_busy_time_is_inverse_in_pipeline_length() {
             &SimOptions::default(),
         )
         .unwrap();
-        run.stats.total_busy_cycles / (n_blocks * len as f64)
+        run.stats.total_busy_cycles.cycles_f64() / (n_blocks * len as f64)
     };
     let b1 = busy_per_block(1);
     let b4 = busy_per_block(4);
