@@ -3,7 +3,7 @@
 //! On smooth fields the zero bin (`RADIUS`, i.e. "prediction was exact to
 //! within ε") dominates overwhelmingly; run-length coding those stretches
 //! before Huffman is what lets SZ reach ratios in the hundreds-to-thousands
-//! (Table 5). Runs shorter than [`MIN_RUN`] stay as literal symbols; longer
+//! (Table 5). Runs shorter than `MIN_RUN` stay as literal symbols; longer
 //! runs become a `RUN` symbol whose length goes to a LEB128 side stream.
 
 use crate::sz3::quantizer::RADIUS;

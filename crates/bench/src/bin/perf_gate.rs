@@ -2,24 +2,34 @@
 //! `perf-gate` job).
 //!
 //! ```text
-//! perf_gate [--baseline path]             # check (default): fail on drift
-//! perf_gate --update --reason "<why>"     # re-commit the baseline
-//! perf_gate --self-test                   # the gate must catch +1 tick
+//! perf_gate [--baseline path] [--static-baseline path]   # check: fail on drift
+//! perf_gate --update --reason "<why>"         # re-commit both baselines
+//! perf_gate --update-static --reason "<why>"  # re-commit BENCH_static.json only
+//! perf_gate --self-test                       # the gate must catch +1 tick
 //! ```
 //!
 //! Check mode re-runs the gated scenario suite (see
 //! `ceresz_bench::perf_gate`) and diffs every metric against the committed
 //! `BENCH_baseline.json` with **zero tolerance** — the metrics are
-//! bit-deterministic, so any drift is a real behavior change. Intentional
-//! changes are recorded with `--update --reason`, which lands the new
-//! numbers plus the explanation in the baseline file for review.
+//! bit-deterministic, so any drift is a real behavior change. The static
+//! analyzer's bounds over the same suite (critical-path ticks, link loads,
+//! SRAM watermarks) are gated the same way against `BENCH_static.json`, and
+//! their soundness against the observed run is re-proven on every
+//! collection. Intentional changes are recorded with `--update --reason`,
+//! which lands the new numbers plus the explanation in the baseline files
+//! for review.
 
 use std::process::ExitCode;
 
-use ceresz_bench::perf_gate::{collect, compare, parse_baseline, to_json};
+use ceresz_bench::perf_gate::{
+    collect, collect_static, compare, parse_baseline, parse_static, to_json, to_static_json,
+};
 
 /// Path of the committed baseline, relative to the workspace root.
 const DEFAULT_BASELINE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json");
+
+/// Path of the committed static-analysis bounds, relative to the root.
+const DEFAULT_STATIC: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_static.json");
 
 fn main() -> ExitCode {
     match run() {
@@ -34,13 +44,16 @@ fn main() -> ExitCode {
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut update = false;
+    let mut update_static = false;
     let mut self_test = false;
     let mut reason: Option<String> = None;
     let mut baseline_path = DEFAULT_BASELINE.to_owned();
+    let mut static_path = DEFAULT_STATIC.to_owned();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--update" => update = true,
+            "--update-static" => update_static = true,
             "--self-test" => self_test = true,
             "--reason" => {
                 reason = Some(args.get(i + 1).ok_or("--reason needs a value")?.clone());
@@ -50,10 +63,18 @@ fn run() -> Result<(), String> {
                 baseline_path = args.get(i + 1).ok_or("--baseline needs a value")?.clone();
                 i += 1;
             }
+            "--static-baseline" => {
+                static_path = args
+                    .get(i + 1)
+                    .ok_or("--static-baseline needs a value")?
+                    .clone();
+                i += 1;
+            }
             other => {
                 return Err(format!(
                     "unknown flag '{other}' \
-                     (usage: perf_gate [--baseline p] [--update --reason \"<why>\"] [--self-test])"
+                     (usage: perf_gate [--baseline p] [--static-baseline p] \
+                     [--update | --update-static] [--reason \"<why>\"] [--self-test])"
                 ))
             }
         }
@@ -62,6 +83,39 @@ fn run() -> Result<(), String> {
 
     if self_test {
         return run_self_test();
+    }
+
+    println!("collecting static-analysis bounds for the gated scenario suite...");
+    let static_current = collect_static()?;
+    for s in &static_current {
+        println!(
+            "  {}: critical path {} ticks (observed {}), sram peak {} B, deadlock proven",
+            s.name,
+            s.metrics["critical_path_ticks"],
+            s.metrics["observed_makespan_ticks"],
+            s.metrics["sram_watermark_bytes"]
+        );
+    }
+
+    if update || update_static {
+        let reason = reason.ok_or("--update requires --reason \"<why the numbers moved>\"")?;
+        if reason.trim().is_empty() {
+            return Err("--reason must not be empty".into());
+        }
+        std::fs::write(
+            &static_path,
+            to_static_json(&static_current, &reason).to_pretty(),
+        )
+        .map_err(|e| format!("writing {static_path}: {e}"))?;
+        println!("static bounds updated at {static_path} (reason: {reason})");
+        if update {
+            let current = collect()?;
+            let doc = to_json(&current, &reason);
+            std::fs::write(&baseline_path, doc.to_pretty())
+                .map_err(|e| format!("writing {baseline_path}: {e}"))?;
+            println!("baseline updated at {baseline_path} (reason: {reason})");
+        }
+        return Ok(());
     }
 
     println!("collecting tick-exact metrics for the gated scenario suite...");
@@ -73,18 +127,6 @@ fn run() -> Result<(), String> {
         );
     }
 
-    if update {
-        let reason = reason.ok_or("--update requires --reason \"<why the numbers moved>\"")?;
-        if reason.trim().is_empty() {
-            return Err("--reason must not be empty".into());
-        }
-        let doc = to_json(&current, &reason);
-        std::fs::write(&baseline_path, doc.to_pretty())
-            .map_err(|e| format!("writing {baseline_path}: {e}"))?;
-        println!("baseline updated at {baseline_path} (reason: {reason})");
-        return Ok(());
-    }
-
     let text = std::fs::read_to_string(&baseline_path).map_err(|e| {
         format!(
             "reading {baseline_path}: {e} \
@@ -92,11 +134,21 @@ fn run() -> Result<(), String> {
         )
     })?;
     let (baseline, base_reason) = parse_baseline(&text)?;
-    let drifts = compare(&baseline, &current);
+    let static_text = std::fs::read_to_string(&static_path).map_err(|e| {
+        format!(
+            "reading {static_path}: {e} \
+             (create it with --update-static --reason \"initial static bounds\")"
+        )
+    })?;
+    let (static_baseline, _) = parse_static(&static_text)?;
+    let mut drifts = compare(&baseline, &current);
+    drifts.extend(compare(&static_baseline, &static_current));
     if drifts.is_empty() {
         println!(
-            "perf gate PASSED: {} scenarios bit-identical to baseline (last update reason: {})",
+            "perf gate PASSED: {} perf + {} static scenarios bit-identical to baseline \
+             (last update reason: {})",
             baseline.len(),
+            static_baseline.len(),
             base_reason
         );
         Ok(())

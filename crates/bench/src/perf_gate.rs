@@ -28,6 +28,10 @@ use telemetry::json::JsonValue;
 /// Artifact tag identifying a baseline document.
 pub const BASELINE_ARTIFACT: &str = "ceresz-perf-baseline";
 
+/// Artifact tag identifying a static-analysis bounds document
+/// (`BENCH_static.json`).
+pub const STATIC_ARTIFACT: &str = "ceresz-static-profile";
+
 /// Tick-exact metrics of one gated scenario, in a deterministic key order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScenarioMetrics {
@@ -141,6 +145,61 @@ pub fn collect() -> Result<Vec<ScenarioMetrics>, String> {
         .collect()
 }
 
+/// Run the static performance analyzer over the gated scenario suite and
+/// collect its bounds as gateable integer metrics. Each scenario is also
+/// executed once with the flight recorder on and the bounds are checked for
+/// soundness against the observation — an unsound bound is an error, never a
+/// committed artifact. Like [`collect`], the result is bit-deterministic.
+pub fn collect_static() -> Result<Vec<ScenarioMetrics>, String> {
+    let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+    let data = gate_data(cfg.block_size);
+    let options = SimOptions::default().with_flight_window(1024);
+    gate_scenarios()
+        .into_iter()
+        .map(|kind| {
+            let manifest = ceresz_wse::mapping_manifest(&data, &cfg, kind)
+                .map_err(|e| format!("{kind}: {e}"))?;
+            let profile = ceresz_wse::analyze_mapping(&manifest);
+            let run = execute(kind, &data, &cfg, &options).map_err(|e| format!("{kind}: {e}"))?;
+            let (rows, cols) = kind.mesh_shape();
+            let peaks = ceresz_wse::mem_peaks(&run.report, rows, cols);
+            let flight = run.report.flight().expect("sampling was enabled");
+            let sound = ceresz_wse::check_soundness(&profile, run.report.stats(), flight, &peaks);
+            if !sound.is_sound() {
+                return Err(format!(
+                    "{kind}: unsound static bounds: {}",
+                    sound.violations.join("; ")
+                ));
+            }
+            let mut metrics = BTreeMap::new();
+            metrics.insert(
+                "critical_path_ticks".to_owned(),
+                profile.critical_path.ticks(),
+            );
+            metrics.insert(
+                "observed_makespan_ticks".to_owned(),
+                run.stats.finish_cycle.ticks(),
+            );
+            metrics.insert("max_link_wavelets".to_owned(), profile.max_link_wavelets());
+            metrics.insert(
+                "total_link_wavelets".to_owned(),
+                profile.total_link_wavelets(),
+            );
+            metrics.insert("sram_watermark_bytes".to_owned(), profile.sram_watermark());
+            metrics.insert("links".to_owned(), profile.links.len() as u64);
+            metrics.insert("channels".to_owned(), profile.channels.len() as u64);
+            metrics.insert(
+                "deadlock_proven".to_owned(),
+                u64::from(profile.is_deadlock_free()),
+            );
+            Ok(ScenarioMetrics {
+                name: kind.to_string(),
+                metrics,
+            })
+        })
+        .collect()
+}
+
 /// Diff `current` against `baseline`. Empty result = gate passes. Every
 /// metric is compared for exact equality — the whole point of gating
 /// deterministic metrics is that there is no tolerance to tune.
@@ -198,6 +257,16 @@ pub fn compare(baseline: &[ScenarioMetrics], current: &[ScenarioMetrics]) -> Vec
 /// baseline document format.
 #[must_use]
 pub fn to_json(scenarios: &[ScenarioMetrics], reason: &str) -> JsonValue {
+    to_tagged_json(scenarios, reason, BASELINE_ARTIFACT)
+}
+
+/// Serialize a static-analysis collection to the `BENCH_static.json` format.
+#[must_use]
+pub fn to_static_json(scenarios: &[ScenarioMetrics], reason: &str) -> JsonValue {
+    to_tagged_json(scenarios, reason, STATIC_ARTIFACT)
+}
+
+fn to_tagged_json(scenarios: &[ScenarioMetrics], reason: &str, artifact: &str) -> JsonValue {
     let rows = scenarios
         .iter()
         .map(|s| {
@@ -216,10 +285,7 @@ pub fn to_json(scenarios: &[ScenarioMetrics], reason: &str) -> JsonValue {
         })
         .collect();
     JsonValue::Obj(vec![
-        (
-            "artifact".to_owned(),
-            JsonValue::Str(BASELINE_ARTIFACT.to_owned()),
-        ),
+        ("artifact".to_owned(), JsonValue::Str(artifact.to_owned())),
         ("reason".to_owned(), JsonValue::Str(reason.to_owned())),
         (
             "note".to_owned(),
@@ -236,12 +302,21 @@ pub fn to_json(scenarios: &[ScenarioMetrics], reason: &str) -> JsonValue {
 
 /// Parse a baseline document. Returns the scenarios and the recorded reason.
 pub fn from_json(doc: &JsonValue) -> Result<(Vec<ScenarioMetrics>, String), String> {
+    from_tagged_json(doc, BASELINE_ARTIFACT)
+}
+
+fn from_tagged_json(
+    doc: &JsonValue,
+    expected: &str,
+) -> Result<(Vec<ScenarioMetrics>, String), String> {
     let artifact = doc
         .get("artifact")
         .and_then(JsonValue::as_str)
         .ok_or("baseline: missing artifact tag")?;
-    if artifact != BASELINE_ARTIFACT {
-        return Err(format!("baseline: unexpected artifact '{artifact}'"));
+    if artifact != expected {
+        return Err(format!(
+            "baseline: unexpected artifact '{artifact}' (expected '{expected}')"
+        ));
     }
     let reason = doc
         .get("reason")
@@ -289,6 +364,12 @@ pub fn from_json(doc: &JsonValue) -> Result<(Vec<ScenarioMetrics>, String), Stri
 pub fn parse_baseline(text: &str) -> Result<(Vec<ScenarioMetrics>, String), String> {
     let doc = telemetry::json::parse(text).map_err(|e| format!("baseline: {e}"))?;
     from_json(&doc)
+}
+
+/// Parse a `BENCH_static.json` document from its on-disk text form.
+pub fn parse_static(text: &str) -> Result<(Vec<ScenarioMetrics>, String), String> {
+    let doc = telemetry::json::parse(text).map_err(|e| format!("static baseline: {e}"))?;
+    from_tagged_json(&doc, STATIC_ARTIFACT)
 }
 
 #[cfg(test)]
@@ -350,5 +431,36 @@ mod tests {
         assert_eq!(parsed, scenarios);
         assert_eq!(reason, "test reason");
         assert!(compare(&scenarios, &parsed).is_empty());
+    }
+
+    #[test]
+    fn static_collection_is_deterministic_and_sound() {
+        let a = collect_static().unwrap();
+        let b = collect_static().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), gate_scenarios().len());
+        for s in &a {
+            assert_eq!(s.metrics["deadlock_proven"], 1, "{}", s.name);
+            assert!(
+                s.metrics["critical_path_ticks"] <= s.metrics["observed_makespan_ticks"],
+                "{}: the critical-path lower bound exceeds the observed makespan",
+                s.name
+            );
+            assert!(s.metrics["sram_watermark_bytes"] > 0, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn static_baseline_round_trips_and_rejects_cross_tagging() {
+        let scenarios = collect_static().unwrap();
+        let text = to_static_json(&scenarios, "static reason").to_pretty();
+        let (parsed, reason) = parse_static(&text).unwrap();
+        assert_eq!(parsed, scenarios);
+        assert_eq!(reason, "static reason");
+        // A perf baseline must never be mistaken for a static artifact and
+        // vice versa.
+        assert!(parse_baseline(&text).is_err());
+        let perf = to_json(&collect().unwrap(), "r").to_pretty();
+        assert!(parse_static(&perf).is_err());
     }
 }

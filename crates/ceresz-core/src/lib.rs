@@ -66,7 +66,7 @@ pub const DEFAULT_BLOCK_SIZE: usize = 32;
 /// Largest quantized magnitude we accept, chosen so that first-order Lorenzo
 /// deltas (`|p_i| + |p_{i-1}| ≤ 2^31 − 2`) always fit in an `i32` and their
 /// magnitudes in 31 bits. Inputs that quantize beyond this yield
-/// [`CompressError::QuantizationOverflow`] instead of a silently broken bound.
+/// [`CompressError::Quantize`] instead of a silently broken bound.
 pub const QUANT_MAX: i64 = (1 << 30) - 1;
 
 /// Largest block size the stream format accepts (2^20 elements).

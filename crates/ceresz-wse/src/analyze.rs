@@ -1,0 +1,333 @@
+//! Static-analysis plumbing around [`wse_verify::analysis`]: build a
+//! [`StaticProfile`] for a strategy's recorded mapping, cross-check its
+//! bounds against a flight-recorded dynamic run, and shape both into the
+//! JSON documents `ceresz lint --analyze` and the bench artifacts emit.
+//!
+//! The cross-check is the validation gate of the whole static layer: for a
+//! run that completed, every static *upper* bound must dominate the dynamic
+//! observation (link load ≥ recorded occupancy, SRAM watermark ≥ recorded
+//! peak) and every static *lower* bound must be dominated by it (critical
+//! path ≤ simulated makespan). A violation means the abstract interpretation
+//! mis-models the simulator and fails `ceresz lint --analyze`, fuzzer
+//! oracle 6, and CI.
+
+use telemetry::json::JsonValue;
+use wse_sim::{CostModel, FlightRecording, PeId, RunReport, SimStats, Time};
+use wse_verify::{analyze, DeadlockVerdict, MappingManifest, StaticProfile};
+
+/// Statically analyze `manifest` with the calibrated [`CostModel`] — the
+/// same model [`crate::SimOptions`] runs the simulator with, which the
+/// soundness cross-check assumes.
+#[must_use]
+pub fn analyze_mapping(manifest: &MappingManifest) -> StaticProfile {
+    analyze(manifest, &CostModel::calibrated())
+}
+
+/// Per-PE dynamic memory peaks of a run, row-major — the observation vector
+/// [`check_soundness`] compares the static SRAM watermarks against.
+#[must_use]
+pub fn mem_peaks(report: &RunReport, rows: usize, cols: usize) -> Vec<u64> {
+    let mut peaks = Vec::with_capacity(rows * cols);
+    for row in 0..rows {
+        for col in 0..cols {
+            peaks.push(report.pe_stats(PeId::new(row, col)).mem_peak_bytes);
+        }
+    }
+    peaks
+}
+
+/// Outcome of checking one [`StaticProfile`] against one completed,
+/// flight-recorded run of the same mapping.
+#[derive(Debug, Clone)]
+pub struct SoundnessReport {
+    /// Name of the mapping that was checked.
+    pub mapping: String,
+    /// Every bound that failed to dominate its observation (empty = sound).
+    pub violations: Vec<String>,
+    /// Number of dynamically-active links compared.
+    pub links_checked: usize,
+    /// Number of PEs whose memory peak was compared.
+    pub pes_checked: usize,
+    /// The static critical-path lower bound.
+    pub static_critical_path: Time,
+    /// The observed makespan the bound must not exceed.
+    pub observed_makespan: Time,
+}
+
+impl SoundnessReport {
+    /// `true` iff every static bound dominated its dynamic observation.
+    #[must_use]
+    pub fn is_sound(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Check every static bound of `profile` against the dynamic observations of
+/// a completed run: headline `stats`, the `flight` recording's per-link
+/// counters, and the row-major per-PE memory peaks from [`mem_peaks`]
+/// (pass an empty slice to skip the SRAM comparison).
+#[must_use]
+pub fn check_soundness(
+    profile: &StaticProfile,
+    stats: &SimStats,
+    flight: &FlightRecording,
+    peaks: &[u64],
+) -> SoundnessReport {
+    let mut violations = Vec::new();
+
+    // A mapping that ran to completion cannot deadlock; the proof must agree.
+    if let DeadlockVerdict::Cycle(cycle) = &profile.deadlock {
+        violations.push(format!(
+            "deadlock check reports a {}-channel cycle for a mapping that ran to completion",
+            cycle.len()
+        ));
+    }
+
+    // Lower bound: static critical path <= simulated makespan.
+    if profile.critical_path > stats.finish_cycle {
+        violations.push(format!(
+            "static critical path {} cycles exceeds the simulated makespan {} cycles",
+            profile.critical_path, stats.finish_cycle
+        ));
+    }
+
+    // Upper bounds: per-link wavelets / streams / occupancy.
+    let mut links_checked = 0;
+    for (&(from, to), observed) in flight.links() {
+        links_checked += 1;
+        let Some(bound) = profile.links.get(&(from, to)) else {
+            violations.push(format!(
+                "link {from} -> {to} carried {} wavelets but the static analysis predicts no traffic",
+                observed.wavelets
+            ));
+            continue;
+        };
+        if bound.wavelets < observed.wavelets {
+            violations.push(format!(
+                "link {from} -> {to}: static load {} wavelets < recorded {}",
+                bound.wavelets, observed.wavelets
+            ));
+        }
+        if bound.streams < observed.streams {
+            violations.push(format!(
+                "link {from} -> {to}: static stream count {} < recorded {}",
+                bound.streams, observed.streams
+            ));
+        }
+        if bound.occupancy_bound() < observed.occupancy.total() {
+            violations.push(format!(
+                "link {from} -> {to}: static occupancy bound {} cycles < recorded {}",
+                bound.occupancy_bound(),
+                observed.occupancy.total()
+            ));
+        }
+    }
+
+    // Upper bound: per-PE SRAM watermark >= recorded peak.
+    let mut pes_checked = 0;
+    for (idx, &peak) in peaks.iter().enumerate() {
+        pes_checked += 1;
+        let pe = PeId::new(idx / profile.cols, idx % profile.cols);
+        let bound = profile.sram_bound(pe);
+        if bound < peak {
+            violations.push(format!(
+                "{pe}: static SRAM watermark {bound} B < recorded peak {peak} B"
+            ));
+        }
+    }
+
+    SoundnessReport {
+        mapping: profile.mapping.clone(),
+        violations,
+        links_checked,
+        pes_checked,
+        static_critical_path: profile.critical_path,
+        observed_makespan: stats.finish_cycle,
+    }
+}
+
+/// Shape a [`StaticProfile`] (and optionally its cross-check) into the
+/// stable JSON document used by `ceresz lint --analyze --json` and the
+/// `BENCH_static.json` bench artifact.
+#[must_use]
+pub fn profile_json(profile: &StaticProfile, soundness: Option<&SoundnessReport>) -> JsonValue {
+    use JsonValue as J;
+    let pe_json = |pe: PeId| {
+        J::Obj(vec![
+            ("row".to_owned(), J::Num(pe.row as f64)),
+            ("col".to_owned(), J::Num(pe.col as f64)),
+        ])
+    };
+    let links: Vec<JsonValue> = profile
+        .links
+        .iter()
+        .map(|(&(from, to), load)| {
+            J::Obj(vec![
+                ("from".to_owned(), pe_json(from)),
+                ("to".to_owned(), pe_json(to)),
+                ("wavelets".to_owned(), J::Num(load.wavelets as f64)),
+                ("streams".to_owned(), J::Num(load.streams as f64)),
+                (
+                    "colors".to_owned(),
+                    J::Arr(load.colors.iter().map(|&c| J::Num(f64::from(c))).collect()),
+                ),
+                (
+                    "occupancy_bound_ticks".to_owned(),
+                    J::Num(load.occupancy_bound().ticks() as f64),
+                ),
+            ])
+        })
+        .collect();
+    let deadlock = match &profile.deadlock {
+        DeadlockVerdict::Proven => J::Str("proven".to_owned()),
+        DeadlockVerdict::Cycle(cycle) => J::Arr(
+            cycle
+                .iter()
+                .map(|&(pe, color)| {
+                    J::Obj(vec![
+                        ("pe".to_owned(), pe_json(pe)),
+                        ("color".to_owned(), J::Num(f64::from(color.id()))),
+                    ])
+                })
+                .collect(),
+        ),
+    };
+    let mut fields: Vec<(String, JsonValue)> = vec![
+        ("mapping".to_owned(), J::Str(profile.mapping.clone())),
+        ("rows".to_owned(), J::Num(profile.rows as f64)),
+        ("cols".to_owned(), J::Num(profile.cols as f64)),
+        ("ticks_per_cycle".to_owned(), J::Num(1000.0)),
+        (
+            "critical_path_ticks".to_owned(),
+            J::Num(profile.critical_path.ticks() as f64),
+        ),
+        (
+            "max_link_wavelets".to_owned(),
+            J::Num(profile.max_link_wavelets() as f64),
+        ),
+        (
+            "total_link_wavelets".to_owned(),
+            J::Num(profile.total_link_wavelets() as f64),
+        ),
+        (
+            "sram_watermark_bytes".to_owned(),
+            J::Num(profile.sram_watermark() as f64),
+        ),
+        ("channels".to_owned(), J::Num(profile.channels.len() as f64)),
+        ("deadlock".to_owned(), deadlock),
+        ("links".to_owned(), J::Arr(links)),
+    ];
+    if let Some(s) = soundness {
+        fields.push((
+            "soundness".to_owned(),
+            J::Obj(vec![
+                ("links_checked".to_owned(), J::Num(s.links_checked as f64)),
+                ("pes_checked".to_owned(), J::Num(s.pes_checked as f64)),
+                (
+                    "observed_makespan_ticks".to_owned(),
+                    J::Num(s.observed_makespan.ticks() as f64),
+                ),
+                (
+                    "violations".to_owned(),
+                    J::Arr(s.violations.iter().map(|v| J::Str(v.clone())).collect()),
+                ),
+            ]),
+        ));
+    }
+    JsonValue::Obj(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{mapping_manifest, SimOptions};
+    use crate::strategy::{execute_strategy, StrategyKind};
+    use ceresz_core::{CereszConfig, ErrorBound};
+
+    fn wavy(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (i as f32 * 0.013).sin() * 10.0 + (i as f32 * 0.0041).cos() * 3.0)
+            .collect()
+    }
+
+    #[test]
+    fn static_bounds_dominate_dynamic_observations() {
+        let data = wavy(32 * 24);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        for kind in [
+            StrategyKind::RowParallel { rows: 3 },
+            StrategyKind::Pipeline {
+                rows: 2,
+                pipeline_length: 4,
+            },
+            StrategyKind::MultiPipeline {
+                rows: 2,
+                pipeline_length: 2,
+                pipelines_per_row: 3,
+            },
+        ] {
+            let manifest = mapping_manifest(&data, &cfg, kind).unwrap();
+            let profile = analyze_mapping(&manifest);
+            assert!(profile.is_deadlock_free(), "{kind:?}");
+            assert!(!profile.critical_path.is_zero(), "{kind:?}");
+
+            let options = SimOptions::default().with_flight_window(1024);
+            let (_, _, mut report) = execute_strategy(&kind, &data, &cfg, &options).unwrap();
+            let flight = report.take_flight().unwrap();
+            let (rows, cols) = kind.mesh_shape();
+            let peaks = mem_peaks(&report, rows, cols);
+            assert!(peaks.iter().any(|&p| p > 0), "{kind:?}: no memory used?");
+            let sound = check_soundness(&profile, report.stats(), &flight, &peaks);
+            assert!(
+                sound.is_sound(),
+                "{kind:?} unsound: {:#?}",
+                sound.violations
+            );
+            assert_eq!(sound.pes_checked, rows * cols);
+        }
+    }
+
+    #[test]
+    fn violations_are_detected_not_papered_over() {
+        // Shrink a bound below the observation and the check must fire.
+        let data = wavy(32 * 8);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let kind = StrategyKind::Pipeline {
+            rows: 1,
+            pipeline_length: 4,
+        };
+        let manifest = mapping_manifest(&data, &cfg, kind).unwrap();
+        let mut profile = analyze_mapping(&manifest);
+        profile.critical_path = Time::MAX;
+        for load in profile.links.values_mut() {
+            load.wavelets = 0;
+        }
+        let options = SimOptions::default().with_flight_window(1024);
+        let (_, _, mut report) = execute_strategy(&kind, &data, &cfg, &options).unwrap();
+        let flight = report.take_flight().unwrap();
+        let sound = check_soundness(&profile, report.stats(), &flight, &[]);
+        assert!(!sound.is_sound());
+        assert!(sound.violations.iter().any(|v| v.contains("critical path")));
+        assert!(sound.violations.iter().any(|v| v.contains("static load")));
+    }
+
+    #[test]
+    fn profile_json_is_well_formed() {
+        let data = wavy(32 * 8);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let kind = StrategyKind::Pipeline {
+            rows: 1,
+            pipeline_length: 3,
+        };
+        let manifest = mapping_manifest(&data, &cfg, kind).unwrap();
+        let profile = analyze_mapping(&manifest);
+        let doc = profile_json(&profile, None);
+        let parsed = telemetry::json::parse(&doc.to_pretty()).unwrap();
+        assert_eq!(
+            parsed.get("mapping").unwrap().as_str(),
+            Some(profile.mapping.as_str())
+        );
+        assert_eq!(parsed.get("deadlock").unwrap().as_str(), Some("proven"));
+        assert!(parsed.get("critical_path_ticks").unwrap().as_f64().unwrap() > 0.0);
+    }
+}

@@ -32,6 +32,7 @@
 //! the 512×512 and 750×994 configurations that are too large to event-step.
 
 #![forbid(unsafe_code)]
+pub mod analyze;
 pub mod decompress_map;
 pub mod distributor;
 pub mod engine;
@@ -48,6 +49,7 @@ pub mod strategy;
 pub mod throughput;
 pub mod wire;
 
+pub use analyze::{analyze_mapping, check_soundness, mem_peaks, profile_json, SoundnessReport};
 pub use engine::{mapping_manifest, MappingStrategy, SimOptions};
 pub use error::WseError;
 pub use mapping::MappedMesh;

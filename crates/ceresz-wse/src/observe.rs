@@ -21,6 +21,9 @@ pub struct ObserveReport {
     pub stats: SimStats,
     /// The merged flight recording.
     pub flight: FlightRecording,
+    /// Per-PE peak memory in bytes, row-major — the observation the static
+    /// SRAM watermark is checked against.
+    pub mem_peak_bytes: Vec<u64>,
 }
 
 /// Execute `strategy` on `data` with flight-recorder sampling enabled and
@@ -44,11 +47,13 @@ pub fn observe(
     let flight = report
         .take_flight()
         .expect("sampling was enabled for the observed run");
+    let (rows, cols) = strategy.mesh_shape();
     Ok(ObserveReport {
         strategy: strategy.name().to_owned(),
         mesh: strategy.mesh_shape(),
         stats: report.stats().clone(),
         flight,
+        mem_peak_bytes: crate::analyze::mem_peaks(&report, rows, cols),
     })
 }
 
@@ -196,6 +201,9 @@ mod tests {
             let report = observe(&kind, &data, &cfg, &SimOptions::default()).unwrap();
             assert_eq!(report.mesh, kind.mesh_shape());
             assert!(!report.stats.finish_cycle.is_zero());
+            let (rows, cols) = report.mesh;
+            assert_eq!(report.mem_peak_bytes.len(), rows * cols);
+            assert!(report.mem_peak_bytes.iter().any(|&p| p > 0));
             // Integer ticks: flight busy totals equal the stats exactly.
             let busy = report.flight.stall_totals()["compute"];
             assert_eq!(

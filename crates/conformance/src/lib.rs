@@ -4,7 +4,7 @@
 //!
 //! One fuzz *case* is a structured adversarial input (see
 //! [`generate::DataClass`]) plus a compression configuration and three WSE
-//! mapping shapes. Five oracles judge it:
+//! mapping shapes. Six oracles judge it:
 //!
 //! 1. **Differential** — host `compress`, `compress_parallel`, and all three
 //!    simulated mapping strategies agree exactly: bit-identical streams on
@@ -21,6 +21,10 @@
 //!    certifies clean runs to completion (with verification opted out) and
 //!    never dies with a deadlock, routing, or memory error — the failure
 //!    classes the verifier claims to rule out before simulation.
+//! 6. **Soundness** — the static performance analyzer's bounds dominate a
+//!    flight-recorded run of every shipped mapping: per-link worst-case load
+//!    ≥ observed occupancy, critical-path lower bound ≤ simulated makespan,
+//!    SRAM watermark ≥ observed peak, deadlock-freedom proven.
 //!
 //! Everything derives from `(seed, case index)` via a built-in xorshift64*
 //! generator — no external crates — so a whole run reproduces with
@@ -69,7 +73,7 @@ pub struct FuzzFailure {
     /// `ceresz fuzz --case-seed`) replays this case in isolation.
     pub case_seed: u64,
     /// Which oracle failed: `differential`, `roundtrip`, `mutation`,
-    /// `baselines`, or `verifier`.
+    /// `baselines`, `verifier`, or `soundness`.
     pub oracle: &'static str,
     /// What went wrong.
     pub message: String,
@@ -220,6 +224,9 @@ pub fn run_case(case: &Case) -> CaseOutcome {
     }
     if let Err(msg) = probe(|| oracles::oracle_verifier(case)) {
         out.violations.push(("verifier", msg));
+    }
+    if let Err(msg) = probe(|| oracles::oracle_soundness(case)) {
+        out.violations.push(("soundness", msg));
     }
     out
 }

@@ -128,7 +128,7 @@ pub fn stream_header_forgeries(valid: &[u8], block_size: usize) -> Vec<Mutation>
 
 /// Targeted archive forgeries: field counts and per-field length fields that
 /// claim more than the buffer holds. Layout: magic(4) version(1) count(u32 LE)
-/// then per-field [name_len u16][name][ndims u8][dims u64...][stream_len u64].
+/// then per-field `[name_len u16][name][ndims u8][dims u64...][stream_len u64]`.
 pub fn archive_forgeries(valid: &[u8]) -> Vec<Mutation> {
     let mut out = Vec::new();
     for count in [u32::MAX, u32::MAX / 2, 1u32 << 24] {

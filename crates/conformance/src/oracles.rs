@@ -1,4 +1,4 @@
-//! The five conformance oracles.
+//! The six conformance oracles.
 //!
 //! Each oracle takes a generated [`Case`] and returns `Err(description)` on
 //! a conformance violation. Panics are *not* caught here — the runner wraps
@@ -21,8 +21,9 @@ use crate::rng::Rng;
 
 /// Oracle 1 — differential: the host reference `compress`, its parallel
 /// variant, and all three simulated mapping strategies must agree exactly:
-/// bit-identical streams on success, the *same* typed [`CompressError`] on
-/// failure. Returns the host stream (None when the case errored everywhere
+/// bit-identical streams on success, the *same* typed
+/// [`CompressError`](ceresz_core::CompressError) on failure. Returns the
+/// host stream (None when the case errored everywhere
 /// in agreement) for the downstream oracles to reuse.
 pub fn oracle_differential(case: &Case) -> Result<Option<Compressed>, String> {
     let cfg = case.config();
@@ -262,6 +263,46 @@ pub fn oracle_verifier(case: &Case) -> Result<(), String> {
                 // contract.
                 _ => {}
             }
+        }
+    }
+    Ok(())
+}
+
+/// Oracle 6 — static-bound soundness: for every strategy shape in the case,
+/// the static performance analyzer's bounds must dominate a flight-recorded
+/// run of the same mapping — per-link worst-case load ≥ observed occupancy,
+/// critical-path lower bound ≤ simulated makespan, SRAM watermark ≥ observed
+/// peak memory — and the channel-dependency check must *prove* every shipped
+/// mapping deadlock-free. Cases the mapping builder or simulator rejects are
+/// skipped here: error agreement is the differential oracle's job.
+pub fn oracle_soundness(case: &Case) -> Result<(), String> {
+    let cfg = case.config();
+    for strategy in case.strategies {
+        let Ok(manifest) = mapping_manifest(&case.data, &cfg, strategy) else {
+            continue;
+        };
+        let profile = ceresz_wse::analyze_mapping(&manifest);
+        if !profile.is_deadlock_free() {
+            return Err(format!(
+                "{strategy:?}: deadlock check failed to prove a shipped mapping free"
+            ));
+        }
+        let options = SimOptions::default().with_flight_window(1024);
+        let Ok(run) = execute(strategy, &case.data, &cfg, &options) else {
+            continue;
+        };
+        let mut report = run.report;
+        let flight = report
+            .take_flight()
+            .expect("flight recording was enabled for the soundness run");
+        let (rows, cols) = strategy.mesh_shape();
+        let peaks = ceresz_wse::mem_peaks(&report, rows, cols);
+        let sound = ceresz_wse::check_soundness(&profile, report.stats(), &flight, &peaks);
+        if !sound.is_sound() {
+            return Err(format!(
+                "{strategy:?}: static bounds failed to dominate the observed run: {}",
+                sound.violations.join("; ")
+            ));
         }
     }
     Ok(())

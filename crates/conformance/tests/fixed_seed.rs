@@ -41,6 +41,17 @@ fn report_counts_cases() {
 }
 
 #[test]
+fn soundness_oracle_accepts_seeded_cases() {
+    use conformance::Case;
+    for seed in [3u64, 11, 0x5EED] {
+        let case = Case::from_seed(seed, 0);
+        if let Err(msg) = conformance::oracles::oracle_soundness(&case) {
+            panic!("seed {seed:#x}: {msg}");
+        }
+    }
+}
+
+#[test]
 fn runs_are_reproducible() {
     let cfg = FuzzConfig {
         seed: 99,

@@ -17,7 +17,7 @@ pub struct FieldStats {
     pub std: f64,
     /// Fraction of exact zeros (drives the zero-block fast path).
     pub zero_fraction: f64,
-    /// Mean |x[i+1] − x[i]| normalized by the value range — the smoothness
+    /// Mean `|x[i+1] − x[i]|` normalized by the value range — the smoothness
     /// measure that predicts post-Lorenzo residual widths.
     pub normalized_roughness: f64,
     /// `|max value| / range` — predicts the first-element quantized

@@ -180,7 +180,7 @@ impl ProfileReport {
         ])
     }
 
-    /// Parse a document produced by [`to_json`]. Used by the golden tests
+    /// Parse a document produced by [`Self::to_json`]. Used by the golden tests
     /// and by tooling that post-processes `profile.json`.
     pub fn from_json(doc: &JsonValue) -> Result<Self, String> {
         let num = |key: &str| -> Result<f64, String> {

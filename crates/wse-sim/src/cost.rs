@@ -41,6 +41,24 @@ pub enum Op {
     MemCopy,
 }
 
+impl Op {
+    /// Every operation, in declaration order — lets analytic consumers
+    /// (static analysis, cost-table exports) enumerate the whole table.
+    pub const ALL: [Op; 11] = [
+        Op::F32Mul,
+        Op::F32AddRound,
+        Op::I32Sub,
+        Op::I32Add,
+        Op::SignAbs,
+        Op::MaxStep,
+        Op::Clz,
+        Op::ShuffleBit,
+        Op::UnshuffleBit,
+        Op::MemSet,
+        Op::MemCopy,
+    ];
+}
+
 /// Tick costs per operation plus the fixed per-task overhead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CostModel {
@@ -101,10 +119,12 @@ impl CostModel {
         }
     }
 
-    /// Exact time for `count` repetitions of `op`.
+    /// The exact per-repetition cost of `op` — the raw table entry, exposed
+    /// so static analysis can price abstract work without re-deriving the
+    /// calibration.
     #[must_use]
-    pub fn cost(&self, op: Op, count: u64) -> Time {
-        let per = match op {
+    pub fn per_op(&self, op: Op) -> Time {
+        match op {
             Op::F32Mul => self.f32_mul,
             Op::F32AddRound => self.f32_add_round,
             Op::I32Sub => self.i32_sub,
@@ -116,8 +136,13 @@ impl CostModel {
             Op::UnshuffleBit => self.unshuffle_bit,
             Op::MemSet => self.mem_set,
             Op::MemCopy => self.mem_copy,
-        };
-        per * count
+        }
+    }
+
+    /// Exact time for `count` repetitions of `op`.
+    #[must_use]
+    pub fn cost(&self, op: Op, count: u64) -> Time {
+        self.per_op(op) * count
     }
 
     /// Convenience for analytic consumers: the cost of `op` in cycles as
@@ -166,5 +191,15 @@ mod tests {
         let m = CostModel::calibrated();
         assert_eq!(m.cycles(Op::ShuffleBit, 2), 118.5);
         assert_eq!(m.cycles(Op::MemCopy, 5), 10.0);
+    }
+
+    #[test]
+    fn per_op_enumerates_the_whole_table() {
+        let m = CostModel::calibrated();
+        for op in Op::ALL {
+            assert_eq!(m.cost(op, 1), m.per_op(op));
+            assert!(!m.per_op(op).is_zero(), "{op:?} must have a price");
+        }
+        assert_eq!(m.per_op(Op::F32Mul), Time::from_ticks(156_200));
     }
 }

@@ -4,7 +4,7 @@
 //! All simulated time is the integer [`Time`] tick base — event timestamps,
 //! cycle limits, and every counter in the report are exact tick counts, so
 //! nothing in the timing path can drift. The engine partitions the mesh into
-//! per-row shards grouped by vertical route coupling (see [`crate::shard`]
+//! per-row shards grouped by vertical route coupling (see the `shard` module
 //! for the full determinism argument) and steps independent groups on
 //! `std::thread::scope` threads. The merge below folds per-shard results
 //! back together in row order — same integer addition order, same
@@ -438,7 +438,7 @@ impl Simulator {
     /// Run to completion.
     ///
     /// The result is bit-identical at any [`MeshConfig::threads`] setting
-    /// and in either [`EngineMode`]; see [`crate::shard`] for the
+    /// and in either [`EngineMode`]; see the `shard` module for the
     /// partitioning and determinism argument.
     pub fn run(mut self) -> Result<RunReport, SimError> {
         let (rows, cols) = (self.config.rows, self.config.cols);
@@ -583,6 +583,7 @@ impl Simulator {
                 if state.stats.tasks_run > 0 {
                     stats.active_pes += 1;
                 }
+                state.stats.mem_peak_bytes = state.memory.peak() as u64;
                 outputs.push(std::mem::take(&mut state.outputs));
                 pe_stats.push(state.stats);
             }

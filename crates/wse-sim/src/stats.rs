@@ -19,6 +19,10 @@ pub struct PeStats {
     pub wavelets_received: u64,
     /// Instant when this PE last finished a task.
     pub last_active: Time,
+    /// Peak heap footprint of this PE's kernel in bytes, from the SRAM
+    /// tracker — the dynamic observation the static SRAM watermark must
+    /// dominate.
+    pub mem_peak_bytes: u64,
 }
 
 /// Aggregate statistics of a run.

@@ -91,6 +91,21 @@ impl Time {
         Self(self.0.saturating_sub(other.0))
     }
 
+    /// Sum clamped at [`Time::MAX`]. The panicking `Add` is right on the
+    /// simulation hot path, where an overflow is a bug; analytic bounds over
+    /// adversarial manifests saturate instead — a clamped lower bound stays
+    /// sound.
+    #[must_use]
+    pub const fn saturating_add(self, other: Self) -> Self {
+        Self(self.0.saturating_add(other.0))
+    }
+
+    /// Product with a scalar count, clamped at [`Time::MAX`].
+    #[must_use]
+    pub const fn saturating_mul(self, count: u64) -> Self {
+        Self(self.0.saturating_mul(count))
+    }
+
     /// The larger of two times.
     #[must_use]
     pub fn max(self, other: Self) -> Self {
@@ -225,5 +240,16 @@ mod tests {
         let b = Time::from_cycles(5);
         assert_eq!(a.saturating_sub(b), Time::ZERO);
         assert_eq!(b.saturating_sub(a), Time::from_cycles(2));
+    }
+
+    #[test]
+    fn saturating_add_and_mul_clamp_at_max() {
+        assert_eq!(Time::MAX.saturating_add(Time::from_ticks(1)), Time::MAX);
+        assert_eq!(Time::MAX.saturating_mul(2), Time::MAX);
+        assert_eq!(
+            Time::from_cycles(2).saturating_add(Time::from_cycles(3)),
+            Time::from_cycles(5)
+        );
+        assert_eq!(Time::from_cycles(2).saturating_mul(3), Time::from_cycles(6));
     }
 }

@@ -64,9 +64,9 @@ impl std::fmt::Display for VerifyReport {
 }
 
 /// Sort key for deterministic per-PE/color maps.
-type Loc = ((usize, usize), u8);
+pub(crate) type Loc = ((usize, usize), u8);
 
-fn loc(pe: PeId, color: Color) -> Loc {
+pub(crate) fn loc(pe: PeId, color: Color) -> Loc {
     ((pe.row, pe.col), color.id())
 }
 
@@ -87,7 +87,7 @@ pub fn verify(manifest: &MappingManifest) -> VerifyReport {
 
 /// Collapse route declarations to one rule per `(PE, color)` (first claim
 /// wins). Conflicting duplicates are reported by the color-discipline check.
-fn effective_routes(manifest: &MappingManifest) -> BTreeMap<Loc, &RouteRule> {
+pub(crate) fn effective_routes(manifest: &MappingManifest) -> BTreeMap<Loc, &RouteRule> {
     let mut table = BTreeMap::new();
     for r in &manifest.routes {
         table.entry(loc(r.pe, r.color)).or_insert(&r.rule);
@@ -192,6 +192,47 @@ fn resolve_static(
             );
             return None;
         };
+        arrived_from = Some(dir.opposite());
+        cur = next;
+    }
+}
+
+/// Silent hop-by-hop walk of `src`'s stream on `color`.
+///
+/// Returns the full PE path — source first, delivering (RAMP) PE last — when
+/// the route is sound, or `None` on any defect ([`resolve_static`] diagnoses
+/// the defects themselves). The hop count of the path is `len() - 1`; a
+/// single-element path is a local RAMP loopback. Used by the static
+/// performance analysis, which needs every link a stream crosses rather than
+/// just its destination.
+pub(crate) fn static_path(
+    manifest: &MappingManifest,
+    table: &BTreeMap<Loc, &RouteRule>,
+    src: PeId,
+    color: Color,
+) -> Option<Vec<PeId>> {
+    let mut path = Vec::new();
+    let mut cur = src;
+    let mut arrived_from: Option<Direction> = None;
+    let mut visited: BTreeSet<((usize, usize), Option<Direction>)> = BTreeSet::new();
+    loop {
+        if !visited.insert(((cur.row, cur.col), arrived_from)) {
+            return None; // ramp-less routing cycle
+        }
+        let rule = table.get(&loc(cur, color))?;
+        if rule.input != arrived_from {
+            return None;
+        }
+        path.push(cur);
+        if rule.outputs.contains(&Direction::Ramp) {
+            return Some(path);
+        }
+        let mut out_dirs = rule.outputs.iter().filter(|&&d| d != Direction::Ramp);
+        let &dir = out_dirs.next()?;
+        if out_dirs.next().is_some() {
+            return None; // multicast
+        }
+        let next = cur.neighbor(dir, manifest.rows, manifest.cols)?;
         arrived_from = Some(dir.opposite());
         cur = next;
     }

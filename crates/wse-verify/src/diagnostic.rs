@@ -28,7 +28,11 @@ impl std::fmt::Display for Severity {
 }
 
 /// Which static check produced a diagnostic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The derived `Ord` (declaration order) is part of the stable reporting
+/// surface: [`rank`] uses it as a tie-break, so adding variants at the end
+/// keeps existing golden output stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum CheckKind {
     /// Every declared stream resolves on-mesh to a RAMP with no ramp-less
     /// cycle (static `NoRoute` / `RouteOffMesh` / `RouteMismatch` /
@@ -44,6 +48,13 @@ pub enum CheckKind {
     SramBudget,
     /// Every declared task is activatable from an entry point.
     TaskLiveness,
+    /// The channel-dependency graph is acyclic, upgrading task liveness and
+    /// channel balance into a deadlock-freedom proof (see
+    /// [`crate::analysis`]); a cycle is reported with its member channels.
+    DeadlockFreedom,
+    /// Route overlap: streams of several colors serialize on one fabric
+    /// link whose worst-case load makes it the predicted bottleneck.
+    LinkContention,
 }
 
 impl CheckKind {
@@ -56,6 +67,8 @@ impl CheckKind {
             CheckKind::ChannelCompleteness => "channel-completeness",
             CheckKind::SramBudget => "sram-budget",
             CheckKind::TaskLiveness => "task-liveness",
+            CheckKind::DeadlockFreedom => "deadlock-freedom",
+            CheckKind::LinkContention => "link-contention",
         }
     }
 }
@@ -68,7 +81,12 @@ impl std::fmt::Display for CheckKind {
 
 /// One finding of the static verifier, located at a PE/color when the defect
 /// has a physical anchor.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Ord` is derived over the fields in declaration order (severity, check,
+/// location, text), giving every diagnostic a total, deterministic order that
+/// golden tests and `--json` output can rely on; [`rank`] layers
+/// most-severe-first presentation on top of it.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Diagnostic {
     /// Error or warning.
     pub severity: Severity,
@@ -133,6 +151,16 @@ impl Diagnostic {
     }
 }
 
+/// Sort diagnostics into the canonical reporting order: most severe first,
+/// then by check kind, location, and message text.
+///
+/// The order is total and deterministic (no two distinct diagnostics compare
+/// equal), so repeated lints of the same mapping render byte-identical
+/// reports — the property the `--json` output and golden tests pin.
+pub fn rank(diagnostics: &mut [Diagnostic]) {
+    diagnostics.sort_by(|a, b| b.severity.cmp(&a.severity).then_with(|| a.cmp(b)));
+}
+
 impl std::fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}[{}]", self.severity, self.check)?;
@@ -170,5 +198,15 @@ mod tests {
     #[test]
     fn severity_orders_warning_below_error() {
         assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn rank_puts_errors_first_with_total_tiebreak() {
+        let w = Diagnostic::warning(CheckKind::LinkContention, "hot link");
+        let e1 = Diagnostic::error(CheckKind::RouteSoundness, "no route").at_pe(PeId::new(0, 1));
+        let e2 = Diagnostic::error(CheckKind::RouteSoundness, "no route").at_pe(PeId::new(0, 0));
+        let mut diags = vec![w.clone(), e1.clone(), e2.clone()];
+        rank(&mut diags);
+        assert_eq!(diags, vec![e2, e1, w]);
     }
 }

@@ -33,13 +33,25 @@
 //! — and [`verify`] returns typed, PE/color-located [`Diagnostic`]s with fix
 //! hints. `ceresz lint` sweeps the shipped strategies across mesh shapes and
 //! fails on any error.
+//!
+//! Beyond soundness, [`analysis::analyze`] runs a *static performance
+//! analysis* over the same manifest: per-link worst-case load and contention,
+//! a critical-path lower bound on the makespan in integer ticks, per-PE SRAM
+//! high-watermarks, and a channel-dependency-graph deadlock-freedom proof.
+//! The resulting [`StaticProfile`] is the scoring surface for mapping
+//! autotuning and is cross-validated against the cycle-exact flight recorder
+//! by `ceresz lint --analyze`.
 
+pub mod analysis;
 pub mod checks;
 pub mod diagnostic;
 pub mod manifest;
 
+pub use analysis::{
+    analyze, ChannelBound, DeadlockVerdict, LinkLoad, SramWatermark, StaticProfile,
+};
 pub use checks::{verify, VerifyReport};
-pub use diagnostic::{CheckKind, Diagnostic, Severity};
+pub use diagnostic::{rank, CheckKind, Diagnostic, Severity};
 pub use manifest::{
     BufferDecl, EntryDecl, InjectDecl, MappingManifest, RecvDecl, RouteDecl, SendDecl, TaskDecl,
 };

@@ -19,6 +19,7 @@
 //! ceresz fuzz       [--seed N] [--cases M] [--no-shrink]
 //! ceresz lint       [--all-strategies | --strategy S --rows R --len L
 //!                    --pipelines P] [--rel L | --abs E] [--block N]
+//!                   [--analyze] [--json] [--json-out lint.json]
 //! ```
 //!
 //! `profile` runs the chosen mapping strategy on the event simulator with
@@ -40,7 +41,16 @@
 //! color discipline, channel balance, SRAM budgets, task liveness — across
 //! the EXPERIMENTS.md strategy × mesh-shape sweep (or one explicit shape),
 //! without simulating a single cycle; it exits nonzero on any error-severity
-//! diagnostic, which is what CI's `lint-mappings` job gates on.
+//! diagnostic, which is what CI's `lint-mappings` job gates on. With
+//! `--analyze` each mapping additionally runs through the static performance
+//! analyzer — per-link worst-case loads, a critical-path lower bound on the
+//! makespan, per-PE SRAM watermarks, and a deadlock-freedom proof over the
+//! channel-dependency graph — and every bound is cross-validated against a
+//! flight-recorded simulation of the same mapping (CI's `analyze-mappings`
+//! job); a bound the dynamic run escapes is a soundness violation and fails
+//! the lint. `--json` replaces the text report with a machine-readable
+//! document (stable field order, diagnostics ranked most-severe first) on
+//! stdout; `--json-out` writes the same document to a file.
 //!
 //! `fuzz` runs the deterministic differential conformance harness (see the
 //! `conformance` crate): seeded adversarial inputs through the host
@@ -88,7 +98,8 @@ fn main() -> ExitCode {
             eprintln!("  ceresz fuzz       [--seed N] [--cases M] [--no-shrink] [--case-seed S]");
             eprintln!(
                 "  ceresz lint       [--all-strategies | --strategy S --rows R --len L \
-                 --pipelines P] [--rel L | --abs E] [--block N]"
+                 --pipelines P] [--rel L | --abs E] [--block N] [--analyze] [--json] \
+                 [--json-out lint.json]"
             );
             ExitCode::FAILURE
         }
@@ -158,6 +169,12 @@ struct Flags {
     all_strategies: bool,
     /// Whether `--strategy` was passed explicitly (lint sweeps otherwise).
     strategy_explicit: bool,
+    /// `lint --analyze`: run the static performance analyzer and
+    /// cross-validate its bounds against a flight-recorded simulation.
+    analyze: bool,
+    /// `lint --json`: emit the machine-readable report on stdout instead of
+    /// the text report.
+    json: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -184,6 +201,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         case_seed: None,
         all_strategies: false,
         strategy_explicit: false,
+        analyze: false,
+        json: false,
     };
     let mut i = 0;
     let value = |i: &mut usize| -> Result<String, String> {
@@ -225,6 +244,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--case-seed" => f.case_seed = Some(parse_u64(&value(&mut i)?, "--case-seed")?),
             "--all-strategies" => {
                 f.all_strategies = true;
+                i += 1;
+            }
+            "--analyze" => {
+                f.analyze = true;
+                i += 1;
+            }
+            "--json" => {
+                f.json = true;
                 i += 1;
             }
             other => {
@@ -479,6 +506,41 @@ fn cmd_observe(args: &[String]) -> Result<(), String> {
         let report = ceresz::wse::observe(&strategy, &data, &cfg, &options)
             .map_err(|e| format!("{strategy}: {e}"))?;
         print!("{}", report.render(f.top, 32, 96));
+        // Static-bound cross-check: the analyzer's bounds over the same
+        // mapping must dominate everything the flight recorder just saw.
+        let manifest = ceresz::wse::mapping_manifest(&data, &cfg, strategy)
+            .map_err(|e| format!("{strategy}: {e}"))?;
+        let profile = ceresz::wse::analyze_mapping(&manifest);
+        let soundness = ceresz::wse::check_soundness(
+            &profile,
+            &report.stats,
+            &report.flight,
+            &report.mem_peak_bytes,
+        );
+        println!(
+            "\nstatic bounds ({} links, {} PEs checked): critical path >= {} cycles \
+             vs observed {}, sram peak {} B, deadlock {}",
+            soundness.links_checked,
+            soundness.pes_checked,
+            profile.critical_path,
+            soundness.observed_makespan,
+            profile.sram_watermark(),
+            if profile.is_deadlock_free() {
+                "proven free"
+            } else {
+                "CYCLE FOUND"
+            }
+        );
+        if !soundness.is_sound() {
+            for v in &soundness.violations {
+                println!("  UNSOUND: {v}");
+            }
+            return Err(format!(
+                "{}: {} static-bound soundness violation(s)",
+                manifest.name,
+                soundness.violations.len()
+            ));
+        }
         if let Some(path) = &f.json_out {
             let path = suffixed(path, strategy, many);
             write_json(&path, &report.to_json())?;
@@ -604,6 +666,69 @@ fn lint_sweep() -> Vec<MappingStrategy> {
     s
 }
 
+/// One ranked diagnostic as a stable JSON object (field order fixed, absent
+/// anchors encoded as `null`).
+fn diagnostic_json(d: &ceresz::wse::verify::Diagnostic) -> ceresz::telemetry::json::JsonValue {
+    use ceresz::telemetry::json::JsonValue as J;
+    J::Obj(vec![
+        ("severity".to_owned(), J::Str(d.severity.to_string())),
+        ("check".to_owned(), J::Str(d.check.to_string())),
+        (
+            "pe".to_owned(),
+            d.pe.map_or(J::Null, |pe| {
+                J::Obj(vec![
+                    ("row".to_owned(), J::Num(pe.row as f64)),
+                    ("col".to_owned(), J::Num(pe.col as f64)),
+                ])
+            }),
+        ),
+        (
+            "color".to_owned(),
+            d.color.map_or(J::Null, |c| J::Num(f64::from(c.id()))),
+        ),
+        ("message".to_owned(), J::Str(d.message.clone())),
+        (
+            "hint".to_owned(),
+            d.hint.as_ref().map_or(J::Null, |h| J::Str(h.clone())),
+        ),
+    ])
+}
+
+/// The per-mapping entry of the `lint --json` document.
+fn lint_mapping_json(
+    name: &str,
+    strategy: MappingStrategy,
+    diags: &[ceresz::wse::verify::Diagnostic],
+    analysis: Option<&(
+        ceresz::wse::verify::StaticProfile,
+        ceresz::wse::SoundnessReport,
+    )>,
+) -> ceresz::telemetry::json::JsonValue {
+    use ceresz::telemetry::json::JsonValue as J;
+    let ne = diags
+        .iter()
+        .filter(|d| d.severity == ceresz::wse::verify::Severity::Error)
+        .count();
+    let mut fields = vec![
+        ("name".to_owned(), J::Str(name.to_owned())),
+        ("strategy".to_owned(), J::Str(strategy.to_string())),
+        ("pes".to_owned(), J::Num(strategy.pes() as f64)),
+        ("errors".to_owned(), J::Num(ne as f64)),
+        ("warnings".to_owned(), J::Num((diags.len() - ne) as f64)),
+        (
+            "diagnostics".to_owned(),
+            J::Arr(diags.iter().map(diagnostic_json).collect()),
+        ),
+    ];
+    if let Some((profile, soundness)) = analysis {
+        fields.push((
+            "static".to_owned(),
+            ceresz::wse::profile_json(profile, Some(soundness)),
+        ));
+    }
+    J::Obj(fields)
+}
+
 fn cmd_lint(args: &[String]) -> Result<(), String> {
     let f = parse_flags(args)?;
     if !f.positional.is_empty() {
@@ -623,16 +748,58 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
         .map(|i| (i as f32 * 0.013).sin() * 10.0 + (i as f32 * 0.0041).cos() * 3.0)
         .collect();
     let cfg = CereszConfig::new(f.bound).with_block_size(f.block);
+    let options = SimOptions::default()
+        .with_threads(f.threads.max(1))
+        .with_flight_window(if f.window > 0 { f.window } else { 1024 });
 
     let mut errors = 0usize;
     let mut warnings = 0usize;
+    let mut unsound = 0usize;
+    let want_doc = f.json || f.json_out.is_some();
+    let mut mapping_docs = Vec::new();
     for strategy in &strategies {
         let manifest = ceresz::wse::mapping_manifest(&data, &cfg, *strategy)
             .map_err(|e| format!("building {strategy:?}: {e}"))?;
         let report = ceresz::wse::verify::verify(&manifest);
-        let (ne, nw) = (report.error_count(), report.warnings().count());
+        let mut diags = report.diagnostics.clone();
+
+        // `--analyze`: static bounds plus a flight-recorded run of the same
+        // mapping on the same data, cross-checked for soundness.
+        let mut analysis = None;
+        if f.analyze {
+            let profile = ceresz::wse::analyze_mapping(&manifest);
+            diags.extend(profile.diagnostics.iter().cloned());
+            let observed = ceresz::wse::observe(strategy, &data, &cfg, &options)
+                .map_err(|e| format!("simulating {}: {e}", manifest.name))?;
+            let soundness = ceresz::wse::check_soundness(
+                &profile,
+                &observed.stats,
+                &observed.flight,
+                &observed.mem_peak_bytes,
+            );
+            unsound += soundness.violations.len();
+            analysis = Some((profile, soundness));
+        }
+        ceresz::wse::verify::rank(&mut diags);
+        let ne = diags
+            .iter()
+            .filter(|d| d.severity == ceresz::wse::verify::Severity::Error)
+            .count();
+        let nw = diags.len() - ne;
         errors += ne;
         warnings += nw;
+
+        if want_doc {
+            mapping_docs.push(lint_mapping_json(
+                &manifest.name,
+                *strategy,
+                &diags,
+                analysis.as_ref(),
+            ));
+        }
+        if f.json {
+            continue;
+        }
         if ne == 0 {
             println!(
                 "ok   {} ({} PEs{})",
@@ -644,24 +811,84 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
                     String::new()
                 }
             );
-            for d in report.warnings() {
+            for d in diags
+                .iter()
+                .filter(|d| d.severity == ceresz::wse::verify::Severity::Warning)
+            {
                 println!("     {d}");
             }
         } else {
             println!("FAIL {} ({ne} error(s))", manifest.name);
-            for d in &report.diagnostics {
+            for d in &diags {
                 println!("     {d}");
             }
         }
+        if let Some((profile, soundness)) = &analysis {
+            println!(
+                "     static: critical path >= {} cycles (observed {}), max link load \
+                 {} wavelets, sram peak {} B, deadlock {}",
+                profile.critical_path,
+                soundness.observed_makespan,
+                profile.max_link_wavelets(),
+                profile.sram_watermark(),
+                if profile.is_deadlock_free() {
+                    "proven free"
+                } else {
+                    "CYCLE FOUND"
+                }
+            );
+            for v in &soundness.violations {
+                println!("     UNSOUND: {v}");
+            }
+        }
     }
-    println!(
-        "linted {} mapping(s): {errors} error(s), {warnings} warning(s)",
-        strategies.len()
-    );
-    if errors == 0 {
-        Ok(())
+
+    let doc = ceresz::telemetry::json::JsonValue::Obj(vec![
+        (
+            "mappings".to_owned(),
+            ceresz::telemetry::json::JsonValue::Arr(mapping_docs),
+        ),
+        (
+            "errors".to_owned(),
+            ceresz::telemetry::json::JsonValue::Num(errors as f64),
+        ),
+        (
+            "warnings".to_owned(),
+            ceresz::telemetry::json::JsonValue::Num(warnings as f64),
+        ),
+        (
+            "soundness_violations".to_owned(),
+            ceresz::telemetry::json::JsonValue::Num(unsound as f64),
+        ),
+    ]);
+    if f.json {
+        println!("{}", doc.to_pretty());
     } else {
+        println!(
+            "linted {} mapping(s): {errors} error(s), {warnings} warning(s){}",
+            strategies.len(),
+            if f.analyze {
+                format!(", {unsound} soundness violation(s)")
+            } else {
+                String::new()
+            }
+        );
+    }
+    if let Some(path) = &f.json_out {
+        write_json(path, &doc)?;
+        if !f.json {
+            println!("lint JSON written to {path}");
+        }
+    }
+    if errors > 0 {
         Err(format!("{errors} mapping verification error(s)"))
+    } else if unsound > 0 {
+        Err(format!(
+            "{unsound} static-bound soundness violation(s) — the analyzer's bounds \
+             failed to dominate the observed run"
+        ))
+    } else {
+        Ok(())
     }
 }
 

@@ -152,6 +152,61 @@ fn observe_reports_congestion_and_writes_artifacts() {
 }
 
 #[test]
+fn lint_json_sweep_reports_all_mappings() {
+    let out = Command::new(bin())
+        .args(["lint", "--json"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // One entry per sweep shape, zero errors, and nothing but JSON on stdout.
+    assert!(text.trim_start().starts_with('{'), "{text}");
+    assert_eq!(text.matches("\"name\":").count(), 32, "{text}");
+    assert!(text.contains("\"errors\": 0"), "{text}");
+}
+
+#[test]
+fn lint_analyze_json_is_stable_and_sound() {
+    let dir = tmpdir("lint-analyze");
+    let json_path = dir.join("lint.json");
+    let run = || {
+        Command::new(bin())
+            .args([
+                "lint",
+                "--strategy",
+                "multi-pipeline",
+                "--rows",
+                "2",
+                "--len",
+                "2",
+                "--pipelines",
+                "2",
+                "--analyze",
+                "--json",
+                "--json-out",
+                json_path.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    assert_eq!(a.stdout, b.stdout, "lint --json output must be byte-stable");
+    let text = String::from_utf8_lossy(&a.stdout);
+    assert!(text.contains("\"critical_path_ticks\""), "{text}");
+    assert!(text.contains("\"deadlock\": \"proven\""), "{text}");
+    assert!(text.contains("\"soundness_violations\": 0"), "{text}");
+    // --json-out wrote the same document to the file.
+    let file = std::fs::read_to_string(&json_path).unwrap();
+    assert!(text.contains(file.trim()), "file and stdout disagree");
+}
+
+#[test]
 fn bad_usage_fails_with_help() {
     let out = Command::new(bin()).args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());

@@ -54,4 +54,30 @@ proptest! {
         let enc = ceresz::huffman::codec::encode(&symbols).unwrap();
         prop_assert_eq!(ceresz::huffman::codec::decode(&enc).unwrap(), symbols);
     }
+
+    /// Static-analysis soundness (fuzzer oracle 6, pinned as a property):
+    /// for arbitrary data and multi-pipeline shapes the analyzer proves
+    /// deadlock-freedom and its bounds dominate the flight-recorded run.
+    #[test]
+    fn static_profile_is_sound_for_arbitrary_shapes(
+        data in prop::collection::vec(-1e5f32..1e5, 32..512),
+        rows in 1usize..4,
+        len in 1usize..4,
+        pipes in 1usize..3,
+    ) {
+        use ceresz::wse::{analyze_mapping, check_soundness, mapping_manifest, observe};
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let strategy = StrategyKind::MultiPipeline {
+            rows,
+            pipeline_length: len,
+            pipelines_per_row: pipes,
+        };
+        let manifest = mapping_manifest(&data, &cfg, strategy).unwrap();
+        let profile = analyze_mapping(&manifest);
+        prop_assert!(profile.is_deadlock_free(), "{}: {:?}", manifest.name, profile.deadlock);
+        let options = SimOptions::default().with_flight_window(512);
+        let rep = observe(&strategy, &data, &cfg, &options).unwrap();
+        let sound = check_soundness(&profile, &rep.stats, &rep.flight, &rep.mem_peak_bytes);
+        prop_assert!(sound.is_sound(), "{}: {:?}", manifest.name, sound.violations);
+    }
 }

@@ -128,7 +128,7 @@ pub mod prop {
         use rand::rngs::SmallRng;
         use rand::Rng;
 
-        /// Length specification for [`vec`]: an exact length or a range.
+        /// Length specification for [`vec()`]: an exact length or a range.
         #[derive(Debug, Clone)]
         pub enum SizeRange {
             /// Exactly this many elements.
