@@ -47,7 +47,7 @@ impl Codec for CuSzp {
         let cfg = CereszConfig::new(bound)
             .with_block_size(self.block_size)
             .with_header(HeaderWidth::W1);
-        let inner = ceresz_core::compress_parallel(data, &cfg)?;
+        let inner = ceresz_core::Codec::new(cfg).compress(data)?;
         // Build the chunk offset directory over the block payload.
         let header = StreamHeader::read(&inner.data)?;
         let payload = &inner.data[STREAM_HEADER_BYTES..];

@@ -42,7 +42,7 @@ impl Codec for Szp {
         _dims: &[usize],
         bound: ErrorBound,
     ) -> Result<CompressedBuf, BaselineError> {
-        let compressed = ceresz_core::compress_parallel(data, &self.config(bound))?;
+        let compressed = ceresz_core::Codec::new(self.config(bound)).compress(data)?;
         Ok(CompressedBuf {
             eps: compressed.stats.eps,
             original_values: data.len(),
@@ -51,9 +51,10 @@ impl Codec for Szp {
     }
 
     fn decompress(&self, compressed: &CompressedBuf) -> Result<Vec<f32>, BaselineError> {
-        Ok(ceresz_core::compressor::decompress_bytes_parallel(
-            &compressed.bytes,
-        )?)
+        Ok(
+            ceresz_core::Codec::decompressor(ceresz_core::Parallelism::Rayon)
+                .decompress(&compressed.bytes)?,
+        )
     }
 }
 
@@ -84,8 +85,9 @@ mod tests {
         let c = szp
             .compress(&data, &[data.len()], ErrorBound::Abs(1e-3))
             .unwrap();
-        let ceresz =
-            ceresz_core::compress(&data, &CereszConfig::new(ErrorBound::Abs(1e-3))).unwrap();
+        let ceresz = ceresz_core::Codec::new(CereszConfig::new(ErrorBound::Abs(1e-3)))
+            .compress(&data)
+            .unwrap();
         assert!(c.ratio() > ceresz.ratio() * 2.0);
         // Ceiling: ~128x for zero blocks (modulo the stream header).
         assert!(c.ratio() > 100.0, "ratio = {}", c.ratio());

@@ -4,9 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use datasets::{generate_field, DatasetId};
 
-use ceresz_core::{
-    compress, compress_parallel, decompress, decompress_parallel, CereszConfig, ErrorBound,
-};
+use ceresz_core::{CereszConfig, Codec, ErrorBound, Parallelism};
 
 fn bench_compress(c: &mut Criterion) {
     let field = generate_field(DatasetId::QmcPack, 0, 2024);
@@ -15,10 +13,14 @@ fn bench_compress(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(field.bytes() as u64));
     group.sample_size(10);
     group.bench_function(BenchmarkId::new("serial", field.len()), |b| {
-        b.iter(|| compress(&field.data, &cfg).unwrap());
+        b.iter(|| {
+            Codec::new(cfg.with_parallelism(Parallelism::Serial))
+                .compress(&field.data)
+                .unwrap()
+        });
     });
     group.bench_function(BenchmarkId::new("rayon", field.len()), |b| {
-        b.iter(|| compress_parallel(&field.data, &cfg).unwrap());
+        b.iter(|| Codec::new(cfg).compress(&field.data).unwrap());
     });
     group.finish();
 }
@@ -26,15 +28,23 @@ fn bench_compress(c: &mut Criterion) {
 fn bench_decompress(c: &mut Criterion) {
     let field = generate_field(DatasetId::QmcPack, 0, 2024);
     let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-    let compressed = compress(&field.data, &cfg).unwrap();
+    let compressed = Codec::new(cfg).compress(&field.data).unwrap();
     let mut group = c.benchmark_group("decompress");
     group.throughput(Throughput::Bytes(field.bytes() as u64));
     group.sample_size(10);
     group.bench_function(BenchmarkId::new("serial", field.len()), |b| {
-        b.iter(|| decompress(&compressed).unwrap());
+        b.iter(|| {
+            Codec::decompressor(Parallelism::Serial)
+                .decompress(&compressed.data)
+                .unwrap()
+        });
     });
     group.bench_function(BenchmarkId::new("rayon", field.len()), |b| {
-        b.iter(|| decompress_parallel(&compressed).unwrap());
+        b.iter(|| {
+            Codec::decompressor(Parallelism::Rayon)
+                .decompress(&compressed.data)
+                .unwrap()
+        });
     });
     group.finish();
 }

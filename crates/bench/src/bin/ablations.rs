@@ -17,7 +17,7 @@ use ceresz_core::compressor2d::{compress_2d, Ceresz2dConfig};
 use ceresz_core::plan::{
     block_compress_cycles, state_bytes_after, zero_block_compress_cycles, StageCostModel,
 };
-use ceresz_core::{compress_parallel, CereszConfig, ErrorBound, HeaderWidth};
+use ceresz_core::{CereszConfig, Codec, ErrorBound, HeaderWidth};
 use datasets::{generate_field, DatasetId};
 
 fn main() {
@@ -45,7 +45,9 @@ fn predictor_ablation() {
     let (rows, cols) = (field.dims[0], field.dims[1]);
     for rel in [1e-2, 1e-3, 1e-4] {
         let bound = ErrorBound::Rel(rel);
-        let one = compress_parallel(&field.data, &CereszConfig::new(bound)).expect("1-D");
+        let one = Codec::new(CereszConfig::new(bound))
+            .compress(&field.data)
+            .expect("1-D");
         let two = compress_2d(&field.data, rows, cols, &Ceresz2dConfig::new(bound)).expect("2-D");
         // Gathering 8x8 tiles from a row-major stream needs 8 field rows
         // buffered per PE — compare against the 48 KB SRAM.
@@ -80,15 +82,14 @@ fn header_width_ablation() {
             let fields = fields_of(ds);
             let (mut w4, mut w1) = (0.0, 0.0);
             for f in &fields {
-                w4 += compress_parallel(&f.data, &CereszConfig::new(bound))
+                w4 += Codec::new(CereszConfig::new(bound))
+                    .compress(&f.data)
                     .expect("W4")
                     .ratio();
-                w1 += compress_parallel(
-                    &f.data,
-                    &CereszConfig::new(bound).with_header(HeaderWidth::W1),
-                )
-                .expect("W1")
-                .ratio();
+                w1 += Codec::new(CereszConfig::new(bound).with_header(HeaderWidth::W1))
+                    .compress(&f.data)
+                    .expect("W1")
+                    .ratio();
             }
             w4 /= fields.len() as f64;
             w1 /= fields.len() as f64;
@@ -124,12 +125,10 @@ fn block_size_ablation() {
         for l in [16usize, 32, 64, 128] {
             let mut avg = 0.0;
             for f in &fields {
-                avg += compress_parallel(
-                    &f.data,
-                    &CereszConfig::new(ErrorBound::Rel(1e-3)).with_block_size(l),
-                )
-                .expect("compresses")
-                .ratio();
+                avg += Codec::new(CereszConfig::new(ErrorBound::Rel(1e-3)).with_block_size(l))
+                    .compress(&f.data)
+                    .expect("compresses")
+                    .ratio();
             }
             cells.push(format!("{:.2}", avg / fields.len() as f64));
         }
@@ -145,7 +144,9 @@ fn encoding_ablation() {
     let bound = ErrorBound::Rel(1e-3);
     let eps = bound.resolve(&field.data);
     // Fixed-length (the shipped encoder).
-    let fl = compress_parallel(&field.data, &CereszConfig::new(bound)).expect("compresses");
+    let fl = Codec::new(CereszConfig::new(bound))
+        .compress(&field.data)
+        .expect("compresses");
     // Huffman over the same quantized Lorenzo residuals (what a cuSZ-style
     // encoder would emit for the identical prediction pipeline).
     let mut q = vec![0i64; field.len()];
@@ -179,7 +180,9 @@ fn zero_block_ablation() {
     let model = StageCostModel::calibrated();
     let field = generate_field(DatasetId::Rtm, 0, SEED);
     let bound = ErrorBound::Rel(1e-2);
-    let c = compress_parallel(&field.data, &CereszConfig::new(bound)).expect("compresses");
+    let c = Codec::new(CereszConfig::new(bound))
+        .compress(&field.data)
+        .expect("compresses");
     let zf = c.stats.zero_block_fraction();
     let f_mean = c.stats.mean_fixed_length().round() as u32;
     let with_path = zf * zero_block_compress_cycles(32, &model)

@@ -28,9 +28,12 @@ fn main() {
     );
 
     // CereSZ.
-    let ceresz =
-        ceresz_core::compress_parallel(&field.data, &CereszConfig::new(bound)).expect("compresses");
-    let ceresz_rec = ceresz_core::decompress_parallel(&ceresz).expect("decompresses");
+    let ceresz = ceresz_core::Codec::new(CereszConfig::new(bound))
+        .compress(&field.data)
+        .expect("compresses");
+    let ceresz_rec = ceresz_core::Codec::decompressor(ceresz_core::Parallelism::Rayon)
+        .decompress(&ceresz.data)
+        .expect("decompresses");
 
     // cuSZp.
     let cuszp = CuSzp::default();

@@ -1,0 +1,191 @@
+//! Recipe auto-tuner benchmark: canonical vs tuned compression ratio on
+//! every registry dataset × REL bound, recorded as `BENCH_recipes.json`.
+//!
+//! For each dataset field the tuner compresses a sample under the candidate
+//! slate (`ceresz_core::tune`), picks the best recipe at the bound, and the
+//! full field is then compressed both canonically and with the tuned recipe.
+//! The JSON records per-pair mean ratios and the tuner margin; the binary
+//! exits non-zero unless the tuner beats the canonical pipeline on at least
+//! one dataset/bound pair (the acceptance gate for the recipe machinery).
+//!
+//! Run: `cargo run --release -p ceresz-bench --bin recipes`
+//! (pass `--check` to compare ratios against the committed JSON instead of
+//! rewriting it).
+
+use ceresz_bench::{fields_of, Table, REL_BOUNDS, SEED};
+use ceresz_core::tune::compress_auto;
+use ceresz_core::{CereszConfig, Codec, ErrorBound};
+use datasets::{DatasetId, Field, ALL_DATASETS};
+use telemetry::json::JsonValue;
+
+const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_recipes.json");
+
+/// Tuner wins below this multiplicative margin are treated as noise.
+const WIN_MARGIN: f64 = 1.001;
+
+/// `Some((rows, cols))` when the field is a genuine 2-D grid.
+fn dims2(field: &Field) -> Option<(usize, usize)> {
+    match field.dims.as_slice() {
+        [r, c] if r * c == field.data.len() => Some((*r, *c)),
+        _ => None,
+    }
+}
+
+struct PairResult {
+    dataset: &'static str,
+    rel: f64,
+    canonical_ratio: f64,
+    tuned_ratio: f64,
+    margin: f64,
+    best_recipe: String,
+}
+
+fn run_pair(ds: DatasetId, rel: f64) -> PairResult {
+    let cfg = CereszConfig::new(ErrorBound::Rel(rel));
+    let fields = fields_of(ds);
+    let mut canonical_sum = 0.0;
+    let mut tuned_sum = 0.0;
+    let mut best_recipe = String::from("canonical");
+    let mut best_margin = 1.0;
+    for f in &fields {
+        let canon = Codec::new(cfg)
+            .compress(&f.data)
+            .expect("synthetic field compresses");
+        let (tuned, report) = compress_auto(&f.data, dims2(f), &cfg).expect("auto-tune compresses");
+        canonical_sum += canon.ratio();
+        tuned_sum += tuned.ratio();
+        // Margin on the *full field*, not the sample: the honest number.
+        let field_margin = tuned.ratio() / canon.ratio();
+        if field_margin > best_margin {
+            best_margin = field_margin;
+            best_recipe = format!("{}", report.chosen.recipe);
+        }
+    }
+    let n = fields.len() as f64;
+    let canonical_ratio = canonical_sum / n;
+    let tuned_ratio = tuned_sum / n;
+    PairResult {
+        dataset: ds.spec().name,
+        rel,
+        canonical_ratio,
+        tuned_ratio,
+        margin: tuned_ratio / canonical_ratio,
+        best_recipe,
+    }
+}
+
+fn to_json(pairs: &[PairResult]) -> JsonValue {
+    JsonValue::obj(vec![
+        ("artifact", JsonValue::Str("ceresz-recipe-tuner".into())),
+        ("seed", JsonValue::Num(SEED as f64)),
+        (
+            "note",
+            JsonValue::Str(
+                "mean full-field compression ratio per dataset × REL bound, canonical \
+                 pipeline vs per-field auto-tuned recipe; regenerate via \
+                 `cargo run --release -p ceresz-bench --bin recipes`"
+                    .into(),
+            ),
+        ),
+        (
+            "pairs",
+            JsonValue::Arr(
+                pairs
+                    .iter()
+                    .map(|p| {
+                        JsonValue::obj(vec![
+                            ("dataset", JsonValue::Str(p.dataset.into())),
+                            ("rel_bound", JsonValue::Num(p.rel)),
+                            ("canonical_ratio", JsonValue::Num(p.canonical_ratio)),
+                            ("tuned_ratio", JsonValue::Num(p.tuned_ratio)),
+                            ("margin", JsonValue::Num(p.margin)),
+                            ("best_recipe", JsonValue::Str(p.best_recipe.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// In `--check` mode, re-read the committed JSON and require every pair's
+/// margin to still hold (ratios are deterministic at the fixed seed).
+fn check_against(committed: &str, fresh: &JsonValue) -> Result<(), String> {
+    let old = telemetry::json::parse(committed).map_err(|e| format!("parse committed: {e}"))?;
+    if old.get("pairs") != fresh.get("pairs") {
+        return Err(
+            "fresh tuner results differ from committed BENCH_recipes.json; \
+                    regenerate it (run without --check) and commit the diff"
+                .into(),
+        );
+    }
+    Ok(())
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let mut pairs = Vec::new();
+    let t = Table::new(&[10, 6, 12, 12, 8]);
+    t.sep();
+    t.row(&[
+        "Dataset".into(),
+        "REL".into(),
+        "canonical".into(),
+        "tuned".into(),
+        "margin".into(),
+    ]);
+    t.sep();
+    for ds in ALL_DATASETS {
+        for &rel in &REL_BOUNDS {
+            let p = run_pair(ds, rel);
+            t.row(&[
+                p.dataset.into(),
+                format!("{rel:.0e}"),
+                format!("{:.3}", p.canonical_ratio),
+                format!("{:.3}", p.tuned_ratio),
+                format!("{:.3}x", p.margin),
+            ]);
+            pairs.push(p);
+        }
+        t.sep();
+    }
+
+    let wins: Vec<&PairResult> = pairs.iter().filter(|p| p.margin > WIN_MARGIN).collect();
+    for w in &wins {
+        println!(
+            "tuner win: {} @ REL {:.0e} — {:.3}x vs canonical via [{}]",
+            w.dataset, w.rel, w.margin, w.best_recipe
+        );
+    }
+    if wins.is_empty() {
+        eprintln!("FAIL: auto-tuner beat the canonical pipeline on no dataset/bound pair");
+        std::process::exit(1);
+    }
+
+    let json = to_json(&pairs);
+    if check {
+        match std::fs::read_to_string(OUT_PATH) {
+            Ok(committed) => {
+                if let Err(e) = check_against(&committed, &json) {
+                    eprintln!("FAIL: {e}");
+                    std::process::exit(1);
+                }
+                println!(
+                    "check PASSED: {} pairs match BENCH_recipes.json",
+                    pairs.len()
+                );
+            }
+            Err(e) => {
+                eprintln!("FAIL: read {OUT_PATH}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        std::fs::write(OUT_PATH, json.to_pretty()).expect("write BENCH_recipes.json");
+        println!(
+            "wrote {OUT_PATH}: {} pairs, {} tuner win(s)",
+            pairs.len(),
+            wins.len()
+        );
+    }
+}

@@ -21,7 +21,8 @@ fn ceresz_ratios(ds: DatasetId, rel: f64) -> Vec<f64> {
     fields_of(ds)
         .iter()
         .map(|f| {
-            ceresz_core::compress_parallel(&f.data, &CereszConfig::new(ErrorBound::Rel(rel)))
+            ceresz_core::Codec::new(CereszConfig::new(ErrorBound::Rel(rel)))
+                .compress(&f.data)
                 .expect("synthetic field compresses")
                 .ratio()
         })

@@ -91,7 +91,9 @@ pub fn ceresz_decompression_gbps(
     let fields = fields_of(ds);
     let mut total = 0.0;
     for f in &fields {
-        let stream = ceresz_core::compress_parallel(&f.data, &cfg).expect("compresses");
+        let stream = ceresz_core::Codec::new(cfg)
+            .compress(&f.data)
+            .expect("compresses");
         let rep = wafer
             .decompression_report_replicated(&stream, sample_every, replicate)
             .expect("stream decompresses");

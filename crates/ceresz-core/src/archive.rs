@@ -5,13 +5,20 @@
 //!
 //! ```text
 //! "CSZA" | version u8 | field count u32 |
-//!   per field: name len u16 | name (utf-8) | ndims u8 | dims u64… | stream len u64 |
+//!   per field: name len u16 | name (utf-8) | ndims u8 | dims u64… |
+//!              recipe bytes (v2+ only) | stream len u64 |
 //! streams, concatenated in index order
 //! ```
+//!
+//! Version 2 records each field's [`Recipe`] in the field table (the recipe
+//! wire format is self-framing, see [`crate::recipe`]), making every field
+//! decodable from its recorded recipe alone. Version 1 archives (written
+//! before recipes existed) parse with the canonical recipe implied.
 
-use crate::compressor::{
-    compress_parallel, decompress_bytes_parallel, CereszConfig, CompressError, Compressed,
-};
+use crate::codec::Codec;
+use crate::compressor::{CereszConfig, CompressError, Compressed};
+use crate::recipe::Recipe;
+use crate::stream::StreamHeader;
 
 /// Multiply a dimension list with overflow detection.
 fn checked_dims_product(dims: &[usize]) -> Result<usize, CompressError> {
@@ -22,8 +29,10 @@ fn checked_dims_product(dims: &[usize]) -> Result<usize, CompressError> {
 
 /// Archive magic bytes.
 pub const ARCHIVE_MAGIC: [u8; 4] = *b"CSZA";
-/// Current archive version.
-pub const ARCHIVE_VERSION: u8 = 1;
+/// Current archive version (2: per-field recipes in the field table).
+pub const ARCHIVE_VERSION: u8 = 2;
+/// The pre-recipe archive version, still readable (canonical recipe implied).
+pub const ARCHIVE_VERSION_V1: u8 = 1;
 
 /// One field's entry in an archive.
 #[derive(Debug, Clone)]
@@ -32,14 +41,26 @@ pub struct ArchiveField {
     pub name: String,
     /// Logical dimensions.
     pub dims: Vec<usize>,
+    /// The recipe that produced (and decodes) this field's stream.
+    pub recipe: Recipe,
     /// The field's compressed stream.
     pub stream: Vec<u8>,
 }
 
 impl ArchiveField {
-    /// Decompress this field.
+    /// Decompress this field using its recorded recipe.
+    ///
+    /// The stream's own header must agree with the archive's recorded recipe
+    /// — a mismatch means the container was tampered with or corrupted and
+    /// yields a typed error.
     pub fn decompress(&self) -> Result<Vec<f32>, CompressError> {
-        decompress_bytes_parallel(&self.stream)
+        let header = StreamHeader::read(&self.stream)?;
+        if header.recipe != self.recipe {
+            return Err(CompressError::CorruptArchive(
+                "field recipe disagrees with its stream",
+            ));
+        }
+        Codec::decompressor(crate::codec::Parallelism::Rayon).decompress(&self.stream)
     }
 }
 
@@ -72,10 +93,11 @@ impl Archive {
                 len: data.len(),
             });
         }
-        let compressed = compress_parallel(data, cfg)?;
+        let compressed = Codec::new(*cfg).compress(data)?;
         self.fields.push(ArchiveField {
             name: name.to_string(),
             dims: dims.to_vec(),
+            recipe: cfg.recipe,
             stream: compressed.data.clone(),
         });
         Ok(compressed)
@@ -108,6 +130,7 @@ impl Archive {
             for &d in &f.dims {
                 out.extend_from_slice(&(d as u64).to_le_bytes());
             }
+            f.recipe.write(&mut out);
             out.extend_from_slice(&(f.stream.len() as u64).to_le_bytes());
         }
         for f in &self.fields {
@@ -138,7 +161,7 @@ impl Archive {
             return Err(CompressError::BadMagic);
         }
         let version = take(&mut pos, 1)?[0];
-        if version != ARCHIVE_VERSION {
+        if version != ARCHIVE_VERSION && version != ARCHIVE_VERSION_V1 {
             return Err(CompressError::UnsupportedVersion(version));
         }
         let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("sized")) as usize;
@@ -165,17 +188,29 @@ impl Archive {
                 );
             }
             checked_dims_product(&dims)?;
+            let recipe = if version == ARCHIVE_VERSION_V1 {
+                Recipe::canonical()
+            } else {
+                let (recipe, used) = Recipe::read(&bytes[pos..])?;
+                pos += used;
+                recipe
+            };
             let stream_len =
                 u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("sized")) as usize;
             if stream_len > bytes.len().saturating_sub(pos) {
                 return Err(CompressError::Truncated);
             }
-            metas.push((name, dims, stream_len));
+            metas.push((name, dims, recipe, stream_len));
         }
         let mut fields = Vec::with_capacity(count);
-        for (name, dims, stream_len) in metas {
+        for (name, dims, recipe, stream_len) in metas {
             let stream = take(&mut pos, stream_len)?.to_vec();
-            fields.push(ArchiveField { name, dims, stream });
+            fields.push(ArchiveField {
+                name,
+                dims,
+                recipe,
+                stream,
+            });
         }
         Ok(Self { fields })
     }
@@ -214,6 +249,74 @@ mod tests {
         let pf = b.field("pressure").unwrap();
         assert_eq!(pf.decompress().unwrap().len(), p.len());
         assert!(b.field("missing").is_none());
+    }
+
+    #[test]
+    fn per_field_recipes_roundtrip() {
+        use crate::recipe::StageSpec;
+        let huff = Recipe::new(&[
+            StageSpec::PreQuantize,
+            StageSpec::Lorenzo1d,
+            StageSpec::FixedLength,
+            StageSpec::Huffman,
+        ])
+        .unwrap();
+        let mut a = Archive::new();
+        let data = field(4096, 10.0);
+        a.add_field(
+            "canon",
+            &[4096],
+            &data,
+            &CereszConfig::new(ErrorBound::Rel(1e-3)),
+        )
+        .unwrap();
+        a.add_field(
+            "huff",
+            &[4096],
+            &data,
+            &CereszConfig::new(ErrorBound::Rel(1e-3)).with_recipe(huff),
+        )
+        .unwrap();
+        let b = Archive::from_bytes(&a.to_bytes()).unwrap();
+        assert!(b.field("canon").unwrap().recipe.is_canonical());
+        assert_eq!(b.field("huff").unwrap().recipe, huff);
+        let x = b.field("canon").unwrap().decompress().unwrap();
+        let y = b.field("huff").unwrap().decompress().unwrap();
+        assert_eq!(x.len(), data.len());
+        assert_eq!(x, y, "both recipes quantize identically at the same ε");
+    }
+
+    #[test]
+    fn corrupt_recipe_bytes_in_field_table_rejected() {
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let mut a = Archive::new();
+        a.add_field("ab", &[256], &field(256, 1.0), &cfg).unwrap();
+        let mut bytes = a.to_bytes();
+        // Field meta: magic 4 | ver 1 | count 4 | name_len 2 | name 2 |
+        // ndims 1 | dims 8 → recipe starts at offset 22; its first stage id
+        // is at 23.
+        bytes[23] = 0xFE;
+        assert!(matches!(
+            Archive::from_bytes(&bytes),
+            Err(CompressError::CorruptRecipe(_))
+        ));
+    }
+
+    #[test]
+    fn recipe_stream_mismatch_rejected() {
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let mut a = Archive::new();
+        a.add_field("ab", &[256], &field(256, 1.0), &cfg).unwrap();
+        let mut f = a.fields()[0].clone();
+        f.recipe = Recipe::new(&[
+            crate::recipe::StageSpec::MantissaSplit,
+            crate::recipe::StageSpec::Huffman,
+        ])
+        .unwrap();
+        assert!(matches!(
+            f.decompress(),
+            Err(CompressError::CorruptArchive(_))
+        ));
     }
 
     #[test]

@@ -280,6 +280,38 @@ impl BlockCodec {
         Ok(need)
     }
 
+    /// Decode one block's *residuals* exactly as encoded — without the 1-D
+    /// inverse Lorenzo that [`Self::decode_block_quantized`] applies. The
+    /// counterpart of [`Self::encode_deltas`], used when a different
+    /// predictor (2-D tiles, or none at all) produced the residuals.
+    ///
+    /// Returns the number of input bytes consumed. `out` must be exactly one
+    /// block long and is fully overwritten.
+    pub fn decode_block_deltas(
+        &self,
+        bytes: &[u8],
+        out: &mut [i64],
+    ) -> Result<usize, CompressError> {
+        assert_eq!(out.len(), self.block_size, "output block size mismatch");
+        let f = self.read_header(bytes)?;
+        let hb = self.header.bytes();
+        if f == 0 {
+            out.fill(0);
+            return Ok(hb);
+        }
+        let pb = self.plane_bytes();
+        let need = self.encoded_size(f);
+        if bytes.len() < need {
+            return Err(CompressError::Truncated);
+        }
+        let signs = &bytes[hb..hb + pb];
+        let planes = &bytes[hb + pb..need];
+        let mut mags = vec![0u32; self.block_size];
+        bit_unshuffle(planes, f, &mut mags);
+        apply_signs(signs, &mags, out);
+        Ok(need)
+    }
+
     /// Decode one block to floating point values.
     ///
     /// Returns the number of input bytes consumed.

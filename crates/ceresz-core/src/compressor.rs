@@ -11,7 +11,9 @@ use rayon::prelude::*;
 
 use crate::block::{BlockCodec, BlockScratch, HeaderWidth};
 use crate::bound::ErrorBound;
+use crate::codec::{Codec, Parallelism};
 use crate::quantize::QuantizeError;
+use crate::recipe::Recipe;
 use crate::stream::{scan_block_offsets, StreamHeader};
 use crate::DEFAULT_BLOCK_SIZE;
 
@@ -53,6 +55,16 @@ pub enum CompressError {
     },
     /// An archive container violated its own format invariants.
     CorruptArchive(&'static str),
+    /// A stage composition is structurally invalid (ill-kinded chain, bad
+    /// stage parameters, or incompatible block size).
+    InvalidRecipe(&'static str),
+    /// Recipe bytes in a stream or archive header could not be parsed.
+    CorruptRecipe(&'static str),
+    /// An entropy-coded (Huffman) payload was corrupt.
+    CorruptEntropy(&'static str),
+    /// A recipe without an ε guarantee (e.g. bf16) exceeded the requested
+    /// bound on this data; the compressed output was discarded.
+    BoundExceeded,
 }
 
 impl std::fmt::Display for CompressError {
@@ -79,6 +91,12 @@ impl std::fmt::Display for CompressError {
                 )
             }
             CompressError::CorruptArchive(what) => write!(f, "corrupt archive: {what}"),
+            CompressError::InvalidRecipe(what) => write!(f, "invalid recipe: {what}"),
+            CompressError::CorruptRecipe(what) => write!(f, "corrupt recipe bytes: {what}"),
+            CompressError::CorruptEntropy(what) => write!(f, "corrupt entropy stream: {what}"),
+            CompressError::BoundExceeded => {
+                write!(f, "recipe exceeded the requested error bound on this data")
+            }
         }
     }
 }
@@ -91,7 +109,8 @@ impl From<QuantizeError> for CompressError {
     }
 }
 
-/// Compressor configuration.
+/// Compressor configuration: a commutative builder — `with_*` calls can be
+/// chained in any order and only ever overwrite their own field.
 #[derive(Debug, Clone, Copy)]
 pub struct CereszConfig {
     /// The user's error bound.
@@ -100,16 +119,23 @@ pub struct CereszConfig {
     pub block_size: usize,
     /// Per-block header width (default 4 bytes — the WSE wavelet width).
     pub header: HeaderWidth,
+    /// The stage composition (default: the paper's canonical pipeline).
+    pub recipe: Recipe,
+    /// Host-side execution strategy (default: rayon).
+    pub parallelism: Parallelism,
 }
 
 impl CereszConfig {
-    /// Configuration with the paper's defaults (block 32, 4-byte headers).
+    /// Configuration with the paper's defaults (block 32, 4-byte headers,
+    /// canonical recipe, rayon parallelism).
     #[must_use]
     pub fn new(bound: ErrorBound) -> Self {
         Self {
             bound,
             block_size: DEFAULT_BLOCK_SIZE,
             header: HeaderWidth::W4,
+            recipe: Recipe::canonical(),
+            parallelism: Parallelism::Rayon,
         }
     }
 
@@ -127,14 +153,31 @@ impl CereszConfig {
         self
     }
 
+    /// Override the stage composition.
+    #[must_use]
+    pub fn with_recipe(mut self, recipe: Recipe) -> Self {
+        self.recipe = recipe;
+        self
+    }
+
+    /// Override the host-side execution strategy.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
     /// Check the data-independent invariants: the bound must be finite and
     /// positive, the block size nonzero, a multiple of 8 (byte-packed sign
-    /// and bit planes), and at most [`crate::MAX_BLOCK_SIZE`].
+    /// and bit planes), and at most [`crate::MAX_BLOCK_SIZE`]; the recipe
+    /// must be a valid composition for this block size
+    /// ([`Recipe::validate`]).
     ///
     /// Every compression entry point (host and WSE) calls this before
-    /// touching the data, so an `Abs(0.0)`, negative, or NaN bound — or a
-    /// block size the codec would reject — surfaces as a typed error instead
-    /// of a panic or a non-finite `1/2ε` reaching quantization.
+    /// touching the data, so an `Abs(0.0)`, negative, or NaN bound — a
+    /// block size the codec would reject, or an ill-formed recipe — surfaces
+    /// as a typed error instead of a panic or a non-finite `1/2ε` reaching
+    /// quantization.
     pub fn validate(&self) -> Result<(), CompressError> {
         if !self.bound.is_valid() {
             return Err(CompressError::InvalidBound);
@@ -145,6 +188,7 @@ impl CereszConfig {
         {
             return Err(CompressError::BadBlockSize(self.block_size));
         }
+        self.recipe.validate(self.block_size)?;
         Ok(())
     }
 
@@ -176,6 +220,12 @@ pub struct CompressionStats {
     pub total_fixed_length: u64,
     /// Resolved absolute error bound actually used.
     pub eps: f64,
+    /// The recipe that produced the stream (canonical by default).
+    pub recipe: Recipe,
+    /// When the auto-tuner chose the recipe: its sampled compression-ratio
+    /// win margin over the canonical pipeline (`tuned / canonical`; > 1
+    /// means the tuner found a better composition).
+    pub tune_margin: Option<f64>,
 }
 
 impl CompressionStats {
@@ -209,7 +259,7 @@ impl CompressionStats {
         }
     }
 
-    fn absorb_block(&mut self, info: crate::block::BlockInfo) {
+    pub(crate) fn absorb_block(&mut self, info: crate::block::BlockInfo) {
         self.n_blocks += 1;
         if info.is_zero {
             self.zero_blocks += 1;
@@ -248,10 +298,6 @@ impl Compressed {
     }
 }
 
-fn validate(data: &[f32], cfg: &CereszConfig) -> Result<f64, CompressError> {
-    cfg.resolve_eps(data)
-}
-
 /// Check that `data` would compress cleanly at `eps` without encoding it:
 /// quantize each block, form the Lorenzo residuals, and verify no residual
 /// exceeds the 31-bit wire format. Reproduces exactly the errors (and error
@@ -276,14 +322,60 @@ pub fn precheck_input(data: &[f32], eps: f64, block_size: usize) -> Result<(), C
 }
 
 /// Compress `data` serially (the reference implementation).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Codec::compress` with `Parallelism::Serial`"
+)]
 pub fn compress(data: &[f32], cfg: &CereszConfig) -> Result<Compressed, CompressError> {
-    let eps = validate(data, cfg)?;
+    Codec::new(cfg.with_parallelism(Parallelism::Serial)).compress(data)
+}
+
+/// Compress `data` using rayon across block-aligned chunks.
+///
+/// Produces a stream byte-identical to [`compress`].
+#[deprecated(since = "0.1.0", note = "use `Codec::compress` (rayon is the default)")]
+pub fn compress_parallel(data: &[f32], cfg: &CereszConfig) -> Result<Compressed, CompressError> {
+    Codec::new(cfg.with_parallelism(Parallelism::Rayon)).compress(data)
+}
+
+/// Decompress a stream serially.
+#[deprecated(since = "0.1.0", note = "use `Codec::decompress`")]
+pub fn decompress(compressed: &Compressed) -> Result<Vec<f32>, CompressError> {
+    Codec::decompressor(Parallelism::Serial).decompress(&compressed.data)
+}
+
+/// Decompress a raw stream.
+#[deprecated(since = "0.1.0", note = "use `Codec::decompress`")]
+pub fn decompress_bytes(bytes: &[u8]) -> Result<Vec<f32>, CompressError> {
+    Codec::decompressor(Parallelism::Serial).decompress(bytes)
+}
+
+/// Decompress a stream with rayon, one task per run of blocks.
+#[deprecated(since = "0.1.0", note = "use `Codec::decompress`")]
+pub fn decompress_parallel(compressed: &Compressed) -> Result<Vec<f32>, CompressError> {
+    Codec::decompressor(Parallelism::Rayon).decompress(&compressed.data)
+}
+
+/// Parallel decompression from a raw stream.
+#[deprecated(since = "0.1.0", note = "use `Codec::decompress`")]
+pub fn decompress_bytes_parallel(bytes: &[u8]) -> Result<Vec<f32>, CompressError> {
+    Codec::decompressor(Parallelism::Rayon).decompress(bytes)
+}
+
+/// Serial canonical-pipeline compression (the reference implementation the
+/// WSE kernels are tested bit-identical against). `eps` is pre-resolved.
+pub(crate) fn compress_canonical(
+    data: &[f32],
+    cfg: &CereszConfig,
+    eps: f64,
+) -> Result<Compressed, CompressError> {
     let codec = BlockCodec::new(cfg.block_size, cfg.header);
     let header = StreamHeader {
         header_width: cfg.header,
         block_size: cfg.block_size,
         count: data.len(),
         eps,
+        recipe: Recipe::canonical(),
     };
     let mut out = Vec::with_capacity(crate::stream::STREAM_HEADER_BYTES + data.len());
     header.write(&mut out);
@@ -301,11 +393,13 @@ pub fn compress(data: &[f32], cfg: &CereszConfig) -> Result<Compressed, Compress
     Ok(Compressed { data: out, stats })
 }
 
-/// Compress `data` using rayon across block-aligned chunks.
-///
-/// Produces a stream byte-identical to [`compress`].
-pub fn compress_parallel(data: &[f32], cfg: &CereszConfig) -> Result<Compressed, CompressError> {
-    let eps = validate(data, cfg)?;
+/// Rayon canonical-pipeline compression over block-aligned chunks; produces
+/// a stream byte-identical to [`compress_canonical`].
+pub(crate) fn compress_canonical_parallel(
+    data: &[f32],
+    cfg: &CereszConfig,
+    eps: f64,
+) -> Result<Compressed, CompressError> {
     let codec = BlockCodec::new(cfg.block_size, cfg.header);
     // Chunk so each rayon task encodes a run of whole blocks.
     let blocks_per_chunk = 256usize;
@@ -329,6 +423,7 @@ pub fn compress_parallel(data: &[f32], cfg: &CereszConfig) -> Result<Compressed,
         block_size: cfg.block_size,
         count: data.len(),
         eps,
+        recipe: Recipe::canonical(),
     };
     let body_len: usize = pieces.iter().map(|(b, _)| b.len()).sum();
     let mut out = Vec::with_capacity(crate::stream::STREAM_HEADER_BYTES + body_len);
@@ -346,15 +441,11 @@ pub fn compress_parallel(data: &[f32], cfg: &CereszConfig) -> Result<Compressed,
     Ok(Compressed { data: out, stats })
 }
 
-/// Decompress a stream serially.
-pub fn decompress(compressed: &Compressed) -> Result<Vec<f32>, CompressError> {
-    decompress_bytes(&compressed.data)
-}
-
-/// Decompress a raw stream.
-pub fn decompress_bytes(bytes: &[u8]) -> Result<Vec<f32>, CompressError> {
-    let header = StreamHeader::read(bytes)?;
-    let payload = &bytes[crate::stream::STREAM_HEADER_BYTES..];
+/// Serial canonical-pipeline decompression of a parsed stream.
+pub(crate) fn decompress_canonical(
+    header: &StreamHeader,
+    payload: &[u8],
+) -> Result<Vec<f32>, CompressError> {
     header.check_payload(payload.len())?;
     let codec = header.codec();
     let mut out = vec![0f32; header.count];
@@ -367,21 +458,17 @@ pub fn decompress_bytes(bytes: &[u8]) -> Result<Vec<f32>, CompressError> {
     Ok(out)
 }
 
-/// Decompress a stream with rayon, one task per run of blocks.
+/// Rayon canonical-pipeline decompression, one task per run of blocks.
 ///
 /// Block starts are found with a cheap serial header scan, then blocks are
 /// decoded independently — the paper's "pre-known fixed length" property.
-pub fn decompress_parallel(compressed: &Compressed) -> Result<Vec<f32>, CompressError> {
-    decompress_bytes_parallel(&compressed.data)
-}
-
-/// Parallel decompression from a raw stream.
-pub fn decompress_bytes_parallel(bytes: &[u8]) -> Result<Vec<f32>, CompressError> {
-    let header = StreamHeader::read(bytes)?;
-    let payload = &bytes[crate::stream::STREAM_HEADER_BYTES..];
+pub(crate) fn decompress_canonical_parallel(
+    header: &StreamHeader,
+    payload: &[u8],
+) -> Result<Vec<f32>, CompressError> {
     header.check_payload(payload.len())?;
     let codec = header.codec();
-    let offsets = scan_block_offsets(&header, payload)?;
+    let offsets = scan_block_offsets(header, payload)?;
     let mut out = vec![0f32; header.count];
     // One scratch per rayon task: chunk the block list so buffers amortize.
     out.par_chunks_mut(header.block_size * 256)
@@ -406,12 +493,18 @@ mod tests {
             .collect()
     }
 
+    fn serial(cfg: &CereszConfig) -> Codec {
+        Codec::new(cfg.with_parallelism(Parallelism::Serial))
+    }
+
     #[test]
     fn roundtrip_serial() {
         let data = wavy(10_000);
         let cfg = CereszConfig::new(ErrorBound::Abs(1e-3));
-        let c = compress(&data, &cfg).unwrap();
-        let r = decompress(&c).unwrap();
+        let c = serial(&cfg).compress(&data).unwrap();
+        let r = Codec::decompressor(Parallelism::Serial)
+            .decompress(&c.data)
+            .unwrap();
         assert_eq!(r.len(), data.len());
         for (a, b) in data.iter().zip(&r) {
             assert!((f64::from(*a) - f64::from(*b)).abs() <= 1e-3 + 1e-12);
@@ -427,25 +520,56 @@ mod tests {
     fn parallel_matches_serial_bitwise() {
         let data = wavy(100_003); // deliberately not block-aligned
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let serial = compress(&data, &cfg).unwrap();
-        let parallel = compress_parallel(&data, &cfg).unwrap();
-        assert_eq!(serial.data, parallel.data);
-        assert_eq!(serial.stats, parallel.stats);
+        let s = serial(&cfg).compress(&data).unwrap();
+        let p = Codec::new(cfg).compress(&data).unwrap();
+        assert_eq!(s.data, p.data);
+        assert_eq!(s.stats, p.stats);
     }
 
     #[test]
     fn parallel_decompress_matches_serial() {
         let data = wavy(50_001);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-4));
-        let c = compress(&data, &cfg).unwrap();
-        assert_eq!(decompress(&c).unwrap(), decompress_parallel(&c).unwrap());
+        let c = Codec::new(cfg).compress(&data).unwrap();
+        assert_eq!(
+            Codec::decompressor(Parallelism::Serial)
+                .decompress(&c.data)
+                .unwrap(),
+            Codec::decompressor(Parallelism::Rayon)
+                .decompress(&c.data)
+                .unwrap()
+        );
+    }
+
+    /// The `#[deprecated]` free-function shims stay byte-equivalent to the
+    /// `Codec` API during the migration window.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_codec() {
+        let data = wavy(10_007);
+        let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
+        let via_shim = compress(&data, &cfg).unwrap();
+        let via_codec = serial(&cfg).compress(&data).unwrap();
+        assert_eq!(via_shim.data, via_codec.data);
+        assert_eq!(via_shim.stats, via_codec.stats);
+        assert_eq!(compress_parallel(&data, &cfg).unwrap().data, via_codec.data);
+        let reference = Codec::decompressor(Parallelism::Serial)
+            .decompress(&via_codec.data)
+            .unwrap();
+        assert_eq!(decompress(&via_codec).unwrap(), reference);
+        assert_eq!(decompress_parallel(&via_codec).unwrap(), reference);
+        assert_eq!(decompress_bytes(&via_codec.data).unwrap(), reference);
+        assert_eq!(
+            decompress_bytes_parallel(&via_codec.data).unwrap(),
+            reference
+        );
     }
 
     #[test]
     fn rel_bound_resolves_against_range() {
         let data = wavy(4096);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-2));
-        let c = compress(&data, &cfg).unwrap();
+        let c = Codec::new(cfg).compress(&data).unwrap();
         let (min, max) = crate::bound::value_range(&data);
         let expected = 1e-2 * (f64::from(max) - f64::from(min));
         assert!((c.stats.eps - expected).abs() < 1e-12);
@@ -454,25 +578,26 @@ mod tests {
     #[test]
     fn empty_input() {
         let cfg = CereszConfig::new(ErrorBound::Abs(1e-3));
-        let c = compress(&[], &cfg).unwrap();
+        let c = serial(&cfg).compress(&[]).unwrap();
         assert_eq!(c.stats.n_blocks, 0);
-        assert_eq!(decompress(&c).unwrap(), Vec::<f32>::new());
+        assert_eq!(
+            Codec::decompressor(Parallelism::Serial)
+                .decompress(&c.data)
+                .unwrap(),
+            Vec::<f32>::new()
+        );
     }
 
     #[test]
     fn single_element_roundtrips_on_every_path() {
         let cfg = CereszConfig::new(ErrorBound::Abs(1e-4));
         let data = [std::f32::consts::PI];
-        let c = compress(&data, &cfg).unwrap();
-        let p = compress_parallel(&data, &cfg).unwrap();
+        let c = serial(&cfg).compress(&data).unwrap();
+        let p = Codec::new(cfg).compress(&data).unwrap();
         assert_eq!(c.data, p.data);
         assert_eq!(c.stats.n_blocks, 1);
-        for restored in [
-            decompress(&c).unwrap(),
-            decompress_parallel(&c).unwrap(),
-            decompress_bytes(&c.data).unwrap(),
-            decompress_bytes_parallel(&c.data).unwrap(),
-        ] {
+        for par in [Parallelism::Serial, Parallelism::Rayon] {
+            let restored = Codec::decompressor(par).decompress(&c.data).unwrap();
             assert_eq!(restored.len(), 1);
             assert!((f64::from(restored[0]) - f64::from(data[0])).abs() <= 1e-4 + 1e-10);
         }
@@ -481,17 +606,21 @@ mod tests {
     #[test]
     fn empty_input_parallel_paths_agree() {
         let cfg = CereszConfig::new(ErrorBound::Abs(1e-3));
-        let c = compress(&[], &cfg).unwrap();
-        assert_eq!(compress_parallel(&[], &cfg).unwrap().data, c.data);
-        assert_eq!(decompress_parallel(&c).unwrap(), Vec::<f32>::new());
-        assert_eq!(decompress_bytes(&c.data).unwrap(), Vec::<f32>::new());
+        let c = serial(&cfg).compress(&[]).unwrap();
+        assert_eq!(Codec::new(cfg).compress(&[]).unwrap().data, c.data);
+        for par in [Parallelism::Serial, Parallelism::Rayon] {
+            assert_eq!(
+                Codec::decompressor(par).decompress(&c.data).unwrap(),
+                Vec::<f32>::new()
+            );
+        }
     }
 
     #[test]
     fn invalid_bound_rejected() {
         let cfg = CereszConfig::new(ErrorBound::Abs(0.0));
         assert!(matches!(
-            compress(&[1.0], &cfg),
+            Codec::new(cfg).compress(&[1.0]),
             Err(CompressError::InvalidBound)
         ));
     }
@@ -500,7 +629,7 @@ mod tests {
     fn nan_input_rejected() {
         let cfg = CereszConfig::new(ErrorBound::Abs(1e-3));
         assert!(matches!(
-            compress(&[1.0, f32::NAN], &cfg),
+            serial(&cfg).compress(&[1.0, f32::NAN]),
             Err(CompressError::Quantize(QuantizeError::NonFinite {
                 index: 1
             }))
@@ -512,7 +641,7 @@ mod tests {
         let mut data = vec![0f32; 320];
         data.extend(wavy(320));
         let cfg = CereszConfig::new(ErrorBound::Abs(1e-2));
-        let c = compress(&data, &cfg).unwrap();
+        let c = serial(&cfg).compress(&data).unwrap();
         assert_eq!(c.stats.n_blocks, 20);
         assert!(c.stats.zero_blocks >= 10);
     }
@@ -521,22 +650,76 @@ mod tests {
     fn stats_ratio_matches_sizes() {
         let data = wavy(8192);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let c = compress(&data, &cfg).unwrap();
+        let c = serial(&cfg).compress(&data).unwrap();
         assert_eq!(c.stats.original_bytes, 8192 * 4);
         assert_eq!(c.stats.compressed_bytes, c.data.len());
+        assert!(c.stats.recipe.is_canonical());
+        assert_eq!(c.stats.tune_margin, None);
     }
 
     #[test]
     fn larger_bound_compresses_better() {
         let data = wavy(32_768);
-        let loose = compress(&data, &CereszConfig::new(ErrorBound::Rel(1e-2))).unwrap();
-        let tight = compress(&data, &CereszConfig::new(ErrorBound::Rel(1e-4))).unwrap();
+        let loose = Codec::new(CereszConfig::new(ErrorBound::Rel(1e-2)))
+            .compress(&data)
+            .unwrap();
+        let tight = Codec::new(CereszConfig::new(ErrorBound::Rel(1e-4)))
+            .compress(&data)
+            .unwrap();
         assert!(loose.ratio() > tight.ratio());
     }
 
     #[test]
     fn decompress_garbage_fails_cleanly() {
-        assert!(decompress_bytes(b"garbage").is_err());
-        assert!(decompress_bytes(&[]).is_err());
+        let d = Codec::decompressor(Parallelism::Serial);
+        assert!(d.decompress(b"garbage").is_err());
+        assert!(d.decompress(&[]).is_err());
+    }
+
+    /// `with_*` builder calls commute: any order produces the same config.
+    #[test]
+    fn config_builder_is_commutative() {
+        let recipe = crate::recipe::Recipe::new(&[
+            crate::recipe::StageSpec::MantissaSplit,
+            crate::recipe::StageSpec::Huffman,
+        ])
+        .unwrap();
+        let a = CereszConfig::new(ErrorBound::Rel(1e-3))
+            .with_block_size(64)
+            .with_header(HeaderWidth::W1)
+            .with_recipe(recipe)
+            .with_parallelism(Parallelism::Serial);
+        let b = CereszConfig::new(ErrorBound::Rel(1e-3))
+            .with_parallelism(Parallelism::Serial)
+            .with_recipe(recipe)
+            .with_header(HeaderWidth::W1)
+            .with_block_size(64);
+        assert_eq!(a.block_size, b.block_size);
+        assert_eq!(a.header, b.header);
+        assert_eq!(a.recipe, b.recipe);
+        assert_eq!(a.parallelism, b.parallelism);
+        assert_eq!(a.bound, b.bound);
+    }
+
+    /// An invalid composition surfaces as `InvalidRecipe` from `validate()`,
+    /// never a panic.
+    #[test]
+    fn invalid_recipe_is_typed() {
+        let recipe = crate::recipe::Recipe::new(&[
+            crate::recipe::StageSpec::PreQuantize,
+            crate::recipe::StageSpec::Lorenzo2d {
+                rows: 10,
+                cols: 10,
+                tile: 4,
+            },
+            crate::recipe::StageSpec::FixedLength,
+        ])
+        .unwrap();
+        // tile² = 16 ≠ block 32 → typed error from validate via compress.
+        let cfg = CereszConfig::new(ErrorBound::Abs(1e-3)).with_recipe(recipe);
+        assert!(matches!(
+            Codec::new(cfg).compress(&[1.0; 100]),
+            Err(CompressError::InvalidRecipe(_))
+        ));
     }
 }

@@ -105,6 +105,15 @@ pub fn compress_2d(
     let mut stats = CompressionStats {
         original_bytes: data.len() * 4,
         eps,
+        recipe: crate::recipe::Recipe::new(&[
+            crate::recipe::StageSpec::PreQuantize,
+            crate::recipe::StageSpec::Lorenzo2d {
+                rows: rows as u32,
+                cols: cols as u32,
+                tile: t as u16,
+            },
+            crate::recipe::StageSpec::FixedLength,
+        ])?,
         ..CompressionStats::default()
     };
     let tiles_r = rows.div_ceil(t);
@@ -168,7 +177,7 @@ pub fn decompress_2d(bytes: &[u8]) -> Result<(Vec<f32>, usize, usize), CompressE
     let mut pos = 0usize;
     for tr in 0..rows.div_ceil(t) {
         for tc in 0..cols.div_ceil(t) {
-            pos += decode_tile_deltas(&codec, &payload[pos..], &mut q)?;
+            pos += codec.decode_block_deltas(&payload[pos..], &mut q)?;
             inverse_2d(&q, t, t, &mut rec_q);
             dequantize(&rec_q, eps, &mut rec);
             for i in 0..t.min(rows - tr * t) {
@@ -180,39 +189,6 @@ pub fn decompress_2d(bytes: &[u8]) -> Result<(Vec<f32>, usize, usize), CompressE
         }
     }
     Ok((out, rows, cols))
-}
-
-/// Decode one tile's *residuals* (the block codec's quantized decode applies
-/// the 1-D inverse, which is wrong here, so this unpacks manually).
-fn decode_tile_deltas(
-    codec: &BlockCodec,
-    bytes: &[u8],
-    out: &mut [i64],
-) -> Result<usize, CompressError> {
-    use crate::fixed_length::{apply_signs, bit_unshuffle};
-    let l = codec.block_size();
-    if bytes.len() < 4 {
-        return Err(CompressError::Truncated);
-    }
-    let f = u32::from_le_bytes(bytes[0..4].try_into().expect("sized"));
-    if f > BlockCodec::MAX_FIXED_LENGTH {
-        return Err(CompressError::CorruptHeader { fixed_length: f });
-    }
-    let need = codec.encoded_size(f);
-    if bytes.len() < need {
-        return Err(CompressError::Truncated);
-    }
-    if f == 0 {
-        out.fill(0);
-        return Ok(4);
-    }
-    let pb = codec.plane_bytes();
-    let signs = &bytes[4..4 + pb];
-    let planes = &bytes[4 + pb..need];
-    let mut mags = vec![0u32; l];
-    bit_unshuffle(planes, f, &mut mags);
-    apply_signs(signs, &mags, out);
-    Ok(need)
 }
 
 #[cfg(test)]
@@ -259,7 +235,9 @@ mod tests {
         let data = smooth(rows, cols);
         let bound = ErrorBound::Rel(1e-3);
         let two_d = compress_2d(&data, rows, cols, &Ceresz2dConfig::new(bound)).unwrap();
-        let one_d = crate::compressor::compress(&data, &crate::CereszConfig::new(bound)).unwrap();
+        let one_d = crate::codec::Codec::new(crate::CereszConfig::new(bound))
+            .compress(&data)
+            .unwrap();
         assert!(
             two_d.ratio() > one_d.ratio(),
             "2-D {} !> 1-D {}",

@@ -25,15 +25,23 @@
 //! (in this workspace, by `wse-sim`'s calibrated cost model) or by the
 //! built-in host-side estimator.
 //!
+//! The paper's fixed three-stage pipeline is one point in a larger design
+//! space. The [`recipe`]/[`stage`]/[`codec`] modules expose that space: a
+//! [`Recipe`] is an ordered list of composable [`StageSpec`]s (pre-quantize,
+//! 1-D/2-D Lorenzo, fixed-length, mantissa split, bf16 downconvert, Huffman),
+//! a [`Codec`] runs any recipe in either direction, and the stream/archive
+//! formats record the recipe per field so decompression is self-describing.
+//! The [`mod@tune`] module picks a recipe per field by sampling.
+//!
 //! ## Quick example
 //!
 //! ```
-//! use ceresz_core::{CereszConfig, ErrorBound, compress, decompress};
+//! use ceresz_core::{CereszConfig, Codec, ErrorBound};
 //!
 //! let data: Vec<f32> = (0..1024).map(|i| (i as f32 * 0.01).sin()).collect();
-//! let cfg = CereszConfig::new(ErrorBound::Abs(1e-3));
-//! let compressed = compress(&data, &cfg).unwrap();
-//! let restored = decompress(&compressed).unwrap();
+//! let codec = Codec::new(CereszConfig::new(ErrorBound::Abs(1e-3)));
+//! let compressed = codec.compress(&data).unwrap();
+//! let restored = codec.decompress(&compressed.data).unwrap();
 //! for (a, b) in data.iter().zip(&restored) {
 //!     assert!((a - b).abs() <= 1e-3 + f32::EPSILON);
 //! }
@@ -43,21 +51,31 @@
 pub mod archive;
 pub mod block;
 pub mod bound;
+pub mod codec;
 pub mod compressor;
 pub mod compressor2d;
 pub mod fixed_length;
 pub mod lorenzo;
 pub mod plan;
 pub mod quantize;
+pub mod recipe;
+pub mod stage;
 pub mod stream;
+pub mod tune;
 pub mod verify;
 
 pub use block::{BlockCodec, HeaderWidth};
 pub use bound::ErrorBound;
+pub use codec::{Codec, Parallelism};
+#[allow(deprecated)]
 pub use compressor::{
     compress, compress_parallel, decompress, decompress_bytes, decompress_bytes_parallel,
-    decompress_parallel, precheck_input, CereszConfig, CompressError, Compressed, CompressionStats,
+    decompress_parallel,
 };
+pub use compressor::{precheck_input, CereszConfig, CompressError, Compressed, CompressionStats};
+pub use recipe::{PlaneKind, Recipe, StageSpec};
+pub use stage::{Plane, Stage, StageCtx};
+pub use tune::{tune, TunerReport};
 pub use verify::{max_abs_error, verify_error_bound};
 
 /// Default block size used throughout the paper's evaluation (§5.1.1).

@@ -17,12 +17,18 @@
 
 use crate::block::{BlockCodec, HeaderWidth};
 use crate::compressor::CompressError;
+use crate::recipe::Recipe;
 
 /// Magic bytes identifying a CereSZ stream.
 pub const MAGIC: [u8; 4] = *b"CSZ1";
-/// Current stream format version.
+/// Stream format version of canonical-recipe streams (the original wire
+/// format; such streams stay byte-identical to the pre-recipe compressor).
 pub const VERSION: u8 = 1;
-/// Size of the fixed stream header in bytes.
+/// Stream format version of recipe-carrying streams: the v1 fixed fields
+/// followed by the recipe wire bytes (see [`crate::recipe`]).
+pub const VERSION_RECIPE: u8 = 2;
+/// Size of the fixed (v1) stream header in bytes. A v2 header additionally
+/// carries the serialized recipe after these fixed fields.
 pub const STREAM_HEADER_BYTES: usize = 4 + 1 + 1 + 4 + 8 + 8;
 
 /// Parsed stream header.
@@ -36,6 +42,9 @@ pub struct StreamHeader {
     pub count: usize,
     /// Resolved absolute error bound.
     pub eps: f64,
+    /// The stage composition that produced the payload. Canonical headers
+    /// serialize as v1; any other recipe forces the v2 format.
+    pub recipe: Recipe,
 }
 
 impl StreamHeader {
@@ -68,25 +77,53 @@ impl StreamHeader {
     }
 
     /// Serialize the header, appending to `out`.
+    ///
+    /// Canonical recipes produce the original v1 bytes (the recipe is
+    /// implied); any other recipe is written as v2 — the same fixed fields
+    /// with version 2, followed by the recipe wire bytes.
     pub fn write(&self, out: &mut Vec<u8>) {
+        let canonical = self.recipe.is_canonical();
         out.extend_from_slice(&MAGIC);
-        out.push(VERSION);
+        out.push(if canonical { VERSION } else { VERSION_RECIPE });
         out.push(self.header_width.bytes() as u8);
         out.extend_from_slice(&(self.block_size as u32).to_le_bytes());
         out.extend_from_slice(&(self.count as u64).to_le_bytes());
         out.extend_from_slice(&self.eps.to_le_bytes());
+        if !canonical {
+            self.recipe.write(out);
+        }
+    }
+
+    /// Total serialized header size for this recipe.
+    #[must_use]
+    pub fn written_len(&self) -> usize {
+        if self.recipe.is_canonical() {
+            STREAM_HEADER_BYTES
+        } else {
+            STREAM_HEADER_BYTES + self.recipe.wire_len()
+        }
     }
 
     /// Parse a header from the front of `bytes`.
+    ///
+    /// Accepts both v1 (canonical recipe implied) and v2 (explicit recipe
+    /// bytes) streams.
     pub fn read(bytes: &[u8]) -> Result<Self, CompressError> {
+        Self::read_prefix(bytes).map(|(h, _)| h)
+    }
+
+    /// [`Self::read`], also returning the number of header bytes consumed
+    /// (the payload starts there — v2 headers are longer than v1).
+    pub fn read_prefix(bytes: &[u8]) -> Result<(Self, usize), CompressError> {
         if bytes.len() < STREAM_HEADER_BYTES {
             return Err(CompressError::Truncated);
         }
         if bytes[0..4] != MAGIC {
             return Err(CompressError::BadMagic);
         }
-        if bytes[4] != VERSION {
-            return Err(CompressError::UnsupportedVersion(bytes[4]));
+        let version = bytes[4];
+        if version != VERSION && version != VERSION_RECIPE {
+            return Err(CompressError::UnsupportedVersion(version));
         }
         let header_width = match bytes[5] {
             1 => HeaderWidth::W1,
@@ -102,12 +139,23 @@ impl StreamHeader {
         if !(eps.is_finite() && eps > 0.0) {
             return Err(CompressError::InvalidBound);
         }
-        Ok(Self {
-            header_width,
-            block_size,
-            count,
-            eps,
-        })
+        let (recipe, consumed) = if version == VERSION {
+            (Recipe::canonical(), STREAM_HEADER_BYTES)
+        } else {
+            let (recipe, used) = Recipe::read(&bytes[STREAM_HEADER_BYTES..])?;
+            recipe.validate(block_size)?;
+            (recipe, STREAM_HEADER_BYTES + used)
+        };
+        Ok((
+            Self {
+                header_width,
+                block_size,
+                count,
+                eps,
+                recipe,
+            },
+            consumed,
+        ))
     }
 }
 
@@ -156,6 +204,7 @@ mod tests {
             block_size: 32,
             count: 100,
             eps: 1e-3,
+            recipe: Recipe::canonical(),
         }
     }
 
@@ -165,7 +214,50 @@ mod tests {
         let mut buf = Vec::new();
         h.write(&mut buf);
         assert_eq!(buf.len(), STREAM_HEADER_BYTES);
+        assert_eq!(buf[4], VERSION, "canonical headers stay v1");
         assert_eq!(StreamHeader::read(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn v2_header_roundtrips_with_recipe() {
+        use crate::recipe::StageSpec;
+        let h = StreamHeader {
+            recipe: Recipe::new(&[
+                StageSpec::PreQuantize,
+                StageSpec::Lorenzo1d,
+                StageSpec::FixedLength,
+                StageSpec::Huffman,
+            ])
+            .unwrap(),
+            ..sample_header()
+        };
+        let mut buf = Vec::new();
+        h.write(&mut buf);
+        assert_eq!(buf[4], VERSION_RECIPE);
+        assert_eq!(buf.len(), h.written_len());
+        let (back, used) = StreamHeader::read_prefix(&buf).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn corrupt_recipe_bytes_rejected() {
+        use crate::recipe::StageSpec;
+        let h = StreamHeader {
+            recipe: Recipe::new(&[StageSpec::MantissaSplit, StageSpec::Huffman]).unwrap(),
+            ..sample_header()
+        };
+        let mut buf = Vec::new();
+        h.write(&mut buf);
+        // Unknown stage id inside the recipe region.
+        let mut bad = buf.clone();
+        bad[STREAM_HEADER_BYTES + 1] = 0xFE;
+        assert!(matches!(
+            StreamHeader::read(&bad),
+            Err(CompressError::CorruptRecipe(_))
+        ));
+        // Recipe region truncated away entirely.
+        assert!(StreamHeader::read(&buf[..STREAM_HEADER_BYTES]).is_err());
     }
 
     #[test]
@@ -221,6 +313,7 @@ mod tests {
             block_size: 32,
             count: 128,
             eps: 1e-3,
+            recipe: Recipe::canonical(),
         };
         assert_eq!(scan_block_offsets(&header, &payload).unwrap(), expected);
     }

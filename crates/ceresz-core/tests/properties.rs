@@ -1,10 +1,11 @@
 //! Property-based tests of the core compression invariants.
 
-use ceresz_core::{
-    compress, compress_parallel, decompress, decompress_parallel, verify_error_bound, CereszConfig,
-    ErrorBound, HeaderWidth,
-};
+use ceresz_core::{verify_error_bound, CereszConfig, Codec, ErrorBound, HeaderWidth, Parallelism};
 use proptest::prelude::*;
+
+fn serial(cfg: CereszConfig) -> Codec {
+    Codec::new(cfg.with_parallelism(Parallelism::Serial))
+}
 
 /// Finite f32 values in a range where REL bounds never overflow quantization.
 fn field_values(n: usize) -> impl Strategy<Value = Vec<f32>> {
@@ -25,8 +26,9 @@ proptest! {
         let lambda = 10f64.powi(-lambda_exp);
         let cfg = CereszConfig::new(ErrorBound::Rel(lambda))
             .with_block_size(1usize << block_pow);
-        let c = compress(&data, &cfg).unwrap();
-        let r = decompress(&c).unwrap();
+        let codec = serial(cfg);
+        let c = codec.compress(&data).unwrap();
+        let r = codec.decompress(&c.data).unwrap();
         prop_assert_eq!(r.len(), data.len());
         prop_assert!(verify_error_bound(&data, &r, c.stats.eps));
     }
@@ -35,8 +37,9 @@ proptest! {
     #[test]
     fn error_bound_honored_w1_headers(data in field_values(512)) {
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3)).with_header(HeaderWidth::W1);
-        let c = compress(&data, &cfg).unwrap();
-        let r = decompress(&c).unwrap();
+        let codec = serial(cfg);
+        let c = codec.compress(&data).unwrap();
+        let r = codec.decompress(&c.data).unwrap();
         prop_assert!(verify_error_bound(&data, &r, c.stats.eps));
     }
 
@@ -44,11 +47,11 @@ proptest! {
     #[test]
     fn parallel_equals_serial(data in field_values(4096)) {
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let a = compress(&data, &cfg).unwrap();
-        let b = compress_parallel(&data, &cfg).unwrap();
+        let a = serial(cfg).compress(&data).unwrap();
+        let b = Codec::new(cfg.with_parallelism(Parallelism::Rayon)).compress(&data).unwrap();
         prop_assert_eq!(&a.data, &b.data);
-        let ra = decompress(&a).unwrap();
-        let rb = decompress_parallel(&b).unwrap();
+        let ra = Codec::decompressor(Parallelism::Serial).decompress(&a.data).unwrap();
+        let rb = Codec::decompressor(Parallelism::Rayon).decompress(&b.data).unwrap();
         prop_assert_eq!(ra, rb);
     }
 
@@ -59,10 +62,11 @@ proptest! {
     #[test]
     fn second_roundtrip_is_stable(data in field_values(512)) {
         let cfg = CereszConfig::new(ErrorBound::Abs(1e-2));
-        let c1 = compress(&data, &cfg).unwrap();
-        let r1 = decompress(&c1).unwrap();
-        let c2 = compress(&r1, &cfg).unwrap();
-        let r2 = decompress(&c2).unwrap();
+        let codec = serial(cfg);
+        let c1 = codec.compress(&data).unwrap();
+        let r1 = codec.decompress(&c1.data).unwrap();
+        let c2 = codec.compress(&r1).unwrap();
+        let r2 = codec.decompress(&c2.data).unwrap();
         for (a, b) in r1.iter().zip(&r2) {
             let ulp = f64::from(f32::EPSILON) * (1.0 + f64::from(a.abs()));
             // A lattice point p·2ε re-quantizes to p or a neighbor only if it
@@ -75,8 +79,8 @@ proptest! {
     #[test]
     fn stream_is_self_describing(data in field_values(1024)) {
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-2));
-        let c = compress(&data, &cfg).unwrap();
-        let r = ceresz_core::compressor::decompress_bytes(&c.data).unwrap();
+        let c = serial(cfg).compress(&data).unwrap();
+        let r = Codec::decompressor(Parallelism::Serial).decompress(&c.data).unwrap();
         prop_assert_eq!(r.len(), data.len());
     }
 
@@ -85,9 +89,9 @@ proptest! {
     #[test]
     fn truncation_fails_cleanly(data in field_values(256), cut in 0usize..200) {
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let c = compress(&data, &cfg).unwrap();
+        let c = serial(cfg).compress(&data).unwrap();
         let cut = cut.min(c.data.len().saturating_sub(1));
-        let r = ceresz_core::compressor::decompress_bytes(&c.data[..cut]);
+        let r = Codec::decompressor(Parallelism::Serial).decompress(&c.data[..cut]);
         prop_assert!(r.is_err());
     }
 
@@ -144,7 +148,7 @@ proptest! {
     #[test]
     fn stats_account_for_all_bytes(data in field_values(2048)) {
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let c = compress(&data, &cfg).unwrap();
+        let c = serial(cfg).compress(&data).unwrap();
         prop_assert_eq!(c.stats.compressed_bytes, c.data.len());
         prop_assert_eq!(c.stats.n_blocks, data.len().div_ceil(cfg.block_size));
     }

@@ -414,7 +414,7 @@ pub fn run_pipeline_decompress(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ceresz_core::{compress, decompress, CereszConfig, ErrorBound};
+    use ceresz_core::{CereszConfig, Codec, ErrorBound, Parallelism};
 
     fn wavy(n: usize) -> Vec<f32> {
         (0..n)
@@ -426,8 +426,10 @@ mod tests {
     fn simulated_decompression_matches_host() {
         let data = wavy(32 * 33 + 9);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let c = compress(&data, &cfg).unwrap();
-        let host = decompress(&c).unwrap();
+        let c = Codec::new(cfg).compress(&data).unwrap();
+        let host = Codec::decompressor(Parallelism::Serial)
+            .decompress(&c.data)
+            .unwrap();
         for rows in [1usize, 3, 8] {
             let run = run_row_decompress(&c, rows).unwrap();
             assert_eq!(run.restored, host, "rows = {rows}");
@@ -461,10 +463,12 @@ mod tests {
         let mut data = vec![0f32; 32 * 64];
         data.extend(wavy(32 * 8));
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-2));
-        let c = compress(&data, &cfg).unwrap();
+        let c = Codec::new(cfg).compress(&data).unwrap();
         let run = run_row_decompress(&c, 2).unwrap();
         assert_eq!(run.restored.len(), data.len());
-        let host = decompress(&c).unwrap();
+        let host = Codec::decompressor(Parallelism::Serial)
+            .decompress(&c.data)
+            .unwrap();
         assert_eq!(run.restored, host);
     }
 
@@ -472,8 +476,10 @@ mod tests {
     fn pipelined_decompression_matches_host() {
         let data = wavy(32 * 36 + 3);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let c = compress(&data, &cfg).unwrap();
-        let host = decompress(&c).unwrap();
+        let c = Codec::new(cfg).compress(&data).unwrap();
+        let host = Codec::decompressor(Parallelism::Serial)
+            .decompress(&c.data)
+            .unwrap();
         for len in [1usize, 2, 3, 4, 6] {
             let run = run_pipeline_decompress(&c, 2, len).unwrap();
             assert_eq!(run.restored, host, "length = {len}");
@@ -485,8 +491,10 @@ mod tests {
         let mut data = vec![0f32; 32 * 10];
         data.extend(wavy(32 * 10));
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-2));
-        let c = compress(&data, &cfg).unwrap();
-        let host = decompress(&c).unwrap();
+        let c = Codec::new(cfg).compress(&data).unwrap();
+        let host = Codec::decompressor(Parallelism::Serial)
+            .decompress(&c.data)
+            .unwrap();
         let run = run_pipeline_decompress(&c, 1, 3).unwrap();
         assert_eq!(run.restored, host);
     }
@@ -495,7 +503,7 @@ mod tests {
     fn rows_scale_decompression() {
         let data = wavy(32 * 256);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let c = compress(&data, &cfg).unwrap();
+        let c = Codec::new(cfg).compress(&data).unwrap();
         let t1 = run_row_decompress(&c, 1).unwrap();
         let t8 = run_row_decompress(&c, 8).unwrap();
         let speedup = t1.stats.finish_cycle.ticks() as f64 / t8.stats.finish_cycle.ticks() as f64;

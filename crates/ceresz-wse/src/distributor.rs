@@ -123,6 +123,7 @@ pub fn run_edge_fed(data: &[f32], cfg: &CereszConfig, rows: usize) -> Result<Edg
         block_size: cfg.block_size,
         count: data.len(),
         eps,
+        recipe: ceresz_core::recipe::Recipe::canonical(),
     };
     let blocks = split_blocks(data, cfg.block_size);
     let n_blocks = blocks.len();
@@ -213,7 +214,7 @@ pub fn run_edge_fed(data: &[f32], cfg: &CereszConfig, rows: usize) -> Result<Edg
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ceresz_core::{compress, ErrorBound};
+    use ceresz_core::{Codec, ErrorBound};
 
     fn wavy(n: usize) -> Vec<f32> {
         (0..n)
@@ -225,7 +226,7 @@ mod tests {
     fn edge_fed_matches_reference_bitwise() {
         let data = wavy(32 * 30);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let reference = compress(&data, &cfg).unwrap();
+        let reference = Codec::new(cfg).compress(&data).unwrap();
         for rows in [1usize, 2, 4, 5] {
             let run = run_edge_fed(&data, &cfg, rows).unwrap();
             assert_eq!(run.compressed.data, reference.data, "rows = {rows}");
@@ -236,7 +237,7 @@ mod tests {
     fn unaligned_block_counts_pad_cleanly() {
         let data = wavy(32 * 7 + 13);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-2));
-        let reference = compress(&data, &cfg).unwrap();
+        let reference = Codec::new(cfg).compress(&data).unwrap();
         let run = run_edge_fed(&data, &cfg, 3).unwrap();
         assert_eq!(run.compressed.data, reference.data);
     }

@@ -221,7 +221,7 @@ pub fn mapping_manifest(
 mod tests {
     use super::*;
     use crate::strategy::execute;
-    use ceresz_core::{compress, ErrorBound};
+    use ceresz_core::{Codec, ErrorBound};
 
     #[test]
     fn all_strategies_agree_bitwise() {
@@ -229,7 +229,7 @@ mod tests {
             .map(|i| (i as f32 * 0.02).sin() * 8.0)
             .collect();
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let reference = compress(&data, &cfg).unwrap();
+        let reference = Codec::new(cfg).compress(&data).unwrap();
         for strategy in [
             StrategyKind::RowParallel { rows: 3 },
             StrategyKind::Pipeline {
@@ -267,12 +267,14 @@ mod tests {
     #[test]
     fn empty_input_through_every_strategy() {
         let cfg = CereszConfig::new(ErrorBound::Abs(1e-3));
-        let reference = compress(&[], &cfg).unwrap();
+        let reference = Codec::new(cfg).compress(&[]).unwrap();
         for strategy in all_strategies() {
             let run = execute(strategy, &[], &cfg, &SimOptions::default()).unwrap();
             assert_eq!(run.compressed.data, reference.data, "{strategy:?}");
             assert_eq!(
-                ceresz_core::decompress_bytes(&run.compressed.data).unwrap(),
+                ceresz_core::Codec::decompressor(ceresz_core::Parallelism::Serial)
+                    .decompress(&run.compressed.data)
+                    .unwrap(),
                 Vec::<f32>::new()
             );
         }
@@ -282,11 +284,13 @@ mod tests {
     fn single_element_through_every_strategy() {
         let cfg = CereszConfig::new(ErrorBound::Abs(1e-3));
         let data = [42.17f32];
-        let reference = compress(&data, &cfg).unwrap();
+        let reference = Codec::new(cfg).compress(&data).unwrap();
         for strategy in all_strategies() {
             let run = execute(strategy, &data, &cfg, &SimOptions::default()).unwrap();
             assert_eq!(run.compressed.data, reference.data, "{strategy:?}");
-            let restored = ceresz_core::decompress_bytes(&run.compressed.data).unwrap();
+            let restored = ceresz_core::Codec::decompressor(ceresz_core::Parallelism::Serial)
+                .decompress(&run.compressed.data)
+                .unwrap();
             assert_eq!(restored.len(), 1);
             assert!((f64::from(restored[0]) - 42.17).abs() <= 1e-3 + 1e-6);
         }
@@ -330,7 +334,7 @@ mod tests {
         // in a simulated kernel.
         let data = [1.0f32, f32::NAN, 3.0];
         let cfg = CereszConfig::new(ErrorBound::Abs(1e-3));
-        let host = compress(&data, &cfg).unwrap_err();
+        let host = Codec::new(cfg).compress(&data).unwrap_err();
         for strategy in all_strategies() {
             match execute(strategy, &data, &cfg, &SimOptions::default()) {
                 Err(crate::error::WseError::Compress(e)) => assert_eq!(e, host, "{strategy:?}"),

@@ -236,10 +236,10 @@ mod tests {
 
     #[test]
     fn assemble_stream_matches_reference() {
-        use ceresz_core::{compress, CereszConfig, ErrorBound};
+        use ceresz_core::{CereszConfig, Codec, ErrorBound};
         let data: Vec<f32> = (0..321).map(|i| (i as f32 * 0.1).sin()).collect();
         let cfg = CereszConfig::new(ErrorBound::Abs(1e-3));
-        let reference = compress(&data, &cfg).unwrap();
+        let reference = Codec::new(cfg).compress(&data).unwrap();
         let header = reference.header().unwrap();
         // Simulate 3-row round-robin processing with the block codec.
         let rows = 3;

@@ -125,6 +125,7 @@ pub(crate) fn map_multi_pipeline(
         block_size: cfg.block_size,
         count: data.len(),
         eps,
+        recipe: ceresz_core::recipe::Recipe::canonical(),
     };
     let model = StageCostModel::calibrated();
     let plan =
@@ -300,7 +301,7 @@ mod tests {
     use super::*;
     use crate::engine::SimOptions;
     use crate::strategy::{execute, StrategyKind};
-    use ceresz_core::{compress, ErrorBound};
+    use ceresz_core::{Codec, ErrorBound};
 
     fn wavy(n: usize) -> Vec<f32> {
         (0..n)
@@ -331,7 +332,7 @@ mod tests {
     fn multi_pipeline_matches_reference_bitwise() {
         let data = wavy(32 * 60);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let reference = compress(&data, &cfg).unwrap();
+        let reference = Codec::new(cfg).compress(&data).unwrap();
         for (len, p) in [(1usize, 4usize), (2, 3), (1, 1), (3, 2)] {
             let run = multi_pipeline(&data, &cfg, 2, len, p).unwrap();
             assert_eq!(run.compressed.data, reference.data, "len={len} p={p}");
@@ -342,7 +343,7 @@ mod tests {
     fn unaligned_block_counts_are_padded() {
         let data = wavy(32 * 13 + 5); // 14 blocks over 3 rows × 4 pipelines
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-2));
-        let reference = compress(&data, &cfg).unwrap();
+        let reference = Codec::new(cfg).compress(&data).unwrap();
         let run = multi_pipeline(&data, &cfg, 3, 1, 4).unwrap();
         assert_eq!(run.compressed.data, reference.data);
     }

@@ -209,6 +209,7 @@ pub(crate) fn map_pipeline(
         block_size: cfg.block_size,
         count: data.len(),
         eps,
+        recipe: ceresz_core::recipe::Recipe::canonical(),
     };
     let model = StageCostModel::calibrated();
     let plan =
@@ -245,7 +246,7 @@ mod tests {
     use super::*;
     use crate::engine::SimOptions;
     use crate::strategy::{execute, StrategyKind};
-    use ceresz_core::{compress, ErrorBound};
+    use ceresz_core::{Codec, ErrorBound};
 
     fn wavy(n: usize) -> Vec<f32> {
         (0..n)
@@ -274,7 +275,7 @@ mod tests {
     fn pipeline_output_matches_reference_bitwise() {
         let data = wavy(32 * 40 + 7);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let reference = compress(&data, &cfg).unwrap();
+        let reference = Codec::new(cfg).compress(&data).unwrap();
         for len in [1usize, 2, 3, 4, 8] {
             let run = pipeline(&data, &cfg, 2, len).unwrap();
             assert_eq!(run.compressed.data, reference.data, "length = {len}");
@@ -323,7 +324,7 @@ mod tests {
         // More PEs than sub-stages: trailing groups are empty pass-throughs.
         let data = wavy(32 * 8);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-2));
-        let reference = compress(&data, &cfg).unwrap();
+        let reference = Codec::new(cfg).compress(&data).unwrap();
         let run = pipeline(&data, &cfg, 1, 12).unwrap();
         assert_eq!(run.compressed.data, reference.data);
     }

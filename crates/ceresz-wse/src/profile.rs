@@ -150,7 +150,7 @@ pub fn build_report(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ceresz_core::{compress, CereszConfig, ErrorBound};
+    use ceresz_core::{CereszConfig, Codec, ErrorBound};
 
     fn wavy(n: usize) -> Vec<f32> {
         (0..n)
@@ -162,7 +162,7 @@ mod tests {
     fn profile_preserves_bitwise_output() {
         let data = wavy(32 * 24);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let reference = compress(&data, &cfg).unwrap();
+        let reference = Codec::new(cfg).compress(&data).unwrap();
         let profile = profile_compression(
             &data,
             &cfg,

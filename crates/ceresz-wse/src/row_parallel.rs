@@ -91,6 +91,7 @@ pub(crate) fn map_row_parallel(
         block_size: cfg.block_size,
         count: data.len(),
         eps,
+        recipe: ceresz_core::recipe::Recipe::canonical(),
     };
     let blocks = split_blocks(data, cfg.block_size);
     let n_blocks = blocks.len();
@@ -135,8 +136,7 @@ mod tests {
     use super::*;
     use crate::engine::SimOptions;
     use crate::strategy::{execute, StrategyKind};
-    use ceresz_core::compressor::decompress_bytes;
-    use ceresz_core::{compress, ErrorBound};
+    use ceresz_core::{Codec, ErrorBound, Parallelism};
 
     fn wavy(n: usize) -> Vec<f32> {
         (0..n)
@@ -162,7 +162,7 @@ mod tests {
         let data = wavy(32 * 20);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
         let run = row_parallel(&data, &cfg, 1).unwrap();
-        let reference = compress(&data, &cfg).unwrap();
+        let reference = Codec::new(cfg).compress(&data).unwrap();
         assert_eq!(run.compressed.data, reference.data);
     }
 
@@ -172,9 +172,11 @@ mod tests {
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
         for rows in [2usize, 4, 8] {
             let run = row_parallel(&data, &cfg, rows).unwrap();
-            let reference = compress(&data, &cfg).unwrap();
+            let reference = Codec::new(cfg).compress(&data).unwrap();
             assert_eq!(run.compressed.data, reference.data, "rows = {rows}");
-            let restored = decompress_bytes(&run.compressed.data).unwrap();
+            let restored = Codec::decompressor(Parallelism::Serial)
+                .decompress(&run.compressed.data)
+                .unwrap();
             assert_eq!(restored.len(), data.len());
         }
     }
@@ -237,7 +239,7 @@ mod tests {
         let data = wavy(40); // 2 blocks of 32
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
         let run = row_parallel(&data, &cfg, 8).unwrap();
-        let reference = compress(&data, &cfg).unwrap();
+        let reference = Codec::new(cfg).compress(&data).unwrap();
         assert_eq!(run.compressed.data, reference.data);
     }
 }

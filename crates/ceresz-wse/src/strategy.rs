@@ -309,7 +309,7 @@ impl StrategyRun {
 /// run.
 ///
 /// ```
-/// use ceresz_core::{compress, CereszConfig, ErrorBound};
+/// use ceresz_core::{CereszConfig, Codec, ErrorBound};
 /// use ceresz_wse::{execute, SimOptions, StrategyKind};
 ///
 /// let data: Vec<f32> = (0..96).map(|i| (i as f32 * 0.1).sin()).collect();
@@ -321,7 +321,7 @@ impl StrategyRun {
 ///     &SimOptions::default().with_threads(2),
 /// )
 /// .unwrap();
-/// assert_eq!(run.compressed.data, compress(&data, &cfg).unwrap().data);
+/// assert_eq!(run.compressed.data, Codec::new(cfg).compress(&data).unwrap().data);
 /// ```
 pub fn execute(
     kind: StrategyKind,
@@ -379,7 +379,7 @@ pub fn execute_strategy(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ceresz_core::{compress, ErrorBound};
+    use ceresz_core::{Codec, ErrorBound};
 
     #[test]
     fn display_matches_legacy_mesh_names() {
@@ -429,7 +429,7 @@ mod tests {
         }
         let data: Vec<f32> = (0..32 * 7).map(|i| (i as f32 * 0.05).cos() * 3.0).collect();
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let reference = compress(&data, &cfg).unwrap();
+        let reference = Codec::new(cfg).compress(&data).unwrap();
         let (compressed, plan, report) = execute_strategy(
             &Wrapped(StrategyKind::Pipeline {
                 rows: 2,

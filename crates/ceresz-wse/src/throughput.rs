@@ -263,7 +263,7 @@ mod tests {
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
         let wafer = WaferConfig::cs2_square(512);
         let comp = wafer.compression_report(&data, &cfg, 1).unwrap();
-        let stream = ceresz_core::compress(&data, &cfg).unwrap();
+        let stream = ceresz_core::Codec::new(cfg).compress(&data).unwrap();
         let decomp = wafer.decompression_report(&stream, 1).unwrap();
         assert!(
             decomp.gbps > comp.gbps,

@@ -6,7 +6,7 @@
 //! failure is reproducible with `ceresz fuzz --seed <root> --cases <i+1>`
 //! (or by re-running just that case from its recorded `case_seed`).
 
-use ceresz_core::{CereszConfig, ErrorBound, HeaderWidth};
+use ceresz_core::{CereszConfig, ErrorBound, HeaderWidth, Recipe, StageSpec};
 use ceresz_wse::MappingStrategy;
 
 use crate::rng::Rng;
@@ -74,6 +74,10 @@ pub struct Case {
     pub header: HeaderWidth,
     /// One shape of each mapping strategy to differentially test.
     pub strategies: [MappingStrategy; 3],
+    /// A randomly drawn (always well-typed) stage recipe, exercised by the
+    /// recipe oracle. The canonical [`Self::config`] is untouched so the
+    /// WSE differential oracle keeps testing the wafer-mappable pipeline.
+    pub recipe: Recipe,
 }
 
 impl Case {
@@ -83,6 +87,12 @@ impl Case {
         CereszConfig::new(self.bound)
             .with_block_size(self.block_size)
             .with_header(self.header)
+    }
+
+    /// [`Self::config`] with the case's drawn recipe applied.
+    #[must_use]
+    pub fn recipe_config(&self) -> CereszConfig {
+        self.config().with_recipe(self.recipe)
     }
 
     /// Generate case `index` of the run seeded with `root_seed`.
@@ -113,6 +123,7 @@ impl Case {
         } else {
             HeaderWidth::W4
         };
+        let recipe = gen_recipe(&mut r);
         let strategies = [
             MappingStrategy::RowParallel {
                 rows: 1 + r.below(3),
@@ -136,8 +147,39 @@ impl Case {
             block_size,
             header,
             strategies,
+            recipe,
         }
     }
+}
+
+/// Draw a valid recipe: every composition here satisfies the plane-kind
+/// chain, so `Recipe::new` cannot fail — the fuzzer explores *behavior*
+/// under well-typed recipes (ill-typed ones are rejected at construction,
+/// pinned by unit tests).
+fn gen_recipe(r: &mut Rng) -> Recipe {
+    let slates: &[&[StageSpec]] = &[
+        &[
+            StageSpec::PreQuantize,
+            StageSpec::Lorenzo1d,
+            StageSpec::FixedLength,
+        ],
+        &[StageSpec::PreQuantize, StageSpec::FixedLength],
+        &[
+            StageSpec::PreQuantize,
+            StageSpec::Lorenzo1d,
+            StageSpec::FixedLength,
+            StageSpec::Huffman,
+        ],
+        &[
+            StageSpec::PreQuantize,
+            StageSpec::FixedLength,
+            StageSpec::Huffman,
+        ],
+        &[StageSpec::MantissaSplit, StageSpec::Huffman],
+        &[StageSpec::Bf16, StageSpec::Huffman],
+    ];
+    let at = r.below(slates.len());
+    Recipe::new(slates[at]).expect("slate recipes are well-typed")
 }
 
 fn gen_bound(r: &mut Rng) -> ErrorBound {

@@ -4,7 +4,7 @@
 //!
 //! One fuzz *case* is a structured adversarial input (see
 //! [`generate::DataClass`]) plus a compression configuration and three WSE
-//! mapping shapes. Six oracles judge it:
+//! mapping shapes. Seven oracles judge it:
 //!
 //! 1. **Differential** — host `compress`, `compress_parallel`, and all three
 //!    simulated mapping strategies agree exactly: bit-identical streams on
@@ -25,6 +25,11 @@
 //!    flight-recorded run of every shipped mapping: per-link worst-case load
 //!    ≥ observed occupancy, critical-path lower bound ≤ simulated makespan,
 //!    SRAM watermark ≥ observed peak, deadlock-freedom proven.
+//! 7. **Recipes** — under a randomly drawn well-typed stage recipe, serial
+//!    and rayon agree bit-for-bit, the stream and archive are fully
+//!    self-describing (decode uses only the recorded recipe bytes; lossless
+//!    recipes restore exact bits, lossy ones honor ε), and corrupted recipe
+//!    bytes are typed rejections.
 //!
 //! Everything derives from `(seed, case index)` via a built-in xorshift64*
 //! generator — no external crates — so a whole run reproduces with
@@ -73,7 +78,7 @@ pub struct FuzzFailure {
     /// `ceresz fuzz --case-seed`) replays this case in isolation.
     pub case_seed: u64,
     /// Which oracle failed: `differential`, `roundtrip`, `mutation`,
-    /// `baselines`, `verifier`, or `soundness`.
+    /// `baselines`, `verifier`, `soundness`, or `recipes`.
     pub oracle: &'static str,
     /// What went wrong.
     pub message: String,
@@ -227,6 +232,9 @@ pub fn run_case(case: &Case) -> CaseOutcome {
     }
     if let Err(msg) = probe(|| oracles::oracle_soundness(case)) {
         out.violations.push(("soundness", msg));
+    }
+    if let Err(msg) = probe(|| oracles::oracle_recipes(case)) {
+        out.violations.push(("recipes", msg));
     }
     out
 }

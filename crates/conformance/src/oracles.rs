@@ -1,4 +1,4 @@
-//! The six conformance oracles.
+//! The seven conformance oracles.
 //!
 //! Each oracle takes a generated [`Case`] and returns `Err(description)` on
 //! a conformance violation. Panics are *not* caught here — the runner wraps
@@ -6,12 +6,9 @@
 //! reported as a violation (the whole point of the hardening sweep is that
 //! adversarial input produces typed errors, never aborts).
 
-use baselines::{Codec, CompressedBuf};
+use baselines::{Codec as BaselineCodec, CompressedBuf};
 use ceresz_core::archive::Archive;
-use ceresz_core::{
-    compress, compress_parallel, decompress_bytes, decompress_bytes_parallel, verify_error_bound,
-    Compressed,
-};
+use ceresz_core::{verify_error_bound, Codec, Compressed, Parallelism};
 use ceresz_wse::{execute, mapping_manifest, SimOptions, WseError};
 use wse_sim::SimError;
 
@@ -27,8 +24,8 @@ use crate::rng::Rng;
 /// in agreement) for the downstream oracles to reuse.
 pub fn oracle_differential(case: &Case) -> Result<Option<Compressed>, String> {
     let cfg = case.config();
-    let host = compress(&case.data, &cfg);
-    match compress_parallel(&case.data, &cfg) {
+    let host = Codec::new(cfg.with_parallelism(Parallelism::Serial)).compress(&case.data);
+    match Codec::new(cfg.with_parallelism(Parallelism::Rayon)).compress(&case.data) {
         Ok(par) => match &host {
             Ok(h) if par.data == h.data => {}
             Ok(_) => return Err("compress_parallel stream differs from serial compress".into()),
@@ -84,9 +81,11 @@ pub fn oracle_differential(case: &Case) -> Result<Option<Compressed>, String> {
 /// Oracle 2 — roundtrip: decoding the host stream (serially and in parallel)
 /// restores the original length and honors the resolved ε pointwise.
 pub fn oracle_roundtrip(case: &Case, host: &Compressed) -> Result<(), String> {
-    let serial =
-        decompress_bytes(&host.data).map_err(|e| format!("serial decompress failed: {e}"))?;
-    let parallel = decompress_bytes_parallel(&host.data)
+    let serial = Codec::decompressor(Parallelism::Serial)
+        .decompress(&host.data)
+        .map_err(|e| format!("serial decompress failed: {e}"))?;
+    let parallel = Codec::decompressor(Parallelism::Rayon)
+        .decompress(&host.data)
         .map_err(|e| format!("parallel decompress failed: {e}"))?;
     if serial
         .iter()
@@ -114,8 +113,8 @@ pub fn oracle_roundtrip(case: &Case, host: &Compressed) -> Result<(), String> {
 
 /// Apply both decoders to a mutated stream and check the mutation contract.
 fn check_stream_mutation(m: &Mutation) -> Result<(), String> {
-    let serial = decompress_bytes(&m.bytes);
-    let parallel = decompress_bytes_parallel(&m.bytes);
+    let serial = Codec::decompressor(Parallelism::Serial).decompress(&m.bytes);
+    let parallel = Codec::decompressor(Parallelism::Rayon).decompress(&m.bytes);
     if m.must_fail && serial.is_ok() {
         return Err(format!(
             "{}: serial decoder accepted a forged stream",
@@ -311,7 +310,7 @@ pub fn oracle_soundness(case: &Case) -> Result<(), String> {
 /// Oracle 4 — baselines: every baseline codec either rejects the input with
 /// a typed error or honors its own recorded error bound on the roundtrip.
 pub fn oracle_baselines(case: &Case) -> Result<(), String> {
-    let codecs: [&dyn Codec; 4] = [
+    let codecs: [&dyn BaselineCodec; 4] = [
         &baselines::szp::Szp::default(),
         &baselines::cuszp::CuSzp::default(),
         &baselines::sz3::Sz3,
@@ -341,6 +340,148 @@ pub fn oracle_baselines(case: &Case) -> Result<(), String> {
                 codec.name(),
                 buf.eps
             ));
+        }
+    }
+    Ok(())
+}
+
+/// Oracle 7 — recipes: compressing under the case's randomly drawn (but
+/// well-typed) recipe must behave exactly like the canonical pipeline
+/// contract-wise: serial and rayon agree bit-for-bit (streams *and* typed
+/// errors), the stream is fully self-describing (a fresh decompressor using
+/// only the recorded recipe bytes restores the field — bit-exactly for
+/// lossless recipes, within ε otherwise), the archive container records the
+/// recipe per field, and corrupting the recipe bytes yields a typed error,
+/// never a panic.
+pub fn oracle_recipes(case: &Case) -> Result<(), String> {
+    let cfg = case.recipe_config();
+    let serial = Codec::new(cfg.with_parallelism(Parallelism::Serial)).compress(&case.data);
+    let rayon = Codec::new(cfg.with_parallelism(Parallelism::Rayon)).compress(&case.data);
+    let c = match (serial, rayon) {
+        (Ok(a), Ok(b)) => {
+            if a.data != b.data {
+                return Err(format!(
+                    "recipe {}: serial and rayon streams differ",
+                    cfg.recipe
+                ));
+            }
+            a
+        }
+        (Err(a), Err(b)) => {
+            if a != b {
+                return Err(format!(
+                    "recipe {}: error mismatch: serial Err({a}) vs rayon Err({b})",
+                    cfg.recipe
+                ));
+            }
+            return Ok(()); // Typed rejection on both paths is conformant.
+        }
+        (Ok(_), Err(e)) => {
+            return Err(format!(
+                "recipe {}: serial Ok but rayon Err({e})",
+                cfg.recipe
+            ))
+        }
+        (Err(e), Ok(_)) => {
+            return Err(format!(
+                "recipe {}: rayon Ok but serial Err({e})",
+                cfg.recipe
+            ))
+        }
+    };
+    if c.stats.recipe != cfg.recipe {
+        return Err(format!(
+            "recipe {}: stats recorded a different recipe ({})",
+            cfg.recipe, c.stats.recipe
+        ));
+    }
+
+    // Self-description: a decompressor that knows nothing but the bytes.
+    let restored = Codec::decompressor(Parallelism::Serial)
+        .decompress(&c.data)
+        .map_err(|e| format!("recipe {}: decompress failed: {e}", cfg.recipe))?;
+    if restored.len() != case.data.len() {
+        return Err(format!(
+            "recipe {}: length mismatch: {} in, {} out",
+            cfg.recipe,
+            case.data.len(),
+            restored.len()
+        ));
+    }
+    if cfg.recipe.is_lossless() {
+        if restored
+            .iter()
+            .map(|v| v.to_bits())
+            .ne(case.data.iter().map(|v| v.to_bits()))
+        {
+            return Err(format!(
+                "recipe {}: lossless recipe did not restore exact bits",
+                cfg.recipe
+            ));
+        }
+    } else if !verify_error_bound(&case.data, &restored, c.stats.eps) {
+        let worst = ceresz_core::max_abs_error(&case.data, &restored);
+        return Err(format!(
+            "recipe {}: error bound violated: max |err| {worst:.6e} vs eps {:.6e}",
+            cfg.recipe, c.stats.eps
+        ));
+    }
+
+    // The archive container must record the recipe per field and roundtrip.
+    let mut archive = Archive::new();
+    archive
+        .add_field("field", &[case.data.len()], &case.data, &cfg)
+        .map_err(|e| format!("recipe {}: archive add_field failed: {e}", cfg.recipe))?;
+    let archive = Archive::from_bytes(&archive.to_bytes())
+        .map_err(|e| format!("recipe {}: archive re-parse failed: {e}", cfg.recipe))?;
+    let f = archive
+        .field("field")
+        .ok_or_else(|| format!("recipe {}: field lost in archive roundtrip", cfg.recipe))?;
+    if f.recipe != cfg.recipe {
+        return Err(format!(
+            "recipe {}: archive recorded recipe {} instead",
+            cfg.recipe, f.recipe
+        ));
+    }
+    let from_archive = f.decompress().map_err(|e| {
+        format!(
+            "recipe {}: archive field decompress failed: {e}",
+            cfg.recipe
+        )
+    })?;
+    if from_archive
+        .iter()
+        .map(|v| v.to_bits())
+        .ne(restored.iter().map(|v| v.to_bits()))
+    {
+        return Err(format!(
+            "recipe {}: archive decode differs from direct decode",
+            cfg.recipe
+        ));
+    }
+
+    // Corrupting the recipe bytes of a v2 stream must be a typed rejection.
+    if !cfg.recipe.is_canonical() {
+        let mut forged = c.data.clone();
+        // Stage count byte, then the first stage id.
+        for at in [
+            ceresz_core::stream::STREAM_HEADER_BYTES,
+            ceresz_core::stream::STREAM_HEADER_BYTES + 1,
+        ] {
+            if at < forged.len() {
+                let orig = forged[at];
+                forged[at] = 0xFE;
+                if Codec::decompressor(Parallelism::Serial)
+                    .decompress(&forged)
+                    .is_ok()
+                {
+                    return Err(format!(
+                        "recipe {}: decoder accepted forged recipe byte at {at}",
+                        cfg.recipe
+                    ));
+                }
+                forged[at] = orig;
+            }
         }
     }
     Ok(())

@@ -4,16 +4,38 @@
 //! samples these spaces; this test sweeps them completely.)
 
 use ceresz_core::archive::Archive;
-use ceresz_core::{
-    compress, decompress_bytes, decompress_bytes_parallel, CereszConfig, ErrorBound,
-};
+use ceresz_core::{CereszConfig, Codec, ErrorBound, Parallelism, Recipe, StageSpec};
+
+fn decompress_bytes(bytes: &[u8]) -> Result<Vec<f32>, ceresz_core::CompressError> {
+    Codec::decompressor(Parallelism::Serial).decompress(bytes)
+}
+
+fn decompress_bytes_parallel(bytes: &[u8]) -> Result<Vec<f32>, ceresz_core::CompressError> {
+    Codec::decompressor(Parallelism::Rayon).decompress(bytes)
+}
 
 fn sample_stream() -> Vec<u8> {
     let data: Vec<f32> = (0..32 * 5 + 9)
         .map(|i| (i as f32 * 0.03).sin() * 4.0)
         .collect();
     let cfg = CereszConfig::new(ErrorBound::Abs(1e-3));
-    compress(&data, &cfg).unwrap().data
+    Codec::new(cfg).compress(&data).unwrap().data
+}
+
+/// A v2 stream whose header carries explicit recipe bytes.
+fn sample_v2_stream() -> Vec<u8> {
+    let data: Vec<f32> = (0..32 * 5 + 9)
+        .map(|i| (i as f32 * 0.03).sin() * 4.0)
+        .collect();
+    let recipe = Recipe::new(&[
+        StageSpec::PreQuantize,
+        StageSpec::Lorenzo1d,
+        StageSpec::FixedLength,
+        StageSpec::Huffman,
+    ])
+    .unwrap();
+    let cfg = CereszConfig::new(ErrorBound::Abs(1e-3)).with_recipe(recipe);
+    Codec::new(cfg).compress(&data).unwrap().data
 }
 
 fn sample_archive() -> Vec<u8> {
@@ -51,6 +73,47 @@ fn every_stream_bit_flip_is_safe() {
                 ),
             }
         }
+    }
+}
+
+#[test]
+fn every_v2_stream_bit_flip_is_safe() {
+    // Sweeps the recipe bytes and the entropy-coded payload as well as the
+    // fixed header fields.
+    let valid = sample_v2_stream();
+    for byte in 0..valid.len() {
+        for bit in 0..8 {
+            let mut m = valid.clone();
+            m[byte] ^= 1 << bit;
+            let serial = decompress_bytes(&m);
+            let parallel = decompress_bytes_parallel(&m);
+            match (serial, parallel) {
+                (Ok(a), Ok(b)) => assert!(
+                    a.iter()
+                        .map(|v| v.to_bits())
+                        .eq(b.iter().map(|v| v.to_bits())),
+                    "byte {byte} bit {bit}: decoders disagree"
+                ),
+                (Err(_), Err(_)) => {}
+                (s, p) => panic!(
+                    "byte {byte} bit {bit}: serial {:?} vs parallel {:?}",
+                    s.is_ok(),
+                    p.is_ok()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_v2_stream_truncation_is_rejected() {
+    let valid = sample_v2_stream();
+    for cut in 0..valid.len() {
+        assert!(
+            decompress_bytes(&valid[..cut]).is_err(),
+            "decoder accepted a {cut}-byte prefix of a {}-byte v2 stream",
+            valid.len()
+        );
     }
 }
 

@@ -87,7 +87,14 @@ pub fn decode_bytes(bytes: &[u8]) -> Result<Vec<u32>, HuffmanError> {
         }
     }
     let code = CanonicalCode::from_lengths(&lengths)?;
-    let mut reader = BitReader::new(&bytes[payload_off..]);
+    let payload = &bytes[payload_off..];
+    // Every symbol consumes at least one payload bit, so a `count` claiming
+    // more symbols than the payload could possibly encode is a forgery —
+    // reject it *before* sizing the output allocation from it.
+    if count > payload.len().saturating_mul(8) {
+        return Err(HuffmanError::Truncated);
+    }
+    let mut reader = BitReader::new(payload);
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
         let sym = code
@@ -156,6 +163,16 @@ mod tests {
             decode(&enc),
             Err(HuffmanError::CorruptTable) | Err(HuffmanError::Truncated)
         ));
+    }
+
+    #[test]
+    fn forged_count_is_rejected_before_allocating() {
+        let data: Vec<u32> = (0..100).map(|i| i % 7).collect();
+        let mut enc = encode(&data).unwrap();
+        // Claim u64::MAX symbols: must be a typed error, not a huge
+        // allocation sized by the forged field.
+        enc.bytes[0..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(decode_bytes(&enc.bytes), Err(HuffmanError::Truncated));
     }
 
     #[test]

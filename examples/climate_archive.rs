@@ -4,7 +4,7 @@
 //!
 //! Run: `cargo run --release --example climate_archive`
 
-use ceresz::core::{compress_parallel, decompress_parallel, CereszConfig, ErrorBound};
+use ceresz::core::{CereszConfig, Codec, ErrorBound, Parallelism};
 use ceresz::data::{generate_field, DatasetId};
 use ceresz::quality::{psnr, ssim_2d, RateDistortionPoint, SsimConfig};
 
@@ -24,8 +24,12 @@ fn main() {
         let field = generate_field(ds, field_idx, 3);
         for rel in [1e-2, 1e-3, 1e-4] {
             let cfg = CereszConfig::new(ErrorBound::Rel(rel));
-            let c = compress_parallel(&field.data, &cfg).expect("field compresses");
-            let r = decompress_parallel(&c).expect("stream decompresses");
+            let c = Codec::new(cfg)
+                .compress(&field.data)
+                .expect("field compresses");
+            let r = Codec::decompressor(Parallelism::Rayon)
+                .decompress(&c.data)
+                .expect("stream decompresses");
             let point = RateDistortionPoint::new(
                 rel,
                 field.len(),

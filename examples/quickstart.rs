@@ -3,9 +3,7 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use ceresz::core::{
-    compress_parallel, decompress_parallel, verify_error_bound, CereszConfig, ErrorBound,
-};
+use ceresz::core::{verify_error_bound, CereszConfig, Codec, ErrorBound};
 use ceresz::data::{generate_field, DatasetId};
 
 fn main() {
@@ -21,7 +19,8 @@ fn main() {
     // Value-range-relative bound: every point within 0.1% of the range.
     let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
     let t0 = std::time::Instant::now();
-    let compressed = compress_parallel(&field.data, &cfg).expect("finite data compresses");
+    let codec = Codec::new(cfg);
+    let compressed = codec.compress(&field.data).expect("finite data compresses");
     let dt = t0.elapsed();
 
     println!(
@@ -37,7 +36,9 @@ fn main() {
         compressed.stats.n_blocks, compressed.stats.zero_blocks, compressed.stats.max_fixed_length
     );
 
-    let restored = decompress_parallel(&compressed).expect("stream decompresses");
+    let restored = codec
+        .decompress(&compressed.data)
+        .expect("stream decompresses");
     assert!(verify_error_bound(
         &field.data,
         &restored,

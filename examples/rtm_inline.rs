@@ -5,7 +5,7 @@
 //!
 //! Run: `cargo run --release --example rtm_inline`
 
-use ceresz::core::{compress_parallel, CereszConfig, ErrorBound};
+use ceresz::core::{CereszConfig, Codec, ErrorBound};
 use ceresz::data::{generate_field, DatasetId};
 use ceresz::wse::throughput::WaferConfig;
 
@@ -21,7 +21,9 @@ fn main() {
     );
     for i in 0..3 {
         let snap = generate_field(DatasetId::Rtm, i, 11);
-        let c = compress_parallel(&snap.data, &cfg).expect("snapshot compresses");
+        let c = Codec::new(cfg)
+            .compress(&snap.data)
+            .expect("snapshot compresses");
         // What the wafer would sustain on this snapshot (analytic model fed
         // by real kernel cycles).
         let rep = wafer

@@ -3,7 +3,7 @@
 //!
 //! Run: `cargo run --release --example wse_mapping`
 
-use ceresz::core::{compress, CereszConfig, ErrorBound};
+use ceresz::core::{CereszConfig, Codec, ErrorBound};
 use ceresz::data::{generate_field, DatasetId};
 use ceresz::wse::{execute, SimOptions, StrategyKind};
 
@@ -12,7 +12,7 @@ fn main() {
     let field = generate_field(DatasetId::QmcPack, 0, 5);
     let data = &field.data[..32 * 512];
     let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-    let reference = compress(data, &cfg).expect("host compression");
+    let reference = Codec::new(cfg).compress(data).expect("host compression");
     println!(
         "reference (host): {} bytes, ratio {:.2}",
         reference.data.len(),

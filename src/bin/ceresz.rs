@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! ceresz compress   <in.f32> <out.csz> [--rel 1e-3 | --abs 0.01] [--block 32]
+//!                   [--recipe SPEC | --auto-tune [--dims RxC]]
 //!                   [--profile-out p.json]
 //! ceresz decompress <in.csz> <out.f32> [--profile-out p.json]
 //! ceresz info       <in.csz>
@@ -52,6 +53,15 @@
 //! document (stable field order, diagnostics ranked most-severe first) on
 //! stdout; `--json-out` writes the same document to a file.
 //!
+//! `compress --recipe SPEC` selects an explicit stage composition instead
+//! of the canonical `quantize,lorenzo1,fixed` pipeline — e.g.
+//! `--recipe quantize,lorenzo1,fixed,huffman` appends an entropy stage, and
+//! `--recipe lorenzo2:ROWSxCOLSxTILE` requires `--block TILE²`. Non-canonical
+//! recipes write version-2 streams that record the recipe, so `decompress`
+//! needs no flags. `--auto-tune` instead samples the field under the built-in
+//! candidate slate and picks the best recipe at the bound (pass `--dims RxC`
+//! to enable the 2-D Lorenzo candidate on row-major 2-D fields).
+//!
 //! `fuzz` runs the deterministic differential conformance harness (see the
 //! `conformance` crate): seeded adversarial inputs through the host
 //! compressor, all three simulated mapping strategies, the decoders under
@@ -63,8 +73,7 @@ use std::process::ExitCode;
 
 use ceresz::core::stream::StreamHeader;
 use ceresz::core::{
-    compress_parallel, decompress_bytes_parallel, max_abs_error, verify_error_bound, CereszConfig,
-    ErrorBound,
+    max_abs_error, verify_error_bound, CereszConfig, Codec, ErrorBound, Parallelism, Recipe,
 };
 use ceresz::telemetry::Recorder;
 use ceresz::wse::{profile_compression_with, MappingStrategy, SimOptions};
@@ -79,7 +88,7 @@ fn main() -> ExitCode {
             eprintln!("usage:");
             eprintln!(
                 "  ceresz compress   <in.f32> <out.csz> [--rel L | --abs E] [--block N] \
-                 [--profile-out p.json]"
+                 [--recipe SPEC | --auto-tune [--dims RxC]] [--profile-out p.json]"
             );
             eprintln!("  ceresz decompress <in.csz> <out.f32> [--profile-out p.json]");
             eprintln!("  ceresz info       <in.csz>");
@@ -175,6 +184,12 @@ struct Flags {
     /// `lint --json`: emit the machine-readable report on stdout instead of
     /// the text report.
     json: bool,
+    /// `compress --recipe`: explicit stage composition (see `Recipe::parse`).
+    recipe: Option<String>,
+    /// `compress --auto-tune`: pick the recipe per field by sampling.
+    auto_tune: bool,
+    /// `compress --dims RxC`: 2-D shape hint for the auto-tuner.
+    dims: Option<(usize, usize)>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -203,6 +218,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         strategy_explicit: false,
         analyze: false,
         json: false,
+        recipe: None,
+        auto_tune: false,
+        dims: None,
     };
     let mut i = 0;
     let value = |i: &mut usize| -> Result<String, String> {
@@ -254,6 +272,12 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 f.json = true;
                 i += 1;
             }
+            "--recipe" => f.recipe = Some(value(&mut i)?),
+            "--auto-tune" => {
+                f.auto_tune = true;
+                i += 1;
+            }
+            "--dims" => f.dims = Some(parse_dims(&value(&mut i)?)?),
             other => {
                 f.positional.push(other.to_owned());
                 i += 1;
@@ -261,6 +285,17 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         }
     }
     Ok(f)
+}
+
+/// Parse `--dims RxC` (e.g. `1800x3600`).
+fn parse_dims(s: &str) -> Result<(usize, usize), String> {
+    let (r, c) = s
+        .split_once(['x', 'X'])
+        .ok_or_else(|| format!("--dims: expected RxC, got '{s}'"))?;
+    Ok((
+        parse_usize(r, "--dims rows")?,
+        parse_usize(c, "--dims cols")?,
+    ))
 }
 
 fn parse_num(s: &str, flag: &str) -> Result<f64, String> {
@@ -300,11 +335,30 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
         let _span = recorder.wall_span("read-input");
         read_f32(input)?
     };
-    let cfg = CereszConfig::new(f.bound).with_block_size(f.block);
+    let mut cfg = CereszConfig::new(f.bound).with_block_size(f.block);
+    if f.auto_tune && f.recipe.is_some() {
+        return Err("--recipe and --auto-tune are mutually exclusive".into());
+    }
+    if let Some(spec) = &f.recipe {
+        cfg = cfg.with_recipe(Recipe::parse(spec).map_err(|e| e.to_string())?);
+    }
     let t0 = std::time::Instant::now();
     let c = {
         let _span = recorder.wall_span("compress");
-        compress_parallel(&data, &cfg).map_err(|e| e.to_string())?
+        if f.auto_tune {
+            let (c, report) = ceresz::core::tune::compress_auto(&data, f.dims, &cfg)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "auto-tune: chose [{}] ({:.2}x on the sample, {:.2}x canonical, margin {:.3}x)",
+                report.chosen.recipe,
+                report.chosen_ratio,
+                report.canonical_ratio,
+                report.margin()
+            );
+            c
+        } else {
+            Codec::new(cfg).compress(&data).map_err(|e| e.to_string())?
+        }
     };
     let dt = t0.elapsed();
     {
@@ -331,6 +385,9 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
         "eps {:.6e}, {} blocks ({} zero), max fixed length {} bits",
         c.stats.eps, c.stats.n_blocks, c.stats.zero_blocks, c.stats.max_fixed_length
     );
+    if !c.stats.recipe.is_canonical() {
+        println!("recipe:      {}", c.stats.recipe);
+    }
     Ok(())
 }
 
@@ -350,7 +407,9 @@ fn cmd_decompress(args: &[String]) -> Result<(), String> {
     };
     let restored = {
         let _span = recorder.wall_span("decompress");
-        decompress_bytes_parallel(&bytes).map_err(|e| e.to_string())?
+        Codec::decompressor(Parallelism::Rayon)
+            .decompress(&bytes)
+            .map_err(|e| e.to_string())?
     };
     {
         let _span = recorder.wall_span("write-output");
@@ -899,6 +958,11 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
     let header = StreamHeader::read(&bytes).map_err(|e| e.to_string())?;
     println!("stream:      {input}");
+    println!(
+        "version:     {}",
+        if header.recipe.is_canonical() { 1 } else { 2 }
+    );
+    println!("recipe:      {}", header.recipe);
     println!("elements:    {}", header.count);
     println!("block size:  {}", header.block_size);
     println!("header width:{} byte(s)", header.header_width.bytes());
@@ -918,7 +982,9 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
     let orig = read_f32(orig_path)?;
     let bytes = std::fs::read(csz_path).map_err(|e| format!("reading {csz_path}: {e}"))?;
     let header = StreamHeader::read(&bytes).map_err(|e| e.to_string())?;
-    let restored = decompress_bytes_parallel(&bytes).map_err(|e| e.to_string())?;
+    let restored = Codec::decompressor(Parallelism::Rayon)
+        .decompress(&bytes)
+        .map_err(|e| e.to_string())?;
     if restored.len() != orig.len() {
         return Err(format!(
             "length mismatch: original {} vs stream {}",

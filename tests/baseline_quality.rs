@@ -58,7 +58,8 @@ fn ratio_ordering_matches_the_paper() {
         .compress(&field.data, &field.dims, bound)
         .unwrap()
         .ratio();
-    let ceresz = ceresz::core::compress(&field.data, &CereszConfig::new(bound))
+    let ceresz = ceresz::core::Codec::new(CereszConfig::new(bound))
+        .compress(&field.data)
         .unwrap()
         .ratio();
     assert!(sz > szp, "SZ {sz} !> SZp {szp}");
@@ -74,8 +75,12 @@ fn prequantization_family_shares_reconstructions() {
     let data = &field.data[..32 * 2000];
     let eps = 0.5e3; // absolute, to sidestep range-resolution differences
     let bound = ErrorBound::Abs(eps);
-    let ceresz = ceresz::core::compress(data, &CereszConfig::new(bound)).unwrap();
-    let ceresz_rec = ceresz::core::decompress(&ceresz).unwrap();
+    let ceresz = ceresz::core::Codec::new(CereszConfig::new(bound))
+        .compress(data)
+        .unwrap();
+    let ceresz_rec = ceresz::core::Codec::decompressor(ceresz::core::Parallelism::Serial)
+        .decompress(&ceresz.data)
+        .unwrap();
     let szp = Szp::default();
     let szp_rec = szp
         .decompress(&szp.compress(data, &[data.len()], bound).unwrap())
@@ -94,7 +99,9 @@ fn zero_block_ceilings_match_header_widths() {
     // all-zero data — §5.3's explanation of Table 5's ceilings.
     let data = vec![0f32; 32 * 4096];
     let bound = ErrorBound::Abs(1e-3);
-    let ceresz = ceresz::core::compress(&data, &CereszConfig::new(bound)).unwrap();
+    let ceresz = ceresz::core::Codec::new(CereszConfig::new(bound))
+        .compress(&data)
+        .unwrap();
     assert!(
         (ceresz.ratio() - 32.0).abs() < 1.0,
         "CereSZ {}",

@@ -4,7 +4,7 @@
 //! trace. This is the contract that makes `--threads` safe to enable
 //! anywhere: parallelism is an implementation detail, never an observable.
 
-use ceresz::core::{compress, CereszConfig, ErrorBound};
+use ceresz::core::{CereszConfig, Codec, ErrorBound};
 use ceresz::wse::{execute, execute_strategy, EngineMode, SimOptions, Strategy, StrategyKind};
 
 fn wavy(n: usize) -> Vec<f32> {
@@ -198,7 +198,7 @@ fn flight_recording_is_thread_count_invariant() {
 fn strategies_agree_bitwise_through_the_trait() {
     let data = wavy(32 * 36 + 11);
     let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-    let reference = compress(&data, &cfg).unwrap();
+    let reference = Codec::new(cfg).compress(&data).unwrap();
     let kinds = [
         StrategyKind::RowParallel { rows: 3 },
         StrategyKind::Pipeline {

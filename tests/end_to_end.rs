@@ -1,7 +1,7 @@
 //! Cross-crate end-to-end tests: synthetic datasets through the host
 //! compressor, every WSE mapping strategy, and the simulated decompressor.
 
-use ceresz::core::{compress, decompress, verify_error_bound, CereszConfig, ErrorBound};
+use ceresz::core::{verify_error_bound, CereszConfig, Codec, ErrorBound, Parallelism};
 use ceresz::data::{generate_field, DatasetId, ALL_DATASETS};
 use ceresz::wse::decompress_map::run_row_decompress;
 use ceresz::wse::{execute, SimOptions, StrategyKind};
@@ -17,7 +17,7 @@ fn every_dataset_roundtrips_on_every_strategy() {
     for ds in ALL_DATASETS {
         let data = sample(ds, 32 * 48);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let reference = compress(&data, &cfg).unwrap();
+        let reference = Codec::new(cfg).compress(&data).unwrap();
         for strategy in [
             StrategyKind::RowParallel { rows: 4 },
             StrategyKind::Pipeline {
@@ -36,7 +36,9 @@ fn every_dataset_roundtrips_on_every_strategy() {
                 "{ds:?} {strategy:?} diverged from the host reference"
             );
         }
-        let restored = decompress(&reference).unwrap();
+        let restored = Codec::decompressor(Parallelism::Serial)
+            .decompress(&reference.data)
+            .unwrap();
         assert!(
             verify_error_bound(&data, &restored, reference.stats.eps),
             "{ds:?} bound violated"
@@ -49,8 +51,10 @@ fn simulated_decompression_matches_host_on_all_datasets() {
     for ds in ALL_DATASETS {
         let data = sample(ds, 32 * 40 + 17);
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let c = compress(&data, &cfg).unwrap();
-        let host = decompress(&c).unwrap();
+        let c = Codec::new(cfg).compress(&data).unwrap();
+        let host = Codec::decompressor(Parallelism::Serial)
+            .decompress(&c.data)
+            .unwrap();
         let sim = run_row_decompress(&c, 3).unwrap();
         assert_eq!(sim.restored, host, "{ds:?}");
     }
@@ -81,8 +85,12 @@ fn decompression_beats_compression_in_cycles() {
 fn tighter_bound_means_lower_ratio_on_every_dataset() {
     for ds in ALL_DATASETS {
         let data = generate_field(ds, 0, 42).data;
-        let loose = compress(&data, &CereszConfig::new(ErrorBound::Rel(1e-2))).unwrap();
-        let tight = compress(&data, &CereszConfig::new(ErrorBound::Rel(1e-4))).unwrap();
+        let loose = Codec::new(CereszConfig::new(ErrorBound::Rel(1e-2)))
+            .compress(&data)
+            .unwrap();
+        let tight = Codec::new(CereszConfig::new(ErrorBound::Rel(1e-4)))
+            .compress(&data)
+            .unwrap();
         assert!(
             loose.ratio() > tight.ratio(),
             "{ds:?}: {} !> {}",
@@ -97,8 +105,12 @@ fn quality_metrics_improve_with_tighter_bounds() {
     let field = generate_field(DatasetId::Nyx, 3, 42);
     let mut last_psnr = 0.0;
     for rel in [1e-2, 1e-3, 1e-4] {
-        let c = compress(&field.data, &CereszConfig::new(ErrorBound::Rel(rel))).unwrap();
-        let r = decompress(&c).unwrap();
+        let c = Codec::new(CereszConfig::new(ErrorBound::Rel(rel)))
+            .compress(&field.data)
+            .unwrap();
+        let r = Codec::decompressor(Parallelism::Serial)
+            .decompress(&c.data)
+            .unwrap();
         let p = ceresz::quality::psnr(&field.data, &r);
         assert!(
             p > last_psnr,

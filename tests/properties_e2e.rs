@@ -1,6 +1,6 @@
 //! Workspace-level property tests: arbitrary data through the full stack.
 
-use ceresz::core::{compress, verify_error_bound, CereszConfig, ErrorBound};
+use ceresz::core::{verify_error_bound, CereszConfig, Codec, ErrorBound, Parallelism};
 use ceresz::wse::{execute, SimOptions, StrategyKind};
 use proptest::prelude::*;
 
@@ -17,7 +17,7 @@ proptest! {
         pipes in 1usize..3,
     ) {
         let cfg = CereszConfig::new(ErrorBound::Rel(1e-3));
-        let reference = compress(&data, &cfg).unwrap();
+        let reference = Codec::new(cfg).compress(&data).unwrap();
         let strategy = StrategyKind::MultiPipeline {
             rows,
             pipeline_length: len,
@@ -25,7 +25,9 @@ proptest! {
         };
         let run = execute(strategy, &data, &cfg, &SimOptions::default()).unwrap();
         prop_assert_eq!(&run.compressed.data, &reference.data);
-        let restored = ceresz::core::decompress(&run.compressed).unwrap();
+        let restored = Codec::decompressor(Parallelism::Serial)
+            .decompress(&run.compressed.data)
+            .unwrap();
         prop_assert!(verify_error_bound(&data, &restored, reference.stats.eps));
     }
 
