@@ -126,6 +126,7 @@ pub fn collect() -> Result<Vec<ScenarioMetrics>, String> {
             metrics.insert("total_tasks".to_owned(), stats.total_tasks);
             metrics.insert("total_wavelets".to_owned(), stats.total_wavelets);
             metrics.insert("active_pes".to_owned(), stats.active_pes as u64);
+            metrics.insert("events_processed".to_owned(), stats.events_processed);
             metrics.insert(
                 "compressed_bytes".to_owned(),
                 run.compressed.data.len() as u64,

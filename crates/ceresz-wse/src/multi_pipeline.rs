@@ -24,7 +24,7 @@ use crate::error::WseError;
 use crate::harness::{
     colors, emit_encoded, pad_frame, parse_raw_block, raw_block_wavelets, split_blocks, tasks,
 };
-use crate::kernels::CompressState;
+use crate::kernels::{BlockMemo, CompressState, RecordingCharger};
 use crate::pipeline_map::inter_color;
 use crate::row_parallel::kernel_error;
 
@@ -56,6 +56,8 @@ struct HeadPe {
     out_color: Option<Color>,
     codec: BlockCodec,
     eps: f64,
+    /// Replay cache for repeated identical inputs (sparse zero blocks).
+    memo: BlockMemo,
 }
 
 impl PeProgram for HeadPe {
@@ -74,25 +76,39 @@ impl PeProgram for HeadPe {
         } else {
             // Our own block: reset the counter and run the first stage group.
             self.forwarded = 0;
-            let mut state = CompressState::Raw(parse_raw_block(&words));
-            for &stage in &self.stages {
-                if state.is_complete() {
-                    break;
+            // Replay cache: identical raw blocks mean the identical
+            // computation, so charge and output are replayed from the
+            // recorded run — bit-identical by construction.
+            if let Some(out) = self.memo.replay(&words, ctx) {
+                match self.out_color {
+                    Some(color) => ctx.send_async(color, out, None),
+                    None => ctx.emit(out),
                 }
-                state = state
-                    .apply(stage, self.eps, ctx)
-                    .map_err(|e| kernel_error(ctx.pe(), e))?;
-            }
-            match self.out_color {
-                Some(color) => {
-                    let frame = pad_frame(state.to_wavelets(), self.codec.block_size());
-                    ctx.send_async(color, frame, None);
+            } else {
+                let pe = ctx.pe();
+                let mut rec = RecordingCharger::new(ctx);
+                let mut state = CompressState::Raw(parse_raw_block(&words));
+                for &stage in &self.stages {
+                    if state.is_complete() {
+                        break;
+                    }
+                    state = state
+                        .apply(stage, self.eps, &mut rec)
+                        .map_err(|e| kernel_error(pe, e))?;
                 }
-                None => {
-                    let state = state
-                        .finish(self.eps, ctx)
-                        .map_err(|e| kernel_error(ctx.pe(), e))?;
-                    ctx.emit(emit_encoded(&state.into_encoded(&self.codec)));
+                let output = match self.out_color {
+                    Some(_) => pad_frame(state.to_wavelets(), self.codec.block_size()),
+                    None => {
+                        let state = state
+                            .finish(self.eps, &mut rec)
+                            .map_err(|e| kernel_error(pe, e))?;
+                        emit_encoded(&state.into_encoded(&self.codec))
+                    }
+                };
+                self.memo.store(words, rec, output.clone());
+                match self.out_color {
+                    Some(color) => ctx.send_async(color, output, None),
+                    None => ctx.emit(output),
                 }
             }
         }
@@ -148,6 +164,7 @@ pub(crate) fn map_multi_pipeline(
     }
 
     let stage_kinds: Vec<SubStageKind> = plan.stages.iter().map(|s| s.kind).collect();
+    let seeds = crate::pipeline_map::seed_zero_memos(&plan, &stage_kinds, codec, eps);
     for (r, row_blocks) in per_row_blocks.iter().enumerate() {
         let rounds = row_blocks.len() / p;
         if rounds == 0 {
@@ -195,6 +212,7 @@ pub(crate) fn map_multi_pipeline(
                 out_color: (len > 1).then(|| inter_color(0)),
                 codec,
                 eps,
+                memo: BlockMemo::seeded(seeds[0].clone()),
             };
             mesh.set_program(head_pe, Box::new(head), &[tasks::RECV]);
             mesh.post_recv(
@@ -207,7 +225,17 @@ pub(crate) fn map_multi_pipeline(
             // Remaining PEs of this pipeline reuse the strategy-2 builder's
             // shape: install stage PEs 1..len with their groups and routes.
             if len > 1 {
-                install_tail_stages(mesh, r, head_col, &plan, &stage_kinds, codec, eps, rounds);
+                install_tail_stages(
+                    mesh,
+                    r,
+                    head_col,
+                    &plan,
+                    &stage_kinds,
+                    codec,
+                    eps,
+                    rounds,
+                    &seeds,
+                );
             }
         }
         mesh.inject_blocks(
@@ -244,12 +272,13 @@ fn install_tail_stages(
     codec: BlockCodec,
     eps: f64,
     count: usize,
+    seeds: &[std::sync::Arc<crate::kernels::MemoEntry>],
 ) {
     // Delegate to the strategy-2 builder for shape consistency, but PE 0 is
     // the head (already installed), so install only groups 1..len here.
     let len = plan.pipeline_length;
     let extent = crate::harness::frame_words(codec.block_size());
-    for g in 1..len {
+    for (g, seed) in seeds.iter().enumerate().take(len).skip(1) {
         let pe = PeId::new(row, head_col + g);
         let my_stages: Vec<SubStageKind> = plan.groups.group(g).map(|i| stage_kinds[i]).collect();
         let in_color = inter_color(g - 1);
@@ -278,6 +307,7 @@ fn install_tail_stages(
             eps,
             count,
             working_set,
+            seed.clone(),
         );
         mesh.declare_buffer(pe, working_set, format!("stage group {g} working set"));
         mesh.set_program(pe, program, &[tasks::RECV]);

@@ -8,14 +8,21 @@
 //! a stream injected on a color follows the configured directions hop by hop
 //! until a PE routes it to its RAMP (delivery).
 
-use std::collections::HashMap;
-
 use crate::error::SimError;
 use crate::geom::{Direction, PeId};
 use crate::time::Time;
 
 /// Number of routable colors on the CS-2 fabric.
 pub const MAX_COLORS: u8 = 24;
+
+/// Width of the dense per-PE color tables (`MAX_COLORS` as a `usize`).
+/// Every hot-path structure keyed by color is a flat `[T; COLOR_SLOTS]`
+/// (or a `Vec` chunked by `COLOR_SLOTS`) indexed with [`Color::index`].
+pub const COLOR_SLOTS: usize = MAX_COLORS as usize;
+
+/// Number of outgoing neighbor links per PE (N/S/E/W), the stride of the
+/// dense link tables indexed by [`Direction::index`].
+pub(crate) const LINK_SLOTS: usize = 4;
 
 /// A logical fabric channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -36,6 +43,12 @@ impl Color {
     #[must_use]
     pub const fn id(self) -> u8 {
         self.0
+    }
+
+    /// Dense table index of this color (`0..COLOR_SLOTS`).
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
     }
 }
 
@@ -62,6 +75,9 @@ pub struct Hop {
     pub from: PeId,
     /// PE the wavelets enter.
     pub to: PeId,
+    /// Direction of travel (`from` → `to`), precomputed at resolution so the
+    /// per-hop link-clock update never re-derives it from coordinates.
+    pub dir: Direction,
 }
 
 /// The full path of a stream: zero or more hops then delivery at `dest`.
@@ -73,12 +89,74 @@ pub struct ResolvedPath {
     pub dest: PeId,
 }
 
+/// A routing rule packed into one `u16` for the dense fabric table.
+///
+/// Bit layout: bit 15 = rule present; bits 0..=4 = output-direction mask in
+/// [`Direction::index`] order (N, S, E, W, Ramp); bits 5..=7 = input code
+/// (0 = originates at the RAMP, `1 + dir.index()` otherwise). One cache line
+/// holds the full 24-color rule row of four PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct PackedRule(u16);
+
+impl PackedRule {
+    const PRESENT: u16 = 1 << 15;
+    const NON_RAMP_MASK: u16 = 0b0_1111;
+
+    fn pack(rule: &RouteRule) -> Self {
+        let mut bits = Self::PRESENT;
+        for &dir in &rule.outputs {
+            bits |= 1 << dir.index();
+        }
+        let input_code = match rule.input {
+            None => 0,
+            Some(dir) => 1 + dir.index() as u16,
+        };
+        Self(bits | (input_code << 5))
+    }
+
+    pub(crate) fn present(self) -> bool {
+        self.0 & Self::PRESENT != 0
+    }
+
+    /// Accepted input direction (`None` = originates at this PE's RAMP).
+    pub(crate) fn input(self) -> Option<Direction> {
+        match (self.0 >> 5) & 0b111 {
+            0 => None,
+            code => Some(Direction::from_index(code as usize - 1)),
+        }
+    }
+
+    /// Whether `dir` is in the output set.
+    pub(crate) fn has_output(self, dir: Direction) -> bool {
+        self.0 & (1 << dir.index()) != 0
+    }
+
+    /// Reconstruct the declarative rule, outputs in N/S/E/W/Ramp order.
+    fn unpack(self) -> RouteRule {
+        let outputs = (0..=Direction::Ramp.index())
+            .filter(|&i| self.0 & (1 << i) != 0)
+            .map(Direction::from_index)
+            .collect();
+        RouteRule {
+            input: self.input(),
+            outputs,
+        }
+    }
+}
+
 /// The routing fabric: per-(PE, color) rules plus per-link busy bookkeeping.
+///
+/// Both tables are flat row-major vectors — `rules` strided by
+/// [`COLOR_SLOTS`] per PE, `link_free_at` strided by [`LINK_SLOTS`] per PE —
+/// so the hot path of `resolve_path` / `schedule_stream` is pure index
+/// arithmetic with no hashing.
 #[derive(Debug, Default)]
 pub struct Fabric {
-    rules: HashMap<(PeId, Color), RouteRule>,
-    /// `free_at[link]`: earliest instant the link can accept a new stream.
-    link_free_at: HashMap<(PeId, PeId), Time>,
+    /// `rules[pe.index(cols) * COLOR_SLOTS + color.index()]`.
+    rules: Vec<PackedRule>,
+    /// `link_free_at[pe.index(cols) * LINK_SLOTS + dir.index()]`: earliest
+    /// instant the outgoing link of `pe` toward `dir` accepts a new stream.
+    link_free_at: Vec<Time>,
     rows: usize,
     cols: usize,
 }
@@ -88,29 +166,62 @@ impl Fabric {
     #[must_use]
     pub fn new(rows: usize, cols: usize) -> Self {
         Self {
-            rules: HashMap::new(),
-            link_free_at: HashMap::new(),
+            rules: vec![PackedRule::default(); rows * cols * COLOR_SLOTS],
+            link_free_at: vec![Time::ZERO; rows * cols * LINK_SLOTS],
             rows,
             cols,
         }
     }
 
+    fn rule_slot(&self, pe: PeId, color: Color) -> usize {
+        pe.index(self.cols) * COLOR_SLOTS + color.index()
+    }
+
+    fn on_mesh(&self, pe: PeId) -> bool {
+        pe.row < self.rows && pe.col < self.cols
+    }
+
     /// Install a routing rule.
+    ///
+    /// # Panics
+    /// If `pe` is outside the mesh — a rule there could never fire.
     pub fn set_rule(&mut self, pe: PeId, color: Color, rule: RouteRule) {
-        self.rules.insert((pe, color), rule);
+        assert!(
+            self.on_mesh(pe),
+            "routing rule installed at off-mesh {pe} on a {}x{} mesh",
+            self.rows,
+            self.cols
+        );
+        let slot = self.rule_slot(pe, color);
+        self.rules[slot] = PackedRule::pack(&rule);
     }
 
-    /// Look up a rule.
+    /// Look up a rule, reconstructed from the packed table (outputs in
+    /// N/S/E/W/Ramp order).
     #[must_use]
-    pub fn rule(&self, pe: PeId, color: Color) -> Option<&RouteRule> {
-        self.rules.get(&(pe, color))
+    pub fn rule(&self, pe: PeId, color: Color) -> Option<RouteRule> {
+        if !self.on_mesh(pe) {
+            return None;
+        }
+        let packed = self.rules[self.rule_slot(pe, color)];
+        packed.present().then(|| packed.unpack())
     }
 
-    /// Iterate over every installed rule (arbitrary order). Used by the
-    /// sharded engine to discover which mesh rows are coupled by vertical
-    /// routes; the derived partition is order-independent.
-    pub(crate) fn rules_iter(&self) -> impl Iterator<Item = (PeId, &RouteRule)> {
-        self.rules.iter().map(|(&(pe, _), rule)| (pe, rule))
+    /// Iterate over every installed rule in (row-major PE, color) order.
+    /// Used by the sharded engine to discover which mesh rows are coupled by
+    /// vertical routes.
+    pub(crate) fn rules_iter(&self) -> impl Iterator<Item = (PeId, PackedRule)> + '_ {
+        self.rules
+            .iter()
+            .enumerate()
+            .filter(|(_, packed)| packed.present())
+            .map(|(slot, &packed)| {
+                let pe_index = slot / COLOR_SLOTS;
+                (
+                    PeId::new(pe_index / self.cols, pe_index % self.cols),
+                    packed,
+                )
+            })
     }
 
     /// Resolve the path of a stream injected at `src` on `color`.
@@ -132,29 +243,34 @@ impl Fabric {
         // A path can be at most rows*cols hops in a sane configuration.
         let max_hops = self.rows * self.cols + 1;
         for _ in 0..max_hops {
-            let rule = self
-                .rules
-                .get(&(cur, color))
-                .ok_or(SimError::NoRoute { pe: cur, color })?;
-            if rule.input != arrived_from {
+            if !self.on_mesh(cur) {
+                return Err(SimError::NoRoute { pe: cur, color });
+            }
+            let rule = self.rules[self.rule_slot(cur, color)];
+            if !rule.present() {
+                return Err(SimError::NoRoute { pe: cur, color });
+            }
+            if rule.input() != arrived_from {
                 return Err(SimError::RouteMismatch { pe: cur, color });
             }
-            if rule.outputs.contains(&Direction::Ramp) {
+            if rule.has_output(Direction::Ramp) {
                 return Ok(ResolvedPath { hops, dest: cur });
             }
-            let mut out_dirs = rule.outputs.iter().filter(|&&d| d != Direction::Ramp);
-            let dir = *out_dirs
-                .next()
-                .ok_or(SimError::NoRoute { pe: cur, color })?;
-            if out_dirs.next().is_some() {
+            let non_ramp = rule.0 & PackedRule::NON_RAMP_MASK;
+            if non_ramp == 0 {
+                return Err(SimError::NoRoute { pe: cur, color });
+            }
+            if non_ramp.count_ones() > 1 {
                 return Err(SimError::MulticastUnsupported { pe: cur, color });
             }
+            let dir = Direction::from_index(non_ramp.trailing_zeros() as usize);
             let next = cur
                 .neighbor(dir, self.rows, self.cols)
                 .ok_or(SimError::RouteOffMesh { pe: cur, color })?;
             hops.push(Hop {
                 from: cur,
                 to: next,
+                dir,
             });
             arrived_from = Some(dir.opposite());
             cur = next;
@@ -172,11 +288,11 @@ impl Fabric {
         let n = Time::from_cycles(n as u64);
         let one = Time::from_cycles(1);
         let mut head = start; // when the first wavelet can enter the next link
+        let cols = self.cols;
         for hop in &path.hops {
-            let key = (hop.from, hop.to);
-            let free = self.link_free_at.get(&key).copied().unwrap_or(Time::ZERO);
-            let link_start = head.max(free);
-            self.link_free_at.insert(key, link_start + n);
+            let slot = &mut self.link_free_at[hop.from.index(cols) * LINK_SLOTS + hop.dir.index()];
+            let link_start = head.max(*slot);
+            *slot = link_start + n;
             head = link_start + one; // per-hop latency for the head wavelet
         }
         let src_done = start + n;
@@ -190,17 +306,19 @@ impl Fabric {
     /// fabric senders that could ever satisfy a receive at `dest`.
     #[must_use]
     pub fn origins_reaching(&self, dest: PeId, color: Color) -> Vec<PeId> {
-        let mut origins: Vec<PeId> = self
-            .rules
-            .iter()
-            .filter(|(&(_, c), rule)| c == color && rule.input.is_none())
-            .filter_map(|(&(pe, _), _)| {
+        // Scanning the dense table in PE-index order yields row-major order
+        // directly — no sort needed.
+        (0..self.rows * self.cols)
+            .filter_map(|pe_index| {
+                let rule = self.rules[pe_index * COLOR_SLOTS + color.index()];
+                if !rule.present() || rule.input().is_some() {
+                    return None;
+                }
+                let pe = PeId::new(pe_index / self.cols, pe_index % self.cols);
                 let path = self.resolve_path(pe, color, None).ok()?;
                 (path.dest == dest).then_some(pe)
             })
-            .collect();
-        origins.sort_by_key(|pe| (pe.row, pe.col));
-        origins
+            .collect()
     }
 
     /// Convenience: install an eastward chain of a color from `start_col` to

@@ -44,7 +44,8 @@ use std::collections::BTreeMap;
 use telemetry::chrome::ChromeTrace;
 use telemetry::json::JsonValue;
 
-use crate::geom::PeId;
+use crate::fabric::LINK_SLOTS;
+use crate::geom::{Direction, PeId};
 use crate::time::{Time, TICKS_PER_CYCLE};
 
 /// A tick count as an exact JSON integer (tick totals stay far below 2^53).
@@ -256,6 +257,15 @@ pub struct LinkFlight {
     pub backpressure: Time,
 }
 
+/// One occupied link slot of the dense per-shard link table. Boxed so the
+/// (mostly empty) table costs one pointer per slot.
+#[derive(Debug)]
+struct LinkSlot {
+    from: PeId,
+    to: PeId,
+    flight: LinkFlight,
+}
+
 /// Per-shard sample accumulator: owned and written by exactly one worker
 /// thread during the run, merged row-major afterwards.
 #[derive(Debug)]
@@ -263,8 +273,10 @@ pub(crate) struct FlightShard {
     window: Time,
     /// Per-column PE samples of this shard's row.
     pub(crate) pes: Vec<PeFlight>,
-    /// Links *leaving* this shard's PEs (the links the shard owns).
-    pub(crate) links: BTreeMap<(PeId, PeId), LinkFlight>,
+    /// Links *leaving* this shard's PEs (the links the shard owns), indexed
+    /// `[from.col * LINK_SLOTS + dir.index()]` like the engine's own link
+    /// clocks; converted to a sorted map at merge time.
+    links: Vec<Option<Box<LinkSlot>>>,
 }
 
 impl FlightShard {
@@ -272,8 +284,23 @@ impl FlightShard {
         Self {
             window,
             pes: vec![PeFlight::default(); cols],
-            links: BTreeMap::new(),
+            links: std::iter::repeat_with(|| None)
+                .take(cols * LINK_SLOTS)
+                .collect(),
         }
+    }
+
+    /// Decompose into the merge inputs: the per-column PE samples and the
+    /// occupied links as a `(from, to)`-sorted map — the exact shape (and
+    /// therefore bit pattern) the row-major recording merge consumes.
+    pub(crate) fn into_parts(self) -> (Vec<PeFlight>, BTreeMap<(PeId, PeId), LinkFlight>) {
+        let links = self
+            .links
+            .into_iter()
+            .flatten()
+            .map(|slot| ((slot.from, slot.to), slot.flight))
+            .collect();
+        (self.pes, links)
     }
 
     /// Record a task execution span on column `col`.
@@ -291,7 +318,15 @@ impl FlightShard {
     /// Record a stream reserving `(from, to)` for `n` wavelet-cycles from
     /// `start` after waiting `delay` for the link.
     pub(crate) fn on_link(&mut self, from: PeId, to: PeId, start: Time, n: u64, delay: Time) {
-        let link = self.links.entry((from, to)).or_default();
+        let dir = Direction::between(from, to).expect("link between non-adjacent PEs");
+        let slot = self.links[from.col * LINK_SLOTS + dir.index()].get_or_insert_with(|| {
+            Box::new(LinkSlot {
+                from,
+                to,
+                flight: LinkFlight::default(),
+            })
+        });
+        let link = &mut slot.flight;
         link.occupancy
             .add_span(self.window, start, start + Time::from_cycles(n));
         link.wavelets += n;
@@ -724,10 +759,10 @@ mod tests {
         let mut b = FlightShard::new(cyc(10), 2);
         b.on_busy(1, cyc(0), cyc(30));
         b.on_stall(0, StallCause::SendBackpressure, cyc(3), cyc(9));
-        let mut pes = a.pes;
-        pes.extend(b.pes);
-        let mut links = a.links;
-        links.extend(b.links);
+        let (mut pes, mut links) = a.into_parts();
+        let (b_pes, b_links) = b.into_parts();
+        pes.extend(b_pes);
+        links.extend(b_links);
         FlightRecording::from_parts(cyc(10), 2, 2, pes, links)
     }
 

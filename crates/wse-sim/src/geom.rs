@@ -37,6 +37,57 @@ impl Direction {
         Direction::East,
         Direction::West,
     ];
+
+    /// Dense index of this direction (N=0, S=1, E=2, W=3, Ramp=4), used to
+    /// address flat per-PE link and rule tables.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            Direction::North => 0,
+            Direction::South => 1,
+            Direction::East => 2,
+            Direction::West => 3,
+            Direction::Ramp => 4,
+        }
+    }
+
+    /// Direction from index (inverse of [`Direction::index`]).
+    ///
+    /// # Panics
+    /// If `i >= 5`.
+    #[must_use]
+    pub const fn from_index(i: usize) -> Direction {
+        match i {
+            0 => Direction::North,
+            1 => Direction::South,
+            2 => Direction::East,
+            3 => Direction::West,
+            4 => Direction::Ramp,
+            _ => panic!("direction index out of range"),
+        }
+    }
+
+    /// The neighbor direction leading from `from` to the adjacent PE `to`,
+    /// or `None` if the two are not mesh neighbors.
+    #[must_use]
+    pub fn between(from: PeId, to: PeId) -> Option<Direction> {
+        if from.col == to.col {
+            if to.row + 1 == from.row {
+                return Some(Direction::North);
+            }
+            if from.row + 1 == to.row {
+                return Some(Direction::South);
+            }
+        } else if from.row == to.row {
+            if from.col + 1 == to.col {
+                return Some(Direction::East);
+            }
+            if to.col + 1 == from.col {
+                return Some(Direction::West);
+            }
+        }
+        None
+    }
 }
 
 /// Coordinates of a PE on the mesh.

@@ -1,8 +1,8 @@
 //! Per-PE runtime state.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use crate::fabric::Color;
+use crate::fabric::{Color, COLOR_SLOTS};
 use crate::memory::MemoryTracker;
 use crate::program::{PeProgram, TaskId};
 use crate::stats::PeStats;
@@ -18,18 +18,85 @@ pub(crate) struct PendingRecv {
     pub posted_at: Time,
 }
 
+/// Wavelets queued on one color, kept as the arriving stream segments.
+///
+/// Streams almost always arrive whole and get consumed whole (every mapping
+/// posts receives sized to the sender's stream), so queueing the arriving
+/// buffer and handing it back out as the completed receive costs nothing —
+/// no per-word copy, no allocation. Word counts are tracked so depth checks
+/// stay O(1), and [`Inbox::take`] coalesces across segment boundaries when a
+/// receive's extent doesn't line up with the queued streams.
+#[derive(Debug, Default)]
+pub(crate) struct Inbox {
+    segments: VecDeque<Vec<u32>>,
+    words: usize,
+}
+
+impl Inbox {
+    /// Total wavelets queued.
+    pub fn len(&self) -> usize {
+        self.words
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words == 0
+    }
+
+    fn push(&mut self, data: Vec<u32>) {
+        self.words += data.len();
+        self.segments.push_back(data);
+    }
+
+    /// Remove exactly `extent` words from the front. The caller checks
+    /// `len() >= extent`.
+    fn take(&mut self, extent: usize) -> Vec<u32> {
+        debug_assert!(self.words >= extent);
+        self.words -= extent;
+        // Steady state: the front segment is exactly one posted extent —
+        // hand the buffer over as-is.
+        if self.segments.front().is_some_and(|s| s.len() == extent) {
+            return self.segments.pop_front().expect("front just checked");
+        }
+        // Extent straddles segment boundaries: coalesce.
+        let mut out = Vec::with_capacity(extent);
+        while out.len() < extent {
+            let mut seg = self
+                .segments
+                .pop_front()
+                .expect("word count covers the extent");
+            let need = extent - out.len();
+            if seg.len() <= need {
+                out.extend_from_slice(&seg);
+            } else {
+                out.extend_from_slice(&seg[..need]);
+                seg.drain(..need);
+                self.segments.push_front(seg);
+            }
+        }
+        out
+    }
+}
+
 /// Runtime state of one PE.
+///
+/// Every per-color structure is a fixed `[T; COLOR_SLOTS]` table indexed by
+/// [`Color::index`] — the ≤24-color discipline is enforced by `Color::new`
+/// (and statically by wse-verify), so the hot path never hashes a color.
 pub(crate) struct PeState {
     /// The program, taken out while its task runs (re-entrancy guard).
     pub program: Option<Box<dyn PeProgram>>,
     /// Earliest instant the processor is free.
     pub busy_until: Time,
     /// Wavelets delivered per color, not yet claimed by an input DSD.
-    pub inbox: HashMap<Color, VecDeque<u32>>,
+    pub inbox: [Inbox; COLOR_SLOTS],
     /// At most one outstanding input DSD per color.
-    pub pending_recv: HashMap<Color, PendingRecv>,
+    pub pending_recv: [Option<PendingRecv>; COLOR_SLOTS],
     /// Completed receive buffers awaiting `take_received`.
-    pub completed: HashMap<Color, Vec<u32>>,
+    pub completed: [Option<Vec<u32>>; COLOR_SLOTS],
+    /// Number of colors with an outstanding input DSD — lets the deadlock
+    /// scan and the cycle-stepped poll skip idle PEs without touching the
+    /// per-color tables.
+    pub pending_count: u32,
     /// Local SRAM accounting.
     pub memory: MemoryTracker,
     /// Data emitted off-PE for the host.
@@ -43,27 +110,69 @@ impl PeState {
         Self {
             program: None,
             busy_until: Time::ZERO,
-            inbox: HashMap::new(),
-            pending_recv: HashMap::new(),
-            completed: HashMap::new(),
+            inbox: std::array::from_fn(|_| Inbox::default()),
+            pending_recv: [None; COLOR_SLOTS],
+            completed: std::array::from_fn(|_| None),
+            pending_count: 0,
             memory: MemoryTracker::new(sram_bytes),
             outputs: Vec::new(),
             stats: PeStats::default(),
         }
     }
 
+    /// Post an input DSD on `color`.
+    ///
+    /// # Panics
+    /// If a receive is already outstanding on that color.
+    pub fn post_recv(&mut self, pe_name: impl std::fmt::Display, color: Color, recv: PendingRecv) {
+        let prev = self.pending_recv[color.index()].replace(recv);
+        assert!(
+            prev.is_none(),
+            "{pe_name} double-posted a receive on {color}"
+        );
+        self.pending_count += 1;
+    }
+
+    /// Deliver a whole stream on `color`, completing the pending receive
+    /// zero-copy when the stream is exactly the posted extent and nothing is
+    /// queued ahead of it — the steady state of every pipeline mapping. The
+    /// arriving buffer *becomes* the completed receive buffer; the inbox is
+    /// never touched, so the hot path performs no allocation and no copy.
+    /// Falls back to queueing + [`Self::try_complete_recv`] otherwise, which
+    /// is bit-identical in outcome (same buffer contents, same completion).
+    pub fn deliver(&mut self, color: Color, data: Vec<u32>) -> Option<PendingRecv> {
+        let slot = color.index();
+        self.stats.wavelets_received += data.len() as u64;
+        if let Some(pending) = self.pending_recv[slot] {
+            if pending.extent == data.len() && self.inbox[slot].is_empty() {
+                self.pending_recv[slot] = None;
+                self.pending_count -= 1;
+                let prev = self.completed[slot].replace(data);
+                debug_assert!(
+                    prev.is_none(),
+                    "receive completed on {color} before the previous buffer was taken"
+                );
+                return Some(pending);
+            }
+        }
+        self.inbox[slot].push(data);
+        self.try_complete_recv(color)
+    }
+
     /// Try to satisfy the pending receive on `color` from the inbox.
     /// Returns the completed DSD (task to activate plus the cycle it was
     /// posted at) if the receive is now satisfied.
     pub fn try_complete_recv(&mut self, color: Color) -> Option<PendingRecv> {
-        let pending = self.pending_recv.get(&color).copied()?;
-        let inbox = self.inbox.entry(color).or_default();
+        let slot = color.index();
+        let pending = self.pending_recv[slot]?;
+        let inbox = &mut self.inbox[slot];
         if inbox.len() < pending.extent {
             return None;
         }
-        let data: Vec<u32> = inbox.drain(..pending.extent).collect();
-        self.pending_recv.remove(&color);
-        let prev = self.completed.insert(color, data);
+        let data = inbox.take(pending.extent);
+        self.pending_recv[slot] = None;
+        self.pending_count -= 1;
+        let prev = self.completed[slot].replace(data);
         debug_assert!(
             prev.is_none(),
             "receive completed on {color} before the previous buffer was taken"

@@ -13,7 +13,7 @@
 
 use crate::cost::{CostModel, Op};
 use crate::error::SimError;
-use crate::fabric::Color;
+use crate::fabric::{Color, COLOR_SLOTS};
 use crate::geom::PeId;
 use crate::memory::MemoryTracker;
 use crate::time::Time;
@@ -79,7 +79,7 @@ pub struct TaskCtx<'a> {
     pub(crate) now: Time,
     pub(crate) cost: &'a CostModel,
     pub(crate) memory: &'a mut MemoryTracker,
-    pub(crate) completed: &'a mut std::collections::HashMap<Color, Vec<u32>>,
+    pub(crate) completed: &'a mut [Option<Vec<u32>>; COLOR_SLOTS],
     pub(crate) charged: Time,
     pub(crate) effects: Vec<Effect>,
     /// Whether per-stage cycle attribution is being collected this run.
@@ -182,15 +182,15 @@ impl<'a> TaskCtx<'a> {
     /// bug equivalent to reading a DSD that never materialized.
     #[must_use]
     pub fn take_received(&mut self, color: Color) -> Vec<u32> {
-        self.completed
-            .remove(&color)
+        self.completed[color.index()]
+            .take()
             .unwrap_or_else(|| panic!("{} has no completed receive on {color}", self.pe))
     }
 
     /// Peek whether a completed receive is waiting on `color`.
     #[must_use]
     pub fn has_received(&self, color: Color) -> bool {
-        self.completed.contains_key(&color)
+        self.completed[color.index()].is_some()
     }
 
     /// Locally activate another task of this program (CSL `@activate`).

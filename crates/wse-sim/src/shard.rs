@@ -53,10 +53,11 @@
 //! [`crate::Simulator::run`] folds per-shard results in row order, making
 //! the final [`crate::RunReport`] bit-identical at any thread count.
 
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::Arc;
 
 use crate::error::SimError;
-use crate::fabric::{Color, Fabric, Hop};
+use crate::fabric::{Color, Fabric, Hop, COLOR_SLOTS, LINK_SLOTS};
 use crate::flight::{FlightShard, StallCause};
 use crate::geom::{Direction, PeId};
 use crate::pe::{PeState, PendingRecv};
@@ -80,11 +81,14 @@ pub(crate) enum EventKind {
         color: Color,
         data: Vec<u32>,
     },
-    /// A stream crossing into this shard: continue walking `hops` (the
-    /// first hop's `from` belongs to this shard) with the head wavelet
-    /// arriving at the event time, then deliver `data` at `dest`.
+    /// A stream crossing into this shard: continue walking `hops[at..]`
+    /// (that hop's `from` belongs to this shard) with the head wavelet
+    /// arriving at the event time, then deliver `data` at `dest`. The hop
+    /// list is shared (`Arc`) so a boundary handoff clones a pointer and an
+    /// index, never the path itself.
     Transit {
-        hops: Vec<Hop>,
+        hops: Arc<[Hop]>,
+        at: usize,
         dest: PeId,
         color: Color,
         data: Vec<u32>,
@@ -96,7 +100,7 @@ impl EventKind {
     pub(crate) fn target_row(&self) -> usize {
         match self {
             Self::Activate { pe, .. } | Self::Deliver { pe, .. } => pe.row,
-            Self::Transit { hops, dest, .. } => hops.first().map_or(dest.row, |h| h.from.row),
+            Self::Transit { hops, at, dest, .. } => hops.get(*at).map_or(dest.row, |h| h.from.row),
         }
     }
 
@@ -104,14 +108,14 @@ impl EventKind {
     pub(crate) fn target_pe(&self) -> PeId {
         match self {
             Self::Activate { pe, .. } | Self::Deliver { pe, .. } => *pe,
-            Self::Transit { hops, dest, .. } => hops.first().map_or(*dest, |h| h.from),
+            Self::Transit { hops, at, dest, .. } => hops.get(*at).map_or(*dest, |h| h.from),
         }
     }
 }
 
-/// A scheduled event. Ordered earliest-first by `(time, seq)`; `seq` breaks
-/// ties FIFO, which is what makes runs reproducible. Both fields are
-/// integers, so the order is total and exact by construction.
+/// A scheduled event as the host builds it at setup time. Inside a shard
+/// the payload lives in the event slab and only a [`HeapEntry`] goes through
+/// the priority queue.
 #[derive(Debug)]
 pub(crate) struct Event {
     pub(crate) time: Time,
@@ -119,18 +123,31 @@ pub(crate) struct Event {
     pub(crate) kind: EventKind,
 }
 
-impl PartialEq for Event {
+/// What the heap actually orders: `(time, seq)` plus a slab slot holding the
+/// payload. Keeping the entry at three words makes every sift a small move —
+/// the payload ([`EventKind`] is several times larger, with a destructor)
+/// never travels through the heap. Ordered earliest-first; `seq` breaks ties
+/// FIFO, which is what makes runs reproducible. Both keys are integers, so
+/// the order is total and exact by construction.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    time: Time,
+    seq: u64,
+    slot: u32,
+}
+
+impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl Eq for Event {}
-impl PartialOrd for Event {
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for Event {
+impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reversed: BinaryHeap is a max-heap, we need earliest-first.
         other
@@ -163,12 +180,31 @@ pub(crate) struct Shard {
     cols: usize,
     /// PE states of this row, indexed by column.
     pub(crate) pes: Vec<PeState>,
-    events: BinaryHeap<Event>,
+    events: BinaryHeap<HeapEntry>,
+    /// Slab holding pending events' payloads; `free` lists vacated slots.
+    /// Together with the pooled task buffers this makes the steady-state
+    /// event cycle (pop, run task, push successors) allocation-free.
+    slab: Vec<EventKind>,
+    free: Vec<u32>,
     /// Local sequence counter; starts past every initial event's global seq
     /// so setup-time ordering is preserved within the shard.
     seq: u64,
-    /// Occupancy clock of links leaving this shard's PEs.
-    links: HashMap<(PeId, PeId), Time>,
+    /// Occupancy clock of links leaving this shard's PEs, indexed
+    /// `[col * LINK_SLOTS + dir.index()]` (every owned link leaves a PE of
+    /// this row, so the column identifies the PE).
+    links: Vec<Time>,
+    /// Resolved send paths, lazily filled per `(col, color)` on the first
+    /// send: routing rules are immutable during a run, so a source's path
+    /// never changes. Entries share their hop list with in-flight events.
+    paths: Vec<Option<(Arc<[Hop]>, PeId)>>,
+    /// Pooled effect buffer lent to each `TaskCtx`, so steady-state task
+    /// execution allocates nothing per event.
+    fx_buf: Vec<Effect>,
+    /// Pooled stage-attribution buffer, same lifecycle as `fx_buf`.
+    stage_buf: Vec<(String, Time)>,
+    /// Events popped from this shard's heap — identical across engines and
+    /// thread counts because the event stream itself is.
+    pub(crate) events_processed: u64,
     pub(crate) trace: Trace,
     /// Flight-recorder samples (present only when sampling is enabled; the
     /// hooks below are no-ops otherwise, keeping the hot path clean).
@@ -196,8 +232,14 @@ impl Shard {
             cols,
             pes,
             events: BinaryHeap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
             seq: seq0,
-            links: HashMap::new(),
+            links: vec![Time::ZERO; cols * LINK_SLOTS],
+            paths: vec![None; cols * COLOR_SLOTS],
+            fx_buf: Vec::new(),
+            stage_buf: Vec::new(),
+            events_processed: 0,
             trace: Trace::default(),
             flight: flight_window.map(|w| FlightShard::new(w, cols)),
             stage_cycles: vec![BTreeMap::new(); cols],
@@ -210,16 +252,50 @@ impl Shard {
     /// Seed an event carrying its setup-time global sequence number.
     pub(crate) fn push_initial(&mut self, ev: Event) {
         debug_assert!(ev.seq < self.seq);
-        self.events.push(ev);
+        let slot = self.alloc_slot(ev.kind);
+        self.events.push(HeapEntry {
+            time: ev.time,
+            seq: ev.seq,
+            slot,
+        });
     }
 
     fn push(&mut self, time: Time, kind: EventKind) {
-        self.events.push(Event {
+        let slot = self.alloc_slot(kind);
+        self.events.push(HeapEntry {
             time,
             seq: self.seq,
-            kind,
+            slot,
         });
         self.seq += 1;
+    }
+
+    /// Park `kind` in the slab, reusing a vacated slot when one exists.
+    fn alloc_slot(&mut self, kind: EventKind) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot as usize] = kind;
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slab.len()).expect("event slab exceeds u32 slots");
+                self.slab.push(kind);
+                slot
+            }
+        }
+    }
+
+    /// Vacate `slot`, returning its payload. The tombstone left behind is a
+    /// plain-old-data variant, so the swap is a fixed-size move.
+    fn take_slot(&mut self, slot: u32) -> EventKind {
+        self.free.push(slot);
+        std::mem::replace(
+            &mut self.slab[slot as usize],
+            EventKind::Activate {
+                pe: PeId::new(0, 0),
+                task: TaskId(0),
+            },
+        )
     }
 
     /// Deliver a boundary message at the group barrier. Mailbox order (source
@@ -238,8 +314,11 @@ impl Shard {
     /// with, so no horizons are needed). Stops at the first error.
     pub(crate) fn run_free(&mut self, ctx: &EngineCtx<'_>) {
         while self.error.is_none() {
-            let Some(ev) = self.events.pop() else { break };
-            self.process(ev, ctx);
+            let Some(entry) = self.events.pop() else {
+                break;
+            };
+            let kind = self.take_slot(entry.slot);
+            self.process(entry.time, kind, ctx);
         }
         debug_assert!(
             self.outbox.is_empty(),
@@ -261,11 +340,12 @@ impl Shard {
         self.pes
             .iter()
             .filter(|pe| {
-                let recv_ready = pe.pending_recv.iter().any(|(color, pending)| {
-                    pe.inbox
-                        .get(color)
-                        .is_some_and(|queue| queue.len() >= pending.extent)
-                });
+                let recv_ready = pe.pending_count > 0
+                    && pe.pending_recv.iter().enumerate().any(|(slot, pending)| {
+                        pending
+                            .as_ref()
+                            .is_some_and(|p| pe.inbox[slot].len() >= p.extent)
+                    });
                 recv_ready && pe.busy_until <= now
             })
             .count()
@@ -278,14 +358,15 @@ impl Shard {
                 Some(ev) if ev.time < end => {}
                 _ => break,
             }
-            let ev = self.events.pop().expect("peeked event");
-            self.process(ev, ctx);
+            let entry = self.events.pop().expect("peeked event");
+            let kind = self.take_slot(entry.slot);
+            self.process(entry.time, kind, ctx);
         }
     }
 
-    fn process(&mut self, ev: Event, ctx: &EngineCtx<'_>) {
-        let time = ev.time;
-        if let Err(e) = self.step(time, ev.kind, ctx) {
+    fn process(&mut self, time: Time, kind: EventKind, ctx: &EngineCtx<'_>) {
+        self.events_processed += 1;
+        if let Err(e) = self.step(time, kind, ctx) {
             self.error = Some((time, e));
         }
     }
@@ -311,15 +392,14 @@ impl Shard {
         match kind {
             EventKind::Deliver { pe, color, data } => {
                 let idx = self.local_index(pe)?;
-                let state = &mut self.pes[idx];
-                state.stats.wavelets_received += data.len() as u64;
-                let queue = state.inbox.entry(color).or_default();
-                queue.extend(data);
-                let depth = queue.len();
+                // Queue depth the recorder would have seen after enqueue —
+                // computed up front so the zero-copy delivery fast path
+                // (which never touches the queue) samples the same series.
+                let depth = data.len() + self.pes[idx].inbox[color.index()].len();
+                let completed = self.pes[idx].deliver(color, data);
                 if let Some(flight) = &mut self.flight {
                     flight.on_inbox_depth(idx, depth);
                 }
-                let completed = self.pes[idx].try_complete_recv(color);
                 if let Some(pending) = completed {
                     if let Some(flight) = &mut self.flight {
                         flight.on_stall(idx, StallCause::RecvWaiting, pending.posted_at, time);
@@ -350,36 +430,46 @@ impl Shard {
             }
             EventKind::Transit {
                 hops,
+                at,
                 dest,
                 color,
                 data,
             } => {
                 // A stream entering from a neighbor shard: its head wavelet
                 // arrives on our first hop at the event time.
-                self.stream_walk(time, &hops, dest, color, data);
+                self.stream_walk(time, &hops, at, dest, color, data);
             }
         }
         Ok(())
     }
 
-    /// Walk a stream's remaining hops, reserving each link this shard owns.
-    /// Hands the stream off through the outbox at the first hop owned by a
-    /// neighbor shard, or schedules the final delivery.
+    /// Walk a stream's remaining hops (`hops[at..]`), reserving each link
+    /// this shard owns. Hands the stream off through the outbox at the first
+    /// hop owned by a neighbor shard, or schedules the final delivery.
     ///
     /// Reservation per hop matches [`Fabric::schedule_stream`] exactly:
     /// the link is occupied for `n` cycles, the head wavelet advances one
     /// cycle per hop, and contention delays the stream on each link.
-    fn stream_walk(&mut self, start: Time, hops: &[Hop], dest: PeId, color: Color, data: Vec<u32>) {
+    fn stream_walk(
+        &mut self,
+        start: Time,
+        hops: &Arc<[Hop]>,
+        at: usize,
+        dest: PeId,
+        color: Color,
+        data: Vec<u32>,
+    ) {
         let n = data.len() as u64;
         let n_time = Time::from_cycles(n);
         let mut head = start;
-        for (i, hop) in hops.iter().enumerate() {
+        for (i, hop) in hops.iter().enumerate().skip(at) {
             if hop.from.row != self.row {
                 self.outbox.push(BoundaryMsg {
                     time: head,
                     dest_row: hop.from.row,
                     kind: EventKind::Transit {
-                        hops: hops[i..].to_vec(),
+                        hops: Arc::clone(hops),
+                        at: i,
                         dest,
                         color,
                         data,
@@ -387,10 +477,9 @@ impl Shard {
                 });
                 return;
             }
-            let key = (hop.from, hop.to);
-            let free = self.links.get(&key).copied().unwrap_or(Time::ZERO);
-            let link_start = head.max(free);
-            self.links.insert(key, link_start + n_time);
+            let slot = &mut self.links[hop.from.col * LINK_SLOTS + hop.dir.index()];
+            let link_start = head.max(*slot);
+            *slot = link_start + n_time;
             if let Some(flight) = &mut self.flight {
                 // The wait for an occupied link is backpressure charged to
                 // the PE whose router holds the stream (the hop's source).
@@ -433,6 +522,9 @@ impl Shard {
             .unwrap_or_else(|| panic!("{pe} activated task {task:?} but has no program"));
         let state = &mut self.pes[idx];
         let attribution = ctx.config.recorder.is_enabled();
+        // Lend the shard's pooled buffers to the task context; they are
+        // reclaimed (and cleared) below, so steady-state task execution
+        // allocates nothing. An error abandons them — the run aborts anyway.
         let mut task_ctx = TaskCtx {
             pe,
             now: start,
@@ -440,17 +532,17 @@ impl Shard {
             memory: &mut state.memory,
             completed: &mut state.completed,
             charged: Time::ZERO,
-            effects: Vec::new(),
+            effects: std::mem::take(&mut self.fx_buf),
             attribution,
             stage: None,
             stage_base: Time::ZERO,
-            stage_charges: Vec::new(),
+            stage_charges: std::mem::take(&mut self.stage_buf),
         };
         let result = program.on_task(&mut task_ctx, task);
         task_ctx.close_stage_segment();
         let charged = task_ctx.charged;
-        let effects = std::mem::take(&mut task_ctx.effects);
-        let stage_charges = std::mem::take(&mut task_ctx.stage_charges);
+        let mut effects = std::mem::take(&mut task_ctx.effects);
+        let mut stage_charges = std::mem::take(&mut task_ctx.stage_charges);
         drop(task_ctx);
         self.pes[idx].program = Some(program);
         result?;
@@ -490,7 +582,7 @@ impl Shard {
                 label,
             });
         }
-        for effect in effects {
+        for effect in effects.drain(..) {
             match effect {
                 Effect::Send {
                     color,
@@ -499,21 +591,33 @@ impl Shard {
                 } => {
                     let n = data.len();
                     self.pes[idx].stats.wavelets_sent += n as u64;
-                    let path = ctx.fabric.resolve_path(pe, color, None)?;
+                    // Routing rules are immutable during the run, so the
+                    // resolved path of (source PE, color) is too — resolve it
+                    // once and share the hop list with every stream.
+                    let slot = idx * COLOR_SLOTS + color.index();
+                    let (hops, dest) = match &self.paths[slot] {
+                        Some((hops, dest)) => (Arc::clone(hops), *dest),
+                        None => {
+                            let path = ctx.fabric.resolve_path(pe, color, None)?;
+                            let hops: Arc<[Hop]> = path.hops.into();
+                            self.paths[slot] = Some((Arc::clone(&hops), path.dest));
+                            (hops, path.dest)
+                        }
+                    };
                     let src_done = end + Time::from_cycles(n as u64);
-                    if path.hops.is_empty() {
+                    if hops.is_empty() {
                         // RAMP→RAMP loopback: delivery is local by
                         // definition and takes the stream length.
                         self.push(
                             src_done,
                             EventKind::Deliver {
-                                pe: path.dest,
+                                pe: dest,
                                 color,
                                 data,
                             },
                         );
                     } else {
-                        self.stream_walk(end, &path.hops, path.dest, color, data);
+                        self.stream_walk(end, &hops, 0, dest, color, data);
                     }
                     if let Some(t) = activate {
                         self.push(src_done, EventKind::Activate { pe, task: t });
@@ -525,7 +629,8 @@ impl Shard {
                     activate,
                 } => {
                     let state = &mut self.pes[idx];
-                    let prev = state.pending_recv.insert(
+                    state.post_recv(
+                        pe,
                         color,
                         PendingRecv {
                             extent,
@@ -533,7 +638,6 @@ impl Shard {
                             posted_at: end,
                         },
                     );
-                    assert!(prev.is_none(), "{pe} double-posted a receive on {color}");
                     // Satisfied immediately from the inbox: a zero-length
                     // recv-wait, so no stall span to record.
                     if let Some(pending) = state.try_complete_recv(color) {
@@ -554,6 +658,10 @@ impl Shard {
                 }
             }
         }
+        // Return the drained buffers to the pool for the next task.
+        self.fx_buf = effects;
+        stage_charges.clear();
+        self.stage_buf = stage_charges;
         self.pes[idx].busy_until = end;
         Ok(end)
     }
@@ -562,6 +670,18 @@ impl Shard {
 /// A set of shards coupled by vertical routes; the unit of parallelism.
 pub(crate) struct Group {
     pub(crate) shards: Vec<Shard>,
+    /// Reusable staging buffer for the barrier exchange, so a coupled group
+    /// allocates nothing per round in steady state.
+    inbound: Vec<BoundaryMsg>,
+}
+
+impl From<Vec<Shard>> for Group {
+    fn from(shards: Vec<Shard>) -> Self {
+        Self {
+            shards,
+            inbound: Vec::new(),
+        }
+    }
 }
 
 impl Group {
@@ -638,11 +758,11 @@ impl Group {
     /// (time, source shard, emission order) tie order — identical in both
     /// engine modes because both exchange at the same cycle boundaries.
     fn exchange(&mut self) {
-        let mut inbound: Vec<BoundaryMsg> = Vec::new();
+        let mut inbound = std::mem::take(&mut self.inbound);
         for shard in &mut self.shards {
             inbound.append(&mut shard.outbox);
         }
-        for msg in inbound {
+        for msg in inbound.drain(..) {
             let dest = self
                 .shards
                 .iter_mut()
@@ -650,6 +770,7 @@ impl Group {
                 .expect("boundary message into a row outside its group");
             dest.accept(msg);
         }
+        self.inbound = inbound;
     }
 }
 
@@ -680,12 +801,13 @@ pub(crate) fn partition_rows(fabric: &Fabric, rows: usize) -> Vec<Vec<usize>> {
         if pe.row >= rows {
             continue;
         }
-        for dir in rule.input.iter().chain(rule.outputs.iter()) {
-            match dir {
-                Direction::North if pe.row > 0 => union(&mut parent, pe.row, pe.row - 1),
-                Direction::South if pe.row + 1 < rows => union(&mut parent, pe.row, pe.row + 1),
-                _ => {}
-            }
+        let north = rule.input() == Some(Direction::North) || rule.has_output(Direction::North);
+        let south = rule.input() == Some(Direction::South) || rule.has_output(Direction::South);
+        if north && pe.row > 0 {
+            union(&mut parent, pe.row, pe.row - 1);
+        }
+        if south && pe.row + 1 < rows {
+            union(&mut parent, pe.row, pe.row + 1);
         }
     }
     let mut components: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
@@ -781,13 +903,10 @@ mod tests {
     #[test]
     fn event_heap_orders_by_time_then_seq() {
         let mut heap = BinaryHeap::new();
-        let ev = |ticks: u64, seq: u64| Event {
+        let ev = |ticks: u64, seq: u64| HeapEntry {
             time: Time::from_ticks(ticks),
             seq,
-            kind: EventKind::Activate {
-                pe: PeId::new(0, 0),
-                task: TaskId(0),
-            },
+            slot: 0,
         };
         heap.push(ev(2_000, 5));
         heap.push(ev(1_999, 9)); // one tick earlier wins despite higher seq

@@ -309,7 +309,11 @@ impl RunReport {
 pub struct Simulator {
     config: MeshConfig,
     fabric: Fabric,
-    pes: Vec<PeState>,
+    /// PE states stored row-major as one `Vec` per mesh row — the exact
+    /// shape each shard owns, so building shards moves `rows` vector
+    /// headers instead of copying every multi-KB `PeState` through a flat
+    /// buffer (at wafer scale that copy is gigabytes).
+    pes: Vec<Vec<PeState>>,
     /// Setup-time events in push order; their global sequence numbers are
     /// the tie-break within each shard's heap.
     initial: Vec<Event>,
@@ -320,11 +324,13 @@ impl Simulator {
     /// Create a simulator for the given mesh.
     #[must_use]
     pub fn new(config: MeshConfig) -> Self {
-        let n = config.rows * config.cols;
-        let mut pes = Vec::with_capacity(n);
-        for _ in 0..n {
-            pes.push(PeState::new(config.sram_bytes));
-        }
+        let pes = (0..config.rows)
+            .map(|_| {
+                (0..config.cols)
+                    .map(|_| PeState::new(config.sram_bytes))
+                    .collect()
+            })
+            .collect();
         Self {
             fabric: Fabric::new(config.rows, config.cols),
             pes,
@@ -340,9 +346,9 @@ impl Simulator {
         &self.config
     }
 
-    fn pe_index(&self, pe: PeId) -> Result<usize, SimError> {
+    fn pe_state(&mut self, pe: PeId) -> Result<&mut PeState, SimError> {
         if pe.row < self.config.rows && pe.col < self.config.cols {
-            Ok(pe.index(self.config.cols))
+            Ok(&mut self.pes[pe.row][pe.col])
         } else {
             Err(SimError::BadPe { pe })
         }
@@ -374,25 +380,23 @@ impl Simulator {
 
     /// Assign `pe`'s program.
     pub fn set_program(&mut self, pe: PeId, program: Box<dyn PeProgram>) {
-        let idx = self.pe_index(pe).expect("program PE outside mesh");
-        self.pes[idx].program = Some(program);
+        let state = self.pe_state(pe).expect("program PE outside mesh");
+        state.program = Some(program);
     }
 
     /// Post an initial input DSD on `pe` before the run starts.
     pub fn post_recv(&mut self, pe: PeId, color: Color, extent: usize, task: TaskId) {
-        let idx = self.pe_index(pe).expect("recv PE outside mesh");
-        let prev = self.pes[idx].pending_recv.insert(
-            color,
-            PendingRecv {
-                extent,
-                task,
-                posted_at: Time::ZERO,
-            },
-        );
+        let state = self.pe_state(pe).expect("recv PE outside mesh");
+        let prev = state.pending_recv[color.index()].replace(PendingRecv {
+            extent,
+            task,
+            posted_at: Time::ZERO,
+        });
         assert!(
             prev.is_none(),
             "{pe} already has a pending receive on {color}"
         );
+        state.pending_count += 1;
     }
 
     /// Schedule an explicit task activation at `time` (the host-side kick
@@ -446,19 +450,11 @@ impl Simulator {
         // One shard per mesh row; each takes its row's PE states and starts
         // its sequence counter past every setup-time event.
         let flight_window = self.config.flight.map(|f| f.window);
-        let mut pe_iter = std::mem::take(&mut self.pes).into_iter();
-        let shards: Vec<Shard> = (0..rows)
-            .map(|r| {
-                Shard::new(
-                    r,
-                    cols,
-                    pe_iter.by_ref().take(cols).collect(),
-                    self.seq,
-                    flight_window,
-                )
-            })
+        let mut shards: Vec<Shard> = std::mem::take(&mut self.pes)
+            .into_iter()
+            .enumerate()
+            .map(|(r, row_pes)| Shard::new(r, cols, row_pes, self.seq, flight_window))
             .collect();
-        let mut shards = shards;
 
         // Distribute setup-time events. A target row off the mesh is the
         // same `BadPe` the serial engine raised when popping the event; keep
@@ -486,14 +482,19 @@ impl Simulator {
         let mut shard_slots: Vec<Option<Shard>> = shards.into_iter().map(Some).collect();
         let mut groups: Vec<Group> = components
             .iter()
-            .map(|component| Group {
-                shards: component
+            .map(|component| {
+                component
                     .iter()
                     .map(|&r| shard_slots[r].take().expect("each row in one component"))
-                    .collect(),
+                    .collect::<Vec<Shard>>()
+                    .into()
             })
             .collect();
 
+        // With one worker — or a single shard group, whatever the requested
+        // thread count — the scoped-thread machinery is pure overhead, so the
+        // groups run inline on this thread: a `threads=8` request on a
+        // one-group mesh costs exactly what `threads=1` costs.
         let threads = self.config.effective_threads().min(groups.len()).max(1);
         let ctx = EngineCtx {
             config: &self.config,
@@ -535,25 +536,27 @@ impl Simulator {
         let mut blocked: Vec<BlockedPe> = Vec::new();
         for shard in &shards {
             for (col, state) in shard.pes.iter().enumerate() {
-                if state.pending_recv.is_empty() {
+                if state.pending_count == 0 {
                     continue;
                 }
                 let pe = PeId::new(shard.row, col);
                 blocked.push(BlockedPe {
                     pe,
+                    // Walking the dense table yields color-id order — a
+                    // canonical diagnostic order at any thread count.
                     waiting_on: state
                         .pending_recv
                         .iter()
-                        .map(|(c, p)| {
-                            let have = state
-                                .inbox
-                                .get(c)
-                                .map_or(0, std::collections::VecDeque::len);
+                        .enumerate()
+                        .filter_map(|(slot, p)| p.as_ref().map(|p| (slot, p)))
+                        .map(|(slot, p)| {
+                            let color = Color::new(slot as u8);
+                            let have = state.inbox[slot].len();
                             BlockedRecv {
-                                color: *c,
+                                color,
                                 missing: p.extent.saturating_sub(have),
-                                feeders: self.fabric.origins_reaching(pe, *c),
-                                has_rule: self.fabric.rule(pe, *c).is_some(),
+                                feeders: self.fabric.origins_reaching(pe, color),
+                                has_rule: self.fabric.rule(pe, color).is_some(),
                             }
                         })
                         .collect(),
@@ -576,6 +579,7 @@ impl Simulator {
         let mut pe_stats = Vec::with_capacity(rows * cols);
         let mut stage_cycles = Vec::with_capacity(rows * cols);
         for shard in &mut shards {
+            stats.events_processed += shard.events_processed;
             for state in &mut shard.pes {
                 stats.total_busy_cycles += state.stats.busy_cycles;
                 stats.total_tasks += state.stats.tasks_run;
@@ -624,8 +628,9 @@ impl Simulator {
             let mut flight_links: BTreeMap<(PeId, PeId), LinkFlight> = BTreeMap::new();
             for shard in &mut shards {
                 let fs = shard.flight.take().expect("sampling was enabled");
-                flight_pes.extend(fs.pes);
-                flight_links.extend(fs.links);
+                let (pes, links) = fs.into_parts();
+                flight_pes.extend(pes);
+                flight_links.extend(links);
             }
             FlightRecording::from_parts(window, rows, cols, flight_pes, flight_links)
         });

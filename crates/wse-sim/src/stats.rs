@@ -39,6 +39,12 @@ pub struct SimStats {
     pub total_wavelets: u64,
     /// Number of PEs that executed at least one task.
     pub active_pes: usize,
+    /// Discrete events the engine processed (heap pops summed over all
+    /// shards). The event stream is deterministic, so this count is
+    /// identical across engines and thread counts and participates in
+    /// report equality like every other counter; the benches divide wall
+    /// time by it to report ns/event.
+    pub events_processed: u64,
 }
 
 impl SimStats {
